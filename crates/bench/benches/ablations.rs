@@ -1,0 +1,10 @@
+//! Ablations of the design choices called out in DESIGN.md §7:
+//! amplification, orientation, profile-window length, WUPvs/fLIKE ratio.
+
+fn main() {
+    let t = whatsup_bench::start("ablations", "BEEP mechanism & parameter ablations");
+    let result = whatsup_bench::experiments::figures::ablations();
+    println!("{}", result.render());
+    whatsup_bench::experiments::save_json("ablations", &result);
+    whatsup_bench::finish("ablations", t);
+}

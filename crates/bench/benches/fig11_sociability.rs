@@ -1,0 +1,13 @@
+//! Fig. 11: per-user F1 vs sociability, plus the sociability distribution.
+
+fn main() {
+    let t = whatsup_bench::start("fig11_sociability", "Fig 11 — F1 vs sociability");
+    let result = whatsup_bench::experiments::figures::fig11();
+    println!("{}", result.render());
+    println!(
+        "monotone-increasing trend detected: {}",
+        result.is_monotonic_trend()
+    );
+    whatsup_bench::experiments::save_json("fig11_sociability", &result);
+    whatsup_bench::finish("fig11_sociability", t);
+}

@@ -1,0 +1,10 @@
+//! Fig. 3 (a–f): F1 vs fanout and F1 vs message cost for the four
+//! metric/protocol combinations on all three datasets.
+
+fn main() {
+    let t = whatsup_bench::start("fig3_f1_fanout_messages", "Fig 3 — F1 vs fanout & cost");
+    let result = whatsup_bench::experiments::figures::fig3();
+    println!("{}", result.render());
+    whatsup_bench::experiments::save_json("fig3_f1_fanout_messages", &result);
+    whatsup_bench::finish("fig3_f1_fanout_messages", t);
+}

@@ -1,0 +1,10 @@
+//! Fig. 4: fraction of nodes in the largest strongly connected component of
+//! the WUP overlay vs fanout, plus the §V-A clustering/fragmentation stats.
+
+fn main() {
+    let t = whatsup_bench::start("fig4_lscc", "Fig 4 — LSCC & overlay topology");
+    let result = whatsup_bench::experiments::figures::fig4();
+    println!("{}", result.render());
+    whatsup_bench::experiments::save_json("fig4_lscc", &result);
+    whatsup_bench::finish("fig4_lscc", t);
+}

@@ -1,0 +1,9 @@
+//! Fig. 5: impact of the BEEP dislike TTL on precision/recall/F1.
+
+fn main() {
+    let t = whatsup_bench::start("fig5_ttl", "Fig 5 — BEEP TTL sweep");
+    let result = whatsup_bench::experiments::figures::fig5();
+    println!("{}", result.render());
+    whatsup_bench::experiments::save_json("fig5_ttl", &result);
+    whatsup_bench::finish("fig5_ttl", t);
+}

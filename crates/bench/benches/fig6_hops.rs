@@ -1,0 +1,10 @@
+//! Fig. 6: dissemination actions by hop distance (forward/infection ×
+//! like/dislike), survey at fLIKE = 5.
+
+fn main() {
+    let t = whatsup_bench::start("fig6_hops", "Fig 6 — dissemination by hop");
+    let result = whatsup_bench::experiments::figures::fig6();
+    println!("{}", result.render());
+    whatsup_bench::experiments::save_json("fig6_hops", &result);
+    whatsup_bench::finish("fig6_hops", t);
+}

@@ -1,0 +1,15 @@
+//! Fig. 7: cold start and interest dynamics — joining and interest-changing
+//! nodes under the WUP metric vs cosine.
+
+fn main() {
+    let t = whatsup_bench::start("fig7_dynamics", "Fig 7 — join/change convergence");
+    let repeats = if std::env::var("WHATSUP_FULL").map(|v| v == "1").unwrap_or(false) {
+        30
+    } else {
+        10
+    };
+    let result = whatsup_bench::experiments::figures::fig7(repeats);
+    println!("{}", result.render());
+    whatsup_bench::experiments::save_json("fig7_dynamics", &result);
+    whatsup_bench::finish("fig7_dynamics", t);
+}

@@ -1,0 +1,96 @@
+//! Fig. 8: (a) F1 of the deployed system — simulation vs ModelNet-like
+//! emulation vs the UDP "PlanetLab" swarm (with injected loss and real
+//! schedulers); (b) per-node bandwidth split into BEEP (news) and WUP
+//! (overlay maintenance) traffic.
+//!
+//! The paper ran 245 users; we scale that population with `WHATSUP_SCALE`.
+
+use serde::Serialize;
+use whatsup_bench::experiments;
+use whatsup_core::Params;
+use whatsup_datasets::{survey, SurveyConfig};
+use whatsup_metrics::{Series, SeriesSet};
+use whatsup_net::{emulator, runtime, EmulatorConfig, SwarmConfig, UdpConfig};
+
+#[derive(Serialize)]
+struct Fig8Out {
+    f1: SeriesSet,
+    bandwidth: Vec<(usize, f64, f64, f64)>,
+}
+
+fn main() {
+    let t = whatsup_bench::start("fig8_deployment", "Fig 8 — deployment quality & bandwidth");
+    let scale = experiments::scale();
+    // The paper's testbed held 245 users (roughly half the survey) on a
+    // *shorter trace*: "very fast gossip and news-generation cycles of
+    // 30 sec, with 5 news items per cycle" and a 4-minute (8-cycle)
+    // profile window (§V-D). We reproduce that shape: few items per
+    // cycle, a short window, and an RPS layer that fires far less often
+    // than the news cycle (Table II: RPSf = 1h).
+    let mut survey_cfg = SurveyConfig::paper().scaled(245.0 / 480.0 * scale);
+    survey_cfg.base_items = (survey_cfg.base_items / 7).max(10);
+    let dataset = survey::generate(&survey_cfg, experiments::seed() ^ 0x5eed_0002);
+    println!("population: {} users, {} items\n", dataset.n_users(), dataset.n_items());
+    let fanouts = [2usize, 4, 6, 9, 12];
+
+    let mut f1 = SeriesSet::new("Fig 8a — F1 vs fanout", "fanout", "F1");
+    f1.add(experiments::figures::fig8_sim_curve(&fanouts));
+
+    let swarm_for = |f: usize, loss: f64| {
+        let mut params = Params::whatsup(f);
+        params.profile_window = 8; // 4 min of 30 s cycles
+        params.rps_period = 10; // RPS much slower than the news cycle
+        SwarmConfig {
+            params,
+            cycles: 22,
+            cycle_ms: 70,
+            publish_from: 2,
+            measure_from: 8,
+            drain_cycles: 3,
+            loss,
+            ..Default::default()
+        }
+    };
+
+    let mut emu_series = Series::new("ModelNet");
+    let mut udp_series = Series::new("PlanetLab (UDP+loss)");
+    let mut bandwidth = Vec::new();
+    for &f in &fanouts {
+        let emu = emulator::run(
+            &dataset,
+            &EmulatorConfig { swarm: swarm_for(f, 0.0), latency_ms: (1, 8), link_loss: 0.0 },
+        );
+        emu_series.push(f as f64, emu.scores().f1);
+        bandwidth.push((f, emu.total_kbps(), emu.wup_kbps(), emu.news_kbps()));
+        // PlanetLab analogue: real sockets + 25% receive loss (the paper
+        // measured up to 30% effective loss at small fanouts).
+        let udp = runtime::run(&dataset, &UdpConfig { swarm: swarm_for(f, 0.25) });
+        udp_series.push(f as f64, udp.scores().f1);
+        println!(
+            "fanout {f}: emulator F1 {:.3}, udp(loss 25%) F1 {:.3}, \
+             bandwidth total {:.1} Kbps (wup {:.1}, news {:.1})",
+            emu.scores().f1,
+            udp.scores().f1,
+            emu.total_kbps(),
+            emu.wup_kbps(),
+            emu.news_kbps()
+        );
+    }
+    f1.add(emu_series);
+    f1.add(udp_series);
+
+    println!("\n{}", f1.render());
+    println!("Fig 8b — bandwidth per node (emulated fabric):");
+    println!("{:>7} {:>12} {:>10} {:>10}", "fanout", "total Kbps", "WUP", "BEEP");
+    for &(f, total, wup, news) in &bandwidth {
+        println!("{f:>7} {total:>12.1} {wup:>10.1} {news:>10.1}");
+    }
+    println!(
+        "\nshape to check: simulation ≈ ModelNet; the lossy UDP swarm trails at\n\
+         small fanouts and catches up once redundancy covers the loss (paper\n\
+         §V-D); news traffic grows linearly with fanout and dominates the\n\
+         overlay maintenance cost (paper §V-F)."
+    );
+    whatsup_bench::experiments::save_json("fig8_deployment", &Fig8Out { f1, bandwidth });
+    whatsup_bench::finish("fig8_deployment", t);
+}

@@ -1,0 +1,9 @@
+//! Fig. 9: centralized (global knowledge) vs decentralized WhatsUp.
+
+fn main() {
+    let t = whatsup_bench::start("fig9_centralized", "Fig 9 — centralized vs decentralized");
+    let result = whatsup_bench::experiments::figures::fig9();
+    println!("{}", result.render());
+    whatsup_bench::experiments::save_json("fig9_centralized", &result);
+    whatsup_bench::finish("fig9_centralized", t);
+}

@@ -1,0 +1,155 @@
+//! Criterion microbenchmarks for the hot paths: similarity metrics, profile
+//! maintenance, view merges, BEEP decisions, the wire codec and a full
+//! simulator cycle.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use whatsup_core::prelude::*;
+use whatsup_core::similarity::jaccard_similarity;
+use whatsup_datasets::{survey, SurveyConfig};
+use whatsup_sim::{Protocol, SimConfig, Simulation};
+
+fn profile_with(n: usize, offset: u64) -> Profile {
+    Profile::from_entries((0..n as u64).map(|i| ProfileEntry {
+        item: offset + i * 3,
+        timestamp: i as u32,
+        score: if i % 3 == 0 { 0.0 } else { 1.0 },
+    }))
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    for &n in &[32usize, 256] {
+        let a = profile_with(n, 0);
+        let b = profile_with(n, n as u64); // ~2/3 overlap
+        group.bench_function(format!("wup/{n}"), |bench| {
+            bench.iter(|| black_box(wup_similarity(black_box(&a), black_box(&b))))
+        });
+        group.bench_function(format!("cosine/{n}"), |bench| {
+            bench.iter(|| black_box(cosine_similarity(black_box(&a), black_box(&b))))
+        });
+        group.bench_function(format!("jaccard/{n}"), |bench| {
+            bench.iter(|| black_box(jaccard_similarity(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile");
+    group.bench_function("rate_256", |bench| {
+        bench.iter_batched(
+            Profile::new,
+            |mut p| {
+                for i in 0..256u64 {
+                    p.rate((i * 7) % 512, i as u32, i % 2 == 0);
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let big = profile_with(256, 0);
+    group.bench_function("aggregate_item_profile", |bench| {
+        bench.iter_batched(
+            || profile_with(128, 64),
+            |mut item_profile| {
+                item_profile.aggregate_user_profile(black_box(&big));
+                item_profile
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("purge_window", |bench| {
+        bench.iter_batched(
+            || profile_with(256, 0),
+            |mut p| {
+                p.purge_older_than(128);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_node_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node");
+    let make_node = || {
+        let mut node = WhatsUpNode::new(0, Params::whatsup(10));
+        node.seed_views(
+            (1..=30).map(|i| (i, profile_with(64, i as u64 * 5))),
+            (1..=20).map(|i| (i, profile_with(64, i as u64 * 5))),
+        );
+        node
+    };
+    group.bench_function("on_cycle", |bench| {
+        bench.iter_batched(
+            || (make_node(), ChaCha8Rng::seed_from_u64(1)),
+            |(mut node, mut rng)| node.on_cycle(10, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    let item = NewsItem::new("bench", "desc", "https://bench", 0, 5);
+    group.bench_function("handle_liked_news", |bench| {
+        bench.iter_batched(
+            || (make_node(), ChaCha8Rng::seed_from_u64(1)),
+            |(mut node, mut rng)| {
+                let msg = Payload::News(NewsMessage {
+                    header: item.header(),
+                    profile: profile_with(64, 9),
+                    dislikes: 0,
+                    hops: 2,
+                });
+                node.on_message(3, msg, 5, &|_: NodeId, _: ItemId| true, &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let descs: Vec<Descriptor<Profile>> =
+        (0..15).map(|i| Descriptor::fresh(i, profile_with(64, i as u64))).collect();
+    let payload = Payload::RpsRequest(descs);
+    group.bench_function("encode_gossip_15x64", |bench| {
+        bench.iter(|| whatsup_net::codec::encode(1, black_box(&payload), |_| None).unwrap())
+    });
+    let frame = whatsup_net::codec::encode(1, &payload, |_| None).unwrap();
+    group.bench_function("decode_gossip_15x64", |bench| {
+        bench.iter(|| whatsup_net::codec::decode(black_box(&frame)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let dataset = survey::generate(&SurveyConfig::paper().scaled(0.1), 5);
+    let cfg = SimConfig { cycles: 10, publish_from: 2, measure_from: 4, ..Default::default() };
+    group.bench_function("survey48users_10cycles", |bench| {
+        bench.iter(|| {
+            Simulation::new(
+                black_box(&dataset),
+                Protocol::WhatsUp { f_like: 5 },
+                cfg.clone(),
+            )
+            .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_similarity,
+    bench_profile_ops,
+    bench_node_paths,
+    bench_codec,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Table I: workload summary (users, news, like rates) for the three
+//! synthesized datasets, next to the paper's counts.
+
+fn main() {
+    let t = whatsup_bench::start("table1_workloads", "Table I — workloads");
+    let result = whatsup_bench::experiments::tables::table1();
+    println!("{}", result.render());
+    whatsup_bench::experiments::save_json("table1_workloads", &result);
+    whatsup_bench::finish("table1_workloads", t);
+}

@@ -1,0 +1,47 @@
+//! Table II: the per-node parameter defaults, asserted against the paper.
+
+use whatsup_core::Params;
+use whatsup_metrics::TextTable;
+
+fn main() {
+    let t = whatsup_bench::start("table2_params", "Table II — system parameters");
+    let p = Params::default();
+    p.validate().expect("defaults must validate");
+    let mut table = TextTable::new(
+        "Table II — WhatsUp parameters (per node)",
+        &["Parameter", "Description", "Paper", "Implementation"],
+    );
+    table.row_str(&["RPSvs", "size of the random sample", "30", &p.rps.view_size.to_string()]);
+    table.row_str(&[
+        "RPS exchange",
+        "descriptors per RPS exchange (half view)",
+        "15",
+        &p.rps.exchange_len.to_string(),
+    ]);
+    table.row_str(&[
+        "WUPvs",
+        "size of the social network",
+        "2·fLIKE",
+        &format!("{} (fLIKE={})", p.wup_view_size, p.beep.f_like),
+    ]);
+    table.row_str(&[
+        "Profile window",
+        "news item TTL",
+        "13 cycles",
+        &format!("{} cycles", p.profile_window),
+    ]);
+    table.row_str(&[
+        "BEEP TTL",
+        "dissemination TTL for dislike",
+        "4",
+        &p.ttl().map_or("-".into(), |t| t.to_string()),
+    ]);
+    println!("{}", table.render());
+    assert_eq!(p.rps.view_size, 30);
+    assert_eq!(p.wup_view_size, 2 * p.beep.f_like);
+    assert_eq!(p.profile_window, 13);
+    assert_eq!(p.ttl(), Some(4));
+    println!("all Table II defaults match the paper.");
+    whatsup_bench::experiments::save_json("table2_params", &p);
+    whatsup_bench::finish("table2_params", t);
+}

@@ -1,0 +1,13 @@
+//! Table IV: how many dislike-forwards liked items took before delivery.
+
+fn main() {
+    let t = whatsup_bench::start("table4_dislike_hops", "Table IV — news liked via dislike");
+    let result = whatsup_bench::experiments::tables::table4();
+    println!("{}", result.render());
+    println!(
+        "shape to check: monotone decreasing; a sizeable minority (paper 46%)\n\
+         of liked deliveries needed at least one dislike-forward."
+    );
+    whatsup_bench::experiments::save_json("table4_dislike_hops", &result);
+    whatsup_bench::finish("table4_dislike_hops", t);
+}

@@ -1,0 +1,15 @@
+//! Table V: WhatsUp vs explicit dissemination (cascade on Digg, C-Pub/Sub
+//! on the survey).
+
+fn main() {
+    let t = whatsup_bench::start("table5_explicit", "Table V — explicit baselines");
+    let result = whatsup_bench::experiments::tables::table5();
+    println!("{}", result.render());
+    println!(
+        "shape to check: cascade ties WhatsUp's precision at a fraction of its\n\
+         recall; C-Pub/Sub has recall 1 but coarser precision; WhatsUp takes\n\
+         the best F1 in both comparisons."
+    );
+    whatsup_bench::experiments::save_json("table5_explicit", &result);
+    whatsup_bench::finish("table5_explicit", t);
+}

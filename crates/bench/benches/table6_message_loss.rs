@@ -1,0 +1,14 @@
+//! Table VI: WhatsUp under message loss (simulator loss model; the emulated
+//! fabric variant is in fig8_deployment).
+
+fn main() {
+    let t = whatsup_bench::start("table6_message_loss", "Table VI — message loss");
+    let result = whatsup_bench::experiments::tables::table6();
+    println!("{}", result.render());
+    println!(
+        "shape to check: fanout 6 shrugs off 20% loss; fanout 3 collapses at\n\
+         50% loss (recall ≈ 0) with an artificial precision bump."
+    );
+    whatsup_bench::experiments::save_json("table6_message_loss", &result);
+    whatsup_bench::finish("table6_message_loss", t);
+}

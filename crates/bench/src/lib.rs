@@ -1,0 +1,49 @@
+//! Shared plumbing for the experiment harnesses in `benches/`.
+//!
+//! Every table and figure of the paper has a `cargo bench` target
+//! (`harness = false`) that:
+//! 1. prints a banner with the scale in effect,
+//! 2. runs the corresponding `whatsup_sim::experiments` driver (or a
+//!    `whatsup_net` swarm for the deployment figures),
+//! 3. prints the paper-vs-measured rows/series, and
+//! 4. persists the JSON under `target/experiments/`.
+//!
+//! Scale control: `WHATSUP_FULL=1` for paper-scale runs, `WHATSUP_SCALE=<f>`
+//! for anything else; the default keeps the full suite within minutes.
+
+use std::time::Instant;
+
+pub use whatsup_sim::experiments;
+
+/// Prints the harness banner and returns a timer for the footer.
+pub fn start(name: &str, what: &str) -> Instant {
+    println!("==============================================================");
+    println!("{name} — {what}");
+    println!(
+        "scale {:.2} (WHATSUP_FULL=1 for paper scale), seed {:#x}",
+        experiments::scale(),
+        experiments::seed()
+    );
+    println!("==============================================================");
+    Instant::now()
+}
+
+/// Prints the footer with elapsed time and the artifact path.
+pub fn finish(name: &str, started: Instant) {
+    println!(
+        "\n[{name}] done in {:.1}s; JSON at {}",
+        started.elapsed().as_secs_f64(),
+        experiments::output_dir().join(format!("{name}.json")).display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_roundtrip() {
+        let t = start("selftest", "banner");
+        finish("selftest", t);
+    }
+}

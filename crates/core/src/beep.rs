@@ -1,0 +1,371 @@
+//! BEEP target selection (paper §III, Algorithm 2).
+//!
+//! BEEP is heterogeneous along two dimensions:
+//!
+//! * **Amplification** — the number of targets depends on the user's opinion:
+//!   `fLIKE` copies for a liked item (social filtering: interest amplifies
+//!   spread), a single copy for a disliked one.
+//! * **Orientation** — *which* targets: liked items go to random WUP
+//!   neighbors (already similar, randomness avoids over-clustering);
+//!   disliked items go to the RPS node whose profile best matches the
+//!   *item's* profile, giving the item a chance to find its community
+//!   elsewhere (serendipity), bounded by a TTL carried in the message.
+//!
+//! The decision logic is pure: callers pass the views in and get the target
+//! list out, so the paper's CF and gossip baselines are alternative
+//! [`BeepConfig`]s rather than separate protocol stacks.
+
+use crate::profile::Profile;
+use crate::similarity::Metric;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use whatsup_gossip::{NodeId, View};
+
+/// Where like-forwarding picks its targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetPool {
+    /// The WUP clustering view (WhatsUp, CF).
+    Wup,
+    /// The RPS view (homogeneous gossip baseline).
+    Rps,
+}
+
+/// What to do with an item the user dislikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DislikeRule {
+    /// Drop it (CF baselines take "no action", §IV-B).
+    Drop,
+    /// Forward up to `ttl` total dislike-hops. `oriented` selects the RPS
+    /// node most similar to the item profile (BEEP) versus a uniform RPS
+    /// node (ablation / homogeneous gossip).
+    Forward { fanout: usize, ttl: u8, oriented: bool },
+}
+
+/// BEEP policy knobs (a [`crate::params::Params`] fragment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BeepConfig {
+    /// Fanout for liked items (`fLIKE`).
+    pub f_like: usize,
+    /// Pool liked-item targets are drawn from.
+    pub like_pool: TargetPool,
+    /// CF mode: ignore `f_like` sampling and forward to the *entire* view
+    /// ("forwards it to its k closest neighbors").
+    pub like_entire_view: bool,
+    /// Dislike-path rule.
+    pub dislike: DislikeRule,
+}
+
+/// Outcome of Algorithm 2 for one received copy.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ForwardDecision {
+    /// Nodes to send the copy to (empty = drop).
+    pub targets: Vec<NodeId>,
+    /// The dislike counter to stamp on the outgoing copies.
+    pub dislikes: u8,
+}
+
+/// Applies Algorithm 2.
+///
+/// * `liked` — the receiving user's opinion (`iLike`).
+/// * `dislikes` — the counter `dI` carried by the received copy.
+/// * `item_profile` — the copy's aggregated profile (used by orientation).
+/// * `wup_view`, `rps_view` — the node's current views.
+pub fn decide(
+    config: &BeepConfig,
+    liked: bool,
+    dislikes: u8,
+    item_profile: &Profile,
+    wup_view: &View<Profile>,
+    rps_view: &View<Profile>,
+    metric: Metric,
+    rng: &mut impl Rng,
+) -> ForwardDecision {
+    if liked {
+        let pool = match config.like_pool {
+            TargetPool::Wup => wup_view,
+            TargetPool::Rps => rps_view,
+        };
+        let targets = if config.like_entire_view {
+            pool.node_ids().collect()
+        } else {
+            pool.sample_ids(config.f_like, rng)
+        };
+        return ForwardDecision { targets, dislikes };
+    }
+    match config.dislike {
+        DislikeRule::Drop => ForwardDecision { targets: Vec::new(), dislikes },
+        DislikeRule::Forward { fanout, ttl, oriented } => {
+            if dislikes >= ttl {
+                return ForwardDecision { targets: Vec::new(), dislikes };
+            }
+            let targets = if oriented {
+                // The salt decorrelates tie-breaking: with an immature item
+                // profile every candidate scores 0, and a fixed tie order
+                // would funnel all disliked traffic to the same nodes.
+                select_most_similar_k(item_profile, rps_view, metric, fanout, rng.gen())
+            } else {
+                rps_view.sample_ids(fanout, rng)
+            };
+            ForwardDecision { targets, dislikes: dislikes.saturating_add(1) }
+        }
+    }
+}
+
+/// `selectMostSimilarNode(P^I, RPS)` (Algorithm 2, line 27): the RPS entry
+/// whose profile is closest to the item profile. Deterministic for a given
+/// `salt`; an empty view yields `None`.
+pub fn select_most_similar(
+    item_profile: &Profile,
+    rps_view: &View<Profile>,
+    metric: Metric,
+) -> Option<NodeId> {
+    select_most_similar_k(item_profile, rps_view, metric, 1, 0).into_iter().next()
+}
+
+/// The `k` RPS entries closest to the item profile (BEEP uses `k = 1`; the
+/// no-amplification ablation widens the dislike path to match `fLIKE`).
+/// Ties break on a salt-keyed mix of the node id, so equal-scoring
+/// candidates do not collapse onto a global order.
+pub fn select_most_similar_k(
+    item_profile: &Profile,
+    rps_view: &View<Profile>,
+    metric: Metric,
+    k: usize,
+    salt: u64,
+) -> Vec<NodeId> {
+    let mut scored: Vec<(f64, NodeId)> = rps_view
+        .entries()
+        .iter()
+        .map(|d| (metric.score(item_profile, &d.payload), d.node))
+        .collect();
+    scored.sort_by(|(sa, na), (sb, nb)| {
+        sb.partial_cmp(sa)
+            .expect("similarity is never NaN")
+            .then(tie_mix(salt, *na).cmp(&tie_mix(salt, *nb)))
+    });
+    scored.truncate(k);
+    scored.into_iter().map(|(_, n)| n).collect()
+}
+
+/// SplitMix64-style avalanche for salt-keyed tie-breaking.
+#[inline]
+fn tie_mix(salt: u64, node: NodeId) -> u64 {
+    let mut x = salt ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileEntry;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use whatsup_gossip::Descriptor;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    fn profile(likes: &[u64]) -> Profile {
+        Profile::from_entries(
+            likes.iter().map(|&i| ProfileEntry { item: i, timestamp: 0, score: 1.0 }),
+        )
+    }
+
+    fn view(entries: &[(NodeId, &[u64])]) -> View<Profile> {
+        let mut v = View::new(entries.len().max(1));
+        for &(n, likes) in entries {
+            v.insert(Descriptor::fresh(n, profile(likes)));
+        }
+        v
+    }
+
+    fn whatsup_cfg() -> BeepConfig {
+        BeepConfig {
+            f_like: 2,
+            like_pool: TargetPool::Wup,
+            like_entire_view: false,
+            dislike: DislikeRule::Forward { fanout: 1, ttl: 4, oriented: true },
+        }
+    }
+
+    #[test]
+    fn liked_item_amplifies_from_wup() {
+        let wup = view(&[(1, &[]), (2, &[]), (3, &[])]);
+        let rps = view(&[(9, &[])]);
+        let d = decide(
+            &whatsup_cfg(),
+            true,
+            0,
+            &Profile::new(),
+            &wup,
+            &rps,
+            Metric::Wup,
+            &mut rng(),
+        );
+        assert_eq!(d.targets.len(), 2);
+        assert!(d.targets.iter().all(|t| [1, 2, 3].contains(t)));
+        assert_eq!(d.dislikes, 0, "like path never bumps the counter");
+    }
+
+    #[test]
+    fn disliked_item_is_oriented_and_counted() {
+        // Item profile likes {1,2}; node 8's profile matches, node 9's not.
+        let wup = view(&[(1, &[])]);
+        let rps = view(&[(8, &[1, 2]), (9, &[50])]);
+        let item_profile = profile(&[1, 2]);
+        let d = decide(
+            &whatsup_cfg(),
+            false,
+            1,
+            &item_profile,
+            &wup,
+            &rps,
+            Metric::Wup,
+            &mut rng(),
+        );
+        assert_eq!(d.targets, vec![8]);
+        assert_eq!(d.dislikes, 2);
+    }
+
+    #[test]
+    fn ttl_exhaustion_drops() {
+        let rps = view(&[(8, &[1])]);
+        let d = decide(
+            &whatsup_cfg(),
+            false,
+            4,
+            &profile(&[1]),
+            &view(&[]),
+            &rps,
+            Metric::Wup,
+            &mut rng(),
+        );
+        assert!(d.targets.is_empty());
+        assert_eq!(d.dislikes, 4, "counter unchanged on drop");
+    }
+
+    #[test]
+    fn cf_forwards_entire_view_and_drops_dislikes() {
+        let cfg = BeepConfig {
+            f_like: 3,
+            like_pool: TargetPool::Wup,
+            like_entire_view: true,
+            dislike: DislikeRule::Drop,
+        };
+        let wup = view(&[(1, &[]), (2, &[]), (3, &[]), (4, &[])]);
+        let rps = view(&[(9, &[])]);
+        let liked =
+            decide(&cfg, true, 0, &Profile::new(), &wup, &rps, Metric::Wup, &mut rng());
+        assert_eq!(liked.targets.len(), 4, "CF sends to all k neighbors");
+        let disliked =
+            decide(&cfg, false, 0, &Profile::new(), &wup, &rps, Metric::Wup, &mut rng());
+        assert!(disliked.targets.is_empty());
+    }
+
+    #[test]
+    fn gossip_forwards_dislikes_uniformly() {
+        let cfg = BeepConfig {
+            f_like: 2,
+            like_pool: TargetPool::Rps,
+            like_entire_view: false,
+            dislike: DislikeRule::Forward { fanout: 2, ttl: u8::MAX, oriented: false },
+        };
+        let rps = view(&[(1, &[]), (2, &[]), (3, &[])]);
+        let d = decide(
+            &cfg,
+            false,
+            7,
+            &Profile::new(),
+            &view(&[]),
+            &rps,
+            Metric::Wup,
+            &mut rng(),
+        );
+        assert_eq!(d.targets.len(), 2);
+        assert_eq!(d.dislikes, 8);
+    }
+
+    #[test]
+    fn orientation_tie_break_is_deterministic_per_salt() {
+        let rps = view(&[(5, &[1]), (3, &[1])]);
+        let a = select_most_similar(&profile(&[1]), &rps, Metric::Wup);
+        let b = select_most_similar(&profile(&[1]), &rps, Metric::Wup);
+        assert_eq!(a, b, "same salt, same pick");
+        assert!(matches!(a, Some(3) | Some(5)));
+        // Different salts must be able to pick different tied candidates.
+        let picks: std::collections::HashSet<NodeId> = (0..32u64)
+            .filter_map(|salt| {
+                select_most_similar_k(&profile(&[1]), &rps, Metric::Wup, 1, salt)
+                    .into_iter()
+                    .next()
+            })
+            .collect();
+        assert_eq!(picks.len(), 2, "ties must not collapse onto one node");
+    }
+
+    #[test]
+    fn top_k_orientation_orders_by_similarity() {
+        // Node 8 matches both liked items, node 5 one (tied at 1.0 under
+        // the asymmetric metric), node 3 none — 3 must always rank last.
+        let rps = view(&[(5, &[1]), (3, &[50]), (8, &[1, 2])]);
+        let ip = profile(&[1, 2]);
+        let sel = select_most_similar_k(&ip, &rps, Metric::Wup, 2, 0);
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![5, 8], "zero-match candidate excluded from top 2");
+        let all = select_most_similar_k(&ip, &rps, Metric::Wup, 10, 0);
+        assert_eq!(all.len(), 3, "k larger than view returns everything");
+        assert_eq!(*all.last().unwrap(), 3, "worst match last");
+    }
+
+    #[test]
+    fn widened_dislike_fanout_sends_multiple_oriented_copies() {
+        let cfg = BeepConfig {
+            f_like: 3,
+            like_pool: TargetPool::Wup,
+            like_entire_view: false,
+            dislike: DislikeRule::Forward { fanout: 2, ttl: 4, oriented: true },
+        };
+        let rps = view(&[(1, &[7]), (2, &[7]), (3, &[50])]);
+        let d = decide(
+            &cfg,
+            false,
+            0,
+            &profile(&[7]),
+            &view(&[]),
+            &rps,
+            Metric::Wup,
+            &mut rng(),
+        );
+        let mut targets = d.targets.clone();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![1, 2], "both similar nodes targeted");
+        assert_eq!(d.dislikes, 1);
+    }
+
+    #[test]
+    fn empty_rps_view_yields_no_target() {
+        let sel = select_most_similar(&profile(&[1]), &View::new(1), Metric::Wup);
+        assert_eq!(sel, None);
+    }
+
+    #[test]
+    fn fanout_larger_than_view_takes_all() {
+        let cfg = BeepConfig { f_like: 10, ..whatsup_cfg() };
+        let wup = view(&[(1, &[]), (2, &[])]);
+        let d = decide(
+            &cfg,
+            true,
+            0,
+            &Profile::new(),
+            &wup,
+            &View::new(1),
+            Metric::Wup,
+            &mut rng(),
+        );
+        assert_eq!(d.targets.len(), 2);
+    }
+}

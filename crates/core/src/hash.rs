@@ -1,0 +1,99 @@
+//! 64-bit FNV-1a content hashing.
+//!
+//! The paper (§II-A) identifies a news item by an 8-byte hash that "is not
+//! transmitted but computed by nodes when they receive the item". FNV-1a is
+//! small, allocation-free and byte-order independent — exactly what a wire
+//! protocol wants for a content id. (HashDoS resistance is irrelevant here:
+//! the id is a content digest, not a hash-table key under adversarial
+//! control.)
+
+/// FNV-1a offset basis (64-bit).
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte slice with FNV-1a (64-bit).
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Incremental FNV-1a hasher for hashing an item's fields without
+/// concatenating them into a temporary buffer.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self(OFFSET)
+    }
+}
+
+impl Fnv1a {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes into the hash.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Feeds a length-prefixed field, so that ("ab","c") and ("a","bc")
+    /// hash differently.
+    #[inline]
+    pub fn update_field(&mut self, bytes: &[u8]) -> &mut Self {
+        self.update(&(bytes.len() as u32).to_le_bytes());
+        self.update(bytes)
+    }
+
+    /// Final hash value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values for FNV-1a 64-bit.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn field_prefix_disambiguates() {
+        let mut a = Fnv1a::new();
+        a.update_field(b"ab").update_field(b"c");
+        let mut b = Fnv1a::new();
+        b.update_field(b"a").update_field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_inputs_differ() {
+        assert_ne!(fnv1a64(b"breaking news"), fnv1a64(b"breaking news!"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Protocol messages: what a node emits and consumes.
+//!
+//! The sans-io node returns [`OutMessage`]s; the driving layer (simulator or
+//! network runtime) is responsible for delivery, loss and latency.
+
+use crate::item::ItemHeader;
+use crate::profile::Profile;
+use serde::{Deserialize, Serialize};
+use whatsup_gossip::{Descriptor, NodeId};
+
+/// A copy of a news item in flight (Algorithm 2's
+/// `(<idI, tI>, P^I, dI)` triple).
+///
+/// `hops` is measurement instrumentation (Fig. 6 plots dissemination actions
+/// by hop distance); it does not influence any forwarding decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NewsMessage {
+    pub header: ItemHeader,
+    /// The per-copy aggregated item profile.
+    pub profile: Profile,
+    /// Dislike counter `dI`.
+    pub dislikes: u8,
+    /// Hop distance from the source (0 at publication).
+    pub hops: u16,
+}
+
+/// Wire payloads of the three protocols sharing the node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// RPS push (half view + fresh self-descriptor).
+    RpsRequest(Vec<Descriptor<Profile>>),
+    /// RPS pull reply.
+    RpsResponse(Vec<Descriptor<Profile>>),
+    /// WUP clustering push (entire view + fresh self-descriptor).
+    WupRequest(Vec<Descriptor<Profile>>),
+    /// WUP clustering pull reply.
+    WupResponse(Vec<Descriptor<Profile>>),
+    /// BEEP news forward.
+    News(NewsMessage),
+}
+
+impl Payload {
+    /// Protocol family of this payload, for traffic accounting.
+    pub fn kind(&self) -> PayloadKind {
+        match self {
+            Payload::RpsRequest(_) | Payload::RpsResponse(_) => PayloadKind::Rps,
+            Payload::WupRequest(_) | Payload::WupResponse(_) => PayloadKind::Wup,
+            Payload::News(_) => PayloadKind::News,
+        }
+    }
+}
+
+/// Coarse message family used by the bandwidth and message-count metrics
+/// (the paper reports WUP vs BEEP traffic separately, Fig. 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PayloadKind {
+    Rps,
+    Wup,
+    News,
+}
+
+/// An outgoing message: destination plus payload. The sender id is implicit
+/// (the node that returned it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutMessage {
+    pub to: NodeId,
+    pub payload: Payload,
+}
+
+impl OutMessage {
+    pub fn new(to: NodeId, payload: Payload) -> Self {
+        Self { to, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify() {
+        let news = Payload::News(NewsMessage {
+            header: ItemHeader { id: 1, created_at: 0 },
+            profile: Profile::new(),
+            dislikes: 0,
+            hops: 0,
+        });
+        assert_eq!(news.kind(), PayloadKind::News);
+        assert_eq!(Payload::RpsRequest(vec![]).kind(), PayloadKind::Rps);
+        assert_eq!(Payload::RpsResponse(vec![]).kind(), PayloadKind::Rps);
+        assert_eq!(Payload::WupRequest(vec![]).kind(), PayloadKind::Wup);
+        assert_eq!(Payload::WupResponse(vec![]).kind(), PayloadKind::Wup);
+    }
+}

@@ -1,0 +1,616 @@
+//! The WhatsUp node: WUP + BEEP composed into one sans-io state machine.
+//!
+//! A node owns its user profile, the two gossip layers (RPS + WUP
+//! clustering) and the set of item ids it has already received (SIR
+//! "removed" state). It exposes three entry points —
+//! [`WhatsUpNode::on_cycle`], [`WhatsUpNode::on_message`] and
+//! [`WhatsUpNode::publish`] — each returning the messages to send. The
+//! caller decides what "a cycle" and "delivery" mean: the simulator makes
+//! them deterministic rounds, the network runtimes make them timers and
+//! UDP datagrams.
+//!
+//! User opinions come from an [`Opinions`] oracle: in the evaluation this is
+//! the dataset ground truth (a user's reaction is a fixed property of the
+//! (user, item) pair, as in the paper's survey replay); in a live deployment
+//! it would be the like/dislike buttons.
+
+use crate::beep::{self, ForwardDecision};
+use crate::bootstrap::{most_popular_items, ColdStart};
+use crate::item::{ItemId, NewsItem, Timestamp};
+use crate::message::{NewsMessage, OutMessage, Payload};
+use crate::obfuscation::Obfuscation;
+use crate::params::Params;
+use crate::profile::Profile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use whatsup_gossip::{Clustering, ClusteringConfig, Descriptor, NodeId, Rps};
+
+/// Oracle answering "would this user like this item?" (the `iLike` predicate
+/// of Algorithms 1–2).
+pub trait Opinions {
+    fn likes(&self, node: NodeId, item: ItemId) -> bool;
+}
+
+impl<F: Fn(NodeId, ItemId) -> bool> Opinions for F {
+    fn likes(&self, node: NodeId, item: ItemId) -> bool {
+        self(node, item)
+    }
+}
+
+/// Per-node traffic and dissemination counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// RPS messages sent (requests + responses).
+    pub rps_sent: u64,
+    /// WUP clustering messages sent (requests + responses).
+    pub wup_sent: u64,
+    /// News copies sent (BEEP forwards, including publications).
+    pub news_sent: u64,
+    /// First receptions of a news item.
+    pub news_received: u64,
+    /// Duplicate copies dropped.
+    pub news_duplicates: u64,
+    /// First receptions the user liked.
+    pub news_liked: u64,
+    /// Items published by this node.
+    pub published: u64,
+}
+
+impl NodeStats {
+    /// Total messages sent by this node, all protocols.
+    pub fn total_sent(&self) -> u64 {
+        self.rps_sent + self.wup_sent + self.news_sent
+    }
+}
+
+/// The per-user WhatsUp protocol stack.
+#[derive(Debug, Clone)]
+pub struct WhatsUpNode {
+    id: NodeId,
+    params: Params,
+    rps: Rps<Profile>,
+    wup: Clustering<Profile>,
+    profile: Profile,
+    obfuscation: Obfuscation,
+    seen: HashSet<ItemId>,
+    stats: NodeStats,
+}
+
+impl WhatsUpNode {
+    /// Creates a node with empty views and an empty profile.
+    ///
+    /// # Panics
+    /// Panics if `params` violates the Table II invariants
+    /// (see [`Params::validate`]).
+    pub fn new(id: NodeId, params: Params) -> Self {
+        params.validate().expect("invalid WhatsUp parameters");
+        let rps = Rps::new(id, params.rps);
+        let wup = Clustering::new(id, ClusteringConfig { view_size: params.wup_view_size });
+        // Per-node secret: local, never shared (id-derived here; a real
+        // deployment would draw it from the OS).
+        let obfuscation = Obfuscation::randomized_response(
+            params.obfuscation_epsilon,
+            (id as u64).wrapping_mul(0xd6e8_feb8_6659_fd93) ^ 0x0b5e_55ed,
+        );
+        Self {
+            id,
+            params,
+            rps,
+            wup,
+            profile: Profile::new(),
+            obfuscation,
+            seen: HashSet::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The profile this node *discloses*: its true profile, or the
+    /// consistent randomized-response snapshot when obfuscation is on
+    /// (§VII privacy extension). Everything that leaves the node — gossip
+    /// descriptors and item-profile contributions — goes through here;
+    /// local forwarding decisions keep using the true profile.
+    fn shared_profile(&self) -> Profile {
+        self.obfuscation.share(self.id, &self.profile)
+    }
+
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Current WUP (implicit social network) neighbors.
+    pub fn wup_neighbor_ids(&self) -> Vec<NodeId> {
+        self.wup.view().node_ids().collect()
+    }
+
+    /// Current RPS (random overlay) neighbors.
+    pub fn rps_neighbor_ids(&self) -> Vec<NodeId> {
+        self.rps.view().node_ids().collect()
+    }
+
+    /// Whether this node already received (or published) `item`.
+    pub fn has_seen(&self, item: ItemId) -> bool {
+        self.seen.contains(&item)
+    }
+
+    /// Mean similarity between the node's profile and its WUP view's
+    /// profile *snapshots* (the node-local view of Fig. 7's y-axis).
+    pub fn avg_wup_similarity(&self) -> f64 {
+        let entries = self.wup.view().entries();
+        if entries.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = entries
+            .iter()
+            .map(|d| self.params.metric.score(&self.profile, &d.payload))
+            .sum();
+        sum / entries.len() as f64
+    }
+
+    /// Seeds both views directly — test/bootstrap helper.
+    pub fn seed_views(
+        &mut self,
+        rps: impl IntoIterator<Item = (NodeId, Profile)>,
+        wup: impl IntoIterator<Item = (NodeId, Profile)>,
+    ) {
+        self.rps.seed(rps.into_iter().map(|(n, p)| Descriptor::fresh(n, p)));
+        self.wup.seed(wup.into_iter().map(|(n, p)| Descriptor::fresh(n, p)));
+    }
+
+    /// Cold start (§II-D): inherit the contact's views and rate the most
+    /// popular items found in the inherited RPS view.
+    pub fn cold_start(&mut self, inherited: ColdStart, opinions: &impl Opinions) {
+        for (item, ts) in
+            most_popular_items(&inherited.rps_view, self.params.cold_start_items)
+        {
+            let liked = opinions.likes(self.id, item);
+            self.profile.rate(item, ts, liked);
+            self.seen.insert(item);
+        }
+        self.rps.seed(inherited.rps_view);
+        self.wup.seed(inherited.wup_view);
+    }
+
+    /// Snapshot of this node's views for a joiner to inherit.
+    pub fn views_snapshot(&self) -> ColdStart {
+        ColdStart {
+            rps_view: self.rps.view().entries().to_vec(),
+            wup_view: self.wup.view().entries().to_vec(),
+        }
+    }
+
+    /// One gossip cycle (§II): purge the profile window, then initiate one
+    /// RPS and one WUP exchange towards the oldest view entries.
+    pub fn on_cycle(&mut self, now: Timestamp, rng: &mut impl Rng) -> Vec<OutMessage> {
+        self.profile
+            .purge_older_than(now.saturating_sub(self.params.profile_window));
+        let mut out = Vec::with_capacity(2);
+        // The RPS layer may run at a slower period (Table II: RPSf = 1h).
+        if now % self.params.rps_period == 0 {
+            if let Some((partner, payload)) = self.rps.initiate(self.shared_profile(), rng) {
+                self.stats.rps_sent += 1;
+                out.push(OutMessage::new(partner, Payload::RpsRequest(payload)));
+            }
+        }
+        if let Some((partner, payload)) = self.wup.initiate(self.shared_profile()) {
+            self.stats.wup_sent += 1;
+            out.push(OutMessage::new(partner, Payload::WupRequest(payload)));
+        }
+        out
+    }
+
+    /// Handles one delivered message, returning any replies/forwards.
+    ///
+    /// Messages claiming to come from this node itself are dropped: they
+    /// can only be delivery loops or spoofing, and answering one would make
+    /// the node gossip with itself.
+    pub fn on_message(
+        &mut self,
+        from: NodeId,
+        payload: Payload,
+        now: Timestamp,
+        opinions: &impl Opinions,
+        rng: &mut impl Rng,
+    ) -> Vec<OutMessage> {
+        if from == self.id {
+            return Vec::new();
+        }
+        match payload {
+            Payload::RpsRequest(descs) => {
+                let resp = self.rps.on_request(descs, self.shared_profile(), rng);
+                self.stats.rps_sent += 1;
+                vec![OutMessage::new(from, Payload::RpsResponse(resp))]
+            }
+            Payload::RpsResponse(descs) => {
+                self.rps.on_response(descs, rng);
+                Vec::new()
+            }
+            Payload::WupRequest(descs) => {
+                let metric = self.params.metric;
+                // Rank candidates against the *true* profile; the payload
+                // that travels is the (possibly obfuscated) shared one.
+                let true_profile = self.profile.clone();
+                let sim =
+                    move |_own: &Profile, cand: &Profile| metric.score(&true_profile, cand);
+                let resp = self.wup.on_request(
+                    descs,
+                    self.rps.view().entries(),
+                    self.shared_profile(),
+                    &sim,
+                );
+                self.stats.wup_sent += 1;
+                vec![OutMessage::new(from, Payload::WupResponse(resp))]
+            }
+            Payload::WupResponse(descs) => {
+                let metric = self.params.metric;
+                let true_profile = self.profile.clone();
+                let sim =
+                    move |_own: &Profile, cand: &Profile| metric.score(&true_profile, cand);
+                let shared = self.shared_profile();
+                self.wup.on_response(descs, self.rps.view().entries(), &shared, &sim);
+                Vec::new()
+            }
+            Payload::News(msg) => self.handle_news(msg, now, opinions, rng),
+        }
+    }
+
+    /// Publishes a new item (Algorithm 1, `generateNewsItem`): the source
+    /// rates it *liked*, folds its whole profile — including the fresh
+    /// rating — into the new item profile, and BEEP-forwards.
+    pub fn publish(
+        &mut self,
+        item: &NewsItem,
+        now: Timestamp,
+        rng: &mut impl Rng,
+    ) -> Vec<OutMessage> {
+        let header = item.header();
+        self.seen.insert(header.id);
+        self.stats.published += 1;
+        self.profile.rate(header.id, header.created_at, true);
+        let mut item_profile = Profile::new();
+        item_profile.aggregate_user_profile(&self.shared_profile());
+        item_profile.purge_older_than(now.saturating_sub(self.params.profile_window));
+        let decision = beep::decide(
+            &self.params.beep,
+            true,
+            0,
+            &item_profile,
+            self.wup.view(),
+            self.rps.view(),
+            self.params.metric,
+            rng,
+        );
+        self.emit_news(header.into_message(item_profile, decision.dislikes, 0), decision)
+    }
+
+    /// Algorithm 1 (receive path) + Algorithm 2 (forward).
+    fn handle_news(
+        &mut self,
+        mut msg: NewsMessage,
+        now: Timestamp,
+        opinions: &impl Opinions,
+        rng: &mut impl Rng,
+    ) -> Vec<OutMessage> {
+        let id = msg.header.id;
+        // SIR: a node receiving an item it has already received drops it.
+        if !self.seen.insert(id) {
+            self.stats.news_duplicates += 1;
+            return Vec::new();
+        }
+        self.stats.news_received += 1;
+        let liked = opinions.likes(self.id, id);
+        if liked {
+            self.stats.news_liked += 1;
+            // Fold the *pre-rating* profile into the item profile (lines
+            // 3–4), then record the own rating (line 5) — the paper's
+            // order. What is folded is the *shared* profile: item profiles
+            // travel the network, so they disclose whatever gossip does.
+            msg.profile.aggregate_user_profile(&self.shared_profile());
+            self.profile.rate(id, msg.header.created_at, true);
+        } else {
+            self.profile.rate(id, msg.header.created_at, false);
+        }
+        // Purge non-recent entries from the item profile before forwarding
+        // (lines 8–10).
+        msg.profile
+            .purge_older_than(now.saturating_sub(self.params.profile_window));
+        let decision = beep::decide(
+            &self.params.beep,
+            liked,
+            msg.dislikes,
+            &msg.profile,
+            self.wup.view(),
+            self.rps.view(),
+            self.params.metric,
+            rng,
+        );
+        let hops = msg.hops.saturating_add(1);
+        self.emit_news(
+            NewsMessage { header: msg.header, profile: msg.profile, dislikes: decision.dislikes, hops },
+            decision,
+        )
+    }
+
+    fn emit_news(&mut self, template: NewsMessage, decision: ForwardDecision) -> Vec<OutMessage> {
+        if decision.targets.is_empty() {
+            return Vec::new();
+        }
+        self.stats.news_sent += decision.targets.len() as u64;
+        decision
+            .targets
+            .into_iter()
+            .map(|t| OutMessage::new(t, Payload::News(template.clone())))
+            .collect()
+    }
+}
+
+impl crate::item::ItemHeader {
+    fn into_message(self, profile: Profile, dislikes: u8, hops: u16) -> NewsMessage {
+        NewsMessage { header: self, profile, dislikes, hops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileEntry;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    /// Opinions oracle: node n likes item i iff i % 2 == n % 2.
+    struct Parity;
+    impl Opinions for Parity {
+        fn likes(&self, node: NodeId, item: ItemId) -> bool {
+            item % 2 == (node as u64) % 2
+        }
+    }
+
+    fn liked_profile(items: &[ItemId]) -> Profile {
+        Profile::from_entries(
+            items.iter().map(|&i| ProfileEntry { item: i, timestamp: 0, score: 1.0 }),
+        )
+    }
+
+    fn news(id: ItemId, dislikes: u8) -> NewsMessage {
+        NewsMessage {
+            header: crate::item::ItemHeader { id, created_at: 0 },
+            profile: Profile::new(),
+            dislikes,
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn publish_fans_out_to_wup_view() {
+        let mut n = WhatsUpNode::new(0, Params::whatsup(2));
+        n.seed_views([], [(1, Profile::new()), (2, Profile::new()), (3, Profile::new())]);
+        let item = NewsItem::new("t", "d", "l", 0, 0);
+        let out = n.publish(&item, 0, &mut rng());
+        assert_eq!(out.len(), 2);
+        assert!(n.has_seen(item.id()));
+        assert_eq!(n.stats().published, 1);
+        assert_eq!(n.stats().news_sent, 2);
+        // The source's own fresh rating is inside the item profile (§II-C).
+        for m in &out {
+            match &m.payload {
+                Payload::News(nm) => {
+                    assert!(nm.profile.contains(item.id()));
+                    assert_eq!(nm.hops, 0);
+                }
+                other => panic!("unexpected payload {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn liked_reception_updates_profile_and_amplifies() {
+        // Node 0 likes even items (Parity).
+        let mut n = WhatsUpNode::new(0, Params::whatsup(2));
+        n.seed_views(
+            [(9, Profile::new())],
+            [(1, Profile::new()), (2, Profile::new()), (3, Profile::new())],
+        );
+        let out = n.on_message(7, Payload::News(news(4, 1)), 0, &Parity, &mut rng());
+        assert_eq!(out.len(), 2, "fLIKE copies");
+        assert_eq!(n.profile().get(4).unwrap().score, 1.0);
+        for m in &out {
+            if let Payload::News(nm) = &m.payload {
+                assert_eq!(nm.dislikes, 1, "like path keeps the counter");
+                assert_eq!(nm.hops, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn disliked_reception_orients_once() {
+        // Node 0 dislikes odd items; RPS node 8's profile matches the item
+        // profile, node 9's does not.
+        let mut n = WhatsUpNode::new(0, Params::whatsup(2));
+        n.seed_views(
+            [(8, liked_profile(&[100])), (9, liked_profile(&[200]))],
+            [(1, Profile::new())],
+        );
+        let mut msg = news(5, 0);
+        msg.profile = liked_profile(&[100]);
+        let out = n.on_message(7, Payload::News(msg), 0, &Parity, &mut rng());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, 8, "oriented to most-similar RPS node");
+        if let Payload::News(nm) = &out[0].payload {
+            assert_eq!(nm.dislikes, 1);
+        }
+        assert_eq!(n.profile().get(5).unwrap().score, 0.0);
+    }
+
+    #[test]
+    fn ttl_exhausted_dislike_is_dropped() {
+        let mut n = WhatsUpNode::new(0, Params::whatsup(2));
+        n.seed_views([(8, liked_profile(&[1]))], [(1, Profile::new())]);
+        let out = n.on_message(7, Payload::News(news(5, 4)), 0, &Parity, &mut rng());
+        assert!(out.is_empty());
+        // Profile still records the dislike.
+        assert_eq!(n.profile().get(5).unwrap().score, 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_silently() {
+        let mut n = WhatsUpNode::new(0, Params::whatsup(2));
+        n.seed_views([], [(1, Profile::new()), (2, Profile::new())]);
+        let first = n.on_message(7, Payload::News(news(4, 0)), 0, &Parity, &mut rng());
+        assert!(!first.is_empty());
+        let second = n.on_message(3, Payload::News(news(4, 0)), 0, &Parity, &mut rng());
+        assert!(second.is_empty());
+        assert_eq!(n.stats().news_duplicates, 1);
+        assert_eq!(n.stats().news_received, 1);
+    }
+
+    #[test]
+    fn item_profile_aggregates_likers_history() {
+        // Node 0 (likes even) has item 2 in its profile; when it likes item
+        // 4, the outgoing item profile must contain item 2 as well.
+        let mut n = WhatsUpNode::new(0, Params::whatsup(1));
+        n.seed_views([], [(1, Profile::new())]);
+        n.on_message(7, Payload::News(news(2, 0)), 0, &Parity, &mut rng());
+        let out = n.on_message(7, Payload::News(news(4, 0)), 0, &Parity, &mut rng());
+        let Payload::News(nm) = &out[0].payload else { panic!("expected news") };
+        assert!(nm.profile.contains(2), "liker history folded into item profile");
+        // But per Algorithm 1 ordering, the item itself is folded only via
+        // later likers, not by this one.
+        assert!(!nm.profile.contains(4));
+    }
+
+    #[test]
+    fn on_cycle_gossips_and_purges() {
+        let mut n = WhatsUpNode::new(0, Params::whatsup(2));
+        n.seed_views([(5, Profile::new())], [(6, Profile::new())]);
+        // An old rating that must fall out of the 13-cycle window.
+        n.profile.rate(99, 0, true);
+        let out = n.on_cycle(50, &mut rng());
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0].payload, Payload::RpsRequest(_)));
+        assert!(matches!(out[1].payload, Payload::WupRequest(_)));
+        assert!(n.profile().is_empty(), "window purge removes stale entries");
+    }
+
+    #[test]
+    fn rps_request_produces_response_and_merge() {
+        let mut a = WhatsUpNode::new(0, Params::whatsup(2));
+        let mut b = WhatsUpNode::new(1, Params::whatsup(2));
+        a.seed_views([(1, Profile::new())], []);
+        b.seed_views([(0, Profile::new())], []);
+        let mut r = rng();
+        let reqs = a.on_cycle(1, &mut r);
+        let req = &reqs[0];
+        assert_eq!(req.to, 1);
+        let Payload::RpsRequest(descs) = &req.payload else { panic!() };
+        let resp = b.on_message(0, Payload::RpsRequest(descs.clone()), 1, &Parity, &mut r);
+        assert_eq!(resp.len(), 1);
+        assert!(matches!(resp[0].payload, Payload::RpsResponse(_)));
+        let out = a.on_message(1, resp[0].payload.clone(), 1, &Parity, &mut r);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wup_exchange_clusters_by_similarity() {
+        // Node 0 likes items {2,4}. Candidate 1 likes the same; candidate 3
+        // likes disjoint items. After a WUP exchange offering both, node 0's
+        // view (size 2 here) must retain candidate 1.
+        let mut n = WhatsUpNode::new(0, Params::whatsup(1));
+        n.profile.rate(2, 10, true);
+        n.profile.rate(4, 10, true);
+        n.seed_views([], [(9, Profile::new())]);
+        let offered = vec![
+            Descriptor::fresh(1, liked_profile(&[2, 4])),
+            Descriptor::fresh(3, liked_profile(&[101, 103])),
+        ];
+        let out =
+            n.on_message(5, Payload::WupRequest(offered), 10, &Parity, &mut rng());
+        assert!(matches!(out[0].payload, Payload::WupResponse(_)));
+        let ids = n.wup_neighbor_ids();
+        assert!(ids.contains(&1), "similar candidate retained: {ids:?}");
+    }
+
+    #[test]
+    fn cold_start_builds_popular_profile() {
+        let mut veteran = WhatsUpNode::new(0, Params::whatsup(2));
+        veteran.seed_views(
+            [
+                (1, liked_profile(&[10, 12])),
+                (2, liked_profile(&[10])),
+                (3, liked_profile(&[10, 14])),
+            ],
+            [(1, liked_profile(&[10]))],
+        );
+        let mut joiner = WhatsUpNode::new(42, Params::whatsup(2));
+        joiner.cold_start(veteran.views_snapshot(), &Parity);
+        // 3 most popular: 10 (3 likes), 12 and 14 (1 like each).
+        assert_eq!(joiner.profile().len(), 3);
+        assert!(joiner.profile().contains(10));
+        // Node 42 likes even items, so all three are rated like.
+        assert_eq!(joiner.profile().get(10).unwrap().score, 1.0);
+        assert!(!joiner.rps_neighbor_ids().is_empty());
+        assert!(!joiner.wup_neighbor_ids().is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut n = WhatsUpNode::new(0, Params::whatsup(3));
+            n.seed_views(
+                (1..20).map(|i| (i, liked_profile(&[i as u64]))),
+                (1..8).map(|i| (i, liked_profile(&[i as u64]))),
+            );
+            let mut r = ChaCha8Rng::seed_from_u64(77);
+            let mut log = Vec::new();
+            for cycle in 0..5 {
+                log.extend(n.on_cycle(cycle, &mut r));
+                log.extend(n.on_message(
+                    1,
+                    Payload::News(news(cycle as u64 * 2, 0)),
+                    cycle,
+                    &Parity,
+                    &mut r,
+                ));
+            }
+            log
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gossip_params_forward_disliked_items_randomly() {
+        let mut n = WhatsUpNode::new(0, Params::gossip(3));
+        n.seed_views((1..10).map(|i| (i, Profile::new())), []);
+        // Node 0 dislikes odd items but homogeneous gossip forwards anyway.
+        let out = n.on_message(5, Payload::News(news(5, 200)), 0, &Parity, &mut rng());
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut n = WhatsUpNode::new(0, Params::whatsup(2));
+        n.seed_views([(1, Profile::new())], [(2, Profile::new())]);
+        let mut r = rng();
+        n.on_cycle(0, &mut r);
+        n.on_message(1, Payload::News(news(2, 0)), 0, &Parity, &mut r);
+        let s = n.stats();
+        assert_eq!(s.total_sent(), s.rps_sent + s.wup_sent + s.news_sent);
+        assert!(s.total_sent() >= 3);
+    }
+}

@@ -1,0 +1,270 @@
+//! Interest profiles (paper §II-B/C/E).
+//!
+//! A profile is a set of `<item id, timestamp, score>` triples with at most
+//! one entry per item:
+//!
+//! * **User profiles** (`P̃`) hold the node's own opinions; scores are binary
+//!   (1 = like, 0 = dislike).
+//! * **Item profiles** (`P^I`) travel with every copy of a news item and
+//!   aggregate the profiles of the users that liked it along the copy's
+//!   path; scores are reals in `[0, 1]`, updated by averaging
+//!   (`addToNewsProfile`, Algorithm 1).
+//!
+//! Profiles are stored as vectors sorted by item id. They are small (bounded
+//! by the profile window — tens to hundreds of entries), so sorted vectors
+//! beat hash maps on both memory and the merge-join scans that dominate
+//! similarity computation.
+
+use crate::item::{ItemId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Opinion strength for an item: `1.0` = interesting, `0.0` = not.
+/// User profiles only ever store the two extremes; item profiles hold
+/// averaged intermediate values.
+pub type Score = f32;
+
+/// One `<id, t, s>` triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    pub item: ItemId,
+    pub timestamp: Timestamp,
+    pub score: Score,
+}
+
+/// A profile: sorted-by-item-id vector of entries, unique per item.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    entries: Vec<ProfileEntry>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from arbitrary-order entries; keeps the last entry per item.
+    pub fn from_entries(entries: impl IntoIterator<Item = ProfileEntry>) -> Self {
+        let mut p = Self::new();
+        for e in entries {
+            p.upsert(e);
+        }
+        p
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in ascending item-id order.
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Looks up an entry by item id.
+    pub fn get(&self, item: ItemId) -> Option<&ProfileEntry> {
+        self.entries
+            .binary_search_by_key(&item, |e| e.item)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Whether the profile contains an opinion on `item`.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.get(item).is_some()
+    }
+
+    /// Inserts or replaces the entry for `e.item` (§II-B: "each profile
+    /// contains only a single entry for a given identifier").
+    pub fn upsert(&mut self, e: ProfileEntry) {
+        match self.entries.binary_search_by_key(&e.item, |x| x.item) {
+            Ok(i) => self.entries[i] = e,
+            Err(i) => self.entries.insert(i, e),
+        }
+    }
+
+    /// Records the user's opinion on an item (Algorithm 1, lines 5/7/14).
+    pub fn rate(&mut self, item: ItemId, timestamp: Timestamp, liked: bool) {
+        self.upsert(ProfileEntry { item, timestamp, score: if liked { 1.0 } else { 0.0 } });
+    }
+
+    /// `addToNewsProfile` (Algorithm 1, lines 18–22): folds one user-profile
+    /// entry into this *item* profile — averaging with the existing score if
+    /// present, inserting otherwise. Averaging keeps the freshest timestamp
+    /// so the window purge reflects the most recent supporting opinion.
+    pub fn add_to_news_profile(&mut self, e: ProfileEntry) {
+        match self.entries.binary_search_by_key(&e.item, |x| x.item) {
+            Ok(i) => {
+                let cur = &mut self.entries[i];
+                cur.score = (cur.score + e.score) / 2.0;
+                cur.timestamp = cur.timestamp.max(e.timestamp);
+            }
+            Err(i) => self.entries.insert(i, e),
+        }
+    }
+
+    /// Folds an entire user profile into this item profile (Algorithm 1,
+    /// lines 3–4 and 15–16).
+    pub fn aggregate_user_profile(&mut self, user: &Profile) {
+        for &e in user.entries() {
+            self.add_to_news_profile(e);
+        }
+    }
+
+    /// Removes entries strictly older than `cutoff` (profile window, §II-E).
+    /// `cutoff = now - window`; an entry stamped exactly at the cutoff
+    /// survives.
+    pub fn purge_older_than(&mut self, cutoff: Timestamp) {
+        self.entries.retain(|e| e.timestamp >= cutoff);
+    }
+
+    /// Item ids the profile *likes* (score > 0.5 — exact 1.0 for user
+    /// profiles; majority opinion for item profiles).
+    pub fn liked_items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.entries.iter().filter(|e| e.score > 0.5).map(|e| e.item)
+    }
+
+    /// Number of liked items.
+    pub fn like_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.score > 0.5).count()
+    }
+
+    /// Euclidean norm of the score vector.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| (e.score as f64) * (e.score as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The most recent timestamp in the profile, if any.
+    pub fn newest_timestamp(&self) -> Option<Timestamp> {
+        self.entries.iter().map(|e| e.timestamp).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn e(item: ItemId, t: Timestamp, s: Score) -> ProfileEntry {
+        ProfileEntry { item, timestamp: t, score: s }
+    }
+
+    #[test]
+    fn rate_inserts_sorted_unique() {
+        let mut p = Profile::new();
+        p.rate(30, 0, true);
+        p.rate(10, 1, false);
+        p.rate(20, 2, true);
+        p.rate(10, 3, true); // re-rating replaces
+        let ids: Vec<ItemId> = p.entries().iter().map(|x| x.item).collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+        assert_eq!(p.get(10).unwrap().score, 1.0);
+        assert_eq!(p.get(10).unwrap().timestamp, 3);
+    }
+
+    #[test]
+    fn add_to_news_profile_averages() {
+        let mut item_profile = Profile::new();
+        item_profile.add_to_news_profile(e(1, 0, 1.0));
+        item_profile.add_to_news_profile(e(1, 5, 0.0));
+        let entry = item_profile.get(1).unwrap();
+        assert_eq!(entry.score, 0.5);
+        assert_eq!(entry.timestamp, 5, "freshest timestamp kept");
+        item_profile.add_to_news_profile(e(1, 2, 1.0));
+        assert_eq!(item_profile.get(1).unwrap().score, 0.75);
+    }
+
+    #[test]
+    fn aggregate_folds_every_entry() {
+        let user = Profile::from_entries([e(1, 0, 1.0), e(2, 0, 0.0)]);
+        let mut item_profile = Profile::new();
+        item_profile.aggregate_user_profile(&user);
+        assert_eq!(item_profile.len(), 2);
+        assert_eq!(item_profile.get(2).unwrap().score, 0.0);
+    }
+
+    #[test]
+    fn purge_respects_cutoff_inclusively() {
+        let mut p = Profile::from_entries([e(1, 5, 1.0), e(2, 6, 1.0), e(3, 4, 1.0)]);
+        p.purge_older_than(5);
+        assert!(p.contains(1));
+        assert!(p.contains(2));
+        assert!(!p.contains(3));
+    }
+
+    #[test]
+    fn likes_and_norm() {
+        let p = Profile::from_entries([e(1, 0, 1.0), e(2, 0, 0.0), e(3, 0, 1.0)]);
+        let likes: Vec<ItemId> = p.liked_items().collect();
+        assert_eq!(likes, vec![1, 3]);
+        assert_eq!(p.like_count(), 2);
+        assert!((p.norm() - (2.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_properties() {
+        let p = Profile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.norm(), 0.0);
+        assert_eq!(p.newest_timestamp(), None);
+    }
+
+    #[test]
+    fn from_entries_keeps_last_per_item() {
+        let p = Profile::from_entries([e(1, 0, 1.0), e(1, 9, 0.0)]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(1).unwrap().score, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn entries_always_sorted_unique(
+            ops in prop::collection::vec((0u64..50, 0u32..100, prop::bool::ANY), 0..200)
+        ) {
+            let mut p = Profile::new();
+            for (item, t, liked) in ops {
+                p.rate(item, t, liked);
+            }
+            let ids: Vec<ItemId> = p.entries().iter().map(|x| x.item).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(ids, sorted);
+        }
+
+        #[test]
+        fn item_profile_scores_stay_in_unit_interval(
+            ops in prop::collection::vec((0u64..10, prop::bool::ANY), 1..100)
+        ) {
+            let mut ip = Profile::new();
+            for (item, liked) in ops {
+                ip.add_to_news_profile(e(item, 0, if liked { 1.0 } else { 0.0 }));
+            }
+            for entry in ip.entries() {
+                prop_assert!((0.0..=1.0).contains(&entry.score));
+            }
+        }
+
+        #[test]
+        fn purge_is_monotone(
+            ts in prop::collection::vec(0u32..100, 0..50),
+            cutoff in 0u32..100
+        ) {
+            let mut p = Profile::from_entries(
+                ts.iter().enumerate().map(|(i, &t)| e(i as u64, t, 1.0))
+            );
+            let before = p.len();
+            p.purge_older_than(cutoff);
+            prop_assert!(p.len() <= before);
+            prop_assert!(p.entries().iter().all(|x| x.timestamp >= cutoff));
+        }
+    }
+}

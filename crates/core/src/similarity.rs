@@ -1,0 +1,315 @@
+//! Profile similarity metrics (paper §II and §VI).
+//!
+//! The WUP metric is the paper's first contribution: an *asymmetric* variant
+//! of cosine similarity. With `sub(Pn, Pc)` the restriction of `Pn` to the
+//! items on which `Pc` expressed an opinion:
+//!
+//! ```text
+//! Similarity(n, c) = sub(Pn,Pc) · Pc / (‖sub(Pn,Pc)‖ · ‖Pc‖)
+//! ```
+//!
+//! For binary profiles the numerator counts items liked by both, the first
+//! denominator term counts items liked by `n` *that `c` rated at all* — so a
+//! candidate that dislikes what `n` likes is penalized (spam control) — and
+//! the second term counts items liked by `c`, favoring candidates with
+//! restrictive tastes and boosting small profiles (cold start, §II-D).
+//!
+//! Cosine similarity, the baseline the paper compares against throughout
+//! (CF-Cos, WhatsUp-Cos), plus Jaccard — mentioned in §VI among the classic
+//! choices — are implemented on the same merge-join skeleton.
+//!
+//! All functions run a single linear scan over the two sorted entry vectors:
+//! no allocation, `O(|Pn| + |Pc|)`.
+
+use crate::profile::Profile;
+use serde::{Deserialize, Serialize};
+
+/// Metric selector: which similarity a node family uses for clustering,
+/// BEEP orientation and CF neighbor ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Metric {
+    /// The asymmetric WUP metric (WhatsUp, CF-WUP).
+    #[default]
+    Wup,
+    /// Classic cosine similarity (WhatsUp-Cos, CF-Cos).
+    Cosine,
+    /// Jaccard index over liked sets (extra baseline, §VI).
+    Jaccard,
+}
+
+impl Metric {
+    /// Scores candidate `pc` against own profile `pn`. Higher = closer.
+    #[inline]
+    pub fn score(&self, pn: &Profile, pc: &Profile) -> f64 {
+        match self {
+            Metric::Wup => wup_similarity(pn, pc),
+            Metric::Cosine => cosine_similarity(pn, pc),
+            Metric::Jaccard => jaccard_similarity(pn, pc),
+        }
+    }
+
+    /// Human-readable label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Wup => "wup",
+            Metric::Cosine => "cos",
+            Metric::Jaccard => "jac",
+        }
+    }
+}
+
+/// Accumulated inner products of one merge-join pass over two profiles.
+struct JoinSums {
+    /// Σ pn·pc over common items.
+    dot: f64,
+    /// Σ pn² over common items (‖sub(Pn,Pc)‖²).
+    sub_norm2: f64,
+    /// Number of common items where both scores are > 0.5 (common likes).
+    common_likes: usize,
+    /// Number of items liked in at least one of the two profiles.
+    union_likes: usize,
+}
+
+#[inline]
+fn merge_join(pn: &Profile, pc: &Profile) -> JoinSums {
+    let (a, b) = (pn.entries(), pc.entries());
+    let mut sums =
+        JoinSums { dot: 0.0, sub_norm2: 0.0, common_likes: 0, union_likes: 0 };
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (ea, eb) = (&a[i], &b[j]);
+        match ea.item.cmp(&eb.item) {
+            std::cmp::Ordering::Less => {
+                if ea.score > 0.5 {
+                    sums.union_likes += 1;
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if eb.score > 0.5 {
+                    sums.union_likes += 1;
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let (sa, sb) = (ea.score as f64, eb.score as f64);
+                sums.dot += sa * sb;
+                sums.sub_norm2 += sa * sa;
+                let (la, lb) = (ea.score > 0.5, eb.score > 0.5);
+                if la && lb {
+                    sums.common_likes += 1;
+                }
+                if la || lb {
+                    sums.union_likes += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for e in &a[i..] {
+        if e.score > 0.5 {
+            sums.union_likes += 1;
+        }
+    }
+    for e in &b[j..] {
+        if e.score > 0.5 {
+            sums.union_likes += 1;
+        }
+    }
+    sums
+}
+
+/// The asymmetric WUP metric (§II). Returns 0 when either norm vanishes
+/// (no overlap, or candidate with no likes).
+pub fn wup_similarity(pn: &Profile, pc: &Profile) -> f64 {
+    let sums = merge_join(pn, pc);
+    let denom = sums.sub_norm2.sqrt() * pc.norm();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        sums.dot / denom
+    }
+}
+
+/// Classic cosine similarity over the full score vectors.
+pub fn cosine_similarity(pn: &Profile, pc: &Profile) -> f64 {
+    let sums = merge_join(pn, pc);
+    let denom = pn.norm() * pc.norm();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        sums.dot / denom
+    }
+}
+
+/// Jaccard index over the *liked* item sets.
+pub fn jaccard_similarity(pn: &Profile, pc: &Profile) -> f64 {
+    let sums = merge_join(pn, pc);
+    if sums.union_likes == 0 {
+        0.0
+    } else {
+        sums.common_likes as f64 / sums.union_likes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileEntry;
+    use proptest::prelude::*;
+
+    fn profile(likes: &[u64], dislikes: &[u64]) -> Profile {
+        Profile::from_entries(
+            likes
+                .iter()
+                .map(|&i| ProfileEntry { item: i, timestamp: 0, score: 1.0 })
+                .chain(
+                    dislikes
+                        .iter()
+                        .map(|&i| ProfileEntry { item: i, timestamp: 0, score: 0.0 }),
+                ),
+        )
+    }
+
+    #[test]
+    fn identical_binary_profiles_score_one() {
+        let p = profile(&[1, 2, 3], &[]);
+        assert!((wup_similarity(&p, &p) - 1.0).abs() < 1e-9);
+        assert!((cosine_similarity(&p, &p) - 1.0).abs() < 1e-9);
+        assert!((jaccard_similarity(&p, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_profiles_score_zero() {
+        let a = profile(&[1, 2], &[]);
+        let b = profile(&[3, 4], &[]);
+        assert_eq!(wup_similarity(&a, &b), 0.0);
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+        assert_eq!(jaccard_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn wup_formula_matches_hand_computation() {
+        // n likes {1,2,3}; c rated {1,2,4}: liked 1, disliked 2, liked 4.
+        // common likes = |{1}| = 1
+        // sub(Pn,Pc) = entries of n on items rated by c = {1,2} → norm √2
+        // |likes(c)| = 2 → norm √2
+        // sim = 1 / (√2·√2) = 0.5
+        let n = profile(&[1, 2, 3], &[]);
+        let c = profile(&[1, 4], &[2]);
+        assert!((wup_similarity(&n, &c) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wup_is_asymmetric() {
+        let n = profile(&[1, 2, 3], &[]);
+        let c = profile(&[1], &[]);
+        // sim(n→c): common=1, sub={1}→1, likes(c)=1 → 1.0
+        assert!((wup_similarity(&n, &c) - 1.0).abs() < 1e-9);
+        // sim(c→n): common=1, sub={1}→1, likes(n)=3 → 1/√3
+        assert!((wup_similarity(&c, &n) - 1.0 / 3f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wup_penalizes_explicit_dislikes() {
+        let n = profile(&[1, 2], &[]);
+        let agreeing = profile(&[1, 2], &[]);
+        // Candidate that additionally *dislikes* item 2 that n likes.
+        let disliking = profile(&[1], &[2]);
+        assert!(
+            wup_similarity(&n, &agreeing) > wup_similarity(&n, &disliking),
+            "explicit dislike must reduce similarity"
+        );
+    }
+
+    #[test]
+    fn wup_favors_small_restrictive_profiles() {
+        // Both candidates like item 1 (which n likes); the second also likes
+        // many items n has never seen. The small profile must win (§II-D:
+        // joining nodes with small popular profiles are favored).
+        let n = profile(&[1], &[]);
+        let small = profile(&[1], &[]);
+        let big = profile(&[1, 10, 11, 12, 13], &[]);
+        assert!(wup_similarity(&n, &small) > wup_similarity(&n, &big));
+    }
+
+    #[test]
+    fn cosine_counts_only_common_likes_in_dot() {
+        // likes(a)={1,2}, likes(b)={2,3}: dot=1, norms √2·√2 ⇒ 0.5.
+        let a = profile(&[1, 2], &[]);
+        let b = profile(&[2, 3], &[]);
+        assert!((cosine_similarity(&a, &b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jaccard_counts_union() {
+        let a = profile(&[1, 2], &[]);
+        let b = profile(&[2, 3], &[]);
+        assert!((jaccard_similarity(&a, &b) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profiles_are_zero_everywhere() {
+        let e = Profile::new();
+        let p = profile(&[1], &[]);
+        for m in [Metric::Wup, Metric::Cosine, Metric::Jaccard] {
+            assert_eq!(m.score(&e, &p), 0.0);
+            assert_eq!(m.score(&p, &e), 0.0);
+            assert_eq!(m.score(&e, &e), 0.0);
+        }
+    }
+
+    #[test]
+    fn works_with_real_valued_item_profiles() {
+        // Item profile with averaged scores vs a binary user profile.
+        let mut item_profile = Profile::new();
+        item_profile.add_to_news_profile(ProfileEntry { item: 1, timestamp: 0, score: 1.0 });
+        item_profile.add_to_news_profile(ProfileEntry { item: 1, timestamp: 0, score: 0.0 });
+        item_profile.add_to_news_profile(ProfileEntry { item: 2, timestamp: 0, score: 1.0 });
+        let user = profile(&[1, 2], &[]);
+        let s = wup_similarity(&item_profile, &user);
+        // dot = 0.5·1 + 1·1 = 1.5 ; ‖sub‖ = √(0.25+1) ; ‖Pc‖ = √2
+        let expected = 1.5 / ((1.25f64).sqrt() * (2f64).sqrt());
+        assert!((s - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metric_labels() {
+        assert_eq!(Metric::Wup.label(), "wup");
+        assert_eq!(Metric::Cosine.label(), "cos");
+        assert_eq!(Metric::Jaccard.label(), "jac");
+    }
+
+    proptest! {
+        #[test]
+        fn scores_are_bounded(
+            la in prop::collection::btree_set(0u64..40, 0..20),
+            da in prop::collection::btree_set(0u64..40, 0..20),
+            lb in prop::collection::btree_set(0u64..40, 0..20),
+            db in prop::collection::btree_set(0u64..40, 0..20),
+        ) {
+            let a_likes: Vec<u64> = la.iter().copied().collect();
+            let a_dislikes: Vec<u64> = da.difference(&la).copied().collect();
+            let b_likes: Vec<u64> = lb.iter().copied().collect();
+            let b_dislikes: Vec<u64> = db.difference(&lb).copied().collect();
+            let a = profile(&a_likes, &a_dislikes);
+            let b = profile(&b_likes, &b_dislikes);
+            for m in [Metric::Wup, Metric::Cosine, Metric::Jaccard] {
+                let s = m.score(&a, &b);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{} out of range: {s}", m.label());
+            }
+        }
+
+        #[test]
+        fn cosine_is_symmetric(
+            la in prop::collection::btree_set(0u64..30, 0..15),
+            lb in prop::collection::btree_set(0u64..30, 0..15),
+        ) {
+            let a = profile(&la.iter().copied().collect::<Vec<_>>(), &[]);
+            let b = profile(&lb.iter().copied().collect::<Vec<_>>(), &[]);
+            let d = (cosine_similarity(&a, &b) - cosine_similarity(&b, &a)).abs();
+            prop_assert!(d < 1e-12);
+        }
+    }
+}

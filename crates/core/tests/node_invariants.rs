@@ -1,0 +1,215 @@
+//! Property tests over the WhatsUp node: arbitrary message storms must
+//! never panic, never leak self-references into views, and must maintain
+//! the SIR and windowing invariants of Algorithms 1–2.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use whatsup_core::prelude::*;
+
+/// Deterministic opinions: node n likes item i iff (n + i) % 3 != 0.
+struct Mix;
+impl Opinions for Mix {
+    fn likes(&self, node: NodeId, item: ItemId) -> bool {
+        (node as u64 + item) % 3 != 0
+    }
+}
+
+fn profile_of(items: &[(u64, bool)]) -> Profile {
+    Profile::from_entries(items.iter().map(|&(i, liked)| ProfileEntry {
+        item: i,
+        timestamp: 0,
+        score: if liked { 1.0 } else { 0.0 },
+    }))
+}
+
+/// An arbitrary inbound payload built from fuzz input.
+fn payload_from(kind: u8, descs: Vec<(u32, u64, bool)>, item: u64, dislikes: u8) -> Payload {
+    let descriptors: Vec<Descriptor<Profile>> = descs
+        .into_iter()
+        .map(|(n, i, liked)| Descriptor::fresh(n, profile_of(&[(i, liked)])))
+        .collect();
+    match kind % 5 {
+        0 => Payload::RpsRequest(descriptors),
+        1 => Payload::RpsResponse(descriptors),
+        2 => Payload::WupRequest(descriptors),
+        3 => Payload::WupResponse(descriptors),
+        _ => Payload::News(NewsMessage {
+            header: ItemHeader { id: item, created_at: 0 },
+            profile: profile_of(&[(item.wrapping_add(1), true)]),
+            dislikes,
+            hops: 0,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn message_storms_never_violate_invariants(
+        seed in 0u64..500,
+        msgs in prop::collection::vec(
+            (0u8..5, prop::collection::vec((0u32..20, 0u64..50, prop::bool::ANY), 0..6),
+             0u64..50, 0u8..10),
+            1..60
+        ),
+    ) {
+        let params = Params::whatsup(3);
+        let window = params.profile_window;
+        let mut node = WhatsUpNode::new(7, params);
+        node.seed_views(
+            (0..5).map(|i| (i, Profile::new())),
+            (0..3).map(|i| (i, Profile::new())),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut now: Timestamp = 0;
+        for (i, (kind, descs, item, dislikes)) in msgs.into_iter().enumerate() {
+            if i % 7 == 0 {
+                now += 1;
+                let _ = node.on_cycle(now, &mut rng);
+            }
+            let out = node.on_message(
+                (i % 19) as NodeId,
+                payload_from(kind, descs, item, dislikes),
+                now,
+                &Mix,
+                &mut rng,
+            );
+            // No message is ever addressed to the node itself.
+            prop_assert!(out.iter().all(|m| m.to != 7));
+            // The dislike path never extends a counter beyond the TTL; the
+            // like path forwards the incoming counter unchanged (it may be
+            // above the TTL if a remote peer crafted it — that's inherited,
+            // not produced).
+            for m in &out {
+                if let Payload::News(nm) = &m.payload {
+                    prop_assert!(nm.dislikes <= dislikes.max(4).saturating_add(0));
+                    prop_assert!(nm.dislikes <= dislikes.saturating_add(1));
+                }
+            }
+            // Views never contain the node itself.
+            prop_assert!(!node.wup_neighbor_ids().contains(&7));
+            prop_assert!(!node.rps_neighbor_ids().contains(&7));
+            // The profile respects the window (entries stamped within it).
+            let cutoff = now.saturating_sub(window);
+            // Ratings use the *item* timestamp (0 in this storm), so after
+            // `window` cycles the profile must have been purged of them.
+            if cutoff > 0 {
+                prop_assert!(node
+                    .profile()
+                    .entries()
+                    .iter()
+                    .all(|e| e.timestamp >= cutoff || e.timestamp == 0 && cutoff == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_news_never_forwards_twice(
+        seed in 0u64..500,
+        item in 0u64..100,
+        copies in 2usize..6,
+    ) {
+        let mut node = WhatsUpNode::new(1, Params::whatsup(2));
+        node.seed_views(
+            (2..8).map(|i| (i, Profile::new())),
+            (2..6).map(|i| (i, Profile::new())),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut forwarded = 0usize;
+        for c in 0..copies {
+            let out = node.on_message(
+                9,
+                Payload::News(NewsMessage {
+                    header: ItemHeader { id: item, created_at: 0 },
+                    profile: Profile::new(),
+                    dislikes: 0,
+                    hops: c as u16,
+                }),
+                0,
+                &Mix,
+                &mut rng,
+            );
+            if !out.is_empty() {
+                forwarded += 1;
+            }
+        }
+        prop_assert!(forwarded <= 1, "SIR: only the first copy may forward");
+        prop_assert_eq!(node.stats().news_received, 1);
+        prop_assert_eq!(node.stats().news_duplicates as usize, copies - 1);
+    }
+}
+
+#[test]
+fn window_purge_enables_reintegration() {
+    // §II-E: a user inactive for a full window has an empty profile and is
+    // treated as new — and can still receive and rate items afterwards.
+    let mut node = WhatsUpNode::new(0, Params::whatsup(2));
+    node.seed_views(
+        (1..6).map(|i| (i, Profile::new())),
+        (1..4).map(|i| (i, Profile::new())),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    // Rate something at t=0.
+    let _ = node.on_message(
+        1,
+        Payload::News(NewsMessage {
+            header: ItemHeader { id: 10, created_at: 0 },
+            profile: Profile::new(),
+            dislikes: 0,
+            hops: 0,
+        }),
+        0,
+        &Mix,
+        &mut rng,
+    );
+    assert!(!node.profile().is_empty());
+    // A long quiet period: the window purges everything.
+    for t in 1..20 {
+        let _ = node.on_cycle(t, &mut rng);
+    }
+    assert!(node.profile().is_empty(), "inactive user must look like a new node");
+    // New item arrives: the node rates and (here) likes it — reintegrated.
+    let out = node.on_message(
+        2,
+        Payload::News(NewsMessage {
+            header: ItemHeader { id: 20, created_at: 20 },
+            profile: Profile::new(),
+            dislikes: 0,
+            hops: 0,
+        }),
+        20,
+        &Mix,
+        &mut rng,
+    );
+    assert!(node.profile().contains(20));
+    assert!(!out.is_empty(), "likes keep propagating after reintegration");
+}
+
+#[test]
+fn item_profile_windowing_applies_in_flight() {
+    // Algorithm 1 lines 8–10: stale entries are purged from the *item*
+    // profile before forwarding.
+    let mut node = WhatsUpNode::new(0, Params::whatsup(1));
+    node.seed_views([], [(1, Profile::new())]);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut stale_profile = Profile::new();
+    stale_profile.upsert(ProfileEntry { item: 99, timestamp: 0, score: 1.0 });
+    stale_profile.upsert(ProfileEntry { item: 98, timestamp: 40, score: 1.0 });
+    let out = node.on_message(
+        5,
+        Payload::News(NewsMessage {
+            header: ItemHeader { id: 4, created_at: 40 }, // node 0 likes 4
+            profile: stale_profile,
+            dislikes: 0,
+            hops: 0,
+        }),
+        40,
+        &Mix,
+        &mut rng,
+    );
+    let Payload::News(nm) = &out[0].payload else { panic!("expected news") };
+    assert!(!nm.profile.contains(99), "stale entry must be purged in flight");
+    assert!(nm.profile.contains(98), "fresh entry survives");
+}

@@ -1,0 +1,274 @@
+//! Similarity-based clustering overlay (paper §II; Vicinity-style).
+//!
+//! The WUP layer keeps, for each node, the `WUPvs` peers whose profiles are
+//! most similar to its own. Each cycle the node picks the *oldest* WUP
+//! neighbor and sends its *entire* view (plus its own fresh descriptor); the
+//! receiver keeps the most similar nodes out of the union of its own view,
+//! the received view, and — crucially — its RPS view, which continuously
+//! injects fresh random candidates so the overlay can follow interest drift.
+//!
+//! The similarity function is injected via the [`Similarity`] trait: WhatsUp
+//! plugs the asymmetric WUP metric here, the `*-Cos` variants plug plain
+//! cosine, giving the paper's four-way comparison (Fig. 3) for free.
+
+use crate::view::{dedup_freshest, Descriptor, NodeId, View};
+use serde::{Deserialize, Serialize};
+
+/// Ranks a candidate payload against the node's own payload. Higher is more
+/// similar. Implementations must be pure (no interior mutability observable
+/// across calls) so that selection is deterministic.
+pub trait Similarity<P> {
+    fn score(&self, own: &P, candidate: &P) -> f64;
+}
+
+impl<P, F: Fn(&P, &P) -> f64> Similarity<P> for F {
+    fn score(&self, own: &P, candidate: &P) -> f64 {
+        self(own, candidate)
+    }
+}
+
+/// SplitMix64-style avalanche of `(a, b)` for decorrelated tie-breaking.
+#[inline]
+pub fn mix(a: NodeId, b: NodeId) -> u64 {
+    let mut x = ((a as u64) << 32) ^ b as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Clustering-layer parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusteringConfig {
+    /// View size (`WUPvs`; the paper sets it to `2 · fLIKE`).
+    pub view_size: usize,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        Self { view_size: 20 }
+    }
+}
+
+/// The per-node clustering protocol state machine.
+#[derive(Debug, Clone)]
+pub struct Clustering<P> {
+    id: NodeId,
+    config: ClusteringConfig,
+    view: View<P>,
+}
+
+impl<P: Clone> Clustering<P> {
+    pub fn new(id: NodeId, config: ClusteringConfig) -> Self {
+        let view = View::new(config.view_size);
+        Self { id, config, view }
+    }
+
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    pub fn view(&self) -> &View<P> {
+        &self.view
+    }
+
+    pub fn config(&self) -> &ClusteringConfig {
+        &self.config
+    }
+
+    /// Seeds the view at bootstrap (view inheritance, §II-D).
+    pub fn seed(&mut self, descriptors: impl IntoIterator<Item = Descriptor<P>>) {
+        for d in descriptors {
+            if d.node != self.id {
+                self.view.insert(d);
+            }
+        }
+    }
+
+    /// Starts one round: ages entries, picks the oldest WUP neighbor and
+    /// ships the whole view plus a fresh self-descriptor.
+    pub fn initiate(&mut self, own_payload: P) -> Option<(NodeId, Vec<Descriptor<P>>)> {
+        self.view.age_all();
+        let partner = self.view.oldest()?.node;
+        Some((partner, self.exchange_payload(own_payload)))
+    }
+
+    /// Handles an incoming exchange request: merges candidates (received ∪
+    /// own view ∪ `rps_candidates`) keeping the most similar, then answers
+    /// with this node's entire view.
+    pub fn on_request<S: Similarity<P>>(
+        &mut self,
+        received: Vec<Descriptor<P>>,
+        rps_candidates: &[Descriptor<P>],
+        own_payload: P,
+        sim: &S,
+    ) -> Vec<Descriptor<P>> {
+        let response = self.exchange_payload(own_payload.clone());
+        self.merge(received, rps_candidates, &own_payload, sim);
+        response
+    }
+
+    /// Handles the response to an exchange this node initiated.
+    pub fn on_response<S: Similarity<P>>(
+        &mut self,
+        received: Vec<Descriptor<P>>,
+        rps_candidates: &[Descriptor<P>],
+        own_payload: &P,
+        sim: &S,
+    ) {
+        self.merge(received, rps_candidates, own_payload, sim);
+    }
+
+    /// Re-ranks the current view against an updated own profile, dropping
+    /// nothing but reordering nothing either — views are sets; ranking only
+    /// matters during merges. Exposed for completeness/testing.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.view.contains(node)
+    }
+
+    /// Drops a peer believed failed.
+    pub fn evict(&mut self, node: NodeId) {
+        self.view.remove(node);
+    }
+
+    fn exchange_payload(&self, own_payload: P) -> Vec<Descriptor<P>> {
+        let mut payload: Vec<Descriptor<P>> = self.view.entries().to_vec();
+        payload.push(Descriptor::fresh(self.id, own_payload));
+        payload
+    }
+
+    /// "The receiving node selects the nodes from the union of its own and
+    /// the received views whose profiles are closest to its own" (§II).
+    fn merge<S: Similarity<P>>(
+        &mut self,
+        received: Vec<Descriptor<P>>,
+        rps_candidates: &[Descriptor<P>],
+        own_payload: &P,
+        sim: &S,
+    ) {
+        let union = self
+            .view
+            .entries()
+            .iter()
+            .cloned()
+            .chain(received.into_iter())
+            .chain(rps_candidates.iter().cloned())
+            .collect::<Vec<_>>();
+        let mut deduped = dedup_freshest(union, self.id);
+        // Rank by similarity descending; ties by freshness, then by a
+        // per-node id mix. The mix matters: before profiles mature, *all*
+        // scores tie, and any globally consistent tie order (e.g. lowest id
+        // first) would collapse every node's view onto the same few peers,
+        // wrecking the overlay. Mixing with the local id keeps tie-breaking
+        // deterministic per node but decorrelated across nodes.
+        let mut scored: Vec<(f64, Descriptor<P>)> = deduped
+            .drain(..)
+            .map(|d| (sim.score(own_payload, &d.payload), d))
+            .collect();
+        let self_id = self.id;
+        scored.sort_by(|(sa, da), (sb, db)| {
+            sb.partial_cmp(sa)
+                .expect("similarity scores must not be NaN")
+                .then(da.age.cmp(&db.age))
+                .then(mix(self_id, da.node).cmp(&mix(self_id, db.node)))
+        });
+        scored.truncate(self.config.view_size);
+        self.view.replace_with(scored.into_iter().map(|(_, d)| d).collect());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Similarity for test payloads: negative distance between bytes.
+    fn byte_sim(own: &u8, cand: &u8) -> f64 {
+        -((*own as f64) - (*cand as f64)).abs()
+    }
+
+    fn d(node: NodeId, payload: u8) -> Descriptor<u8> {
+        Descriptor::fresh(node, payload)
+    }
+
+    #[test]
+    fn merge_keeps_most_similar() {
+        let mut c: Clustering<u8> =
+            Clustering::new(0, ClusteringConfig { view_size: 2 });
+        c.seed([d(1, 100), d(2, 50)]);
+        c.on_response(vec![d(3, 11), d(4, 90)], &[], &10, &byte_sim);
+        // Own payload 10: closest are 11 (node 3) and 50 (node 2).
+        assert!(c.contains(3));
+        assert!(c.contains(2));
+        assert!(!c.contains(1));
+        assert_eq!(c.view().len(), 2);
+    }
+
+    #[test]
+    fn rps_candidates_join_the_union() {
+        let mut c: Clustering<u8> =
+            Clustering::new(0, ClusteringConfig { view_size: 1 });
+        c.seed([d(1, 200)]);
+        c.on_response(vec![], &[d(9, 10)], &10, &byte_sim);
+        assert!(c.contains(9));
+    }
+
+    #[test]
+    fn initiate_ships_entire_view_plus_self() {
+        let mut c: Clustering<u8> =
+            Clustering::new(5, ClusteringConfig { view_size: 3 });
+        c.seed([d(1, 1), d(2, 2)]);
+        let (partner, payload) = c.initiate(42).unwrap();
+        assert!(partner == 1 || partner == 2);
+        assert_eq!(payload.len(), 3);
+        assert!(payload.iter().any(|x| x.node == 5 && x.payload == 42));
+    }
+
+    #[test]
+    fn on_request_answers_with_view() {
+        let mut c: Clustering<u8> =
+            Clustering::new(5, ClusteringConfig { view_size: 3 });
+        c.seed([d(1, 1)]);
+        let resp = c.on_request(vec![d(2, 2)], &[], 0, &byte_sim);
+        assert!(resp.iter().any(|x| x.node == 5));
+        assert!(resp.iter().any(|x| x.node == 1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn never_contains_self() {
+        let mut c: Clustering<u8> =
+            Clustering::new(7, ClusteringConfig { view_size: 4 });
+        c.on_response(vec![d(7, 0), d(1, 0)], &[d(7, 0)], &0, &byte_sim);
+        assert!(!c.contains(7));
+    }
+
+    #[test]
+    fn oldest_first_partner_selection() {
+        let mut c: Clustering<u8> =
+            Clustering::new(0, ClusteringConfig { view_size: 2 });
+        c.seed([d(1, 1)]);
+        c.initiate(0); // ages node 1 to 1
+        c.on_response(vec![d(2, 2)], &[], &0, &byte_sim); // node 2 age 0
+        let (partner, _) = c.initiate(0).unwrap();
+        assert_eq!(partner, 1, "older entry must be chosen");
+    }
+
+    #[test]
+    fn deterministic_merge_under_ties() {
+        let run = |id: NodeId| {
+            let mut c: Clustering<u8> =
+                Clustering::new(id, ClusteringConfig { view_size: 2 });
+            c.on_response(vec![d(3, 5), d(1, 5), d(2, 5)], &[], &5, &byte_sim);
+            let mut ids: Vec<NodeId> = c.view().node_ids().collect();
+            ids.sort_unstable();
+            ids
+        };
+        // Deterministic per node…
+        assert_eq!(run(0), run(0));
+        assert_eq!(run(0).len(), 2);
+        // …but decorrelated across nodes: with all scores tied, different
+        // nodes must not all keep the same candidates (no global collapse).
+        let distinct: std::collections::HashSet<Vec<NodeId>> =
+            (0..16).map(|id| run(id + 100)).collect();
+        assert!(distinct.len() > 1, "tie-breaking collapsed onto one order");
+    }
+}

@@ -1,0 +1,28 @@
+//! Gossip substrate for the WhatsUp reproduction (paper §II).
+//!
+//! WUP is layered on two classic gossip protocols, both implemented here in
+//! *sans-io* style — the protocol structs never touch sockets or clocks; they
+//! consume events (`initiate`, `on_request`, `on_response`) and return the
+//! messages to send. The same code is therefore driven by the deterministic
+//! cycle simulator (`whatsup-sim`) and by the real network runtimes
+//! (`whatsup-net`).
+//!
+//! * [`rps`] — random peer sampling (Jelasity et al., ACM TOCS 2007): keeps a
+//!   continuously changing random view that makes the overlay connected and
+//!   supplies candidates to the layers above. Exchanges *half* of the view.
+//! * [`cluster`] — similarity-based clustering (Vicinity; Voulgaris & van
+//!   Steen, Euro-Par 2005): keeps the most similar peers seen so far.
+//!   Exchanges the *entire* view.
+//! * [`view`] — the partial-view data structure shared by both.
+//!
+//! The payload carried in view entries (a user profile for WhatsUp) is a type
+//! parameter: the substrate is reusable for any descriptor type, which is how
+//! the paper's CF baselines reuse it with a different similarity.
+
+pub mod cluster;
+pub mod rps;
+pub mod view;
+
+pub use cluster::{Clustering, ClusteringConfig, Similarity};
+pub use rps::{Rps, RpsConfig};
+pub use view::{Descriptor, NodeId, View};

@@ -1,0 +1,247 @@
+//! Random peer sampling (paper §II, following Jelasity et al., ACM TOCS'07).
+//!
+//! Periodically each node selects the *oldest* entry in its RPS view, and
+//! exchanges its own fresh descriptor plus *half of its view* with it
+//! (push-pull). Both sides then renew their view with a uniform random
+//! sample of the union of the old view and the received entries. The union
+//! of RPS views approximates a continuously changing random graph, which is
+//! what gives WhatsUp its connectivity and its serendipity reservoir (BEEP's
+//! dislike path picks targets here).
+
+use crate::view::{dedup_freshest, Descriptor, NodeId, View};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// RPS tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RpsConfig {
+    /// View size (`RPSvs` in Table II; paper default 30).
+    pub view_size: usize,
+    /// Number of descriptors shipped per exchange; the paper ships half the
+    /// view, which is the classic setting.
+    pub exchange_len: usize,
+}
+
+impl Default for RpsConfig {
+    fn default() -> Self {
+        Self { view_size: 30, exchange_len: 15 }
+    }
+}
+
+impl RpsConfig {
+    /// Config with `view_size` and the canonical half-view exchange length.
+    pub fn with_view_size(view_size: usize) -> Self {
+        Self { view_size, exchange_len: (view_size / 2).max(1) }
+    }
+}
+
+/// The per-node RPS protocol state machine.
+#[derive(Debug, Clone)]
+pub struct Rps<P> {
+    id: NodeId,
+    config: RpsConfig,
+    view: View<P>,
+}
+
+impl<P: Clone> Rps<P> {
+    pub fn new(id: NodeId, config: RpsConfig) -> Self {
+        let view = View::new(config.view_size);
+        Self { id, config, view }
+    }
+
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    pub fn view(&self) -> &View<P> {
+        &self.view
+    }
+
+    pub fn config(&self) -> &RpsConfig {
+        &self.config
+    }
+
+    /// Seeds the view at bootstrap (contact-node inheritance, §II-D).
+    pub fn seed(&mut self, descriptors: impl IntoIterator<Item = Descriptor<P>>) {
+        for d in descriptors {
+            if d.node != self.id {
+                self.view.insert(d);
+            }
+        }
+    }
+
+    /// Starts one gossip round: ages the view, picks the oldest partner and
+    /// builds the request payload (own fresh descriptor + half view).
+    /// Returns `None` while the view is empty (isolated node).
+    pub fn initiate(
+        &mut self,
+        own_payload: P,
+        rng: &mut impl Rng,
+    ) -> Option<(NodeId, Vec<Descriptor<P>>)> {
+        self.view.age_all();
+        let partner = self.view.oldest()?.node;
+        let payload = self.exchange_payload(own_payload, rng);
+        Some((partner, payload))
+    }
+
+    /// Handles an incoming request; merges and returns the response payload.
+    pub fn on_request(
+        &mut self,
+        received: Vec<Descriptor<P>>,
+        own_payload: P,
+        rng: &mut impl Rng,
+    ) -> Vec<Descriptor<P>> {
+        let response = self.exchange_payload(own_payload, rng);
+        self.merge(received, rng);
+        response
+    }
+
+    /// Handles the response of an exchange this node initiated.
+    pub fn on_response(&mut self, received: Vec<Descriptor<P>>, rng: &mut impl Rng) {
+        self.merge(received, rng);
+    }
+
+    /// Drops a peer believed failed; RPS heals by resampling on later rounds.
+    pub fn evict(&mut self, node: NodeId) {
+        self.view.remove(node);
+    }
+
+    fn exchange_payload(&self, own_payload: P, rng: &mut impl Rng) -> Vec<Descriptor<P>> {
+        let mut payload = self.view.sample(self.config.exchange_len.saturating_sub(1), rng);
+        payload.push(Descriptor::fresh(self.id, own_payload));
+        payload
+    }
+
+    /// "Keeping a random sample of the union of its own view and the received
+    /// one" (§II) — with per-node dedup keeping the freshest descriptor.
+    fn merge(&mut self, received: Vec<Descriptor<P>>, rng: &mut impl Rng) {
+        let union = self
+            .view
+            .entries()
+            .iter()
+            .cloned()
+            .chain(received.into_iter())
+            .collect::<Vec<_>>();
+        let mut deduped = dedup_freshest(union, self.id);
+        deduped.shuffle(rng);
+        deduped.truncate(self.config.view_size);
+        self.view.replace_with(deduped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    fn descriptors(ids: &[NodeId]) -> Vec<Descriptor<u8>> {
+        ids.iter().map(|&i| Descriptor::fresh(i, 0)).collect()
+    }
+
+    #[test]
+    fn empty_view_cannot_initiate() {
+        let mut rps: Rps<u8> = Rps::new(0, RpsConfig::default());
+        assert!(rps.initiate(0, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn seed_excludes_self() {
+        let mut rps: Rps<u8> = Rps::new(1, RpsConfig::with_view_size(4));
+        rps.seed(descriptors(&[1, 2, 3]));
+        assert!(!rps.view().contains(1));
+        assert_eq!(rps.view().len(), 2);
+    }
+
+    #[test]
+    fn initiate_targets_oldest_and_ships_self() {
+        let mut rps: Rps<u8> = Rps::new(0, RpsConfig::with_view_size(4));
+        rps.seed(descriptors(&[1, 2]));
+        // Age node 1 artificially by two extra rounds of no contact with 2:
+        // insert 2 freshly again after aging once.
+        rps.view.age_all();
+        rps.view.insert(Descriptor::fresh(2, 0));
+        let (partner, payload) = rps.initiate(7, &mut rng()).unwrap();
+        assert_eq!(partner, 1);
+        assert!(payload.iter().any(|d| d.node == 0 && d.age == 0 && d.payload == 7));
+        assert!(payload.len() <= rps.config().exchange_len);
+    }
+
+    #[test]
+    fn merge_keeps_view_bounded_and_random() {
+        let mut rps: Rps<u8> = Rps::new(0, RpsConfig { view_size: 4, exchange_len: 2 });
+        rps.seed(descriptors(&[1, 2, 3, 4]));
+        rps.on_response(descriptors(&[5, 6, 7, 8]), &mut rng());
+        assert_eq!(rps.view().len(), 4);
+        for id in rps.view().node_ids() {
+            assert!((1..=8).contains(&id));
+        }
+    }
+
+    #[test]
+    fn merge_never_contains_self() {
+        let mut rps: Rps<u8> = Rps::new(9, RpsConfig::with_view_size(8));
+        rps.seed(descriptors(&[1, 2]));
+        rps.on_response(descriptors(&[9, 9, 3]), &mut rng());
+        assert!(!rps.view().contains(9));
+    }
+
+    #[test]
+    fn on_request_returns_payload_with_self() {
+        let mut rps: Rps<u8> = Rps::new(4, RpsConfig::with_view_size(6));
+        rps.seed(descriptors(&[1, 2, 3]));
+        let resp = rps.on_request(descriptors(&[5]), 42, &mut rng());
+        assert!(resp.iter().any(|d| d.node == 4 && d.payload == 42));
+        assert!(rps.view().contains(5));
+    }
+
+    #[test]
+    fn push_pull_spreads_membership() {
+        // Star bootstrap: everyone only knows node 0. After a few rounds of
+        // pairwise exchange, views should contain diverse peers.
+        let n = 16u32;
+        let cfg = RpsConfig { view_size: 6, exchange_len: 3 };
+        let mut nodes: Vec<Rps<u8>> = (0..n).map(|i| Rps::new(i, cfg)).collect();
+        for node in nodes.iter_mut().skip(1) {
+            node.seed(descriptors(&[0]));
+        }
+        nodes[0].seed(descriptors(&[1, 2, 3]));
+        let mut r = rng();
+        for _round in 0..20 {
+            for i in 0..n as usize {
+                let initiated = nodes[i].initiate(0, &mut r);
+                if let Some((partner, payload)) = initiated {
+                    let (a, b) = (i, partner as usize);
+                    // Split borrows: take partner out temporarily.
+                    let response = {
+                        let partner_node = &mut nodes[b];
+                        partner_node.on_request(payload, 0, &mut r)
+                    };
+                    nodes[a].on_response(response, &mut r);
+                }
+            }
+        }
+        let avg_view: f64 =
+            nodes.iter().map(|x| x.view().len() as f64).sum::<f64>() / n as f64;
+        assert!(avg_view > 4.0, "views stayed starved: {avg_view}");
+        // At least half the nodes should know someone other than node 0.
+        let diverse = nodes
+            .iter()
+            .filter(|x| x.view().node_ids().any(|id| id != 0))
+            .count();
+        assert!(diverse >= n as usize / 2);
+    }
+
+    #[test]
+    fn evict_removes_peer() {
+        let mut rps: Rps<u8> = Rps::new(0, RpsConfig::with_view_size(4));
+        rps.seed(descriptors(&[1, 2]));
+        rps.evict(1);
+        assert!(!rps.view().contains(1));
+    }
+}

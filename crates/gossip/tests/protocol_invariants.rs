@@ -1,0 +1,149 @@
+//! Property tests over whole gossip executions: arbitrary interleavings of
+//! exchanges must preserve the structural invariants of both layers.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use whatsup_gossip::{Clustering, ClusteringConfig, Descriptor, NodeId, Rps, RpsConfig};
+
+/// Payload: a small integer "profile"; similarity = negative distance.
+fn sim(a: &u16, b: &u16) -> f64 {
+    -((*a as f64) - (*b as f64)).abs()
+}
+
+fn check_view_invariants<'a>(
+    ids: impl Iterator<Item = NodeId> + 'a,
+    self_id: NodeId,
+    capacity: usize,
+) {
+    let collected: Vec<NodeId> = ids.collect();
+    assert!(collected.len() <= capacity, "view exceeds capacity");
+    assert!(!collected.contains(&self_id), "view contains self");
+    let mut unique = collected.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), collected.len(), "duplicate nodes in view");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rps_invariants_hold_under_random_schedules(
+        seed in 0u64..1000,
+        steps in prop::collection::vec((0usize..8, 0usize..8), 1..120),
+    ) {
+        let n = 8usize;
+        let cfg = RpsConfig { view_size: 5, exchange_len: 3 };
+        let mut nodes: Vec<Rps<u16>> = (0..n as NodeId).map(|i| Rps::new(i, cfg)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Ring bootstrap.
+        for i in 0..n {
+            let next = ((i + 1) % n) as NodeId;
+            nodes[i].seed([Descriptor::fresh(next, next as u16)]);
+        }
+        for (a, b) in steps {
+            let (a, b) = (a % n, b % n);
+            if a == b {
+                continue;
+            }
+            // Force an exchange between a and b regardless of partner
+            // selection: a sends its exchange payload to b.
+            let payload = {
+                let node = &mut nodes[a];
+                match node.initiate(a as u16, &mut rng) {
+                    Some((_, p)) => p,
+                    None => continue,
+                }
+            };
+            let response = nodes[b].on_request(payload, b as u16, &mut rng);
+            nodes[a].on_response(response, &mut rng);
+            for (i, node) in nodes.iter().enumerate() {
+                check_view_invariants(node.view().node_ids(), i as NodeId, cfg.view_size);
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_invariants_and_similarity_improvement(
+        seed in 0u64..1000,
+        steps in prop::collection::vec((0usize..8, 0usize..8), 1..120),
+    ) {
+        let n = 8usize;
+        let cfg = ClusteringConfig { view_size: 3 };
+        let mut nodes: Vec<Clustering<u16>> =
+            (0..n as NodeId).map(|i| Clustering::new(i, cfg)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc1);
+        let _ = &mut rng;
+        // Profiles: node i has value i*10; ring bootstrap.
+        for i in 0..n {
+            let next = ((i + 1) % n) as NodeId;
+            nodes[i].seed([Descriptor::fresh(next, next as u16 * 10)]);
+        }
+        for (a, b) in steps {
+            let (a, b) = (a % n, b % n);
+            if a == b {
+                continue;
+            }
+            let payload = {
+                match nodes[a].initiate(a as u16 * 10) {
+                    Some((_, p)) => p,
+                    None => continue,
+                }
+            };
+            let response = nodes[b].on_request(payload, &[], b as u16 * 10, &sim);
+            let own = a as u16 * 10;
+            nodes[a].on_response(response, &[], &own, &sim);
+            for (i, node) in nodes.iter().enumerate() {
+                check_view_invariants(node.view().node_ids(), i as NodeId, cfg.view_size);
+            }
+        }
+    }
+}
+
+#[test]
+fn long_mixed_run_converges_views_to_neighbors() {
+    // Deterministic long run: after many exchanges with RPS feeding the
+    // clustering layer, each node's cluster view should contain close ids
+    // (profiles are the ids themselves, similarity is -distance).
+    let n = 24usize;
+    let rps_cfg = RpsConfig { view_size: 8, exchange_len: 4 };
+    let cl_cfg = ClusteringConfig { view_size: 4 };
+    let mut rps: Vec<Rps<u16>> = (0..n as NodeId).map(|i| Rps::new(i, rps_cfg)).collect();
+    let mut cl: Vec<Clustering<u16>> =
+        (0..n as NodeId).map(|i| Clustering::new(i, cl_cfg)).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    for i in 0..n {
+        let next = ((i + 1) % n) as NodeId;
+        rps[i].seed([Descriptor::fresh(next, next as u16)]);
+        cl[i].seed([Descriptor::fresh(next, next as u16)]);
+    }
+    for _round in 0..60 {
+        for i in 0..n {
+            if let Some((partner, payload)) = rps[i].initiate(i as u16, &mut rng) {
+                let response = rps[partner as usize].on_request(payload, partner as u16, &mut rng);
+                rps[i].on_response(response, &mut rng);
+            }
+            if let Some((partner, payload)) = cl[i].initiate(i as u16) {
+                let p = partner as usize;
+                let rps_cands: Vec<Descriptor<u16>> = rps[p].view().entries().to_vec();
+                let response = cl[p].on_request(payload, &rps_cands, p as u16, &sim);
+                let own = i as u16;
+                let own_cands: Vec<Descriptor<u16>> = rps[i].view().entries().to_vec();
+                cl[i].on_response(response, &own_cands, &own, &sim);
+            }
+        }
+    }
+    // Every node's cluster view should average a distance well under random
+    // (random expectation ≈ n/3 = 8).
+    let mut total_dist = 0.0;
+    let mut count = 0usize;
+    for (i, node) in cl.iter().enumerate() {
+        for id in node.view().node_ids() {
+            total_dist += ((id as f64) - (i as f64)).abs();
+            count += 1;
+        }
+    }
+    let avg = total_dist / count as f64;
+    assert!(avg < 5.0, "clustering failed to converge: avg id distance {avg}");
+}

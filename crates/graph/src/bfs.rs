@@ -1,0 +1,59 @@
+//! Breadth-first distances (hop counts from a dissemination source, Fig. 6).
+
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// Hop distance from `source` to every node; `u32::MAX` when unreachable.
+pub fn distances(g: &Graph, source: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.len()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Number of nodes reachable from `source` (including itself).
+pub fn reachable_count(g: &Graph, source: u32) -> usize {
+    distances(g, source).iter().filter(|&&d| d != u32::MAX).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_distances() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(distances(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let d = distances(&g, 0);
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(reachable_count(&g, 0), 2);
+    }
+
+    #[test]
+    fn respects_direction() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        assert_eq!(reachable_count(&g, 1), 1);
+    }
+
+    #[test]
+    fn shortest_path_chosen() {
+        // Two routes 0->3: direct and via 1,2.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_eq!(distances(&g, 0)[3], 1);
+    }
+}

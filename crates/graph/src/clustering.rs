@@ -1,0 +1,90 @@
+//! Clustering coefficient of the (undirected view of the) overlay.
+//!
+//! §V-A: "an average clustering coefficient of 0.15 for WUP metric compared
+//! to 0.40 for cosine similarity in the survey dataset" — high clustering
+//! around hubs is what strangles dissemination under cosine similarity.
+
+use crate::Graph;
+
+/// Local clustering coefficient of node `u` in the undirected view `g`
+/// (adjacency lists must be sorted and deduplicated — see
+/// [`Graph::symmetric_closure`]).
+///
+/// Defined as `2·T / (k·(k-1))` where `T` is the number of edges among `u`'s
+/// `k` neighbors; 0 when `k < 2`.
+pub fn local_coefficient(g: &Graph, u: u32) -> f64 {
+    let neigh = g.neighbors(u);
+    let k = neigh.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in neigh.iter().enumerate() {
+        let a_neigh = g.neighbors(a);
+        for &b in &neigh[i + 1..] {
+            // Sorted adjacency ⇒ binary search.
+            if a_neigh.binary_search(&b).is_ok() {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Average clustering coefficient over all nodes (Watts–Strogatz style),
+/// computed on the symmetric closure of `g`.
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.is_empty() {
+        return 0.0;
+    }
+    let und = g.symmetric_closure();
+    let sum: f64 = (0..und.len() as u32).map(|u| local_coefficient(&und, u)).sum();
+    sum / und.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(average_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        // 0-1-2-3-0 plus diagonal 0-2: nodes 1 and 3 have both neighbors
+        // linked (c=1), nodes 0 and 2 have k=3 with 2 of 3 pairs linked? No:
+        // neighbors of 0 = {1,2,3}; links among them: 1-2 and 2-3 ⇒ c = 2/3.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let avg = average_clustering(&g);
+        let expected = (1.0 + 1.0 + 2.0 / 3.0 + 2.0 / 3.0) / 4.0;
+        assert!((avg - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_one_counts_as_zero() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        assert_eq!(average_clustering(&Graph::new(0)), 0.0);
+    }
+
+    #[test]
+    fn direction_ignored() {
+        // Directed triangle has the same undirected clustering as a cycle.
+        let g1 = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let g2 = Graph::from_edges(3, [(1, 0), (2, 1), (0, 2)]);
+        assert_eq!(average_clustering(&g1), average_clustering(&g2));
+    }
+}

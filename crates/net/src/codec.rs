@@ -1,0 +1,337 @@
+//! Binary wire format.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! frame      := tag:u8 from:u32 body
+//! gossip     := count:u16 descriptor*
+//! descriptor := node:u32 age:u32 profile
+//! profile    := len:u16 entry*
+//! entry      := item:u64 timestamp:u32 score:f32
+//! news       := source:u32 created:u32 title:str desc:str link:str
+//!               dislikes:u8 hops:u16 profile
+//! str        := len:u16 utf8-bytes
+//! ```
+//!
+//! The news item's 8-byte id is deliberately absent from the wire: receivers
+//! recompute it from the content (paper §II-A), and [`decode`] does exactly
+//! that when rebuilding the in-memory [`NewsMessage`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use whatsup_core::{
+    Descriptor, ItemHeader, NewsItem, NewsMessage, NodeId, Payload, Profile, ProfileEntry,
+};
+
+/// Maximum frame size we allow on the wire (UDP datagram safety margin).
+pub const MAX_FRAME: usize = 60 * 1024;
+
+const TAG_RPS_REQ: u8 = 1;
+const TAG_RPS_RESP: u8 = 2;
+const TAG_WUP_REQ: u8 = 3;
+const TAG_WUP_RESP: u8 = 4;
+const TAG_NEWS: u8 = 5;
+
+/// A decoded frame: the sender and what it sent. News carries the full item
+/// content; the protocol-level [`Payload`] is derived via
+/// [`WireMessage::into_payload`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    Gossip { kind: u8, descriptors: Vec<Descriptor<Profile>> },
+    News { item: NewsItem, profile: Profile, dislikes: u8, hops: u16 },
+}
+
+impl WireMessage {
+    /// Converts to the sans-io node's payload. News ids are recomputed from
+    /// content here — the wire never carried them.
+    pub fn into_payload(self) -> Payload {
+        match self {
+            WireMessage::Gossip { kind, descriptors } => match kind {
+                TAG_RPS_REQ => Payload::RpsRequest(descriptors),
+                TAG_RPS_RESP => Payload::RpsResponse(descriptors),
+                TAG_WUP_REQ => Payload::WupRequest(descriptors),
+                TAG_WUP_RESP => Payload::WupResponse(descriptors),
+                other => unreachable!("invalid gossip kind {other}"),
+            },
+            WireMessage::News { item, profile, dislikes, hops } => {
+                let header = ItemHeader { id: item.id(), created_at: item.created_at };
+                Payload::News(NewsMessage { header, profile, dislikes, hops })
+            }
+        }
+    }
+}
+
+/// Encoding error: the only failure mode is an oversized frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameTooLarge(pub usize);
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame of {} bytes exceeds MAX_FRAME ({MAX_FRAME})", self.0)
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    Truncated,
+    BadTag(u8),
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a payload from `from`. News payloads need the full item content
+/// (the header alone is not enough to reconstruct the wire form), so the
+/// caller passes a resolver from item id to content.
+pub fn encode(
+    from: NodeId,
+    payload: &Payload,
+    resolve: impl Fn(u64) -> Option<NewsItem>,
+) -> Result<Bytes, FrameTooLarge> {
+    let mut buf = BytesMut::with_capacity(256);
+    match payload {
+        Payload::RpsRequest(d) => encode_gossip(&mut buf, TAG_RPS_REQ, from, d),
+        Payload::RpsResponse(d) => encode_gossip(&mut buf, TAG_RPS_RESP, from, d),
+        Payload::WupRequest(d) => encode_gossip(&mut buf, TAG_WUP_REQ, from, d),
+        Payload::WupResponse(d) => encode_gossip(&mut buf, TAG_WUP_RESP, from, d),
+        Payload::News(msg) => {
+            let item = resolve(msg.header.id)
+                .expect("news content must be resolvable for encoding");
+            buf.put_u8(TAG_NEWS);
+            buf.put_u32_le(from);
+            buf.put_u32_le(item.source);
+            buf.put_u32_le(item.created_at);
+            put_str(&mut buf, &item.title);
+            put_str(&mut buf, &item.description);
+            put_str(&mut buf, &item.link);
+            buf.put_u8(msg.dislikes);
+            buf.put_u16_le(msg.hops);
+            put_profile(&mut buf, &msg.profile);
+        }
+    }
+    if buf.len() > MAX_FRAME {
+        return Err(FrameTooLarge(buf.len()));
+    }
+    Ok(buf.freeze())
+}
+
+fn encode_gossip(buf: &mut BytesMut, tag: u8, from: NodeId, descs: &[Descriptor<Profile>]) {
+    buf.put_u8(tag);
+    buf.put_u32_le(from);
+    buf.put_u16_le(descs.len() as u16);
+    for d in descs {
+        buf.put_u32_le(d.node);
+        buf.put_u32_le(d.age);
+        put_profile(buf, &d.payload);
+    }
+}
+
+fn put_profile(buf: &mut BytesMut, p: &Profile) {
+    buf.put_u16_le(p.len() as u16);
+    for e in p.entries() {
+        buf.put_u64_le(e.item);
+        buf.put_u32_le(e.timestamp);
+        buf.put_f32_le(e.score);
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string field too long");
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Decodes one frame into `(sender, message)`.
+pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
+    if buf.remaining() < 5 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let from = buf.get_u32_le();
+    match tag {
+        TAG_RPS_REQ | TAG_RPS_RESP | TAG_WUP_REQ | TAG_WUP_RESP => {
+            if buf.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let count = buf.get_u16_le() as usize;
+            let mut descriptors = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let node = buf.get_u32_le();
+                let age = buf.get_u32_le();
+                let payload = get_profile(&mut buf)?;
+                descriptors.push(Descriptor { node, age, payload });
+            }
+            Ok((from, WireMessage::Gossip { kind: tag, descriptors }))
+        }
+        TAG_NEWS => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            let source = buf.get_u32_le();
+            let created_at = buf.get_u32_le();
+            let title = get_str(&mut buf)?;
+            let description = get_str(&mut buf)?;
+            let link = get_str(&mut buf)?;
+            if buf.remaining() < 3 {
+                return Err(DecodeError::Truncated);
+            }
+            let dislikes = buf.get_u8();
+            let hops = buf.get_u16_le();
+            let profile = get_profile(&mut buf)?;
+            let item = NewsItem { title, description, link, source, created_at };
+            Ok((from, WireMessage::News { item, profile, dislikes, hops }))
+        }
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+fn get_profile(buf: &mut &[u8]) -> Result<Profile, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u16_le() as usize;
+    let mut entries = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        if buf.remaining() < 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let item = buf.get_u64_le();
+        let timestamp = buf.get_u32_le();
+        let score = buf.get_f32_le();
+        entries.push(ProfileEntry { item, timestamp, score });
+    }
+    Ok(Profile::from_entries(entries))
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let bytes = buf[..len].to_vec();
+    buf.advance(len);
+    String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_core::ItemId;
+
+    fn profile(items: &[(ItemId, f32)]) -> Profile {
+        Profile::from_entries(items.iter().map(|&(item, score)| ProfileEntry {
+            item,
+            timestamp: 7,
+            score,
+        }))
+    }
+
+    #[test]
+    fn gossip_roundtrip_all_kinds() {
+        let descs = vec![
+            Descriptor { node: 3, age: 2, payload: profile(&[(10, 1.0), (11, 0.0)]) },
+            Descriptor { node: 9, age: 0, payload: Profile::new() },
+        ];
+        for make in [
+            Payload::RpsRequest as fn(_) -> _,
+            Payload::RpsResponse,
+            Payload::WupRequest,
+            Payload::WupResponse,
+        ] {
+            let payload = make(descs.clone());
+            let frame = encode(42, &payload, |_| None).unwrap();
+            let (from, wire) = decode(&frame).unwrap();
+            assert_eq!(from, 42);
+            assert_eq!(wire.into_payload(), payload);
+        }
+    }
+
+    #[test]
+    fn news_roundtrip_recomputes_id() {
+        let item = NewsItem::new("Breaking", "short desc", "https://x/y", 7, 123);
+        let payload = Payload::News(NewsMessage {
+            header: item.header(),
+            profile: profile(&[(5, 0.75)]),
+            dislikes: 2,
+            hops: 4,
+        });
+        let content = item.clone();
+        let frame = encode(1, &payload, move |id| {
+            assert_eq!(id, content.id());
+            Some(content.clone())
+        })
+        .unwrap();
+        let (from, wire) = decode(&frame).unwrap();
+        assert_eq!(from, 1);
+        let decoded = wire.into_payload();
+        assert_eq!(decoded, payload, "id recomputed from content must match");
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let descs = vec![Descriptor { node: 1, age: 0, payload: profile(&[(1, 1.0)]) }];
+        let frame = encode(0, &Payload::RpsRequest(descs), |_| None).unwrap();
+        for cut in [0, 3, 6, frame.len() - 1] {
+            assert!(decode(&frame[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let buf = [99u8, 0, 0, 0, 0, 0, 0];
+        assert_eq!(decode(&buf), Err(DecodeError::BadTag(99)));
+    }
+
+    #[test]
+    fn encoded_size_reflects_profile_length() {
+        let small = encode(
+            0,
+            &Payload::RpsRequest(vec![Descriptor {
+                node: 1,
+                age: 0,
+                payload: Profile::new(),
+            }]),
+            |_| None,
+        )
+        .unwrap();
+        let big = encode(
+            0,
+            &Payload::RpsRequest(vec![Descriptor {
+                node: 1,
+                age: 0,
+                payload: profile(&(0..100).map(|i| (i as u64, 1.0)).collect::<Vec<_>>()),
+            }]),
+            |_| None,
+        )
+        .unwrap();
+        assert_eq!(big.len() - small.len(), 100 * 16);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let huge: Vec<(u64, f32)> = (0..4000u64).map(|i| (i, 1.0)).collect();
+        let descs: Vec<Descriptor<Profile>> = (0..10)
+            .map(|n| Descriptor { node: n, age: 0, payload: profile(&huge) })
+            .collect();
+        let err = encode(0, &Payload::WupRequest(descs), |_| None);
+        assert!(matches!(err, Err(FrameTooLarge(_))));
+    }
+}

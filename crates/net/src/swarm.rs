@@ -1,0 +1,277 @@
+//! Swarm experiment configuration and report, shared by the emulator and
+//! the UDP runtime.
+
+use crate::stats::TrafficSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use whatsup_core::{ItemId, NewsItem, Params};
+use whatsup_datasets::Dataset;
+use whatsup_metrics::{IrAggregate, IrScores, ItemOutcome};
+
+/// Configuration of a networked WhatsUp run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwarmConfig {
+    /// Per-node protocol parameters.
+    pub params: Params,
+    /// Number of gossip cycles to run.
+    pub cycles: u32,
+    /// Wall-clock duration of one gossip cycle. The paper's testbed used
+    /// 30 s cycles "to run a large number of experiments in reasonable
+    /// time"; we default lower still — the protocol only sees cycle counts.
+    pub cycle_ms: u64,
+    /// First cycle with publications.
+    pub publish_from: u32,
+    /// Items published before this cycle warm the system but are not scored.
+    pub measure_from: u32,
+    /// Extra cycles after the last publication for in-flight news to drain.
+    pub drain_cycles: u32,
+    /// Receive-side message loss probability (PlanetLab analogue, §V-D/E).
+    pub loss: f64,
+    /// Seed for all per-peer RNGs and the bootstrap graph.
+    pub seed: u64,
+    /// Random contacts per node at bootstrap.
+    pub bootstrap_degree: usize,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        Self {
+            params: Params::whatsup(6),
+            cycles: 30,
+            cycle_ms: 60,
+            publish_from: 2,
+            measure_from: 10,
+            drain_cycles: 3,
+            loss: 0.0,
+            seed: 0xbee9,
+            bootstrap_degree: 8,
+        }
+    }
+}
+
+impl SwarmConfig {
+    /// Uniform publication schedule (same shape as the simulator's).
+    pub fn schedule(&self, n_items: usize) -> Vec<u32> {
+        let span = (self.cycles.saturating_sub(self.publish_from)).max(1) as usize;
+        (0..n_items)
+            .map(|i| self.publish_from + (i * span / n_items.max(1)) as u32)
+            .collect()
+    }
+
+    /// Total wall-clock run time.
+    pub fn duration(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(
+            (self.cycles + self.drain_cycles) as u64 * self.cycle_ms,
+        )
+    }
+}
+
+/// The full news-item table of a dataset: contents, id→index map and the
+/// publication schedule. Item contents match the simulator's construction
+/// so ids, profiles and opinions agree across all three testbeds.
+#[derive(Debug, Clone)]
+pub struct ItemTable {
+    pub items: Vec<NewsItem>,
+    pub by_id: HashMap<ItemId, u32>,
+    pub publish_cycle: Vec<u32>,
+}
+
+impl ItemTable {
+    pub fn build(dataset: &Dataset, cfg: &SwarmConfig) -> Self {
+        let publish_cycle = cfg.schedule(dataset.n_items());
+        let mut items = Vec::with_capacity(dataset.n_items());
+        let mut by_id = HashMap::with_capacity(dataset.n_items());
+        for spec in &dataset.items {
+            let item = NewsItem::new(
+                format!("{}-news-{}", dataset.name, spec.index),
+                format!("topic-{}", spec.topic),
+                format!("https://news.example/{}/{}", dataset.name, spec.index),
+                spec.source,
+                publish_cycle[spec.index as usize],
+            );
+            by_id.insert(item.id(), spec.index);
+            items.push(item);
+        }
+        assert_eq!(by_id.len(), items.len(), "item id collision");
+        Self { items, by_id, publish_cycle }
+    }
+}
+
+/// One first-delivery event, recorded by the receiving peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    pub item_index: u32,
+    pub node: u32,
+    pub liked: bool,
+}
+
+/// Result of one swarm run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwarmReport {
+    pub label: String,
+    pub n_nodes: usize,
+    pub fanout: usize,
+    pub duration_secs: f64,
+    pub traffic: TrafficSnapshot,
+    /// Per measured item: (interested, reached, hits).
+    pub outcomes: Vec<ItemOutcome>,
+}
+
+impl SwarmReport {
+    /// Aggregates deliveries into per-item outcomes over measured items.
+    pub fn from_deliveries(
+        label: impl Into<String>,
+        dataset: &Dataset,
+        cfg: &SwarmConfig,
+        deliveries: &[Delivery],
+        traffic: TrafficSnapshot,
+        duration_secs: f64,
+    ) -> Self {
+        let schedule = cfg.schedule(dataset.n_items());
+        let mut reached = vec![0u32; dataset.n_items()];
+        let mut hits = vec![0u32; dataset.n_items()];
+        for d in deliveries {
+            let idx = d.item_index as usize;
+            let source = dataset.items[idx].source;
+            if d.node == source {
+                continue;
+            }
+            reached[idx] += 1;
+            if d.liked {
+                hits[idx] += 1;
+            }
+        }
+        let outcomes = dataset
+            .items
+            .iter()
+            .filter(|spec| schedule[spec.index as usize] >= cfg.measure_from)
+            .map(|spec| {
+                let idx = spec.index as usize;
+                let interested = dataset
+                    .likes
+                    .interested_users(idx)
+                    .into_iter()
+                    .filter(|&u| u != spec.source)
+                    .count();
+                ItemOutcome::new(interested, reached[idx] as usize, hits[idx] as usize)
+            })
+            .collect();
+        Self {
+            label: label.into(),
+            n_nodes: dataset.n_users(),
+            fanout: cfg.params.beep.f_like,
+            duration_secs,
+            traffic,
+            outcomes,
+        }
+    }
+
+    /// Micro-averaged precision/recall/F1.
+    pub fn scores(&self) -> IrScores {
+        let mut agg = IrAggregate::new();
+        for &o in &self.outcomes {
+            agg.push(o);
+        }
+        agg.micro()
+    }
+
+    /// Average per-node bandwidth in Kbps for the news (BEEP) layer.
+    pub fn news_kbps(&self) -> f64 {
+        TrafficSnapshot::kbps_per_node(self.traffic.news_bytes, self.n_nodes, self.duration_secs)
+    }
+
+    /// Average per-node bandwidth in Kbps for the gossip (WUP+RPS) layer.
+    pub fn wup_kbps(&self) -> f64 {
+        TrafficSnapshot::kbps_per_node(
+            self.traffic.wup_layer_bytes(),
+            self.n_nodes,
+            self.duration_secs,
+        )
+    }
+
+    /// Average total per-node bandwidth in Kbps.
+    pub fn total_kbps(&self) -> f64 {
+        TrafficSnapshot::kbps_per_node(
+            self.traffic.total_bytes(),
+            self.n_nodes,
+            self.duration_secs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_datasets::{survey, SurveyConfig};
+
+    fn dataset() -> Dataset {
+        survey::generate(&SurveyConfig::paper().scaled(0.1), 5)
+    }
+
+    #[test]
+    fn item_table_matches_dataset() {
+        let d = dataset();
+        let table = ItemTable::build(&d, &SwarmConfig::default());
+        assert_eq!(table.items.len(), d.n_items());
+        for (i, item) in table.items.iter().enumerate() {
+            assert_eq!(table.by_id[&item.id()], i as u32);
+            assert_eq!(item.source, d.items[i].source);
+        }
+    }
+
+    #[test]
+    fn schedule_within_bounds() {
+        let cfg = SwarmConfig::default();
+        let s = cfg.schedule(100);
+        assert!(s.iter().all(|&c| c >= cfg.publish_from && c < cfg.cycles));
+    }
+
+    #[test]
+    fn report_aggregation_counts_measured_only() {
+        let d = dataset();
+        let cfg = SwarmConfig { measure_from: 0, ..Default::default() };
+        // Deliver item 0 to two nodes, one of which likes it.
+        let interested = d.likes.interested_users(0);
+        let liker = *interested.iter().find(|&&u| u != d.items[0].source).unwrap();
+        let disliker =
+            (0..d.n_users() as u32).find(|u| !d.likes.likes(*u as usize, 0)).unwrap();
+        let deliveries = vec![
+            Delivery { item_index: 0, node: liker, liked: true },
+            Delivery { item_index: 0, node: disliker, liked: false },
+            // Source deliveries are ignored.
+            Delivery { item_index: 0, node: d.items[0].source, liked: true },
+        ];
+        let report = SwarmReport::from_deliveries(
+            "test",
+            &d,
+            &cfg,
+            &deliveries,
+            TrafficSnapshot::default(),
+            1.0,
+        );
+        let item0 = report.outcomes[0];
+        assert_eq!(item0.reached, 2);
+        assert_eq!(item0.hits, 1);
+    }
+
+    #[test]
+    fn bandwidth_helpers() {
+        let report = SwarmReport {
+            label: "x".into(),
+            n_nodes: 10,
+            fanout: 6,
+            duration_secs: 2.0,
+            traffic: TrafficSnapshot {
+                rps_bytes: 1000,
+                wup_bytes: 1000,
+                news_bytes: 4000,
+                rps_msgs: 1,
+                wup_msgs: 1,
+                news_msgs: 4,
+            },
+            outcomes: vec![],
+        };
+        assert!((report.news_kbps() - 4000.0 * 8.0 / 1000.0 / 10.0 / 2.0).abs() < 1e-12);
+        assert!(report.total_kbps() > report.wup_kbps());
+    }
+}

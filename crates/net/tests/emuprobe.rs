@@ -1,0 +1,39 @@
+//! Fig. 8a's core claim, as an integration check: the three testbeds —
+//! simulation, emulated cluster, real (UDP) deployment — agree on delivery
+//! quality when no losses are injected, because they run the same protocol
+//! implementation.
+
+use whatsup_core::Params;
+use whatsup_datasets::{survey, SurveyConfig};
+use whatsup_net::emulator::{self, EmulatorConfig};
+use whatsup_net::runtime::{self, UdpConfig};
+use whatsup_net::swarm::SwarmConfig;
+
+#[test]
+fn emulator_and_udp_agree() {
+    let d = survey::generate(&SurveyConfig::paper().scaled(0.12), 17);
+    let swarm = SwarmConfig {
+        params: Params::whatsup(5),
+        cycles: 14,
+        cycle_ms: 80,
+        publish_from: 2,
+        measure_from: 5,
+        drain_cycles: 2,
+        ..Default::default()
+    };
+    let emu = emulator::run(
+        &d,
+        &EmulatorConfig { swarm: swarm.clone(), latency_ms: (1, 4), link_loss: 0.0 },
+    );
+    let udp = runtime::run(&d, &UdpConfig { swarm });
+    let (es, us) = (emu.scores(), udp.scores());
+    assert!(es.recall > 0.5, "emulator starved: {es:?}");
+    assert!(us.recall > 0.5, "udp starved: {us:?}");
+    assert!(
+        (es.f1 - us.f1).abs() < 0.15,
+        "testbeds disagree: emulator {es:?} vs udp {us:?}"
+    );
+    // Both testbeds account traffic per protocol family.
+    assert!(emu.traffic.news_bytes > 0 && emu.traffic.rps_bytes > 0);
+    assert!(udp.traffic.news_bytes > 0 && udp.traffic.wup_bytes > 0);
+}

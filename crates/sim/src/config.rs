@@ -1,0 +1,289 @@
+//! Simulation configuration and the protocol selector.
+
+use serde::{Deserialize, Serialize};
+use whatsup_core::{Metric, Params};
+
+/// One protocol under evaluation (§IV-B). Everything the paper's Figs. 3–11
+/// and Tables III–VI compare is expressible here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// The full system: WUP metric + BEEP amplification/orientation.
+    WhatsUp { f_like: usize },
+    /// WhatsUp with cosine similarity (§V-A).
+    WhatsUpCos { f_like: usize },
+    /// Decentralized CF, WUP metric, k nearest neighbors (§IV-B).
+    CfWup { k: usize },
+    /// Decentralized CF, cosine similarity.
+    CfCos { k: usize },
+    /// Homogeneous gossip with fixed fanout (Table III).
+    Gossip { fanout: usize },
+    /// Explicit social cascade (Digg only, Table V).
+    Cascade,
+    /// Centralized complete topic-based pub/sub (Table V).
+    CPubSub,
+    /// Centralized WhatsUp with global knowledge (Fig. 9).
+    CWhatsUp { f_like: usize },
+    /// Ablation: BEEP without amplification (all fanouts equal).
+    NoAmplification { fanout: usize },
+    /// Ablation: BEEP with un-oriented (uniform random) dislike forwarding.
+    NoOrientation { f_like: usize },
+}
+
+impl Protocol {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            Protocol::WhatsUp { .. } => "WhatsUp".into(),
+            Protocol::WhatsUpCos { .. } => "WhatsUp-Cos".into(),
+            Protocol::CfWup { .. } => "CF-Wup".into(),
+            Protocol::CfCos { .. } => "CF-Cos".into(),
+            Protocol::Gossip { .. } => "Gossip".into(),
+            Protocol::Cascade => "Cascade".into(),
+            Protocol::CPubSub => "C-Pub/Sub".into(),
+            Protocol::CWhatsUp { .. } => "C-WhatsUp".into(),
+            Protocol::NoAmplification { .. } => "NoAmplification".into(),
+            Protocol::NoOrientation { .. } => "NoOrientation".into(),
+        }
+    }
+
+    /// The fanout-style knob of this protocol, if any (x-axis of Fig. 3).
+    pub fn fanout(&self) -> Option<usize> {
+        match *self {
+            Protocol::WhatsUp { f_like }
+            | Protocol::WhatsUpCos { f_like }
+            | Protocol::CWhatsUp { f_like }
+            | Protocol::NoOrientation { f_like } => Some(f_like),
+            Protocol::CfWup { k } | Protocol::CfCos { k } => Some(k),
+            Protocol::Gossip { fanout } | Protocol::NoAmplification { fanout } => {
+                Some(fanout)
+            }
+            Protocol::Cascade | Protocol::CPubSub => None,
+        }
+    }
+
+    /// Same protocol at a different fanout (sweep helper).
+    pub fn with_fanout(&self, f: usize) -> Protocol {
+        match self {
+            Protocol::WhatsUp { .. } => Protocol::WhatsUp { f_like: f },
+            Protocol::WhatsUpCos { .. } => Protocol::WhatsUpCos { f_like: f },
+            Protocol::CfWup { .. } => Protocol::CfWup { k: f },
+            Protocol::CfCos { .. } => Protocol::CfCos { k: f },
+            Protocol::Gossip { .. } => Protocol::Gossip { fanout: f },
+            Protocol::CWhatsUp { .. } => Protocol::CWhatsUp { f_like: f },
+            Protocol::NoAmplification { .. } => Protocol::NoAmplification { fanout: f },
+            Protocol::NoOrientation { .. } => Protocol::NoOrientation { f_like: f },
+            p => *p,
+        }
+    }
+
+    /// Node parameters for protocols that run on the `whatsup-core` stack;
+    /// `None` for the global engines (cascade, pub/sub, centralized).
+    pub fn node_params(&self) -> Option<Params> {
+        match *self {
+            Protocol::WhatsUp { f_like } => Some(Params::whatsup(f_like)),
+            Protocol::WhatsUpCos { f_like } => Some(Params::whatsup_cos(f_like)),
+            Protocol::CfWup { k } => Some(Params::cf(k, Metric::Wup)),
+            Protocol::CfCos { k } => Some(Params::cf(k, Metric::Cosine)),
+            Protocol::Gossip { fanout } => Some(Params::gossip(fanout)),
+            Protocol::NoAmplification { fanout } => {
+                let mut p = Params::whatsup(fanout);
+                // Amplification off: the like path uses the same fanout as
+                // the dislike path (here: both `fanout`, dislike oriented).
+                p.beep.dislike = whatsup_core::beep::DislikeRule::Forward {
+                    fanout,
+                    ttl: 4,
+                    oriented: true,
+                };
+                Some(p)
+            }
+            Protocol::NoOrientation { f_like } => {
+                let mut p = Params::whatsup(f_like);
+                p.beep.dislike = whatsup_core::beep::DislikeRule::Forward {
+                    fanout: 1,
+                    ttl: 4,
+                    oriented: false,
+                };
+                Some(p)
+            }
+            Protocol::Cascade | Protocol::CPubSub | Protocol::CWhatsUp { .. } => None,
+        }
+    }
+}
+
+/// Simulation run configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Total gossip cycles. The paper's profile window of 13 cycles is 1/5
+    /// of the experiment, giving 65 cycles.
+    pub cycles: u32,
+    /// Publications start here (gives gossip a short view-mixing ramp).
+    pub publish_from: u32,
+    /// Items published at cycles `< measure_from` warm the profiles/topology
+    /// but are excluded from the reported metrics.
+    pub measure_from: u32,
+    /// Per-message loss probability (gossip and news alike, §V-E).
+    pub loss: f64,
+    /// RNG seed; every run is a pure function of (dataset, config).
+    pub seed: u64,
+    /// Random contacts seeded into each node's views at bootstrap.
+    pub bootstrap_degree: usize,
+    /// Override the per-node profile window (cycles); `None` keeps the
+    /// protocol default.
+    pub profile_window: Option<u32>,
+    /// Override the BEEP dislike TTL (Fig. 5 sweeps it; `None` keeps 4).
+    pub ttl_override: Option<u8>,
+    /// Override the WUP view size (the `WUPvs = 2·fLIKE` ablation).
+    pub wup_view_override: Option<usize>,
+    /// Randomized-response obfuscation level (§VII privacy extension);
+    /// `None`/0 shares true profiles.
+    pub obfuscation: Option<f64>,
+    /// Churn: expected fraction of nodes that crash and rejoin fresh per
+    /// cycle (profile, views and seen-set lost; cold start on return).
+    pub churn_per_cycle: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cycles: 65,
+            publish_from: 3,
+            measure_from: 20,
+            loss: 0.0,
+            seed: 0xace_0f_5eed,
+            bootstrap_degree: 8,
+            profile_window: None,
+            ttl_override: None,
+            wup_view_override: None,
+            obfuscation: None,
+            churn_per_cycle: 0.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Node parameters for `protocol` with this config's overrides applied.
+    pub fn build_params(&self, protocol: &Protocol) -> Option<whatsup_core::Params> {
+        let mut params = protocol.node_params()?;
+        if let Some(w) = self.profile_window {
+            params.profile_window = w;
+        }
+        if let Some(ttl) = self.ttl_override {
+            if let whatsup_core::beep::DislikeRule::Forward { fanout, oriented, .. } =
+                params.beep.dislike
+            {
+                params.beep.dislike = whatsup_core::beep::DislikeRule::Forward {
+                    fanout,
+                    ttl,
+                    oriented,
+                };
+            }
+        }
+        if let Some(vs) = self.wup_view_override {
+            params.wup_view_size = vs.max(params.beep.f_like);
+        }
+        if let Some(eps) = self.obfuscation {
+            params.obfuscation_epsilon = eps;
+        }
+        Some(params)
+    }
+}
+
+impl SimConfig {
+    /// Uniform per-cycle publication schedule: dataset item index → cycle.
+    /// Items are spread evenly over `[publish_from, cycles)`.
+    pub fn schedule(&self, n_items: usize) -> Vec<u32> {
+        let span = (self.cycles.saturating_sub(self.publish_from)).max(1) as usize;
+        (0..n_items)
+            .map(|i| self.publish_from + (i * span / n_items.max(1)) as u32)
+            .collect()
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.publish_from >= self.cycles {
+            return Err("publish_from must precede the end of the run".into());
+        }
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err("loss must be a probability".into());
+        }
+        if self.bootstrap_degree == 0 {
+            return Err("bootstrap degree must be ≥ 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.churn_per_cycle) {
+            return Err("churn must be a probability".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_monotone_and_in_range() {
+        let cfg = SimConfig { cycles: 65, publish_from: 3, ..Default::default() };
+        let s = cfg.schedule(1000);
+        assert_eq!(s.len(), 1000);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s[0], 3);
+        assert!(*s.last().unwrap() < 65);
+    }
+
+    #[test]
+    fn schedule_handles_fewer_items_than_cycles() {
+        let cfg = SimConfig::default();
+        let s = cfg.schedule(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|&c| c >= cfg.publish_from && c < cfg.cycles));
+    }
+
+    #[test]
+    fn protocol_labels_and_fanouts() {
+        assert_eq!(Protocol::WhatsUp { f_like: 10 }.label(), "WhatsUp");
+        assert_eq!(Protocol::WhatsUp { f_like: 10 }.fanout(), Some(10));
+        assert_eq!(Protocol::Cascade.fanout(), None);
+        assert_eq!(Protocol::CfCos { k: 29 }.with_fanout(5).fanout(), Some(5));
+        assert_eq!(Protocol::Cascade.with_fanout(5), Protocol::Cascade);
+    }
+
+    #[test]
+    fn node_params_only_for_node_protocols() {
+        assert!(Protocol::WhatsUp { f_like: 10 }.node_params().is_some());
+        assert!(Protocol::Gossip { fanout: 4 }.node_params().is_some());
+        assert!(Protocol::Cascade.node_params().is_none());
+        assert!(Protocol::CPubSub.node_params().is_none());
+        assert!(Protocol::CWhatsUp { f_like: 10 }.node_params().is_none());
+    }
+
+    #[test]
+    fn ablation_params_differ_from_whatsup() {
+        let wu = Protocol::WhatsUp { f_like: 5 }.node_params().unwrap();
+        let na = Protocol::NoAmplification { fanout: 5 }.node_params().unwrap();
+        let no = Protocol::NoOrientation { f_like: 5 }.node_params().unwrap();
+        assert_ne!(wu.beep, na.beep);
+        assert_ne!(wu.beep, no.beep);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let cfg = SimConfig {
+            obfuscation: Some(0.4),
+            ttl_override: Some(7),
+            wup_view_override: Some(25),
+            ..Default::default()
+        };
+        let p = cfg.build_params(&Protocol::WhatsUp { f_like: 10 }).unwrap();
+        assert_eq!(p.obfuscation_epsilon, 0.4);
+        assert_eq!(p.ttl(), Some(7));
+        assert_eq!(p.wup_view_size, 25);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SimConfig::default().validate().is_ok());
+        let bad = SimConfig { publish_from: 99, cycles: 50, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = SimConfig { loss: 1.5, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Interest dynamics: the joining-node and changing-node experiments
+//! (paper §V-C, Fig. 7).
+//!
+//! Protocol of the experiment, following the paper:
+//!
+//! * pick a *reference* node; at `join_at` introduce a *joining* node with
+//!   identical interests (cold start, §II-D);
+//! * pick a random pair and *switch their interests* at `switch_at`;
+//! * every cycle, measure the mean live similarity between each tracked
+//!   node and the members of its WUP view, plus the number of liked items
+//!   it received that cycle (Fig. 7c);
+//! * repeat with independent seeds and average.
+
+use crate::config::{Protocol, SimConfig};
+use crate::engine::Simulation;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use whatsup_datasets::Dataset;
+
+/// Configuration of the Fig. 7 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsConfig {
+    pub base: SimConfig,
+    /// Cycle at which the joining node enters and the pair switches.
+    pub event_at: u32,
+    /// Independent repetitions to average over (the paper uses 100).
+    pub repeats: usize,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        Self {
+            base: SimConfig { cycles: 80, publish_from: 3, measure_from: 10, ..Default::default() },
+            event_at: 40,
+            repeats: 10,
+        }
+    }
+}
+
+/// Averaged traces for the three tracked roles.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsResult {
+    /// Cycle indices of the samples.
+    pub cycles: Vec<u32>,
+    /// Mean live WUP-view similarity per cycle.
+    pub reference_similarity: Vec<f64>,
+    pub joining_similarity: Vec<f64>,
+    pub changing_similarity: Vec<f64>,
+    /// Mean liked items received per cycle (Fig. 7c).
+    pub reference_liked: Vec<f64>,
+    pub joining_liked: Vec<f64>,
+    pub changing_liked: Vec<f64>,
+}
+
+impl DynamicsResult {
+    /// First sampled cycle ≥ `event_at` at which the joining node's view
+    /// similarity reaches `fraction` of the reference node's (the paper's
+    /// convergence measure: 20 cycles for WhatsUp vs >100 for cosine).
+    pub fn joining_convergence_cycle(&self, event_at: u32, fraction: f64) -> Option<u32> {
+        self.convergence_of(&self.joining_similarity, event_at, fraction)
+    }
+
+    /// Same for the interest-changing node.
+    pub fn changing_convergence_cycle(&self, event_at: u32, fraction: f64) -> Option<u32> {
+        self.convergence_of(&self.changing_similarity, event_at, fraction)
+    }
+
+    /// Convergence requires *sustained* attainment: three consecutive
+    /// samples at or above `fraction` of the reference (single-cycle
+    /// touches are view-churn noise).
+    fn convergence_of(&self, series: &[f64], event_at: u32, fraction: f64) -> Option<u32> {
+        const SUSTAIN: usize = 3;
+        let mut run = 0usize;
+        let mut run_start: Option<u32> = None;
+        for (i, &c) in self.cycles.iter().enumerate() {
+            if c < event_at {
+                continue;
+            }
+            let reference = self.reference_similarity[i];
+            if reference > 0.0 && series[i] >= fraction * reference {
+                if run == 0 {
+                    run_start = Some(c);
+                }
+                run += 1;
+                if run >= SUSTAIN {
+                    return run_start.map(|s| s - event_at);
+                }
+            } else {
+                run = 0;
+                run_start = None;
+            }
+        }
+        None
+    }
+}
+
+/// Runs the dynamics experiment for one protocol. Repetitions run in
+/// parallel; each repetition is independently seeded and deterministic.
+pub fn run(dataset: &Dataset, protocol: Protocol, cfg: &DynamicsConfig) -> DynamicsResult {
+    assert!(cfg.event_at < cfg.base.cycles, "event must happen during the run");
+    let traces: Vec<DynamicsResult> = (0..cfg.repeats)
+        .into_par_iter()
+        .map(|rep| run_once(dataset, protocol, cfg, rep as u64))
+        .collect();
+    average(traces)
+}
+
+fn run_once(
+    dataset: &Dataset,
+    protocol: Protocol,
+    cfg: &DynamicsConfig,
+    rep: u64,
+) -> DynamicsResult {
+    let mut base = cfg.base.clone();
+    base.seed = base.seed.wrapping_add(rep.wrapping_mul(0x9e37_79b9));
+    let mut pick = ChaCha8Rng::seed_from_u64(base.seed ^ 0xd1a9);
+    let n = dataset.n_users();
+    let reference = pick.gen_range(0..n) as u32;
+    // The changing pair: two distinct nodes, also distinct from reference.
+    let mut swap_a = pick.gen_range(0..n) as u32;
+    let mut swap_b = pick.gen_range(0..n) as u32;
+    while swap_a == reference {
+        swap_a = pick.gen_range(0..n) as u32;
+    }
+    while swap_b == reference || swap_b == swap_a {
+        swap_b = pick.gen_range(0..n) as u32;
+    }
+
+    let mut sim = Simulation::new(dataset, protocol, base.clone());
+    let mut out = DynamicsResult::default();
+    let mut joiner: Option<u32> = None;
+    while sim.current_cycle() < base.cycles {
+        if sim.current_cycle() == cfg.event_at {
+            joiner = Some(sim.add_joining_node(reference));
+            sim.swap_interests(swap_a, swap_b);
+        }
+        sim.step();
+        let t = sim.current_cycle() - 1;
+        out.cycles.push(t);
+        out.reference_similarity.push(sim.interest_view_similarity(reference));
+        out.reference_liked.push(sim.liked_receptions_last_cycle(reference) as f64);
+        out.changing_similarity.push(sim.interest_view_similarity(swap_a));
+        out.changing_liked.push(sim.liked_receptions_last_cycle(swap_a) as f64);
+        match joiner {
+            Some(j) => {
+                out.joining_similarity.push(sim.interest_view_similarity(j));
+                out.joining_liked.push(sim.liked_receptions_last_cycle(j) as f64);
+            }
+            None => {
+                out.joining_similarity.push(0.0);
+                out.joining_liked.push(0.0);
+            }
+        }
+    }
+    out
+}
+
+fn average(traces: Vec<DynamicsResult>) -> DynamicsResult {
+    let Some(first) = traces.first() else { return DynamicsResult::default() };
+    let len = first.cycles.len();
+    let k = traces.len() as f64;
+    let mut out = DynamicsResult { cycles: first.cycles.clone(), ..Default::default() };
+    for field in 0..6 {
+        let mut acc = vec![0.0; len];
+        for t in &traces {
+            let src = match field {
+                0 => &t.reference_similarity,
+                1 => &t.joining_similarity,
+                2 => &t.changing_similarity,
+                3 => &t.reference_liked,
+                4 => &t.joining_liked,
+                _ => &t.changing_liked,
+            };
+            for (a, &v) in acc.iter_mut().zip(src) {
+                *a += v;
+            }
+        }
+        acc.iter_mut().for_each(|v| *v /= k);
+        match field {
+            0 => out.reference_similarity = acc,
+            1 => out.joining_similarity = acc,
+            2 => out.changing_similarity = acc,
+            3 => out.reference_liked = acc,
+            4 => out.joining_liked = acc,
+            _ => out.changing_liked = acc,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_datasets::{survey, SurveyConfig};
+
+    fn dataset() -> Dataset {
+        survey::generate(&SurveyConfig::paper().scaled(0.1), 55)
+    }
+
+    fn small_cfg() -> DynamicsConfig {
+        DynamicsConfig {
+            base: SimConfig {
+                cycles: 24,
+                publish_from: 2,
+                measure_from: 5,
+                ..Default::default()
+            },
+            event_at: 12,
+            repeats: 2,
+        }
+    }
+
+    #[test]
+    fn traces_have_full_length() {
+        let d = dataset();
+        let r = run(&d, Protocol::WhatsUp { f_like: 4 }, &small_cfg());
+        assert_eq!(r.cycles.len(), 24);
+        assert_eq!(r.reference_similarity.len(), 24);
+        assert_eq!(r.joining_similarity.len(), 24);
+        assert_eq!(r.changing_liked.len(), 24);
+    }
+
+    #[test]
+    fn joiner_similarity_zero_before_event() {
+        let d = dataset();
+        let cfg = small_cfg();
+        let r = run(&d, Protocol::WhatsUp { f_like: 4 }, &cfg);
+        for (i, &c) in r.cycles.iter().enumerate() {
+            if c < cfg.event_at {
+                assert_eq!(r.joining_similarity[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn joiner_gains_similarity_after_event() {
+        let d = dataset();
+        let cfg = small_cfg();
+        let r = run(&d, Protocol::WhatsUp { f_like: 4 }, &cfg);
+        let after: f64 = r.joining_similarity.iter().rev().take(4).sum();
+        assert!(after > 0.0, "joiner never clustered: {:?}", r.joining_similarity);
+    }
+
+    #[test]
+    fn convergence_detector_requires_sustained_attainment() {
+        let r = DynamicsResult {
+            cycles: vec![0, 1, 2, 3, 4, 5, 6],
+            reference_similarity: vec![0.5; 7],
+            // Touches the bar at cycle 2 but drops; converges for good at 4.
+            joining_similarity: vec![0.0, 0.1, 0.5, 0.1, 0.5, 0.5, 0.5],
+            changing_similarity: vec![0.5, 0.0, 0.1, 0.45, 0.45, 0.45, 0.45],
+            reference_liked: vec![0.0; 7],
+            joining_liked: vec![0.0; 7],
+            changing_liked: vec![0.0; 7],
+        };
+        assert_eq!(r.joining_convergence_cycle(1, 0.9), Some(3), "start of sustained run");
+        assert_eq!(r.changing_convergence_cycle(1, 0.8), Some(2));
+        assert_eq!(r.joining_convergence_cycle(1, 1.1), None);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let d = dataset();
+        let a = run(&d, Protocol::WhatsUp { f_like: 4 }, &small_cfg());
+        let b = run(&d, Protocol::WhatsUp { f_like: 4 }, &small_cfg());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,581 @@
+//! The cycle-based simulation engine for node-based protocols.
+//!
+//! Methodology (paper §IV/§V): time is a sequence of gossip cycles. Each
+//! cycle:
+//!
+//! 1. every node runs one RPS and one WUP exchange (requests and the
+//!    matching responses are delivered within the cycle);
+//! 2. the items scheduled for the cycle are published and each epidemic
+//!    runs to completion (hop-ordered FIFO), which matches the paper's use
+//!    of the gossip cycle as time unit — dissemination is fast relative to
+//!    clustering dynamics.
+//!
+//! Message loss (§V-E) applies to every message of every protocol layer.
+//! The engine is a pure function of `(dataset, protocol, config)`.
+
+use crate::config::{Protocol, SimConfig};
+use crate::oracle::Oracle;
+use crate::record::{ItemRecord, NodeIr, SimReport};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, VecDeque};
+use whatsup_core::{NewsItem, NodeId, Opinions, OutMessage, Payload, Profile, WhatsUpNode};
+use whatsup_datasets::Dataset;
+use whatsup_graph::Graph;
+
+/// A running simulation of one node-based protocol over one dataset.
+pub struct Simulation {
+    protocol: Protocol,
+    cfg: SimConfig,
+    dataset_name: String,
+    items: Vec<NewsItem>,
+    /// Cached content hashes of `items` (hashing is string-heavy).
+    item_ids: Vec<whatsup_core::ItemId>,
+    sources: Vec<NodeId>,
+    /// cycle → dataset item indices published that cycle.
+    schedule: Vec<Vec<u32>>,
+    nodes: Vec<WhatsUpNode>,
+    oracle: Oracle,
+    records: Vec<ItemRecord>,
+    rng: ChaCha8Rng,
+    cycle: u32,
+    gossip_messages: u64,
+    news_messages_all: u64,
+    news_messages_measured: u64,
+    /// Liked first receptions per node during the current cycle (Fig. 7c).
+    liked_this_cycle: Vec<u32>,
+    /// Per-node delivery counters over measured items (Fig. 11).
+    per_node: Vec<NodeIr>,
+    /// Scratch: per-item first-reception marks, reused across items.
+    reached_scratch: Vec<bool>,
+}
+
+impl Simulation {
+    /// Builds a simulation.
+    ///
+    /// # Panics
+    /// Panics if `protocol` is one of the global engines (cascade, pub/sub,
+    /// centralized — use [`crate::engines::run_protocol`]) or if the config
+    /// is invalid.
+    pub fn new(dataset: &Dataset, protocol: Protocol, cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid simulation config");
+        let params = cfg
+            .build_params(&protocol)
+            .expect("protocol does not run on the node engine");
+        let n = dataset.n_users();
+        let item_cycles = cfg.schedule(dataset.n_items());
+        let mut schedule = vec![Vec::new(); cfg.cycles as usize];
+        let mut items = Vec::with_capacity(dataset.n_items());
+        let mut sources = Vec::with_capacity(dataset.n_items());
+        let mut id_to_index = HashMap::with_capacity(dataset.n_items());
+        for spec in &dataset.items {
+            let cycle = item_cycles[spec.index as usize];
+            let item = NewsItem::new(
+                format!("{}-news-{}", dataset.name, spec.index),
+                format!("topic-{}", spec.topic),
+                format!("https://news.example/{}/{}", dataset.name, spec.index),
+                spec.source,
+                cycle,
+            );
+            id_to_index.insert(item.id(), spec.index);
+            schedule[cycle as usize].push(spec.index);
+            items.push(item);
+            sources.push(spec.source);
+        }
+        assert_eq!(id_to_index.len(), items.len(), "item id (hash) collision");
+        let item_ids: Vec<whatsup_core::ItemId> = items.iter().map(|i| i.id()).collect();
+
+        let oracle = Oracle::new(dataset.likes.clone(), id_to_index);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut nodes: Vec<WhatsUpNode> =
+            (0..n as NodeId).map(|id| WhatsUpNode::new(id, params.clone())).collect();
+        // Bootstrap: every node learns `bootstrap_degree` random contacts
+        // (empty profiles), split across both layers, as a stand-in for the
+        // paper's bootstrap server.
+        for id in 0..n {
+            let mut contacts: Vec<NodeId> = Vec::with_capacity(cfg.bootstrap_degree);
+            while contacts.len() < cfg.bootstrap_degree.min(n - 1) {
+                let c = rng.gen_range(0..n) as NodeId;
+                if c != id as NodeId && !contacts.contains(&c) {
+                    contacts.push(c);
+                }
+            }
+            let wup_take = (contacts.len() / 2).max(1);
+            nodes[id].seed_views(
+                contacts.iter().map(|&c| (c, Profile::new())),
+                contacts.iter().take(wup_take).map(|&c| (c, Profile::new())),
+            );
+        }
+        let records = dataset
+            .items
+            .iter()
+            .map(|spec| ItemRecord {
+                index: spec.index,
+                published_at: item_cycles[spec.index as usize],
+                measured: item_cycles[spec.index as usize] >= cfg.measure_from,
+                ..ItemRecord::default()
+            })
+            .collect();
+        Self {
+            protocol,
+            cfg,
+            dataset_name: dataset.name.clone(),
+            items,
+            item_ids,
+            sources,
+            schedule,
+            nodes,
+            oracle,
+            records,
+            rng,
+            cycle: 0,
+            gossip_messages: 0,
+            news_messages_all: 0,
+            news_messages_measured: 0,
+            liked_this_cycle: vec![0; n],
+            per_node: vec![NodeIr::default(); n],
+            reached_scratch: vec![false; n],
+        }
+    }
+
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    pub fn current_cycle(&self) -> u32 {
+        self.cycle
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    pub fn node(&self, id: NodeId) -> &WhatsUpNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Liked first receptions per node during the last completed cycle.
+    pub fn liked_receptions_last_cycle(&self, id: NodeId) -> u32 {
+        self.liked_this_cycle[id as usize]
+    }
+
+    /// Runs all remaining cycles and reports.
+    pub fn run(mut self) -> SimReport {
+        while self.cycle < self.cfg.cycles {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Advances one cycle: gossip phase, then publications.
+    pub fn step(&mut self) {
+        assert!(self.cycle < self.cfg.cycles, "simulation already finished");
+        let t = self.cycle;
+        self.liked_this_cycle.iter_mut().for_each(|c| *c = 0);
+
+        // --- Gossip phase -------------------------------------------------
+        let mut queue: VecDeque<(NodeId, OutMessage)> = VecDeque::new();
+        for id in 0..self.nodes.len() {
+            for msg in self.nodes[id].on_cycle(t, &mut self.rng) {
+                queue.push_back((id as NodeId, msg));
+            }
+        }
+        while let Some((from, msg)) = queue.pop_front() {
+            self.gossip_messages += 1;
+            if self.lost() {
+                continue;
+            }
+            let to = msg.to as usize;
+            let replies =
+                self.nodes[to].on_message(from, msg.payload, t, &self.oracle, &mut self.rng);
+            for r in replies {
+                debug_assert!(
+                    !matches!(r.payload, Payload::News(_)),
+                    "news cannot appear in the gossip phase"
+                );
+                queue.push_back((msg.to, r));
+            }
+        }
+
+        // --- Churn phase ----------------------------------------------------
+        // Each node crashes with probability `churn_per_cycle` and rejoins
+        // immediately as a fresh instance: profile, views and seen-set are
+        // lost; the newcomer cold-starts from a random alive contact
+        // (§II-D/E — gossip overlays self-heal, profiles rebuild within a
+        // window).
+        if self.cfg.churn_per_cycle > 0.0 {
+            let n = self.nodes.len();
+            for id in 0..n {
+                if self.rng.gen_bool(self.cfg.churn_per_cycle) {
+                    self.reset_node(id as NodeId);
+                }
+            }
+        }
+
+        // --- Publication phase --------------------------------------------
+        let indices = std::mem::take(&mut self.schedule[t as usize]);
+        for index in indices {
+            self.disseminate(index, t);
+        }
+        self.cycle += 1;
+    }
+
+    /// Crashes `id` and rejoins it fresh (cold start from a random contact).
+    pub fn reset_node(&mut self, id: NodeId) {
+        let params = self.cfg.build_params(&self.protocol).expect("node engine protocol");
+        let mut fresh = WhatsUpNode::new(id, params);
+        let contact = loop {
+            let c = self.rng.gen_range(0..self.nodes.len());
+            if c != id as usize {
+                break c;
+            }
+        };
+        fresh.cold_start(self.nodes[contact].views_snapshot(), &self.oracle);
+        self.nodes[id as usize] = fresh;
+    }
+
+    /// Publishes one item and runs its epidemic to completion.
+    fn disseminate(&mut self, index: u32, t: u32) {
+        let item = self.items[index as usize].clone();
+        let item_id = item.id();
+        let source = self.sources[index as usize];
+        let measured = self.records[index as usize].measured;
+
+        // Ground truth at publication (excluding the source).
+        let interested: Vec<NodeId> =
+            self.oracle.interested(index).into_iter().filter(|&u| u != source).collect();
+        {
+            let rec = &mut self.records[index as usize];
+            rec.interested = interested.len() as u32;
+        }
+        if measured {
+            for &u in &interested {
+                self.per_node[u as usize].interested += 1;
+            }
+        }
+
+        self.reached_scratch.iter_mut().for_each(|b| *b = false);
+        if self.reached_scratch.len() < self.nodes.len() {
+            self.reached_scratch.resize(self.nodes.len(), false);
+        }
+
+        let mut queue: VecDeque<(NodeId, OutMessage)> = VecDeque::new();
+        let out = self.nodes[source as usize].publish(&item, t, &mut self.rng);
+        self.record_forwards(index, source, &out);
+        out.into_iter().for_each(|m| queue.push_back((source, m)));
+
+        while let Some((from, msg)) = queue.pop_front() {
+            let Payload::News(news) = &msg.payload else {
+                unreachable!("only news flows in the publication phase")
+            };
+            debug_assert_eq!(news.header.id, item_id);
+            {
+                let rec = &mut self.records[index as usize];
+                rec.news_sent += 1;
+            }
+            self.news_messages_all += 1;
+            if measured {
+                self.news_messages_measured += 1;
+            }
+            if self.lost() {
+                continue;
+            }
+            let to = msg.to;
+            let first = !self.nodes[to as usize].has_seen(item_id);
+            if first && to != source {
+                let sender_liked = self.oracle.likes(from, item_id);
+                let receiver_likes = self.oracle.likes(to, item_id);
+                let hop = news.hops + 1;
+                let rec = &mut self.records[index as usize];
+                rec.reached += 1;
+                rec.infection_hops.push((hop, sender_liked));
+                if measured {
+                    self.per_node[to as usize].received += 1;
+                }
+                if receiver_likes {
+                    rec.hits += 1;
+                    rec.dislikes_at_liked_reception.push(news.dislikes);
+                    self.liked_this_cycle[to as usize] += 1;
+                    if measured {
+                        self.per_node[to as usize].hits += 1;
+                    }
+                }
+            }
+            let replies = self.nodes[to as usize].on_message(
+                from,
+                msg.payload,
+                t,
+                &self.oracle,
+                &mut self.rng,
+            );
+            if !replies.is_empty() {
+                self.record_forwards(index, to, &replies);
+                replies.into_iter().for_each(|m| queue.push_back((to, m)));
+            }
+        }
+    }
+
+    /// Records one forwarding action (Fig. 6): hop = forwarder's path
+    /// distance (= outgoing `hops` field), classified by its opinion.
+    fn record_forwards(&mut self, index: u32, node: NodeId, out: &[OutMessage]) {
+        let Some(Payload::News(first)) = out.first().map(|m| &m.payload) else {
+            return;
+        };
+        let liked = self.oracle.likes(node, first.header.id);
+        self.records[index as usize].forward_hops.push((first.hops, liked));
+    }
+
+    #[inline]
+    fn lost(&mut self) -> bool {
+        self.cfg.loss > 0.0 && self.rng.gen_bool(self.cfg.loss)
+    }
+
+    /// Registers a node joining mid-run (§V-C): interests mirror
+    /// `reference`, views inherited from a random contact, cold-start
+    /// profile from the contact's RPS view (§II-D).
+    pub fn add_joining_node(&mut self, reference: NodeId) -> NodeId {
+        let id = self.oracle.add_clone_of(reference);
+        let params =
+            self.cfg.build_params(&self.protocol).expect("node engine protocol");
+        let mut node = WhatsUpNode::new(id, params);
+        let contact = self.rng.gen_range(0..self.nodes.len());
+        node.cold_start(self.nodes[contact].views_snapshot(), &self.oracle);
+        self.nodes.push(node);
+        self.liked_this_cycle.push(0);
+        self.per_node.push(NodeIr::default());
+        self.reached_scratch.push(false);
+        id
+    }
+
+    /// Swaps the ground-truth interests of two nodes (§V-C).
+    pub fn swap_interests(&mut self, a: NodeId, b: NodeId) {
+        self.oracle.swap_interests(a, b);
+    }
+
+    /// Mean live similarity between `id`'s profile and the *current*
+    /// profiles of its WUP view members.
+    pub fn live_view_similarity(&self, id: NodeId) -> f64 {
+        let node = &self.nodes[id as usize];
+        self.view_similarity_against(id, node.profile())
+    }
+
+    /// Fig. 7's y-axis: mean similarity between `id`'s *ground-truth
+    /// interest profile* (its opinions on the items of the current profile
+    /// window) and the live profiles of its WUP view members. Using the
+    /// ground truth rather than the node's own lagging profile makes an
+    /// interest switch visible immediately: the old view scores poorly for
+    /// the new interests until WUP rebuilds it.
+    pub fn interest_view_similarity(&self, id: NodeId) -> f64 {
+        let gt = self.ground_truth_profile(id);
+        self.view_similarity_against(id, &gt)
+    }
+
+    /// The windowed ground-truth profile of a node: its true opinion on
+    /// every item published within the current profile window.
+    pub fn ground_truth_profile(&self, id: NodeId) -> Profile {
+        let window = self
+            .cfg
+            .build_params(&self.protocol)
+            .map(|p| p.profile_window)
+            .unwrap_or(13);
+        let now = self.cycle;
+        let cutoff = now.saturating_sub(window);
+        Profile::from_entries(self.records.iter().filter_map(|rec| {
+            let t = rec.published_at;
+            if t >= now || t < cutoff {
+                return None;
+            }
+            let liked = self.oracle.likes_index(id, rec.index);
+            Some(whatsup_core::ProfileEntry {
+                item: self.item_ids[rec.index as usize],
+                timestamp: t,
+                score: if liked { 1.0 } else { 0.0 },
+            })
+        }))
+    }
+
+    fn view_similarity_against(&self, id: NodeId, reference: &Profile) -> f64 {
+        let node = &self.nodes[id as usize];
+        let metric = node.params().metric;
+        let neighbors = node.wup_neighbor_ids();
+        if neighbors.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = neighbors
+            .iter()
+            .map(|&nb| metric.score(reference, self.nodes[nb as usize].profile()))
+            .sum();
+        sum / neighbors.len() as f64
+    }
+
+    /// The current WUP overlay as a directed graph (Fig. 4 analyses).
+    pub fn wup_overlay(&self) -> Graph {
+        let mut g = Graph::new(self.nodes.len());
+        for (u, node) in self.nodes.iter().enumerate() {
+            for v in node.wup_neighbor_ids() {
+                if (v as usize) < self.nodes.len() {
+                    g.add_edge(u as u32, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Report for the cycles executed so far.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            protocol: self.protocol.label(),
+            dataset: self.dataset_name.clone(),
+            fanout: self.protocol.fanout(),
+            n_nodes: self.nodes.len(),
+            cycles: self.cycle,
+            items: self.records.clone(),
+            per_node: self.per_node.clone(),
+            news_messages: self.news_messages_measured,
+            news_messages_all: self.news_messages_all,
+            gossip_messages: self.gossip_messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_datasets::{survey, SurveyConfig};
+
+    fn tiny_dataset() -> Dataset {
+        survey::generate(&SurveyConfig::paper().scaled(0.12), 42)
+    }
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig { cycles: 20, publish_from: 2, measure_from: 8, ..Default::default() }
+    }
+
+    #[test]
+    fn whatsup_run_produces_sane_report() {
+        let d = tiny_dataset();
+        let sim = Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, quick_cfg());
+        let report = sim.run();
+        assert_eq!(report.n_nodes, d.n_users());
+        assert!(report.measured_items() > 0);
+        let s = report.scores();
+        assert!(s.recall > 0.2, "recall collapsed: {s:?}");
+        assert!(s.precision > 0.2, "precision collapsed: {s:?}");
+        assert!(report.news_messages > 0);
+        assert!(report.gossip_messages > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = tiny_dataset();
+        let r1 = Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, quick_cfg()).run();
+        let r2 = Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, quick_cfg()).run();
+        assert_eq!(r1.scores(), r2.scores());
+        assert_eq!(r1.news_messages, r2.news_messages);
+        assert_eq!(r1.gossip_messages, r2.gossip_messages);
+    }
+
+    #[test]
+    fn gossip_floods_with_high_recall_low_precision() {
+        let d = tiny_dataset();
+        let gossip =
+            Simulation::new(&d, Protocol::Gossip { fanout: 5 }, quick_cfg()).run();
+        let s = gossip.scores();
+        assert!(s.recall > 0.9, "homogeneous gossip must flood: {s:?}");
+        // Flooding precision ≈ mean like rate (well below 0.6).
+        assert!(s.precision < 0.6, "flooding precision too high: {s:?}");
+    }
+
+    #[test]
+    fn whatsup_beats_gossip_precision_at_same_fanout() {
+        let d = tiny_dataset();
+        let wu = Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, quick_cfg()).run();
+        let go = Simulation::new(&d, Protocol::Gossip { fanout: 5 }, quick_cfg()).run();
+        assert!(
+            wu.scores().precision > go.scores().precision,
+            "whatsup {:?} vs gossip {:?}",
+            wu.scores(),
+            go.scores()
+        );
+    }
+
+    #[test]
+    fn loss_degrades_recall() {
+        let d = tiny_dataset();
+        let clean =
+            Simulation::new(&d, Protocol::WhatsUp { f_like: 3 }, quick_cfg()).run();
+        let lossy_cfg = SimConfig { loss: 0.5, ..quick_cfg() };
+        let lossy =
+            Simulation::new(&d, Protocol::WhatsUp { f_like: 3 }, lossy_cfg).run();
+        assert!(
+            lossy.scores().recall < clean.scores().recall,
+            "50% loss must hurt recall: clean {:?} lossy {:?}",
+            clean.scores(),
+            lossy.scores()
+        );
+    }
+
+    #[test]
+    fn dislike_counters_stay_within_ttl() {
+        let d = tiny_dataset();
+        let report =
+            Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, quick_cfg()).run();
+        let dist = report.dislike_distribution(4);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for r in &report.items {
+            assert!(r.dislikes_at_liked_reception.iter().all(|&x| x <= 4));
+        }
+    }
+
+    #[test]
+    fn overlay_graph_has_out_degree_bounded_by_view() {
+        let d = tiny_dataset();
+        let mut sim = Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, quick_cfg());
+        for _ in 0..10 {
+            sim.step();
+        }
+        let g = sim.wup_overlay();
+        assert_eq!(g.len(), d.n_users());
+        for u in 0..g.len() as u32 {
+            assert!(g.out_degree(u) <= 10, "view size bound violated");
+        }
+    }
+
+    #[test]
+    fn joining_node_integrates() {
+        let d = tiny_dataset();
+        let mut sim = Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, quick_cfg());
+        for _ in 0..6 {
+            sim.step();
+        }
+        let joiner = sim.add_joining_node(0);
+        assert_eq!(joiner as usize, d.n_users());
+        for _ in 6..quick_cfg().cycles as usize {
+            sim.step();
+        }
+        // The joiner must have acquired neighbors and a profile.
+        assert!(!sim.node(joiner).wup_neighbor_ids().is_empty());
+        assert!(sim.live_view_similarity(joiner) >= 0.0);
+    }
+
+    #[test]
+    fn measured_flag_follows_threshold() {
+        let d = tiny_dataset();
+        let report =
+            Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, quick_cfg()).run();
+        for r in &report.items {
+            assert_eq!(r.measured, r.published_at >= quick_cfg().measure_from);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not run on the node engine")]
+    fn global_protocols_rejected() {
+        let d = tiny_dataset();
+        let _ = Simulation::new(&d, Protocol::Cascade, quick_cfg());
+    }
+}

@@ -1,0 +1,158 @@
+//! Explicit social cascade (paper §IV-B, Table V — the Digg baseline).
+//!
+//! "Whenever a node likes a news item, it forwards it to all of its explicit
+//! social neighbors." Dissemination therefore only follows friendship
+//! edges: an item can never escape the social neighborhood of its likers,
+//! which is why cascade recall is so low (0.09 on the paper's Digg trace)
+//! despite decent precision.
+
+use crate::config::SimConfig;
+use crate::record::{ItemRecord, SimReport};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+use whatsup_datasets::Dataset;
+
+/// Runs the cascade baseline.
+///
+/// # Panics
+/// Panics if the dataset has no explicit social graph.
+pub fn run(dataset: &Dataset, cfg: &SimConfig) -> SimReport {
+    let graph = dataset
+        .social
+        .as_ref()
+        .expect("cascade requires a dataset with an explicit social graph");
+    let n = dataset.n_users();
+    let schedule = cfg.schedule(dataset.n_items());
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    let mut items = Vec::with_capacity(dataset.n_items());
+    let mut news_measured = 0u64;
+    let mut news_all = 0u64;
+
+    for spec in &dataset.items {
+        let index = spec.index as usize;
+        let published_at = schedule[index];
+        let measured = published_at >= cfg.measure_from;
+        let source = spec.source;
+        let interested = dataset
+            .likes
+            .interested_users(index)
+            .into_iter()
+            .filter(|&u| u != source)
+            .count() as u32;
+
+        let mut rec = ItemRecord {
+            index: spec.index,
+            published_at,
+            interested,
+            measured,
+            ..ItemRecord::default()
+        };
+
+        // BFS along friendship edges; only likers forward.
+        let mut seen = vec![false; n];
+        seen[source as usize] = true;
+        let mut queue: VecDeque<(u32, u16)> = VecDeque::new(); // (node, hop)
+        // The source liked (generated) the item: it forwards to all friends.
+        rec.forward_hops.push((0, true));
+        for &f in graph.neighbors(source) {
+            rec.news_sent += 1;
+            queue.push_back((f, 1));
+        }
+        while let Some((node, hop)) = queue.pop_front() {
+            if cfg.loss > 0.0 && rng.gen_bool(cfg.loss) {
+                continue;
+            }
+            if seen[node as usize] {
+                continue;
+            }
+            seen[node as usize] = true;
+            let likes = dataset.likes.likes(node as usize, index);
+            rec.reached += 1;
+            rec.infection_hops.push((hop, true)); // cascade only forwards on like
+            if likes {
+                rec.hits += 1;
+                rec.dislikes_at_liked_reception.push(0);
+                rec.forward_hops.push((hop, true));
+                for &f in graph.neighbors(node) {
+                    rec.news_sent += 1;
+                    queue.push_back((f, hop + 1));
+                }
+            }
+        }
+        news_all += rec.news_sent;
+        if measured {
+            news_measured += rec.news_sent;
+        }
+        items.push(rec);
+    }
+
+    SimReport {
+        protocol: "Cascade".into(),
+        dataset: dataset.name.clone(),
+        fanout: None,
+        n_nodes: n,
+        cycles: cfg.cycles,
+        items,
+        per_node: Vec::new(),
+        news_messages: news_measured,
+        news_messages_all: news_all,
+        gossip_messages: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_datasets::{digg, DiggConfig};
+
+    fn dataset() -> Dataset {
+        digg::generate(&DiggConfig::paper().scaled(0.15), 9)
+    }
+
+    #[test]
+    fn cascade_reaches_fewer_than_interested() {
+        let d = dataset();
+        let r = run(&d, &SimConfig::default());
+        let s = r.scores();
+        assert!(s.recall < 0.9, "cascade recall should be limited: {s:?}");
+        assert!(s.precision > 0.0);
+        assert!(r.news_messages_all > 0);
+    }
+
+    #[test]
+    fn cascade_is_deterministic() {
+        let d = dataset();
+        let a = run(&d, &SimConfig::default());
+        let b = run(&d, &SimConfig::default());
+        assert_eq!(a.scores(), b.scores());
+        assert_eq!(a.news_messages_all, b.news_messages_all);
+    }
+
+    #[test]
+    fn loss_reduces_reach() {
+        let d = dataset();
+        let clean = run(&d, &SimConfig::default());
+        let lossy = run(&d, &SimConfig { loss: 0.6, ..Default::default() });
+        assert!(lossy.scores().recall <= clean.scores().recall);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit social graph")]
+    fn requires_social_graph() {
+        let mut d = dataset();
+        d.social = None;
+        let _ = run(&d, &SimConfig::default());
+    }
+
+    #[test]
+    fn reached_bounded_by_population() {
+        let d = dataset();
+        let r = run(&d, &SimConfig::default());
+        for item in &r.items {
+            assert!(item.reached as usize <= d.n_users() - 1);
+            assert!(item.hits <= item.reached);
+        }
+    }
+}

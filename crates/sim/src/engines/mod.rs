@@ -1,0 +1,52 @@
+//! Alternative dissemination engines: the paper's non-gossip baselines.
+//!
+//! These do not run on the per-node `whatsup-core` stack: cascade walks the
+//! explicit social graph, and the two centralized engines (`C-Pub/Sub`,
+//! `C-WhatsUp`) assume a server with global knowledge. [`run_protocol`]
+//! dispatches uniformly so sweeps and harnesses treat all protocols alike.
+
+pub mod cascade;
+pub mod centralized;
+pub mod pubsub;
+
+use crate::config::{Protocol, SimConfig};
+use crate::engine::Simulation;
+use crate::record::SimReport;
+use whatsup_datasets::Dataset;
+
+/// Runs any protocol over a dataset and returns its report.
+pub fn run_protocol(dataset: &Dataset, protocol: Protocol, cfg: &SimConfig) -> SimReport {
+    match protocol {
+        Protocol::Cascade => cascade::run(dataset, cfg),
+        Protocol::CPubSub => pubsub::run(dataset, cfg),
+        Protocol::CWhatsUp { f_like } => centralized::run(dataset, f_like, cfg),
+        node_protocol => Simulation::new(dataset, node_protocol, cfg.clone()).run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_datasets::{digg, DiggConfig};
+
+    #[test]
+    fn dispatch_covers_all_protocols() {
+        let d = digg::generate(&DiggConfig::paper().scaled(0.06), 3);
+        let cfg = SimConfig {
+            cycles: 12,
+            publish_from: 1,
+            measure_from: 4,
+            ..Default::default()
+        };
+        for p in [
+            Protocol::WhatsUp { f_like: 3 },
+            Protocol::Cascade,
+            Protocol::CPubSub,
+            Protocol::CWhatsUp { f_like: 3 },
+        ] {
+            let r = run_protocol(&d, p, &cfg);
+            assert_eq!(r.protocol, p.label());
+            assert!(r.measured_items() > 0, "{} produced no items", p.label());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! C-Pub/Sub: the ideal centralized topic-based publish/subscribe
+//! (paper §IV-B, Table V).
+//!
+//! A user subscribes to a topic if she likes at least one item of that
+//! topic. The server disseminates every item to all subscribers of its
+//! topic along a spanning tree (one message per subscriber — minimal
+//! message complexity). By construction recall is 1 (every interested user
+//! likes the item, hence at least one item of its topic, hence is
+//! subscribed); precision is bounded by topic granularity — the topics are
+//! the coarse RSS-feed labels ([`Dataset::pubsub_topic`]), not the latent
+//! interest structure, exactly as the paper extracts them "from keywords
+//! associated with the RSS feeds".
+
+use crate::config::SimConfig;
+use crate::record::{ItemRecord, SimReport};
+use whatsup_datasets::Dataset;
+
+/// Subscription table: `subscribers[topic]` = users liking ≥ 1 item of it.
+pub fn subscriptions(dataset: &Dataset) -> Vec<Vec<u32>> {
+    let n = dataset.n_users();
+    let mut subs: Vec<Vec<u32>> = vec![Vec::new(); dataset.n_pubsub_topics() as usize];
+    for (topic, list) in subs.iter_mut().enumerate() {
+        let topic = topic as u32;
+        'user: for u in 0..n {
+            for spec in dataset.items.iter() {
+                if dataset.pubsub_topic(spec.index as usize) == topic
+                    && dataset.likes.likes(u, spec.index as usize)
+                {
+                    list.push(u as u32);
+                    continue 'user;
+                }
+            }
+        }
+    }
+    subs
+}
+
+/// Runs the C-Pub/Sub baseline. The centralized server is assumed reliable
+/// (the paper treats it as the ideal reference), so `cfg.loss` is ignored.
+pub fn run(dataset: &Dataset, cfg: &SimConfig) -> SimReport {
+    let subs = subscriptions(dataset);
+    let schedule = cfg.schedule(dataset.n_items());
+    let mut items = Vec::with_capacity(dataset.n_items());
+    let mut news_measured = 0u64;
+    let mut news_all = 0u64;
+
+    for spec in &dataset.items {
+        let index = spec.index as usize;
+        let published_at = schedule[index];
+        let measured = published_at >= cfg.measure_from;
+        let source = spec.source;
+        let interested: Vec<u32> = dataset
+            .likes
+            .interested_users(index)
+            .into_iter()
+            .filter(|&u| u != source)
+            .collect();
+        let topic = dataset.pubsub_topic(index);
+        let reached: Vec<u32> =
+            subs[topic as usize].iter().copied().filter(|&u| u != source).collect();
+        let hits = reached
+            .iter()
+            .filter(|&&u| dataset.likes.likes(u as usize, index))
+            .count() as u32;
+        let rec = ItemRecord {
+            index: spec.index,
+            published_at,
+            interested: interested.len() as u32,
+            reached: reached.len() as u32,
+            hits,
+            news_sent: reached.len() as u64,
+            measured,
+            ..ItemRecord::default()
+        };
+        news_all += rec.news_sent;
+        if measured {
+            news_measured += rec.news_sent;
+        }
+        items.push(rec);
+    }
+
+    SimReport {
+        protocol: "C-Pub/Sub".into(),
+        dataset: dataset.name.clone(),
+        fanout: None,
+        n_nodes: dataset.n_users(),
+        cycles: cfg.cycles,
+        items,
+        per_node: Vec::new(),
+        news_messages: news_measured,
+        news_messages_all: news_all,
+        gossip_messages: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_datasets::{survey, SurveyConfig};
+
+    fn dataset() -> Dataset {
+        survey::generate(&SurveyConfig::paper().scaled(0.15), 21)
+    }
+
+    #[test]
+    fn recall_is_one_by_construction() {
+        let d = dataset();
+        let r = run(&d, &SimConfig::default());
+        let s = r.scores();
+        assert!((s.recall - 1.0).abs() < 1e-9, "C-Pub/Sub recall must be 1: {s:?}");
+        assert!(s.precision > 0.0 && s.precision < 1.0);
+    }
+
+    #[test]
+    fn messages_equal_subscriber_deliveries() {
+        let d = dataset();
+        let r = run(&d, &SimConfig::default());
+        for item in &r.items {
+            assert_eq!(item.news_sent, item.reached as u64);
+        }
+    }
+
+    #[test]
+    fn subscriptions_cover_likers() {
+        let d = dataset();
+        let subs = subscriptions(&d);
+        for spec in d.items.iter().take(50) {
+            let topic = d.pubsub_topic(spec.index as usize);
+            for u in d.likes.interested_users(spec.index as usize) {
+                assert!(
+                    subs[topic as usize].contains(&u),
+                    "liker {u} not subscribed to feed {topic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_feeds_cap_precision() {
+        // Feeds are coarser than latent topics, so precision must sit well
+        // below the in-topic like probability and above the raw like rate.
+        let d = dataset();
+        let r = run(&d, &SimConfig::default());
+        let p = r.scores().precision;
+        let rate = d.likes.like_rate();
+        assert!(p >= rate - 0.05, "pub/sub cannot be worse than flooding: {p} vs {rate}");
+        assert!(p < 0.6, "feed granularity should cap precision: {p}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = dataset();
+        let a = run(&d, &SimConfig::default());
+        let b = run(&d, &SimConfig::default());
+        assert_eq!(a.scores(), b.scores());
+    }
+}

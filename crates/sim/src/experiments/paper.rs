@@ -1,0 +1,97 @@
+//! The paper's published numbers, embedded for side-by-side comparison in
+//! every harness output and in EXPERIMENTS.md.
+
+/// Table I: workload summary (name, users, news items).
+pub const TABLE1: &[(&str, usize, usize)] =
+    &[("synthetic", 3180, 2000), ("digg", 750, 2500), ("survey", 480, 1000)];
+
+/// Table III (survey): algorithm, precision, recall, F1, messages/user.
+pub const TABLE3: &[(&str, f64, f64, f64, f64)] = &[
+    ("Gossip (f=4)", 0.35, 0.99, 0.51, 4600.0),
+    ("CF-Cos (k=29)", 0.50, 0.65, 0.57, 5900.0),
+    ("CF-Wup (k=19)", 0.45, 0.85, 0.59, 4700.0),
+    ("WhatsUp-Cos (fLIKE=24)", 0.51, 0.72, 0.60, 4300.0),
+    ("WhatsUp (fLIKE=10)", 0.47, 0.83, 0.60, 2400.0),
+];
+
+/// Table IV: fraction of liked items received after 0..=4 dislike hops.
+pub const TABLE4: [f64; 5] = [0.54, 0.31, 0.10, 0.03, 0.02];
+
+/// Table V: dataset, approach, precision, recall, F1, total messages.
+pub const TABLE5: &[(&str, &str, f64, f64, f64, f64)] = &[
+    ("digg", "Cascade", 0.57, 0.09, 0.16, 228_000.0),
+    ("digg", "WhatsUp", 0.56, 0.57, 0.57, 705_000.0),
+    ("survey", "C-Pub/Sub", 0.40, 1.0, 0.58, 470_000.0),
+    ("survey", "WhatsUp", 0.47, 0.83, 0.60, 1_100_000.0),
+];
+
+/// Table VI: (loss %, fanout, recall, precision).
+pub const TABLE6: &[(f64, usize, f64, f64)] = &[
+    (0.0, 3, 0.63, 0.47),
+    (0.0, 6, 0.82, 0.48),
+    (0.05, 3, 0.61, 0.47),
+    (0.05, 6, 0.82, 0.47),
+    (0.20, 3, 0.46, 0.47),
+    (0.20, 6, 0.80, 0.46),
+    (0.50, 3, 0.07, 0.55),
+    (0.50, 6, 0.45, 0.44),
+];
+
+/// §V-A text: average clustering coefficient of the survey overlay.
+pub const CLUSTERING_WUP: f64 = 0.15;
+pub const CLUSTERING_COS: f64 = 0.40;
+
+/// §V-A text: average number of connected components at fanout 3
+/// (WhatsUp, CF-Wup, WhatsUp-Cos, CF-Cos).
+pub const COMPONENTS_AT_F3: [f64; 4] = [1.6, 2.6, 12.4, 14.3];
+
+/// §V-A: fanout at which the WUP metric reaches a fully connected LSCC vs
+/// cosine (Fig. 4).
+pub const LSCC_FULL_FANOUT_WUP: usize = 10;
+pub const LSCC_FULL_FANOUT_COS: usize = 15;
+
+/// Fig. 6: mean infection hop distance reported for the survey at fLIKE=5.
+pub const MEAN_INFECTION_HOPS: f64 = 5.0;
+
+/// §V-C: convergence cycles for the joining node (WhatsUp vs WhatsUp-Cos).
+pub const JOIN_CONVERGENCE_WUP: u32 = 20;
+pub const JOIN_CONVERGENCE_COS: u32 = 100;
+
+/// §V-C: convergence cycles for the interest-changing node.
+pub const CHANGE_CONVERGENCE_WUP: u32 = 40;
+pub const CHANGE_CONVERGENCE_COS: u32 = 100;
+
+/// §V-G: centralized vs decentralized — F1 gap (5%), precision gain (17%),
+/// recall loss (14%) of C-WhatsUp relative to WhatsUp.
+pub const CENTRALIZED_F1_GAP: f64 = 0.05;
+
+/// Formats a paper-vs-measured pair for harness output.
+pub fn vs(paper: f64, measured: f64) -> String {
+    format!("{paper:>6.2} | {measured:>6.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_sums_to_one() {
+        assert!((TABLE4.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_f1_consistent_with_pr() {
+        for &(name, p, r, f1, _) in TABLE3 {
+            let computed = 2.0 * p * r / (p + r);
+            assert!(
+                (computed - f1).abs() < 0.02,
+                "{name}: paper F1 {f1} vs harmonic {computed}"
+            );
+        }
+    }
+
+    #[test]
+    fn vs_formats() {
+        assert_eq!(vs(0.5, 0.25), "  0.50 |   0.25");
+    }
+}

@@ -1,0 +1,364 @@
+//! Drivers for the paper's tables (I, III, IV, V, VI).
+
+use super::{paper, paper_sim_config, scale, seed};
+use crate::config::{Protocol, SimConfig};
+use crate::engines::run_protocol;
+use crate::record::SimReport;
+use serde::{Deserialize, Serialize};
+use whatsup_datasets::{digg, survey, synthetic, DatasetStats, DiggConfig, SurveyConfig, SyntheticConfig};
+use whatsup_metrics::table::{f2, human_count};
+use whatsup_metrics::TextTable;
+
+/// Generates the survey dataset at the experiment scale.
+pub fn survey_dataset() -> whatsup_datasets::Dataset {
+    survey::generate(&SurveyConfig::paper().scaled(scale()), seed() ^ 0x5eed_0002)
+}
+
+/// Generates the Digg dataset at the experiment scale.
+pub fn digg_dataset() -> whatsup_datasets::Dataset {
+    digg::generate(&DiggConfig::paper().scaled(scale()), seed() ^ 0x5eed_0001)
+}
+
+/// Generates the synthetic dataset at the experiment scale.
+pub fn synthetic_dataset() -> whatsup_datasets::Dataset {
+    synthetic::generate(&SyntheticConfig::paper().scaled(scale()), seed())
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+/// Table I: workload summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    pub scale: f64,
+    pub stats: Vec<DatasetStats>,
+}
+
+pub fn table1() -> Table1 {
+    let stats = vec![
+        synthetic_dataset().stats(),
+        digg_dataset().stats(),
+        survey_dataset().stats(),
+    ];
+    Table1 { scale: scale(), stats }
+}
+
+impl Table1 {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            format!("Table I — workloads (scale {:.2})", self.scale),
+            &["Name", "Users", "News", "Paper users", "Paper news", "Like rate", "Topics"],
+        );
+        for s in &self.stats {
+            let (pu, pn) = paper::TABLE1
+                .iter()
+                .find(|(n, _, _)| *n == s.name)
+                .map(|&(_, u, n)| (u, n))
+                .unwrap_or((0, 0));
+            t.row(&[
+                s.name.clone(),
+                s.n_users.to_string(),
+                s.n_items.to_string(),
+                pu.to_string(),
+                pn.to_string(),
+                f2(s.like_rate),
+                s.n_topics.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table III
+// ---------------------------------------------------------------------------
+
+/// One measured row of Table III.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    pub label: String,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub messages_per_user: f64,
+    pub paper: (f64, f64, f64, f64),
+}
+
+/// Table III: best performance of each approach on the survey.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3 {
+    pub rows: Vec<Table3Row>,
+}
+
+pub fn table3() -> Table3 {
+    let dataset = survey_dataset();
+    let cfg = paper_sim_config();
+    let runs: Vec<(Protocol, &(&str, f64, f64, f64, f64))> = vec![
+        (Protocol::Gossip { fanout: 4 }, &paper::TABLE3[0]),
+        (Protocol::CfCos { k: 29 }, &paper::TABLE3[1]),
+        (Protocol::CfWup { k: 19 }, &paper::TABLE3[2]),
+        (Protocol::WhatsUpCos { f_like: 24 }, &paper::TABLE3[3]),
+        (Protocol::WhatsUp { f_like: 10 }, &paper::TABLE3[4]),
+    ];
+    let reports: Vec<SimReport> = {
+        use rayon::prelude::*;
+        runs.par_iter().map(|(p, _)| run_protocol(&dataset, *p, &cfg)).collect()
+    };
+    let rows = runs
+        .iter()
+        .zip(reports)
+        .map(|((_, paper_row), report)| {
+            let s = report.scores();
+            Table3Row {
+                label: paper_row.0.to_string(),
+                precision: s.precision,
+                recall: s.recall,
+                f1: s.f1,
+                messages_per_user: report.messages_per_user(),
+                paper: (paper_row.1, paper_row.2, paper_row.3, paper_row.4),
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl Table3 {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table III — survey: best performance (paper | measured)",
+            &["Algorithm", "Precision", "Recall", "F1-Score", "Mess./User"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.label.clone(),
+                paper::vs(r.paper.0, r.precision),
+                paper::vs(r.paper.1, r.recall),
+                paper::vs(r.paper.2, r.f1),
+                format!("{} | {}", human_count(r.paper.3), human_count(r.messages_per_user)),
+            ]);
+        }
+        t.render()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table IV
+// ---------------------------------------------------------------------------
+
+/// Table IV: dislike-hop distribution of liked receptions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4 {
+    pub measured: Vec<f64>,
+    pub paper: Vec<f64>,
+}
+
+pub fn table4() -> Table4 {
+    let dataset = survey_dataset();
+    let report = run_protocol(&dataset, Protocol::WhatsUp { f_like: 10 }, &paper_sim_config());
+    Table4 { measured: report.dislike_distribution(4), paper: paper::TABLE4.to_vec() }
+}
+
+impl Table4 {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table IV — news received and liked via dislike (fraction)",
+            &["Number of dislikes", "0", "1", "2", "3", "4"],
+        );
+        let fmt = |v: &[f64]| -> Vec<String> {
+            v.iter().map(|x| format!("{:.0}%", x * 100.0)).collect()
+        };
+        let mut paper_row = vec!["paper".to_string()];
+        paper_row.extend(fmt(&self.paper));
+        t.row(&paper_row);
+        let mut measured_row = vec!["measured".to_string()];
+        measured_row.extend(fmt(&self.measured));
+        t.row(&measured_row);
+        t.render()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table V
+// ---------------------------------------------------------------------------
+
+/// One row of Table V (explicit baselines).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Row {
+    pub dataset: String,
+    pub approach: String,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub messages: f64,
+    pub paper: (f64, f64, f64, f64),
+}
+
+/// Table V: WhatsUp vs cascading (Digg) and vs C-Pub/Sub (survey).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5 {
+    pub rows: Vec<Table5Row>,
+}
+
+pub fn table5() -> Table5 {
+    let digg = digg_dataset();
+    let survey = survey_dataset();
+    let cfg = paper_sim_config();
+    let jobs: Vec<(&whatsup_datasets::Dataset, Protocol, &(&str, &str, f64, f64, f64, f64))> = vec![
+        (&digg, Protocol::Cascade, &paper::TABLE5[0]),
+        (&digg, Protocol::WhatsUp { f_like: 10 }, &paper::TABLE5[1]),
+        (&survey, Protocol::CPubSub, &paper::TABLE5[2]),
+        (&survey, Protocol::WhatsUp { f_like: 10 }, &paper::TABLE5[3]),
+    ];
+    let rows = jobs
+        .into_iter()
+        .map(|(d, p, pr)| {
+            let report = run_protocol(d, p, &cfg);
+            let s = report.scores();
+            Table5Row {
+                dataset: d.name.clone(),
+                approach: report.protocol.clone(),
+                precision: s.precision,
+                recall: s.recall,
+                f1: s.f1,
+                messages: report.news_messages_all as f64,
+                paper: (pr.2, pr.3, pr.4, pr.5),
+            }
+        })
+        .collect();
+    Table5 { rows }
+}
+
+impl Table5 {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table V — WhatsUp vs C-Pub/Sub and Cascading (paper | measured)",
+            &["Dataset", "Approach", "Precision", "Recall", "F1-Score", "Messages"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.dataset.clone(),
+                r.approach.clone(),
+                paper::vs(r.paper.0, r.precision),
+                paper::vs(r.paper.1, r.recall),
+                paper::vs(r.paper.2, r.f1),
+                format!("{} | {}", human_count(r.paper.3), human_count(r.messages)),
+            ]);
+        }
+        t.render()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table VI
+// ---------------------------------------------------------------------------
+
+/// One (loss, fanout) cell of Table VI.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table6Row {
+    pub loss: f64,
+    pub fanout: usize,
+    pub recall: f64,
+    pub precision: f64,
+    pub f1: f64,
+    pub paper_recall: f64,
+    pub paper_precision: f64,
+}
+
+/// Table VI: performance under message loss (survey).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table6 {
+    pub rows: Vec<Table6Row>,
+}
+
+pub fn table6() -> Table6 {
+    let dataset = survey_dataset();
+    use rayon::prelude::*;
+    let rows: Vec<Table6Row> = paper::TABLE6
+        .par_iter()
+        .map(|&(loss, fanout, pr, pp)| {
+            let cfg = SimConfig { loss, ..paper_sim_config() };
+            let report =
+                run_protocol(&dataset, Protocol::WhatsUp { f_like: fanout }, &cfg);
+            let s = report.scores();
+            Table6Row {
+                loss,
+                fanout,
+                recall: s.recall,
+                precision: s.precision,
+                f1: s.f1,
+                paper_recall: pr,
+                paper_precision: pp,
+            }
+        })
+        .collect();
+    Table6 { rows }
+}
+
+impl Table6 {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table VI — survey: performance vs message-loss rate (paper | measured)",
+            &["Loss", "Fanout", "Recall", "Precision", "F1"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                format!("{:.0}%", r.loss * 100.0),
+                r.fanout.to_string(),
+                paper::vs(r.paper_recall, r.recall),
+                paper::vs(r.paper_precision, r.precision),
+                f2(r.f1),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full drivers run at the env-controlled scale; tests pin tiny
+    // datasets through the internal pieces instead of the public drivers to
+    // stay fast. The drivers themselves are exercised by the bench harnesses
+    // and integration tests.
+
+    #[test]
+    fn table1_renders_three_workloads() {
+        // table1 only generates datasets (no simulation): cheap enough.
+        let t = table1();
+        assert_eq!(t.stats.len(), 3);
+        let rendered = t.render();
+        assert!(rendered.contains("synthetic"));
+        assert!(rendered.contains("digg"));
+        assert!(rendered.contains("survey"));
+    }
+
+    #[test]
+    fn table4_rendering_shape() {
+        let t = Table4 { measured: vec![0.5, 0.3, 0.1, 0.06, 0.04], paper: paper::TABLE4.to_vec() };
+        let r = t.render();
+        assert!(r.contains("54%"), "{r}");
+        assert!(r.contains("50%"), "{r}");
+    }
+
+    #[test]
+    fn table6_render_includes_loss_levels() {
+        let rows = paper::TABLE6
+            .iter()
+            .map(|&(loss, fanout, pr, pp)| Table6Row {
+                loss,
+                fanout,
+                recall: pr,
+                precision: pp,
+                f1: 0.5,
+                paper_recall: pr,
+                paper_precision: pp,
+            })
+            .collect();
+        let t = Table6 { rows };
+        let r = t.render();
+        assert!(r.contains("50%"));
+        assert!(r.contains("20%"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Cycle-based simulator for WhatsUp and every competitor of the paper's
+//! evaluation (§IV–§V).
+//!
+//! The simulator follows the paper's methodology: time advances in *gossip
+//! cycles*; each cycle every node runs one RPS and one WUP exchange, the
+//! scheduled news items are published, and each item's epidemic completes
+//! within its publication cycle (hop-indexed, so Fig. 6's hop histograms
+//! fall out directly). Message loss is injected per message (§V-E).
+//!
+//! Protocol families:
+//!
+//! * [`engine::Simulation`] — node-based protocols sharing the
+//!   `whatsup-core` stack: WhatsUp, WhatsUp-Cos, CF-WUP, CF-Cos and
+//!   homogeneous gossip (all expressed as [`whatsup_core::Params`]).
+//! * [`engines::cascade`] — dissemination over the explicit social graph
+//!   (Digg baseline).
+//! * [`engines::pubsub`] — C-Pub/Sub, the ideal centralized topic-based
+//!   publish/subscribe.
+//! * [`engines::centralized`] — C-WhatsUp, the centralized variant with
+//!   global knowledge (§IV-B, Fig. 9).
+//!
+//! Everything is deterministic given a seed, and every experiment driver in
+//! [`experiments`] is exercised by both the benchmark harnesses and the
+//! integration tests.
+
+pub mod analysis;
+pub mod config;
+pub mod dynamics;
+pub mod engine;
+pub mod engines;
+pub mod experiments;
+pub mod oracle;
+pub mod record;
+pub mod sweep;
+
+pub use config::{Protocol, SimConfig};
+pub use engine::Simulation;
+pub use engines::run_protocol;
+pub use oracle::Oracle;
+pub use record::{ItemRecord, SimReport};

@@ -1,0 +1,131 @@
+//! The opinions oracle: ground-truth likes with dynamic re-mapping.
+//!
+//! Experiments on interest dynamics (§V-C, Fig. 7) need two operations the
+//! raw like matrix cannot express:
+//!
+//! * a **joining node** that enters mid-run with the same interests as an
+//!   existing reference node;
+//! * an **interest switch** between two users at a given cycle.
+//!
+//! Both are row *aliases*: `alias[node]` names the matrix row holding the
+//! node's current interests. The matrix itself never changes.
+
+use whatsup_core::{ItemId, NodeId, Opinions};
+use whatsup_datasets::LikeMatrix;
+use std::collections::HashMap;
+
+/// Ground-truth oracle mapping protocol-level ids to dataset rows/columns.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    matrix: LikeMatrix,
+    /// Item content-hash → dataset item index.
+    id_to_index: HashMap<ItemId, u32>,
+    /// Node → matrix row (identity for the initial population).
+    alias: Vec<u32>,
+}
+
+impl Oracle {
+    pub fn new(matrix: LikeMatrix, id_to_index: HashMap<ItemId, u32>) -> Self {
+        let alias = (0..matrix.n_users() as u32).collect();
+        Self { matrix, id_to_index, alias }
+    }
+
+    /// Number of protocol-level nodes (grows as joiners are added).
+    pub fn n_nodes(&self) -> usize {
+        self.alias.len()
+    }
+
+    pub fn matrix(&self) -> &LikeMatrix {
+        &self.matrix
+    }
+
+    /// Dataset index of an item id, if known.
+    pub fn index_of(&self, item: ItemId) -> Option<u32> {
+        self.id_to_index.get(&item).copied()
+    }
+
+    /// Ground-truth opinion by dataset item *index*.
+    pub fn likes_index(&self, node: NodeId, index: u32) -> bool {
+        let row = self.alias[node as usize] as usize;
+        self.matrix.likes(row, index as usize)
+    }
+
+    /// Nodes interested in item `index` under the current aliasing.
+    pub fn interested(&self, index: u32) -> Vec<NodeId> {
+        (0..self.alias.len() as u32).filter(|&n| self.likes_index(n, index)).collect()
+    }
+
+    /// Registers a joining node whose interests mirror `reference`'s current
+    /// row. Returns the new node id.
+    pub fn add_clone_of(&mut self, reference: NodeId) -> NodeId {
+        let row = self.alias[reference as usize];
+        self.alias.push(row);
+        (self.alias.len() - 1) as NodeId
+    }
+
+    /// Swaps the interests of two nodes (§V-C's "changing node" experiment).
+    pub fn swap_interests(&mut self, a: NodeId, b: NodeId) {
+        self.alias.swap(a as usize, b as usize);
+    }
+}
+
+impl Opinions for Oracle {
+    fn likes(&self, node: NodeId, item: ItemId) -> bool {
+        match self.id_to_index.get(&item) {
+            Some(&idx) => self.likes_index(node, idx),
+            // Unknown item (not part of the workload): nobody likes it.
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> Oracle {
+        let mut m = LikeMatrix::new(3, 2);
+        m.set(0, 0, true);
+        m.set(1, 1, true);
+        m.set(2, 0, true);
+        m.set(2, 1, true);
+        let map = HashMap::from([(100u64, 0u32), (200u64, 1u32)]);
+        Oracle::new(m, map)
+    }
+
+    #[test]
+    fn likes_resolve_through_map() {
+        let o = oracle();
+        assert!(o.likes(0, 100));
+        assert!(!o.likes(0, 200));
+        assert!(o.likes(2, 200));
+        assert!(!o.likes(0, 999), "unknown items are disliked");
+    }
+
+    #[test]
+    fn interested_lists_nodes() {
+        let o = oracle();
+        assert_eq!(o.interested(0), vec![0, 2]);
+        assert_eq!(o.interested(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn clone_mirrors_reference() {
+        let mut o = oracle();
+        let j = o.add_clone_of(1);
+        assert_eq!(j, 3);
+        assert_eq!(o.n_nodes(), 4);
+        assert!(o.likes(j, 200));
+        assert!(!o.likes(j, 100));
+        assert_eq!(o.interested(1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn swap_exchanges_interests() {
+        let mut o = oracle();
+        o.swap_interests(0, 1);
+        assert!(o.likes(0, 200));
+        assert!(!o.likes(0, 100));
+        assert!(o.likes(1, 100));
+    }
+}

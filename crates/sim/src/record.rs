@@ -1,0 +1,318 @@
+//! Per-item dissemination records and the aggregated simulation report.
+
+use serde::{Deserialize, Serialize};
+use whatsup_metrics::{IrAggregate, IrScores, ItemOutcome};
+
+/// Everything the evaluation needs to know about one item's dissemination.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ItemRecord {
+    /// Dataset index of the item.
+    pub index: u32,
+    /// Cycle the item was published at.
+    pub published_at: u32,
+    /// Ground-truth interested nodes at publication time (excluding source).
+    pub interested: u32,
+    /// Nodes that received the item at least once (excluding source).
+    pub reached: u32,
+    /// Interested nodes among the reached.
+    pub hits: u32,
+    /// News copies sent for this item (including lost ones — the paper's
+    /// "number of sent messages").
+    pub news_sent: u64,
+    /// Dislike-counter value carried by the copy that first reached each
+    /// node that *liked* the item (Table IV's distribution).
+    pub dislikes_at_liked_reception: Vec<u8>,
+    /// `(hop, by_like)` for every forwarding action (Fig. 6 "Forward by …").
+    /// The hop is the distance of the forwarding node from the source.
+    pub forward_hops: Vec<(u16, bool)>,
+    /// `(hop, by_like)` for every first reception (Fig. 6 "Infection by …"),
+    /// classified by the *sender's* opinion.
+    pub infection_hops: Vec<(u16, bool)>,
+    /// Whether this item counts towards the reported metrics (published
+    /// after the measurement threshold).
+    pub measured: bool,
+}
+
+impl ItemRecord {
+    pub fn outcome(&self) -> ItemOutcome {
+        ItemOutcome::new(self.interested as usize, self.reached as usize, self.hits as usize)
+    }
+}
+
+/// Per-node delivery counters over measured items (Fig. 11 needs per-user
+/// precision/recall).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeIr {
+    /// Measured items delivered to this node (first receptions).
+    pub received: u64,
+    /// Measured items delivered that the node liked.
+    pub hits: u64,
+    /// Measured items the node was interested in (and did not publish).
+    pub interested: u64,
+}
+
+impl NodeIr {
+    /// This user's own precision/recall/F1 over the workload.
+    pub fn scores(&self) -> IrScores {
+        let precision =
+            if self.received == 0 { 0.0 } else { self.hits as f64 / self.received as f64 };
+        let recall =
+            if self.interested == 0 { 0.0 } else { self.hits as f64 / self.interested as f64 };
+        IrScores::from_pr(precision, recall)
+    }
+}
+
+/// Aggregated result of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    pub protocol: String,
+    pub dataset: String,
+    /// Fanout knob of the run, when the protocol has one.
+    pub fanout: Option<usize>,
+    pub n_nodes: usize,
+    pub cycles: u32,
+    /// Per-item records (measured and warmup items alike).
+    pub items: Vec<ItemRecord>,
+    /// Per-node counters over measured items (empty for engines that do not
+    /// track them).
+    pub per_node: Vec<NodeIr>,
+    /// Total news (dissemination) messages sent, measured items only.
+    pub news_messages: u64,
+    /// Total news messages including warmup items.
+    pub news_messages_all: u64,
+    /// Gossip-layer messages (RPS + WUP) over the whole run.
+    pub gossip_messages: u64,
+}
+
+impl SimReport {
+    /// IR aggregate over measured items.
+    pub fn aggregate(&self) -> IrAggregate {
+        let mut agg = IrAggregate::new();
+        for r in self.items.iter().filter(|r| r.measured) {
+            agg.push(r.outcome());
+        }
+        agg
+    }
+
+    /// Micro-averaged precision/recall/F1 over measured items — the paper's
+    /// headline numbers.
+    pub fn scores(&self) -> IrScores {
+        self.aggregate().micro()
+    }
+
+    /// Macro-averaged (per-item mean) scores.
+    pub fn scores_macro(&self) -> IrScores {
+        self.aggregate().macro_avg()
+    }
+
+    /// Number of measured items.
+    pub fn measured_items(&self) -> usize {
+        self.items.iter().filter(|r| r.measured).count()
+    }
+
+    /// Fig. 3 x-axis: news messages per cycle per node (measured items,
+    /// measured cycle span).
+    pub fn messages_per_cycle_per_node(&self) -> f64 {
+        let span: u32 = self.measured_span().max(1);
+        self.news_messages as f64 / span as f64 / self.n_nodes.max(1) as f64
+    }
+
+    /// Table III/V: news messages per user (whole run, measured items).
+    pub fn messages_per_user(&self) -> f64 {
+        self.news_messages as f64 / self.n_nodes.max(1) as f64
+    }
+
+    fn measured_span(&self) -> u32 {
+        let mut min = u32::MAX;
+        let mut max = 0;
+        for r in self.items.iter().filter(|r| r.measured) {
+            min = min.min(r.published_at);
+            max = max.max(r.published_at);
+        }
+        if min == u32::MAX {
+            0
+        } else {
+            max - min + 1
+        }
+    }
+
+    /// Table IV: fraction of liked receptions per dislike-counter value
+    /// `0..=max_ttl` (anything above the last bucket is clamped into it).
+    pub fn dislike_distribution(&self, max_ttl: usize) -> Vec<f64> {
+        let mut counts = vec![0u64; max_ttl + 1];
+        let mut total = 0u64;
+        for r in self.items.iter().filter(|r| r.measured) {
+            for &d in &r.dislikes_at_liked_reception {
+                counts[(d as usize).min(max_ttl)] += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return vec![0.0; max_ttl + 1];
+        }
+        counts.into_iter().map(|c| c as f64 / total as f64).collect()
+    }
+
+    /// Fig. 6 series: per-hop counts of (forward by like, infection by like,
+    /// forward by dislike, infection by dislike), averaged per measured item.
+    pub fn hop_profile(&self, max_hops: usize) -> HopProfile {
+        let mut p = HopProfile::new(max_hops);
+        let measured = self.measured_items().max(1) as f64;
+        for r in self.items.iter().filter(|r| r.measured) {
+            for &(h, like) in &r.forward_hops {
+                let h = (h as usize).min(max_hops);
+                if like {
+                    p.forward_like[h] += 1.0;
+                } else {
+                    p.forward_dislike[h] += 1.0;
+                }
+            }
+            for &(h, like) in &r.infection_hops {
+                let h = (h as usize).min(max_hops);
+                if like {
+                    p.infection_like[h] += 1.0;
+                } else {
+                    p.infection_dislike[h] += 1.0;
+                }
+            }
+        }
+        for v in [
+            &mut p.forward_like,
+            &mut p.forward_dislike,
+            &mut p.infection_like,
+            &mut p.infection_dislike,
+        ] {
+            for x in v.iter_mut() {
+                *x /= measured;
+            }
+        }
+        p
+    }
+}
+
+/// Per-hop dissemination activity (Fig. 6), averaged per item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HopProfile {
+    pub forward_like: Vec<f64>,
+    pub forward_dislike: Vec<f64>,
+    pub infection_like: Vec<f64>,
+    pub infection_dislike: Vec<f64>,
+}
+
+impl HopProfile {
+    fn new(max_hops: usize) -> Self {
+        Self {
+            forward_like: vec![0.0; max_hops + 1],
+            forward_dislike: vec![0.0; max_hops + 1],
+            infection_like: vec![0.0; max_hops + 1],
+            infection_dislike: vec![0.0; max_hops + 1],
+        }
+    }
+
+    /// Mean hop distance of infections (the paper reports ≈5 on the survey).
+    pub fn mean_infection_hop(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for (h, (l, d)) in self.infection_like.iter().zip(&self.infection_dislike).enumerate() {
+            weighted += h as f64 * (l + d);
+            total += l + d;
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            weighted / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(measured: bool) -> ItemRecord {
+        ItemRecord {
+            index: 0,
+            published_at: 10,
+            interested: 10,
+            reached: 20,
+            hits: 10,
+            news_sent: 100,
+            dislikes_at_liked_reception: vec![0, 0, 1, 2],
+            forward_hops: vec![(0, true), (1, false)],
+            infection_hops: vec![(1, true), (2, false)],
+            measured,
+        }
+    }
+
+    fn report() -> SimReport {
+        SimReport {
+            protocol: "WhatsUp".into(),
+            dataset: "survey".into(),
+            fanout: Some(10),
+            n_nodes: 100,
+            cycles: 65,
+            items: vec![record(true), record(false)],
+            per_node: vec![NodeIr { received: 10, hits: 5, interested: 8 }],
+            news_messages: 100,
+            news_messages_all: 200,
+            gossip_messages: 40,
+        }
+    }
+
+    #[test]
+    fn node_ir_scores() {
+        let n = NodeIr { received: 10, hits: 5, interested: 8 };
+        let s = n.scores();
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 0.625).abs() < 1e-12);
+        let empty = NodeIr::default();
+        assert_eq!(empty.scores(), IrScores::default());
+    }
+
+    #[test]
+    fn only_measured_items_count() {
+        let r = report();
+        assert_eq!(r.measured_items(), 1);
+        let s = r.scores();
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_normalizations() {
+        let r = report();
+        // One measured item at cycle 10 → span 1.
+        assert!((r.messages_per_cycle_per_node() - 1.0).abs() < 1e-12);
+        assert!((r.messages_per_user() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dislike_distribution_normalizes() {
+        let r = report();
+        let d = r.dislike_distribution(4);
+        assert_eq!(d.len(), 5);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_profile_buckets() {
+        let r = report();
+        let p = r.hop_profile(30);
+        assert!((p.forward_like[0] - 1.0).abs() < 1e-12);
+        assert!((p.forward_dislike[1] - 1.0).abs() < 1e-12);
+        assert!((p.infection_like[1] - 1.0).abs() < 1e-12);
+        assert!((p.infection_dislike[2] - 1.0).abs() < 1e-12);
+        let mean = p.mean_infection_hop();
+        assert!((mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = SimReport::default();
+        assert_eq!(r.scores(), IrScores::default());
+        assert_eq!(r.dislike_distribution(4), vec![0.0; 5]);
+        assert_eq!(r.hop_profile(5).mean_infection_hop(), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Parameter sweeps, parallelized with rayon.
+//!
+//! Fig. 3 alone is ~100 independent simulations (4 protocols × ~8 fanouts ×
+//! 3 datasets); each run is deterministic, so sweeping in parallel changes
+//! nothing but wall-clock time.
+
+use crate::config::{Protocol, SimConfig};
+use crate::engines::run_protocol;
+use crate::record::SimReport;
+use rayon::prelude::*;
+use whatsup_datasets::Dataset;
+use whatsup_metrics::{Series, SeriesSet};
+
+/// Runs `protocol` at every fanout in `fanouts`, in parallel.
+pub fn fanout_sweep(
+    dataset: &Dataset,
+    protocol: Protocol,
+    fanouts: &[usize],
+    cfg: &SimConfig,
+) -> Vec<SimReport> {
+    fanouts
+        .par_iter()
+        .map(|&f| run_protocol(dataset, protocol.with_fanout(f), cfg))
+        .collect()
+}
+
+/// Runs several protocols at every fanout, in parallel over the full grid.
+pub fn grid_sweep(
+    dataset: &Dataset,
+    protocols: &[Protocol],
+    fanouts: &[usize],
+    cfg: &SimConfig,
+) -> Vec<SimReport> {
+    let jobs: Vec<Protocol> = protocols
+        .iter()
+        .flat_map(|p| fanouts.iter().map(move |&f| p.with_fanout(f)))
+        .collect();
+    jobs.par_iter().map(|&p| run_protocol(dataset, p, cfg)).collect()
+}
+
+/// F1 vs fanout curves (Figs. 3a–3c) from sweep reports.
+pub fn f1_vs_fanout(reports: &[SimReport], title: impl Into<String>) -> SeriesSet {
+    let mut set = SeriesSet::new(title, "fanout", "F1-Score");
+    for report in reports {
+        let Some(f) = report.fanout else { continue };
+        let label = report.protocol.clone();
+        if set.get(&label).is_none() {
+            set.add(Series::new(label.clone()));
+        }
+        let series = set.series.iter_mut().find(|s| s.label == label).expect("just added");
+        series.push(f as f64, report.scores().f1);
+    }
+    for s in &mut set.series {
+        s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("fanout is finite"));
+    }
+    set
+}
+
+/// F1 vs message-cost curves (Figs. 3d–3f): x = news messages per cycle per
+/// node, y = F1.
+pub fn f1_vs_messages(reports: &[SimReport], title: impl Into<String>) -> SeriesSet {
+    let mut set = SeriesSet::new(title, "msgs/cycle/node", "F1-Score");
+    for report in reports {
+        let label = report.protocol.clone();
+        if set.get(&label).is_none() {
+            set.add(Series::new(label.clone()));
+        }
+        let series = set.series.iter_mut().find(|s| s.label == label).expect("just added");
+        series.push(report.messages_per_cycle_per_node(), report.scores().f1);
+    }
+    for s in &mut set.series {
+        s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("cost is finite"));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_datasets::{survey, SurveyConfig};
+
+    fn dataset() -> Dataset {
+        survey::generate(&SurveyConfig::paper().scaled(0.1), 77)
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig { cycles: 14, publish_from: 2, measure_from: 5, ..Default::default() }
+    }
+
+    #[test]
+    fn sweep_returns_one_report_per_fanout() {
+        let d = dataset();
+        let reports =
+            fanout_sweep(&d, Protocol::WhatsUp { f_like: 0 }, &[2, 4], &cfg());
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].fanout, Some(2));
+        assert_eq!(reports[1].fanout, Some(4));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let d = dataset();
+        let par = fanout_sweep(&d, Protocol::Gossip { fanout: 0 }, &[2, 3], &cfg());
+        let seq: Vec<SimReport> = [2usize, 3]
+            .iter()
+            .map(|&f| run_protocol(&d, Protocol::Gossip { fanout: f }, &cfg()))
+            .collect();
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.scores(), b.scores());
+        }
+    }
+
+    #[test]
+    fn series_are_sorted_and_labeled() {
+        let d = dataset();
+        let reports = grid_sweep(
+            &d,
+            &[Protocol::WhatsUp { f_like: 0 }, Protocol::Gossip { fanout: 0 }],
+            &[4, 2],
+            &cfg(),
+        );
+        let set = f1_vs_fanout(&reports, "test");
+        assert_eq!(set.series.len(), 2);
+        for s in &set.series {
+            assert!(s.points.windows(2).all(|w| w[0].0 <= w[1].0));
+            assert_eq!(s.points.len(), 2);
+        }
+        let msg_set = f1_vs_messages(&reports, "test");
+        assert_eq!(msg_set.series.len(), 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! Interest dynamics (paper §V-C, Fig. 7): a node joins mid-run with the
+//! same interests as a reference node; another pair of nodes swap interests.
+//! Watch how fast the WUP metric rebuilds their implicit social networks
+//! compared to cosine similarity.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example interest_shift
+//! ```
+
+use whatsup::prelude::*;
+use whatsup::sim::dynamics::{self, DynamicsConfig};
+
+fn main() {
+    let dataset =
+        whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.2), 99);
+    let cfg = DynamicsConfig {
+        base: SimConfig { cycles: 100, publish_from: 3, measure_from: 10, ..Default::default() },
+        event_at: 50,
+        repeats: 5,
+    };
+    println!(
+        "survey slice: {} users; joining node + interest swap at cycle {}; {} repeats",
+        dataset.n_users(),
+        cfg.event_at,
+        cfg.repeats
+    );
+
+    for protocol in [Protocol::WhatsUp { f_like: 10 }, Protocol::WhatsUpCos { f_like: 10 }] {
+        let trace = dynamics::run(&dataset, protocol, &cfg);
+        println!("\n=== {} ===", protocol.label());
+        println!(
+            "{:>6} {:>10} {:>10} {:>10}",
+            "cycle", "reference", "joining", "changing"
+        );
+        for (i, &c) in trace.cycles.iter().enumerate() {
+            if c % 10 != 0 {
+                continue;
+            }
+            println!(
+                "{c:>6} {:>10.3} {:>10.3} {:>10.3}",
+                trace.reference_similarity[i],
+                trace.joining_similarity[i],
+                trace.changing_similarity[i]
+            );
+        }
+        let join = trace.joining_convergence_cycle(cfg.event_at, 0.8);
+        let chg = trace.changing_convergence_cycle(cfg.event_at + 1, 0.8);
+        println!(
+            "cycles to reach 80% of the reference view quality: join={}, change={}",
+            join.map_or("never".into(), |c| c.to_string()),
+            chg.map_or("never".into(), |c| c.to_string()),
+        );
+    }
+    println!(
+        "\nThe WUP metric favors small fresh profiles, so newcomers integrate in \
+         tens of cycles; cosine keeps them orbiting (paper: 20 vs >100 cycles)."
+    );
+}

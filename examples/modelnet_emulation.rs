@@ -1,0 +1,49 @@
+//! ModelNet-style emulation under message loss (paper §V-E, Table VI):
+//! every peer is a thread, traffic crosses an emulated fabric with latency
+//! and an iid loss rate, and we watch gossip's redundancy absorb the damage.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example modelnet_emulation
+//! ```
+
+use whatsup::prelude::*;
+
+fn main() {
+    let dataset =
+        whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.15), 13);
+    println!("{} emulated peers; sweeping link loss…\n", dataset.n_users());
+
+    let mut table = TextTable::new(
+        "F1 under emulated message loss (fanout 6)",
+        &["loss", "precision", "recall", "F1"],
+    );
+    for loss in [0.0, 0.05, 0.20, 0.50] {
+        let cfg = EmulatorConfig {
+            swarm: SwarmConfig {
+                params: Params::whatsup(6),
+                cycles: 20,
+                cycle_ms: 100,
+                publish_from: 2,
+                measure_from: 7,
+                drain_cycles: 3,
+                ..Default::default()
+            },
+            latency_ms: (2, 10),
+            link_loss: loss,
+        };
+        let report = whatsup::net::emulator::run(&dataset, &cfg);
+        let s = report.scores();
+        table.row(&[
+            format!("{:.0}%", loss * 100.0),
+            format!("{:.3}", s.precision),
+            format!("{:.3}", s.recall),
+            format!("{:.3}", s.f1),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper (Table VI): at fanout 6 the F1 barely moves up to 20% loss and \
+         degrades gracefully at 50% — epidemic redundancy is the safety net."
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate WhatsUp against homogeneous gossip on a small
+//! survey-like workload and print the quality/cost numbers.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use whatsup::prelude::*;
+
+fn main() {
+    // 1. A workload: ~120 users rating ~250 news items (scaled-down survey
+    //    trace; see whatsup_datasets for the three paper workloads).
+    let dataset =
+        whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.25), 42);
+    println!(
+        "workload: {} users, {} items, mean like rate {:.2}",
+        dataset.n_users(),
+        dataset.n_items(),
+        dataset.likes.like_rate()
+    );
+
+    // 2. A simulation shape: 65 gossip cycles, items published throughout,
+    //    metrics over items published after the clustering ramp.
+    let cfg = SimConfig { cycles: 65, publish_from: 3, measure_from: 20, ..Default::default() };
+
+    // 3. Compare WhatsUp with a classic flood-style gossip at equal fanout.
+    let mut table = TextTable::new(
+        "WhatsUp vs homogeneous gossip",
+        &["protocol", "precision", "recall", "F1", "msgs/user"],
+    );
+    for protocol in [Protocol::WhatsUp { f_like: 10 }, Protocol::Gossip { fanout: 10 }] {
+        let report = run_protocol(&dataset, protocol, &cfg);
+        let s = report.scores();
+        table.row(&[
+            report.protocol.clone(),
+            format!("{:.3}", s.precision),
+            format!("{:.3}", s.recall),
+            format!("{:.3}", s.f1),
+            format!("{:.0}", report.messages_per_user()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "WhatsUp should deliver a similar recall at much higher precision and a \
+         fraction of the traffic — the paper's Table III in miniature."
+    );
+}

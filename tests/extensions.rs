@@ -1,0 +1,144 @@
+//! Integration tests for the §VII extensions: profile obfuscation
+//! (privacy/accuracy trade-off) and churn robustness.
+
+use whatsup::prelude::*;
+
+fn survey(scale: f64, seed: u64) -> Dataset {
+    whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(scale), seed)
+}
+
+fn cfg() -> SimConfig {
+    SimConfig { cycles: 40, publish_from: 3, measure_from: 14, ..Default::default() }
+}
+
+#[test]
+fn obfuscation_trades_accuracy_gracefully() {
+    let d = survey(0.2, 41);
+    let clear = run_protocol(&d, Protocol::WhatsUp { f_like: 8 }, &cfg());
+    let mild = run_protocol(
+        &d,
+        Protocol::WhatsUp { f_like: 8 },
+        &SimConfig { obfuscation: Some(0.3), ..cfg() },
+    );
+    let heavy = run_protocol(
+        &d,
+        Protocol::WhatsUp { f_like: 8 },
+        &SimConfig { obfuscation: Some(0.9), ..cfg() },
+    );
+    // §VII: "obfuscation provides a trade-off between the accuracy of
+    // recommendation and the disclosure of personal data" — quality must
+    // decline with noise, but mild noise must not destroy the system.
+    assert!(
+        mild.scores().f1 > 0.7 * clear.scores().f1,
+        "mild obfuscation should cost little: clear {:?} mild {:?}",
+        clear.scores(),
+        mild.scores()
+    );
+    assert!(
+        heavy.scores().f1 <= mild.scores().f1 + 0.05,
+        "heavy obfuscation cannot beat mild: mild {:?} heavy {:?}",
+        mild.scores(),
+        heavy.scores()
+    );
+    // Even ε=0.9 keeps the epidemic alive (dissemination never deadlocks).
+    assert!(heavy.scores().recall > 0.1, "{:?}", heavy.scores());
+}
+
+#[test]
+fn shared_profiles_differ_from_true_under_obfuscation() {
+    use rand::SeedableRng;
+    use whatsup::core::prelude::*;
+    let mut params = whatsup::core::Params::whatsup(2);
+    params.obfuscation_epsilon = 1.0;
+    let mut node = WhatsUpNode::new(3, params);
+    node.seed_views([(1, Profile::new())], [(1, Profile::new())]);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    // Rate many items, then inspect what the node gossips.
+    let everyone_likes = |_: NodeId, _: ItemId| true;
+    for i in 0..200u64 {
+        let _ = node.on_message(
+            1,
+            Payload::News(NewsMessage {
+                header: ItemHeader { id: i, created_at: 0 },
+                profile: Profile::new(),
+                dislikes: 0,
+                hops: 0,
+            }),
+            0,
+            &everyone_likes,
+            &mut rng,
+        );
+    }
+    let out = node.on_cycle(1, &mut rng);
+    let mut flips = 0usize;
+    let mut total = 0usize;
+    for m in &out {
+        let descs = match &m.payload {
+            Payload::RpsRequest(d) | Payload::WupRequest(d) => d,
+            _ => continue,
+        };
+        for d in descs.iter().filter(|d| d.node == 3) {
+            for e in d.payload.entries() {
+                total += 1;
+                // The node liked everything; a 0 score is a lie.
+                if e.score < 0.5 {
+                    flips += 1;
+                }
+            }
+        }
+    }
+    assert!(total >= 100, "self-descriptor must be in the gossip payloads");
+    let rate = flips as f64 / total as f64;
+    assert!(
+        (rate - 0.5).abs() < 0.15,
+        "ε=1 randomized response flips ≈ half the shared opinions, got {rate}"
+    );
+}
+
+#[test]
+fn moderate_churn_is_absorbed() {
+    let d = survey(0.2, 43);
+    let stable = run_protocol(&d, Protocol::WhatsUp { f_like: 8 }, &cfg());
+    let churny = run_protocol(
+        &d,
+        Protocol::WhatsUp { f_like: 8 },
+        &SimConfig { churn_per_cycle: 0.01, ..cfg() },
+    );
+    assert!(
+        churny.scores().f1 > 0.75 * stable.scores().f1,
+        "1%/cycle churn must be absorbed: stable {:?} churny {:?}",
+        stable.scores(),
+        churny.scores()
+    );
+}
+
+#[test]
+fn heavy_churn_degrades_but_never_panics() {
+    let d = survey(0.12, 44);
+    let heavy = run_protocol(
+        &d,
+        Protocol::WhatsUp { f_like: 6 },
+        &SimConfig { churn_per_cycle: 0.25, ..cfg() },
+    );
+    let stable = run_protocol(&d, Protocol::WhatsUp { f_like: 6 }, &cfg());
+    assert!(
+        heavy.scores().recall < stable.scores().recall,
+        "25%/cycle churn must hurt: stable {:?} heavy {:?}",
+        stable.scores(),
+        heavy.scores()
+    );
+}
+
+#[test]
+fn churn_and_loss_compose() {
+    let d = survey(0.12, 45);
+    let r = run_protocol(
+        &d,
+        Protocol::WhatsUp { f_like: 6 },
+        &SimConfig { churn_per_cycle: 0.05, loss: 0.2, ..cfg() },
+    );
+    assert!(r.scores().recall > 0.0, "combined failure modes must not deadlock");
+    for item in &r.items {
+        assert!(item.hits <= item.reached);
+    }
+}

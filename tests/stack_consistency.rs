@@ -1,0 +1,81 @@
+//! The three testbeds (simulator, emulator, UDP swarm) run the same
+//! `whatsup-core` node; their delivery quality must agree (Fig. 8a's
+//! methodological claim). Also exercises the experiment drivers' plumbing
+//! end-to-end at tiny scale.
+
+use whatsup::prelude::*;
+use whatsup::sim::experiments;
+
+#[test]
+fn simulator_emulator_udp_agree_on_f1() {
+    let dataset =
+        whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.12), 8);
+    // Simulator.
+    let sim_cfg = SimConfig { cycles: 16, publish_from: 2, measure_from: 6, ..Default::default() };
+    let sim = run_protocol(&dataset, Protocol::WhatsUp { f_like: 5 }, &sim_cfg);
+    // Emulated fabric.
+    let swarm = SwarmConfig {
+        params: Params::whatsup(5),
+        cycles: 16,
+        cycle_ms: 80,
+        publish_from: 2,
+        measure_from: 6,
+        drain_cycles: 2,
+        ..Default::default()
+    };
+    let emu = whatsup::net::emulator::run(
+        &dataset,
+        &EmulatorConfig { swarm: swarm.clone(), latency_ms: (1, 5), link_loss: 0.0 },
+    );
+    // Real UDP sockets.
+    let udp = whatsup::net::runtime::run(&dataset, &UdpConfig { swarm });
+
+    let (s, e, u) = (sim.scores(), emu.scores(), udp.scores());
+    assert!(s.f1 > 0.2, "simulator starved: {s:?}");
+    assert!(e.f1 > 0.2, "emulator starved: {e:?}");
+    assert!(u.f1 > 0.2, "udp starved: {u:?}");
+    assert!(
+        (s.f1 - e.f1).abs() < 0.2 && (s.f1 - u.f1).abs() < 0.2,
+        "testbeds disagree: sim {s:?} emu {e:?} udp {u:?}"
+    );
+}
+
+#[test]
+fn experiment_json_artifacts_roundtrip() {
+    experiments::save_json("integration-selftest", &vec![1.0f64, 2.0, 3.0]);
+    let path = experiments::output_dir().join("integration-selftest.json");
+    let text = std::fs::read_to_string(path).expect("artifact written");
+    let back: Vec<f64> = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(back, vec![1.0, 2.0, 3.0]);
+}
+
+#[test]
+fn table1_driver_end_to_end() {
+    // table1 only generates datasets; safe at any scale.
+    let t = experiments::tables::table1();
+    assert_eq!(t.stats.len(), 3);
+    let rendered = t.render();
+    for name in ["synthetic", "digg", "survey"] {
+        assert!(rendered.contains(name), "missing {name} in:\n{rendered}");
+    }
+}
+
+#[test]
+fn wire_codec_carries_simulated_dissemination() {
+    // Encode/decode a full news payload produced by a live node.
+    use whatsup::core::prelude::*;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let mut node = WhatsUpNode::new(0, whatsup::core::Params::whatsup(2));
+    node.seed_views([(1, Profile::new())], [(1, Profile::new()), (2, Profile::new())]);
+    let item = NewsItem::new("t", "d", "https://l", 0, 0);
+    let out = node.publish(&item, 0, &mut rng);
+    assert!(!out.is_empty());
+    let resolver = |id: ItemId| (id == item.id()).then(|| item.clone());
+    for m in &out {
+        let bytes = whatsup::net::codec::encode(0, &m.payload, resolver).unwrap();
+        let (from, wire) = whatsup::net::codec::decode(&bytes).unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(wire.into_payload(), m.payload);
+    }
+}
