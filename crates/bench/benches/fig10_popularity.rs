@@ -5,9 +5,10 @@ fn main() {
     let t = whatsup_bench::start("fig10_popularity", "Fig 10 — recall vs popularity");
     let result = whatsup_bench::experiments::figures::fig10();
     println!("{}", result.render());
-    if let (Some(wu), Some(cf)) =
-        (result.niche_recall("WhatsUp", 0.5), result.niche_recall("CF-Wup", 0.5))
-    {
+    if let (Some(wu), Some(cf)) = (
+        result.niche_recall("WhatsUp", 0.5),
+        result.niche_recall("CF-Wup", 0.5),
+    ) {
         println!("niche (popularity<0.5) recall: WhatsUp {wu:.3} vs CF-Wup {cf:.3}");
     }
     whatsup_bench::experiments::save_json("fig10_popularity", &result);

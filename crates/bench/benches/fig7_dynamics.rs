@@ -3,7 +3,10 @@
 
 fn main() {
     let t = whatsup_bench::start("fig7_dynamics", "Fig 7 — join/change convergence");
-    let repeats = if std::env::var("WHATSUP_FULL").map(|v| v == "1").unwrap_or(false) {
+    let repeats = if std::env::var("WHATSUP_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         30
     } else {
         10

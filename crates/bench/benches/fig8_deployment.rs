@@ -12,7 +12,8 @@ use whatsup_datasets::{survey, SurveyConfig};
 use whatsup_metrics::{Series, SeriesSet};
 use whatsup_net::{emulator, runtime, EmulatorConfig, SwarmConfig, UdpConfig};
 
-#[derive(Serialize)]
+#[allow(dead_code)] // written to the JSON artifact via Debug
+#[derive(Debug, Serialize)]
 struct Fig8Out {
     f1: SeriesSet,
     bandwidth: Vec<(usize, f64, f64, f64)>,
@@ -30,7 +31,11 @@ fn main() {
     let mut survey_cfg = SurveyConfig::paper().scaled(245.0 / 480.0 * scale);
     survey_cfg.base_items = (survey_cfg.base_items / 7).max(10);
     let dataset = survey::generate(&survey_cfg, experiments::seed() ^ 0x5eed_0002);
-    println!("population: {} users, {} items\n", dataset.n_users(), dataset.n_items());
+    println!(
+        "population: {} users, {} items\n",
+        dataset.n_users(),
+        dataset.n_items()
+    );
     let fanouts = [2usize, 4, 6, 9, 12];
 
     let mut f1 = SeriesSet::new("Fig 8a — F1 vs fanout", "fanout", "F1");
@@ -58,13 +63,22 @@ fn main() {
     for &f in &fanouts {
         let emu = emulator::run(
             &dataset,
-            &EmulatorConfig { swarm: swarm_for(f, 0.0), latency_ms: (1, 8), link_loss: 0.0 },
+            &EmulatorConfig {
+                swarm: swarm_for(f, 0.0),
+                latency_ms: (1, 8),
+                link_loss: 0.0,
+            },
         );
         emu_series.push(f as f64, emu.scores().f1);
         bandwidth.push((f, emu.total_kbps(), emu.wup_kbps(), emu.news_kbps()));
         // PlanetLab analogue: real sockets + 25% receive loss (the paper
         // measured up to 30% effective loss at small fanouts).
-        let udp = runtime::run(&dataset, &UdpConfig { swarm: swarm_for(f, 0.25) });
+        let udp = runtime::run(
+            &dataset,
+            &UdpConfig {
+                swarm: swarm_for(f, 0.25),
+            },
+        );
         udp_series.push(f as f64, udp.scores().f1);
         println!(
             "fanout {f}: emulator F1 {:.3}, udp(loss 25%) F1 {:.3}, \
@@ -81,7 +95,10 @@ fn main() {
 
     println!("\n{}", f1.render());
     println!("Fig 8b — bandwidth per node (emulated fabric):");
-    println!("{:>7} {:>12} {:>10} {:>10}", "fanout", "total Kbps", "WUP", "BEEP");
+    println!(
+        "{:>7} {:>12} {:>10} {:>10}",
+        "fanout", "total Kbps", "WUP", "BEEP"
+    );
     for &(f, total, wup, news) in &bandwidth {
         println!("{f:>7} {total:>12.1} {wup:>10.1} {news:>10.1}");
     }

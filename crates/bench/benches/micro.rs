@@ -113,8 +113,9 @@ fn bench_node_paths(c: &mut Criterion) {
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
-    let descs: Vec<Descriptor<Profile>> =
-        (0..15).map(|i| Descriptor::fresh(i, profile_with(64, i as u64))).collect();
+    let descs: Vec<Descriptor<SharedProfile>> = (0..15)
+        .map(|i| Descriptor::fresh(i, SharedProfile::new(profile_with(64, i as u64))))
+        .collect();
     let payload = Payload::RpsRequest(descs);
     group.bench_function("encode_gossip_15x64", |bench| {
         bench.iter(|| whatsup_net::codec::encode(1, black_box(&payload), |_| None).unwrap())
@@ -130,7 +131,12 @@ fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);
     let dataset = survey::generate(&SurveyConfig::paper().scaled(0.1), 5);
-    let cfg = SimConfig { cycles: 10, publish_from: 2, measure_from: 4, ..Default::default() };
+    let cfg = SimConfig {
+        cycles: 10,
+        publish_from: 2,
+        measure_from: 4,
+        ..Default::default()
+    };
     group.bench_function("survey48users_10cycles", |bench| {
         bench.iter(|| {
             Simulation::new(

@@ -1,0 +1,85 @@
+//! Engine scaling: single-run throughput (cycles/sec) at 1k/5k/20k nodes,
+//! one worker thread vs all available cores.
+//!
+//! The phased-round engine is deterministic across thread counts, so the
+//! speedup column is pure wall-clock: same seed, same report, more cores.
+//! On a single-core host the ratio is ~1.0 by construction.
+//!
+//! `WHATSUP_SCALE_MAX_NODES=<n>` caps the largest population (useful for
+//! quick local runs); the default exercises all three sizes.
+
+use std::time::Instant;
+use whatsup_datasets::{survey, SurveyConfig};
+use whatsup_sim::{Protocol, SimConfig, Simulation};
+
+const CYCLES: u32 = 10;
+
+fn dataset(n_users: usize) -> whatsup_datasets::Dataset {
+    // Fixed item load across scales so the cycles/sec column isolates the
+    // per-node gossip cost; users scale through the replication base.
+    let cfg = SurveyConfig {
+        base_users: (n_users / 4).max(15),
+        base_items: 100,
+        ..SurveyConfig::paper()
+    };
+    survey::generate(&cfg, 7)
+}
+
+fn run(dataset: &whatsup_datasets::Dataset, threads: usize) -> (f64, u64) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
+    let cfg = SimConfig {
+        cycles: CYCLES,
+        publish_from: 2,
+        measure_from: 4,
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let report =
+        pool.install(|| Simulation::new(dataset, Protocol::WhatsUp { f_like: 5 }, cfg).run());
+    let secs = started.elapsed().as_secs_f64();
+    (
+        CYCLES as f64 / secs,
+        report.gossip_messages + report.news_messages_all,
+    )
+}
+
+fn main() {
+    let t = whatsup_bench::start("scale_engine", "single-run engine scaling, 1 vs all cores");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cap: usize = std::env::var("WHATSUP_SCALE_MAX_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    println!("host parallelism: {cores} core(s); {CYCLES} cycles per run\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>9} {:>12}",
+        "nodes", "1-thr cyc/s", "all-thr cyc/s", "speedup", "messages"
+    );
+    let mut rows = Vec::new();
+    for &n in [1_000usize, 5_000, 20_000].iter().filter(|&&n| n <= cap) {
+        let d = dataset(n);
+        let (seq, msgs) = run(&d, 1);
+        let (par, msgs_par) = run(&d, cores);
+        assert_eq!(
+            msgs, msgs_par,
+            "thread count changed the traffic — determinism broken"
+        );
+        let speedup = par / seq;
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>8.2}x {:>12}",
+            d.n_users(),
+            seq,
+            par,
+            speedup,
+            msgs
+        );
+        rows.push(vec![d.n_users() as f64, seq, par, speedup]);
+    }
+    whatsup_bench::experiments::save_json("scale_engine", &rows);
+    whatsup_bench::finish("scale_engine", t);
+}

@@ -11,7 +11,12 @@ fn main() {
         "Table II — WhatsUp parameters (per node)",
         &["Parameter", "Description", "Paper", "Implementation"],
     );
-    table.row_str(&["RPSvs", "size of the random sample", "30", &p.rps.view_size.to_string()]);
+    table.row_str(&[
+        "RPSvs",
+        "size of the random sample",
+        "30",
+        &p.rps.view_size.to_string(),
+    ]);
     table.row_str(&[
         "RPS exchange",
         "descriptors per RPS exchange (half view)",

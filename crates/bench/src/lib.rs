@@ -33,7 +33,9 @@ pub fn finish(name: &str, started: Instant) {
     println!(
         "\n[{name}] done in {:.1}s; JSON at {}",
         started.elapsed().as_secs_f64(),
-        experiments::output_dir().join(format!("{name}.json")).display()
+        experiments::output_dir()
+            .join(format!("{name}.json"))
+            .display()
     );
 }
 

@@ -15,7 +15,7 @@
 //! list out, so the paper's CF and gossip baselines are alternative
 //! [`BeepConfig`]s rather than separate protocol stacks.
 
-use crate::profile::Profile;
+use crate::profile::{Profile, SharedProfile};
 use crate::similarity::Metric;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -38,7 +38,11 @@ pub enum DislikeRule {
     /// Forward up to `ttl` total dislike-hops. `oriented` selects the RPS
     /// node most similar to the item profile (BEEP) versus a uniform RPS
     /// node (ablation / homogeneous gossip).
-    Forward { fanout: usize, ttl: u8, oriented: bool },
+    Forward {
+        fanout: usize,
+        ttl: u8,
+        oriented: bool,
+    },
 }
 
 /// BEEP policy knobs (a [`crate::params::Params`] fragment).
@@ -70,13 +74,14 @@ pub struct ForwardDecision {
 /// * `dislikes` — the counter `dI` carried by the received copy.
 /// * `item_profile` — the copy's aggregated profile (used by orientation).
 /// * `wup_view`, `rps_view` — the node's current views.
+#[allow(clippy::too_many_arguments)] // Algorithm 2 takes the full context
 pub fn decide(
     config: &BeepConfig,
     liked: bool,
     dislikes: u8,
     item_profile: &Profile,
-    wup_view: &View<Profile>,
-    rps_view: &View<Profile>,
+    wup_view: &View<SharedProfile>,
+    rps_view: &View<SharedProfile>,
     metric: Metric,
     rng: &mut impl Rng,
 ) -> ForwardDecision {
@@ -93,10 +98,20 @@ pub fn decide(
         return ForwardDecision { targets, dislikes };
     }
     match config.dislike {
-        DislikeRule::Drop => ForwardDecision { targets: Vec::new(), dislikes },
-        DislikeRule::Forward { fanout, ttl, oriented } => {
+        DislikeRule::Drop => ForwardDecision {
+            targets: Vec::new(),
+            dislikes,
+        },
+        DislikeRule::Forward {
+            fanout,
+            ttl,
+            oriented,
+        } => {
             if dislikes >= ttl {
-                return ForwardDecision { targets: Vec::new(), dislikes };
+                return ForwardDecision {
+                    targets: Vec::new(),
+                    dislikes,
+                };
             }
             let targets = if oriented {
                 // The salt decorrelates tie-breaking: with an immature item
@@ -106,7 +121,10 @@ pub fn decide(
             } else {
                 rps_view.sample_ids(fanout, rng)
             };
-            ForwardDecision { targets, dislikes: dislikes.saturating_add(1) }
+            ForwardDecision {
+                targets,
+                dislikes: dislikes.saturating_add(1),
+            }
         }
     }
 }
@@ -116,10 +134,12 @@ pub fn decide(
 /// `salt`; an empty view yields `None`.
 pub fn select_most_similar(
     item_profile: &Profile,
-    rps_view: &View<Profile>,
+    rps_view: &View<SharedProfile>,
     metric: Metric,
 ) -> Option<NodeId> {
-    select_most_similar_k(item_profile, rps_view, metric, 1, 0).into_iter().next()
+    select_most_similar_k(item_profile, rps_view, metric, 1, 0)
+        .into_iter()
+        .next()
 }
 
 /// The `k` RPS entries closest to the item profile (BEEP uses `k = 1`; the
@@ -128,7 +148,7 @@ pub fn select_most_similar(
 /// candidates do not collapse onto a global order.
 pub fn select_most_similar_k(
     item_profile: &Profile,
-    rps_view: &View<Profile>,
+    rps_view: &View<SharedProfile>,
     metric: Metric,
     k: usize,
     salt: u64,
@@ -169,15 +189,17 @@ mod tests {
     }
 
     fn profile(likes: &[u64]) -> Profile {
-        Profile::from_entries(
-            likes.iter().map(|&i| ProfileEntry { item: i, timestamp: 0, score: 1.0 }),
-        )
+        Profile::from_entries(likes.iter().map(|&i| ProfileEntry {
+            item: i,
+            timestamp: 0,
+            score: 1.0,
+        }))
     }
 
-    fn view(entries: &[(NodeId, &[u64])]) -> View<Profile> {
+    fn view(entries: &[(NodeId, &[u64])]) -> View<SharedProfile> {
         let mut v = View::new(entries.len().max(1));
         for &(n, likes) in entries {
-            v.insert(Descriptor::fresh(n, profile(likes)));
+            v.insert(Descriptor::fresh(n, std::sync::Arc::new(profile(likes))));
         }
         v
     }
@@ -187,7 +209,11 @@ mod tests {
             f_like: 2,
             like_pool: TargetPool::Wup,
             like_entire_view: false,
-            dislike: DislikeRule::Forward { fanout: 1, ttl: 4, oriented: true },
+            dislike: DislikeRule::Forward {
+                fanout: 1,
+                ttl: 4,
+                oriented: true,
+            },
         }
     }
 
@@ -257,11 +283,27 @@ mod tests {
         };
         let wup = view(&[(1, &[]), (2, &[]), (3, &[]), (4, &[])]);
         let rps = view(&[(9, &[])]);
-        let liked =
-            decide(&cfg, true, 0, &Profile::new(), &wup, &rps, Metric::Wup, &mut rng());
+        let liked = decide(
+            &cfg,
+            true,
+            0,
+            &Profile::new(),
+            &wup,
+            &rps,
+            Metric::Wup,
+            &mut rng(),
+        );
         assert_eq!(liked.targets.len(), 4, "CF sends to all k neighbors");
-        let disliked =
-            decide(&cfg, false, 0, &Profile::new(), &wup, &rps, Metric::Wup, &mut rng());
+        let disliked = decide(
+            &cfg,
+            false,
+            0,
+            &Profile::new(),
+            &wup,
+            &rps,
+            Metric::Wup,
+            &mut rng(),
+        );
         assert!(disliked.targets.is_empty());
     }
 
@@ -271,7 +313,11 @@ mod tests {
             f_like: 2,
             like_pool: TargetPool::Rps,
             like_entire_view: false,
-            dislike: DislikeRule::Forward { fanout: 2, ttl: u8::MAX, oriented: false },
+            dislike: DislikeRule::Forward {
+                fanout: 2,
+                ttl: u8::MAX,
+                oriented: false,
+            },
         };
         let rps = view(&[(1, &[]), (2, &[]), (3, &[])]);
         let d = decide(
@@ -315,7 +361,11 @@ mod tests {
         let sel = select_most_similar_k(&ip, &rps, Metric::Wup, 2, 0);
         let mut sorted = sel.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, vec![5, 8], "zero-match candidate excluded from top 2");
+        assert_eq!(
+            sorted,
+            vec![5, 8],
+            "zero-match candidate excluded from top 2"
+        );
         let all = select_most_similar_k(&ip, &rps, Metric::Wup, 10, 0);
         assert_eq!(all.len(), 3, "k larger than view returns everything");
         assert_eq!(*all.last().unwrap(), 3, "worst match last");
@@ -327,7 +377,11 @@ mod tests {
             f_like: 3,
             like_pool: TargetPool::Wup,
             like_entire_view: false,
-            dislike: DislikeRule::Forward { fanout: 2, ttl: 4, oriented: true },
+            dislike: DislikeRule::Forward {
+                fanout: 2,
+                ttl: 4,
+                oriented: true,
+            },
         };
         let rps = view(&[(1, &[7]), (2, &[7]), (3, &[50])]);
         let d = decide(
@@ -354,7 +408,10 @@ mod tests {
 
     #[test]
     fn fanout_larger_than_view_takes_all() {
-        let cfg = BeepConfig { f_like: 10, ..whatsup_cfg() };
+        let cfg = BeepConfig {
+            f_like: 10,
+            ..whatsup_cfg()
+        };
         let wup = view(&[(1, &[]), (2, &[])]);
         let d = decide(
             &cfg,

@@ -9,15 +9,15 @@
 //! rate genuinely.
 
 use crate::item::{ItemId, Timestamp};
-use crate::profile::Profile;
+use crate::profile::SharedProfile;
 use serde::{Deserialize, Serialize};
 use whatsup_gossip::Descriptor;
 
 /// The view snapshots a joining node inherits from its contact.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ColdStart {
-    pub rps_view: Vec<Descriptor<Profile>>,
-    pub wup_view: Vec<Descriptor<Profile>>,
+    pub rps_view: Vec<Descriptor<SharedProfile>>,
+    pub wup_view: Vec<Descriptor<SharedProfile>>,
 }
 
 /// Returns the `k` most *liked* items across the given descriptors'
@@ -25,7 +25,7 @@ pub struct ColdStart {
 /// the number of profiles liking the item; ties break on higher id
 /// (an arbitrary but deterministic rule).
 pub fn most_popular_items(
-    descriptors: &[Descriptor<Profile>],
+    descriptors: &[Descriptor<SharedProfile>],
     k: usize,
 ) -> Vec<(ItemId, Timestamp)> {
     // Profiles are tiny (window-bounded); a flat vec beats a hash map here.
@@ -50,20 +50,28 @@ pub fn most_popular_items(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::ProfileEntry;
+    use crate::profile::{Profile, ProfileEntry};
 
-    fn desc(node: u32, likes: &[(ItemId, Timestamp)], dislikes: &[ItemId]) -> Descriptor<Profile> {
+    fn desc(
+        node: u32,
+        likes: &[(ItemId, Timestamp)],
+        dislikes: &[ItemId],
+    ) -> Descriptor<SharedProfile> {
         let p = Profile::from_entries(
             likes
                 .iter()
-                .map(|&(i, t)| ProfileEntry { item: i, timestamp: t, score: 1.0 })
+                .map(|&(i, t)| ProfileEntry {
+                    item: i,
+                    timestamp: t,
+                    score: 1.0,
+                })
                 .chain(dislikes.iter().map(|&i| ProfileEntry {
                     item: i,
                     timestamp: 0,
                     score: 0.0,
                 })),
         );
-        Descriptor::fresh(node, p)
+        Descriptor::fresh(node, SharedProfile::new(p))
     }
 
     #[test]
@@ -81,7 +89,11 @@ mod tests {
 
     #[test]
     fn dislikes_do_not_count_as_popularity() {
-        let views = vec![desc(1, &[(7, 0)], &[9]), desc(2, &[], &[9]), desc(3, &[], &[9])];
+        let views = vec![
+            desc(1, &[(7, 0)], &[9]),
+            desc(2, &[], &[9]),
+            desc(3, &[], &[9]),
+        ];
         let top = most_popular_items(&views, 1);
         assert_eq!(top[0].0, 7);
     }

@@ -58,7 +58,10 @@ impl NewsItem {
 
     /// The compact header that travels with every copy.
     pub fn header(&self) -> ItemHeader {
-        ItemHeader { id: self.id(), created_at: self.created_at }
+        ItemHeader {
+            id: self.id(),
+            created_at: self.created_at,
+        }
     }
 }
 

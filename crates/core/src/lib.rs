@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::node::{NodeStats, Opinions, WhatsUpNode};
     pub use crate::obfuscation::Obfuscation;
     pub use crate::params::Params;
-    pub use crate::profile::{Profile, ProfileEntry, Score};
+    pub use crate::profile::{Profile, ProfileEntry, Score, SharedProfile};
     pub use crate::similarity::{cosine_similarity, wup_similarity, Metric};
     pub use whatsup_gossip::{Descriptor, NodeId, View};
 }

@@ -4,7 +4,7 @@
 //! network runtime) is responsible for delivery, loss and latency.
 
 use crate::item::ItemHeader;
-use crate::profile::Profile;
+use crate::profile::{Profile, SharedProfile};
 use serde::{Deserialize, Serialize};
 use whatsup_gossip::{Descriptor, NodeId};
 
@@ -28,13 +28,13 @@ pub struct NewsMessage {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Payload {
     /// RPS push (half view + fresh self-descriptor).
-    RpsRequest(Vec<Descriptor<Profile>>),
+    RpsRequest(Vec<Descriptor<SharedProfile>>),
     /// RPS pull reply.
-    RpsResponse(Vec<Descriptor<Profile>>),
+    RpsResponse(Vec<Descriptor<SharedProfile>>),
     /// WUP clustering push (entire view + fresh self-descriptor).
-    WupRequest(Vec<Descriptor<Profile>>),
+    WupRequest(Vec<Descriptor<SharedProfile>>),
     /// WUP clustering pull reply.
-    WupResponse(Vec<Descriptor<Profile>>),
+    WupResponse(Vec<Descriptor<SharedProfile>>),
     /// BEEP news forward.
     News(NewsMessage),
 }
@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn kinds_classify() {
         let news = Payload::News(NewsMessage {
-            header: ItemHeader { id: 1, created_at: 0 },
+            header: ItemHeader {
+                id: 1,
+                created_at: 0,
+            },
             profile: Profile::new(),
             dislikes: 0,
             hops: 0,

@@ -20,7 +20,7 @@ use crate::item::{ItemId, NewsItem, Timestamp};
 use crate::message::{NewsMessage, OutMessage, Payload};
 use crate::obfuscation::Obfuscation;
 use crate::params::Params;
-use crate::profile::Profile;
+use crate::profile::{Profile, SharedProfile};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -69,10 +69,14 @@ impl NodeStats {
 pub struct WhatsUpNode {
     id: NodeId,
     params: Params,
-    rps: Rps<Profile>,
-    wup: Clustering<Profile>,
+    rps: Rps<SharedProfile>,
+    wup: Clustering<SharedProfile>,
     profile: Profile,
     obfuscation: Obfuscation,
+    /// Memoized disclosed-profile snapshot; invalidated whenever
+    /// `profile` mutates. Gossip descriptors and item-profile folds all
+    /// share this one allocation.
+    shared_cache: Option<SharedProfile>,
     seen: HashSet<ItemId>,
     stats: NodeStats,
 }
@@ -86,7 +90,12 @@ impl WhatsUpNode {
     pub fn new(id: NodeId, params: Params) -> Self {
         params.validate().expect("invalid WhatsUp parameters");
         let rps = Rps::new(id, params.rps);
-        let wup = Clustering::new(id, ClusteringConfig { view_size: params.wup_view_size });
+        let wup = Clustering::new(
+            id,
+            ClusteringConfig {
+                view_size: params.wup_view_size,
+            },
+        );
         // Per-node secret: local, never shared (id-derived here; a real
         // deployment would draw it from the OS).
         let obfuscation = Obfuscation::randomized_response(
@@ -100,6 +109,7 @@ impl WhatsUpNode {
             wup,
             profile: Profile::new(),
             obfuscation,
+            shared_cache: None,
             seen: HashSet::new(),
             stats: NodeStats::default(),
         }
@@ -110,8 +120,22 @@ impl WhatsUpNode {
     /// (§VII privacy extension). Everything that leaves the node — gossip
     /// descriptors and item-profile contributions — goes through here;
     /// local forwarding decisions keep using the true profile.
-    fn shared_profile(&self) -> Profile {
-        self.obfuscation.share(self.id, &self.profile)
+    ///
+    /// The snapshot is memoized until the profile next mutates; obfuscation
+    /// is a pure function of `(secret, node, profile)`, so the cache is
+    /// exact.
+    fn shared_profile(&mut self) -> SharedProfile {
+        if let Some(cached) = &self.shared_cache {
+            return SharedProfile::clone(cached);
+        }
+        let shared = SharedProfile::new(self.obfuscation.share(self.id, &self.profile));
+        self.shared_cache = Some(SharedProfile::clone(&shared));
+        shared
+    }
+
+    /// Marks the disclosed-profile snapshot stale after a profile mutation.
+    fn invalidate_shared(&mut self) {
+        self.shared_cache = None;
     }
 
     pub fn id(&self) -> NodeId {
@@ -165,20 +189,25 @@ impl WhatsUpNode {
         rps: impl IntoIterator<Item = (NodeId, Profile)>,
         wup: impl IntoIterator<Item = (NodeId, Profile)>,
     ) {
-        self.rps.seed(rps.into_iter().map(|(n, p)| Descriptor::fresh(n, p)));
-        self.wup.seed(wup.into_iter().map(|(n, p)| Descriptor::fresh(n, p)));
+        self.rps.seed(
+            rps.into_iter()
+                .map(|(n, p)| Descriptor::fresh(n, SharedProfile::new(p))),
+        );
+        self.wup.seed(
+            wup.into_iter()
+                .map(|(n, p)| Descriptor::fresh(n, SharedProfile::new(p))),
+        );
     }
 
     /// Cold start (§II-D): inherit the contact's views and rate the most
     /// popular items found in the inherited RPS view.
     pub fn cold_start(&mut self, inherited: ColdStart, opinions: &impl Opinions) {
-        for (item, ts) in
-            most_popular_items(&inherited.rps_view, self.params.cold_start_items)
-        {
+        for (item, ts) in most_popular_items(&inherited.rps_view, self.params.cold_start_items) {
             let liked = opinions.likes(self.id, item);
             self.profile.rate(item, ts, liked);
             self.seen.insert(item);
         }
+        self.invalidate_shared();
         self.rps.seed(inherited.rps_view);
         self.wup.seed(inherited.wup_view);
     }
@@ -194,17 +223,23 @@ impl WhatsUpNode {
     /// One gossip cycle (§II): purge the profile window, then initiate one
     /// RPS and one WUP exchange towards the oldest view entries.
     pub fn on_cycle(&mut self, now: Timestamp, rng: &mut impl Rng) -> Vec<OutMessage> {
+        let before = self.profile.len();
         self.profile
             .purge_older_than(now.saturating_sub(self.params.profile_window));
+        if self.profile.len() != before {
+            self.invalidate_shared();
+        }
         let mut out = Vec::with_capacity(2);
+        let shared = self.shared_profile();
         // The RPS layer may run at a slower period (Table II: RPSf = 1h).
-        if now % self.params.rps_period == 0 {
-            if let Some((partner, payload)) = self.rps.initiate(self.shared_profile(), rng) {
+        if now.is_multiple_of(self.params.rps_period) {
+            if let Some((partner, payload)) = self.rps.initiate(SharedProfile::clone(&shared), rng)
+            {
                 self.stats.rps_sent += 1;
                 out.push(OutMessage::new(partner, Payload::RpsRequest(payload)));
             }
         }
-        if let Some((partner, payload)) = self.wup.initiate(self.shared_profile()) {
+        if let Some((partner, payload)) = self.wup.initiate(shared) {
             self.stats.wup_sent += 1;
             out.push(OutMessage::new(partner, Payload::WupRequest(payload)));
         }
@@ -229,7 +264,8 @@ impl WhatsUpNode {
         }
         match payload {
             Payload::RpsRequest(descs) => {
-                let resp = self.rps.on_request(descs, self.shared_profile(), rng);
+                let shared = self.shared_profile();
+                let resp = self.rps.on_request(descs, shared, rng);
                 self.stats.rps_sent += 1;
                 vec![OutMessage::new(from, Payload::RpsResponse(resp))]
             }
@@ -239,27 +275,26 @@ impl WhatsUpNode {
             }
             Payload::WupRequest(descs) => {
                 let metric = self.params.metric;
-                // Rank candidates against the *true* profile; the payload
-                // that travels is the (possibly obfuscated) shared one.
-                let true_profile = self.profile.clone();
-                let sim =
-                    move |_own: &Profile, cand: &Profile| metric.score(&true_profile, cand);
-                let resp = self.wup.on_request(
-                    descs,
-                    self.rps.view().entries(),
-                    self.shared_profile(),
-                    &sim,
-                );
+                let shared = self.shared_profile();
+                // Rank candidates against the *true* profile (split borrow:
+                // no clone); the payload that travels is the (possibly
+                // obfuscated) shared one.
+                let Self {
+                    wup, rps, profile, ..
+                } = self;
+                let sim = |_own: &SharedProfile, cand: &SharedProfile| metric.score(profile, cand);
+                let resp = wup.on_request(descs, rps.view().entries(), shared, &sim);
                 self.stats.wup_sent += 1;
                 vec![OutMessage::new(from, Payload::WupResponse(resp))]
             }
             Payload::WupResponse(descs) => {
                 let metric = self.params.metric;
-                let true_profile = self.profile.clone();
-                let sim =
-                    move |_own: &Profile, cand: &Profile| metric.score(&true_profile, cand);
                 let shared = self.shared_profile();
-                self.wup.on_response(descs, self.rps.view().entries(), &shared, &sim);
+                let Self {
+                    wup, rps, profile, ..
+                } = self;
+                let sim = |_own: &SharedProfile, cand: &SharedProfile| metric.score(profile, cand);
+                wup.on_response(descs, rps.view().entries(), &shared, &sim);
                 Vec::new()
             }
             Payload::News(msg) => self.handle_news(msg, now, opinions, rng),
@@ -279,6 +314,7 @@ impl WhatsUpNode {
         self.seen.insert(header.id);
         self.stats.published += 1;
         self.profile.rate(header.id, header.created_at, true);
+        self.invalidate_shared();
         let mut item_profile = Profile::new();
         item_profile.aggregate_user_profile(&self.shared_profile());
         item_profile.purge_older_than(now.saturating_sub(self.params.profile_window));
@@ -292,7 +328,10 @@ impl WhatsUpNode {
             self.params.metric,
             rng,
         );
-        self.emit_news(header.into_message(item_profile, decision.dislikes, 0), decision)
+        self.emit_news(
+            header.into_message(item_profile, decision.dislikes, 0),
+            decision,
+        )
     }
 
     /// Algorithm 1 (receive path) + Algorithm 2 (forward).
@@ -317,11 +356,13 @@ impl WhatsUpNode {
             // 3–4), then record the own rating (line 5) — the paper's
             // order. What is folded is the *shared* profile: item profiles
             // travel the network, so they disclose whatever gossip does.
-            msg.profile.aggregate_user_profile(&self.shared_profile());
+            let shared = self.shared_profile();
+            msg.profile.aggregate_user_profile(&shared);
             self.profile.rate(id, msg.header.created_at, true);
         } else {
             self.profile.rate(id, msg.header.created_at, false);
         }
+        self.invalidate_shared();
         // Purge non-recent entries from the item profile before forwarding
         // (lines 8–10).
         msg.profile
@@ -338,7 +379,12 @@ impl WhatsUpNode {
         );
         let hops = msg.hops.saturating_add(1);
         self.emit_news(
-            NewsMessage { header: msg.header, profile: msg.profile, dislikes: decision.dislikes, hops },
+            NewsMessage {
+                header: msg.header,
+                profile: msg.profile,
+                dislikes: decision.dislikes,
+                hops,
+            },
             decision,
         )
     }
@@ -358,7 +404,12 @@ impl WhatsUpNode {
 
 impl crate::item::ItemHeader {
     fn into_message(self, profile: Profile, dislikes: u8, hops: u16) -> NewsMessage {
-        NewsMessage { header: self, profile, dislikes, hops }
+        NewsMessage {
+            header: self,
+            profile,
+            dislikes,
+            hops,
+        }
     }
 }
 
@@ -382,9 +433,11 @@ mod tests {
     }
 
     fn liked_profile(items: &[ItemId]) -> Profile {
-        Profile::from_entries(
-            items.iter().map(|&i| ProfileEntry { item: i, timestamp: 0, score: 1.0 }),
-        )
+        Profile::from_entries(items.iter().map(|&i| ProfileEntry {
+            item: i,
+            timestamp: 0,
+            score: 1.0,
+        }))
     }
 
     fn news(id: ItemId, dislikes: u8) -> NewsMessage {
@@ -399,7 +452,14 @@ mod tests {
     #[test]
     fn publish_fans_out_to_wup_view() {
         let mut n = WhatsUpNode::new(0, Params::whatsup(2));
-        n.seed_views([], [(1, Profile::new()), (2, Profile::new()), (3, Profile::new())]);
+        n.seed_views(
+            [],
+            [
+                (1, Profile::new()),
+                (2, Profile::new()),
+                (3, Profile::new()),
+            ],
+        );
         let item = NewsItem::new("t", "d", "l", 0, 0);
         let out = n.publish(&item, 0, &mut rng());
         assert_eq!(out.len(), 2);
@@ -424,7 +484,11 @@ mod tests {
         let mut n = WhatsUpNode::new(0, Params::whatsup(2));
         n.seed_views(
             [(9, Profile::new())],
-            [(1, Profile::new()), (2, Profile::new()), (3, Profile::new())],
+            [
+                (1, Profile::new()),
+                (2, Profile::new()),
+                (3, Profile::new()),
+            ],
         );
         let out = n.on_message(7, Payload::News(news(4, 1)), 0, &Parity, &mut rng());
         assert_eq!(out.len(), 2, "fLIKE copies");
@@ -487,8 +551,13 @@ mod tests {
         n.seed_views([], [(1, Profile::new())]);
         n.on_message(7, Payload::News(news(2, 0)), 0, &Parity, &mut rng());
         let out = n.on_message(7, Payload::News(news(4, 0)), 0, &Parity, &mut rng());
-        let Payload::News(nm) = &out[0].payload else { panic!("expected news") };
-        assert!(nm.profile.contains(2), "liker history folded into item profile");
+        let Payload::News(nm) = &out[0].payload else {
+            panic!("expected news")
+        };
+        assert!(
+            nm.profile.contains(2),
+            "liker history folded into item profile"
+        );
         // But per Algorithm 1 ordering, the item itself is folded only via
         // later likers, not by this one.
         assert!(!nm.profile.contains(4));
@@ -517,7 +586,9 @@ mod tests {
         let reqs = a.on_cycle(1, &mut r);
         let req = &reqs[0];
         assert_eq!(req.to, 1);
-        let Payload::RpsRequest(descs) = &req.payload else { panic!() };
+        let Payload::RpsRequest(descs) = &req.payload else {
+            panic!()
+        };
         let resp = b.on_message(0, Payload::RpsRequest(descs.clone()), 1, &Parity, &mut r);
         assert_eq!(resp.len(), 1);
         assert!(matches!(resp[0].payload, Payload::RpsResponse(_)));
@@ -535,11 +606,10 @@ mod tests {
         n.profile.rate(4, 10, true);
         n.seed_views([], [(9, Profile::new())]);
         let offered = vec![
-            Descriptor::fresh(1, liked_profile(&[2, 4])),
-            Descriptor::fresh(3, liked_profile(&[101, 103])),
+            Descriptor::fresh(1, SharedProfile::new(liked_profile(&[2, 4]))),
+            Descriptor::fresh(3, SharedProfile::new(liked_profile(&[101, 103]))),
         ];
-        let out =
-            n.on_message(5, Payload::WupRequest(offered), 10, &Parity, &mut rng());
+        let out = n.on_message(5, Payload::WupRequest(offered), 10, &Parity, &mut rng());
         assert!(matches!(out[0].payload, Payload::WupResponse(_)));
         let ids = n.wup_neighbor_ids();
         assert!(ids.contains(&1), "similar candidate retained: {ids:?}");

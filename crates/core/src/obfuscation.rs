@@ -41,7 +41,10 @@ pub struct Obfuscation {
 impl Obfuscation {
     /// No obfuscation (the paper's base system).
     pub fn off() -> Self {
-        Self { epsilon: 0.0, secret: 0 }
+        Self {
+            epsilon: 0.0,
+            secret: 0,
+        }
     }
 
     /// Randomized response at noise level `epsilon`.
@@ -128,8 +131,7 @@ mod tests {
         let p = liked(&items);
         let o = Obfuscation::randomized_response(1.0, 42);
         let shared = o.share(5, &p);
-        let flips =
-            shared.entries().iter().filter(|e| e.score < 0.5).count() as f64 / 2000.0;
+        let flips = shared.entries().iter().filter(|e| e.score < 0.5).count() as f64 / 2000.0;
         assert!(
             (flips - o.expected_flip_rate()).abs() < 0.05,
             "flip rate {flips} should be ≈ {}",

@@ -51,7 +51,11 @@ impl Params {
                 f_like,
                 like_pool: TargetPool::Wup,
                 like_entire_view: false,
-                dislike: DislikeRule::Forward { fanout: 1, ttl: 4, oriented: true },
+                dislike: DislikeRule::Forward {
+                    fanout: 1,
+                    ttl: 4,
+                    oriented: true,
+                },
             },
             cold_start_items: 3,
             obfuscation_epsilon: 0.0,
@@ -60,7 +64,10 @@ impl Params {
 
     /// WhatsUp-Cos: identical machinery, cosine similarity (§V-A).
     pub fn whatsup_cos(f_like: usize) -> Self {
-        Self { metric: Metric::Cosine, ..Self::whatsup(f_like) }
+        Self {
+            metric: Metric::Cosine,
+            ..Self::whatsup(f_like)
+        }
     }
 
     /// Decentralized CF (§IV-B): on a like, forward to *all* `k` nearest
@@ -172,7 +179,9 @@ mod tests {
         let p = Params::gossip(4);
         assert_eq!(p.beep.f_like, 4);
         match p.beep.dislike {
-            DislikeRule::Forward { fanout, oriented, .. } => {
+            DislikeRule::Forward {
+                fanout, oriented, ..
+            } => {
                 assert_eq!(fanout, 4);
                 assert!(!oriented);
             }
@@ -206,7 +215,10 @@ mod tests {
     #[test]
     fn obfuscation_epsilon_validated() {
         let mut p = Params::whatsup(10);
-        assert_eq!(p.obfuscation_epsilon, 0.0, "privacy extension off by default");
+        assert_eq!(
+            p.obfuscation_epsilon, 0.0,
+            "privacy extension off by default"
+        );
         p.obfuscation_epsilon = 0.5;
         assert!(p.validate().is_ok());
         p.obfuscation_epsilon = 1.5;

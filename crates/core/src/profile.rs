@@ -32,10 +32,86 @@ pub struct ProfileEntry {
 }
 
 /// A profile: sorted-by-item-id vector of entries, unique per item.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The Euclidean norm of the score vector is memoized at mutation time:
+/// similarity scoring reads it on every candidate ranking (the hottest loop
+/// in the system), while mutations are comparatively rare. The cache is
+/// recomputed with a full deterministic scan on every mutation, so two
+/// profiles with equal entries always carry bit-identical cached norms
+/// regardless of the operation history that produced them. Equality is
+/// defined over `entries` alone (see the manual `PartialEq` below), so a
+/// path that bypasses the mutating methods — e.g. a field-wise
+/// deserializer leaving the skipped cache at `0.0` — cannot break `==`;
+/// [`Self::norm`] additionally debug-asserts the cache against a fresh
+/// recompute to catch such a stale cache before it skews similarity.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Profile {
     entries: Vec<ProfileEntry>,
+    /// Memoized `‖scores‖₂`; maintained by every mutating method. Never
+    /// serialized — it is derived state, and a deserializer must recompute
+    /// it from `entries` (as the wire codec does via `from_entries`) rather
+    /// than trust external data for an internal invariant.
+    #[serde(skip)]
+    norm: f64,
 }
+
+/// Entries fully determine a profile; the memoized norm is derived state
+/// and deliberately excluded so equality cannot be broken by a stale cache.
+impl PartialEq for Profile {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+/// Euclidean norm of the entries' score vector — the single definition both
+/// the mutation-time recompute and the [`Profile::norm`] debug assertion
+/// use, so the cache check is exact. An empty (or all-zero) scan is
+/// canonicalized to `+0.0`: `Sum for f64` folds from `-0.0`, which would
+/// otherwise make recomputed empties bitwise-distinct from the
+/// `Default`-constructed cache.
+fn norm_of(entries: &[ProfileEntry]) -> f64 {
+    let n = entries
+        .iter()
+        .map(|e| (e.score as f64) * (e.score as f64))
+        .sum::<f64>()
+        .sqrt();
+    if n == 0.0 {
+        0.0
+    } else {
+        n
+    }
+}
+
+/// Hand-written deserialization (`[item, timestamp, score]` triple). The
+/// shim's derive emits nothing, so these are the impls that actually run.
+impl serde::Deserialize for ProfileEntry {
+    fn from_json_value(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let (item, timestamp, score) = <(ItemId, Timestamp, Score)>::from_json_value(v)?;
+        Ok(Self {
+            item,
+            timestamp,
+            score,
+        })
+    }
+}
+
+/// Hand-written deserialization: rebuilds through [`Profile::from_entries`]
+/// so the memoized norm is always *recomputed*, never trusted from external
+/// data. When the serde shims are swapped for the real crates (see
+/// ROADMAP.md), this impl stops compiling — port it to
+/// `#[serde(from = "Vec<ProfileEntry>")]` (or a `deserialize_with`) so the
+/// recompute guarantee survives the swap; a derived field-wise deserializer
+/// would leave the skipped norm cache at `0.0`.
+impl serde::Deserialize for Profile {
+    fn from_json_value(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        Ok(Self::from_entries(Vec::<ProfileEntry>::from_json_value(v)?))
+    }
+}
+
+/// A profile shared immutably across views, messages and threads.
+/// Gossip descriptors carry these so exchanges and merges never deep-clone
+/// entry vectors.
+pub type SharedProfile = std::sync::Arc<Profile>;
 
 impl Profile {
     /// An empty profile.
@@ -47,9 +123,24 @@ impl Profile {
     pub fn from_entries(entries: impl IntoIterator<Item = ProfileEntry>) -> Self {
         let mut p = Self::new();
         for e in entries {
-            p.upsert(e);
+            p.upsert_unnormed(e);
         }
+        p.recompute_norm();
         p
+    }
+
+    /// Recomputes the memoized norm with a full scan (deterministic order).
+    fn recompute_norm(&mut self) {
+        self.norm = norm_of(&self.entries);
+    }
+
+    /// Insert/replace without touching the norm cache; callers must
+    /// [`Self::recompute_norm`] before the profile is observable again.
+    fn upsert_unnormed(&mut self, e: ProfileEntry) {
+        match self.entries.binary_search_by_key(&e.item, |x| x.item) {
+            Ok(i) => self.entries[i] = e,
+            Err(i) => self.entries.insert(i, e),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -81,15 +172,17 @@ impl Profile {
     /// Inserts or replaces the entry for `e.item` (§II-B: "each profile
     /// contains only a single entry for a given identifier").
     pub fn upsert(&mut self, e: ProfileEntry) {
-        match self.entries.binary_search_by_key(&e.item, |x| x.item) {
-            Ok(i) => self.entries[i] = e,
-            Err(i) => self.entries.insert(i, e),
-        }
+        self.upsert_unnormed(e);
+        self.recompute_norm();
     }
 
     /// Records the user's opinion on an item (Algorithm 1, lines 5/7/14).
     pub fn rate(&mut self, item: ItemId, timestamp: Timestamp, liked: bool) {
-        self.upsert(ProfileEntry { item, timestamp, score: if liked { 1.0 } else { 0.0 } });
+        self.upsert(ProfileEntry {
+            item,
+            timestamp,
+            score: if liked { 1.0 } else { 0.0 },
+        });
     }
 
     /// `addToNewsProfile` (Algorithm 1, lines 18–22): folds one user-profile
@@ -97,6 +190,11 @@ impl Profile {
     /// present, inserting otherwise. Averaging keeps the freshest timestamp
     /// so the window purge reflects the most recent supporting opinion.
     pub fn add_to_news_profile(&mut self, e: ProfileEntry) {
+        self.add_to_news_profile_unnormed(e);
+        self.recompute_norm();
+    }
+
+    fn add_to_news_profile_unnormed(&mut self, e: ProfileEntry) {
         match self.entries.binary_search_by_key(&e.item, |x| x.item) {
             Ok(i) => {
                 let cur = &mut self.entries[i];
@@ -111,21 +209,29 @@ impl Profile {
     /// lines 3–4 and 15–16).
     pub fn aggregate_user_profile(&mut self, user: &Profile) {
         for &e in user.entries() {
-            self.add_to_news_profile(e);
+            self.add_to_news_profile_unnormed(e);
         }
+        self.recompute_norm();
     }
 
     /// Removes entries strictly older than `cutoff` (profile window, §II-E).
     /// `cutoff = now - window`; an entry stamped exactly at the cutoff
     /// survives.
     pub fn purge_older_than(&mut self, cutoff: Timestamp) {
+        let before = self.entries.len();
         self.entries.retain(|e| e.timestamp >= cutoff);
+        if self.entries.len() != before {
+            self.recompute_norm();
+        }
     }
 
     /// Item ids the profile *likes* (score > 0.5 — exact 1.0 for user
     /// profiles; majority opinion for item profiles).
     pub fn liked_items(&self) -> impl Iterator<Item = ItemId> + '_ {
-        self.entries.iter().filter(|e| e.score > 0.5).map(|e| e.item)
+        self.entries
+            .iter()
+            .filter(|e| e.score > 0.5)
+            .map(|e| e.item)
     }
 
     /// Number of liked items.
@@ -133,13 +239,13 @@ impl Profile {
         self.entries.iter().filter(|e| e.score > 0.5).count()
     }
 
-    /// Euclidean norm of the score vector.
+    /// Euclidean norm of the score vector (memoized; O(1)).
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|e| (e.score as f64) * (e.score as f64))
-            .sum::<f64>()
-            .sqrt()
+        debug_assert!(
+            self.norm.to_bits() == norm_of(&self.entries).to_bits(),
+            "stale norm cache: a construction path skipped recompute_norm"
+        );
+        self.norm
     }
 
     /// The most recent timestamp in the profile, if any.
@@ -154,7 +260,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn e(item: ItemId, t: Timestamp, s: Score) -> ProfileEntry {
-        ProfileEntry { item, timestamp: t, score: s }
+        ProfileEntry {
+            item,
+            timestamp: t,
+            score: s,
+        }
     }
 
     #[test]
@@ -224,6 +334,18 @@ mod tests {
         assert_eq!(p.get(1).unwrap().score, 0.0);
     }
 
+    #[test]
+    fn deserialize_recomputes_norm() {
+        use serde::Deserialize;
+        let v = serde::json::parse("[[2, 6, 0.0], [1, 5, 1.0]]").unwrap();
+        let p = Profile::from_json_value(&v).unwrap();
+        assert_eq!(p.len(), 2);
+        // `norm()` debug-asserts the cache against a fresh recompute, so a
+        // deserializer that skipped `from_entries` would panic here.
+        assert_eq!(p.norm(), 1.0);
+        assert_eq!(p, Profile::from_entries([e(1, 5, 1.0), e(2, 6, 0.0)]));
+    }
+
     proptest! {
         #[test]
         fn entries_always_sorted_unique(
@@ -250,6 +372,32 @@ mod tests {
             }
             for entry in ip.entries() {
                 prop_assert!((0.0..=1.0).contains(&entry.score));
+            }
+        }
+
+        #[test]
+        fn cached_norm_matches_recomputation(
+            ops in prop::collection::vec((0u64..30, 0u32..50, prop::bool::ANY), 0..120),
+            cutoff in 0u32..50
+        ) {
+            let mut p = Profile::new();
+            for &(item, t, liked) in &ops {
+                p.rate(item, t, liked);
+            }
+            let mut ip = Profile::new();
+            for &(item, t, liked) in &ops {
+                ip.add_to_news_profile(e(item, t, if liked { 1.0 } else { 0.5 }));
+            }
+            ip.aggregate_user_profile(&p);
+            ip.purge_older_than(cutoff);
+            for profile in [&p, &ip] {
+                let expected = profile
+                    .entries()
+                    .iter()
+                    .map(|x| (x.score as f64) * (x.score as f64))
+                    .sum::<f64>()
+                    .sqrt();
+                prop_assert_eq!(profile.norm(), expected, "cache must be exact");
             }
         }
 

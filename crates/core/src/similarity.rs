@@ -73,8 +73,12 @@ struct JoinSums {
 #[inline]
 fn merge_join(pn: &Profile, pc: &Profile) -> JoinSums {
     let (a, b) = (pn.entries(), pc.entries());
-    let mut sums =
-        JoinSums { dot: 0.0, sub_norm2: 0.0, common_likes: 0, union_likes: 0 };
+    let mut sums = JoinSums {
+        dot: 0.0,
+        sub_norm2: 0.0,
+        common_likes: 0,
+        union_likes: 0,
+    };
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         let (ea, eb) = (&a[i], &b[j]);
@@ -163,12 +167,16 @@ mod tests {
         Profile::from_entries(
             likes
                 .iter()
-                .map(|&i| ProfileEntry { item: i, timestamp: 0, score: 1.0 })
-                .chain(
-                    dislikes
-                        .iter()
-                        .map(|&i| ProfileEntry { item: i, timestamp: 0, score: 0.0 }),
-                ),
+                .map(|&i| ProfileEntry {
+                    item: i,
+                    timestamp: 0,
+                    score: 1.0,
+                })
+                .chain(dislikes.iter().map(|&i| ProfileEntry {
+                    item: i,
+                    timestamp: 0,
+                    score: 0.0,
+                })),
         )
     }
 
@@ -264,9 +272,21 @@ mod tests {
     fn works_with_real_valued_item_profiles() {
         // Item profile with averaged scores vs a binary user profile.
         let mut item_profile = Profile::new();
-        item_profile.add_to_news_profile(ProfileEntry { item: 1, timestamp: 0, score: 1.0 });
-        item_profile.add_to_news_profile(ProfileEntry { item: 1, timestamp: 0, score: 0.0 });
-        item_profile.add_to_news_profile(ProfileEntry { item: 2, timestamp: 0, score: 1.0 });
+        item_profile.add_to_news_profile(ProfileEntry {
+            item: 1,
+            timestamp: 0,
+            score: 1.0,
+        });
+        item_profile.add_to_news_profile(ProfileEntry {
+            item: 1,
+            timestamp: 0,
+            score: 0.0,
+        });
+        item_profile.add_to_news_profile(ProfileEntry {
+            item: 2,
+            timestamp: 0,
+            score: 1.0,
+        });
         let user = profile(&[1, 2], &[]);
         let s = wup_similarity(&item_profile, &user);
         // dot = 0.5·1 + 1·1 = 1.5 ; ‖sub‖ = √(0.25+1) ; ‖Pc‖ = √2

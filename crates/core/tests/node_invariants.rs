@@ -11,7 +11,7 @@ use whatsup_core::prelude::*;
 struct Mix;
 impl Opinions for Mix {
     fn likes(&self, node: NodeId, item: ItemId) -> bool {
-        (node as u64 + item) % 3 != 0
+        !(node as u64 + item).is_multiple_of(3)
     }
 }
 
@@ -25,9 +25,9 @@ fn profile_of(items: &[(u64, bool)]) -> Profile {
 
 /// An arbitrary inbound payload built from fuzz input.
 fn payload_from(kind: u8, descs: Vec<(u32, u64, bool)>, item: u64, dislikes: u8) -> Payload {
-    let descriptors: Vec<Descriptor<Profile>> = descs
+    let descriptors: Vec<Descriptor<SharedProfile>> = descs
         .into_iter()
-        .map(|(n, i, liked)| Descriptor::fresh(n, profile_of(&[(i, liked)])))
+        .map(|(n, i, liked)| Descriptor::fresh(n, SharedProfile::new(profile_of(&[(i, liked)]))))
         .collect();
     match kind % 5 {
         0 => Payload::RpsRequest(descriptors),
@@ -35,7 +35,10 @@ fn payload_from(kind: u8, descs: Vec<(u32, u64, bool)>, item: u64, dislikes: u8)
         2 => Payload::WupRequest(descriptors),
         3 => Payload::WupResponse(descriptors),
         _ => Payload::News(NewsMessage {
-            header: ItemHeader { id: item, created_at: 0 },
+            header: ItemHeader {
+                id: item,
+                created_at: 0,
+            },
             profile: profile_of(&[(item.wrapping_add(1), true)]),
             dislikes,
             hops: 0,
@@ -155,7 +158,10 @@ fn window_purge_enables_reintegration() {
     let _ = node.on_message(
         1,
         Payload::News(NewsMessage {
-            header: ItemHeader { id: 10, created_at: 0 },
+            header: ItemHeader {
+                id: 10,
+                created_at: 0,
+            },
             profile: Profile::new(),
             dislikes: 0,
             hops: 0,
@@ -169,12 +175,18 @@ fn window_purge_enables_reintegration() {
     for t in 1..20 {
         let _ = node.on_cycle(t, &mut rng);
     }
-    assert!(node.profile().is_empty(), "inactive user must look like a new node");
+    assert!(
+        node.profile().is_empty(),
+        "inactive user must look like a new node"
+    );
     // New item arrives: the node rates and (here) likes it — reintegrated.
     let out = node.on_message(
         2,
         Payload::News(NewsMessage {
-            header: ItemHeader { id: 20, created_at: 20 },
+            header: ItemHeader {
+                id: 20,
+                created_at: 20,
+            },
             profile: Profile::new(),
             dislikes: 0,
             hops: 0,
@@ -184,7 +196,10 @@ fn window_purge_enables_reintegration() {
         &mut rng,
     );
     assert!(node.profile().contains(20));
-    assert!(!out.is_empty(), "likes keep propagating after reintegration");
+    assert!(
+        !out.is_empty(),
+        "likes keep propagating after reintegration"
+    );
 }
 
 #[test]
@@ -195,12 +210,23 @@ fn item_profile_windowing_applies_in_flight() {
     node.seed_views([], [(1, Profile::new())]);
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let mut stale_profile = Profile::new();
-    stale_profile.upsert(ProfileEntry { item: 99, timestamp: 0, score: 1.0 });
-    stale_profile.upsert(ProfileEntry { item: 98, timestamp: 40, score: 1.0 });
+    stale_profile.upsert(ProfileEntry {
+        item: 99,
+        timestamp: 0,
+        score: 1.0,
+    });
+    stale_profile.upsert(ProfileEntry {
+        item: 98,
+        timestamp: 40,
+        score: 1.0,
+    });
     let out = node.on_message(
         5,
         Payload::News(NewsMessage {
-            header: ItemHeader { id: 4, created_at: 40 }, // node 0 likes 4
+            header: ItemHeader {
+                id: 4,
+                created_at: 40,
+            }, // node 0 likes 4
             profile: stale_profile,
             dislikes: 0,
             hops: 0,
@@ -209,7 +235,12 @@ fn item_profile_windowing_applies_in_flight() {
         &Mix,
         &mut rng,
     );
-    let Payload::News(nm) = &out[0].payload else { panic!("expected news") };
-    assert!(!nm.profile.contains(99), "stale entry must be purged in flight");
+    let Payload::News(nm) = &out[0].payload else {
+        panic!("expected news")
+    };
+    assert!(
+        !nm.profile.contains(99),
+        "stale entry must be purged in flight"
+    );
     assert!(nm.profile.contains(98), "fresh entry survives");
 }

@@ -120,7 +120,11 @@ pub fn generate(cfg: &DiggConfig, seed: u64) -> Dataset {
         } else {
             interested[rng.gen_range(0..interested.len())]
         };
-        items.push(ItemSpec { index: index as u32, topic, source });
+        items.push(ItemSpec {
+            index: index as u32,
+            topic,
+            source,
+        });
     }
 
     let social = follower_graph(cfg, &interests, &mut rng);
@@ -159,7 +163,9 @@ fn follower_graph(cfg: &DiggConfig, interests: &[Vec<u32>], rng: &mut ChaCha8Rng
             .collect();
         let mut chosen: Vec<usize> = Vec::with_capacity(m);
         for _ in 0..m {
-            let Ok(dist) = WeightedIndex::new(&weights) else { break };
+            let Ok(dist) = WeightedIndex::new(&weights) else {
+                break;
+            };
             let v = dist.sample(rng);
             chosen.push(v);
             weights[v] = 0.0; // follow each account at most once
@@ -207,7 +213,10 @@ mod tests {
         }
         let max = *per_topic.iter().max().unwrap();
         let min = *per_topic.iter().min().unwrap();
-        assert!(max >= 4 * (min + 1), "Zipf skew missing: max={max} min={min}");
+        assert!(
+            max >= 4 * (min + 1),
+            "Zipf skew missing: max={max} min={min}"
+        );
     }
 
     #[test]
@@ -219,7 +228,11 @@ mod tests {
         // item of a topic must like (almost) all items of that topic.
         let by_topic: Vec<Vec<u32>> = (0..d.n_topics)
             .map(|t| {
-                d.items.iter().filter(|i| i.topic == t).map(|i| i.index).collect()
+                d.items
+                    .iter()
+                    .filter(|i| i.topic == t)
+                    .map(|i| i.index)
+                    .collect()
             })
             .collect();
         for topic_items in by_topic.iter().filter(|v| v.len() >= 2) {

@@ -19,7 +19,12 @@ impl LikeMatrix {
     /// All-dislike matrix of the given shape.
     pub fn new(n_users: usize, n_items: usize) -> Self {
         let words_per_row = n_items.div_ceil(64);
-        Self { n_users, n_items, words_per_row, bits: vec![0; n_users * words_per_row] }
+        Self {
+            n_users,
+            n_items,
+            words_per_row,
+            bits: vec![0; n_users * words_per_row],
+        }
     }
 
     pub fn n_users(&self) -> usize {
@@ -32,7 +37,10 @@ impl LikeMatrix {
 
     #[inline]
     fn index(&self, user: usize, item: usize) -> (usize, u64) {
-        debug_assert!(user < self.n_users && item < self.n_items, "index out of range");
+        debug_assert!(
+            user < self.n_users && item < self.n_items,
+            "index out of range"
+        );
         (user * self.words_per_row + item / 64, 1u64 << (item % 64))
     }
 
@@ -96,13 +104,19 @@ impl LikeMatrix {
     pub fn common_likes(&self, a: usize, b: usize) -> usize {
         let ra = &self.bits[a * self.words_per_row..(a + 1) * self.words_per_row];
         let rb = &self.bits[b * self.words_per_row..(b + 1) * self.words_per_row];
-        ra.iter().zip(rb).map(|(x, y)| (x & y).count_ones() as usize).sum()
+        ra.iter()
+            .zip(rb)
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
     }
 
     /// Ground-truth cosine similarity between two users' like vectors.
     pub fn user_cosine(&self, a: usize, b: usize) -> f64 {
         let common = self.common_likes(a, b) as f64;
-        let (la, lb) = (self.user_like_count(a) as f64, self.user_like_count(b) as f64);
+        let (la, lb) = (
+            self.user_like_count(a) as f64,
+            self.user_like_count(b) as f64,
+        );
         if la == 0.0 || lb == 0.0 {
             0.0
         } else {

@@ -62,7 +62,10 @@ impl Dataset {
                 return Err(format!("item {} source out of range", it.index));
             }
             if !self.likes.likes(it.source as usize, it.index as usize) {
-                return Err(format!("source {} does not like item {}", it.source, it.index));
+                return Err(format!(
+                    "source {} does not like item {}",
+                    it.source, it.index
+                ));
             }
             if it.topic >= self.n_topics {
                 return Err(format!("item {} topic out of range", it.index));
@@ -104,7 +107,11 @@ impl Dataset {
         let n_items = self.n_items();
         let mut pops: Vec<f64> = (0..n_items).map(|i| self.likes.popularity(i)).collect();
         pops.sort_by(|a, b| a.partial_cmp(b).expect("popularity is never NaN"));
-        let median_popularity = if pops.is_empty() { 0.0 } else { pops[pops.len() / 2] };
+        let median_popularity = if pops.is_empty() {
+            0.0
+        } else {
+            pops[pops.len() / 2]
+        };
         DatasetStats {
             name: self.name.clone(),
             n_users: self.n_users(),
@@ -141,8 +148,16 @@ mod tests {
         Dataset {
             name: "tiny".into(),
             items: vec![
-                ItemSpec { index: 0, topic: 0, source: 0 },
-                ItemSpec { index: 1, topic: 1, source: 2 },
+                ItemSpec {
+                    index: 0,
+                    topic: 0,
+                    source: 0,
+                },
+                ItemSpec {
+                    index: 1,
+                    topic: 1,
+                    source: 2,
+                },
             ],
             likes,
             social: None,

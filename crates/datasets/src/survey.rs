@@ -97,8 +97,9 @@ impl SurveyConfig {
 /// Generates the survey-like workload deterministically from `seed`.
 pub fn generate(cfg: &SurveyConfig, seed: u64) -> Dataset {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let weights: Vec<f64> =
-        (1..=cfg.n_topics).map(|k| 1.0 / (k as f64).powf(cfg.zipf_s)).collect();
+    let weights: Vec<f64> = (1..=cfg.n_topics)
+        .map(|k| 1.0 / (k as f64).powf(cfg.zipf_s))
+        .collect();
     let topic_dist = WeightedIndex::new(&weights).expect("non-empty topics");
 
     // Base users: a topic set each.
@@ -171,7 +172,11 @@ pub fn generate(cfg: &SurveyConfig, seed: u64) -> Dataset {
         let interested = likes.interested_users(index);
         debug_assert!(!interested.is_empty());
         let source = interested[rng.gen_range(0..interested.len())];
-        items.push(ItemSpec { index: index as u32, topic, source });
+        items.push(ItemSpec {
+            index: index as u32,
+            topic,
+            source,
+        });
         // RSS feeds are much coarser than the latent interests: the survey
         // drew its items from a handful of feeds (culture, politics, people,
         // sports, …). Mapping topic ranks modulo n_feeds mixes mainstream

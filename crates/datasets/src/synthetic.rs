@@ -55,7 +55,10 @@ impl SyntheticConfig {
         self.n_items = ((self.n_items as f64 * scale) as usize).max(20);
         self.n_communities =
             ((self.n_communities as f64 * scale.sqrt()) as usize).clamp(2, self.n_communities);
-        self.min_community = self.min_community.min(self.n_users / self.n_communities / 2).max(2);
+        self.min_community = self
+            .min_community
+            .min(self.n_users / self.n_communities / 2)
+            .max(2);
         self.max_community = (self.n_users / 2).max(self.min_community + 1);
         self
     }
@@ -74,7 +77,7 @@ pub fn generate(cfg: &SyntheticConfig, seed: u64) -> Dataset {
     // community[u] for every user, laid out contiguously.
     let mut community: Vec<u32> = Vec::with_capacity(cfg.n_users);
     for (c, &size) in sizes.iter().enumerate() {
-        community.extend(std::iter::repeat(c as u32).take(size));
+        community.extend(std::iter::repeat_n(c as u32, size));
     }
     // Items round-robin over communities so every community publishes
     // (the paper publishes 120 per community).
@@ -83,7 +86,11 @@ pub fn generate(cfg: &SyntheticConfig, seed: u64) -> Dataset {
     for index in 0..cfg.n_items {
         let topic = (index % cfg.n_communities) as u32;
         for (u, &cu) in community.iter().enumerate() {
-            let p = if cu == topic { cfg.in_community_like } else { cfg.cross_community_like };
+            let p = if cu == topic {
+                cfg.in_community_like
+            } else {
+                cfg.cross_community_like
+            };
             if rng.gen_bool(p) {
                 likes.set(u, index, true);
             }
@@ -97,7 +104,11 @@ pub fn generate(cfg: &SyntheticConfig, seed: u64) -> Dataset {
             .collect();
         let source = members[rng.gen_range(0..members.len())];
         likes.set(source as usize, index, true);
-        items.push(ItemSpec { index: index as u32, topic, source });
+        items.push(ItemSpec {
+            index: index as u32,
+            topic,
+            source,
+        });
     }
     let d = Dataset {
         name: "synthetic".into(),
@@ -124,7 +135,7 @@ pub fn user_communities(cfg: &SyntheticConfig, seed: u64) -> Vec<u32> {
     );
     let mut community = Vec::with_capacity(cfg.n_users);
     for (c, &size) in sizes.iter().enumerate() {
-        community.extend(std::iter::repeat(c as u32).take(size));
+        community.extend(std::iter::repeat_n(c as u32, size));
     }
     community
 }
@@ -163,8 +174,8 @@ mod tests {
         let mut out_c = 0u64;
         let mut out_c_likes = 0u64;
         for item in &d.items {
-            for u in 0..d.n_users() {
-                if communities[u] == item.topic {
+            for (u, &community) in communities.iter().enumerate() {
+                if community == item.topic {
                     in_c += 1;
                     in_c_likes += d.likes.likes(u, item.index as usize) as u64;
                 } else {

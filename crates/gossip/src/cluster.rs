@@ -150,7 +150,7 @@ impl<P: Clone> Clustering<P> {
             .entries()
             .iter()
             .cloned()
-            .chain(received.into_iter())
+            .chain(received)
             .chain(rps_candidates.iter().cloned())
             .collect::<Vec<_>>();
         let mut deduped = dedup_freshest(union, self.id);
@@ -172,7 +172,8 @@ impl<P: Clone> Clustering<P> {
                 .then(mix(self_id, da.node).cmp(&mix(self_id, db.node)))
         });
         scored.truncate(self.config.view_size);
-        self.view.replace_with(scored.into_iter().map(|(_, d)| d).collect());
+        self.view
+            .replace_with(scored.into_iter().map(|(_, d)| d).collect());
     }
 }
 
@@ -191,8 +192,7 @@ mod tests {
 
     #[test]
     fn merge_keeps_most_similar() {
-        let mut c: Clustering<u8> =
-            Clustering::new(0, ClusteringConfig { view_size: 2 });
+        let mut c: Clustering<u8> = Clustering::new(0, ClusteringConfig { view_size: 2 });
         c.seed([d(1, 100), d(2, 50)]);
         c.on_response(vec![d(3, 11), d(4, 90)], &[], &10, &byte_sim);
         // Own payload 10: closest are 11 (node 3) and 50 (node 2).
@@ -204,8 +204,7 @@ mod tests {
 
     #[test]
     fn rps_candidates_join_the_union() {
-        let mut c: Clustering<u8> =
-            Clustering::new(0, ClusteringConfig { view_size: 1 });
+        let mut c: Clustering<u8> = Clustering::new(0, ClusteringConfig { view_size: 1 });
         c.seed([d(1, 200)]);
         c.on_response(vec![], &[d(9, 10)], &10, &byte_sim);
         assert!(c.contains(9));
@@ -213,8 +212,7 @@ mod tests {
 
     #[test]
     fn initiate_ships_entire_view_plus_self() {
-        let mut c: Clustering<u8> =
-            Clustering::new(5, ClusteringConfig { view_size: 3 });
+        let mut c: Clustering<u8> = Clustering::new(5, ClusteringConfig { view_size: 3 });
         c.seed([d(1, 1), d(2, 2)]);
         let (partner, payload) = c.initiate(42).unwrap();
         assert!(partner == 1 || partner == 2);
@@ -224,8 +222,7 @@ mod tests {
 
     #[test]
     fn on_request_answers_with_view() {
-        let mut c: Clustering<u8> =
-            Clustering::new(5, ClusteringConfig { view_size: 3 });
+        let mut c: Clustering<u8> = Clustering::new(5, ClusteringConfig { view_size: 3 });
         c.seed([d(1, 1)]);
         let resp = c.on_request(vec![d(2, 2)], &[], 0, &byte_sim);
         assert!(resp.iter().any(|x| x.node == 5));
@@ -235,16 +232,14 @@ mod tests {
 
     #[test]
     fn never_contains_self() {
-        let mut c: Clustering<u8> =
-            Clustering::new(7, ClusteringConfig { view_size: 4 });
+        let mut c: Clustering<u8> = Clustering::new(7, ClusteringConfig { view_size: 4 });
         c.on_response(vec![d(7, 0), d(1, 0)], &[d(7, 0)], &0, &byte_sim);
         assert!(!c.contains(7));
     }
 
     #[test]
     fn oldest_first_partner_selection() {
-        let mut c: Clustering<u8> =
-            Clustering::new(0, ClusteringConfig { view_size: 2 });
+        let mut c: Clustering<u8> = Clustering::new(0, ClusteringConfig { view_size: 2 });
         c.seed([d(1, 1)]);
         c.initiate(0); // ages node 1 to 1
         c.on_response(vec![d(2, 2)], &[], &0, &byte_sim); // node 2 age 0
@@ -255,8 +250,7 @@ mod tests {
     #[test]
     fn deterministic_merge_under_ties() {
         let run = |id: NodeId| {
-            let mut c: Clustering<u8> =
-                Clustering::new(id, ClusteringConfig { view_size: 2 });
+            let mut c: Clustering<u8> = Clustering::new(id, ClusteringConfig { view_size: 2 });
             c.on_response(vec![d(3, 5), d(1, 5), d(2, 5)], &[], &5, &byte_sim);
             let mut ids: Vec<NodeId> = c.view().node_ids().collect();
             ids.sort_unstable();

@@ -25,14 +25,20 @@ pub struct RpsConfig {
 
 impl Default for RpsConfig {
     fn default() -> Self {
-        Self { view_size: 30, exchange_len: 15 }
+        Self {
+            view_size: 30,
+            exchange_len: 15,
+        }
     }
 }
 
 impl RpsConfig {
     /// Config with `view_size` and the canonical half-view exchange length.
     pub fn with_view_size(view_size: usize) -> Self {
-        Self { view_size, exchange_len: (view_size / 2).max(1) }
+        Self {
+            view_size,
+            exchange_len: (view_size / 2).max(1),
+        }
     }
 }
 
@@ -108,7 +114,9 @@ impl<P: Clone> Rps<P> {
     }
 
     fn exchange_payload(&self, own_payload: P, rng: &mut impl Rng) -> Vec<Descriptor<P>> {
-        let mut payload = self.view.sample(self.config.exchange_len.saturating_sub(1), rng);
+        let mut payload = self
+            .view
+            .sample(self.config.exchange_len.saturating_sub(1), rng);
         payload.push(Descriptor::fresh(self.id, own_payload));
         payload
     }
@@ -121,7 +129,7 @@ impl<P: Clone> Rps<P> {
             .entries()
             .iter()
             .cloned()
-            .chain(received.into_iter())
+            .chain(received)
             .collect::<Vec<_>>();
         let mut deduped = dedup_freshest(union, self.id);
         deduped.shuffle(rng);
@@ -168,13 +176,21 @@ mod tests {
         rps.view.insert(Descriptor::fresh(2, 0));
         let (partner, payload) = rps.initiate(7, &mut rng()).unwrap();
         assert_eq!(partner, 1);
-        assert!(payload.iter().any(|d| d.node == 0 && d.age == 0 && d.payload == 7));
+        assert!(payload
+            .iter()
+            .any(|d| d.node == 0 && d.age == 0 && d.payload == 7));
         assert!(payload.len() <= rps.config().exchange_len);
     }
 
     #[test]
     fn merge_keeps_view_bounded_and_random() {
-        let mut rps: Rps<u8> = Rps::new(0, RpsConfig { view_size: 4, exchange_len: 2 });
+        let mut rps: Rps<u8> = Rps::new(
+            0,
+            RpsConfig {
+                view_size: 4,
+                exchange_len: 2,
+            },
+        );
         rps.seed(descriptors(&[1, 2, 3, 4]));
         rps.on_response(descriptors(&[5, 6, 7, 8]), &mut rng());
         assert_eq!(rps.view().len(), 4);
@@ -205,7 +221,10 @@ mod tests {
         // Star bootstrap: everyone only knows node 0. After a few rounds of
         // pairwise exchange, views should contain diverse peers.
         let n = 16u32;
-        let cfg = RpsConfig { view_size: 6, exchange_len: 3 };
+        let cfg = RpsConfig {
+            view_size: 6,
+            exchange_len: 3,
+        };
         let mut nodes: Vec<Rps<u8>> = (0..n).map(|i| Rps::new(i, cfg)).collect();
         for node in nodes.iter_mut().skip(1) {
             node.seed(descriptors(&[0]));
@@ -226,8 +245,7 @@ mod tests {
                 }
             }
         }
-        let avg_view: f64 =
-            nodes.iter().map(|x| x.view().len() as f64).sum::<f64>() / n as f64;
+        let avg_view: f64 = nodes.iter().map(|x| x.view().len() as f64).sum::<f64>() / n as f64;
         assert!(avg_view > 4.0, "views stayed starved: {avg_view}");
         // At least half the nodes should know someone other than node 0.
         let diverse = nodes

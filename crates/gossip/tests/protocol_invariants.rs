@@ -38,9 +38,9 @@ proptest! {
         let mut nodes: Vec<Rps<u16>> = (0..n as NodeId).map(|i| Rps::new(i, cfg)).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         // Ring bootstrap.
-        for i in 0..n {
+        for (i, node) in nodes.iter_mut().enumerate() {
             let next = ((i + 1) % n) as NodeId;
-            nodes[i].seed([Descriptor::fresh(next, next as u16)]);
+            node.seed([Descriptor::fresh(next, next as u16)]);
         }
         for (a, b) in steps {
             let (a, b) = (a % n, b % n);
@@ -76,9 +76,9 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc1);
         let _ = &mut rng;
         // Profiles: node i has value i*10; ring bootstrap.
-        for i in 0..n {
+        for (i, node) in nodes.iter_mut().enumerate() {
             let next = ((i + 1) % n) as NodeId;
-            nodes[i].seed([Descriptor::fresh(next, next as u16 * 10)]);
+            node.seed([Descriptor::fresh(next, next as u16 * 10)]);
         }
         for (a, b) in steps {
             let (a, b) = (a % n, b % n);
@@ -107,11 +107,15 @@ fn long_mixed_run_converges_views_to_neighbors() {
     // clustering layer, each node's cluster view should contain close ids
     // (profiles are the ids themselves, similarity is -distance).
     let n = 24usize;
-    let rps_cfg = RpsConfig { view_size: 8, exchange_len: 4 };
+    let rps_cfg = RpsConfig {
+        view_size: 8,
+        exchange_len: 4,
+    };
     let cl_cfg = ClusteringConfig { view_size: 4 };
     let mut rps: Vec<Rps<u16>> = (0..n as NodeId).map(|i| Rps::new(i, rps_cfg)).collect();
-    let mut cl: Vec<Clustering<u16>> =
-        (0..n as NodeId).map(|i| Clustering::new(i, cl_cfg)).collect();
+    let mut cl: Vec<Clustering<u16>> = (0..n as NodeId)
+        .map(|i| Clustering::new(i, cl_cfg))
+        .collect();
     let mut rng = ChaCha8Rng::seed_from_u64(77);
     for i in 0..n {
         let next = ((i + 1) % n) as NodeId;
@@ -145,5 +149,8 @@ fn long_mixed_run_converges_views_to_neighbors() {
         }
     }
     let avg = total_dist / count as f64;
-    assert!(avg < 5.0, "clustering failed to converge: avg id distance {avg}");
+    assert!(
+        avg < 5.0,
+        "clustering failed to converge: avg id distance {avg}"
+    );
 }

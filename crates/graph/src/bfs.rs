@@ -23,7 +23,10 @@ pub fn distances(g: &Graph, source: u32) -> Vec<u32> {
 
 /// Number of nodes reachable from `source` (including itself).
 pub fn reachable_count(g: &Graph, source: u32) -> usize {
-    distances(g, source).iter().filter(|&&d| d != u32::MAX).count()
+    distances(g, source)
+        .iter()
+        .filter(|&&d| d != u32::MAX)
+        .count()
 }
 
 #[cfg(test)]

@@ -38,7 +38,9 @@ pub fn average_clustering(g: &Graph) -> f64 {
         return 0.0;
     }
     let und = g.symmetric_closure();
-    let sum: f64 = (0..und.len() as u32).map(|u| local_coefficient(&und, u)).sum();
+    let sum: f64 = (0..und.len() as u32)
+        .map(|u| local_coefficient(&und, u))
+        .sum();
     sum / und.len() as f64
 }
 

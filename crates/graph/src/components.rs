@@ -17,7 +17,11 @@ pub struct UnionFind {
 
 impl UnionFind {
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), rank: vec![0; n], count: n }
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            count: n,
+        }
     }
 
     /// Representative of `x`'s set.

@@ -73,8 +73,9 @@ pub fn community_sizes(
 ) -> Vec<usize> {
     assert!(count > 0 && min_size <= max_size);
     assert!(total >= count, "need at least one user per community");
-    let mut sizes: Vec<usize> =
-        (0..count).map(|_| rng.gen_range(min_size..=max_size)).collect();
+    let mut sizes: Vec<usize> = (0..count)
+        .map(|_| rng.gen_range(min_size..=max_size))
+        .collect();
     let sum: usize = sizes.iter().sum();
     // Rescale proportionally, then distribute the rounding remainder.
     let mut scaled: Vec<usize> = sizes

@@ -29,7 +29,9 @@ pub struct Graph {
 impl Graph {
     /// Creates an edgeless graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n] }
+        Self {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a graph from an edge list.

@@ -22,7 +22,11 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo < hi, "histogram range must be non-empty");
-        Self { lo, hi, counts: vec![0; bins] }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
     }
 
     /// Number of bins.
@@ -77,7 +81,10 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// Merges another histogram with identical geometry.
@@ -87,7 +94,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram lo mismatch");
         assert_eq!(self.hi, other.hi, "histogram hi mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "histogram bins mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bins mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -108,7 +119,12 @@ pub struct BinnedMean {
 impl BinnedMean {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0 && lo < hi);
-        Self { lo, hi, sums: vec![0.0; bins], counts: vec![0; bins] }
+        Self {
+            lo,
+            hi,
+            sums: vec![0.0; bins],
+            counts: vec![0; bins],
+        }
     }
 
     fn bin_of(&self, x: f64) -> usize {
@@ -147,7 +163,11 @@ impl BinnedMean {
             .iter()
             .enumerate()
             .map(|(i, &c)| {
-                let frac = if total == 0 { 0.0 } else { c as f64 / total as f64 };
+                let frac = if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                };
                 (self.lo + (i as f64 + 0.5) * w, frac)
             })
             .collect()

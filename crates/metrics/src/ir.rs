@@ -32,7 +32,11 @@ impl ItemOutcome {
     pub fn new(interested: usize, reached: usize, hits: usize) -> Self {
         debug_assert!(hits <= reached, "hits cannot exceed reached");
         debug_assert!(hits <= interested, "hits cannot exceed interested");
-        Self { interested, reached, hits }
+        Self {
+            interested,
+            reached,
+            hits,
+        }
     }
 
     /// Precision of this item's dissemination; 0 when nothing was reached.
@@ -52,7 +56,11 @@ impl ItemOutcome {
 
     /// Scores bundle for this single item.
     pub fn scores(&self) -> IrScores {
-        IrScores { precision: self.precision(), recall: self.recall(), f1: self.f1() }
+        IrScores {
+            precision: self.precision(),
+            recall: self.recall(),
+            f1: self.f1(),
+        }
     }
 }
 
@@ -67,7 +75,11 @@ pub struct IrScores {
 impl IrScores {
     /// Builds the triple from precision and recall, deriving F1.
     pub fn from_pr(precision: f64, recall: f64) -> Self {
-        Self { precision, recall, f1: f1(precision, recall) }
+        Self {
+            precision,
+            recall,
+            f1: f1(precision, recall),
+        }
     }
 }
 
@@ -110,7 +122,11 @@ impl IrAggregate {
         let interested: usize = self.outcomes.iter().map(|o| o.interested).sum();
         let precision = ratio(hits, reached);
         let recall = ratio(hits, interested);
-        IrScores { precision, recall, f1: f1(precision, recall) }
+        IrScores {
+            precision,
+            recall,
+            f1: f1(precision, recall),
+        }
     }
 
     /// Macro-averaged scores: unweighted mean of per-item precision/recall.
@@ -123,7 +139,11 @@ impl IrAggregate {
         let n = self.outcomes.len() as f64;
         let precision = self.outcomes.iter().map(|o| o.precision()).sum::<f64>() / n;
         let recall = self.outcomes.iter().map(|o| o.recall()).sum::<f64>() / n;
-        IrScores { precision, recall, f1: f1(precision, recall) }
+        IrScores {
+            precision,
+            recall,
+            f1: f1(precision, recall),
+        }
     }
 
     /// Merges another aggregate into this one.

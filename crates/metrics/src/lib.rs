@@ -16,7 +16,7 @@ pub mod stats;
 pub mod table;
 
 pub use hist::Histogram;
-pub use ir::{ItemOutcome, IrAggregate, IrScores};
+pub use ir::{IrAggregate, IrScores, ItemOutcome};
 pub use series::{Series, SeriesSet};
 pub use stats::{mean, percentile, std_dev, Summary};
 pub use table::TextTable;

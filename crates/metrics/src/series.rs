@@ -12,7 +12,10 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), points: Vec::new() }
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, x: f64, y: f64) {
@@ -177,7 +180,10 @@ mod tests {
         assert!(text.contains("f1"));
         assert!(text.contains("recall"));
         // x=4.0 exists only in series 2; series 1 renders "-".
-        let line4 = text.lines().find(|l| l.trim_start().starts_with("4.000")).unwrap();
+        let line4 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("4.000"))
+            .unwrap();
         assert!(line4.contains('-'));
     }
 

@@ -20,6 +20,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use whatsup_core::{
     Descriptor, ItemHeader, NewsItem, NewsMessage, NodeId, Payload, Profile, ProfileEntry,
+    SharedProfile,
 };
 
 /// Maximum frame size we allow on the wire (UDP datagram safety margin).
@@ -36,8 +37,16 @@ const TAG_NEWS: u8 = 5;
 /// [`WireMessage::into_payload`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireMessage {
-    Gossip { kind: u8, descriptors: Vec<Descriptor<Profile>> },
-    News { item: NewsItem, profile: Profile, dislikes: u8, hops: u16 },
+    Gossip {
+        kind: u8,
+        descriptors: Vec<Descriptor<SharedProfile>>,
+    },
+    News {
+        item: NewsItem,
+        profile: Profile,
+        dislikes: u8,
+        hops: u16,
+    },
 }
 
 impl WireMessage {
@@ -52,9 +61,22 @@ impl WireMessage {
                 TAG_WUP_RESP => Payload::WupResponse(descriptors),
                 other => unreachable!("invalid gossip kind {other}"),
             },
-            WireMessage::News { item, profile, dislikes, hops } => {
-                let header = ItemHeader { id: item.id(), created_at: item.created_at };
-                Payload::News(NewsMessage { header, profile, dislikes, hops })
+            WireMessage::News {
+                item,
+                profile,
+                dislikes,
+                hops,
+            } => {
+                let header = ItemHeader {
+                    id: item.id(),
+                    created_at: item.created_at,
+                };
+                Payload::News(NewsMessage {
+                    header,
+                    profile,
+                    dislikes,
+                    hops,
+                })
             }
         }
     }
@@ -66,7 +88,11 @@ pub struct FrameTooLarge(pub usize);
 
 impl std::fmt::Display for FrameTooLarge {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "frame of {} bytes exceeds MAX_FRAME ({MAX_FRAME})", self.0)
+        write!(
+            f,
+            "frame of {} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+            self.0
+        )
     }
 }
 
@@ -107,8 +133,8 @@ pub fn encode(
         Payload::WupRequest(d) => encode_gossip(&mut buf, TAG_WUP_REQ, from, d),
         Payload::WupResponse(d) => encode_gossip(&mut buf, TAG_WUP_RESP, from, d),
         Payload::News(msg) => {
-            let item = resolve(msg.header.id)
-                .expect("news content must be resolvable for encoding");
+            let item =
+                resolve(msg.header.id).expect("news content must be resolvable for encoding");
             buf.put_u8(TAG_NEWS);
             buf.put_u32_le(from);
             buf.put_u32_le(item.source);
@@ -127,7 +153,7 @@ pub fn encode(
     Ok(buf.freeze())
 }
 
-fn encode_gossip(buf: &mut BytesMut, tag: u8, from: NodeId, descs: &[Descriptor<Profile>]) {
+fn encode_gossip(buf: &mut BytesMut, tag: u8, from: NodeId, descs: &[Descriptor<SharedProfile>]) {
     buf.put_u8(tag);
     buf.put_u32_le(from);
     buf.put_u16_le(descs.len() as u16);
@@ -173,10 +199,16 @@ pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
                 }
                 let node = buf.get_u32_le();
                 let age = buf.get_u32_le();
-                let payload = get_profile(&mut buf)?;
+                let payload = SharedProfile::new(get_profile(&mut buf)?);
                 descriptors.push(Descriptor { node, age, payload });
             }
-            Ok((from, WireMessage::Gossip { kind: tag, descriptors }))
+            Ok((
+                from,
+                WireMessage::Gossip {
+                    kind: tag,
+                    descriptors,
+                },
+            ))
         }
         TAG_NEWS => {
             if buf.remaining() < 8 {
@@ -193,8 +225,22 @@ pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
             let dislikes = buf.get_u8();
             let hops = buf.get_u16_le();
             let profile = get_profile(&mut buf)?;
-            let item = NewsItem { title, description, link, source, created_at };
-            Ok((from, WireMessage::News { item, profile, dislikes, hops }))
+            let item = NewsItem {
+                title,
+                description,
+                link,
+                source,
+                created_at,
+            };
+            Ok((
+                from,
+                WireMessage::News {
+                    item,
+                    profile,
+                    dislikes,
+                    hops,
+                },
+            ))
         }
         other => Err(DecodeError::BadTag(other)),
     }
@@ -213,7 +259,11 @@ fn get_profile(buf: &mut &[u8]) -> Result<Profile, DecodeError> {
         let item = buf.get_u64_le();
         let timestamp = buf.get_u32_le();
         let score = buf.get_f32_le();
-        entries.push(ProfileEntry { item, timestamp, score });
+        entries.push(ProfileEntry {
+            item,
+            timestamp,
+            score,
+        });
     }
     Ok(Profile::from_entries(entries))
 }
@@ -247,8 +297,16 @@ mod tests {
     #[test]
     fn gossip_roundtrip_all_kinds() {
         let descs = vec![
-            Descriptor { node: 3, age: 2, payload: profile(&[(10, 1.0), (11, 0.0)]) },
-            Descriptor { node: 9, age: 0, payload: Profile::new() },
+            Descriptor {
+                node: 3,
+                age: 2,
+                payload: SharedProfile::new(profile(&[(10, 1.0), (11, 0.0)])),
+            },
+            Descriptor {
+                node: 9,
+                age: 0,
+                payload: SharedProfile::default(),
+            },
         ];
         for make in [
             Payload::RpsRequest as fn(_) -> _,
@@ -287,7 +345,11 @@ mod tests {
 
     #[test]
     fn truncated_frames_error() {
-        let descs = vec![Descriptor { node: 1, age: 0, payload: profile(&[(1, 1.0)]) }];
+        let descs = vec![Descriptor {
+            node: 1,
+            age: 0,
+            payload: SharedProfile::new(profile(&[(1, 1.0)])),
+        }];
         let frame = encode(0, &Payload::RpsRequest(descs), |_| None).unwrap();
         for cut in [0, 3, 6, frame.len() - 1] {
             assert!(decode(&frame[..cut]).is_err(), "cut at {cut} must fail");
@@ -307,7 +369,7 @@ mod tests {
             &Payload::RpsRequest(vec![Descriptor {
                 node: 1,
                 age: 0,
-                payload: Profile::new(),
+                payload: SharedProfile::default(),
             }]),
             |_| None,
         )
@@ -317,7 +379,9 @@ mod tests {
             &Payload::RpsRequest(vec![Descriptor {
                 node: 1,
                 age: 0,
-                payload: profile(&(0..100).map(|i| (i as u64, 1.0)).collect::<Vec<_>>()),
+                payload: SharedProfile::new(profile(
+                    &(0..100).map(|i| (i as u64, 1.0)).collect::<Vec<_>>(),
+                )),
             }]),
             |_| None,
         )
@@ -328,8 +392,12 @@ mod tests {
     #[test]
     fn oversized_frame_rejected() {
         let huge: Vec<(u64, f32)> = (0..4000u64).map(|i| (i, 1.0)).collect();
-        let descs: Vec<Descriptor<Profile>> = (0..10)
-            .map(|n| Descriptor { node: n, age: 0, payload: profile(&huge) })
+        let descs: Vec<Descriptor<SharedProfile>> = (0..10)
+            .map(|n| Descriptor {
+                node: n,
+                age: 0,
+                payload: SharedProfile::new(profile(&huge)),
+            })
             .collect();
         let err = encode(0, &Payload::WupRequest(descs), |_| None);
         assert!(matches!(err, Err(FrameTooLarge(_))));

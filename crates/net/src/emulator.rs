@@ -20,8 +20,8 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use whatsup_datasets::Dataset;
 use whatsup_core::NodeId;
+use whatsup_datasets::Dataset;
 
 /// Emulator fabric configuration.
 #[derive(Debug, Clone)]
@@ -36,7 +36,11 @@ pub struct EmulatorConfig {
 
 impl Default for EmulatorConfig {
     fn default() -> Self {
-        Self { swarm: SwarmConfig::default(), latency_ms: (1, 5), link_loss: 0.0 }
+        Self {
+            swarm: SwarmConfig::default(),
+            latency_ms: (1, 5),
+            link_loss: 0.0,
+        }
     }
 }
 
@@ -181,8 +185,7 @@ pub fn run(dataset: &Dataset, cfg: &EmulatorConfig) -> SwarmReport {
                         break;
                     }
                     // Drain the inbox until the next cycle boundary.
-                    let deadline =
-                        start + Duration::from_millis((now_cycle as u64 + 1) * cycle_ms);
+                    let deadline = start + Duration::from_millis((now_cycle as u64 + 1) * cycle_ms);
                     let timeout = deadline.saturating_duration_since(Instant::now());
                     match rx.recv_timeout(timeout.min(Duration::from_millis(5))) {
                         Ok(frame) => {

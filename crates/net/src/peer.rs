@@ -66,7 +66,14 @@ impl Peer {
     ) -> Self {
         let node = WhatsUpNode::new(id, cfg.params.clone());
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (id as u64).wrapping_mul(0x9e37_79b9));
-        Self { node, rng, oracle, stats, deliveries, loss: cfg.loss }
+        Self {
+            node,
+            rng,
+            oracle,
+            stats,
+            deliveries,
+            loss: cfg.loss,
+        }
     }
 
     pub fn id(&self) -> NodeId {
@@ -132,7 +139,9 @@ impl Peer {
                 }
             }
         }
-        let out = self.node.on_message(from, payload, now, &self.oracle.clone(), &mut self.rng);
+        let out = self
+            .node
+            .on_message(from, payload, now, &self.oracle.clone(), &mut self.rng);
         self.encode_all(out)
     }
 
@@ -173,7 +182,10 @@ mod tests {
 
     fn setup(loss: f64) -> (Vec<Peer>, Arc<Mutex<Vec<Delivery>>>, Arc<ItemTable>) {
         let dataset = survey::generate(&SurveyConfig::paper().scaled(0.1), 3);
-        let cfg = SwarmConfig { loss, ..Default::default() };
+        let cfg = SwarmConfig {
+            loss,
+            ..Default::default()
+        };
         let table = Arc::new(ItemTable::build(&dataset, &cfg));
         let matrix = Arc::new(dataset.likes.clone());
         let stats = Arc::new(TrafficStats::new());
@@ -182,8 +194,13 @@ mod tests {
         let peers = (0..n as NodeId)
             .map(|id| {
                 let oracle = NetOracle::new(Arc::clone(&matrix), Arc::clone(&table));
-                let mut p =
-                    Peer::new(id, &cfg, oracle, Arc::clone(&stats), Arc::clone(&deliveries));
+                let mut p = Peer::new(
+                    id,
+                    &cfg,
+                    oracle,
+                    Arc::clone(&stats),
+                    Arc::clone(&deliveries),
+                );
                 p.bootstrap(n, 6);
                 p
             })
@@ -207,7 +224,10 @@ mod tests {
         // Find item 0's source and let it publish.
         let source = table.items[0].source;
         let frames = peers[source as usize].publish(0, 1);
-        assert!(!frames.is_empty(), "source must have bootstrap WUP neighbors");
+        assert!(
+            !frames.is_empty(),
+            "source must have bootstrap WUP neighbors"
+        );
         let (to, bytes) = &frames[0];
         let replies = peers[*to as usize].handle_frame(bytes, 1);
         let recorded = deliveries.lock();

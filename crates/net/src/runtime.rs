@@ -41,7 +41,10 @@ pub fn run(dataset: &Dataset, cfg: &UdpConfig) -> SwarmReport {
         .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind loopback UDP socket"))
         .collect();
     let registry: Arc<Vec<SocketAddr>> = Arc::new(
-        sockets.iter().map(|s| s.local_addr().expect("bound socket has addr")).collect(),
+        sockets
+            .iter()
+            .map(|s| s.local_addr().expect("bound socket has addr"))
+            .collect(),
     );
 
     let start = Instant::now() + Duration::from_millis(30);

@@ -60,9 +60,7 @@ impl SwarmConfig {
 
     /// Total wall-clock run time.
     pub fn duration(&self) -> std::time::Duration {
-        std::time::Duration::from_millis(
-            (self.cycles + self.drain_cycles) as u64 * self.cycle_ms,
-        )
+        std::time::Duration::from_millis((self.cycles + self.drain_cycles) as u64 * self.cycle_ms)
     }
 }
 
@@ -93,7 +91,11 @@ impl ItemTable {
             items.push(item);
         }
         assert_eq!(by_id.len(), items.len(), "item id collision");
-        Self { items, by_id, publish_cycle }
+        Self {
+            items,
+            by_id,
+            publish_cycle,
+        }
     }
 }
 
@@ -191,11 +193,7 @@ impl SwarmReport {
 
     /// Average total per-node bandwidth in Kbps.
     pub fn total_kbps(&self) -> f64 {
-        TrafficSnapshot::kbps_per_node(
-            self.traffic.total_bytes(),
-            self.n_nodes,
-            self.duration_secs,
-        )
+        TrafficSnapshot::kbps_per_node(self.traffic.total_bytes(), self.n_nodes, self.duration_secs)
     }
 }
 
@@ -229,17 +227,36 @@ mod tests {
     #[test]
     fn report_aggregation_counts_measured_only() {
         let d = dataset();
-        let cfg = SwarmConfig { measure_from: 0, ..Default::default() };
+        let cfg = SwarmConfig {
+            measure_from: 0,
+            ..Default::default()
+        };
         // Deliver item 0 to two nodes, one of which likes it.
         let interested = d.likes.interested_users(0);
-        let liker = *interested.iter().find(|&&u| u != d.items[0].source).unwrap();
-        let disliker =
-            (0..d.n_users() as u32).find(|u| !d.likes.likes(*u as usize, 0)).unwrap();
+        let liker = *interested
+            .iter()
+            .find(|&&u| u != d.items[0].source)
+            .unwrap();
+        let disliker = (0..d.n_users() as u32)
+            .find(|u| !d.likes.likes(*u as usize, 0))
+            .unwrap();
         let deliveries = vec![
-            Delivery { item_index: 0, node: liker, liked: true },
-            Delivery { item_index: 0, node: disliker, liked: false },
+            Delivery {
+                item_index: 0,
+                node: liker,
+                liked: true,
+            },
+            Delivery {
+                item_index: 0,
+                node: disliker,
+                liked: false,
+            },
             // Source deliveries are ignored.
-            Delivery { item_index: 0, node: d.items[0].source, liked: true },
+            Delivery {
+                item_index: 0,
+                node: d.items[0].source,
+                liked: true,
+            },
         ];
         let report = SwarmReport::from_deliveries(
             "test",

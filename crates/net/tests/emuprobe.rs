@@ -23,7 +23,11 @@ fn emulator_and_udp_agree() {
     };
     let emu = emulator::run(
         &d,
-        &EmulatorConfig { swarm: swarm.clone(), latency_ms: (1, 4), link_loss: 0.0 },
+        &EmulatorConfig {
+            swarm: swarm.clone(),
+            latency_ms: (1, 4),
+            link_loss: 0.0,
+        },
     );
     let udp = runtime::run(&d, &UdpConfig { swarm });
     let (es, us) = (emu.scores(), udp.scores());

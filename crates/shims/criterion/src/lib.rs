@@ -1,0 +1,204 @@
+//! Minimal `criterion` shim.
+//!
+//! Benchmarks compile and run unchanged: each `bench_function` warms up,
+//! picks an iteration count targeting ~`measurement_time` of wall clock,
+//! runs it, and prints `name  time/iter (iters)` — enough to track the
+//! perf trajectory in CI logs. No statistics beyond mean/min.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints for `iter_batched` (the shim runs per-iteration
+/// setup regardless, timing only the routine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(400),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.measurement_time, &id.to_string(), f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(self.criterion.measurement_time, &label, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the closure given to `Bencher::iter*`, measuring elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(target: Duration, label: &str, mut f: F) {
+    // Calibrate: start at 1 iteration, grow until the run is measurable.
+    let mut iters: u64 = 1;
+    let mut elapsed = run_once(&mut f, iters);
+    while elapsed < Duration::from_millis(5) && iters < 1 << 24 {
+        iters *= 4;
+        elapsed = run_once(&mut f, iters);
+    }
+    // One measurement pass sized to the target time.
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let measured_iters = ((target.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 1 << 28);
+    let measured = run_once(&mut f, measured_iters);
+    let nanos = measured.as_secs_f64() * 1e9 / measured_iters as f64;
+    println!(
+        "{label:<48} {} ({measured_iters} iters)",
+        format_time(nanos)
+    );
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:8.1} ns/iter")
+    } else if nanos < 1_000_000.0 {
+        format!("{:8.2} µs/iter", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:8.3} ms/iter", nanos / 1_000_000.0)
+    } else {
+        format!("{:8.4} s/iter", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Re-export for benches that import it from criterion.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("add", |b| b.iter(|| 1u64 + 2));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert!(format_time(12.0).contains("ns"));
+        assert!(format_time(12_000.0).contains("µs"));
+        assert!(format_time(12_000_000.0).contains("ms"));
+        assert!(format_time(2_000_000_000.0).contains("s/iter"));
+    }
+}

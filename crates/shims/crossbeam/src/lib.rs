@@ -1,0 +1,127 @@
+//! Minimal `crossbeam` shim: unbounded MPMC-ish channels over
+//! `std::sync::mpsc`, with crossbeam's error vocabulary. The receiver is
+//! `Clone + Sync` (serialized behind a mutex), which matches how this
+//! workspace fans work out.
+
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex, PoisonError};
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.guard().recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.guard().try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            self.guard()
+                .recv()
+                .map_err(|_| RecvTimeoutError::Disconnected)
+        }
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cloned_receiver_drains_same_queue() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let a = rx.try_recv().unwrap();
+            let b = rx2.try_recv().unwrap();
+            assert_eq!(a + b, 3);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Minimal `rayon` shim backed by `std::thread::scope`.
+//!
+//! Work is split into one contiguous chunk per worker, so `collect` keeps
+//! input order and every combining operation is deterministic regardless of
+//! the worker count. The worker count comes from, in priority order: the
+//! innermost [`ThreadPool::install`] on the current thread, the
+//! `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
+//!
+//! Supported surface: [`join`], `par_iter()` / `par_iter_mut()` on slices
+//! and `Vec`, `into_par_iter()` on `Vec` and `Range<usize>`, with the
+//! `map` / `for_each` / `sum` / `collect` adapters.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (shim: infallible).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or(0),
+        })
+    }
+}
+
+/// A "pool" is just a worker-count override; threads are scoped per call.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let n = if self.num_threads == 0 {
+            None
+        } else {
+            Some(self.num_threads)
+        };
+        let prev = POOL_OVERRIDE.with(|c| c.replace(n));
+        let out = f();
+        POOL_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Splits `len` into at most `workers` contiguous chunk ranges.
+fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `work` over each chunk range on its own scoped thread; returns the
+/// per-chunk outputs in chunk order.
+fn run_chunked<T: Send, W>(len: usize, work: W) -> Vec<T>
+where
+    W: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(len, current_num_threads());
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(work).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(|| work(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+pub mod iter {
+    use super::run_chunked;
+    use std::ops::Range;
+
+    /// Order-preserving parallel pipeline over an indexable source.
+    /// `Sync` because the source is shared by reference across the workers.
+    pub trait ParallelIterator: Sized + Sync {
+        type Item: Send;
+
+        /// Materializes the items for the index sub-range `range`.
+        fn produce(&self, range: Range<usize>) -> Vec<Self::Item>;
+
+        /// Total number of items.
+        fn p_len(&self) -> usize;
+
+        fn map<F, R>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Item) -> R + Sync + Send,
+            R: Send,
+        {
+            Map { base: self, f }
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            let len = self.p_len();
+            run_chunked(len, |r| {
+                for item in self.produce(r) {
+                    f(item);
+                }
+            });
+        }
+
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+        {
+            let len = self.p_len();
+            run_chunked(len, |r| self.produce(r).into_iter().sum::<S>())
+                .into_iter()
+                .sum()
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_iter(self)
+        }
+    }
+
+    /// Targets for [`ParallelIterator::collect`].
+    pub trait FromParallelIterator<T: Send>: Sized {
+        fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self {
+            let len = par.p_len();
+            let chunks = run_chunked(len, |r| par.produce(r));
+            let mut out = Vec::with_capacity(len);
+            for chunk in chunks {
+                out.extend(chunk);
+            }
+            out
+        }
+    }
+
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, R> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        F: Fn(B::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        type Item = R;
+
+        fn produce(&self, range: Range<usize>) -> Vec<R> {
+            self.base.produce(range).into_iter().map(&self.f).collect()
+        }
+
+        fn p_len(&self) -> usize {
+            self.base.p_len()
+        }
+    }
+
+    /// `.par_iter()` over a shared slice.
+    pub struct ParIter<'a, T: Sync> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+        type Item = &'a T;
+
+        fn produce(&self, range: Range<usize>) -> Vec<&'a T> {
+            self.slice[range].iter().collect()
+        }
+
+        fn p_len(&self) -> usize {
+            self.slice.len()
+        }
+    }
+
+    /// `.into_par_iter()` over owned items.
+    pub struct IntoParIter<T: Send> {
+        items: std::sync::Mutex<Vec<Option<T>>>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoParIter<T> {
+        type Item = T;
+
+        fn produce(&self, range: Range<usize>) -> Vec<T> {
+            let mut guard = self.items.lock().expect("no poisoned producers");
+            guard[range]
+                .iter_mut()
+                .map(|slot| slot.take().expect("item consumed twice"))
+                .collect()
+        }
+
+        fn p_len(&self) -> usize {
+            self.items.lock().expect("no poisoned producers").len()
+        }
+    }
+
+    /// `(a..b).into_par_iter()`.
+    pub struct RangeParIter {
+        range: Range<usize>,
+    }
+
+    impl ParallelIterator for RangeParIter {
+        type Item = usize;
+
+        fn produce(&self, range: Range<usize>) -> Vec<usize> {
+            (self.range.start + range.start..self.range.start + range.end).collect()
+        }
+
+        fn p_len(&self) -> usize {
+            self.range.len()
+        }
+    }
+
+    pub trait IntoParallelIterator {
+        type Iter: ParallelIterator<Item = Self::Item>;
+        type Item: Send;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = IntoParIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter {
+                items: std::sync::Mutex::new(self.into_iter().map(Some).collect()),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = RangeParIter;
+        type Item = usize;
+        fn into_par_iter(self) -> RangeParIter {
+            RangeParIter { range: self }
+        }
+    }
+
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: ParallelIterator<Item = Self::Item>;
+        type Item: Send + 'a;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = ParIter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = ParIter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+}
+
+/// Runs `f(index)` for every index in `0..len` across the ambient worker
+/// count, in contiguous chunks. Not part of upstream rayon's API, but the
+/// natural primitive for index-addressed parallel phases (and what the
+/// simulation engine uses); exposed so callers need no unsafe sharding.
+pub fn for_each_index<F>(len: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    run_chunked(len, |r| {
+        for i in r {
+            f(i);
+        }
+    });
+}
+
+/// Maps every index in `0..len` to a value, in parallel, preserving order.
+pub fn map_indices<T: Send, F>(len: usize, f: F) -> Vec<T>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let chunks = run_chunked(len, |r| r.map(&f).collect::<Vec<T>>());
+    let mut out = Vec::with_capacity(len);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_vec_and_range() {
+        let v: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 1, 1]);
+        let sq: Vec<usize> = (3..7).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(sq, vec![9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 1));
+        let pool3 = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool3.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn map_indices_matches_sequential() {
+        let got = map_indices(1000, |i| i * 3);
+        assert_eq!(got, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_and_for_each() {
+        let xs: Vec<u64> = (1..=100).collect();
+        let s: u64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        xs.par_iter().for_each(|_| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(counter.into_inner(), 100);
+    }
+}

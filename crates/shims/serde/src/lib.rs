@@ -1,0 +1,356 @@
+//! Minimal `serde` shim.
+//!
+//! * [`Serialize`] is a marker blanket-implemented for every `Debug` type;
+//!   the `serde_json` shim renders values through `Debug` (valid JSON for
+//!   the primitive/vector shapes the workspace ever parses back).
+//! * [`Deserialize`] is implemented by hand for primitives, `String`,
+//!   tuples and `Vec`, over the [`json::Value`] tree.
+//! * The derives are no-ops from `serde_derive`, kept so `#[derive]`
+//!   attributes compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable values; the shim serializes via `Debug`.
+pub trait Serialize: std::fmt::Debug {}
+
+impl<T: std::fmt::Debug + ?Sized> Serialize for T {}
+
+/// Types reconstructible from a parsed [`json::Value`].
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+pub mod json {
+    //! A lenient JSON value tree and parser shared by the `serde_json` shim.
+    //!
+    //! Accepts standard JSON plus trailing commas and unquoted object keys,
+    //! so text produced by pretty `Debug` for primitive collections parses
+    //! back.
+
+    use std::collections::BTreeMap;
+    use std::fmt;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        pub fn new(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "json error: {}", self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_whitespace() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error::new(format!(
+                    "expected '{}' at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                None => Err(Error::new("unexpected end of input")),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b't') | Some(b'f') => self.boolean(),
+                Some(b'n') => {
+                    self.keyword("null")?;
+                    Ok(Value::Null)
+                }
+                Some(_) => self.number(),
+            }
+        }
+
+        fn keyword(&mut self, word: &str) -> Result<(), Error> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(())
+            } else {
+                Err(Error::new(format!(
+                    "expected '{word}' at byte {}",
+                    self.pos
+                )))
+            }
+        }
+
+        fn boolean(&mut self) -> Result<Value, Error> {
+            if self.keyword("true").is_ok() {
+                Ok(Value::Bool(true))
+            } else {
+                self.keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            self.skip_ws();
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::new("non-utf8 number"))?;
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| Error::new(format!("invalid number {text:?}")))
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return Err(Error::new("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.bytes.get(self.pos) {
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(&c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
+                            other => {
+                                return Err(Error::new(format!("unsupported escape {other:?}")))
+                            }
+                        }
+                        self.pos += 1;
+                    }
+                    Some(&c) => {
+                        // Copy raw UTF-8 bytes through.
+                        out.push(c as char);
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            loop {
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                items.push(self.value()?);
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b']') => {}
+                    other => return Err(Error::new(format!("expected ',' or ']', got {other:?}"))),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            loop {
+                match self.peek() {
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    Some(b'"') => {
+                        let key = self.string()?;
+                        self.expect(b':')?;
+                        map.insert(key, self.value()?);
+                    }
+                    Some(_) => {
+                        // Lenient: bare identifier keys (Debug output).
+                        let start = self.pos;
+                        while let Some(&b) = self.bytes.get(self.pos) {
+                            if b == b':' || b.is_ascii_whitespace() {
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                        let key =
+                            String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                        self.expect(b':')?;
+                        map.insert(key, self.value()?);
+                    }
+                    None => return Err(Error::new("unterminated object")),
+                }
+                if self.peek() == Some(b',') {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Parses lenient JSON text into a [`Value`].
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::new(format!("trailing input at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+}
+
+use json::{Error, Value};
+
+macro_rules! deserialize_number {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(Error::new(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_number!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => Ok((
+                A::from_json_value(&items[0])?,
+                B::from_json_value(&items[1])?,
+            )),
+            other => Err(Error::new(format!("expected pair, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_json_value(&items[0])?,
+                B::from_json_value(&items[1])?,
+                C::from_json_value(&items[2])?,
+            )),
+            other => Err(Error::new(format!("expected triple, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{parse, Value};
+    use super::Deserialize;
+
+    #[test]
+    fn parses_debug_style_float_vec() {
+        // Pretty Debug output of vec![1.0, 2.0, 3.0] — trailing commas.
+        let text = "[\n    1.0,\n    2.0,\n    3.0,\n]";
+        let back: Vec<f64> = Vec::from_json_value(&parse(text).unwrap()).unwrap();
+        assert_eq!(back, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parses_objects_strings_bools() {
+        let v = parse(r#"{"ok": true, "name": "x", "xs": [1, 2]}"#).unwrap();
+        let Value::Object(map) = v else {
+            panic!("expected object")
+        };
+        assert_eq!(map["ok"], Value::Bool(true));
+        assert_eq!(map["name"], Value::String("x".into()));
+        assert_eq!(
+            map["xs"],
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("nope").is_err());
+        assert!(parse("[1] trailing").is_err());
+    }
+}

@@ -4,6 +4,11 @@
 use crate::engine::Simulation;
 use crate::record::SimReport;
 use serde::{Deserialize, Serialize};
+
+/// `(x, mean y, samples)` rows of a binned scatter.
+pub type BinnedSeries = Vec<(f64, f64, u64)>;
+/// `(x, y)` rows of an aggregated curve.
+pub type MeanSeries = Vec<(f64, f64)>;
 use whatsup_datasets::Dataset;
 use whatsup_graph::clustering::average_clustering;
 use whatsup_graph::components::weakly_connected_components;
@@ -39,7 +44,7 @@ pub fn recall_vs_popularity(
     report: &SimReport,
     dataset: &Dataset,
     bins: usize,
-) -> (Vec<(f64, f64, u64)>, Vec<(f64, f64)>) {
+) -> (BinnedSeries, MeanSeries) {
     let mut bm = BinnedMean::new(0.0, 1.0, bins);
     for rec in report.items.iter().filter(|r| r.measured) {
         let popularity = dataset.likes.popularity(rec.index as usize);
@@ -56,7 +61,7 @@ pub fn f1_vs_sociability(
     dataset: &Dataset,
     k: usize,
     bins: usize,
-) -> (Vec<(f64, f64, u64)>, Vec<(f64, f64)>) {
+) -> (BinnedSeries, MeanSeries) {
     let mut bm = BinnedMean::new(0.0, 1.0, bins);
     for (u, ir) in report.per_node.iter().enumerate().take(dataset.n_users()) {
         let sociability = dataset.likes.sociability(u, k);

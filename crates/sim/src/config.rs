@@ -54,9 +54,7 @@ impl Protocol {
             | Protocol::CWhatsUp { f_like }
             | Protocol::NoOrientation { f_like } => Some(f_like),
             Protocol::CfWup { k } | Protocol::CfCos { k } => Some(k),
-            Protocol::Gossip { fanout } | Protocol::NoAmplification { fanout } => {
-                Some(fanout)
-            }
+            Protocol::Gossip { fanout } | Protocol::NoAmplification { fanout } => Some(fanout),
             Protocol::Cascade | Protocol::CPubSub => None,
         }
     }
@@ -149,7 +147,7 @@ impl Default for SimConfig {
             publish_from: 3,
             measure_from: 20,
             loss: 0.0,
-            seed: 0xace_0f_5eed,
+            seed: 0x000a_ce0f_5eed,
             bootstrap_degree: 8,
             profile_window: None,
             ttl_override: None,
@@ -168,8 +166,9 @@ impl SimConfig {
             params.profile_window = w;
         }
         if let Some(ttl) = self.ttl_override {
-            if let whatsup_core::beep::DislikeRule::Forward { fanout, oriented, .. } =
-                params.beep.dislike
+            if let whatsup_core::beep::DislikeRule::Forward {
+                fanout, oriented, ..
+            } = params.beep.dislike
             {
                 params.beep.dislike = whatsup_core::beep::DislikeRule::Forward {
                     fanout,
@@ -221,7 +220,11 @@ mod tests {
 
     #[test]
     fn schedule_is_monotone_and_in_range() {
-        let cfg = SimConfig { cycles: 65, publish_from: 3, ..Default::default() };
+        let cfg = SimConfig {
+            cycles: 65,
+            publish_from: 3,
+            ..Default::default()
+        };
         let s = cfg.schedule(1000);
         assert_eq!(s.len(), 1000);
         assert!(s.windows(2).all(|w| w[0] <= w[1]));
@@ -258,7 +261,9 @@ mod tests {
     #[test]
     fn ablation_params_differ_from_whatsup() {
         let wu = Protocol::WhatsUp { f_like: 5 }.node_params().unwrap();
-        let na = Protocol::NoAmplification { fanout: 5 }.node_params().unwrap();
+        let na = Protocol::NoAmplification { fanout: 5 }
+            .node_params()
+            .unwrap();
         let no = Protocol::NoOrientation { f_like: 5 }.node_params().unwrap();
         assert_ne!(wu.beep, na.beep);
         assert_ne!(wu.beep, no.beep);
@@ -281,9 +286,16 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(SimConfig::default().validate().is_ok());
-        let bad = SimConfig { publish_from: 99, cycles: 50, ..Default::default() };
+        let bad = SimConfig {
+            publish_from: 99,
+            cycles: 50,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = SimConfig { loss: 1.5, ..Default::default() };
+        let bad = SimConfig {
+            loss: 1.5,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
     }
 }

@@ -32,7 +32,12 @@ pub struct DynamicsConfig {
 impl Default for DynamicsConfig {
     fn default() -> Self {
         Self {
-            base: SimConfig { cycles: 80, publish_from: 3, measure_from: 10, ..Default::default() },
+            base: SimConfig {
+                cycles: 80,
+                publish_from: 3,
+                measure_from: 10,
+                ..Default::default()
+            },
             event_at: 40,
             repeats: 10,
         }
@@ -99,7 +104,10 @@ impl DynamicsResult {
 /// Runs the dynamics experiment for one protocol. Repetitions run in
 /// parallel; each repetition is independently seeded and deterministic.
 pub fn run(dataset: &Dataset, protocol: Protocol, cfg: &DynamicsConfig) -> DynamicsResult {
-    assert!(cfg.event_at < cfg.base.cycles, "event must happen during the run");
+    assert!(
+        cfg.event_at < cfg.base.cycles,
+        "event must happen during the run"
+    );
     let traces: Vec<DynamicsResult> = (0..cfg.repeats)
         .into_par_iter()
         .map(|rep| run_once(dataset, protocol, cfg, rep as u64))
@@ -139,14 +147,19 @@ fn run_once(
         sim.step();
         let t = sim.current_cycle() - 1;
         out.cycles.push(t);
-        out.reference_similarity.push(sim.interest_view_similarity(reference));
-        out.reference_liked.push(sim.liked_receptions_last_cycle(reference) as f64);
-        out.changing_similarity.push(sim.interest_view_similarity(swap_a));
-        out.changing_liked.push(sim.liked_receptions_last_cycle(swap_a) as f64);
+        out.reference_similarity
+            .push(sim.interest_view_similarity(reference));
+        out.reference_liked
+            .push(sim.liked_receptions_last_cycle(reference) as f64);
+        out.changing_similarity
+            .push(sim.interest_view_similarity(swap_a));
+        out.changing_liked
+            .push(sim.liked_receptions_last_cycle(swap_a) as f64);
         match joiner {
             Some(j) => {
                 out.joining_similarity.push(sim.interest_view_similarity(j));
-                out.joining_liked.push(sim.liked_receptions_last_cycle(j) as f64);
+                out.joining_liked
+                    .push(sim.liked_receptions_last_cycle(j) as f64);
             }
             None => {
                 out.joining_similarity.push(0.0);
@@ -158,10 +171,15 @@ fn run_once(
 }
 
 fn average(traces: Vec<DynamicsResult>) -> DynamicsResult {
-    let Some(first) = traces.first() else { return DynamicsResult::default() };
+    let Some(first) = traces.first() else {
+        return DynamicsResult::default();
+    };
     let len = first.cycles.len();
     let k = traces.len() as f64;
-    let mut out = DynamicsResult { cycles: first.cycles.clone(), ..Default::default() };
+    let mut out = DynamicsResult {
+        cycles: first.cycles.clone(),
+        ..Default::default()
+    };
     for field in 0..6 {
         let mut acc = vec![0.0; len];
         for t in &traces {
@@ -240,7 +258,11 @@ mod tests {
         let cfg = small_cfg();
         let r = run(&d, Protocol::WhatsUp { f_like: 4 }, &cfg);
         let after: f64 = r.joining_similarity.iter().rev().take(4).sum();
-        assert!(after > 0.0, "joiner never clustered: {:?}", r.joining_similarity);
+        assert!(
+            after > 0.0,
+            "joiner never clustered: {:?}",
+            r.joining_similarity
+        );
     }
 
     #[test]
@@ -255,7 +277,11 @@ mod tests {
             joining_liked: vec![0.0; 7],
             changing_liked: vec![0.0; 7],
         };
-        assert_eq!(r.joining_convergence_cycle(1, 0.9), Some(3), "start of sustained run");
+        assert_eq!(
+            r.joining_convergence_cycle(1, 0.9),
+            Some(3),
+            "start of sustained run"
+        );
         assert_eq!(r.changing_convergence_cycle(1, 0.8), Some(2));
         assert_eq!(r.joining_convergence_cycle(1, 1.1), None);
     }

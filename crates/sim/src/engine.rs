@@ -6,37 +6,233 @@
 //! 1. every node runs one RPS and one WUP exchange (requests and the
 //!    matching responses are delivered within the cycle);
 //! 2. the items scheduled for the cycle are published and each epidemic
-//!    runs to completion (hop-ordered FIFO), which matches the paper's use
+//!    runs to completion (hop-ordered BFS), which matches the paper's use
 //!    of the gossip cycle as time unit — dissemination is fast relative to
 //!    clustering dynamics.
 //!
 //! Message loss (§V-E) applies to every message of every protocol layer.
 //! The engine is a pure function of `(dataset, protocol, config)`.
+//!
+//! # Phased-round execution model
+//!
+//! A cycle advances through *phases*, each a deterministic fan-out over the
+//! nodes followed by a deterministic sequential fold on the driving thread:
+//!
+//! 1. **Collect** — every node runs [`WhatsUpNode::on_cycle`] in parallel,
+//!    emitting its RPS/WUP requests.
+//! 2. **Route** — the emitted messages are grouped into per-receiver
+//!    mailboxes, ordered by `(sender id, emission order)`.
+//! 3. **Deliver** — receivers drain their mailboxes in parallel, each
+//!    mutating only itself and emitting replies; replies feed the next
+//!    route/deliver round until the cycle is quiet (requests, then
+//!    responses — gossip needs exactly two delivery rounds).
+//! 4. **Churn** — per-node crash coins are drawn in parallel; crashes are
+//!    applied sequentially in node-id order (a rejoining node inherits a
+//!    live contact's views).
+//! 5. **Publish** — each scheduled item's epidemic runs as a BFS over the
+//!    same route/deliver machinery: all copies at hop distance `h` are
+//!    delivered (in parallel, per receiver) before any copy at `h + 1`.
+//!
+//! # Determinism contract
+//!
+//! Reports are **bit-identical across worker-thread counts** (including the
+//! sequential case) for a fixed seed, because no randomness or ordering
+//! leaks from the parallel sections:
+//!
+//! * every node draws from its own counter-based RNG stream, derived by
+//!   [`node_stream`]`(seed, node, cycle, phase)` — never from a shared
+//!   generator, and never dependent on how many other nodes exist or run
+//!   first. Adding nodes (`add_joining_node`) therefore never shifts the
+//!   streams of existing nodes;
+//! * mailbox contents and the fold that applies per-receiver outcomes to
+//!   the shared counters both follow fixed total orders (sender order,
+//!   receiver order);
+//! * message-loss coins are drawn from the *receiver's* stream at delivery
+//!   time, in mailbox order.
+//!
+//! The interactive mutators (`add_joining_node`, `swap_interests`,
+//! `reset_node`) draw from a dedicated engine RNG on the driving thread and
+//! are deterministic in call order.
 
 use crate::config::{Protocol, SimConfig};
 use crate::oracle::Oracle;
 use crate::record::{ItemRecord, NodeIr, SimReport};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::{HashMap, VecDeque};
-use whatsup_core::{NewsItem, NodeId, Opinions, OutMessage, Payload, Profile, WhatsUpNode};
+use std::collections::HashMap;
+use whatsup_core::{NewsItem, NodeId, Opinions, OutMessage, Params, Payload, Profile, WhatsUpNode};
 use whatsup_datasets::Dataset;
 use whatsup_graph::Graph;
+
+/// Phase tags for [`node_stream`] derivation. Distinct phases of the same
+/// cycle must never share a stream, or coins drawn in one phase would shift
+/// draws in another depending on message volume.
+pub mod phase {
+    /// `on_cycle` emissions (RPS/WUP initiation).
+    pub const CYCLE: u8 = 0;
+    /// Gossip mailbox drains (request/response handling + loss coins).
+    pub const GOSSIP: u8 = 1;
+    /// Churn crash coin and rejoin contact choice.
+    pub const CHURN: u8 = 2;
+    /// News delivery (BEEP decisions + loss coins).
+    pub const NEWS: u8 = 3;
+}
+
+/// SplitMix64 finalizer.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The counter-based per-node RNG stream for one `(cycle, phase)`.
+///
+/// A pure function of its arguments: independent of node count, execution
+/// order and thread count. This is the engine's only source of randomness
+/// inside a cycle.
+pub fn node_stream(seed: u64, node: NodeId, cycle: u32, phase: u8) -> ChaCha8Rng {
+    const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = mix64(seed ^ GOLDEN.wrapping_mul(node as u64 ^ 0xfeed_5eed));
+    h = mix64(h ^ GOLDEN.wrapping_mul(cycle as u64 + 1));
+    h = mix64(h ^ GOLDEN.wrapping_mul(phase as u64 + 1));
+    ChaCha8Rng::seed_from_u64(h)
+}
+
+/// Shared mutable base pointer for disjoint-index parallel phases.
+///
+/// Wrapped in a struct so it can cross the `Sync` bound of the parallel
+/// driver; all dereferences stay inside [`for_nodes`], which guarantees
+/// index disjointness.
+struct RawSlice<T>(*mut T);
+
+unsafe impl<T: Send> Sync for RawSlice<T> {}
+
+impl<T> RawSlice<T> {
+    /// # Safety
+    /// The caller must guarantee `i` is in bounds and that no other thread
+    /// holds a reference to slot `i` for the lifetime of the returned one.
+    /// (A method rather than field access so closures capture the `Sync`
+    /// wrapper, not the raw pointer.)
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn at(&self, i: usize) -> &mut T {
+        &mut *self.0.add(i)
+    }
+}
+
+/// Runs `f` over the given node ids in parallel, returning the outputs in
+/// `ids` order. `f` gets exclusive access to the node *and* its slot in
+/// `scratch` (per-node RNG state shared across rounds of one phase).
+///
+/// # Panics
+/// Asserts — unconditionally, in release builds too — that `ids` are
+/// strictly increasing (and therefore disjoint). The assert is load-bearing
+/// for the `RawSlice` safety argument below: duplicate ids would hand two
+/// workers aliasing `&mut` to the same node. Do not downgrade it to
+/// `debug_assert!`.
+fn for_nodes<R, S, F>(nodes: &mut [WhatsUpNode], scratch: &mut [S], ids: &[NodeId], f: F) -> Vec<R>
+where
+    R: Send,
+    S: Send,
+    F: Fn(NodeId, &mut WhatsUpNode, &mut S) -> R + Sync,
+{
+    // The aliasing below is only sound for duplicate-free ids, so this
+    // check must survive into release builds.
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "receiver ids must be sorted unique"
+    );
+    assert_eq!(nodes.len(), scratch.len());
+    let node_base = RawSlice(nodes.as_mut_ptr());
+    let scratch_base = RawSlice(scratch.as_mut_ptr());
+    let n = nodes.len();
+    rayon::map_indices(ids.len(), move |k| {
+        let id = ids[k] as usize;
+        assert!(id < n, "message addressed to unknown node {id}");
+        // SAFETY: `ids` holds strictly increasing indices < n, each visited
+        // by exactly one worker exactly once, so the two &mut never alias.
+        let (node, slot) = unsafe { (node_base.at(id), scratch_base.at(id)) };
+        f(id as NodeId, node, slot)
+    })
+}
+
+/// Drains each receiver's mailbox in parallel: takes the mail, lazily
+/// derives the receiver's `(cycle, phase)` stream, draws the per-message
+/// loss coin from it in mailbox order, and feeds surviving messages to
+/// `handle`, accumulating one `O` per receiver. The single home for the
+/// mailbox-aliasing unsafe block shared by the gossip and news phases.
+#[allow(clippy::too_many_arguments)]
+fn deliver_round<O, F>(
+    nodes: &mut [WhatsUpNode],
+    phase_rngs: &mut [Option<ChaCha8Rng>],
+    mailbox: &mut [Vec<(NodeId, Payload)>],
+    receivers: &[NodeId],
+    seed: u64,
+    cycle: u32,
+    phase_tag: u8,
+    loss: f64,
+    handle: F,
+) -> Vec<O>
+where
+    O: Default + Send,
+    F: Fn(NodeId, &mut WhatsUpNode, NodeId, Payload, &mut ChaCha8Rng, &mut O) + Sync,
+{
+    let mailbox_base = RawSlice(mailbox.as_mut_ptr());
+    let n_slots = mailbox.len();
+    for_nodes(nodes, phase_rngs, receivers, |id, node, rng_slot| {
+        assert!((id as usize) < n_slots);
+        // SAFETY: `for_nodes` visits each (duplicate-free) receiver id on
+        // exactly one worker, and each drains only its own mailbox slot.
+        let mail = std::mem::take(unsafe { mailbox_base.at(id as usize) });
+        let rng = rng_slot.get_or_insert_with(|| node_stream(seed, id, cycle, phase_tag));
+        let mut out = O::default();
+        for (from, payload) in mail {
+            if loss > 0.0 && rng.gen_bool(loss) {
+                continue;
+            }
+            handle(id, node, from, payload, rng, &mut out);
+        }
+        out
+    })
+}
+
+/// Per-receiver outcome of one news delivery round, folded sequentially in
+/// receiver order after the parallel section.
+#[derive(Default)]
+struct NewsOutcome {
+    /// Forwarded copies, stamped with this receiver as sender.
+    replies: Vec<(NodeId, OutMessage)>,
+    /// Set when this round delivered the receiver's first copy.
+    first: Option<FirstReception>,
+    /// `(hop, forwarder_liked)` when the receiver forwarded (Fig. 6).
+    forward: Option<(u16, bool)>,
+}
+
+struct FirstReception {
+    hop: u16,
+    sender_liked: bool,
+    receiver_likes: bool,
+    dislikes: u8,
+}
 
 /// A running simulation of one node-based protocol over one dataset.
 pub struct Simulation {
     protocol: Protocol,
     cfg: SimConfig,
+    params: Params,
     dataset_name: String,
     items: Vec<NewsItem>,
     /// Cached content hashes of `items` (hashing is string-heavy).
     item_ids: Vec<whatsup_core::ItemId>,
     sources: Vec<NodeId>,
-    /// cycle → dataset item indices published that cycle.
-    schedule: Vec<Vec<u32>>,
+    /// cycle → dataset item indices published that cycle. Also serves the
+    /// windowed ground-truth lookups (O(window), not O(items)).
+    published_at_cycle: Vec<Vec<u32>>,
     nodes: Vec<WhatsUpNode>,
     oracle: Oracle,
     records: Vec<ItemRecord>,
+    /// Driving-thread RNG for bootstrap and the interactive mutators; the
+    /// cycle phases use [`node_stream`] exclusively.
     rng: ChaCha8Rng,
     cycle: u32,
     gossip_messages: u64,
@@ -46,8 +242,10 @@ pub struct Simulation {
     liked_this_cycle: Vec<u32>,
     /// Per-node delivery counters over measured items (Fig. 11).
     per_node: Vec<NodeIr>,
-    /// Scratch: per-item first-reception marks, reused across items.
-    reached_scratch: Vec<bool>,
+    /// Scratch: per-node mailboxes, reused across rounds and cycles.
+    mailbox: Vec<Vec<(NodeId, Payload)>>,
+    /// Scratch: per-node phase RNGs (lazily derived per cycle+phase).
+    phase_rngs: Vec<Option<ChaCha8Rng>>,
 }
 
 impl Simulation {
@@ -84,24 +282,26 @@ impl Simulation {
         }
         assert_eq!(id_to_index.len(), items.len(), "item id (hash) collision");
         let item_ids: Vec<whatsup_core::ItemId> = items.iter().map(|i| i.id()).collect();
+        let published_at_cycle = schedule;
 
         let oracle = Oracle::new(dataset.likes.clone(), id_to_index);
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let mut nodes: Vec<WhatsUpNode> =
-            (0..n as NodeId).map(|id| WhatsUpNode::new(id, params.clone())).collect();
-        // Bootstrap: every node learns `bootstrap_degree` random contacts
-        // (empty profiles), split across both layers, as a stand-in for the
-        // paper's bootstrap server.
-        for id in 0..n {
-            let mut contacts: Vec<NodeId> = Vec::with_capacity(cfg.bootstrap_degree);
-            while contacts.len() < cfg.bootstrap_degree.min(n - 1) {
-                let c = rng.gen_range(0..n) as NodeId;
-                if c != id as NodeId && !contacts.contains(&c) {
-                    contacts.push(c);
-                }
-            }
+        let mut nodes: Vec<WhatsUpNode> = (0..n as NodeId)
+            .map(|id| WhatsUpNode::new(id, params.clone()))
+            .collect();
+        // Bootstrap: every node learns `bootstrap_degree` distinct random
+        // contacts (empty profiles), split across both layers, as a stand-in
+        // for the paper's bootstrap server. Partial Fisher–Yates over the
+        // other `n - 1` ids: O(degree) per node, no rejection loop.
+        for (id, node) in nodes.iter_mut().enumerate() {
+            let take = cfg.bootstrap_degree.min(n - 1);
+            let contacts: Vec<NodeId> = rand::seq::index::sample(&mut rng, n - 1, take)
+                .into_iter()
+                // Skip over `id` itself: [0, n-1) minus {id} ≅ shift ≥ id.
+                .map(|c| if c >= id { c + 1 } else { c } as NodeId)
+                .collect();
             let wup_take = (contacts.len() / 2).max(1);
-            nodes[id].seed_views(
+            node.seed_views(
                 contacts.iter().map(|&c| (c, Profile::new())),
                 contacts.iter().take(wup_take).map(|&c| (c, Profile::new())),
             );
@@ -119,11 +319,12 @@ impl Simulation {
         Self {
             protocol,
             cfg,
+            params,
             dataset_name: dataset.name.clone(),
             items,
             item_ids,
             sources,
-            schedule,
+            published_at_cycle,
             nodes,
             oracle,
             records,
@@ -134,7 +335,8 @@ impl Simulation {
             news_messages_measured: 0,
             liked_this_cycle: vec![0; n],
             per_node: vec![NodeIr::default(); n],
-            reached_scratch: vec![false; n],
+            mailbox: (0..n).map(|_| Vec::new()).collect(),
+            phase_rngs: vec![None; n],
         }
     }
 
@@ -163,6 +365,12 @@ impl Simulation {
         self.liked_this_cycle[id as usize]
     }
 
+    /// The per-node RNG stream this simulation uses for `(node, cycle,
+    /// phase)` — exposed so tests can assert stream stability.
+    pub fn stream_for(&self, node: NodeId, cycle: u32, phase: u8) -> ChaCha8Rng {
+        node_stream(self.cfg.seed, node, cycle, phase)
+    }
+
     /// Runs all remaining cycles and reports.
     pub fn run(mut self) -> SimReport {
         while self.cycle < self.cfg.cycles {
@@ -171,34 +379,74 @@ impl Simulation {
         self.report()
     }
 
-    /// Advances one cycle: gossip phase, then publications.
+    /// Routes `envelopes` into the per-node mailboxes and returns the
+    /// sorted list of receivers with mail. Mailbox order is envelope order
+    /// (deterministic: senders emit in id order within a round).
+    fn route(&mut self, envelopes: Vec<(NodeId, OutMessage)>) -> Vec<NodeId> {
+        let mut receivers: Vec<NodeId> = Vec::new();
+        for (from, msg) in envelopes {
+            let slot = &mut self.mailbox[msg.to as usize];
+            if slot.is_empty() {
+                receivers.push(msg.to);
+            }
+            slot.push((from, msg.payload));
+        }
+        receivers.sort_unstable();
+        receivers
+    }
+
+    /// Advances one cycle: gossip phase, churn, then publications.
     pub fn step(&mut self) {
         assert!(self.cycle < self.cfg.cycles, "simulation already finished");
         let t = self.cycle;
         self.liked_this_cycle.iter_mut().for_each(|c| *c = 0);
 
         // --- Gossip phase -------------------------------------------------
-        let mut queue: VecDeque<(NodeId, OutMessage)> = VecDeque::new();
-        for id in 0..self.nodes.len() {
-            for msg in self.nodes[id].on_cycle(t, &mut self.rng) {
-                queue.push_back((id as NodeId, msg));
-            }
+        // Collect: every node's cycle tick, fanned out over the workers.
+        let seed = self.cfg.seed;
+        let all_ids: Vec<NodeId> = (0..self.nodes.len() as NodeId).collect();
+        let outputs: Vec<Vec<OutMessage>> = for_nodes(
+            &mut self.nodes,
+            &mut self.phase_rngs,
+            &all_ids,
+            |id, node, _| {
+                let mut rng = node_stream(seed, id, t, phase::CYCLE);
+                node.on_cycle(t, &mut rng)
+            },
+        );
+        let mut envelopes: Vec<(NodeId, OutMessage)> = Vec::new();
+        for (id, out) in outputs.into_iter().enumerate() {
+            envelopes.extend(out.into_iter().map(|m| (id as NodeId, m)));
         }
-        while let Some((from, msg)) = queue.pop_front() {
-            self.gossip_messages += 1;
-            if self.lost() {
-                continue;
-            }
-            let to = msg.to as usize;
-            let replies =
-                self.nodes[to].on_message(from, msg.payload, t, &self.oracle, &mut self.rng);
-            for r in replies {
-                debug_assert!(
-                    !matches!(r.payload, Payload::News(_)),
-                    "news cannot appear in the gossip phase"
-                );
-                queue.push_back((msg.to, r));
-            }
+
+        // Route/deliver rounds until the cycle is quiet (two rounds for the
+        // request/response gossip protocols).
+        self.phase_rngs.iter_mut().for_each(|r| *r = None);
+        let loss = self.cfg.loss;
+        while !envelopes.is_empty() {
+            self.gossip_messages += envelopes.len() as u64;
+            let receivers = self.route(envelopes);
+            let oracle = &self.oracle;
+            let replies: Vec<Vec<(NodeId, OutMessage)>> = deliver_round(
+                &mut self.nodes,
+                &mut self.phase_rngs,
+                &mut self.mailbox,
+                &receivers,
+                seed,
+                t,
+                phase::GOSSIP,
+                loss,
+                |id, node, from, payload, rng, out: &mut Vec<(NodeId, OutMessage)>| {
+                    for reply in node.on_message(from, payload, t, oracle, rng) {
+                        debug_assert!(
+                            !matches!(reply.payload, Payload::News(_)),
+                            "news cannot appear in the gossip phase"
+                        );
+                        out.push((id, reply));
+                    }
+                },
+            );
+            envelopes = replies.into_iter().flatten().collect();
         }
 
         // --- Churn phase ----------------------------------------------------
@@ -206,116 +454,163 @@ impl Simulation {
         // immediately as a fresh instance: profile, views and seen-set are
         // lost; the newcomer cold-starts from a random alive contact
         // (§II-D/E — gossip overlays self-heal, profiles rebuild within a
-        // window).
-        if self.cfg.churn_per_cycle > 0.0 {
+        // window). Coins come from per-node streams (parallel); the resets
+        // apply sequentially in id order because a rejoining node reads
+        // another node's views.
+        if self.cfg.churn_per_cycle > 0.0 && self.nodes.len() > 1 {
             let n = self.nodes.len();
-            for id in 0..n {
-                if self.rng.gen_bool(self.cfg.churn_per_cycle) {
-                    self.reset_node(id as NodeId);
+            let churn = self.cfg.churn_per_cycle;
+            let decisions: Vec<Option<usize>> = rayon::map_indices(n, |id| {
+                let mut rng = node_stream(seed, id as NodeId, t, phase::CHURN);
+                if rng.gen_bool(churn) {
+                    Some(loop {
+                        let c = rng.gen_range(0..n);
+                        if c != id {
+                            break c;
+                        }
+                    })
+                } else {
+                    None
+                }
+            });
+            for (id, contact) in decisions.into_iter().enumerate() {
+                if let Some(contact) = contact {
+                    self.reset_node_from(id as NodeId, contact);
                 }
             }
         }
 
         // --- Publication phase --------------------------------------------
-        let indices = std::mem::take(&mut self.schedule[t as usize]);
+        self.phase_rngs.iter_mut().for_each(|r| *r = None);
+        let indices = self.published_at_cycle[t as usize].clone();
         for index in indices {
             self.disseminate(index, t);
         }
         self.cycle += 1;
     }
 
-    /// Crashes `id` and rejoins it fresh (cold start from a random contact).
+    /// Crashes `id` and rejoins it fresh, inheriting `contact`'s views.
+    fn reset_node_from(&mut self, id: NodeId, contact: usize) {
+        let mut fresh = WhatsUpNode::new(id, self.params.clone());
+        fresh.cold_start(self.nodes[contact].views_snapshot(), &self.oracle);
+        self.nodes[id as usize] = fresh;
+    }
+
+    /// Crashes `id` and rejoins it fresh (cold start from a random contact
+    /// drawn from the engine RNG — interactive/driving-thread API).
     pub fn reset_node(&mut self, id: NodeId) {
-        let params = self.cfg.build_params(&self.protocol).expect("node engine protocol");
-        let mut fresh = WhatsUpNode::new(id, params);
+        assert!(
+            self.nodes.len() > 1,
+            "a 1-node network has no rejoin contact"
+        );
         let contact = loop {
             let c = self.rng.gen_range(0..self.nodes.len());
             if c != id as usize {
                 break c;
             }
         };
-        fresh.cold_start(self.nodes[contact].views_snapshot(), &self.oracle);
-        self.nodes[id as usize] = fresh;
+        self.reset_node_from(id, contact);
     }
 
-    /// Publishes one item and runs its epidemic to completion.
+    /// Publishes one item and runs its epidemic to completion as a BFS:
+    /// every copy at hop distance `h` is delivered (receiver-parallel)
+    /// before any copy at `h + 1`.
     fn disseminate(&mut self, index: u32, t: u32) {
         let item = self.items[index as usize].clone();
         let item_id = item.id();
         let source = self.sources[index as usize];
         let measured = self.records[index as usize].measured;
+        let seed = self.cfg.seed;
+        let loss = self.cfg.loss;
 
         // Ground truth at publication (excluding the source).
-        let interested: Vec<NodeId> =
-            self.oracle.interested(index).into_iter().filter(|&u| u != source).collect();
-        {
-            let rec = &mut self.records[index as usize];
-            rec.interested = interested.len() as u32;
-        }
+        let interested: Vec<NodeId> = self
+            .oracle
+            .interested(index)
+            .into_iter()
+            .filter(|&u| u != source)
+            .collect();
+        self.records[index as usize].interested = interested.len() as u32;
         if measured {
             for &u in &interested {
                 self.per_node[u as usize].interested += 1;
             }
         }
 
-        self.reached_scratch.iter_mut().for_each(|b| *b = false);
-        if self.reached_scratch.len() < self.nodes.len() {
-            self.reached_scratch.resize(self.nodes.len(), false);
-        }
-
-        let mut queue: VecDeque<(NodeId, OutMessage)> = VecDeque::new();
-        let out = self.nodes[source as usize].publish(&item, t, &mut self.rng);
+        // The source publishes on the driving thread, drawing from its NEWS
+        // stream (shared with its later deliveries this cycle).
+        let out = {
+            let rng = self.phase_rngs[source as usize]
+                .get_or_insert_with(|| node_stream(seed, source, t, phase::NEWS));
+            self.nodes[source as usize].publish(&item, t, rng)
+        };
         self.record_forwards(index, source, &out);
-        out.into_iter().for_each(|m| queue.push_back((source, m)));
+        let mut envelopes: Vec<(NodeId, OutMessage)> =
+            out.into_iter().map(|m| (source, m)).collect();
 
-        while let Some((from, msg)) = queue.pop_front() {
-            let Payload::News(news) = &msg.payload else {
-                unreachable!("only news flows in the publication phase")
-            };
-            debug_assert_eq!(news.header.id, item_id);
-            {
-                let rec = &mut self.records[index as usize];
-                rec.news_sent += 1;
-            }
-            self.news_messages_all += 1;
+        while !envelopes.is_empty() {
+            let sent = envelopes.len() as u64;
+            self.records[index as usize].news_sent += sent;
+            self.news_messages_all += sent;
             if measured {
-                self.news_messages_measured += 1;
+                self.news_messages_measured += sent;
             }
-            if self.lost() {
-                continue;
-            }
-            let to = msg.to;
-            let first = !self.nodes[to as usize].has_seen(item_id);
-            if first && to != source {
-                let sender_liked = self.oracle.likes(from, item_id);
-                let receiver_likes = self.oracle.likes(to, item_id);
-                let hop = news.hops + 1;
-                let rec = &mut self.records[index as usize];
-                rec.reached += 1;
-                rec.infection_hops.push((hop, sender_liked));
-                if measured {
-                    self.per_node[to as usize].received += 1;
-                }
-                if receiver_likes {
-                    rec.hits += 1;
-                    rec.dislikes_at_liked_reception.push(news.dislikes);
-                    self.liked_this_cycle[to as usize] += 1;
+            let receivers = self.route(envelopes);
+            let oracle = &self.oracle;
+            let outcomes: Vec<NewsOutcome> = deliver_round(
+                &mut self.nodes,
+                &mut self.phase_rngs,
+                &mut self.mailbox,
+                &receivers,
+                seed,
+                t,
+                phase::NEWS,
+                loss,
+                |id, node, from, payload, rng, outcome: &mut NewsOutcome| {
+                    let Payload::News(news) = &payload else {
+                        unreachable!("only news flows in the publication phase")
+                    };
+                    debug_assert_eq!(news.header.id, item_id);
+                    if !node.has_seen(item_id) {
+                        outcome.first = Some(FirstReception {
+                            hop: news.hops + 1,
+                            sender_liked: oracle.likes(from, item_id),
+                            receiver_likes: oracle.likes(id, item_id),
+                            dislikes: news.dislikes,
+                        });
+                    }
+                    let replies = node.on_message(from, payload, t, oracle, rng);
+                    if let Some(Payload::News(first_out)) = replies.first().map(|m| &m.payload) {
+                        outcome.forward = Some((first_out.hops, oracle.likes(id, item_id)));
+                    }
+                    outcome.replies.extend(replies.into_iter().map(|m| (id, m)));
+                },
+            );
+            // Fold outcomes into the shared records in receiver order.
+            let mut next = Vec::new();
+            for (&to, outcome) in receivers.iter().zip(outcomes) {
+                if let Some(first) = outcome.first {
+                    let rec = &mut self.records[index as usize];
+                    rec.reached += 1;
+                    rec.infection_hops.push((first.hop, first.sender_liked));
                     if measured {
-                        self.per_node[to as usize].hits += 1;
+                        self.per_node[to as usize].received += 1;
+                    }
+                    if first.receiver_likes {
+                        rec.hits += 1;
+                        rec.dislikes_at_liked_reception.push(first.dislikes);
+                        self.liked_this_cycle[to as usize] += 1;
+                        if measured {
+                            self.per_node[to as usize].hits += 1;
+                        }
                     }
                 }
+                if let Some((hop, liked)) = outcome.forward {
+                    self.records[index as usize].forward_hops.push((hop, liked));
+                }
+                next.extend(outcome.replies);
             }
-            let replies = self.nodes[to as usize].on_message(
-                from,
-                msg.payload,
-                t,
-                &self.oracle,
-                &mut self.rng,
-            );
-            if !replies.is_empty() {
-                self.record_forwards(index, to, &replies);
-                replies.into_iter().for_each(|m| queue.push_back((to, m)));
-            }
+            envelopes = next;
         }
     }
 
@@ -326,12 +621,9 @@ impl Simulation {
             return;
         };
         let liked = self.oracle.likes(node, first.header.id);
-        self.records[index as usize].forward_hops.push((first.hops, liked));
-    }
-
-    #[inline]
-    fn lost(&mut self) -> bool {
-        self.cfg.loss > 0.0 && self.rng.gen_bool(self.cfg.loss)
+        self.records[index as usize]
+            .forward_hops
+            .push((first.hops, liked));
     }
 
     /// Registers a node joining mid-run (§V-C): interests mirror
@@ -339,15 +631,14 @@ impl Simulation {
     /// profile from the contact's RPS view (§II-D).
     pub fn add_joining_node(&mut self, reference: NodeId) -> NodeId {
         let id = self.oracle.add_clone_of(reference);
-        let params =
-            self.cfg.build_params(&self.protocol).expect("node engine protocol");
-        let mut node = WhatsUpNode::new(id, params);
+        let mut node = WhatsUpNode::new(id, self.params.clone());
         let contact = self.rng.gen_range(0..self.nodes.len());
         node.cold_start(self.nodes[contact].views_snapshot(), &self.oracle);
         self.nodes.push(node);
         self.liked_this_cycle.push(0);
         self.per_node.push(NodeIr::default());
-        self.reached_scratch.push(false);
+        self.mailbox.push(Vec::new());
+        self.phase_rngs.push(None);
         id
     }
 
@@ -375,26 +666,25 @@ impl Simulation {
     }
 
     /// The windowed ground-truth profile of a node: its true opinion on
-    /// every item published within the current profile window.
+    /// every item published within the current profile window. Uses the
+    /// per-cycle publication index, so the scan is O(window · items/cycle),
+    /// not O(total items).
     pub fn ground_truth_profile(&self, id: NodeId) -> Profile {
-        let window = self
-            .cfg
-            .build_params(&self.protocol)
-            .map(|p| p.profile_window)
-            .unwrap_or(13);
+        let window = self.params.profile_window;
         let now = self.cycle;
         let cutoff = now.saturating_sub(window);
-        Profile::from_entries(self.records.iter().filter_map(|rec| {
-            let t = rec.published_at;
-            if t >= now || t < cutoff {
-                return None;
-            }
-            let liked = self.oracle.likes_index(id, rec.index);
-            Some(whatsup_core::ProfileEntry {
-                item: self.item_ids[rec.index as usize],
-                timestamp: t,
-                score: if liked { 1.0 } else { 0.0 },
-            })
+        let last = now.min(self.published_at_cycle.len() as u32);
+        Profile::from_entries((cutoff..last).flat_map(|cycle| {
+            self.published_at_cycle[cycle as usize]
+                .iter()
+                .map(move |&index| {
+                    let liked = self.oracle.likes_index(id, index);
+                    whatsup_core::ProfileEntry {
+                        item: self.item_ids[index as usize],
+                        timestamp: cycle,
+                        score: if liked { 1.0 } else { 0.0 },
+                    }
+                })
         }))
     }
 
@@ -452,7 +742,12 @@ mod tests {
     }
 
     fn quick_cfg() -> SimConfig {
-        SimConfig { cycles: 20, publish_from: 2, measure_from: 8, ..Default::default() }
+        SimConfig {
+            cycles: 20,
+            publish_from: 2,
+            measure_from: 8,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -477,13 +772,13 @@ mod tests {
         assert_eq!(r1.scores(), r2.scores());
         assert_eq!(r1.news_messages, r2.news_messages);
         assert_eq!(r1.gossip_messages, r2.gossip_messages);
+        assert_eq!(r1, r2, "full reports must be bit-identical");
     }
 
     #[test]
     fn gossip_floods_with_high_recall_low_precision() {
         let d = tiny_dataset();
-        let gossip =
-            Simulation::new(&d, Protocol::Gossip { fanout: 5 }, quick_cfg()).run();
+        let gossip = Simulation::new(&d, Protocol::Gossip { fanout: 5 }, quick_cfg()).run();
         let s = gossip.scores();
         assert!(s.recall > 0.9, "homogeneous gossip must flood: {s:?}");
         // Flooding precision ≈ mean like rate (well below 0.6).
@@ -506,11 +801,12 @@ mod tests {
     #[test]
     fn loss_degrades_recall() {
         let d = tiny_dataset();
-        let clean =
-            Simulation::new(&d, Protocol::WhatsUp { f_like: 3 }, quick_cfg()).run();
-        let lossy_cfg = SimConfig { loss: 0.5, ..quick_cfg() };
-        let lossy =
-            Simulation::new(&d, Protocol::WhatsUp { f_like: 3 }, lossy_cfg).run();
+        let clean = Simulation::new(&d, Protocol::WhatsUp { f_like: 3 }, quick_cfg()).run();
+        let lossy_cfg = SimConfig {
+            loss: 0.5,
+            ..quick_cfg()
+        };
+        let lossy = Simulation::new(&d, Protocol::WhatsUp { f_like: 3 }, lossy_cfg).run();
         assert!(
             lossy.scores().recall < clean.scores().recall,
             "50% loss must hurt recall: clean {:?} lossy {:?}",
@@ -522,8 +818,7 @@ mod tests {
     #[test]
     fn dislike_counters_stay_within_ttl() {
         let d = tiny_dataset();
-        let report =
-            Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, quick_cfg()).run();
+        let report = Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, quick_cfg()).run();
         let dist = report.dislike_distribution(4);
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         for r in &report.items {
@@ -565,11 +860,23 @@ mod tests {
     #[test]
     fn measured_flag_follows_threshold() {
         let d = tiny_dataset();
-        let report =
-            Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, quick_cfg()).run();
+        let report = Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, quick_cfg()).run();
         for r in &report.items {
             assert_eq!(r.measured, r.published_at >= quick_cfg().measure_from);
         }
+    }
+
+    #[test]
+    fn churn_keeps_running_and_degrades_gracefully() {
+        let d = tiny_dataset();
+        let churny = SimConfig {
+            churn_per_cycle: 0.05,
+            ..quick_cfg()
+        };
+        let a = Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, churny.clone()).run();
+        let b = Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, churny).run();
+        assert_eq!(a, b, "churn must stay deterministic");
+        assert!(a.scores().recall > 0.0);
     }
 
     #[test]

@@ -90,7 +90,11 @@ pub fn run(dataset: &Dataset, f_like: usize, cfg: &SimConfig) -> SimReport {
         // the moment it is published — the limit case of "gathering the
         // global knowledge of all the profiles of its users".
         for (u, profile) in profiles.iter_mut().enumerate() {
-            profile.rate(item_id, published_at, dataset.likes.likes(u, index as usize));
+            profile.rate(
+                item_id,
+                published_at,
+                dataset.likes.likes(u, index as usize),
+            );
         }
         item_profile.aggregate_user_profile(&profiles[source as usize]);
 
@@ -100,22 +104,21 @@ pub fn run(dataset: &Dataset, f_like: usize, cfg: &SimConfig) -> SimReport {
         // the centralized epidemic.
         let mut pick = ChaCha8Rng::seed_from_u64(cfg.seed ^ item_id ^ 0xc0ffee);
         let mut queue: VecDeque<(u32, u8, u16)> = VecDeque::new();
-        let deliver =
-            |targets: Vec<u32>,
-             seen: &mut Vec<bool>,
-             queue: &mut VecDeque<(u32, u8, u16)>,
-             rec: &mut ItemRecord,
-             dislikes: u8,
-             hop: u16| {
-                for t in targets {
-                    if seen[t as usize] {
-                        continue;
-                    }
-                    seen[t as usize] = true;
-                    rec.news_sent += 1;
-                    queue.push_back((t, dislikes, hop));
+        let deliver = |targets: Vec<u32>,
+                       seen: &mut Vec<bool>,
+                       queue: &mut VecDeque<(u32, u8, u16)>,
+                       rec: &mut ItemRecord,
+                       dislikes: u8,
+                       hop: u16| {
+            for t in targets {
+                if seen[t as usize] {
+                    continue;
                 }
-            };
+                seen[t as usize] = true;
+                rec.news_sent += 1;
+                queue.push_back((t, dislikes, hop));
+            }
+        };
 
         // Initial placement: the source is the item's first liker, so the
         // server applies the like rule to it — fLIKE random picks from the
@@ -179,7 +182,14 @@ pub fn run(dataset: &Dataset, f_like: usize, cfg: &SimConfig) -> SimReport {
                     let targets = top_k_all(&profiles, u, F_DISLIKE, |p| {
                         cosine_similarity(&item_profile, p)
                     });
-                    deliver(targets, &mut seen, &mut queue, &mut rec, dislikes + 1, hop + 1);
+                    deliver(
+                        targets,
+                        &mut seen,
+                        &mut queue,
+                        &mut rec,
+                        dislikes + 1,
+                        hop + 1,
+                    );
                 }
             }
         }
@@ -234,7 +244,9 @@ fn top_k_all(
         .filter(|&(s, _)| s > 0.0)
         .collect();
     scored.sort_by(|(sa, ua), (sb, ub)| {
-        sb.partial_cmp(sa).expect("similarity is never NaN").then(ua.cmp(ub))
+        sb.partial_cmp(sa)
+            .expect("similarity is never NaN")
+            .then(ua.cmp(ub))
     });
     scored.truncate(k);
     scored.into_iter().map(|(_, u)| u).collect()
@@ -252,7 +264,12 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig { cycles: 20, publish_from: 2, measure_from: 8, ..Default::default() }
+        SimConfig {
+            cycles: 20,
+            publish_from: 2,
+            measure_from: 8,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -304,7 +321,10 @@ mod tests {
         let top = top_k_all(&profiles, 1, 2, |_| 1.0);
         assert_eq!(top, vec![0, 2], "ties break on lower id, exclusion skipped");
         let none = top_k_all(&profiles, 1, 2, |_| 0.0);
-        assert!(none.is_empty(), "zero-correlation candidates never selected");
+        assert!(
+            none.is_empty(),
+            "zero-correlation candidates never selected"
+        );
     }
 
     #[test]

@@ -56,8 +56,11 @@ pub fn run(dataset: &Dataset, cfg: &SimConfig) -> SimReport {
             .filter(|&u| u != source)
             .collect();
         let topic = dataset.pubsub_topic(index);
-        let reached: Vec<u32> =
-            subs[topic as usize].iter().copied().filter(|&u| u != source).collect();
+        let reached: Vec<u32> = subs[topic as usize]
+            .iter()
+            .copied()
+            .filter(|&u| u != source)
+            .collect();
         let hits = reached
             .iter()
             .filter(|&&u| dataset.likes.likes(u as usize, index))
@@ -107,7 +110,10 @@ mod tests {
         let d = dataset();
         let r = run(&d, &SimConfig::default());
         let s = r.scores();
-        assert!((s.recall - 1.0).abs() < 1e-9, "C-Pub/Sub recall must be 1: {s:?}");
+        assert!(
+            (s.recall - 1.0).abs() < 1e-9,
+            "C-Pub/Sub recall must be 1: {s:?}"
+        );
         assert!(s.precision > 0.0 && s.precision < 1.0);
     }
 
@@ -143,7 +149,10 @@ mod tests {
         let r = run(&d, &SimConfig::default());
         let p = r.scores().precision;
         let rate = d.likes.like_rate();
-        assert!(p >= rate - 0.05, "pub/sub cannot be worse than flooding: {p} vs {rate}");
+        assert!(
+            p >= rate - 0.05,
+            "pub/sub cannot be worse than flooding: {p} vs {rate}"
+        );
         assert!(p < 0.6, "feed granularity should cap precision: {p}");
     }
 

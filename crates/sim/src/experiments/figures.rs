@@ -46,10 +46,8 @@ pub fn fig3() -> Fig3 {
         .into_iter()
         .map(|(dataset, fanouts)| {
             let reports = grid_sweep(&dataset, &metric_protocols(), &fanouts, &cfg);
-            let by_fanout =
-                f1_vs_fanout(&reports, format!("Fig 3 {} — fanout", dataset.name));
-            let by_msgs =
-                f1_vs_messages(&reports, format!("Fig 3 {} — messages", dataset.name));
+            let by_fanout = f1_vs_fanout(&reports, format!("Fig 3 {} — fanout", dataset.name));
+            let by_msgs = f1_vs_messages(&reports, format!("Fig 3 {} — messages", dataset.name));
             (dataset.name, by_fanout, by_msgs)
         })
         .collect();
@@ -111,16 +109,25 @@ pub fn fig4() -> Fig4 {
             (p.label(), f, analysis::overlay_stats(&sim))
         })
         .collect();
-    let mut lscc = SeriesSet::new("Fig 4 — LSCC fraction vs fanout (survey)", "fanout", "fraction");
+    let mut lscc = SeriesSet::new(
+        "Fig 4 — LSCC fraction vs fanout (survey)",
+        "fanout",
+        "fraction",
+    );
     for (label, f, stats) in &overlay {
         if lscc.get(label).is_none() {
             lscc.add(Series::new(label.clone()));
         }
-        let series = lscc.series.iter_mut().find(|s| &s.label == label).expect("added");
+        let series = lscc
+            .series
+            .iter_mut()
+            .find(|s| &s.label == label)
+            .expect("added");
         series.push(*f as f64, stats.lscc_fraction);
     }
     for s in &mut lscc.series {
-        s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        s.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     }
     Fig4 { lscc, overlay }
 }
@@ -164,8 +171,14 @@ pub fn fig5() -> Fig5 {
     let reports: Vec<(u8, crate::record::SimReport)> = ttls
         .par_iter()
         .map(|&ttl| {
-            let cfg = SimConfig { ttl_override: Some(ttl), ..paper_sim_config() };
-            (ttl, run_protocol(&dataset, Protocol::WhatsUp { f_like: 10 }, &cfg))
+            let cfg = SimConfig {
+                ttl_override: Some(ttl),
+                ..paper_sim_config()
+            };
+            (
+                ttl,
+                run_protocol(&dataset, Protocol::WhatsUp { f_like: 10 }, &cfg),
+            )
         })
         .collect();
     let mut set = SeriesSet::new("Fig 5 — impact of BEEP TTL (survey)", "max TTL", "score");
@@ -187,9 +200,7 @@ pub fn fig5() -> Fig5 {
 impl Fig5 {
     pub fn render(&self) -> String {
         let mut out = self.set.render();
-        out.push_str(
-            "paper shape: low TTL starves recall; TTL > 4 brings no further gain.\n",
-        );
+        out.push_str("paper shape: low TTL starves recall; TTL > 4 brings no further gain.\n");
         out
     }
 }
@@ -207,8 +218,11 @@ pub struct Fig6 {
 
 pub fn fig6() -> Fig6 {
     let dataset = survey_dataset();
-    let report =
-        run_protocol(&dataset, Protocol::WhatsUp { f_like: 5 }, &paper_sim_config());
+    let report = run_protocol(
+        &dataset,
+        Protocol::WhatsUp { f_like: 5 },
+        &paper_sim_config(),
+    );
     let profile = report.hop_profile(30);
     let mut set = SeriesSet::new(
         "Fig 6 — dissemination by hop (survey, fLIKE=5, per item)",
@@ -226,7 +240,10 @@ pub fn fig6() -> Fig6 {
     set.add(mk("Infection by like", &profile.infection_like));
     set.add(mk("Forward by dislike", &profile.forward_dislike));
     set.add(mk("Infection by dislike", &profile.infection_dislike));
-    Fig6 { set, mean_infection_hop: profile.mean_infection_hop() }
+    Fig6 {
+        set,
+        mean_infection_hop: profile.mean_infection_hop(),
+    }
 }
 
 impl Fig6 {
@@ -257,20 +274,32 @@ pub struct Fig7 {
 pub fn fig7(repeats: usize) -> Fig7 {
     let dataset = survey_dataset();
     let cfg = DynamicsConfig {
-        base: SimConfig { cycles: 120, publish_from: 3, measure_from: 10, ..paper_sim_config() },
+        base: SimConfig {
+            cycles: 120,
+            publish_from: 3,
+            measure_from: 10,
+            ..paper_sim_config()
+        },
         event_at: 60,
         repeats,
     };
     let wup = dynamics::run(&dataset, Protocol::WhatsUp { f_like: 10 }, &cfg);
     let cos = dynamics::run(&dataset, Protocol::WhatsUpCos { f_like: 10 }, &cfg);
-    Fig7 { event_at: cfg.event_at, wup, cos }
+    Fig7 {
+        event_at: cfg.event_at,
+        wup,
+        cos,
+    }
 }
 
 impl Fig7 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, trace) in [("WhatsUp", &self.wup), ("WhatsUp-Cos", &self.cos)] {
-            out.push_str(&format!("--- {name} (event at cycle {}) ---\n", self.event_at));
+            out.push_str(&format!(
+                "--- {name} (event at cycle {}) ---\n",
+                self.event_at
+            ));
             out.push_str(&format!(
                 "{:>6} {:>10} {:>10} {:>10} {:>10}\n",
                 "cycle", "ref-sim", "join-sim", "chg-sim", "join-liked"
@@ -403,8 +432,11 @@ pub fn fig10() -> Fig10 {
     let bins = 10;
     let (wu_rows, dist) = analysis::recall_vs_popularity(&wu, &dataset, bins);
     let (cf_rows, _) = analysis::recall_vs_popularity(&cf, &dataset, bins);
-    let mut set =
-        SeriesSet::new("Fig 10 — recall vs popularity (survey)", "popularity", "avg recall");
+    let mut set = SeriesSet::new(
+        "Fig 10 — recall vs popularity (survey)",
+        "popularity",
+        "avg recall",
+    );
     let mut s_wu = Series::new("WhatsUp");
     for (x, y, _) in &wu_rows {
         s_wu.push(*x, *y);
@@ -426,10 +458,18 @@ pub fn fig10() -> Fig10 {
                 .collect();
             let left_out =
                 recalls.iter().filter(|&&r| r < 0.2).count() as f64 / recalls.len().max(1) as f64;
-            (label.to_string(), whatsup_metrics::std_dev(&recalls), left_out)
+            (
+                label.to_string(),
+                whatsup_metrics::std_dev(&recalls),
+                left_out,
+            )
         })
         .collect();
-    Fig10 { set, distribution: dist, dispersion }
+    Fig10 {
+        set,
+        distribution: dist,
+        dispersion,
+    }
 }
 
 impl Fig10 {
@@ -454,8 +494,12 @@ impl Fig10 {
     /// Mean recall over items below the given popularity (niche content).
     pub fn niche_recall(&self, protocol: &str, below: f64) -> Option<f64> {
         let s = self.set.get(protocol)?;
-        let pts: Vec<f64> =
-            s.points.iter().filter(|&&(x, _)| x < below).map(|&(_, y)| y).collect();
+        let pts: Vec<f64> = s
+            .points
+            .iter()
+            .filter(|&&(x, _)| x < below)
+            .map(|&(_, y)| y)
+            .collect();
         if pts.is_empty() {
             None
         } else {
@@ -479,8 +523,11 @@ pub struct Fig11 {
 
 pub fn fig11() -> Fig11 {
     let dataset = survey_dataset();
-    let report =
-        run_protocol(&dataset, Protocol::WhatsUp { f_like: 10 }, &paper_sim_config());
+    let report = run_protocol(
+        &dataset,
+        Protocol::WhatsUp { f_like: 10 },
+        &paper_sim_config(),
+    );
     let (rows, distribution) = analysis::f1_vs_sociability(&report, &dataset, 15, 10);
     Fig11 { rows, distribution }
 }
@@ -488,7 +535,10 @@ pub fn fig11() -> Fig11 {
 impl Fig11 {
     pub fn render(&self) -> String {
         let mut out = String::from("Fig 11 — F1 vs sociability (survey)\n");
-        out.push_str(&format!("{:>12} {:>10} {:>8}\n", "sociability", "mean F1", "users"));
+        out.push_str(&format!(
+            "{:>12} {:>10} {:>8}\n",
+            "sociability", "mean F1", "users"
+        ));
         for (x, y, c) in &self.rows {
             out.push_str(&format!("{x:>12.2} {y:>10.3} {c:>8}\n"));
         }
@@ -546,14 +596,23 @@ pub fn ablations() -> Ablations {
         .map(|&p| {
             let r = run_protocol(&dataset, p, &cfg);
             let s = r.scores();
-            (p.label(), s.precision, s.recall, s.f1, r.messages_per_user())
+            (
+                p.label(),
+                s.precision,
+                s.recall,
+                s.f1,
+                r.messages_per_user(),
+            )
         })
         .collect();
     let windows = [3u32, 7, 13, 26, 39, 52];
     let window_sweep: Vec<(u32, f64)> = windows
         .par_iter()
         .map(|&w| {
-            let c = SimConfig { profile_window: Some(w), ..cfg.clone() };
+            let c = SimConfig {
+                profile_window: Some(w),
+                ..cfg.clone()
+            };
             let r = run_protocol(&dataset, Protocol::WhatsUp { f_like: 10 }, &c);
             (w, r.scores().f1)
         })
@@ -563,7 +622,10 @@ pub fn ablations() -> Ablations {
         .par_iter()
         .map(|&r10| {
             let vs = (10 * r10 as usize) / 10;
-            let c = SimConfig { wup_view_override: Some(vs), ..cfg.clone() };
+            let c = SimConfig {
+                wup_view_override: Some(vs),
+                ..cfg.clone()
+            };
             let r = run_protocol(&dataset, Protocol::WhatsUp { f_like: 10 }, &c);
             (r10, r.scores().f1)
         })
@@ -572,7 +634,10 @@ pub fn ablations() -> Ablations {
     let privacy_sweep: Vec<(f64, f64, f64, f64)> = epsilons
         .par_iter()
         .map(|&eps| {
-            let c = SimConfig { obfuscation: Some(eps), ..cfg.clone() };
+            let c = SimConfig {
+                obfuscation: Some(eps),
+                ..cfg.clone()
+            };
             let r = run_protocol(&dataset, Protocol::WhatsUp { f_like: 10 }, &c);
             let s = r.scores();
             (eps, s.precision, s.recall, s.f1)
@@ -582,13 +647,22 @@ pub fn ablations() -> Ablations {
     let churn_sweep: Vec<(f64, f64, f64)> = churn_levels
         .par_iter()
         .map(|&churn| {
-            let c = SimConfig { churn_per_cycle: churn, ..cfg.clone() };
+            let c = SimConfig {
+                churn_per_cycle: churn,
+                ..cfg.clone()
+            };
             let r = run_protocol(&dataset, Protocol::WhatsUp { f_like: 10 }, &c);
             let s = r.scores();
             (churn, s.recall, s.f1)
         })
         .collect();
-    Ablations { mechanisms, window_sweep, view_ratio_sweep, privacy_sweep, churn_sweep }
+    Ablations {
+        mechanisms,
+        window_sweep,
+        view_ratio_sweep,
+        privacy_sweep,
+        churn_sweep,
+    }
 }
 
 impl Ablations {
@@ -599,7 +673,9 @@ impl Ablations {
             "variant", "precision", "recall", "F1", "msgs/user"
         ));
         for (label, p, r, f1, m) in &self.mechanisms {
-            out.push_str(&format!("{label:<18} {p:>10.3} {r:>8.3} {f1:>8.3} {m:>10.0}\n"));
+            out.push_str(&format!(
+                "{label:<18} {p:>10.3} {r:>8.3} {f1:>8.3} {m:>10.0}\n"
+            ));
         }
         out.push_str("\nprofile window sweep (window cycles, F1):\n");
         for (w, f1) in &self.window_sweep {
@@ -637,8 +713,7 @@ mod tests {
 
     #[test]
     fn metric_protocols_cover_fig3_legend() {
-        let labels: Vec<String> =
-            metric_protocols().iter().map(|p| p.label()).collect();
+        let labels: Vec<String> = metric_protocols().iter().map(|p| p.label()).collect();
         assert_eq!(labels, vec!["CF-Wup", "CF-Cos", "WhatsUp", "WhatsUp-Cos"]);
     }
 

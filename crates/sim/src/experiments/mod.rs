@@ -22,7 +22,10 @@ use std::path::PathBuf;
 
 /// The dataset scale factor for experiment runs (see module docs).
 pub fn scale() -> f64 {
-    if std::env::var("WHATSUP_FULL").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("WHATSUP_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         return 1.0;
     }
     std::env::var("WHATSUP_SCALE")
@@ -38,7 +41,7 @@ pub fn seed() -> u64 {
     std::env::var("WHATSUP_SEED")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(0x_57ab1e_5eed)
+        .unwrap_or(0x0057_ab1e_5eed)
 }
 
 /// The paper's simulation shape: 65 cycles, window 13 = 1/5 of the run,

@@ -2,8 +2,11 @@
 //! every harness output and in EXPERIMENTS.md.
 
 /// Table I: workload summary (name, users, news items).
-pub const TABLE1: &[(&str, usize, usize)] =
-    &[("synthetic", 3180, 2000), ("digg", 750, 2500), ("survey", 480, 1000)];
+pub const TABLE1: &[(&str, usize, usize)] = &[
+    ("synthetic", 3180, 2000),
+    ("digg", 750, 2500),
+    ("survey", 480, 1000),
+];
 
 /// Table III (survey): algorithm, precision, recall, F1, messages/user.
 pub const TABLE3: &[(&str, f64, f64, f64, f64)] = &[

@@ -5,7 +5,9 @@ use crate::config::{Protocol, SimConfig};
 use crate::engines::run_protocol;
 use crate::record::SimReport;
 use serde::{Deserialize, Serialize};
-use whatsup_datasets::{digg, survey, synthetic, DatasetStats, DiggConfig, SurveyConfig, SyntheticConfig};
+use whatsup_datasets::{
+    digg, survey, synthetic, DatasetStats, DiggConfig, SurveyConfig, SyntheticConfig,
+};
 use whatsup_metrics::table::{f2, human_count};
 use whatsup_metrics::TextTable;
 
@@ -41,14 +43,25 @@ pub fn table1() -> Table1 {
         digg_dataset().stats(),
         survey_dataset().stats(),
     ];
-    Table1 { scale: scale(), stats }
+    Table1 {
+        scale: scale(),
+        stats,
+    }
 }
 
 impl Table1 {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             format!("Table I — workloads (scale {:.2})", self.scale),
-            &["Name", "Users", "News", "Paper users", "Paper news", "Like rate", "Topics"],
+            &[
+                "Name",
+                "Users",
+                "News",
+                "Paper users",
+                "Paper news",
+                "Like rate",
+                "Topics",
+            ],
         );
         for s in &self.stats {
             let (pu, pn) = paper::TABLE1
@@ -94,6 +107,7 @@ pub struct Table3 {
 pub fn table3() -> Table3 {
     let dataset = survey_dataset();
     let cfg = paper_sim_config();
+    #[allow(clippy::type_complexity)] // paper-table row tuples
     let runs: Vec<(Protocol, &(&str, f64, f64, f64, f64))> = vec![
         (Protocol::Gossip { fanout: 4 }, &paper::TABLE3[0]),
         (Protocol::CfCos { k: 29 }, &paper::TABLE3[1]),
@@ -103,7 +117,9 @@ pub fn table3() -> Table3 {
     ];
     let reports: Vec<SimReport> = {
         use rayon::prelude::*;
-        runs.par_iter().map(|(p, _)| run_protocol(&dataset, *p, &cfg)).collect()
+        runs.par_iter()
+            .map(|(p, _)| run_protocol(&dataset, *p, &cfg))
+            .collect()
     };
     let rows = runs
         .iter()
@@ -135,7 +151,11 @@ impl Table3 {
                 paper::vs(r.paper.0, r.precision),
                 paper::vs(r.paper.1, r.recall),
                 paper::vs(r.paper.2, r.f1),
-                format!("{} | {}", human_count(r.paper.3), human_count(r.messages_per_user)),
+                format!(
+                    "{} | {}",
+                    human_count(r.paper.3),
+                    human_count(r.messages_per_user)
+                ),
             ]);
         }
         t.render()
@@ -155,8 +175,15 @@ pub struct Table4 {
 
 pub fn table4() -> Table4 {
     let dataset = survey_dataset();
-    let report = run_protocol(&dataset, Protocol::WhatsUp { f_like: 10 }, &paper_sim_config());
-    Table4 { measured: report.dislike_distribution(4), paper: paper::TABLE4.to_vec() }
+    let report = run_protocol(
+        &dataset,
+        Protocol::WhatsUp { f_like: 10 },
+        &paper_sim_config(),
+    );
+    Table4 {
+        measured: report.dislike_distribution(4),
+        paper: paper::TABLE4.to_vec(),
+    }
 }
 
 impl Table4 {
@@ -165,9 +192,8 @@ impl Table4 {
             "Table IV — news received and liked via dislike (fraction)",
             &["Number of dislikes", "0", "1", "2", "3", "4"],
         );
-        let fmt = |v: &[f64]| -> Vec<String> {
-            v.iter().map(|x| format!("{:.0}%", x * 100.0)).collect()
-        };
+        let fmt =
+            |v: &[f64]| -> Vec<String> { v.iter().map(|x| format!("{:.0}%", x * 100.0)).collect() };
         let mut paper_row = vec!["paper".to_string()];
         paper_row.extend(fmt(&self.paper));
         t.row(&paper_row);
@@ -204,7 +230,12 @@ pub fn table5() -> Table5 {
     let digg = digg_dataset();
     let survey = survey_dataset();
     let cfg = paper_sim_config();
-    let jobs: Vec<(&whatsup_datasets::Dataset, Protocol, &(&str, &str, f64, f64, f64, f64))> = vec![
+    #[allow(clippy::type_complexity)] // paper-table row tuples
+    let jobs: Vec<(
+        &whatsup_datasets::Dataset,
+        Protocol,
+        &(&str, &str, f64, f64, f64, f64),
+    )> = vec![
         (&digg, Protocol::Cascade, &paper::TABLE5[0]),
         (&digg, Protocol::WhatsUp { f_like: 10 }, &paper::TABLE5[1]),
         (&survey, Protocol::CPubSub, &paper::TABLE5[2]),
@@ -233,7 +264,14 @@ impl Table5 {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Table V — WhatsUp vs C-Pub/Sub and Cascading (paper | measured)",
-            &["Dataset", "Approach", "Precision", "Recall", "F1-Score", "Messages"],
+            &[
+                "Dataset",
+                "Approach",
+                "Precision",
+                "Recall",
+                "F1-Score",
+                "Messages",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -277,9 +315,11 @@ pub fn table6() -> Table6 {
     let rows: Vec<Table6Row> = paper::TABLE6
         .par_iter()
         .map(|&(loss, fanout, pr, pp)| {
-            let cfg = SimConfig { loss, ..paper_sim_config() };
-            let report =
-                run_protocol(&dataset, Protocol::WhatsUp { f_like: fanout }, &cfg);
+            let cfg = SimConfig {
+                loss,
+                ..paper_sim_config()
+            };
+            let report = run_protocol(&dataset, Protocol::WhatsUp { f_like: fanout }, &cfg);
             let s = report.scores();
             Table6Row {
                 loss,
@@ -336,7 +376,10 @@ mod tests {
 
     #[test]
     fn table4_rendering_shape() {
-        let t = Table4 { measured: vec![0.5, 0.3, 0.1, 0.06, 0.04], paper: paper::TABLE4.to_vec() };
+        let t = Table4 {
+            measured: vec![0.5, 0.3, 0.1, 0.06, 0.04],
+            paper: paper::TABLE4.to_vec(),
+        };
         let r = t.render();
         assert!(r.contains("54%"), "{r}");
         assert!(r.contains("50%"), "{r}");

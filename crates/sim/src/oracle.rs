@@ -10,9 +10,9 @@
 //! Both are row *aliases*: `alias[node]` names the matrix row holding the
 //! node's current interests. The matrix itself never changes.
 
+use std::collections::HashMap;
 use whatsup_core::{ItemId, NodeId, Opinions};
 use whatsup_datasets::LikeMatrix;
-use std::collections::HashMap;
 
 /// Ground-truth oracle mapping protocol-level ids to dataset rows/columns.
 #[derive(Debug, Clone)]
@@ -27,7 +27,11 @@ pub struct Oracle {
 impl Oracle {
     pub fn new(matrix: LikeMatrix, id_to_index: HashMap<ItemId, u32>) -> Self {
         let alias = (0..matrix.n_users() as u32).collect();
-        Self { matrix, id_to_index, alias }
+        Self {
+            matrix,
+            id_to_index,
+            alias,
+        }
     }
 
     /// Number of protocol-level nodes (grows as joiners are added).
@@ -52,7 +56,9 @@ impl Oracle {
 
     /// Nodes interested in item `index` under the current aliasing.
     pub fn interested(&self, index: u32) -> Vec<NodeId> {
-        (0..self.alias.len() as u32).filter(|&n| self.likes_index(n, index)).collect()
+        (0..self.alias.len() as u32)
+            .filter(|&n| self.likes_index(n, index))
+            .collect()
     }
 
     /// Registers a joining node whose interests mirror `reference`'s current

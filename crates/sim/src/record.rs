@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use whatsup_metrics::{IrAggregate, IrScores, ItemOutcome};
 
 /// Everything the evaluation needs to know about one item's dissemination.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ItemRecord {
     /// Dataset index of the item.
     pub index: u32,
@@ -35,7 +35,11 @@ pub struct ItemRecord {
 
 impl ItemRecord {
     pub fn outcome(&self) -> ItemOutcome {
-        ItemOutcome::new(self.interested as usize, self.reached as usize, self.hits as usize)
+        ItemOutcome::new(
+            self.interested as usize,
+            self.reached as usize,
+            self.hits as usize,
+        )
     }
 }
 
@@ -54,16 +58,22 @@ pub struct NodeIr {
 impl NodeIr {
     /// This user's own precision/recall/F1 over the workload.
     pub fn scores(&self) -> IrScores {
-        let precision =
-            if self.received == 0 { 0.0 } else { self.hits as f64 / self.received as f64 };
-        let recall =
-            if self.interested == 0 { 0.0 } else { self.hits as f64 / self.interested as f64 };
+        let precision = if self.received == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.received as f64
+        };
+        let recall = if self.interested == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.interested as f64
+        };
         IrScores::from_pr(precision, recall)
     }
 }
 
 /// Aggregated result of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     pub protocol: String,
     pub dataset: String,
@@ -150,7 +160,10 @@ impl SimReport {
         if total == 0 {
             return vec![0.0; max_ttl + 1];
         }
-        counts.into_iter().map(|c| c as f64 / total as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect()
     }
 
     /// Fig. 6 series: per-hop counts of (forward by like, infection by like,
@@ -213,7 +226,12 @@ impl HopProfile {
     pub fn mean_infection_hop(&self) -> f64 {
         let mut weighted = 0.0;
         let mut total = 0.0;
-        for (h, (l, d)) in self.infection_like.iter().zip(&self.infection_dislike).enumerate() {
+        for (h, (l, d)) in self
+            .infection_like
+            .iter()
+            .zip(&self.infection_dislike)
+            .enumerate()
+        {
             weighted += h as f64 * (l + d);
             total += l + d;
         }
@@ -252,7 +270,11 @@ mod tests {
             n_nodes: 100,
             cycles: 65,
             items: vec![record(true), record(false)],
-            per_node: vec![NodeIr { received: 10, hits: 5, interested: 8 }],
+            per_node: vec![NodeIr {
+                received: 10,
+                hits: 5,
+                interested: 8,
+            }],
             news_messages: 100,
             news_messages_all: 200,
             gossip_messages: 40,
@@ -261,7 +283,11 @@ mod tests {
 
     #[test]
     fn node_ir_scores() {
-        let n = NodeIr { received: 10, hits: 5, interested: 8 };
+        let n = NodeIr {
+            received: 10,
+            hits: 5,
+            interested: 8,
+        };
         let s = n.scores();
         assert!((s.precision - 0.5).abs() < 1e-12);
         assert!((s.recall - 0.625).abs() < 1e-12);

@@ -35,7 +35,9 @@ pub fn grid_sweep(
         .iter()
         .flat_map(|p| fanouts.iter().map(move |&f| p.with_fanout(f)))
         .collect();
-    jobs.par_iter().map(|&p| run_protocol(dataset, p, cfg)).collect()
+    jobs.par_iter()
+        .map(|&p| run_protocol(dataset, p, cfg))
+        .collect()
 }
 
 /// F1 vs fanout curves (Figs. 3a–3c) from sweep reports.
@@ -47,11 +49,16 @@ pub fn f1_vs_fanout(reports: &[SimReport], title: impl Into<String>) -> SeriesSe
         if set.get(&label).is_none() {
             set.add(Series::new(label.clone()));
         }
-        let series = set.series.iter_mut().find(|s| s.label == label).expect("just added");
+        let series = set
+            .series
+            .iter_mut()
+            .find(|s| s.label == label)
+            .expect("just added");
         series.push(f as f64, report.scores().f1);
     }
     for s in &mut set.series {
-        s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("fanout is finite"));
+        s.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("fanout is finite"));
     }
     set
 }
@@ -65,11 +72,16 @@ pub fn f1_vs_messages(reports: &[SimReport], title: impl Into<String>) -> Series
         if set.get(&label).is_none() {
             set.add(Series::new(label.clone()));
         }
-        let series = set.series.iter_mut().find(|s| s.label == label).expect("just added");
+        let series = set
+            .series
+            .iter_mut()
+            .find(|s| s.label == label)
+            .expect("just added");
         series.push(report.messages_per_cycle_per_node(), report.scores().f1);
     }
     for s in &mut set.series {
-        s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("cost is finite"));
+        s.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("cost is finite"));
     }
     set
 }
@@ -84,14 +96,18 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig { cycles: 14, publish_from: 2, measure_from: 5, ..Default::default() }
+        SimConfig {
+            cycles: 14,
+            publish_from: 2,
+            measure_from: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn sweep_returns_one_report_per_fanout() {
         let d = dataset();
-        let reports =
-            fanout_sweep(&d, Protocol::WhatsUp { f_like: 0 }, &[2, 4], &cfg());
+        let reports = fanout_sweep(&d, Protocol::WhatsUp { f_like: 0 }, &[2, 4], &cfg());
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].fanout, Some(2));
         assert_eq!(reports[1].fanout, Some(4));
@@ -115,7 +131,10 @@ mod tests {
         let d = dataset();
         let reports = grid_sweep(
             &d,
-            &[Protocol::WhatsUp { f_like: 0 }, Protocol::Gossip { fanout: 0 }],
+            &[
+                Protocol::WhatsUp { f_like: 0 },
+                Protocol::Gossip { fanout: 0 },
+            ],
             &[4, 2],
             &cfg(),
         );

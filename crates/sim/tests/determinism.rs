@@ -1,0 +1,113 @@
+//! The engine's concurrency contract: reports are bit-identical across
+//! worker-thread counts, and per-node RNG streams are stable under node
+//! insertion (see the `engine` module docs for the full contract).
+
+use proptest::prelude::*;
+use rand::RngCore;
+use whatsup_datasets::{survey, SurveyConfig};
+use whatsup_sim::engine::{node_stream, phase};
+use whatsup_sim::{Protocol, SimConfig, SimReport, Simulation};
+
+fn dataset() -> whatsup_datasets::Dataset {
+    survey::generate(&SurveyConfig::paper().scaled(0.12), 42)
+}
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        cycles: 18,
+        publish_from: 2,
+        measure_from: 7,
+        ..Default::default()
+    }
+}
+
+fn run_with_threads(threads: usize, cfg: SimConfig) -> SimReport {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
+    pool.install(|| Simulation::new(&dataset(), Protocol::WhatsUp { f_like: 5 }, cfg).run())
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    let sequential = run_with_threads(1, cfg());
+    for threads in [2, 4, 8] {
+        let parallel = run_with_threads(threads, cfg());
+        assert_eq!(
+            sequential, parallel,
+            "1-thread and {threads}-thread runs must produce identical reports"
+        );
+    }
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts_with_loss_and_churn() {
+    let noisy = SimConfig {
+        loss: 0.2,
+        churn_per_cycle: 0.03,
+        ..cfg()
+    };
+    let sequential = run_with_threads(1, noisy.clone());
+    let parallel = run_with_threads(8, noisy);
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn joining_node_does_not_shift_existing_streams() {
+    // Two simulations over *different-sized* populations, one of which also
+    // inserts joiners mid-run. An existing node's streams must not depend on
+    // either the population size or the insertions — the old shared-RNG
+    // engine violated both (bootstrap and joiners consumed shared draws).
+    // That the engine actually *uses* these streams for all per-cycle
+    // behavior is pinned separately by the bit-identical-across-thread-count
+    // tests above: any hidden shared generator would break those.
+    let small = survey::generate(&SurveyConfig::paper().scaled(0.12), 42);
+    let large = survey::generate(&SurveyConfig::paper().scaled(0.5), 42);
+    assert_ne!(small.n_users(), large.n_users());
+    let mut a = Simulation::new(&small, Protocol::WhatsUp { f_like: 5 }, cfg());
+    let mut b = Simulation::new(&large, Protocol::WhatsUp { f_like: 5 }, cfg());
+    for _ in 0..3 {
+        a.step();
+        b.step();
+    }
+    for _ in 0..5 {
+        b.add_joining_node(0);
+    }
+    for node in [0u32, 7, 101] {
+        for cycle in [3u32, 9, 17] {
+            for ph in [phase::CYCLE, phase::GOSSIP, phase::CHURN, phase::NEWS] {
+                let mut sa = a.stream_for(node, cycle, ph);
+                let mut sb = b.stream_for(node, cycle, ph);
+                let va: Vec<u64> = (0..8).map(|_| sa.next_u64()).collect();
+                let vb: Vec<u64> = (0..8).map(|_| sb.next_u64()).collect();
+                assert_eq!(va, vb, "stream shifted for node {node} cycle {cycle}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streams are pure functions of `(seed, node, cycle, phase)` and
+    /// distinct coordinates give distinct streams (no cross-talk that an
+    /// insertion or phase reordering could expose).
+    #[test]
+    fn node_streams_are_stable_and_decorrelated(
+        seed in 0u64..1_000_000,
+        node in 0u32..100_000,
+        cycle in 0u32..10_000,
+    ) {
+        let draw = |n: u32, c: u32, p: u8| {
+            let mut rng = node_stream(seed, n, c, p);
+            (0..4).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        // Stable: re-derivation yields the same stream.
+        prop_assert_eq!(draw(node, cycle, phase::CYCLE), draw(node, cycle, phase::CYCLE));
+        // Decorrelated across each coordinate.
+        prop_assert_ne!(draw(node, cycle, phase::CYCLE), draw(node + 1, cycle, phase::CYCLE));
+        prop_assert_ne!(draw(node, cycle, phase::CYCLE), draw(node, cycle + 1, phase::CYCLE));
+        prop_assert_ne!(draw(node, cycle, phase::CYCLE), draw(node, cycle, phase::GOSSIP));
+    }
+}

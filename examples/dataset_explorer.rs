@@ -20,7 +20,14 @@ fn main() {
 
     let mut table = TextTable::new(
         format!("Table I at scale {scale:.2}"),
-        &["name", "users", "news", "topics", "like rate", "social graph"],
+        &[
+            "name",
+            "users",
+            "news",
+            "topics",
+            "like rate",
+            "social graph",
+        ],
     );
     for d in &datasets {
         let s = d.stats();
@@ -30,7 +37,11 @@ fn main() {
             s.n_items.to_string(),
             s.n_topics.to_string(),
             format!("{:.3}", s.like_rate),
-            if s.has_social_graph { "yes".into() } else { "no".into() },
+            if s.has_social_graph {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     println!("{}", table.render());
@@ -47,8 +58,7 @@ fn main() {
             println!("  {:>4.2} |{bar} {:.3}", hist.bin_center(i), f);
         }
         if let Some(g) = &d.social {
-            let degrees: Vec<usize> =
-                (0..g.len() as u32).map(|u| g.out_degree(u)).collect();
+            let degrees: Vec<usize> = (0..g.len() as u32).map(|u| g.out_degree(u)).collect();
             let max = degrees.iter().max().copied().unwrap_or(0);
             let mean = degrees.iter().sum::<usize>() as f64 / degrees.len().max(1) as f64;
             println!("  social graph: mean degree {mean:.1}, hub degree {max}");

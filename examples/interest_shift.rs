@@ -12,10 +12,14 @@ use whatsup::prelude::*;
 use whatsup::sim::dynamics::{self, DynamicsConfig};
 
 fn main() {
-    let dataset =
-        whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.2), 99);
+    let dataset = whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.2), 99);
     let cfg = DynamicsConfig {
-        base: SimConfig { cycles: 100, publish_from: 3, measure_from: 10, ..Default::default() },
+        base: SimConfig {
+            cycles: 100,
+            publish_from: 3,
+            measure_from: 10,
+            ..Default::default()
+        },
         event_at: 50,
         repeats: 5,
     };
@@ -26,7 +30,10 @@ fn main() {
         cfg.repeats
     );
 
-    for protocol in [Protocol::WhatsUp { f_like: 10 }, Protocol::WhatsUpCos { f_like: 10 }] {
+    for protocol in [
+        Protocol::WhatsUp { f_like: 10 },
+        Protocol::WhatsUpCos { f_like: 10 },
+    ] {
         let trace = dynamics::run(&dataset, protocol, &cfg);
         println!("\n=== {} ===", protocol.label());
         println!(

@@ -10,9 +10,11 @@
 use whatsup::prelude::*;
 
 fn main() {
-    let dataset =
-        whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.15), 13);
-    println!("{} emulated peers; sweeping link loss…\n", dataset.n_users());
+    let dataset = whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.15), 13);
+    println!(
+        "{} emulated peers; sweeping link loss…\n",
+        dataset.n_users()
+    );
 
     let mut table = TextTable::new(
         "F1 under emulated message loss (fanout 6)",

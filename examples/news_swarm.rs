@@ -9,8 +9,7 @@
 use whatsup::prelude::*;
 
 fn main() {
-    let dataset =
-        whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.2), 7);
+    let dataset = whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.2), 7);
     println!(
         "spinning up {} peers (one UDP socket each) for {} items…",
         dataset.n_users(),
@@ -27,13 +26,25 @@ fn main() {
         ..Default::default()
     };
     let expected = swarm.duration();
-    println!("running for ~{:.1}s of wall-clock time…", expected.as_secs_f64());
+    println!(
+        "running for ~{:.1}s of wall-clock time…",
+        expected.as_secs_f64()
+    );
     let report = whatsup::net::runtime::run(&dataset, &UdpConfig { swarm });
 
     let s = report.scores();
-    println!("\ndelivery quality over {} measured items:", report.outcomes.len());
-    println!("  precision {:.3}  recall {:.3}  F1 {:.3}", s.precision, s.recall, s.f1);
-    println!("\ntraffic ({} messages total):", report.traffic.total_msgs());
+    println!(
+        "\ndelivery quality over {} measured items:",
+        report.outcomes.len()
+    );
+    println!(
+        "  precision {:.3}  recall {:.3}  F1 {:.3}",
+        s.precision, s.recall, s.f1
+    );
+    println!(
+        "\ntraffic ({} messages total):",
+        report.traffic.total_msgs()
+    );
     println!(
         "  BEEP (news)     {:>8.1} Kbps/node  ({} msgs)",
         report.news_kbps(),

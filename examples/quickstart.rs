@@ -11,8 +11,7 @@ use whatsup::prelude::*;
 fn main() {
     // 1. A workload: ~120 users rating ~250 news items (scaled-down survey
     //    trace; see whatsup_datasets for the three paper workloads).
-    let dataset =
-        whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.25), 42);
+    let dataset = whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.25), 42);
     println!(
         "workload: {} users, {} items, mean like rate {:.2}",
         dataset.n_users(),
@@ -22,14 +21,22 @@ fn main() {
 
     // 2. A simulation shape: 65 gossip cycles, items published throughout,
     //    metrics over items published after the clustering ramp.
-    let cfg = SimConfig { cycles: 65, publish_from: 3, measure_from: 20, ..Default::default() };
+    let cfg = SimConfig {
+        cycles: 65,
+        publish_from: 3,
+        measure_from: 20,
+        ..Default::default()
+    };
 
     // 3. Compare WhatsUp with a classic flood-style gossip at equal fanout.
     let mut table = TextTable::new(
         "WhatsUp vs homogeneous gossip",
         &["protocol", "precision", "recall", "F1", "msgs/user"],
     );
-    for protocol in [Protocol::WhatsUp { f_like: 10 }, Protocol::Gossip { fanout: 10 }] {
+    for protocol in [
+        Protocol::WhatsUp { f_like: 10 },
+        Protocol::Gossip { fanout: 10 },
+    ] {
         let report = run_protocol(&dataset, protocol, &cfg);
         let s = report.scores();
         table.row(&[

@@ -56,9 +56,7 @@ pub use whatsup_sim as sim;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use whatsup_core::prelude::*;
-    pub use whatsup_datasets::{
-        Dataset, DiggConfig, LikeMatrix, SurveyConfig, SyntheticConfig,
-    };
+    pub use whatsup_datasets::{Dataset, DiggConfig, LikeMatrix, SurveyConfig, SyntheticConfig};
     pub use whatsup_metrics::{IrAggregate, IrScores, ItemOutcome, Series, SeriesSet, TextTable};
     pub use whatsup_net::{EmulatorConfig, SwarmConfig, SwarmReport, UdpConfig};
     pub use whatsup_sim::{run_protocol, Protocol, SimConfig, SimReport, Simulation};

@@ -8,7 +8,12 @@ fn survey(scale: f64, seed: u64) -> Dataset {
 }
 
 fn cfg() -> SimConfig {
-    SimConfig { cycles: 40, publish_from: 3, measure_from: 14, ..Default::default() }
+    SimConfig {
+        cycles: 40,
+        publish_from: 3,
+        measure_from: 14,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -18,12 +23,18 @@ fn obfuscation_trades_accuracy_gracefully() {
     let mild = run_protocol(
         &d,
         Protocol::WhatsUp { f_like: 8 },
-        &SimConfig { obfuscation: Some(0.3), ..cfg() },
+        &SimConfig {
+            obfuscation: Some(0.3),
+            ..cfg()
+        },
     );
     let heavy = run_protocol(
         &d,
         Protocol::WhatsUp { f_like: 8 },
-        &SimConfig { obfuscation: Some(0.9), ..cfg() },
+        &SimConfig {
+            obfuscation: Some(0.9),
+            ..cfg()
+        },
     );
     // §VII: "obfuscation provides a trade-off between the accuracy of
     // recommendation and the disclosure of personal data" — quality must
@@ -59,7 +70,10 @@ fn shared_profiles_differ_from_true_under_obfuscation() {
         let _ = node.on_message(
             1,
             Payload::News(NewsMessage {
-                header: ItemHeader { id: i, created_at: 0 },
+                header: ItemHeader {
+                    id: i,
+                    created_at: 0,
+                },
                 profile: Profile::new(),
                 dislikes: 0,
                 hops: 0,
@@ -87,7 +101,10 @@ fn shared_profiles_differ_from_true_under_obfuscation() {
             }
         }
     }
-    assert!(total >= 100, "self-descriptor must be in the gossip payloads");
+    assert!(
+        total >= 100,
+        "self-descriptor must be in the gossip payloads"
+    );
     let rate = flips as f64 / total as f64;
     assert!(
         (rate - 0.5).abs() < 0.15,
@@ -102,7 +119,10 @@ fn moderate_churn_is_absorbed() {
     let churny = run_protocol(
         &d,
         Protocol::WhatsUp { f_like: 8 },
-        &SimConfig { churn_per_cycle: 0.01, ..cfg() },
+        &SimConfig {
+            churn_per_cycle: 0.01,
+            ..cfg()
+        },
     );
     assert!(
         churny.scores().f1 > 0.75 * stable.scores().f1,
@@ -118,7 +138,10 @@ fn heavy_churn_degrades_but_never_panics() {
     let heavy = run_protocol(
         &d,
         Protocol::WhatsUp { f_like: 6 },
-        &SimConfig { churn_per_cycle: 0.25, ..cfg() },
+        &SimConfig {
+            churn_per_cycle: 0.25,
+            ..cfg()
+        },
     );
     let stable = run_protocol(&d, Protocol::WhatsUp { f_like: 6 }, &cfg());
     assert!(
@@ -135,9 +158,16 @@ fn churn_and_loss_compose() {
     let r = run_protocol(
         &d,
         Protocol::WhatsUp { f_like: 6 },
-        &SimConfig { churn_per_cycle: 0.05, loss: 0.2, ..cfg() },
+        &SimConfig {
+            churn_per_cycle: 0.05,
+            loss: 0.2,
+            ..cfg()
+        },
     );
-    assert!(r.scores().recall > 0.0, "combined failure modes must not deadlock");
+    assert!(
+        r.scores().recall > 0.0,
+        "combined failure modes must not deadlock"
+    );
     for item in &r.items {
         assert!(item.hits <= item.reached);
     }

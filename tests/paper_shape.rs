@@ -10,7 +10,12 @@ fn survey(scale: f64, seed: u64) -> Dataset {
 }
 
 fn cfg() -> SimConfig {
-    SimConfig { cycles: 40, publish_from: 3, measure_from: 14, ..Default::default() }
+    SimConfig {
+        cycles: 40,
+        publish_from: 3,
+        measure_from: 14,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -171,10 +176,7 @@ fn loss_tolerance_shape_of_table_vi() {
 
 #[test]
 fn synthetic_communities_reach_high_precision() {
-    let d = whatsup::datasets::synthetic::generate(
-        &SyntheticConfig::paper().scaled(0.1),
-        19,
-    );
+    let d = whatsup::datasets::synthetic::generate(&SyntheticConfig::paper().scaled(0.1), 19);
     let wu = run_protocol(&d, Protocol::WhatsUp { f_like: 10 }, &cfg());
     // Disjoint communities are the easy case (Fig. 3a): precision far above
     // the global like rate.

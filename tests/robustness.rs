@@ -8,7 +8,12 @@ fn survey(scale: f64, seed: u64) -> Dataset {
 }
 
 fn cfg() -> SimConfig {
-    SimConfig { cycles: 40, publish_from: 3, measure_from: 14, ..Default::default() }
+    SimConfig {
+        cycles: 40,
+        publish_from: 3,
+        measure_from: 14,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -35,10 +40,16 @@ fn graceful_degradation_under_increasing_loss() {
 #[test]
 fn extreme_loss_starves_but_never_panics() {
     let d = survey(0.12, 32);
-    let c = SimConfig { loss: 0.95, ..cfg() };
+    let c = SimConfig {
+        loss: 0.95,
+        ..cfg()
+    };
     let r = run_protocol(&d, Protocol::WhatsUp { f_like: 4 }, &c);
     let s = r.scores();
-    assert!(s.recall < 0.4, "95% loss cannot sustain dissemination: {s:?}");
+    assert!(
+        s.recall < 0.4,
+        "95% loss cannot sustain dissemination: {s:?}"
+    );
 }
 
 #[test]
@@ -65,7 +76,12 @@ fn dense_publication_burst_is_handled() {
     };
     // publish_from..cycles is the span; shrink it by scheduling via a short
     // run instead: publish over cycles 10..13.
-    let c2 = SimConfig { cycles: 13, publish_from: 10, measure_from: 10, ..c };
+    let c2 = SimConfig {
+        cycles: 13,
+        publish_from: 10,
+        measure_from: 10,
+        ..c
+    };
     let r = run_protocol(&d, Protocol::WhatsUp { f_like: 6 }, &c2);
     assert!(r.measured_items() == d.n_items());
     assert!(r.scores().recall > 0.0);
@@ -75,7 +91,12 @@ fn dense_publication_burst_is_handled() {
 fn every_protocol_survives_every_dataset() {
     // Cross-product smoke: no engine may panic on any workload it supports.
     let datasets = whatsup::datasets::paper_workloads(0.08, 35);
-    let quick = SimConfig { cycles: 16, publish_from: 2, measure_from: 6, ..Default::default() };
+    let quick = SimConfig {
+        cycles: 16,
+        publish_from: 2,
+        measure_from: 6,
+        ..Default::default()
+    };
     for d in &datasets {
         for p in [
             Protocol::WhatsUp { f_like: 4 },

@@ -8,10 +8,14 @@ use whatsup::sim::experiments;
 
 #[test]
 fn simulator_emulator_udp_agree_on_f1() {
-    let dataset =
-        whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.12), 8);
+    let dataset = whatsup::datasets::survey::generate(&SurveyConfig::paper().scaled(0.12), 8);
     // Simulator.
-    let sim_cfg = SimConfig { cycles: 16, publish_from: 2, measure_from: 6, ..Default::default() };
+    let sim_cfg = SimConfig {
+        cycles: 16,
+        publish_from: 2,
+        measure_from: 6,
+        ..Default::default()
+    };
     let sim = run_protocol(&dataset, Protocol::WhatsUp { f_like: 5 }, &sim_cfg);
     // Emulated fabric.
     let swarm = SwarmConfig {
@@ -25,7 +29,11 @@ fn simulator_emulator_udp_agree_on_f1() {
     };
     let emu = whatsup::net::emulator::run(
         &dataset,
-        &EmulatorConfig { swarm: swarm.clone(), latency_ms: (1, 5), link_loss: 0.0 },
+        &EmulatorConfig {
+            swarm: swarm.clone(),
+            latency_ms: (1, 5),
+            link_loss: 0.0,
+        },
     );
     // Real UDP sockets.
     let udp = whatsup::net::runtime::run(&dataset, &UdpConfig { swarm });
@@ -63,11 +71,14 @@ fn table1_driver_end_to_end() {
 #[test]
 fn wire_codec_carries_simulated_dissemination() {
     // Encode/decode a full news payload produced by a live node.
-    use whatsup::core::prelude::*;
     use rand::SeedableRng;
+    use whatsup::core::prelude::*;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
     let mut node = WhatsUpNode::new(0, whatsup::core::Params::whatsup(2));
-    node.seed_views([(1, Profile::new())], [(1, Profile::new()), (2, Profile::new())]);
+    node.seed_views(
+        [(1, Profile::new())],
+        [(1, Profile::new()), (2, Profile::new())],
+    );
     let item = NewsItem::new("t", "d", "https://l", 0, 0);
     let out = node.publish(&item, 0, &mut rng);
     assert!(!out.is_empty());
