@@ -1,18 +1,22 @@
-//! Engine scaling: single-run throughput (cycles/sec) at 1k/5k/20k nodes,
-//! one worker thread vs all available cores.
+//! Engine scaling: single-run throughput (cycles/sec) across shard counts
+//! (1/2/4) at 1k/5k/20k nodes.
 //!
-//! The phased-round engine is deterministic across thread counts, so the
-//! speedup column is pure wall-clock: same seed, same report, more cores.
-//! On a single-core host the ratio is ~1.0 by construction.
+//! The sharded engine is deterministic across shard counts, so the speedup
+//! columns are pure wall-clock: same seed, same report, more shard worker
+//! threads. On a single-core host the ratio is ~1.0 by construction (one
+//! shard runs inline; more shards add exchange overhead without
+//! parallelism).
 //!
 //! `WHATSUP_SCALE_MAX_NODES=<n>` caps the largest population (useful for
-//! quick local runs); the default exercises all three sizes.
+//! quick local/CI runs); the default exercises all three sizes. Rows are
+//! saved as JSON: `[nodes, shards, cycles_per_sec, messages]`.
 
 use std::time::Instant;
 use whatsup_datasets::{survey, SurveyConfig};
 use whatsup_sim::{Protocol, SimConfig, Simulation};
 
 const CYCLES: u32 = 10;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
 fn dataset(n_users: usize) -> whatsup_datasets::Dataset {
     // Fixed item load across scales so the cycles/sec column isolates the
@@ -25,20 +29,16 @@ fn dataset(n_users: usize) -> whatsup_datasets::Dataset {
     survey::generate(&cfg, 7)
 }
 
-fn run(dataset: &whatsup_datasets::Dataset, threads: usize) -> (f64, u64) {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("pool");
+fn run(dataset: &whatsup_datasets::Dataset, shards: usize) -> (f64, u64) {
     let cfg = SimConfig {
         cycles: CYCLES,
         publish_from: 2,
         measure_from: 4,
+        shards,
         ..Default::default()
     };
     let started = Instant::now();
-    let report =
-        pool.install(|| Simulation::new(dataset, Protocol::WhatsUp { f_like: 5 }, cfg).run());
+    let report = Simulation::new(dataset, Protocol::WhatsUp { f_like: 5 }, cfg).run();
     let secs = started.elapsed().as_secs_f64();
     (
         CYCLES as f64 / secs,
@@ -47,7 +47,10 @@ fn run(dataset: &whatsup_datasets::Dataset, threads: usize) -> (f64, u64) {
 }
 
 fn main() {
-    let t = whatsup_bench::start("scale_engine", "single-run engine scaling, 1 vs all cores");
+    let t = whatsup_bench::start(
+        "scale_engine",
+        "single-run engine scaling across shard counts",
+    );
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -57,28 +60,37 @@ fn main() {
         .unwrap_or(20_000);
     println!("host parallelism: {cores} core(s); {CYCLES} cycles per run\n");
     println!(
-        "{:>8} {:>14} {:>14} {:>9} {:>12}",
-        "nodes", "1-thr cyc/s", "all-thr cyc/s", "speedup", "messages"
+        "{:>8} {:>7} {:>12} {:>9} {:>12}",
+        "nodes", "shards", "cyc/s", "vs 1-sh", "messages"
     );
     let mut rows = Vec::new();
     for &n in [1_000usize, 5_000, 20_000].iter().filter(|&&n| n <= cap) {
         let d = dataset(n);
-        let (seq, msgs) = run(&d, 1);
-        let (par, msgs_par) = run(&d, cores);
-        assert_eq!(
-            msgs, msgs_par,
-            "thread count changed the traffic — determinism broken"
-        );
-        let speedup = par / seq;
-        println!(
-            "{:>8} {:>14.2} {:>14.2} {:>8.2}x {:>12}",
-            d.n_users(),
-            seq,
-            par,
-            speedup,
-            msgs
-        );
-        rows.push(vec![d.n_users() as f64, seq, par, speedup]);
+        let mut baseline = 0.0f64;
+        let mut baseline_msgs = 0u64;
+        for &shards in &SHARD_COUNTS {
+            let (cps, msgs) = run(&d, shards);
+            if shards == 1 {
+                baseline = cps;
+                baseline_msgs = msgs;
+            } else {
+                assert_eq!(
+                    msgs, baseline_msgs,
+                    "shard count changed the traffic — determinism broken"
+                );
+            }
+            let speedup = cps / baseline;
+            println!(
+                "{:>8} {:>7} {:>12.2} {:>8.2}x {:>12}",
+                d.n_users(),
+                shards,
+                cps,
+                speedup,
+                msgs
+            );
+            rows.push(vec![d.n_users() as f64, shards as f64, cps, msgs as f64]);
+        }
+        println!();
     }
     whatsup_bench::experiments::save_json("scale_engine", &rows);
     whatsup_bench::finish("scale_engine", t);

@@ -59,6 +59,40 @@ pub enum PayloadKind {
     News,
 }
 
+/// Stable wire identifiers shared by every transport that serializes
+/// payloads (the `whatsup-net` codec and the simulator's shard-exchange
+/// bundles). These are a compatibility contract: never renumber an existing
+/// id, only append new ones.
+pub mod wire {
+    /// RPS push (half view + fresh self-descriptor).
+    pub const RPS_REQUEST: u8 = 1;
+    /// RPS pull reply.
+    pub const RPS_RESPONSE: u8 = 2;
+    /// WUP clustering push.
+    pub const WUP_REQUEST: u8 = 3;
+    /// WUP clustering pull reply.
+    pub const WUP_RESPONSE: u8 = 4;
+    /// BEEP news forward (full item content on the wire).
+    pub const NEWS: u8 = 5;
+    /// A mailbox bundle: a batch of addressed frames exchanged between
+    /// engine shards. Not a protocol-level payload — bundles never nest and
+    /// never reach a node.
+    pub const MAILBOX_BUNDLE: u8 = 6;
+}
+
+impl Payload {
+    /// The stable wire id of this payload's frame (see [`wire`]).
+    pub fn wire_id(&self) -> u8 {
+        match self {
+            Payload::RpsRequest(_) => wire::RPS_REQUEST,
+            Payload::RpsResponse(_) => wire::RPS_RESPONSE,
+            Payload::WupRequest(_) => wire::WUP_REQUEST,
+            Payload::WupResponse(_) => wire::WUP_RESPONSE,
+            Payload::News(_) => wire::NEWS,
+        }
+    }
+}
+
 /// An outgoing message: destination plus payload. The sender id is implicit
 /// (the node that returned it).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,5 +127,28 @@ mod tests {
         assert_eq!(Payload::RpsResponse(vec![]).kind(), PayloadKind::Rps);
         assert_eq!(Payload::WupRequest(vec![]).kind(), PayloadKind::Wup);
         assert_eq!(Payload::WupResponse(vec![]).kind(), PayloadKind::Wup);
+    }
+
+    #[test]
+    fn wire_ids_are_stable_and_distinct() {
+        let news = Payload::News(NewsMessage {
+            header: ItemHeader {
+                id: 1,
+                created_at: 0,
+            },
+            profile: Profile::new(),
+            dislikes: 0,
+            hops: 0,
+        });
+        let ids = [
+            Payload::RpsRequest(vec![]).wire_id(),
+            Payload::RpsResponse(vec![]).wire_id(),
+            Payload::WupRequest(vec![]).wire_id(),
+            Payload::WupResponse(vec![]).wire_id(),
+            news.wire_id(),
+        ];
+        // Pinned values: renumbering is a wire-format break.
+        assert_eq!(ids, [1, 2, 3, 4, 5]);
+        assert_eq!(wire::MAILBOX_BUNDLE, 6);
     }
 }

@@ -61,6 +61,31 @@ impl LikeMatrix {
         }
     }
 
+    /// The raw row-major bit words (serialization support; pair with
+    /// [`LikeMatrix::from_words`]).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a matrix from its shape and raw words.
+    ///
+    /// # Panics
+    /// Panics if `words` does not match the shape.
+    pub fn from_words(n_users: usize, n_items: usize, words: Vec<u64>) -> Self {
+        let words_per_row = n_items.div_ceil(64);
+        assert_eq!(
+            words.len(),
+            n_users * words_per_row,
+            "word count does not match matrix shape"
+        );
+        Self {
+            n_users,
+            n_items,
+            words_per_row,
+            bits: words,
+        }
+    }
+
     /// Users that like `item`.
     pub fn interested_users(&self, item: usize) -> Vec<u32> {
         (0..self.n_users)

@@ -1,6 +1,7 @@
 //! Binary wire format.
 //!
-//! Layout (little-endian throughout):
+//! Layout (little-endian throughout; tags are the stable wire ids of
+//! [`whatsup_core::message::wire`]):
 //!
 //! ```text
 //! frame      := tag:u8 from:u32 body
@@ -11,26 +12,41 @@
 //! news       := source:u32 created:u32 title:str desc:str link:str
 //!               dislikes:u8 hops:u16 profile
 //! str        := len:u16 utf8-bytes
+//! bundle     := count:u32 (to:u32 len:u32 frame)*       [from = shard id]
 //! ```
 //!
 //! The news item's 8-byte id is deliberately absent from the wire: receivers
 //! recompute it from the content (paper §II-A), and [`decode`] does exactly
 //! that when rebuilding the in-memory [`NewsMessage`].
+//!
+//! Mailbox bundles are the simulator's shard-exchange unit: a batch of
+//! addressed single-message frames, concatenated in `(sender, emission
+//! order)` order by the emitting shard. Bundles travel over pipes and
+//! channels — not UDP — so [`MAX_FRAME`] applies to single-message frames
+//! only, and bundles never nest.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use whatsup_core::message::wire;
 use whatsup_core::{
     Descriptor, ItemHeader, NewsItem, NewsMessage, NodeId, Payload, Profile, ProfileEntry,
     SharedProfile,
 };
 
-/// Maximum frame size we allow on the wire (UDP datagram safety margin).
+/// Maximum single-message frame size we allow on the wire (UDP datagram
+/// safety margin). Mailbox bundles are exempt — they are batches for
+/// stream-like transports.
 pub const MAX_FRAME: usize = 60 * 1024;
 
-const TAG_RPS_REQ: u8 = 1;
-const TAG_RPS_RESP: u8 = 2;
-const TAG_WUP_REQ: u8 = 3;
-const TAG_WUP_RESP: u8 = 4;
-const TAG_NEWS: u8 = 5;
+/// One addressed message inside a mailbox bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleEntry {
+    /// Destination node.
+    pub to: NodeId,
+    /// Sending node (the inner frame's `from`).
+    pub from: NodeId,
+    /// The message itself (never a nested bundle).
+    pub message: WireMessage,
+}
 
 /// A decoded frame: the sender and what it sent. News carries the full item
 /// content; the protocol-level [`Payload`] is derived via
@@ -47,18 +63,25 @@ pub enum WireMessage {
         dislikes: u8,
         hops: u16,
     },
+    /// A shard-exchange mailbox bundle; the frame-level `from` is the
+    /// emitting shard's index, not a node id.
+    Bundle(Vec<BundleEntry>),
 }
 
 impl WireMessage {
     /// Converts to the sans-io node's payload. News ids are recomputed from
     /// content here — the wire never carried them.
+    ///
+    /// # Panics
+    /// Panics on [`WireMessage::Bundle`]: bundles are transport batches,
+    /// not protocol payloads — unpack the entries instead.
     pub fn into_payload(self) -> Payload {
         match self {
             WireMessage::Gossip { kind, descriptors } => match kind {
-                TAG_RPS_REQ => Payload::RpsRequest(descriptors),
-                TAG_RPS_RESP => Payload::RpsResponse(descriptors),
-                TAG_WUP_REQ => Payload::WupRequest(descriptors),
-                TAG_WUP_RESP => Payload::WupResponse(descriptors),
+                wire::RPS_REQUEST => Payload::RpsRequest(descriptors),
+                wire::RPS_RESPONSE => Payload::RpsResponse(descriptors),
+                wire::WUP_REQUEST => Payload::WupRequest(descriptors),
+                wire::WUP_RESPONSE => Payload::WupResponse(descriptors),
                 other => unreachable!("invalid gossip kind {other}"),
             },
             WireMessage::News {
@@ -77,6 +100,9 @@ impl WireMessage {
                     dislikes,
                     hops,
                 })
+            }
+            WireMessage::Bundle(_) => {
+                panic!("mailbox bundles are not protocol payloads; unpack the entries")
             }
         }
     }
@@ -127,41 +153,102 @@ pub fn encode(
     resolve: impl Fn(u64) -> Option<NewsItem>,
 ) -> Result<Bytes, FrameTooLarge> {
     let mut buf = BytesMut::with_capacity(256);
-    match payload {
-        Payload::RpsRequest(d) => encode_gossip(&mut buf, TAG_RPS_REQ, from, d),
-        Payload::RpsResponse(d) => encode_gossip(&mut buf, TAG_RPS_RESP, from, d),
-        Payload::WupRequest(d) => encode_gossip(&mut buf, TAG_WUP_REQ, from, d),
-        Payload::WupResponse(d) => encode_gossip(&mut buf, TAG_WUP_RESP, from, d),
-        Payload::News(msg) => {
-            let item =
-                resolve(msg.header.id).expect("news content must be resolvable for encoding");
-            buf.put_u8(TAG_NEWS);
-            buf.put_u32_le(from);
-            buf.put_u32_le(item.source);
-            buf.put_u32_le(item.created_at);
-            put_str(&mut buf, &item.title);
-            put_str(&mut buf, &item.description);
-            put_str(&mut buf, &item.link);
-            buf.put_u8(msg.dislikes);
-            buf.put_u16_le(msg.hops);
-            put_profile(&mut buf, &msg.profile);
-        }
-    }
+    encode_into(&mut buf, from, payload, resolve);
     if buf.len() > MAX_FRAME {
         return Err(FrameTooLarge(buf.len()));
     }
     Ok(buf.freeze())
 }
 
-fn encode_gossip(buf: &mut BytesMut, tag: u8, from: NodeId, descs: &[Descriptor<SharedProfile>]) {
-    buf.put_u8(tag);
-    buf.put_u32_le(from);
+/// Appends the single-message frame for `payload` to `buf` without the
+/// [`MAX_FRAME`] check (bundle building blocks; datagram callers use
+/// [`encode`]).
+pub fn encode_into(
+    buf: &mut BytesMut,
+    from: NodeId,
+    payload: &Payload,
+    resolve: impl Fn(u64) -> Option<NewsItem>,
+) {
+    match payload {
+        Payload::RpsRequest(d)
+        | Payload::RpsResponse(d)
+        | Payload::WupRequest(d)
+        | Payload::WupResponse(d) => {
+            buf.put_u8(payload.wire_id());
+            buf.put_u32_le(from);
+            put_descriptors(buf, d);
+        }
+        Payload::News(msg) => {
+            let item =
+                resolve(msg.header.id).expect("news content must be resolvable for encoding");
+            buf.put_u8(wire::NEWS);
+            buf.put_u32_le(from);
+            buf.put_u32_le(item.source);
+            buf.put_u32_le(item.created_at);
+            put_str(buf, &item.title);
+            put_str(buf, &item.description);
+            put_str(buf, &item.link);
+            buf.put_u8(msg.dislikes);
+            buf.put_u16_le(msg.hops);
+            put_profile(buf, &msg.profile);
+        }
+    }
+}
+
+/// Encodes a mailbox bundle from shard `from_shard`: every `(to, from,
+/// payload)` triple as an embedded single-message frame, in the given
+/// order. No [`MAX_FRAME`] cap — bundles travel pipes/channels, and each
+/// embedded message stays individually datagram-sized by construction of
+/// the protocol.
+pub fn encode_bundle(
+    from_shard: u32,
+    entries: &[(NodeId, NodeId, Payload)],
+    resolve: impl Fn(u64) -> Option<NewsItem>,
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + entries.len() * 128);
+    buf.put_u8(wire::MAILBOX_BUNDLE);
+    buf.put_u32_le(from_shard);
+    buf.put_u32_le(entries.len() as u32);
+    let mut inner = BytesMut::with_capacity(256);
+    for (to, from, payload) in entries {
+        inner.clear();
+        encode_into(&mut inner, *from, payload, &resolve);
+        buf.put_u32_le(*to);
+        buf.put_u32_le(inner.len() as u32);
+        buf.put_slice(&inner);
+    }
+    buf.freeze()
+}
+
+/// Serializes a descriptor list (`count:u16 descriptor*`). Exposed so the
+/// simulator's shard exchange can serialize view snapshots with the same
+/// encoding gossip frames use.
+pub fn put_descriptors(buf: &mut BytesMut, descs: &[Descriptor<SharedProfile>]) {
     buf.put_u16_le(descs.len() as u16);
     for d in descs {
         buf.put_u32_le(d.node);
         buf.put_u32_le(d.age);
         put_profile(buf, &d.payload);
     }
+}
+
+/// Inverse of [`put_descriptors`].
+pub fn get_descriptors(buf: &mut &[u8]) -> Result<Vec<Descriptor<SharedProfile>>, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let count = buf.get_u16_le() as usize;
+    let mut descriptors = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        if buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let node = buf.get_u32_le();
+        let age = buf.get_u32_le();
+        let payload = SharedProfile::new(get_profile(buf)?);
+        descriptors.push(Descriptor { node, age, payload });
+    }
+    Ok(descriptors)
 }
 
 fn put_profile(buf: &mut BytesMut, p: &Profile) {
@@ -179,7 +266,8 @@ fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-/// Decodes one frame into `(sender, message)`.
+/// Decodes one frame into `(sender, message)`. For bundle frames the
+/// "sender" is the emitting shard's index.
 pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
     if buf.remaining() < 5 {
         return Err(DecodeError::Truncated);
@@ -187,21 +275,8 @@ pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
     let tag = buf.get_u8();
     let from = buf.get_u32_le();
     match tag {
-        TAG_RPS_REQ | TAG_RPS_RESP | TAG_WUP_REQ | TAG_WUP_RESP => {
-            if buf.remaining() < 2 {
-                return Err(DecodeError::Truncated);
-            }
-            let count = buf.get_u16_le() as usize;
-            let mut descriptors = Vec::with_capacity(count.min(1024));
-            for _ in 0..count {
-                if buf.remaining() < 8 {
-                    return Err(DecodeError::Truncated);
-                }
-                let node = buf.get_u32_le();
-                let age = buf.get_u32_le();
-                let payload = SharedProfile::new(get_profile(&mut buf)?);
-                descriptors.push(Descriptor { node, age, payload });
-            }
+        wire::RPS_REQUEST | wire::RPS_RESPONSE | wire::WUP_REQUEST | wire::WUP_RESPONSE => {
+            let descriptors = get_descriptors(&mut buf)?;
             Ok((
                 from,
                 WireMessage::Gossip {
@@ -210,7 +285,36 @@ pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
                 },
             ))
         }
-        TAG_NEWS => {
+        wire::MAILBOX_BUNDLE => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let count = buf.get_u32_le() as usize;
+            let mut entries = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let to = buf.get_u32_le();
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return Err(DecodeError::Truncated);
+                }
+                let (inner_from, message) = decode(&buf[..len])?;
+                if matches!(message, WireMessage::Bundle(_)) {
+                    // Bundles never nest.
+                    return Err(DecodeError::BadTag(wire::MAILBOX_BUNDLE));
+                }
+                buf.advance(len);
+                entries.push(BundleEntry {
+                    to,
+                    from: inner_from,
+                    message,
+                });
+            }
+            Ok((from, WireMessage::Bundle(entries)))
+        }
+        wire::NEWS => {
             if buf.remaining() < 8 {
                 return Err(DecodeError::Truncated);
             }
@@ -387,6 +491,62 @@ mod tests {
         )
         .unwrap();
         assert_eq!(big.len() - small.len(), 100 * 16);
+    }
+
+    #[test]
+    fn bundle_roundtrip_mixed_entries() {
+        let item = NewsItem::new("hello", "world", "https://n/1", 3, 9);
+        let news = Payload::News(NewsMessage {
+            header: item.header(),
+            profile: profile(&[(4, 1.0)]),
+            dislikes: 1,
+            hops: 2,
+        });
+        let gossip = Payload::WupRequest(vec![Descriptor {
+            node: 8,
+            age: 1,
+            payload: SharedProfile::new(profile(&[(2, 0.0)])),
+        }]);
+        let entries = vec![(5u32, 1u32, news.clone()), (6u32, 2u32, gossip.clone())];
+        let content = item.clone();
+        let frame = encode_bundle(3, &entries, move |id| {
+            assert_eq!(id, content.id());
+            Some(content.clone())
+        });
+        let (shard, wire) = decode(&frame).unwrap();
+        assert_eq!(shard, 3);
+        let WireMessage::Bundle(decoded) = wire else {
+            panic!("expected bundle")
+        };
+        assert_eq!(decoded.len(), 2);
+        assert_eq!((decoded[0].to, decoded[0].from), (5, 1));
+        assert_eq!((decoded[1].to, decoded[1].from), (6, 2));
+        assert_eq!(decoded[0].message.clone().into_payload(), news);
+        assert_eq!(decoded[1].message.clone().into_payload(), gossip);
+    }
+
+    #[test]
+    fn empty_bundle_roundtrips() {
+        let frame = encode_bundle(0, &[], |_| None);
+        let (_, wire) = decode(&frame).unwrap();
+        assert_eq!(wire, WireMessage::Bundle(vec![]));
+    }
+
+    #[test]
+    fn truncated_bundle_errors() {
+        let entries = vec![(
+            1u32,
+            0u32,
+            Payload::RpsRequest(vec![Descriptor {
+                node: 1,
+                age: 0,
+                payload: SharedProfile::new(profile(&[(1, 1.0)])),
+            }]),
+        )];
+        let frame = encode_bundle(0, &entries, |_| None);
+        for cut in [4, 8, 12, frame.len() - 1] {
+            assert!(decode(&frame[..cut]).is_err(), "cut at {cut} must fail");
+        }
     }
 
     #[test]

@@ -125,6 +125,13 @@ impl Peer {
             // Corrupt frames are dropped: robustness over crash.
             return Vec::new();
         };
+        if matches!(wire, codec::WireMessage::Bundle(_)) {
+            // Mailbox bundles are the simulator's shard-exchange batches,
+            // never a peer-level datagram; drop rather than unpack so a
+            // confused or malicious sender cannot smuggle a batch past the
+            // per-message path (and `into_payload` would panic on it).
+            return Vec::new();
+        }
         let payload = wire.into_payload();
         if let Payload::News(msg) = &payload {
             let id = msg.header.id;
@@ -206,6 +213,17 @@ mod tests {
             })
             .collect();
         (peers, deliveries, table)
+    }
+
+    #[test]
+    fn bundle_frames_from_the_network_are_dropped() {
+        // A shard-exchange bundle is not a peer-level datagram: a confused
+        // or malicious sender must not crash the peer or smuggle a batch
+        // past the per-message path.
+        let (mut peers, _, _) = setup(0.0);
+        let inner = vec![(0u32, 7u32, whatsup_core::Payload::RpsRequest(vec![]))];
+        let bundle = codec::encode_bundle(0, &inner, |_| None);
+        assert!(peers[0].handle_frame(&bundle, 0).is_empty());
     }
 
     #[test]

@@ -86,6 +86,17 @@ impl BytesMut {
             data: self.data.into(),
         }
     }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+/// Zero-copy conversion into the backing vector (mirrors upstream).
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.data
+    }
 }
 
 impl Deref for BytesMut {
@@ -138,6 +149,10 @@ pub trait Buf {
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
     }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
 }
 
 impl Buf for &[u8] {
@@ -176,6 +191,10 @@ pub trait BufMut {
 
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
     }
 }
 

@@ -76,7 +76,7 @@ mod tests {
     use crate::config::{Protocol, SimConfig};
     use whatsup_datasets::{survey, SurveyConfig};
 
-    fn setup() -> (Dataset, SimReport, Simulation) {
+    fn setup() -> (Dataset, SimReport, OverlayStats) {
         let d = survey::generate(&SurveyConfig::paper().scaled(0.12), 5);
         let cfg = SimConfig {
             cycles: 18,
@@ -88,14 +88,16 @@ mod tests {
         while sim.current_cycle() < 18 {
             sim.step();
         }
-        let report = sim.report();
-        (d, report, sim)
+        // Overlay stats read the live simulation; the report consumes it
+        // (records move out, nothing is cloned).
+        let stats = overlay_stats(&sim);
+        let report = sim.into_report();
+        (d, report, stats)
     }
 
     #[test]
     fn overlay_stats_are_consistent() {
-        let (_, _, sim) = setup();
-        let s = overlay_stats(&sim);
+        let (_, _, s) = setup();
         assert!(s.lscc_fraction > 0.0 && s.lscc_fraction <= 1.0);
         assert!(s.components >= 1);
         assert!((0.0..=1.0).contains(&s.clustering_coefficient));

@@ -1,0 +1,29 @@
+//! Shard worker process for the multi-process sharded engine.
+//!
+//! Protocol (all frames length-prefixed, little-endian `len:u32` + bytes):
+//! the parent driver sends one init frame on stdin, then phase commands;
+//! the worker writes one reply frame per command on stdout and exits on a
+//! `Stop` command or when stdin closes. See
+//! `whatsup_sim::engine::exchange` for the frame formats.
+
+use std::io::{BufReader, BufWriter};
+use whatsup_sim::engine::exchange::{decode_init, read_frame, write_frame};
+use whatsup_sim::engine::shard::{serve, ShardState};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = BufReader::new(stdin.lock());
+    let mut output = BufWriter::new(stdout.lock());
+
+    let init_frame = read_frame(&mut input)
+        .expect("read init frame")
+        .expect("driver closed the pipe before init");
+    let mut state = ShardState::from_init(decode_init(&init_frame));
+
+    serve(
+        &mut state,
+        || read_frame(&mut input).expect("read command frame"),
+        |frame| write_frame(&mut output, &frame).expect("write reply frame"),
+    );
+}

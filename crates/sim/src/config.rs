@@ -138,6 +138,11 @@ pub struct SimConfig {
     /// Churn: expected fraction of nodes that crash and rejoin fresh per
     /// cycle (profile, views and seen-set lost; cold start on return).
     pub churn_per_cycle: f64,
+    /// Engine shards the node table is partitioned into (contiguous id
+    /// ranges, each run by its own worker). `0` = one shard per available
+    /// core; the count is clamped to the population size. Pure execution
+    /// knob: reports are bit-identical for every value.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -154,6 +159,7 @@ impl Default for SimConfig {
             wup_view_override: None,
             obfuscation: None,
             churn_per_cycle: 0.0,
+            shards: 1,
         }
     }
 }

@@ -1,0 +1,879 @@
+//! The shard command protocol and the pluggable exchange transports.
+//!
+//! The driver orchestrates every phase as a lockstep *round-trip*: one
+//! [`Command`] per participating shard, one [`Reply`] back from each. The
+//! [`ShardTransport`] trait abstracts how the serialized frames move:
+//!
+//! * [`ChannelTransport`] — shards as worker threads, frames over
+//!   crossbeam channels (in-process);
+//! * [`ProcessTransport`] — shards as `sim-shard-worker` child processes,
+//!   length-prefixed frames over stdio pipes (multi-process);
+//! * the single-shard driver calls the shard inline without serializing.
+//!
+//! Every frame is hand-encoded little-endian via the `bytes` buffers;
+//! mailbox traffic and view snapshots embed the `whatsup-net` wire codec's
+//! encodings, so the two stacks share one message format. Frames are
+//! engine-internal: malformed input is an engine bug and panics.
+
+use crate::engine::partition::Partition;
+use crate::engine::shard::ShardInit;
+use crate::oracle::Oracle;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdin, ChildStdout, Stdio};
+use whatsup_core::beep::{DislikeRule, TargetPool};
+use whatsup_core::{ColdStart, ItemId, Metric, NewsItem, NodeId, Params};
+use whatsup_datasets::LikeMatrix;
+use whatsup_net::codec;
+
+/// A driver → shard phase command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run `on_cycle` for every owned node; route the emissions.
+    Collect { cycle: u32 },
+    /// Merge inbound gossip bundles (one per source shard, empty allowed)
+    /// and drain the mailboxes; route the replies.
+    DeliverGossip { cycle: u32, bundles: Vec<Bytes> },
+    /// Draw the per-node crash coins and rejoin contacts.
+    ChurnDecide { cycle: u32 },
+    /// Snapshot the views of the given owned nodes (pre-churn state).
+    TakeSnapshots { ids: Vec<NodeId> },
+    /// Reset each `(node, snapshot)` to a fresh cold-started instance.
+    ApplyChurn { resets: Vec<(NodeId, Bytes)> },
+    /// Reset the news-phase RNGs (start of the publication phase).
+    BeginNews,
+    /// Publish `item` from its source node (owned by this shard).
+    Publish { cycle: u32, item: NewsItem },
+    /// Merge inbound news bundles and drain; report reception outcomes.
+    DeliverNews {
+        cycle: u32,
+        item: ItemId,
+        bundles: Vec<Bytes>,
+    },
+    /// Exit the serve loop.
+    Stop,
+}
+
+/// Routed emissions of one shard for one round: the total emission count
+/// (for traffic accounting, self-shard mail included) and one bundle per
+/// destination shard (empty for none; the self slot is always empty —
+/// local mail stays in the shard's pending queue).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Outbound {
+    pub sent: u64,
+    pub bundles: Vec<Bytes>,
+}
+
+/// Wire form of one receiver's first reception of an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FirstReception {
+    pub hop: u16,
+    pub sender_liked: bool,
+    pub receiver_likes: bool,
+    pub dislikes: u8,
+}
+
+/// Wire form of one receiver's outcome in a news delivery round, folded by
+/// the driver in receiver order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewsOutcome {
+    pub receiver: NodeId,
+    pub first: Option<FirstReception>,
+    /// `(hop, forwarder_liked)` when the receiver forwarded (Fig. 6).
+    pub forward: Option<(u16, bool)>,
+}
+
+/// A shard → driver phase reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    Outbound(Outbound),
+    ChurnDecisions(Vec<(NodeId, NodeId)>),
+    /// Snapshots in request order (encoded [`ColdStart`]s).
+    Snapshots(Vec<Bytes>),
+    Ack,
+    Published {
+        /// Hop stamp of the source's forwards, when it forwarded.
+        first_forward_hop: Option<u16>,
+        out: Outbound,
+    },
+    NewsDelivered {
+        out: Outbound,
+        outcomes: Vec<NewsOutcome>,
+    },
+}
+
+/// Moves command/reply frames between the driver and the shard workers.
+///
+/// A batch sends at most one command per shard; replies come back in batch
+/// order. Implementations must preserve per-shard FIFO ordering.
+pub trait ShardTransport {
+    fn n_shards(&self) -> usize;
+    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Vec<Reply>;
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoding helpers
+// ---------------------------------------------------------------------------
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Bytes {
+    let len = buf.get_u32_le() as usize;
+    let out = Bytes::copy_from_slice(&buf[..len]);
+    buf.advance(len);
+    out
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "string field too long");
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> String {
+    let len = buf.get_u16_le() as usize;
+    let out = String::from_utf8(buf[..len].to_vec()).expect("utf-8 string field");
+    buf.advance(len);
+    out
+}
+
+fn put_bundle_list(buf: &mut BytesMut, bundles: &[Bytes]) {
+    buf.put_u32_le(bundles.len() as u32);
+    for b in bundles {
+        put_bytes(buf, b);
+    }
+}
+
+fn get_bundle_list(buf: &mut &[u8]) -> Vec<Bytes> {
+    let n = buf.get_u32_le() as usize;
+    (0..n).map(|_| get_bytes(buf)).collect()
+}
+
+fn put_news_item(buf: &mut BytesMut, item: &NewsItem) {
+    put_str(buf, &item.title);
+    put_str(buf, &item.description);
+    put_str(buf, &item.link);
+    buf.put_u32_le(item.source);
+    buf.put_u32_le(item.created_at);
+}
+
+fn get_news_item(buf: &mut &[u8]) -> NewsItem {
+    let title = get_str(buf);
+    let description = get_str(buf);
+    let link = get_str(buf);
+    let source = buf.get_u32_le();
+    let created_at = buf.get_u32_le();
+    NewsItem {
+        title,
+        description,
+        link,
+        source,
+        created_at,
+    }
+}
+
+/// Serializes a view snapshot with the wire codec's descriptor encoding.
+pub fn encode_cold_start(cs: &ColdStart) -> Bytes {
+    let mut buf = BytesMut::with_capacity(256);
+    codec::put_descriptors(&mut buf, &cs.rps_view);
+    codec::put_descriptors(&mut buf, &cs.wup_view);
+    buf.freeze()
+}
+
+/// Inverse of [`encode_cold_start`].
+pub fn decode_cold_start(mut frame: &[u8]) -> ColdStart {
+    let rps_view = codec::get_descriptors(&mut frame).expect("malformed snapshot");
+    let wup_view = codec::get_descriptors(&mut frame).expect("malformed snapshot");
+    ColdStart { rps_view, wup_view }
+}
+
+// ---------------------------------------------------------------------------
+// Command / reply frames
+// ---------------------------------------------------------------------------
+
+const CMD_COLLECT: u8 = 1;
+const CMD_DELIVER_GOSSIP: u8 = 2;
+const CMD_CHURN_DECIDE: u8 = 3;
+const CMD_TAKE_SNAPSHOTS: u8 = 4;
+const CMD_APPLY_CHURN: u8 = 5;
+const CMD_BEGIN_NEWS: u8 = 6;
+const CMD_PUBLISH: u8 = 7;
+const CMD_DELIVER_NEWS: u8 = 8;
+const CMD_STOP: u8 = 9;
+
+pub fn encode_command(cmd: &Command) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    match cmd {
+        Command::Collect { cycle } => {
+            buf.put_u8(CMD_COLLECT);
+            buf.put_u32_le(*cycle);
+        }
+        Command::DeliverGossip { cycle, bundles } => {
+            buf.put_u8(CMD_DELIVER_GOSSIP);
+            buf.put_u32_le(*cycle);
+            put_bundle_list(&mut buf, bundles);
+        }
+        Command::ChurnDecide { cycle } => {
+            buf.put_u8(CMD_CHURN_DECIDE);
+            buf.put_u32_le(*cycle);
+        }
+        Command::TakeSnapshots { ids } => {
+            buf.put_u8(CMD_TAKE_SNAPSHOTS);
+            buf.put_u32_le(ids.len() as u32);
+            for id in ids {
+                buf.put_u32_le(*id);
+            }
+        }
+        Command::ApplyChurn { resets } => {
+            buf.put_u8(CMD_APPLY_CHURN);
+            buf.put_u32_le(resets.len() as u32);
+            for (node, snapshot) in resets {
+                buf.put_u32_le(*node);
+                put_bytes(&mut buf, snapshot);
+            }
+        }
+        Command::BeginNews => buf.put_u8(CMD_BEGIN_NEWS),
+        Command::Publish { cycle, item } => {
+            buf.put_u8(CMD_PUBLISH);
+            buf.put_u32_le(*cycle);
+            put_news_item(&mut buf, item);
+        }
+        Command::DeliverNews {
+            cycle,
+            item,
+            bundles,
+        } => {
+            buf.put_u8(CMD_DELIVER_NEWS);
+            buf.put_u32_le(*cycle);
+            buf.put_u64_le(*item);
+            put_bundle_list(&mut buf, bundles);
+        }
+        Command::Stop => buf.put_u8(CMD_STOP),
+    }
+    Vec::from(buf)
+}
+
+pub fn decode_command(mut frame: &[u8]) -> Command {
+    let buf = &mut frame;
+    match buf.get_u8() {
+        CMD_COLLECT => Command::Collect {
+            cycle: buf.get_u32_le(),
+        },
+        CMD_DELIVER_GOSSIP => Command::DeliverGossip {
+            cycle: buf.get_u32_le(),
+            bundles: get_bundle_list(buf),
+        },
+        CMD_CHURN_DECIDE => Command::ChurnDecide {
+            cycle: buf.get_u32_le(),
+        },
+        CMD_TAKE_SNAPSHOTS => {
+            let n = buf.get_u32_le() as usize;
+            Command::TakeSnapshots {
+                ids: (0..n).map(|_| buf.get_u32_le()).collect(),
+            }
+        }
+        CMD_APPLY_CHURN => {
+            let n = buf.get_u32_le() as usize;
+            Command::ApplyChurn {
+                resets: (0..n)
+                    .map(|_| {
+                        let node = buf.get_u32_le();
+                        let snapshot = get_bytes(buf);
+                        (node, snapshot)
+                    })
+                    .collect(),
+            }
+        }
+        CMD_BEGIN_NEWS => Command::BeginNews,
+        CMD_PUBLISH => Command::Publish {
+            cycle: buf.get_u32_le(),
+            item: get_news_item(buf),
+        },
+        CMD_DELIVER_NEWS => Command::DeliverNews {
+            cycle: buf.get_u32_le(),
+            item: buf.get_u64_le(),
+            bundles: get_bundle_list(buf),
+        },
+        CMD_STOP => Command::Stop,
+        other => panic!("unknown command opcode {other}"),
+    }
+}
+
+const REP_OUTBOUND: u8 = 1;
+const REP_CHURN: u8 = 2;
+const REP_SNAPSHOTS: u8 = 3;
+const REP_ACK: u8 = 4;
+const REP_PUBLISHED: u8 = 5;
+const REP_NEWS: u8 = 6;
+
+fn put_outbound(buf: &mut BytesMut, out: &Outbound) {
+    buf.put_u64_le(out.sent);
+    put_bundle_list(buf, &out.bundles);
+}
+
+fn get_outbound(buf: &mut &[u8]) -> Outbound {
+    Outbound {
+        sent: buf.get_u64_le(),
+        bundles: get_bundle_list(buf),
+    }
+}
+
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    match reply {
+        Reply::Outbound(out) => {
+            buf.put_u8(REP_OUTBOUND);
+            put_outbound(&mut buf, out);
+        }
+        Reply::ChurnDecisions(pairs) => {
+            buf.put_u8(REP_CHURN);
+            buf.put_u32_le(pairs.len() as u32);
+            for (node, contact) in pairs {
+                buf.put_u32_le(*node);
+                buf.put_u32_le(*contact);
+            }
+        }
+        Reply::Snapshots(snaps) => {
+            buf.put_u8(REP_SNAPSHOTS);
+            put_bundle_list(&mut buf, snaps);
+        }
+        Reply::Ack => buf.put_u8(REP_ACK),
+        Reply::Published {
+            first_forward_hop,
+            out,
+        } => {
+            buf.put_u8(REP_PUBLISHED);
+            buf.put_u8(u8::from(first_forward_hop.is_some()));
+            buf.put_u16_le(first_forward_hop.unwrap_or(0));
+            put_outbound(&mut buf, out);
+        }
+        Reply::NewsDelivered { out, outcomes } => {
+            buf.put_u8(REP_NEWS);
+            put_outbound(&mut buf, out);
+            buf.put_u32_le(outcomes.len() as u32);
+            for o in outcomes {
+                buf.put_u32_le(o.receiver);
+                let first = o.first.unwrap_or(FirstReception {
+                    hop: 0,
+                    sender_liked: false,
+                    receiver_likes: false,
+                    dislikes: 0,
+                });
+                let (fwd_hop, fwd_liked) = o.forward.unwrap_or((0, false));
+                let flags = u8::from(o.first.is_some())
+                    | u8::from(first.sender_liked) << 1
+                    | u8::from(first.receiver_likes) << 2
+                    | u8::from(o.forward.is_some()) << 3
+                    | u8::from(fwd_liked) << 4;
+                buf.put_u8(flags);
+                buf.put_u16_le(first.hop);
+                buf.put_u8(first.dislikes);
+                buf.put_u16_le(fwd_hop);
+            }
+        }
+    }
+    Vec::from(buf)
+}
+
+pub fn decode_reply(mut frame: &[u8]) -> Reply {
+    let buf = &mut frame;
+    match buf.get_u8() {
+        REP_OUTBOUND => Reply::Outbound(get_outbound(buf)),
+        REP_CHURN => {
+            let n = buf.get_u32_le() as usize;
+            Reply::ChurnDecisions(
+                (0..n)
+                    .map(|_| {
+                        let node = buf.get_u32_le();
+                        let contact = buf.get_u32_le();
+                        (node, contact)
+                    })
+                    .collect(),
+            )
+        }
+        REP_SNAPSHOTS => Reply::Snapshots(get_bundle_list(buf)),
+        REP_ACK => Reply::Ack,
+        REP_PUBLISHED => {
+            let has_hop = buf.get_u8() != 0;
+            let hop = buf.get_u16_le();
+            Reply::Published {
+                first_forward_hop: has_hop.then_some(hop),
+                out: get_outbound(buf),
+            }
+        }
+        REP_NEWS => {
+            let out = get_outbound(buf);
+            let n = buf.get_u32_le() as usize;
+            let outcomes = (0..n)
+                .map(|_| {
+                    let receiver = buf.get_u32_le();
+                    let flags = buf.get_u8();
+                    let hop = buf.get_u16_le();
+                    let dislikes = buf.get_u8();
+                    let fwd_hop = buf.get_u16_le();
+                    NewsOutcome {
+                        receiver,
+                        first: (flags & 1 != 0).then_some(FirstReception {
+                            hop,
+                            sender_liked: flags & 2 != 0,
+                            receiver_likes: flags & 4 != 0,
+                            dislikes,
+                        }),
+                        forward: (flags & 8 != 0).then_some((fwd_hop, flags & 16 != 0)),
+                    }
+                })
+                .collect();
+            Reply::NewsDelivered { out, outcomes }
+        }
+        other => panic!("unknown reply opcode {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard init frame (multi-process bootstrap)
+// ---------------------------------------------------------------------------
+
+fn put_params(buf: &mut BytesMut, p: &Params) {
+    buf.put_u32_le(p.rps.view_size as u32);
+    buf.put_u32_le(p.rps.exchange_len as u32);
+    buf.put_u32_le(p.rps_period);
+    buf.put_u32_le(p.wup_view_size as u32);
+    buf.put_u8(match p.metric {
+        Metric::Wup => 0,
+        Metric::Cosine => 1,
+        Metric::Jaccard => 2,
+    });
+    buf.put_u32_le(p.profile_window);
+    buf.put_u32_le(p.beep.f_like as u32);
+    buf.put_u8(match p.beep.like_pool {
+        TargetPool::Wup => 0,
+        TargetPool::Rps => 1,
+    });
+    buf.put_u8(u8::from(p.beep.like_entire_view));
+    match p.beep.dislike {
+        DislikeRule::Drop => {
+            buf.put_u8(0);
+            buf.put_u32_le(0);
+            buf.put_u8(0);
+            buf.put_u8(0);
+        }
+        DislikeRule::Forward {
+            fanout,
+            ttl,
+            oriented,
+        } => {
+            buf.put_u8(1);
+            buf.put_u32_le(fanout as u32);
+            buf.put_u8(ttl);
+            buf.put_u8(u8::from(oriented));
+        }
+    }
+    buf.put_u32_le(p.cold_start_items as u32);
+    buf.put_f64_le(p.obfuscation_epsilon);
+}
+
+fn get_params(buf: &mut &[u8]) -> Params {
+    let mut p = Params::default();
+    p.rps.view_size = buf.get_u32_le() as usize;
+    p.rps.exchange_len = buf.get_u32_le() as usize;
+    p.rps_period = buf.get_u32_le();
+    p.wup_view_size = buf.get_u32_le() as usize;
+    p.metric = match buf.get_u8() {
+        0 => Metric::Wup,
+        1 => Metric::Cosine,
+        2 => Metric::Jaccard,
+        other => panic!("unknown metric tag {other}"),
+    };
+    p.profile_window = buf.get_u32_le();
+    p.beep.f_like = buf.get_u32_le() as usize;
+    p.beep.like_pool = match buf.get_u8() {
+        0 => TargetPool::Wup,
+        1 => TargetPool::Rps,
+        other => panic!("unknown target pool tag {other}"),
+    };
+    p.beep.like_entire_view = buf.get_u8() != 0;
+    let dislike_tag = buf.get_u8();
+    let fanout = buf.get_u32_le() as usize;
+    let ttl = buf.get_u8();
+    let oriented = buf.get_u8() != 0;
+    p.beep.dislike = match dislike_tag {
+        0 => DislikeRule::Drop,
+        1 => DislikeRule::Forward {
+            fanout,
+            ttl,
+            oriented,
+        },
+        other => panic!("unknown dislike tag {other}"),
+    };
+    p.cold_start_items = buf.get_u32_le() as usize;
+    p.obfuscation_epsilon = buf.get_f64_le();
+    p
+}
+
+fn put_oracle(buf: &mut BytesMut, oracle: &Oracle) {
+    let m = oracle.matrix();
+    buf.put_u32_le(m.n_users() as u32);
+    buf.put_u32_le(m.n_items() as u32);
+    buf.put_u32_le(m.words().len() as u32);
+    for &w in m.words() {
+        buf.put_u64_le(w);
+    }
+    // HashMap iteration order is unspecified; sort for a canonical frame.
+    let mut pairs: Vec<(ItemId, u32)> = oracle.id_map().iter().map(|(&k, &v)| (k, v)).collect();
+    pairs.sort_unstable();
+    buf.put_u32_le(pairs.len() as u32);
+    for (id, index) in pairs {
+        buf.put_u64_le(id);
+        buf.put_u32_le(index);
+    }
+    buf.put_u32_le(oracle.alias().len() as u32);
+    for &row in oracle.alias() {
+        buf.put_u32_le(row);
+    }
+}
+
+fn get_oracle(buf: &mut &[u8]) -> Oracle {
+    let n_users = buf.get_u32_le() as usize;
+    let n_items = buf.get_u32_le() as usize;
+    let n_words = buf.get_u32_le() as usize;
+    let words = (0..n_words).map(|_| buf.get_u64_le()).collect();
+    let matrix = LikeMatrix::from_words(n_users, n_items, words);
+    let n_pairs = buf.get_u32_le() as usize;
+    let id_to_index: HashMap<ItemId, u32> = (0..n_pairs)
+        .map(|_| {
+            let id = buf.get_u64_le();
+            let index = buf.get_u32_le();
+            (id, index)
+        })
+        .collect();
+    let n_alias = buf.get_u32_le() as usize;
+    let alias = (0..n_alias).map(|_| buf.get_u32_le()).collect();
+    Oracle::restore(matrix, id_to_index, alias)
+}
+
+/// Serializes everything a worker process needs to build its
+/// [`crate::engine::ShardState`].
+pub fn encode_init(init: &ShardInit) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(1024);
+    buf.put_u32_le(init.index as u32);
+    let starts = init.partition.starts();
+    buf.put_u32_le(starts.len() as u32);
+    for &s in starts {
+        buf.put_u32_le(s);
+    }
+    buf.put_u64_le(init.seed);
+    buf.put_f64_le(init.loss);
+    buf.put_f64_le(init.churn);
+    put_params(&mut buf, &init.params);
+    put_oracle(&mut buf, &init.oracle);
+    buf.put_u32_le(init.bootstrap.len() as u32);
+    for contacts in &init.bootstrap {
+        buf.put_u32_le(contacts.len() as u32);
+        for &c in contacts {
+            buf.put_u32_le(c);
+        }
+    }
+    Vec::from(buf)
+}
+
+/// Inverse of [`encode_init`].
+pub fn decode_init(mut frame: &[u8]) -> ShardInit {
+    let buf = &mut frame;
+    let index = buf.get_u32_le() as usize;
+    let n_starts = buf.get_u32_le() as usize;
+    let starts = (0..n_starts).map(|_| buf.get_u32_le()).collect();
+    let partition = Partition::from_starts(starts);
+    let seed = buf.get_u64_le();
+    let loss = buf.get_f64_le();
+    let churn = buf.get_f64_le();
+    let params = get_params(buf);
+    let oracle = get_oracle(buf);
+    let n_nodes = buf.get_u32_le() as usize;
+    let bootstrap = (0..n_nodes)
+        .map(|_| {
+            let n = buf.get_u32_le() as usize;
+            (0..n).map(|_| buf.get_u32_le()).collect()
+        })
+        .collect();
+    ShardInit {
+        index,
+        partition,
+        seed,
+        loss,
+        churn,
+        params,
+        oracle,
+        bootstrap,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing (pipes)
+// ---------------------------------------------------------------------------
+
+/// Writes one `len:u32` + payload frame and flushes.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(&(frame.len() as u32).to_le_bytes())?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame)?;
+    Ok(Some(frame))
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+/// In-process transport: one worker thread per shard, `Vec<u8>` frames over
+/// channels. The worker threads run [`crate::engine::shard::serve`].
+pub struct ChannelTransport {
+    to: Vec<crossbeam::channel::Sender<Vec<u8>>>,
+    from: Vec<crossbeam::channel::Receiver<Vec<u8>>>,
+}
+
+impl ChannelTransport {
+    pub fn new(
+        to: Vec<crossbeam::channel::Sender<Vec<u8>>>,
+        from: Vec<crossbeam::channel::Receiver<Vec<u8>>>,
+    ) -> Self {
+        assert_eq!(to.len(), from.len());
+        Self { to, from }
+    }
+
+    /// Tells every worker to exit its serve loop.
+    pub fn stop(&mut self) {
+        for tx in &self.to {
+            let _ = tx.send(encode_command(&Command::Stop));
+        }
+    }
+}
+
+impl ShardTransport for ChannelTransport {
+    fn n_shards(&self) -> usize {
+        self.to.len()
+    }
+
+    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Vec<Reply> {
+        let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
+        for (s, cmd) in &batch {
+            self.to[*s]
+                .send(encode_command(cmd))
+                .expect("shard worker hung up");
+        }
+        targets
+            .into_iter()
+            .map(|s| decode_reply(&self.from[s].recv().expect("shard worker hung up")))
+            .collect()
+    }
+}
+
+/// Multi-process transport: one `sim-shard-worker` child per shard,
+/// length-prefixed frames over stdio pipes.
+pub struct ProcessTransport {
+    children: Vec<Child>,
+    stdins: Vec<ChildStdin>,
+    stdouts: Vec<BufReader<ChildStdout>>,
+}
+
+impl ProcessTransport {
+    /// Spawns one worker per init and sends each its init frame.
+    pub fn spawn(worker: &Path, inits: &[ShardInit]) -> io::Result<Self> {
+        let mut children = Vec::with_capacity(inits.len());
+        let mut stdins = Vec::with_capacity(inits.len());
+        let mut stdouts = Vec::with_capacity(inits.len());
+        for init in inits {
+            let mut child = std::process::Command::new(worker)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()?;
+            let mut stdin = child.stdin.take().expect("piped stdin");
+            let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+            write_frame(&mut stdin, &encode_init(init))?;
+            children.push(child);
+            stdins.push(stdin);
+            stdouts.push(stdout);
+        }
+        Ok(Self {
+            children,
+            stdins,
+            stdouts,
+        })
+    }
+
+    /// Stops every worker and reaps the processes.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        let stop = encode_command(&Command::Stop);
+        for stdin in &mut self.stdins {
+            write_frame(stdin, &stop)?;
+        }
+        drop(self.stdins);
+        for child in &mut self.children {
+            let status = child.wait()?;
+            if !status.success() {
+                return Err(io::Error::other(format!(
+                    "shard worker exited with {status}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ShardTransport for ProcessTransport {
+    fn n_shards(&self) -> usize {
+        self.children.len()
+    }
+
+    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Vec<Reply> {
+        let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
+        for (s, cmd) in &batch {
+            write_frame(&mut self.stdins[*s], &encode_command(cmd))
+                .expect("shard worker pipe closed");
+        }
+        targets
+            .into_iter()
+            .map(|s| {
+                let frame = read_frame(&mut self.stdouts[s])
+                    .expect("shard worker pipe error")
+                    .expect("shard worker exited mid-phase");
+                decode_reply(&frame)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_frames_roundtrip() {
+        let cmds = vec![
+            Command::Collect { cycle: 7 },
+            Command::DeliverGossip {
+                cycle: 7,
+                bundles: vec![Bytes::new(), Bytes::copy_from_slice(b"abc")],
+            },
+            Command::ChurnDecide { cycle: 9 },
+            Command::TakeSnapshots { ids: vec![3, 5, 8] },
+            Command::ApplyChurn {
+                resets: vec![(2, Bytes::copy_from_slice(b"xy"))],
+            },
+            Command::BeginNews,
+            Command::Publish {
+                cycle: 3,
+                item: NewsItem::new("t", "d", "l", 9, 3),
+            },
+            Command::DeliverNews {
+                cycle: 3,
+                item: 0xdead_beef,
+                bundles: vec![Bytes::copy_from_slice(b"zz")],
+            },
+            Command::Stop,
+        ];
+        for cmd in cmds {
+            assert_eq!(decode_command(&encode_command(&cmd)), cmd);
+        }
+    }
+
+    #[test]
+    fn reply_frames_roundtrip() {
+        let replies = vec![
+            Reply::Outbound(Outbound {
+                sent: 12,
+                bundles: vec![Bytes::new(), Bytes::copy_from_slice(b"q")],
+            }),
+            Reply::ChurnDecisions(vec![(1, 9), (4, 2)]),
+            Reply::Snapshots(vec![Bytes::copy_from_slice(b"snap")]),
+            Reply::Ack,
+            Reply::Published {
+                first_forward_hop: Some(3),
+                out: Outbound::default(),
+            },
+            Reply::Published {
+                first_forward_hop: None,
+                out: Outbound::default(),
+            },
+            Reply::NewsDelivered {
+                out: Outbound {
+                    sent: 2,
+                    bundles: vec![],
+                },
+                outcomes: vec![
+                    NewsOutcome {
+                        receiver: 5,
+                        first: Some(FirstReception {
+                            hop: 2,
+                            sender_liked: true,
+                            receiver_likes: false,
+                            dislikes: 3,
+                        }),
+                        forward: None,
+                    },
+                    NewsOutcome {
+                        receiver: 6,
+                        first: None,
+                        forward: Some((4, true)),
+                    },
+                ],
+            },
+        ];
+        for reply in replies {
+            assert_eq!(decode_reply(&encode_reply(&reply)), reply);
+        }
+    }
+
+    #[test]
+    fn params_roundtrip_all_presets() {
+        for p in [
+            Params::whatsup(7),
+            Params::whatsup_cos(3),
+            Params::cf(9, Metric::Wup),
+            Params::gossip(4),
+        ] {
+            let mut buf = BytesMut::new();
+            put_params(&mut buf, &p);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_params(&mut slice), p);
+        }
+    }
+
+    #[test]
+    fn framing_roundtrip_and_clean_eof() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, b"hello").unwrap();
+        write_frame(&mut pipe, b"").unwrap();
+        let mut r: &[u8] = &pipe;
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean eof");
+        let mut torn: &[u8] = &pipe[..2];
+        assert!(read_frame(&mut torn).is_err(), "eof inside header");
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-node mailboxes and the serialized mailbox-bundle exchange.
+//!
+//! A [`Mailbox`] owns the slots for one shard's node range. The route step
+//! fills slots in arrival order; the deliver step drains receivers in
+//! ascending id order. Bundles are encoded with the `whatsup-net` wire
+//! codec (`MAILBOX_BUNDLE` frames), so cross-shard traffic uses exactly the
+//! deployment stack's message encoding.
+
+use std::collections::HashMap;
+use whatsup_core::{ItemId, NewsItem, NodeId, Payload};
+use whatsup_net::codec;
+
+/// One addressed in-flight message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MailEntry {
+    pub to: NodeId,
+    pub from: NodeId,
+    pub payload: Payload,
+}
+
+/// The per-node mailboxes of one shard's id range.
+#[derive(Debug)]
+pub struct Mailbox {
+    /// First owned node id.
+    base: NodeId,
+    /// One slot per owned node, reused across rounds and cycles.
+    slots: Vec<Vec<(NodeId, Payload)>>,
+    /// Owned ids with mail, in first-touch order (sorted on drain).
+    receivers: Vec<NodeId>,
+}
+
+impl Mailbox {
+    pub fn new(range: std::ops::Range<NodeId>) -> Self {
+        Self {
+            base: range.start,
+            slots: (range.start..range.end).map(|_| Vec::new()).collect(),
+            receivers: Vec::new(),
+        }
+    }
+
+    fn slot_index(&self, id: NodeId) -> usize {
+        let local = id
+            .checked_sub(self.base)
+            .expect("message routed to the wrong shard") as usize;
+        assert!(local < self.slots.len(), "message routed to unknown node");
+        local
+    }
+
+    /// Appends one message to its receiver's slot (mailbox order is push
+    /// order — callers must push in the global total order).
+    pub fn push(&mut self, entry: MailEntry) {
+        let local = self.slot_index(entry.to);
+        if self.slots[local].is_empty() {
+            self.receivers.push(entry.to);
+        }
+        self.slots[local].push((entry.from, entry.payload));
+    }
+
+    /// The receivers with mail, ascending, clearing the bookkeeping for the
+    /// next round.
+    pub fn take_receivers(&mut self) -> Vec<NodeId> {
+        let mut out = std::mem::take(&mut self.receivers);
+        out.sort_unstable();
+        out
+    }
+
+    /// Drains one receiver's mail.
+    pub fn take_mail(&mut self, id: NodeId) -> Vec<(NodeId, Payload)> {
+        let local = self.slot_index(id);
+        std::mem::take(&mut self.slots[local])
+    }
+
+    /// Adds a slot for a node appended to this shard's range.
+    pub fn grow(&mut self) {
+        self.slots.push(Vec::new());
+    }
+}
+
+/// Encodes one shard's outbound mail for another shard as a wire bundle.
+/// `items` resolves news ids to content (news travels as content on the
+/// wire; ids are recomputed by the receiver).
+pub fn encode_shard_bundle(
+    from_shard: u32,
+    entries: &[(NodeId, NodeId, Payload)],
+    items: &HashMap<ItemId, NewsItem>,
+) -> bytes::Bytes {
+    codec::encode_bundle(from_shard, entries, |id| items.get(&id).cloned())
+}
+
+/// Decodes a wire bundle back into mail entries, registering every news
+/// item's content with `register` (the receiving shard caches it so its
+/// nodes can re-forward the item later).
+///
+/// # Panics
+/// Panics on malformed frames: bundles only travel the engine's own
+/// transports, so corruption is an engine bug.
+pub fn decode_shard_bundle(frame: &[u8], register: &mut impl FnMut(NewsItem)) -> Vec<MailEntry> {
+    let (_shard, message) = codec::decode(frame).expect("malformed shard bundle");
+    let codec::WireMessage::Bundle(entries) = message else {
+        panic!("expected a mailbox bundle frame");
+    };
+    entries
+        .into_iter()
+        .map(|e| {
+            if let codec::WireMessage::News { item, .. } = &e.message {
+                register(item.clone());
+            }
+            MailEntry {
+                to: e.to,
+                from: e.from,
+                payload: e.message.into_payload(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_core::{NewsMessage, Profile};
+
+    fn entry(to: NodeId, from: NodeId) -> MailEntry {
+        MailEntry {
+            to,
+            from,
+            payload: Payload::RpsRequest(vec![]),
+        }
+    }
+
+    #[test]
+    fn mailbox_preserves_push_order_and_sorts_receivers() {
+        let mut m = Mailbox::new(10..20);
+        m.push(entry(15, 1));
+        m.push(entry(12, 2));
+        m.push(entry(15, 3));
+        assert_eq!(m.take_receivers(), vec![12, 15]);
+        let mail = m.take_mail(15);
+        assert_eq!(mail.len(), 2);
+        assert_eq!((mail[0].0, mail[1].0), (1, 3), "push order kept");
+        assert!(m.take_receivers().is_empty(), "bookkeeping cleared");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong shard")]
+    fn foreign_id_rejected() {
+        Mailbox::new(10..20).push(entry(3, 0));
+    }
+
+    #[test]
+    fn bundle_roundtrip_restores_mail_and_registers_items() {
+        let item = NewsItem::new("t", "d", "l", 4, 2);
+        let mut items = HashMap::new();
+        items.insert(item.id(), item.clone());
+        let entries = vec![
+            (
+                7u32,
+                4u32,
+                Payload::News(NewsMessage {
+                    header: item.header(),
+                    profile: Profile::new(),
+                    dislikes: 0,
+                    hops: 1,
+                }),
+            ),
+            (8u32, 5u32, Payload::WupRequest(vec![])),
+        ];
+        let frame = encode_shard_bundle(0, &entries, &items);
+        let mut registered = Vec::new();
+        let mail = decode_shard_bundle(&frame, &mut |i| registered.push(i));
+        assert_eq!(mail.len(), 2);
+        assert_eq!((mail[0].to, mail[0].from), (7, 4));
+        assert_eq!(mail[0].payload, entries[0].2);
+        assert_eq!(mail[1].payload, entries[1].2);
+        assert_eq!(registered, vec![item]);
+    }
+}

@@ -1,0 +1,156 @@
+//! The sharded cycle engine for node-based protocols.
+//!
+//! Methodology (paper §IV/§V): time is a sequence of gossip cycles. Each
+//! cycle:
+//!
+//! 1. every node runs one RPS and one WUP exchange (requests and the
+//!    matching responses are delivered within the cycle);
+//! 2. the items scheduled for the cycle are published and each epidemic
+//!    runs to completion (hop-ordered BFS), which matches the paper's use
+//!    of the gossip cycle as time unit — dissemination is fast relative to
+//!    clustering dynamics.
+//!
+//! Message loss (§V-E) applies to every message of every protocol layer.
+//! The engine is a pure function of `(dataset, protocol, config)`.
+//!
+//! # Architecture: shards, phases, exchanges
+//!
+//! The node table is split into `S` *shards* — contiguous node-id ranges
+//! ([`partition::Partition`]) — each owning its nodes' full state:
+//! protocol stacks, per-node mailboxes ([`mailbox::Mailbox`]) and lazily
+//! derived phase RNGs ([`shard::ShardState`]). A cycle advances through
+//! *phases*; each phase is a lockstep round-trip driven by
+//! [`driver::Simulation`]:
+//!
+//! 1. **Collect** — every shard runs [`whatsup_core::WhatsUpNode::on_cycle`]
+//!    for its nodes in id order, emitting RPS/WUP requests.
+//! 2. **Route/exchange** — each shard groups its emissions by destination
+//!    shard and serializes each group into a *mailbox bundle* (the
+//!    `whatsup-net` wire codec's bundle frame: addressed single-message
+//!    frames, in `(sender id, emission order)` order). The driver forwards
+//!    every bundle to its destination shard through the pluggable
+//!    [`exchange::ShardTransport`]. Messages that stay on their own shard
+//!    skip serialization entirely and wait in the shard's local pending
+//!    queue.
+//! 3. **Deliver** — each shard merges the inbound bundles *in source-shard
+//!    order* (its own pending queue takes its shard's slot) into per-node
+//!    mailboxes, then drains each receiver in ascending id order, drawing
+//!    the per-message loss coin from the receiver's phase stream in mailbox
+//!    order. Replies feed the next route/deliver round until the cycle is
+//!    quiet (requests, then responses — gossip needs exactly two delivery
+//!    rounds).
+//! 4. **Churn** — shards draw per-node crash coins in parallel and report
+//!    `(crasher, contact)` pairs; the driver fetches the contacts' view
+//!    snapshots (all taken from the *pre-churn* state) from their owning
+//!    shards and hands each crashing shard the snapshots to rejoin from.
+//! 5. **Publish** — each scheduled item's epidemic runs as a BFS over the
+//!    same route/exchange/deliver machinery: all copies at hop distance `h`
+//!    are delivered before any copy at `h + 1`. Shards report per-receiver
+//!    reception outcomes; the driver folds them into the records in
+//!    receiver order.
+//!
+//! Two transports implement the exchange: an in-process one (shards as
+//! scoped worker threads trading `Vec<u8>` frames over channels) and a
+//! multi-process one (shards as `sim-shard-worker` child processes trading
+//! length-prefixed frames over stdio pipes). With a single shard the driver
+//! runs the shard inline. All three paths execute the same
+//! [`shard::ShardState`] code on the same command protocol.
+//!
+//! # Shard-exchange protocol
+//!
+//! Bundle layout (see `whatsup_net::codec`): `tag=MAILBOX_BUNDLE`,
+//! `from_shard:u32`, `count:u32`, then `count` entries of
+//! `to:u32 len:u32 frame`, where `frame` is the standard single-message
+//! wire frame — the simulator and the deployment stack share one message
+//! encoding, so anything that crosses a shard boundary is by construction
+//! expressible on the real network. News frames carry full item content;
+//! receiving shards recompute ids and cache content for re-forwarding,
+//! exactly like real receivers.
+//!
+//! Ordering guarantees, which make the exchange invisible to the results:
+//!
+//! * a bundle preserves the emitting shard's `(sender id, emission order)`
+//!   order;
+//! * receivers merge bundles in ascending source-shard order, and shard
+//!   ranges are contiguous and ascending — so every mailbox ends up in the
+//!   same global `(sender id, emission order)` total order a single-shard
+//!   run produces;
+//! * outcome folds (news receptions, churn resets) happen in ascending
+//!   receiver order across shards.
+//!
+//! # Determinism contract
+//!
+//! Reports are **bit-identical across shard counts and transports**
+//! (including the single-shard inline case) for a fixed seed, because no
+//! randomness or ordering leaks from the partitioned execution:
+//!
+//! * every node draws from its own counter-based RNG stream, derived by
+//!   [`node_stream`]`(seed, node, cycle, phase)` — never from a shared
+//!   generator, and never dependent on how many other nodes exist, where
+//!   the shard boundaries fall, or which transport moves the bundles.
+//!   Adding nodes (`add_joining_node`) therefore never shifts the streams
+//!   of existing nodes;
+//! * mailbox contents and the driver folds follow the fixed total orders
+//!   above;
+//! * message-loss coins are drawn from the *receiver's* stream at delivery
+//!   time, in mailbox order;
+//! * churn rejoins inherit contact views snapshotted from the pre-churn
+//!   state, so application order cannot matter;
+//! * the wire codec is lossless for everything behavior depends on
+//!   (profiles round-trip entry-exact, scores bit-exact, item ids are
+//!   recomputed from identical content).
+//!
+//! The interactive mutators (`add_joining_node`, `swap_interests`,
+//! `reset_node`) draw from a dedicated engine RNG on the driving thread and
+//! are deterministic in call order. They require the in-process engine; the
+//! multi-process driver covers the run-to-completion path.
+
+pub mod driver;
+pub mod exchange;
+pub mod mailbox;
+pub mod partition;
+pub mod shard;
+
+pub use driver::Simulation;
+pub use exchange::{ChannelTransport, Command, ProcessTransport, Reply, ShardTransport};
+pub use partition::Partition;
+pub use shard::{ShardInit, ShardState};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use whatsup_core::NodeId;
+
+/// Phase tags for [`node_stream`] derivation. Distinct phases of the same
+/// cycle must never share a stream, or coins drawn in one phase would shift
+/// draws in another depending on message volume.
+pub mod phase {
+    /// `on_cycle` emissions (RPS/WUP initiation).
+    pub const CYCLE: u8 = 0;
+    /// Gossip mailbox drains (request/response handling + loss coins).
+    pub const GOSSIP: u8 = 1;
+    /// Churn crash coin and rejoin contact choice.
+    pub const CHURN: u8 = 2;
+    /// News delivery (BEEP decisions + loss coins).
+    pub const NEWS: u8 = 3;
+}
+
+/// SplitMix64 finalizer.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The counter-based per-node RNG stream for one `(cycle, phase)`.
+///
+/// A pure function of its arguments: independent of node count, execution
+/// order, shard boundaries and transport. This is the engine's only source
+/// of randomness inside a cycle.
+pub fn node_stream(seed: u64, node: NodeId, cycle: u32, phase: u8) -> ChaCha8Rng {
+    const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = mix64(seed ^ GOLDEN.wrapping_mul(node as u64 ^ 0xfeed_5eed));
+    h = mix64(h ^ GOLDEN.wrapping_mul(cycle as u64 + 1));
+    h = mix64(h ^ GOLDEN.wrapping_mul(phase as u64 + 1));
+    ChaCha8Rng::seed_from_u64(h)
+}

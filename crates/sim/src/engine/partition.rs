@@ -1,0 +1,155 @@
+//! Contiguous node-id partition: shard `s` owns `[starts[s], starts[s+1])`.
+//!
+//! Contiguity is load-bearing for determinism: concatenating per-shard data
+//! in shard-index order equals concatenating it in node-id order, which is
+//! the total order the whole exchange protocol is built on.
+
+use whatsup_core::NodeId;
+
+/// The shard map. Balanced at construction (sizes differ by at most one);
+/// nodes joining mid-run extend the last shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `n_shards + 1` boundaries; `starts[0] == 0`, `starts[S] == total`.
+    starts: Vec<NodeId>,
+}
+
+impl Partition {
+    /// Splits `n` nodes into `shards` contiguous ranges, the first
+    /// `n % shards` ranges one node larger.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= shards <= n`.
+    pub fn new(n: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        assert!(shards <= n, "more shards ({shards}) than nodes ({n})");
+        let base = n / shards;
+        let extra = n % shards;
+        let mut starts = Vec::with_capacity(shards + 1);
+        let mut at = 0usize;
+        starts.push(0);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            starts.push(at as NodeId);
+        }
+        Self { starts }
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of nodes.
+    pub fn total(&self) -> usize {
+        *self.starts.last().expect("non-empty boundaries") as usize
+    }
+
+    /// The id range shard `s` owns.
+    pub fn range(&self, s: usize) -> std::ops::Range<NodeId> {
+        self.starts[s]..self.starts[s + 1]
+    }
+
+    /// The shard owning node `id`.
+    ///
+    /// # Panics
+    /// Panics for ids outside the population (a message addressed to an
+    /// unknown node is an engine bug, not a recoverable condition).
+    pub fn shard_of(&self, id: NodeId) -> usize {
+        assert!(
+            (id as usize) < self.total(),
+            "message addressed to unknown node {id}"
+        );
+        self.starts.partition_point(|&s| s <= id) - 1
+    }
+
+    /// Registers one node joining at the end of the id space (owned by the
+    /// last shard). Returns the new node's id.
+    pub fn push_node(&mut self) -> NodeId {
+        let id = *self.starts.last().expect("non-empty boundaries");
+        *self.starts.last_mut().expect("non-empty boundaries") = id + 1;
+        id
+    }
+
+    /// The raw boundaries (serialization support).
+    pub fn starts(&self) -> &[NodeId] {
+        &self.starts
+    }
+
+    /// Rebuilds a partition from its boundaries.
+    ///
+    /// # Panics
+    /// Panics unless the boundaries start at 0 and are non-decreasing with
+    /// at least one shard.
+    pub fn from_starts(starts: Vec<NodeId>) -> Self {
+        assert!(starts.len() >= 2, "need at least one shard");
+        assert_eq!(starts[0], 0, "partition must start at node 0");
+        assert!(
+            starts.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be non-decreasing"
+        );
+        Self { starts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_split_covers_all_ids() {
+        for n in [1usize, 2, 7, 100, 101] {
+            for s in 1..=n.min(8) {
+                let p = Partition::new(n, s);
+                assert_eq!(p.n_shards(), s);
+                assert_eq!(p.total(), n);
+                let mut seen = 0usize;
+                for shard in 0..s {
+                    let r = p.range(shard);
+                    for id in r.clone() {
+                        assert_eq!(p.shard_of(id), shard);
+                    }
+                    seen += r.len();
+                    // Balanced: sizes differ by at most one.
+                    assert!(r.len() >= n / s && r.len() <= n / s + 1);
+                }
+                assert_eq!(seen, n);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_ascending() {
+        let p = Partition::new(10, 3);
+        assert_eq!(p.range(0), 0..4);
+        assert_eq!(p.range(1), 4..7);
+        assert_eq!(p.range(2), 7..10);
+    }
+
+    #[test]
+    fn push_node_grows_last_shard() {
+        let mut p = Partition::new(6, 2);
+        assert_eq!(p.push_node(), 6);
+        assert_eq!(p.total(), 7);
+        assert_eq!(p.shard_of(6), 1);
+        assert_eq!(p.range(0), 0..3, "earlier shards untouched");
+    }
+
+    #[test]
+    fn starts_roundtrip() {
+        let p = Partition::new(11, 4);
+        let q = Partition::from_starts(p.starts().to_vec());
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn out_of_range_id_panics() {
+        Partition::new(4, 2).shard_of(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards")]
+    fn too_many_shards_rejected() {
+        Partition::new(2, 3);
+    }
+}

@@ -1,0 +1,436 @@
+//! One shard: the node states of a contiguous id range plus the phase
+//! logic the driver orchestrates.
+//!
+//! A shard mutates only its own nodes. Everything it learns about the rest
+//! of the network arrives as mailbox bundles or snapshot requests through
+//! the exchange protocol, and everything it emits leaves the same way —
+//! which is exactly what keeps the execution identical across shard counts
+//! and transports (see the module docs of [`crate::engine`]).
+
+use crate::engine::exchange::{self, Command, FirstReception, NewsOutcome, Outbound, Reply};
+use crate::engine::mailbox::{decode_shard_bundle, encode_shard_bundle, MailEntry, Mailbox};
+use crate::engine::partition::Partition;
+use crate::engine::{node_stream, phase};
+use crate::oracle::Oracle;
+use bytes::Bytes;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use whatsup_core::{
+    ColdStart, ItemId, NewsItem, NodeId, Opinions, OutMessage, Params, Payload, Profile,
+    WhatsUpNode,
+};
+
+/// Everything needed to build one shard's state — produced by the driver,
+/// consumed directly (in-process) or via `exchange::encode_init` (worker
+/// processes). Both paths construct through [`ShardState::from_init`], so
+/// the transports cannot diverge at bootstrap.
+#[derive(Debug, Clone)]
+pub struct ShardInit {
+    pub index: usize,
+    pub partition: Partition,
+    pub seed: u64,
+    pub loss: f64,
+    pub churn: f64,
+    pub params: Params,
+    pub oracle: Oracle,
+    /// Bootstrap contacts per owned node, in local id order (drawn by the
+    /// driver so the engine RNG stays on the driving thread).
+    pub bootstrap: Vec<Vec<NodeId>>,
+}
+
+/// The owned state of one shard.
+pub struct ShardState {
+    index: usize,
+    partition: Partition,
+    seed: u64,
+    loss: f64,
+    churn: f64,
+    params: Params,
+    /// This shard's oracle copy; the driver keeps every copy in lockstep
+    /// when interests are re-mapped.
+    oracle: Oracle,
+    nodes: Vec<WhatsUpNode>,
+    /// Per-node phase RNGs, lazily derived per `(cycle, phase)`.
+    phase_rngs: Vec<Option<ChaCha8Rng>>,
+    mailbox: Mailbox,
+    /// Self-destined emissions of the current round, merged (unserialized)
+    /// into the mailboxes at this shard's slot of the next deliver.
+    pending_local: Vec<MailEntry>,
+    /// News content this shard can re-encode (learned from publishes and
+    /// inbound news frames, like a real receiver).
+    known_items: HashMap<ItemId, NewsItem>,
+}
+
+impl ShardState {
+    /// Builds the shard: fresh nodes for the owned range, views seeded from
+    /// the driver-drawn bootstrap contacts (empty profiles, RPS gets all
+    /// contacts, WUP the first half).
+    pub fn from_init(init: ShardInit) -> Self {
+        let range = init.partition.range(init.index);
+        assert_eq!(range.len(), init.bootstrap.len(), "bootstrap list mismatch");
+        let mut nodes = Vec::with_capacity(range.len());
+        for (local, id) in range.clone().enumerate() {
+            let mut node = WhatsUpNode::new(id, init.params.clone());
+            let contacts = &init.bootstrap[local];
+            let wup_take = (contacts.len() / 2).max(1);
+            node.seed_views(
+                contacts.iter().map(|&c| (c, Profile::new())),
+                contacts.iter().take(wup_take).map(|&c| (c, Profile::new())),
+            );
+            nodes.push(node);
+        }
+        let n_local = nodes.len();
+        Self {
+            index: init.index,
+            partition: init.partition,
+            seed: init.seed,
+            loss: init.loss,
+            churn: init.churn,
+            params: init.params,
+            oracle: init.oracle,
+            nodes,
+            phase_rngs: vec![None; n_local],
+            mailbox: Mailbox::new(range),
+            pending_local: Vec::new(),
+            known_items: HashMap::new(),
+        }
+    }
+
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    fn base(&self) -> NodeId {
+        self.partition.range(self.index).start
+    }
+
+    fn local(&self, id: NodeId) -> usize {
+        let local = id
+            .checked_sub(self.base())
+            .expect("node not owned by this shard") as usize;
+        assert!(local < self.nodes.len(), "node not owned by this shard");
+        local
+    }
+
+    /// The owned node `id`.
+    pub fn node(&self, id: NodeId) -> &WhatsUpNode {
+        &self.nodes[self.local(id)]
+    }
+
+    /// The owned nodes, in id order.
+    pub fn nodes(&self) -> &[WhatsUpNode] {
+        &self.nodes
+    }
+
+    /// Replaces an owned node's state (interactive resets).
+    pub fn replace_node(&mut self, id: NodeId, node: WhatsUpNode) {
+        let local = self.local(id);
+        self.nodes[local] = node;
+    }
+
+    /// View snapshot of an owned node.
+    pub fn snapshot_of(&self, id: NodeId) -> ColdStart {
+        self.node(id).views_snapshot()
+    }
+
+    /// This shard's oracle copy (the driver keeps all copies in lockstep).
+    pub fn oracle_mut(&mut self) -> &mut Oracle {
+        &mut self.oracle
+    }
+
+    /// Registers a node joining at the end of the id space. Every shard
+    /// updates its partition copy; the last shard additionally receives the
+    /// node's state via `node`.
+    pub fn admit(&mut self, node: Option<WhatsUpNode>) {
+        let id = self.partition.push_node();
+        if let Some(node) = node {
+            assert_eq!(
+                self.index + 1,
+                self.partition.n_shards(),
+                "joiners belong to the last shard"
+            );
+            assert_eq!(node.id(), id, "joiner id must be the next free id");
+            self.nodes.push(node);
+            self.phase_rngs.push(None);
+            self.mailbox.grow();
+        }
+    }
+
+    /// Executes one phase command. The single entry point shared by the
+    /// inline driver, the channel workers and the worker processes.
+    pub fn handle(&mut self, cmd: Command) -> Reply {
+        match cmd {
+            Command::Collect { cycle } => Reply::Outbound(self.collect(cycle)),
+            Command::DeliverGossip { cycle, bundles } => {
+                Reply::Outbound(self.deliver_gossip(cycle, &bundles))
+            }
+            Command::ChurnDecide { cycle } => Reply::ChurnDecisions(self.churn_decide(cycle)),
+            Command::TakeSnapshots { ids } => Reply::Snapshots(
+                ids.iter()
+                    .map(|&id| exchange::encode_cold_start(&self.snapshot_of(id)))
+                    .collect(),
+            ),
+            Command::ApplyChurn { resets } => {
+                self.apply_churn(&resets);
+                Reply::Ack
+            }
+            Command::BeginNews => {
+                self.phase_rngs.iter_mut().for_each(|r| *r = None);
+                Reply::Ack
+            }
+            Command::Publish { cycle, item } => self.publish(cycle, item),
+            Command::DeliverNews {
+                cycle,
+                item,
+                bundles,
+            } => self.deliver_news(cycle, item, &bundles),
+            Command::Stop => Reply::Ack,
+        }
+    }
+
+    /// Groups emissions by destination shard: local mail queues without
+    /// serialization, remote mail becomes one wire bundle per destination
+    /// (in emission order, which the emitting loops keep in `(sender id,
+    /// emission order)` order).
+    fn route_out(&mut self, emissions: Vec<(NodeId, OutMessage)>) -> Outbound {
+        let shards = self.partition.n_shards();
+        let sent = emissions.len() as u64;
+        let mut per_dest: Vec<Vec<(NodeId, NodeId, Payload)>> = vec![Vec::new(); shards];
+        for (from, m) in emissions {
+            let dest = self.partition.shard_of(m.to);
+            if dest == self.index {
+                self.pending_local.push(MailEntry {
+                    to: m.to,
+                    from,
+                    payload: m.payload,
+                });
+            } else {
+                per_dest[dest].push((m.to, from, m.payload));
+            }
+        }
+        let bundles = per_dest
+            .iter()
+            .map(|entries| {
+                if entries.is_empty() {
+                    Bytes::new()
+                } else {
+                    encode_shard_bundle(self.index as u32, entries, &self.known_items)
+                }
+            })
+            .collect();
+        Outbound { sent, bundles }
+    }
+
+    /// Merges one round's inbound mail into the per-node mailboxes, in
+    /// ascending source-shard order (this shard's own pending queue takes
+    /// its slot). With contiguous ascending shard ranges this reproduces
+    /// the global `(sender id, emission order)` mailbox order of a
+    /// single-shard run.
+    fn merge_inbound(&mut self, bundles: &[Bytes]) {
+        debug_assert_eq!(bundles.len(), self.partition.n_shards());
+        for (src, bundle) in bundles.iter().enumerate() {
+            if src == self.index {
+                for entry in std::mem::take(&mut self.pending_local) {
+                    self.mailbox.push(entry);
+                }
+            } else if !bundle.is_empty() {
+                let known = &mut self.known_items;
+                let entries = decode_shard_bundle(bundle, &mut |item| {
+                    known.insert(item.id(), item);
+                });
+                for entry in entries {
+                    self.mailbox.push(entry);
+                }
+            }
+        }
+    }
+
+    /// Collect phase: every owned node's cycle tick, in id order.
+    fn collect(&mut self, cycle: u32) -> Outbound {
+        // Fresh gossip-phase streams for the delivery rounds that follow.
+        self.phase_rngs.iter_mut().for_each(|r| *r = None);
+        let base = self.base();
+        let seed = self.seed;
+        let mut emissions: Vec<(NodeId, OutMessage)> = Vec::new();
+        for (local, node) in self.nodes.iter_mut().enumerate() {
+            let id = base + local as NodeId;
+            let mut rng = node_stream(seed, id, cycle, phase::CYCLE);
+            for m in node.on_cycle(cycle, &mut rng) {
+                emissions.push((id, m));
+            }
+        }
+        self.route_out(emissions)
+    }
+
+    /// One gossip delivery round over the owned receivers, ascending.
+    fn deliver_gossip(&mut self, cycle: u32, bundles: &[Bytes]) -> Outbound {
+        self.merge_inbound(bundles);
+        let receivers = self.mailbox.take_receivers();
+        let base = self.base();
+        let seed = self.seed;
+        let loss = self.loss;
+        let mut emissions: Vec<(NodeId, OutMessage)> = Vec::new();
+        let Self {
+            nodes,
+            phase_rngs,
+            mailbox,
+            oracle,
+            ..
+        } = self;
+        for id in receivers {
+            let local = (id - base) as usize;
+            let mail = mailbox.take_mail(id);
+            let rng = phase_rngs[local]
+                .get_or_insert_with(|| node_stream(seed, id, cycle, phase::GOSSIP));
+            let node = &mut nodes[local];
+            for (from, payload) in mail {
+                if loss > 0.0 && rng.gen_bool(loss) {
+                    continue;
+                }
+                for reply in node.on_message(from, payload, cycle, oracle, rng) {
+                    debug_assert!(
+                        !matches!(reply.payload, Payload::News(_)),
+                        "news cannot appear in the gossip phase"
+                    );
+                    emissions.push((id, reply));
+                }
+            }
+        }
+        self.route_out(emissions)
+    }
+
+    /// Churn coins for the owned nodes: each node crashes with probability
+    /// `churn` and picks a uniform rejoin contact from the whole
+    /// population, all from its own CHURN stream.
+    fn churn_decide(&mut self, cycle: u32) -> Vec<(NodeId, NodeId)> {
+        let n = self.partition.total();
+        let mut pairs = Vec::new();
+        for id in self.partition.range(self.index) {
+            let mut rng = node_stream(self.seed, id, cycle, phase::CHURN);
+            if rng.gen_bool(self.churn) {
+                let contact = loop {
+                    let c = rng.gen_range(0..n);
+                    if c != id as usize {
+                        break c;
+                    }
+                };
+                pairs.push((id, contact as NodeId));
+            }
+        }
+        pairs
+    }
+
+    /// Applies churn resets: each crashed node rejoins as a fresh instance
+    /// cold-started from its contact's (pre-churn) view snapshot. Snapshot
+    /// state makes the application order irrelevant.
+    fn apply_churn(&mut self, resets: &[(NodeId, Bytes)]) {
+        for (id, frame) in resets {
+            let snapshot = exchange::decode_cold_start(frame);
+            let mut fresh = WhatsUpNode::new(*id, self.params.clone());
+            fresh.cold_start(snapshot, &self.oracle);
+            let local = self.local(*id);
+            self.nodes[local] = fresh;
+        }
+    }
+
+    /// Publishes `item` from its source node (owned by this shard), drawing
+    /// from the source's NEWS stream (shared with its deliveries this
+    /// cycle).
+    fn publish(&mut self, cycle: u32, item: NewsItem) -> Reply {
+        let item_id = item.id();
+        self.known_items.insert(item_id, item.clone());
+        let source = item.source;
+        let local = self.local(source);
+        let seed = self.seed;
+        let out = {
+            let rng = self.phase_rngs[local]
+                .get_or_insert_with(|| node_stream(seed, source, cycle, phase::NEWS));
+            self.nodes[local].publish(&item, cycle, rng)
+        };
+        let first_forward_hop = match out.first().map(|m| &m.payload) {
+            Some(Payload::News(first)) => Some(first.hops),
+            _ => None,
+        };
+        let emissions = out.into_iter().map(|m| (source, m)).collect();
+        Reply::Published {
+            first_forward_hop,
+            out: self.route_out(emissions),
+        }
+    }
+
+    /// One news (BFS) delivery round over the owned receivers, ascending,
+    /// reporting per-receiver reception outcomes for the driver's fold.
+    fn deliver_news(&mut self, cycle: u32, item_id: ItemId, bundles: &[Bytes]) -> Reply {
+        self.merge_inbound(bundles);
+        let receivers = self.mailbox.take_receivers();
+        let base = self.base();
+        let seed = self.seed;
+        let loss = self.loss;
+        let mut emissions: Vec<(NodeId, OutMessage)> = Vec::new();
+        let mut outcomes = Vec::with_capacity(receivers.len());
+        let Self {
+            nodes,
+            phase_rngs,
+            mailbox,
+            oracle,
+            ..
+        } = self;
+        for id in receivers {
+            let local = (id - base) as usize;
+            let mail = mailbox.take_mail(id);
+            let rng =
+                phase_rngs[local].get_or_insert_with(|| node_stream(seed, id, cycle, phase::NEWS));
+            let node = &mut nodes[local];
+            let mut outcome = NewsOutcome {
+                receiver: id,
+                first: None,
+                forward: None,
+            };
+            for (from, payload) in mail {
+                if loss > 0.0 && rng.gen_bool(loss) {
+                    continue;
+                }
+                let Payload::News(news) = &payload else {
+                    unreachable!("only news flows in the publication phase")
+                };
+                debug_assert_eq!(news.header.id, item_id);
+                if !node.has_seen(item_id) {
+                    outcome.first = Some(FirstReception {
+                        hop: news.hops + 1,
+                        sender_liked: oracle.likes(from, item_id),
+                        receiver_likes: oracle.likes(id, item_id),
+                        dislikes: news.dislikes,
+                    });
+                }
+                let replies = node.on_message(from, payload, cycle, oracle, rng);
+                if let Some(Payload::News(first_out)) = replies.first().map(|m| &m.payload) {
+                    outcome.forward = Some((first_out.hops, oracle.likes(id, item_id)));
+                }
+                emissions.extend(replies.into_iter().map(|m| (id, m)));
+            }
+            outcomes.push(outcome);
+        }
+        Reply::NewsDelivered {
+            out: self.route_out(emissions),
+            outcomes,
+        }
+    }
+}
+
+/// The worker serve loop: decode a command frame, execute, reply — until a
+/// `Stop` command or the input closes. Shared verbatim by the in-process
+/// channel workers and the `sim-shard-worker` binary.
+pub fn serve(
+    state: &mut ShardState,
+    mut next: impl FnMut() -> Option<Vec<u8>>,
+    mut send: impl FnMut(Vec<u8>),
+) {
+    while let Some(frame) = next() {
+        let cmd = exchange::decode_command(&frame);
+        if matches!(cmd, Command::Stop) {
+            return;
+        }
+        send(exchange::encode_reply(&state.handle(cmd)));
+    }
+}

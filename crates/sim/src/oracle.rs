@@ -11,15 +11,21 @@
 //! node's current interests. The matrix itself never changes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use whatsup_core::{ItemId, NodeId, Opinions};
 use whatsup_datasets::LikeMatrix;
 
 /// Ground-truth oracle mapping protocol-level ids to dataset rows/columns.
+///
+/// The matrix and the id map are immutable and shared (`Arc`), so the
+/// sharded engine can hand every shard its own oracle for the price of the
+/// alias vector; only `alias` is per-clone state, and the engine keeps all
+/// copies in lockstep when interests are re-mapped.
 #[derive(Debug, Clone)]
 pub struct Oracle {
-    matrix: LikeMatrix,
+    matrix: Arc<LikeMatrix>,
     /// Item content-hash → dataset item index.
-    id_to_index: HashMap<ItemId, u32>,
+    id_to_index: Arc<HashMap<ItemId, u32>>,
     /// Node → matrix row (identity for the initial population).
     alias: Vec<u32>,
 }
@@ -28,10 +34,37 @@ impl Oracle {
     pub fn new(matrix: LikeMatrix, id_to_index: HashMap<ItemId, u32>) -> Self {
         let alias = (0..matrix.n_users() as u32).collect();
         Self {
-            matrix,
-            id_to_index,
+            matrix: Arc::new(matrix),
+            id_to_index: Arc::new(id_to_index),
             alias,
         }
+    }
+
+    /// Rebuilds an oracle from serialized parts, preserving a non-identity
+    /// alias (shard-worker init path).
+    ///
+    /// # Panics
+    /// Panics if an alias entry names a row outside the matrix.
+    pub fn restore(matrix: LikeMatrix, id_to_index: HashMap<ItemId, u32>, alias: Vec<u32>) -> Self {
+        assert!(
+            alias.iter().all(|&r| (r as usize) < matrix.n_users()),
+            "alias row out of range"
+        );
+        Self {
+            matrix: Arc::new(matrix),
+            id_to_index: Arc::new(id_to_index),
+            alias,
+        }
+    }
+
+    /// The current node → matrix-row aliasing.
+    pub fn alias(&self) -> &[u32] {
+        &self.alias
+    }
+
+    /// The item content-hash → dataset index map.
+    pub fn id_map(&self) -> &HashMap<ItemId, u32> {
+        &self.id_to_index
     }
 
     /// Number of protocol-level nodes (grows as joiners are added).

@@ -1,6 +1,7 @@
 //! The engine's concurrency contract: reports are bit-identical across
-//! worker-thread counts, and per-node RNG streams are stable under node
-//! insertion (see the `engine` module docs for the full contract).
+//! shard counts and exchange transports, and per-node RNG streams are
+//! stable under node insertion (see the `engine` module docs for the full
+//! contract).
 
 use proptest::prelude::*;
 use rand::RngCore;
@@ -21,36 +22,63 @@ fn cfg() -> SimConfig {
     }
 }
 
-fn run_with_threads(threads: usize, cfg: SimConfig) -> SimReport {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("pool");
-    pool.install(|| Simulation::new(&dataset(), Protocol::WhatsUp { f_like: 5 }, cfg).run())
+fn run_with_shards(shards: usize, base: SimConfig) -> SimReport {
+    let cfg = SimConfig { shards, ..base };
+    Simulation::new(&dataset(), Protocol::WhatsUp { f_like: 5 }, cfg).run()
 }
 
 #[test]
-fn report_is_bit_identical_across_thread_counts() {
-    let sequential = run_with_threads(1, cfg());
-    for threads in [2, 4, 8] {
-        let parallel = run_with_threads(threads, cfg());
+fn report_is_bit_identical_across_shard_counts() {
+    let single = run_with_shards(1, cfg());
+    for shards in [2, 4] {
+        let sharded = run_with_shards(shards, cfg());
         assert_eq!(
-            sequential, parallel,
-            "1-thread and {threads}-thread runs must produce identical reports"
+            single, sharded,
+            "1-shard and {shards}-shard runs must produce identical reports"
         );
     }
 }
 
 #[test]
-fn report_is_bit_identical_across_thread_counts_with_loss_and_churn() {
+fn report_is_bit_identical_across_shard_counts_with_loss_and_churn() {
     let noisy = SimConfig {
         loss: 0.2,
         churn_per_cycle: 0.03,
         ..cfg()
     };
-    let sequential = run_with_threads(1, noisy.clone());
-    let parallel = run_with_threads(8, noisy);
-    assert_eq!(sequential, parallel);
+    let single = run_with_shards(1, noisy.clone());
+    for shards in [2, 4] {
+        let sharded = run_with_shards(shards, noisy.clone());
+        assert_eq!(
+            single, sharded,
+            "{shards} shards diverged under loss + churn"
+        );
+    }
+}
+
+#[test]
+fn multiprocess_transport_matches_in_process() {
+    // Small config: the multi-process path pays ~per-shard process spawn,
+    // so keep the population modest but the noise knobs on.
+    let d = survey::generate(&SurveyConfig::paper().scaled(0.08), 11);
+    let base = SimConfig {
+        cycles: 12,
+        publish_from: 2,
+        measure_from: 5,
+        loss: 0.1,
+        churn_per_cycle: 0.02,
+        shards: 2,
+        ..Default::default()
+    };
+    let in_process = Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, base.clone()).run();
+    let worker = std::path::Path::new(env!("CARGO_BIN_EXE_sim-shard-worker"));
+    let multi_process =
+        Simulation::run_multiprocess(&d, Protocol::WhatsUp { f_like: 4 }, base, worker)
+            .expect("worker processes run");
+    assert_eq!(
+        in_process, multi_process,
+        "stdio-pipe transport must match the channel transport bit for bit"
+    );
 }
 
 #[test]
@@ -60,7 +88,7 @@ fn joining_node_does_not_shift_existing_streams() {
     // either the population size or the insertions — the old shared-RNG
     // engine violated both (bootstrap and joiners consumed shared draws).
     // That the engine actually *uses* these streams for all per-cycle
-    // behavior is pinned separately by the bit-identical-across-thread-count
+    // behavior is pinned separately by the bit-identical-across-shard-count
     // tests above: any hidden shared generator would break those.
     let small = survey::generate(&SurveyConfig::paper().scaled(0.12), 42);
     let large = survey::generate(&SurveyConfig::paper().scaled(0.5), 42);
@@ -87,6 +115,39 @@ fn joining_node_does_not_shift_existing_streams() {
     }
 }
 
+#[test]
+fn interactive_mutators_match_across_shard_counts() {
+    // Joiners and interest swaps touch every shard's oracle copy and the
+    // partition; the traces they feed (Fig. 7) must not see the shard count.
+    let d = survey::generate(&SurveyConfig::paper().scaled(0.1), 55);
+    let run = |shards: usize| {
+        let cfg = SimConfig { shards, ..cfg() };
+        let mut sim = Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, cfg);
+        let mut trace = Vec::new();
+        let mut joiner = None;
+        while sim.current_cycle() < 18 {
+            if sim.current_cycle() == 8 {
+                joiner = Some(sim.add_joining_node(0));
+                sim.swap_interests(1, 2);
+            }
+            sim.step();
+            if let Some(j) = joiner {
+                trace.push((
+                    sim.interest_view_similarity(j).to_bits(),
+                    sim.liked_receptions_last_cycle(j),
+                ));
+            }
+        }
+        (trace, sim.into_report())
+    };
+    let (trace1, report1) = run(1);
+    for shards in [2, 3] {
+        let (trace, report) = run(shards);
+        assert_eq!(trace1, trace, "{shards}-shard dynamics trace diverged");
+        assert_eq!(report1, report, "{shards}-shard report diverged");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -109,5 +170,45 @@ proptest! {
         prop_assert_ne!(draw(node, cycle, phase::CYCLE), draw(node + 1, cycle, phase::CYCLE));
         prop_assert_ne!(draw(node, cycle, phase::CYCLE), draw(node, cycle + 1, phase::CYCLE));
         prop_assert_ne!(draw(node, cycle, phase::CYCLE), draw(node, cycle, phase::GOSSIP));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The headline acceptance property: for random seeds and noise knobs,
+    /// the report is bit-identical for 1, 2 and 4 shards — message loss and
+    /// churn included. (Few cases: each runs six full simulations.)
+    #[test]
+    fn shard_counts_are_bit_identical_under_random_noise(
+        seed in 1u64..1_000_000,
+        loss in 0.0f64..0.4,
+        churn in 0.0f64..0.08,
+    ) {
+        let d = survey::generate(&SurveyConfig::paper().scaled(0.08), 7);
+        let base = SimConfig {
+            cycles: 12,
+            publish_from: 2,
+            measure_from: 5,
+            seed,
+            loss,
+            churn_per_cycle: churn,
+            ..Default::default()
+        };
+        let reference = Simulation::new(
+            &d,
+            Protocol::WhatsUp { f_like: 4 },
+            SimConfig { shards: 1, ..base.clone() },
+        )
+        .run();
+        for shards in [2usize, 4] {
+            let sharded = Simulation::new(
+                &d,
+                Protocol::WhatsUp { f_like: 4 },
+                SimConfig { shards, ..base.clone() },
+            )
+            .run();
+            prop_assert_eq!(&reference, &sharded, "shards={} diverged", shards);
+        }
     }
 }

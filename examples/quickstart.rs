@@ -20,11 +20,15 @@ fn main() {
     );
 
     // 2. A simulation shape: 65 gossip cycles, items published throughout,
-    //    metrics over items published after the clustering ramp.
+    //    metrics over items published after the clustering ramp. `shards: 0`
+    //    partitions the node table across one engine shard per core —
+    //    results are bit-identical for every shard count, so this is purely
+    //    a throughput knob.
     let cfg = SimConfig {
         cycles: 65,
         publish_from: 3,
         measure_from: 20,
+        shards: 0,
         ..Default::default()
     };
 
