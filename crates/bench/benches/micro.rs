@@ -9,7 +9,7 @@ use std::hint::black_box;
 use whatsup_core::prelude::*;
 use whatsup_core::similarity::jaccard_similarity;
 use whatsup_datasets::{survey, SurveyConfig};
-use whatsup_sim::{Protocol, SimConfig, Simulation};
+use whatsup_sim::{Protocol, Runner, SimConfig};
 
 fn profile_with(n: usize, offset: u64) -> Profile {
     Profile::from_entries((0..n as u64).map(|i| ProfileEntry {
@@ -139,12 +139,9 @@ fn bench_simulation(c: &mut Criterion) {
     };
     group.bench_function("survey48users_10cycles", |bench| {
         bench.iter(|| {
-            Simulation::new(
-                black_box(&dataset),
-                Protocol::WhatsUp { f_like: 5 },
-                cfg.clone(),
-            )
-            .run()
+            Runner::new(black_box(&dataset), Protocol::WhatsUp { f_like: 5 })
+                .config(cfg.clone())
+                .run()
         })
     });
     group.finish();

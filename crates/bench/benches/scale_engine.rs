@@ -1,19 +1,24 @@
 //! Engine scaling: single-run throughput (cycles/sec) across shard counts
-//! (1/2/4) at 1k/5k/20k nodes.
+//! (1/2/4) at 1k/5k/20k nodes, under a uniform and a flash-crowd
+//! publication workload.
 //!
 //! The sharded engine is deterministic across shard counts, so the speedup
 //! columns are pure wall-clock: same seed, same report, more shard worker
 //! threads. On a single-core host the ratio is ~1.0 by construction (one
 //! shard runs inline; more shards add exchange overhead without
-//! parallelism).
+//! parallelism). The flash-crowd axis stresses the publication phase: a
+//! quarter of the items disseminate in one cycle, which is where the
+//! sparse-BFS-tail round-trip skipping pays.
 //!
 //! `WHATSUP_SCALE_MAX_NODES=<n>` caps the largest population (useful for
 //! quick local/CI runs); the default exercises all three sizes. Rows are
-//! saved as JSON: `[nodes, shards, cycles_per_sec, messages]`.
+//! saved as JSON: `[nodes, shards, workload (0 = uniform, 1 = flash),
+//! cycles_per_sec, messages]`.
 
 use std::time::Instant;
 use whatsup_datasets::{survey, SurveyConfig};
-use whatsup_sim::{Protocol, SimConfig, Simulation};
+use whatsup_sim::scenario::{Scenario, Workload};
+use whatsup_sim::{Protocol, Runner, SimConfig};
 
 const CYCLES: u32 = 10;
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -29,7 +34,20 @@ fn dataset(n_users: usize) -> whatsup_datasets::Dataset {
     survey::generate(&cfg, 7)
 }
 
-fn run(dataset: &whatsup_datasets::Dataset, shards: usize) -> (f64, u64) {
+fn workloads() -> [(&'static str, Workload); 2] {
+    [
+        ("uniform", Workload::Uniform),
+        (
+            "flash",
+            Workload::FlashCrowd {
+                at: 5,
+                fraction: 0.25,
+            },
+        ),
+    ]
+}
+
+fn run(dataset: &whatsup_datasets::Dataset, shards: usize, workload: Workload) -> (f64, u64) {
     let cfg = SimConfig {
         cycles: CYCLES,
         publish_from: 2,
@@ -38,7 +56,10 @@ fn run(dataset: &whatsup_datasets::Dataset, shards: usize) -> (f64, u64) {
         ..Default::default()
     };
     let started = Instant::now();
-    let report = Simulation::new(dataset, Protocol::WhatsUp { f_like: 5 }, cfg).run();
+    let report = Runner::new(dataset, Protocol::WhatsUp { f_like: 5 })
+        .config(cfg)
+        .scenario(Scenario::default().with_workload(workload))
+        .run();
     let secs = started.elapsed().as_secs_f64();
     (
         CYCLES as f64 / secs,
@@ -49,7 +70,7 @@ fn run(dataset: &whatsup_datasets::Dataset, shards: usize) -> (f64, u64) {
 fn main() {
     let t = whatsup_bench::start(
         "scale_engine",
-        "single-run engine scaling across shard counts",
+        "single-run engine scaling across shard counts and workloads",
     );
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -60,37 +81,46 @@ fn main() {
         .unwrap_or(20_000);
     println!("host parallelism: {cores} core(s); {CYCLES} cycles per run\n");
     println!(
-        "{:>8} {:>7} {:>12} {:>9} {:>12}",
-        "nodes", "shards", "cyc/s", "vs 1-sh", "messages"
+        "{:>8} {:>8} {:>7} {:>12} {:>9} {:>12}",
+        "nodes", "workload", "shards", "cyc/s", "vs 1-sh", "messages"
     );
     let mut rows = Vec::new();
     for &n in [1_000usize, 5_000, 20_000].iter().filter(|&&n| n <= cap) {
         let d = dataset(n);
-        let mut baseline = 0.0f64;
-        let mut baseline_msgs = 0u64;
-        for &shards in &SHARD_COUNTS {
-            let (cps, msgs) = run(&d, shards);
-            if shards == 1 {
-                baseline = cps;
-                baseline_msgs = msgs;
-            } else {
-                assert_eq!(
-                    msgs, baseline_msgs,
-                    "shard count changed the traffic — determinism broken"
+        for (w_id, (w_name, workload)) in workloads().into_iter().enumerate() {
+            let mut baseline = 0.0f64;
+            let mut baseline_msgs = 0u64;
+            for &shards in &SHARD_COUNTS {
+                let (cps, msgs) = run(&d, shards, workload.clone());
+                if shards == 1 {
+                    baseline = cps;
+                    baseline_msgs = msgs;
+                } else {
+                    assert_eq!(
+                        msgs, baseline_msgs,
+                        "shard count changed the traffic — determinism broken"
+                    );
+                }
+                let speedup = cps / baseline;
+                println!(
+                    "{:>8} {:>8} {:>7} {:>12.2} {:>8.2}x {:>12}",
+                    d.n_users(),
+                    w_name,
+                    shards,
+                    cps,
+                    speedup,
+                    msgs
                 );
+                rows.push(vec![
+                    d.n_users() as f64,
+                    shards as f64,
+                    w_id as f64,
+                    cps,
+                    msgs as f64,
+                ]);
             }
-            let speedup = cps / baseline;
-            println!(
-                "{:>8} {:>7} {:>12.2} {:>8.2}x {:>12}",
-                d.n_users(),
-                shards,
-                cps,
-                speedup,
-                msgs
-            );
-            rows.push(vec![d.n_users() as f64, shards as f64, cps, msgs as f64]);
+            println!();
         }
-        println!();
     }
     whatsup_bench::experiments::save_json("scale_engine", &rows);
     whatsup_bench::finish("scale_engine", t);

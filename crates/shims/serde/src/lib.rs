@@ -40,6 +40,160 @@ pub mod json {
         Object(BTreeMap<String, Value>),
     }
 
+    impl Value {
+        /// Builds an object from `(key, value)` pairs (later duplicates win).
+        pub fn object<K: Into<String>>(entries: impl IntoIterator<Item = (K, Value)>) -> Value {
+            Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k.into(), v))
+                    .collect::<BTreeMap<_, _>>(),
+            )
+        }
+
+        /// Object field lookup (`None` for non-objects and missing keys).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(map) => map.get(key),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Renders strict JSON with two-space indentation.
+        pub fn pretty(&self) -> String {
+            let mut out = String::new();
+            self.render(&mut out, Some(0));
+            out
+        }
+
+        fn render(&self, out: &mut String, indent: Option<usize>) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Number(n) => render_number(out, *n),
+                Value::String(s) => render_string(out, s),
+                Value::Array(items) => {
+                    render_seq(out, indent, items.len(), b'[', |out, i, inner| {
+                        items[i].render(out, inner)
+                    })
+                }
+                Value::Object(map) => {
+                    let entries: Vec<(&String, &Value)> = map.iter().collect();
+                    render_seq(out, indent, entries.len(), b'{', |out, i, inner| {
+                        render_string(out, entries[i].0);
+                        out.push_str(": ");
+                        entries[i].1.render(out, inner);
+                    })
+                }
+            }
+        }
+    }
+
+    /// Renders JSON text: compact via `Display`, indented via [`Value::pretty`].
+    impl fmt::Display for Value {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let mut out = String::new();
+            self.render(&mut out, None);
+            f.write_str(&out)
+        }
+    }
+
+    fn render_number(out: &mut String, n: f64) {
+        if n.is_finite() {
+            // Rust's shortest round-trip float formatting is valid JSON.
+            out.push_str(&format!("{n}"));
+        } else {
+            // JSON has no infinities/NaN; null is the conventional stand-in.
+            out.push_str("null");
+        }
+    }
+
+    fn render_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn render_seq(
+        out: &mut String,
+        indent: Option<usize>,
+        len: usize,
+        open: u8,
+        mut item: impl FnMut(&mut String, usize, Option<usize>),
+    ) {
+        let close = if open == b'[' { ']' } else { '}' };
+        out.push(open as char);
+        if len == 0 {
+            out.push(close);
+            return;
+        }
+        let inner = indent.map(|d| d + 1);
+        for i in 0..len {
+            if i > 0 {
+                out.push(',');
+            }
+            match inner {
+                Some(d) => {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(d));
+                }
+                None if i > 0 => out.push(' '),
+                None => {}
+            }
+            item(out, i, inner);
+        }
+        if let Some(d) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(d));
+        }
+        out.push(close);
+    }
+
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct Error {
         message: String,
@@ -147,11 +301,26 @@ pub mod json {
                 .map_err(|_| Error::new(format!("invalid number {text:?}")))
         }
 
+        /// Reads four hex digits at the cursor (the payload of a `\u`
+        /// escape) and advances past them.
+        fn hex4(&mut self) -> Result<u32, Error> {
+            let hex = self
+                .bytes
+                .get(self.pos..self.pos + 4)
+                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+            self.pos += 4;
+            u32::from_str_radix(
+                std::str::from_utf8(hex).map_err(|_| Error::new("non-utf8 \\u escape"))?,
+                16,
+            )
+            .map_err(|_| Error::new("invalid \\u escape"))
+        }
+
         fn string(&mut self) -> Result<String, Error> {
             self.expect(b'"')?;
             let mut out = String::new();
             loop {
-                match self.bytes.get(self.pos) {
+                match self.bytes.get(self.pos).copied() {
                     None => return Err(Error::new("unterminated string")),
                     Some(b'"') => {
                         self.pos += 1;
@@ -159,21 +328,64 @@ pub mod json {
                     }
                     Some(b'\\') => {
                         self.pos += 1;
-                        match self.bytes.get(self.pos) {
-                            Some(b'n') => out.push('\n'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'r') => out.push('\r'),
-                            Some(&c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
+                        let esc = self
+                            .bytes
+                            .get(self.pos)
+                            .copied()
+                            .ok_or_else(|| Error::new("unterminated escape"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'"' | b'\\' | b'/' => out.push(esc as char),
+                            b'u' => {
+                                let hi = self.hex4()?;
+                                let code = if (0xD800..0xDC00).contains(&hi) {
+                                    // High surrogate: a \uXXXX low surrogate
+                                    // must follow (JSON's astral encoding).
+                                    if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                        return Err(Error::new("unpaired high surrogate"));
+                                    }
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error::new("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    hi
+                                };
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                                );
+                            }
                             other => {
                                 return Err(Error::new(format!("unsupported escape {other:?}")))
                             }
                         }
-                        self.pos += 1;
                     }
-                    Some(&c) => {
-                        // Copy raw UTF-8 bytes through.
-                        out.push(c as char);
-                        self.pos += 1;
+                    Some(b) => {
+                        // Copy one UTF-8 scalar through verbatim (multi-byte
+                        // sequences must stay intact).
+                        let len = match b {
+                            0x00..=0x7F => 1,
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let slice = self
+                            .bytes
+                            .get(self.pos..self.pos + len)
+                            .ok_or_else(|| Error::new("truncated utf-8 sequence"))?;
+                        out.push_str(
+                            std::str::from_utf8(slice)
+                                .map_err(|_| Error::new("non-utf8 string content"))?,
+                        );
+                        self.pos += len;
                     }
                 }
             }
@@ -352,5 +564,54 @@ mod tests {
         assert!(parse("[1, 2").is_err());
         assert!(parse("nope").is_err());
         assert!(parse("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn rendered_json_parses_back() {
+        let v = Value::Object(
+            [
+                ("name".to_string(), Value::String("a \"b\"\n\u{1}".into())),
+                ("x".to_string(), Value::Number(0.35)),
+                ("n".to_string(), Value::Number(42.0)),
+                (
+                    "xs".to_string(),
+                    Value::Array(vec![Value::Bool(true), Value::Null]),
+                ),
+                ("empty".to_string(), Value::Array(vec![])),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        assert_eq!(parse(&v.to_string()).unwrap(), v, "compact");
+        assert_eq!(parse(&v.pretty()).unwrap(), v, "pretty");
+    }
+
+    #[test]
+    fn non_ascii_strings_round_trip() {
+        let v = Value::String("café 🚀 – ü".into());
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+        // Escaped astral-plane input: JSON surrogate pairs decode.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Value::String("😀".into()),
+            "surrogate pairs combine"
+        );
+        assert!(parse(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+        assert!(parse(r#""\ud83dA""#).is_err(), "bad low surrogate");
+    }
+
+    #[test]
+    fn accessors_resolve_shapes() {
+        let v = parse(r#"{"n": 3, "f": 0.5, "s": "x", "b": true, "xs": [1]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("f").and_then(Value::as_u64), None);
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(v.get("missing").is_none());
     }
 }

@@ -84,7 +84,9 @@ mod tests {
             measure_from: 6,
             ..Default::default()
         };
-        let mut sim = Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, cfg);
+        let mut sim = crate::Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg)
+            .build();
         while sim.current_cycle() < 18 {
             sim.step();
         }

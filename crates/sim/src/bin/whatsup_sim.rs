@@ -1,0 +1,210 @@
+//! `whatsup-sim`: run a scenario file to a report JSON.
+//!
+//! ```text
+//! whatsup-sim run <scenario.json> [--out <report.json>] [--shards N]
+//!                 [--multiprocess <sim-shard-worker path>]
+//! whatsup-sim check <report.json>
+//! whatsup-sim echo <scenario.json>
+//! ```
+//!
+//! * `run` executes the scenario (dataset recipe + protocol + config +
+//!   scenario grammar — see the `whatsup_sim::scenario` module docs for the
+//!   JSON schema) and writes the report summary JSON to `--out` (stdout by
+//!   default). Reports are a pure function of the file: bit-identical
+//!   across `--shards` values and across the in-process and multiprocess
+//!   transports.
+//! * `check` parses a report produced by `run` and verifies its shape —
+//!   the CI smoke test.
+//! * `echo` parses, validates and re-renders a scenario file in canonical
+//!   form (round-trip check / formatter).
+
+use std::process::ExitCode;
+use whatsup_sim::{Runner, ScenarioFile};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  whatsup-sim run <scenario.json> [--out <report.json>] [--shards N] \
+         [--multiprocess <worker>]\n  whatsup-sim check <report.json>\n  \
+         whatsup-sim echo <scenario.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(what: &str, err: impl std::fmt::Display) -> ExitCode {
+    eprintln!("whatsup-sim: {what}: {err}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("echo") => echo(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn load(path: &str) -> Result<ScenarioFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ScenarioFile::from_json_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut out = None;
+    let mut shards = None;
+    let mut worker = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) if !v.starts_with("--") => out = Some(v.clone()),
+                _ => return usage(),
+            },
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => shards = Some(n),
+                None => return usage(),
+            },
+            "--multiprocess" => match it.next() {
+                Some(v) if !v.starts_with("--") => worker = Some(v.clone()),
+                _ => return usage(),
+            },
+            flag if flag.starts_with("--") => return usage(),
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+    let file = match load(&path) {
+        Ok(file) => file,
+        Err(e) => return fail("invalid scenario", e),
+    };
+    if let Err(e) = file.scenario.validate_for_global(&file.protocol) {
+        return fail("invalid scenario", format!("{path}: {e}"));
+    }
+    let dataset = file.dataset.build();
+    // Event node ids can only be range-checked once the dataset size is
+    // known — catch them here instead of panicking mid-run.
+    if let Err(e) = file.scenario.validate_events(dataset.n_users()) {
+        return fail("invalid scenario", format!("{path}: {e}"));
+    }
+    let mut runner = Runner::new(&dataset, file.protocol)
+        .config(file.config.clone())
+        .scenario(file.scenario.clone());
+    if let Some(n) = shards {
+        runner = runner.shards(n);
+    }
+    if let Some(worker) = worker {
+        runner = runner.multiprocess(worker);
+    }
+    let report = match runner.try_run() {
+        Ok(report) => report,
+        Err(e) => return fail("run failed", e),
+    };
+    let json = report.summary_json().pretty();
+    match out {
+        None => {
+            // write_all instead of println!: a closed pipe (e.g. `| head`)
+            // is a normal way for the consumer to stop reading, not a
+            // crash — but any other write failure must flip the exit code.
+            use std::io::Write;
+            let mut stdout = std::io::stdout();
+            match stdout
+                .write_all(json.as_bytes())
+                .and_then(|()| stdout.write_all(b"\n"))
+                .and_then(|()| stdout.flush())
+            {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => fail("cannot write report to stdout", e),
+            }
+        }
+        Some(out) => match std::fs::write(&out, json + "\n") {
+            Ok(()) => {
+                eprintln!(
+                    "wrote {out}: {} on {} ({} nodes, F1 {:.3})",
+                    report.protocol,
+                    report.dataset,
+                    report.n_nodes,
+                    report.scores().f1
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail("cannot write report", format!("{out}: {e}")),
+        },
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return fail("cannot read report", format!("{path}: {e}")),
+    };
+    let value = match serde::json::parse(&text) {
+        Ok(value) => value,
+        Err(e) => return fail("report is not valid JSON", e),
+    };
+    // The summary shape `run` promises: every key a downstream consumer
+    // (CI, dashboards) relies on, with sane ranges.
+    let scores = value.get("scores");
+    let checks: [(&str, bool); 6] = [
+        (
+            "protocol is a string",
+            value.get("protocol").and_then(|v| v.as_str()).is_some(),
+        ),
+        (
+            "dataset is a string",
+            value.get("dataset").and_then(|v| v.as_str()).is_some(),
+        ),
+        (
+            "n_nodes is a positive number",
+            value
+                .get("n_nodes")
+                .and_then(|v| v.as_u64())
+                .is_some_and(|n| n > 0),
+        ),
+        (
+            "cycles is a positive number",
+            value
+                .get("cycles")
+                .and_then(|v| v.as_u64())
+                .is_some_and(|n| n > 0),
+        ),
+        (
+            "scores.{precision,recall,f1} are probabilities",
+            scores.is_some_and(|s| {
+                ["precision", "recall", "f1"].iter().all(|k| {
+                    s.get(k)
+                        .and_then(|v| v.as_f64())
+                        .is_some_and(|x| (0.0..=1.0).contains(&x))
+                })
+            }),
+        ),
+        (
+            "message counters are numbers",
+            ["news_messages", "news_messages_all", "gossip_messages"]
+                .iter()
+                .all(|k| value.get(k).and_then(|v| v.as_f64()).is_some()),
+        ),
+    ];
+    for (what, ok) in checks {
+        if !ok {
+            return fail("report shape", format!("{path}: {what} — violated"));
+        }
+    }
+    println!("{path}: ok");
+    ExitCode::SUCCESS
+}
+
+fn echo(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    match load(path) {
+        Ok(file) => {
+            println!("{}", file.to_json().pretty());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail("invalid scenario", e),
+    }
+}

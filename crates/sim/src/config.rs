@@ -46,6 +46,17 @@ impl Protocol {
         }
     }
 
+    /// True for the global-knowledge baselines (cascade, pub/sub,
+    /// centralized): they run on a server model, not the per-node gossip
+    /// stack, so per-cycle scenario events and environment models cannot
+    /// apply to them.
+    pub fn is_global(&self) -> bool {
+        matches!(
+            self,
+            Protocol::Cascade | Protocol::CPubSub | Protocol::CWhatsUp { .. }
+        )
+    }
+
     /// The fanout-style knob of this protocol, if any (x-axis of Fig. 3).
     pub fn fanout(&self) -> Option<usize> {
         match *self {
@@ -207,6 +218,20 @@ impl SimConfig {
         if self.publish_from >= self.cycles {
             return Err("publish_from must precede the end of the run".into());
         }
+        if self.measure_from >= self.cycles {
+            return Err(format!(
+                "measure_from ({}) must precede the end of the run ({} cycles) — \
+                 nothing would be measured",
+                self.measure_from, self.cycles
+            ));
+        }
+        if self.publish_from > self.measure_from {
+            return Err(format!(
+                "publish_from ({}) must not exceed measure_from ({}) — \
+                 the measured window would start before any publication",
+                self.publish_from, self.measure_from
+            ));
+        }
         if !(0.0..=1.0).contains(&self.loss) {
             return Err("loss must be a probability".into());
         }
@@ -303,5 +328,39 @@ mod tests {
             ..Default::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_empty_measurement_windows() {
+        // measure_from at/after the end: every metric would be empty.
+        let bad = SimConfig {
+            cycles: 50,
+            measure_from: 50,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimConfig {
+            cycles: 50,
+            measure_from: 80,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        // Publications starting after the measured window opens.
+        let bad = SimConfig {
+            cycles: 50,
+            publish_from: 30,
+            measure_from: 20,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        // Boundary case: publishing exactly at the measurement threshold is
+        // fine (everything published is measured).
+        let ok = SimConfig {
+            cycles: 50,
+            publish_from: 20,
+            measure_from: 20,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 }

@@ -3,16 +3,22 @@
 //!
 //! Protocol of the experiment, following the paper:
 //!
-//! * pick a *reference* node; at `join_at` introduce a *joining* node with
+//! * pick a *reference* node; at `event_at` introduce a *joining* node with
 //!   identical interests (cold start, §II-D);
-//! * pick a random pair and *switch their interests* at `switch_at`;
+//! * pick a random pair and *switch their interests* at `event_at`;
 //! * every cycle, measure the mean live similarity between each tracked
 //!   node and the members of its WUP view, plus the number of liked items
 //!   it received that cycle (Fig. 7c);
 //! * repeat with independent seeds and average.
+//!
+//! The choreography is expressed as a [`crate::scenario::Scenario`] event
+//! timeline ([`Event::JoinClone`] + [`Event::SwapInterests`]) run through
+//! the [`Runner`] — the engine fires the events at the right cycle on any
+//! shard count; this module only samples the traces.
 
 use crate::config::{Protocol, SimConfig};
-use crate::engine::Simulation;
+use crate::runner::Runner;
+use crate::scenario::{Event, Scenario, TimedEvent};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -136,14 +142,29 @@ fn run_once(
         swap_b = pick.gen_range(0..n) as u32;
     }
 
-    let mut sim = Simulation::new(dataset, protocol, base.clone());
+    // The §V-C choreography as a scenario timeline: the join and the swap
+    // fire at the start of cycle `event_at`, join first (list order).
+    let scenario = Scenario::from_config(&base).with_events(vec![
+        TimedEvent {
+            at: cfg.event_at,
+            event: Event::JoinClone { reference },
+        },
+        TimedEvent {
+            at: cfg.event_at,
+            event: Event::SwapInterests {
+                a: swap_a,
+                b: swap_b,
+            },
+        },
+    ]);
+    // Joiners take the next free id, and this run has exactly one.
+    let joiner = n as u32;
+    let mut sim = Runner::new(dataset, protocol)
+        .config(base.clone())
+        .scenario(scenario)
+        .build();
     let mut out = DynamicsResult::default();
-    let mut joiner: Option<u32> = None;
     while sim.current_cycle() < base.cycles {
-        if sim.current_cycle() == cfg.event_at {
-            joiner = Some(sim.add_joining_node(reference));
-            sim.swap_interests(swap_a, swap_b);
-        }
         sim.step();
         let t = sim.current_cycle() - 1;
         out.cycles.push(t);
@@ -155,16 +176,14 @@ fn run_once(
             .push(sim.interest_view_similarity(swap_a));
         out.changing_liked
             .push(sim.liked_receptions_last_cycle(swap_a) as f64);
-        match joiner {
-            Some(j) => {
-                out.joining_similarity.push(sim.interest_view_similarity(j));
-                out.joining_liked
-                    .push(sim.liked_receptions_last_cycle(j) as f64);
-            }
-            None => {
-                out.joining_similarity.push(0.0);
-                out.joining_liked.push(0.0);
-            }
+        if t >= cfg.event_at {
+            out.joining_similarity
+                .push(sim.interest_view_similarity(joiner));
+            out.joining_liked
+                .push(sim.liked_receptions_last_cycle(joiner) as f64);
+        } else {
+            out.joining_similarity.push(0.0);
+            out.joining_liked.push(0.0);
         }
     }
     out

@@ -18,6 +18,7 @@ use crate::engine::shard::{self, ShardInit, ShardState};
 use crate::engine::{node_stream, ChannelTransport};
 use crate::oracle::Oracle;
 use crate::record::{ItemRecord, NodeIr, SimReport};
+use crate::scenario::{Event, Scenario};
 use bytes::Bytes;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -32,6 +33,7 @@ use whatsup_graph::Graph;
 pub(crate) struct DriverCore {
     protocol: Protocol,
     cfg: SimConfig,
+    scenario: Scenario,
     params: Params,
     dataset_name: String,
     items: Vec<NewsItem>,
@@ -85,16 +87,24 @@ fn resolve_shards(requested: usize, n: usize) -> usize {
 }
 
 /// Builds the driver core and one init per shard from `(dataset, protocol,
-/// config)` — shared by the in-process constructor and the multi-process
-/// runner so both start from identical state.
-fn build(dataset: &Dataset, protocol: Protocol, cfg: SimConfig) -> (DriverCore, Vec<ShardInit>) {
+/// config, scenario)` — shared by the in-process constructor and the
+/// multi-process runner so both start from identical state.
+fn build(
+    dataset: &Dataset,
+    protocol: Protocol,
+    cfg: SimConfig,
+    scenario: Scenario,
+) -> (DriverCore, Vec<ShardInit>) {
     cfg.validate().expect("invalid simulation config");
+    scenario.validate(&cfg).expect("invalid scenario");
     let params = cfg
         .build_params(&protocol)
         .expect("protocol does not run on the node engine");
     let n = dataset.n_users();
     assert!(n > 0, "dataset has no users");
-    let item_cycles = cfg.schedule(dataset.n_items());
+    scenario.validate_events(n).expect("invalid scenario");
+    let topics: Vec<u32> = dataset.items.iter().map(|spec| spec.topic).collect();
+    let item_cycles = scenario.workload.schedule(&cfg, &topics);
     let mut schedule = vec![Vec::new(); cfg.cycles as usize];
     let mut items = Vec::with_capacity(dataset.n_items());
     let mut sources = Vec::with_capacity(dataset.n_items());
@@ -151,8 +161,8 @@ fn build(dataset: &Dataset, protocol: Protocol, cfg: SimConfig) -> (DriverCore, 
             index: s,
             partition: partition.clone(),
             seed: cfg.seed,
-            loss: cfg.loss,
-            churn: cfg.churn_per_cycle,
+            loss: scenario.environment.loss,
+            churn: scenario.environment.churn,
             params: params.clone(),
             oracle: oracle.clone(),
             bootstrap: partition
@@ -165,6 +175,7 @@ fn build(dataset: &Dataset, protocol: Protocol, cfg: SimConfig) -> (DriverCore, 
     let core = DriverCore {
         protocol,
         cfg,
+        scenario,
         params,
         dataset_name: dataset.name.clone(),
         items,
@@ -200,8 +211,104 @@ fn bundles_for(outs: &[Outbound], dest: usize) -> Vec<Bytes> {
     outs.iter().map(|o| o.bundles[dest].clone()).collect()
 }
 
-/// Advances the run by one cycle over `t`: gossip, churn, publications.
+/// Fetches one node's view snapshot from its owning shard.
+fn fetch_snapshot(core: &DriverCore, t: &mut impl ShardTransport, id: NodeId) -> Bytes {
+    let owner = core.partition.shard_of(id);
+    let reply = t
+        .roundtrip(vec![(owner, Command::TakeSnapshots { ids: vec![id] })])
+        .pop()
+        .expect("one snapshot reply");
+    let Reply::Snapshots(mut frames) = reply else {
+        panic!("expected Snapshots");
+    };
+    frames.pop().expect("one snapshot frame")
+}
+
+/// Admits a node cloning `reference`'s interests: cold start from a random
+/// contact's views (drawn from the driver RNG), state built on the owning
+/// (last) shard. Returns the joiner's id.
+fn join_clone(core: &mut DriverCore, t: &mut impl ShardTransport, reference: NodeId) -> NodeId {
+    let contact = core.rng.gen_range(0..core.partition.total()) as NodeId;
+    let snapshot = fetch_snapshot(core, t, contact);
+    let id = core.oracle.add_clone_of(reference);
+    core.partition.push_node();
+    let last = t.n_shards() - 1;
+    let batch = (0..t.n_shards())
+        .map(|s| {
+            (
+                s,
+                Command::Admit {
+                    reference,
+                    snapshot: (s == last).then(|| snapshot.clone()),
+                },
+            )
+        })
+        .collect();
+    t.roundtrip(batch);
+    core.liked_this_cycle.push(0);
+    core.per_node.push(NodeIr::default());
+    id
+}
+
+/// Applies one timeline event through the transport (see the engine module
+/// docs for when events fire and which RNG they draw from).
+fn apply_event(core: &mut DriverCore, t: &mut impl ShardTransport, event: Event) {
+    match event {
+        Event::JoinClone { reference } => {
+            join_clone(core, t, reference);
+        }
+        Event::SwapInterests { a, b } => {
+            core.oracle.swap_interests(a, b);
+            let batch = (0..t.n_shards())
+                .map(|s| (s, Command::SwapInterests { a, b }))
+                .collect();
+            t.roundtrip(batch);
+        }
+        Event::ResetNode { node } => {
+            let n = core.partition.total();
+            assert!(n > 1, "a 1-node network has no rejoin contact");
+            let contact = loop {
+                let c = core.rng.gen_range(0..n);
+                if c != node as usize {
+                    break c;
+                }
+            } as NodeId;
+            let snapshot = fetch_snapshot(core, t, contact);
+            let owner = core.partition.shard_of(node);
+            t.roundtrip(vec![(
+                owner,
+                Command::ApplyChurn {
+                    resets: vec![(node, snapshot)],
+                },
+            )]);
+        }
+    }
+}
+
+/// Start-of-cycle scenario boundary: the churn model's mass-join arrivals,
+/// then the timeline events stamped for this cycle, in list order.
+fn apply_cycle_start(core: &mut DriverCore, t: &mut impl ShardTransport) {
+    let cycle = core.cycle;
+    for _ in 0..core.scenario.environment.churn.joins_at(cycle) {
+        let reference = core.rng.gen_range(0..core.partition.total()) as NodeId;
+        join_clone(core, t, reference);
+    }
+    let due: Vec<Event> = core
+        .scenario
+        .events
+        .iter()
+        .filter(|e| e.at == cycle)
+        .map(|e| e.event)
+        .collect();
+    for event in due {
+        apply_event(core, t, event);
+    }
+}
+
+/// Advances the run by one cycle over `t`: scenario events, gossip, churn,
+/// publications.
 fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) {
+    apply_cycle_start(core, t);
     let cycle = core.cycle;
     let shards = t.n_shards();
     core.liked_this_cycle.iter_mut().for_each(|c| *c = 0);
@@ -238,7 +345,7 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) {
     // Decisions come from per-node CHURN streams on the shards; the driver
     // moves contact view snapshots (all taken from the pre-churn state, so
     // application order cannot matter) to the crashing shards.
-    if core.cfg.churn_per_cycle > 0.0 && core.partition.total() > 1 {
+    if core.scenario.environment.churn.crash_rate(cycle) > 0.0 && core.partition.total() > 1 {
         let decisions = t.roundtrip(
             (0..shards)
                 .map(|s| (s, Command::ChurnDecide { cycle }))
@@ -344,12 +451,7 @@ fn disseminate(core: &mut DriverCore, t: &mut impl ShardTransport, index: u32, c
         core.records[index as usize].forward_hops.push((hop, liked));
     }
 
-    let mut outs: Vec<Outbound> = (0..shards)
-        .map(|_| Outbound {
-            sent: 0,
-            bundles: vec![Bytes::new(); shards],
-        })
-        .collect();
+    let mut outs: Vec<Outbound> = (0..shards).map(|_| Outbound::empty(shards)).collect();
     outs[owner] = out;
     loop {
         let sent: u64 = outs.iter().map(|o| o.sent).sum();
@@ -361,8 +463,18 @@ fn disseminate(core: &mut DriverCore, t: &mut impl ShardTransport, index: u32, c
         if measured {
             core.news_messages_measured += sent;
         }
-        let batch = (0..shards)
-            .map(|dest| {
+        // Sparse BFS tails leave most shards with no inbound mail at all
+        // (no bundle addressed to them, nothing in their pending queue).
+        // Skipping their round-trip cannot change any mailbox: a skipped
+        // shard would merge nothing, drain nothing and emit nothing.
+        let active: Vec<usize> = (0..shards)
+            .filter(|&dest| {
+                outs[dest].local > 0 || outs.iter().any(|o| !o.bundles[dest].is_empty())
+            })
+            .collect();
+        let batch = active
+            .iter()
+            .map(|&dest| {
                 (
                     dest,
                     Command::DeliverNews {
@@ -374,13 +486,13 @@ fn disseminate(core: &mut DriverCore, t: &mut impl ShardTransport, index: u32, c
             })
             .collect();
         let replies = t.roundtrip(batch);
-        let mut next_outs = Vec::with_capacity(shards);
-        for reply in replies {
+        let mut next_outs: Vec<Outbound> = (0..shards).map(|_| Outbound::empty(shards)).collect();
+        for (&dest, reply) in active.iter().zip(replies) {
             let Reply::NewsDelivered { out, outcomes } = reply else {
                 panic!("expected NewsDelivered");
             };
             fold_outcomes(core, index, measured, &outcomes);
-            next_outs.push(out);
+            next_outs[dest] = out;
         }
         outs = next_outs;
     }
@@ -438,14 +550,29 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Builds a simulation with `cfg.shards` in-process shards.
+    /// Builds a simulation with `cfg.shards` in-process shards under the
+    /// legacy scenario the config describes (uniform publications, constant
+    /// loss, uniform churn). Prefer routing through [`crate::Runner`] —
+    /// this constructor is the engine-internal entry point.
     ///
     /// # Panics
     /// Panics if `protocol` is one of the global engines (cascade, pub/sub,
-    /// centralized — use [`crate::engines::run_protocol`]) or if the config
-    /// is invalid.
+    /// centralized — use [`crate::Runner`] or
+    /// [`crate::engines::run_protocol`]) or if the config is invalid.
     pub fn new(dataset: &Dataset, protocol: Protocol, cfg: SimConfig) -> Self {
-        let (core, inits) = build(dataset, protocol, cfg);
+        let scenario = Scenario::from_config(&cfg);
+        Self::with_scenario(dataset, protocol, cfg, scenario)
+    }
+
+    /// Builds a simulation running `scenario` (the scenario's environment
+    /// replaces the config's `loss`/`churn_per_cycle` knobs).
+    pub(crate) fn with_scenario(
+        dataset: &Dataset,
+        protocol: Protocol,
+        cfg: SimConfig,
+        scenario: Scenario,
+    ) -> Self {
+        let (core, inits) = build(dataset, protocol, cfg, scenario);
         let shards = inits.into_iter().map(ShardState::from_init).collect();
         Self { core, shards }
     }
@@ -459,7 +586,21 @@ impl Simulation {
         cfg: SimConfig,
         worker: &Path,
     ) -> io::Result<SimReport> {
-        let (mut core, inits) = build(dataset, protocol, cfg);
+        let scenario = Scenario::from_config(&cfg);
+        Self::run_multiprocess_scenario(dataset, protocol, cfg, scenario, worker)
+    }
+
+    /// [`Simulation::run_multiprocess`] under an explicit scenario. Events
+    /// flow to the workers as phase commands, so the full scenario grammar
+    /// works across process boundaries.
+    pub(crate) fn run_multiprocess_scenario(
+        dataset: &Dataset,
+        protocol: Protocol,
+        cfg: SimConfig,
+        scenario: Scenario,
+        worker: &Path,
+    ) -> io::Result<SimReport> {
+        let (mut core, inits) = build(dataset, protocol, cfg, scenario);
         let mut transport = ProcessTransport::spawn(worker, &inits)?;
         while core.cycle < core.cfg.cycles {
             run_cycle(&mut core, &mut transport);
@@ -552,52 +693,43 @@ impl Simulation {
     }
 
     /// Crashes `id` and rejoins it fresh (cold start from a random contact
-    /// drawn from the engine RNG — interactive/driving-thread API).
+    /// drawn from the engine RNG). Equivalent to a
+    /// [`crate::scenario::Event::ResetNode`] timeline event.
     pub fn reset_node(&mut self, id: NodeId) {
-        let n = self.core.partition.total();
-        assert!(n > 1, "a 1-node network has no rejoin contact");
-        let contact = loop {
-            let c = self.core.rng.gen_range(0..n);
-            if c != id as usize {
-                break c;
-            }
-        } as NodeId;
-        let snapshot = self.shards[self.core.partition.shard_of(contact)].snapshot_of(contact);
-        let mut fresh = WhatsUpNode::new(id, self.core.params.clone());
-        fresh.cold_start(snapshot, &self.core.oracle);
-        self.shards[self.core.partition.shard_of(id)].replace_node(id, fresh);
+        apply_event(
+            &mut self.core,
+            &mut InlineTransport {
+                shards: &mut self.shards,
+            },
+            Event::ResetNode { node: id },
+        );
     }
 
     /// Registers a node joining mid-run (§V-C): interests mirror
     /// `reference`, views inherited from a random contact, cold-start
     /// profile from the contact's RPS view (§II-D). The node joins the last
     /// shard; every shard's oracle copy and partition stay in lockstep.
+    /// Equivalent to a [`crate::scenario::Event::JoinClone`] timeline event.
     pub fn add_joining_node(&mut self, reference: NodeId) -> NodeId {
-        let id = self.core.oracle.add_clone_of(reference);
-        for shard in &mut self.shards {
-            shard.oracle_mut().add_clone_of(reference);
-        }
-        let contact = self.core.rng.gen_range(0..self.core.partition.total()) as NodeId;
-        let snapshot = self.shards[self.core.partition.shard_of(contact)].snapshot_of(contact);
-        let mut node = WhatsUpNode::new(id, self.core.params.clone());
-        node.cold_start(snapshot, &self.core.oracle);
-        self.core.partition.push_node();
-        let last = self.shards.len() - 1;
-        let mut node = Some(node);
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            shard.admit(if i == last { node.take() } else { None });
-        }
-        self.core.liked_this_cycle.push(0);
-        self.core.per_node.push(NodeIr::default());
-        id
+        join_clone(
+            &mut self.core,
+            &mut InlineTransport {
+                shards: &mut self.shards,
+            },
+            reference,
+        )
     }
 
-    /// Swaps the ground-truth interests of two nodes (§V-C).
+    /// Swaps the ground-truth interests of two nodes (§V-C). Equivalent to
+    /// a [`crate::scenario::Event::SwapInterests`] timeline event.
     pub fn swap_interests(&mut self, a: NodeId, b: NodeId) {
-        self.core.oracle.swap_interests(a, b);
-        for shard in &mut self.shards {
-            shard.oracle_mut().swap_interests(a, b);
-        }
+        apply_event(
+            &mut self.core,
+            &mut InlineTransport {
+                shards: &mut self.shards,
+            },
+            Event::SwapInterests { a, b },
+        );
     }
 
     /// Mean live similarity between `id`'s profile and the *current*

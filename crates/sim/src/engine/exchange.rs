@@ -18,6 +18,7 @@
 use crate::engine::partition::Partition;
 use crate::engine::shard::ShardInit;
 use crate::oracle::Oracle;
+use crate::scenario::{ChurnModel, LossModel};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write};
@@ -42,6 +43,17 @@ pub enum Command {
     TakeSnapshots { ids: Vec<NodeId> },
     /// Reset each `(node, snapshot)` to a fresh cold-started instance.
     ApplyChurn { resets: Vec<(NodeId, Bytes)> },
+    /// A node joins at the end of the id space, interests cloned from
+    /// `reference`. Broadcast to every shard (each updates its partition and
+    /// oracle copies); only the owning (last) shard receives the rejoin
+    /// snapshot and builds the node.
+    Admit {
+        reference: NodeId,
+        snapshot: Option<Bytes>,
+    },
+    /// Swap the ground-truth interests of two nodes in this shard's oracle
+    /// copy (broadcast; the driver keeps every copy in lockstep).
+    SwapInterests { a: NodeId, b: NodeId },
     /// Reset the news-phase RNGs (start of the publication phase).
     BeginNews,
     /// Publish `item` from its source node (owned by this shard).
@@ -63,7 +75,22 @@ pub enum Command {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Outbound {
     pub sent: u64,
+    /// Messages parked in the emitting shard's own pending queue. The
+    /// driver uses this to skip delivery round-trips to shards with no
+    /// inbound mail at all (sparse BFS tails).
+    pub local: u64,
     pub bundles: Vec<Bytes>,
+}
+
+impl Outbound {
+    /// An empty round for a shard that was skipped (no mail anywhere).
+    pub fn empty(shards: usize) -> Self {
+        Outbound {
+            sent: 0,
+            local: 0,
+            bundles: vec![Bytes::new(); shards],
+        }
+    }
 }
 
 /// Wire form of one receiver's first reception of an item.
@@ -205,6 +232,8 @@ const CMD_BEGIN_NEWS: u8 = 6;
 const CMD_PUBLISH: u8 = 7;
 const CMD_DELIVER_NEWS: u8 = 8;
 const CMD_STOP: u8 = 9;
+const CMD_ADMIT: u8 = 10;
+const CMD_SWAP_INTERESTS: u8 = 11;
 
 pub fn encode_command(cmd: &Command) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(64);
@@ -253,6 +282,22 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             buf.put_u64_le(*item);
             put_bundle_list(&mut buf, bundles);
         }
+        Command::Admit {
+            reference,
+            snapshot,
+        } => {
+            buf.put_u8(CMD_ADMIT);
+            buf.put_u32_le(*reference);
+            buf.put_u8(u8::from(snapshot.is_some()));
+            if let Some(frame) = snapshot {
+                put_bytes(&mut buf, frame);
+            }
+        }
+        Command::SwapInterests { a, b } => {
+            buf.put_u8(CMD_SWAP_INTERESTS);
+            buf.put_u32_le(*a);
+            buf.put_u32_le(*b);
+        }
         Command::Stop => buf.put_u8(CMD_STOP),
     }
     Vec::from(buf)
@@ -299,6 +344,18 @@ pub fn decode_command(mut frame: &[u8]) -> Command {
             item: buf.get_u64_le(),
             bundles: get_bundle_list(buf),
         },
+        CMD_ADMIT => {
+            let reference = buf.get_u32_le();
+            let has_snapshot = buf.get_u8() != 0;
+            Command::Admit {
+                reference,
+                snapshot: has_snapshot.then(|| get_bytes(buf)),
+            }
+        }
+        CMD_SWAP_INTERESTS => Command::SwapInterests {
+            a: buf.get_u32_le(),
+            b: buf.get_u32_le(),
+        },
         CMD_STOP => Command::Stop,
         other => panic!("unknown command opcode {other}"),
     }
@@ -313,12 +370,14 @@ const REP_NEWS: u8 = 6;
 
 fn put_outbound(buf: &mut BytesMut, out: &Outbound) {
     buf.put_u64_le(out.sent);
+    buf.put_u64_le(out.local);
     put_bundle_list(buf, &out.bundles);
 }
 
 fn get_outbound(buf: &mut &[u8]) -> Outbound {
     Outbound {
         sent: buf.get_u64_le(),
+        local: buf.get_u64_le(),
         bundles: get_bundle_list(buf),
     }
 }
@@ -515,6 +574,95 @@ fn get_params(buf: &mut &[u8]) -> Params {
     p
 }
 
+fn put_loss_model(buf: &mut BytesMut, loss: &LossModel) {
+    match *loss {
+        LossModel::Constant { p } => {
+            buf.put_u8(0);
+            buf.put_f64_le(p);
+        }
+        LossModel::GilbertElliott {
+            p_good,
+            p_bad,
+            good_to_bad,
+            bad_to_good,
+        } => {
+            buf.put_u8(1);
+            buf.put_f64_le(p_good);
+            buf.put_f64_le(p_bad);
+            buf.put_f64_le(good_to_bad);
+            buf.put_f64_le(bad_to_good);
+        }
+        LossModel::Partition {
+            from,
+            until,
+            frontier,
+        } => {
+            buf.put_u8(2);
+            buf.put_u32_le(from);
+            buf.put_u32_le(until);
+            buf.put_f64_le(frontier);
+        }
+    }
+}
+
+fn get_loss_model(buf: &mut &[u8]) -> LossModel {
+    match buf.get_u8() {
+        0 => LossModel::Constant {
+            p: buf.get_f64_le(),
+        },
+        1 => LossModel::GilbertElliott {
+            p_good: buf.get_f64_le(),
+            p_bad: buf.get_f64_le(),
+            good_to_bad: buf.get_f64_le(),
+            bad_to_good: buf.get_f64_le(),
+        },
+        2 => LossModel::Partition {
+            from: buf.get_u32_le(),
+            until: buf.get_u32_le(),
+            frontier: buf.get_f64_le(),
+        },
+        other => panic!("unknown loss model tag {other}"),
+    }
+}
+
+fn put_churn_model(buf: &mut BytesMut, churn: &ChurnModel) {
+    match *churn {
+        ChurnModel::None => buf.put_u8(0),
+        ChurnModel::Uniform { per_cycle } => {
+            buf.put_u8(1);
+            buf.put_f64_le(per_cycle);
+        }
+        ChurnModel::CrashWave { at, fraction } => {
+            buf.put_u8(2);
+            buf.put_u32_le(at);
+            buf.put_f64_le(fraction);
+        }
+        ChurnModel::MassJoin { at, count } => {
+            buf.put_u8(3);
+            buf.put_u32_le(at);
+            buf.put_u32_le(count);
+        }
+    }
+}
+
+fn get_churn_model(buf: &mut &[u8]) -> ChurnModel {
+    match buf.get_u8() {
+        0 => ChurnModel::None,
+        1 => ChurnModel::Uniform {
+            per_cycle: buf.get_f64_le(),
+        },
+        2 => ChurnModel::CrashWave {
+            at: buf.get_u32_le(),
+            fraction: buf.get_f64_le(),
+        },
+        3 => ChurnModel::MassJoin {
+            at: buf.get_u32_le(),
+            count: buf.get_u32_le(),
+        },
+        other => panic!("unknown churn model tag {other}"),
+    }
+}
+
 fn put_oracle(buf: &mut BytesMut, oracle: &Oracle) {
     let m = oracle.matrix();
     buf.put_u32_le(m.n_users() as u32);
@@ -567,8 +715,8 @@ pub fn encode_init(init: &ShardInit) -> Vec<u8> {
         buf.put_u32_le(s);
     }
     buf.put_u64_le(init.seed);
-    buf.put_f64_le(init.loss);
-    buf.put_f64_le(init.churn);
+    put_loss_model(&mut buf, &init.loss);
+    put_churn_model(&mut buf, &init.churn);
     put_params(&mut buf, &init.params);
     put_oracle(&mut buf, &init.oracle);
     buf.put_u32_le(init.bootstrap.len() as u32);
@@ -589,8 +737,8 @@ pub fn decode_init(mut frame: &[u8]) -> ShardInit {
     let starts = (0..n_starts).map(|_| buf.get_u32_le()).collect();
     let partition = Partition::from_starts(starts);
     let seed = buf.get_u64_le();
-    let loss = buf.get_f64_le();
-    let churn = buf.get_f64_le();
+    let loss = get_loss_model(buf);
+    let churn = get_churn_model(buf);
     let params = get_params(buf);
     let oracle = get_oracle(buf);
     let n_nodes = buf.get_u32_le() as usize;
@@ -795,6 +943,15 @@ mod tests {
                 item: 0xdead_beef,
                 bundles: vec![Bytes::copy_from_slice(b"zz")],
             },
+            Command::Admit {
+                reference: 4,
+                snapshot: Some(Bytes::copy_from_slice(b"view")),
+            },
+            Command::Admit {
+                reference: 9,
+                snapshot: None,
+            },
+            Command::SwapInterests { a: 3, b: 17 },
             Command::Stop,
         ];
         for cmd in cmds {
@@ -807,6 +964,7 @@ mod tests {
         let replies = vec![
             Reply::Outbound(Outbound {
                 sent: 12,
+                local: 3,
                 bundles: vec![Bytes::new(), Bytes::copy_from_slice(b"q")],
             }),
             Reply::ChurnDecisions(vec![(1, 9), (4, 2)]),
@@ -823,6 +981,7 @@ mod tests {
             Reply::NewsDelivered {
                 out: Outbound {
                     sent: 2,
+                    local: 1,
                     bundles: vec![],
                 },
                 outcomes: vec![
@@ -861,6 +1020,45 @@ mod tests {
             put_params(&mut buf, &p);
             let mut slice: &[u8] = &buf;
             assert_eq!(get_params(&mut slice), p);
+        }
+    }
+
+    #[test]
+    fn environment_models_roundtrip() {
+        let losses = [
+            LossModel::Constant { p: 0.25 },
+            LossModel::GilbertElliott {
+                p_good: 0.01,
+                p_bad: 0.6,
+                good_to_bad: 0.2,
+                bad_to_good: 0.4,
+            },
+            LossModel::Partition {
+                from: 3,
+                until: 9,
+                frontier: 0.5,
+            },
+        ];
+        for loss in losses {
+            let mut buf = BytesMut::new();
+            put_loss_model(&mut buf, &loss);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_loss_model(&mut slice), loss);
+        }
+        let churns = [
+            ChurnModel::None,
+            ChurnModel::Uniform { per_cycle: 0.05 },
+            ChurnModel::CrashWave {
+                at: 7,
+                fraction: 0.3,
+            },
+            ChurnModel::MassJoin { at: 2, count: 11 },
+        ];
+        for churn in churns {
+            let mut buf = BytesMut::new();
+            put_churn_model(&mut buf, &churn);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_churn_model(&mut slice), churn);
         }
     }
 

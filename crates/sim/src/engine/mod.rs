@@ -102,8 +102,42 @@
 //!
 //! The interactive mutators (`add_joining_node`, `swap_interests`,
 //! `reset_node`) draw from a dedicated engine RNG on the driving thread and
-//! are deterministic in call order. They require the in-process engine; the
-//! multi-process driver covers the run-to-completion path.
+//! are deterministic in call order. They run through the same shard
+//! commands as the scenario events below, so they work on every transport.
+//!
+//! # Scenario application points
+//!
+//! A [`crate::scenario::Scenario`] is applied entirely at phase boundaries,
+//! which is what extends the determinism contract to every scenario. In
+//! cycle order:
+//!
+//! 1. **Start of cycle** (before collect): the churn model's mass-join
+//!    arrivals, then every timeline event stamped `at == cycle`, in list
+//!    order. Joins and resets draw their random contact from the driver's
+//!    engine RNG (one stream, driving thread, call order = list order) and
+//!    move view snapshots via `TakeSnapshots`/`Admit`/`ApplyChurn`
+//!    commands; interest swaps broadcast `SwapInterests` so every shard's
+//!    oracle copy stays in lockstep.
+//! 2. **Collect**: each shard advances its nodes' Gilbert–Elliott channel
+//!    chains (one transition per node per cycle, from the node's CHANNEL
+//!    stream) before emitting; the states are fixed for the whole cycle.
+//! 3. **Deliver (gossip and news)**: the loss model drops messages at the
+//!    receiver — constant and Gilbert–Elliott draw one coin per message
+//!    from the receiver's phase stream (no draw when the effective
+//!    probability is zero); a partition window drops frontier-crossing
+//!    messages deterministically, coin-free.
+//! 4. **Churn phase**: the churn model's `crash_rate(cycle)` feeds the
+//!    per-node crash coins (uniform churn has a constant rate; a crash
+//!    wave is non-zero for exactly one cycle).
+//! 5. **Publish**: the workload's schedule decides which items publish
+//!    this cycle; dissemination itself is scenario-independent. Delivery
+//!    round-trips skip shards with no inbound mail (empty bundles
+//!    everywhere and nothing pending locally) — a pure traffic
+//!    optimization in the sparse BFS tail that cannot change any mailbox.
+//!
+//! The workload schedule is a pure function of `(workload, config,
+//! topics)` computed once at build time; it never consumes engine
+//! randomness.
 
 pub mod driver;
 pub mod exchange;
@@ -132,6 +166,8 @@ pub mod phase {
     pub const CHURN: u8 = 2;
     /// News delivery (BEEP decisions + loss coins).
     pub const NEWS: u8 = 3;
+    /// Gilbert–Elliott channel-state transition (scenario loss models).
+    pub const CHANNEL: u8 = 4;
 }
 
 /// SplitMix64 finalizer.

@@ -12,6 +12,7 @@ use crate::engine::mailbox::{decode_shard_bundle, encode_shard_bundle, MailEntry
 use crate::engine::partition::Partition;
 use crate::engine::{node_stream, phase};
 use crate::oracle::Oracle;
+use crate::scenario::{ChurnModel, LossModel};
 use bytes::Bytes;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -30,8 +31,8 @@ pub struct ShardInit {
     pub index: usize,
     pub partition: Partition,
     pub seed: u64,
-    pub loss: f64,
-    pub churn: f64,
+    pub loss: LossModel,
+    pub churn: ChurnModel,
     pub params: Params,
     pub oracle: Oracle,
     /// Bootstrap contacts per owned node, in local id order (drawn by the
@@ -44,8 +45,13 @@ pub struct ShardState {
     index: usize,
     partition: Partition,
     seed: u64,
-    loss: f64,
-    churn: f64,
+    loss: LossModel,
+    churn: ChurnModel,
+    /// Per-node Gilbert–Elliott channel state (`true` = Bad), advanced once
+    /// per cycle at the collect phase from each node's CHANNEL stream. The
+    /// channel belongs to the *network*, so churn resets leave it alone;
+    /// unused (all-Good) under the other loss models.
+    channel_bad: Vec<bool>,
     params: Params,
     /// This shard's oracle copy; the driver keeps every copy in lockstep
     /// when interests are re-mapped.
@@ -87,6 +93,7 @@ impl ShardState {
             seed: init.seed,
             loss: init.loss,
             churn: init.churn,
+            channel_bad: vec![false; n_local],
             params: init.params,
             oracle: init.oracle,
             nodes,
@@ -123,36 +130,30 @@ impl ShardState {
         &self.nodes
     }
 
-    /// Replaces an owned node's state (interactive resets).
-    pub fn replace_node(&mut self, id: NodeId, node: WhatsUpNode) {
-        let local = self.local(id);
-        self.nodes[local] = node;
-    }
-
     /// View snapshot of an owned node.
     pub fn snapshot_of(&self, id: NodeId) -> ColdStart {
         self.node(id).views_snapshot()
     }
 
-    /// This shard's oracle copy (the driver keeps all copies in lockstep).
-    pub fn oracle_mut(&mut self) -> &mut Oracle {
-        &mut self.oracle
-    }
-
-    /// Registers a node joining at the end of the id space. Every shard
-    /// updates its partition copy; the last shard additionally receives the
-    /// node's state via `node`.
-    pub fn admit(&mut self, node: Option<WhatsUpNode>) {
+    /// Registers a node joining at the end of the id space with interests
+    /// cloned from `reference`. Every shard updates its partition and
+    /// oracle copies; the owning (last) shard additionally receives the
+    /// rejoin view `snapshot` and builds the node from it (§II-D cold
+    /// start).
+    pub fn admit(&mut self, reference: NodeId, snapshot: Option<&[u8]>) {
+        self.oracle.add_clone_of(reference);
         let id = self.partition.push_node();
-        if let Some(node) = node {
+        if let Some(frame) = snapshot {
             assert_eq!(
                 self.index + 1,
                 self.partition.n_shards(),
                 "joiners belong to the last shard"
             );
-            assert_eq!(node.id(), id, "joiner id must be the next free id");
+            let mut node = WhatsUpNode::new(id, self.params.clone());
+            node.cold_start(exchange::decode_cold_start(frame), &self.oracle);
             self.nodes.push(node);
             self.phase_rngs.push(None);
+            self.channel_bad.push(false);
             self.mailbox.grow();
         }
     }
@@ -173,6 +174,17 @@ impl ShardState {
             ),
             Command::ApplyChurn { resets } => {
                 self.apply_churn(&resets);
+                Reply::Ack
+            }
+            Command::Admit {
+                reference,
+                snapshot,
+            } => {
+                self.admit(reference, snapshot.as_deref());
+                Reply::Ack
+            }
+            Command::SwapInterests { a, b } => {
+                self.oracle.swap_interests(a, b);
                 Reply::Ack
             }
             Command::BeginNews => {
@@ -196,10 +208,12 @@ impl ShardState {
     fn route_out(&mut self, emissions: Vec<(NodeId, OutMessage)>) -> Outbound {
         let shards = self.partition.n_shards();
         let sent = emissions.len() as u64;
+        let mut local = 0u64;
         let mut per_dest: Vec<Vec<(NodeId, NodeId, Payload)>> = vec![Vec::new(); shards];
         for (from, m) in emissions {
             let dest = self.partition.shard_of(m.to);
             if dest == self.index {
+                local += 1;
                 self.pending_local.push(MailEntry {
                     to: m.to,
                     from,
@@ -219,7 +233,11 @@ impl ShardState {
                 }
             })
             .collect();
-        Outbound { sent, bundles }
+        Outbound {
+            sent,
+            local,
+            bundles,
+        }
     }
 
     /// Merges one round's inbound mail into the per-node mailboxes, in
@@ -246,10 +264,37 @@ impl ShardState {
         }
     }
 
+    /// Advances the per-node Gilbert–Elliott channel chains (one transition
+    /// per cycle, from each node's CHANNEL stream). No-op for the other
+    /// loss models.
+    fn advance_channels(&mut self, cycle: u32) {
+        let LossModel::GilbertElliott {
+            good_to_bad,
+            bad_to_good,
+            ..
+        } = self.loss
+        else {
+            return;
+        };
+        let base = self.base();
+        for (local, bad) in self.channel_bad.iter_mut().enumerate() {
+            let flip = if *bad { bad_to_good } else { good_to_bad };
+            if flip > 0.0 {
+                let id = base + local as NodeId;
+                let mut rng = node_stream(self.seed, id, cycle, phase::CHANNEL);
+                if rng.gen_bool(flip) {
+                    *bad = !*bad;
+                }
+            }
+        }
+    }
+
     /// Collect phase: every owned node's cycle tick, in id order.
     fn collect(&mut self, cycle: u32) -> Outbound {
-        // Fresh gossip-phase streams for the delivery rounds that follow.
+        // Fresh gossip-phase streams for the delivery rounds that follow,
+        // and this cycle's channel states for the loss coins.
         self.phase_rngs.iter_mut().for_each(|r| *r = None);
+        self.advance_channels(cycle);
         let base = self.base();
         let seed = self.seed;
         let mut emissions: Vec<(NodeId, OutMessage)> = Vec::new();
@@ -263,6 +308,22 @@ impl ShardState {
         self.route_out(emissions)
     }
 
+    /// The active partition frontier at `cycle`, if the loss model opens a
+    /// split window: node ids below the cut form one side.
+    fn partition_cut(&self, cycle: u32) -> Option<NodeId> {
+        if let LossModel::Partition {
+            from,
+            until,
+            frontier,
+        } = self.loss
+        {
+            if cycle >= from && cycle < until {
+                return Some((frontier * self.partition.total() as f64).floor() as NodeId);
+            }
+        }
+        None
+    }
+
     /// One gossip delivery round over the owned receivers, ascending.
     fn deliver_gossip(&mut self, cycle: u32, bundles: &[Bytes]) -> Outbound {
         self.merge_inbound(bundles);
@@ -270,12 +331,14 @@ impl ShardState {
         let base = self.base();
         let seed = self.seed;
         let loss = self.loss;
+        let cut = self.partition_cut(cycle);
         let mut emissions: Vec<(NodeId, OutMessage)> = Vec::new();
         let Self {
             nodes,
             phase_rngs,
             mailbox,
             oracle,
+            channel_bad,
             ..
         } = self;
         for id in receivers {
@@ -285,7 +348,7 @@ impl ShardState {
                 .get_or_insert_with(|| node_stream(seed, id, cycle, phase::GOSSIP));
             let node = &mut nodes[local];
             for (from, payload) in mail {
-                if loss > 0.0 && rng.gen_bool(loss) {
+                if message_dropped(loss, channel_bad[local], cut, from, id, rng) {
                     continue;
                 }
                 for reply in node.on_message(from, payload, cycle, oracle, rng) {
@@ -305,10 +368,14 @@ impl ShardState {
     /// population, all from its own CHURN stream.
     fn churn_decide(&mut self, cycle: u32) -> Vec<(NodeId, NodeId)> {
         let n = self.partition.total();
+        let rate = self.churn.crash_rate(cycle);
         let mut pairs = Vec::new();
+        if rate == 0.0 {
+            return pairs;
+        }
         for id in self.partition.range(self.index) {
             let mut rng = node_stream(self.seed, id, cycle, phase::CHURN);
-            if rng.gen_bool(self.churn) {
+            if rng.gen_bool(rate) {
                 let contact = loop {
                     let c = rng.gen_range(0..n);
                     if c != id as usize {
@@ -367,6 +434,7 @@ impl ShardState {
         let base = self.base();
         let seed = self.seed;
         let loss = self.loss;
+        let cut = self.partition_cut(cycle);
         let mut emissions: Vec<(NodeId, OutMessage)> = Vec::new();
         let mut outcomes = Vec::with_capacity(receivers.len());
         let Self {
@@ -374,6 +442,7 @@ impl ShardState {
             phase_rngs,
             mailbox,
             oracle,
+            channel_bad,
             ..
         } = self;
         for id in receivers {
@@ -388,7 +457,7 @@ impl ShardState {
                 forward: None,
             };
             for (from, payload) in mail {
-                if loss > 0.0 && rng.gen_bool(loss) {
+                if message_dropped(loss, channel_bad[local], cut, from, id, rng) {
                     continue;
                 }
                 let Payload::News(news) = &payload else {
@@ -415,6 +484,33 @@ impl ShardState {
             out: self.route_out(emissions),
             outcomes,
         }
+    }
+}
+
+/// Whether one message `from → to` is dropped at delivery time.
+///
+/// Constant and Gilbert–Elliott losses draw one coin from the *receiver's*
+/// phase stream per message (never when the effective probability is zero,
+/// so lossless runs draw nothing); the partition window is deterministic —
+/// a message crossing the id-space `cut` during the window always drops.
+fn message_dropped(
+    loss: LossModel,
+    receiver_bad: bool,
+    cut: Option<NodeId>,
+    from: NodeId,
+    to: NodeId,
+    rng: &mut ChaCha8Rng,
+) -> bool {
+    match loss {
+        LossModel::Constant { p } => p > 0.0 && rng.gen_bool(p),
+        LossModel::GilbertElliott { p_good, p_bad, .. } => {
+            let p = if receiver_bad { p_bad } else { p_good };
+            p > 0.0 && rng.gen_bool(p)
+        }
+        LossModel::Partition { .. } => match cut {
+            Some(cut) => (from < cut) != (to < cut),
+            None => false,
+        },
     }
 }
 

@@ -13,17 +13,22 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
 use whatsup_datasets::Dataset;
 
-/// Runs the cascade baseline.
+/// Runs the cascade baseline under the uniform publication schedule.
 ///
 /// # Panics
 /// Panics if the dataset has no explicit social graph.
 pub fn run(dataset: &Dataset, cfg: &SimConfig) -> SimReport {
+    run_scheduled(dataset, cfg, &cfg.schedule(dataset.n_items()))
+}
+
+/// [`run`] with an explicit item → publication-cycle schedule (the
+/// scenario workload layer; `schedule[i]` is item `i`'s cycle).
+pub fn run_scheduled(dataset: &Dataset, cfg: &SimConfig, schedule: &[u32]) -> SimReport {
     let graph = dataset
         .social
         .as_ref()
         .expect("cascade requires a dataset with an explicit social graph");
     let n = dataset.n_users();
-    let schedule = cfg.schedule(dataset.n_items());
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
     let mut items = Vec::with_capacity(dataset.n_items());

@@ -28,11 +28,22 @@ use whatsup_datasets::Dataset;
 const TTL: u8 = 4;
 const F_DISLIKE: usize = 1;
 
-/// Runs C-WhatsUp with like-fanout `f_like`. The server is reliable, so
-/// `cfg.loss` is ignored (the paper compares against the ideal).
+/// Runs C-WhatsUp with like-fanout `f_like` under the uniform publication
+/// schedule. The server is reliable, so `cfg.loss` is ignored (the paper
+/// compares against the ideal).
 pub fn run(dataset: &Dataset, f_like: usize, cfg: &SimConfig) -> SimReport {
+    run_scheduled(dataset, f_like, cfg, &cfg.schedule(dataset.n_items()))
+}
+
+/// [`run`] with an explicit item → publication-cycle schedule (the
+/// scenario workload layer; `schedule[i]` is item `i`'s cycle).
+pub fn run_scheduled(
+    dataset: &Dataset,
+    f_like: usize,
+    cfg: &SimConfig,
+    schedule: &[u32],
+) -> SimReport {
     let n = dataset.n_users();
-    let schedule = cfg.schedule(dataset.n_items());
     let window = 13u32;
 
     let mut profiles: Vec<Profile> = vec![Profile::new(); n];
@@ -256,7 +267,6 @@ fn top_k_all(
 mod tests {
     use super::*;
     use crate::config::Protocol;
-    use crate::engine::Simulation;
     use whatsup_datasets::{survey, SurveyConfig};
 
     fn dataset() -> Dataset {
@@ -288,7 +298,9 @@ mod tests {
         // (the paper reports decentralized within ~5%).
         let d = dataset();
         let c = run(&d, 5, &cfg());
-        let w = Simulation::new(&d, Protocol::WhatsUp { f_like: 5 }, cfg()).run();
+        let w = crate::Runner::new(&d, Protocol::WhatsUp { f_like: 5 })
+            .config(cfg())
+            .run();
         assert!(
             c.scores().f1 + 0.1 >= w.scores().f1,
             "centralized {:?} vs decentralized {:?}",

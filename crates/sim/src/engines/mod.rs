@@ -10,18 +10,14 @@ pub mod centralized;
 pub mod pubsub;
 
 use crate::config::{Protocol, SimConfig};
-use crate::engine::Simulation;
 use crate::record::SimReport;
+use crate::runner::Runner;
 use whatsup_datasets::Dataset;
 
-/// Runs any protocol over a dataset and returns its report.
+/// Runs any protocol over a dataset and returns its report (the classic
+/// entry point, kept as a thin [`Runner`] shorthand).
 pub fn run_protocol(dataset: &Dataset, protocol: Protocol, cfg: &SimConfig) -> SimReport {
-    match protocol {
-        Protocol::Cascade => cascade::run(dataset, cfg),
-        Protocol::CPubSub => pubsub::run(dataset, cfg),
-        Protocol::CWhatsUp { f_like } => centralized::run(dataset, f_like, cfg),
-        node_protocol => Simulation::new(dataset, node_protocol, cfg.clone()).run(),
-    }
+    Runner::new(dataset, protocol).config(cfg.clone()).run()
 }
 
 #[cfg(test)]

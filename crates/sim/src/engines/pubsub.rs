@@ -35,11 +35,17 @@ pub fn subscriptions(dataset: &Dataset) -> Vec<Vec<u32>> {
     subs
 }
 
-/// Runs the C-Pub/Sub baseline. The centralized server is assumed reliable
-/// (the paper treats it as the ideal reference), so `cfg.loss` is ignored.
+/// Runs the C-Pub/Sub baseline under the uniform publication schedule. The
+/// centralized server is assumed reliable (the paper treats it as the
+/// ideal reference), so `cfg.loss` is ignored.
 pub fn run(dataset: &Dataset, cfg: &SimConfig) -> SimReport {
+    run_scheduled(dataset, cfg, &cfg.schedule(dataset.n_items()))
+}
+
+/// [`run`] with an explicit item → publication-cycle schedule (the
+/// scenario workload layer; `schedule[i]` is item `i`'s cycle).
+pub fn run_scheduled(dataset: &Dataset, cfg: &SimConfig, schedule: &[u32]) -> SimReport {
     let subs = subscriptions(dataset);
-    let schedule = cfg.schedule(dataset.n_items());
     let mut items = Vec::with_capacity(dataset.n_items());
     let mut news_measured = 0u64;
     let mut news_all = 0u64;

@@ -7,8 +7,8 @@ use super::{paper, paper_sim_config};
 use crate::analysis::{self, OverlayStats};
 use crate::config::{Protocol, SimConfig};
 use crate::dynamics::{self, DynamicsConfig, DynamicsResult};
-use crate::engine::Simulation;
 use crate::engines::run_protocol;
+use crate::runner::Runner;
 use crate::sweep::{f1_vs_fanout, f1_vs_messages, grid_sweep};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -102,7 +102,7 @@ pub fn fig4() -> Fig4 {
     let overlay: Vec<(String, usize, OverlayStats)> = jobs
         .par_iter()
         .map(|&(p, f)| {
-            let mut sim = Simulation::new(&dataset, p, cfg.clone());
+            let mut sim = Runner::new(&dataset, p).config(cfg.clone()).build();
             while sim.current_cycle() < cfg.cycles {
                 sim.step();
             }

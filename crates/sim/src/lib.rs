@@ -31,6 +31,8 @@ pub mod engines;
 pub mod experiments;
 pub mod oracle;
 pub mod record;
+pub mod runner;
+pub mod scenario;
 pub mod sweep;
 
 pub use config::{Protocol, SimConfig};
@@ -38,3 +40,5 @@ pub use engine::Simulation;
 pub use engines::run_protocol;
 pub use oracle::Oracle;
 pub use record::{ItemRecord, SimReport};
+pub use runner::Runner;
+pub use scenario::{Scenario, ScenarioFile};

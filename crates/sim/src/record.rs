@@ -120,6 +120,47 @@ impl SimReport {
         self.items.iter().filter(|r| r.measured).count()
     }
 
+    /// The run's headline numbers as a strict-JSON value tree (what the
+    /// `whatsup-sim` CLI writes; stable keys, machine-parseable).
+    pub fn summary_json(&self) -> serde::json::Value {
+        use serde::json::Value;
+        let s = self.scores();
+        Value::object(vec![
+            ("protocol", Value::String(self.protocol.clone())),
+            ("dataset", Value::String(self.dataset.clone())),
+            (
+                "fanout",
+                self.fanout
+                    .map(|f| Value::Number(f as f64))
+                    .unwrap_or(Value::Null),
+            ),
+            ("n_nodes", Value::Number(self.n_nodes as f64)),
+            ("cycles", Value::Number(f64::from(self.cycles))),
+            (
+                "measured_items",
+                Value::Number(self.measured_items() as f64),
+            ),
+            (
+                "scores",
+                Value::object(vec![
+                    ("precision", Value::Number(s.precision)),
+                    ("recall", Value::Number(s.recall)),
+                    ("f1", Value::Number(s.f1)),
+                ]),
+            ),
+            ("news_messages", Value::Number(self.news_messages as f64)),
+            (
+                "news_messages_all",
+                Value::Number(self.news_messages_all as f64),
+            ),
+            (
+                "gossip_messages",
+                Value::Number(self.gossip_messages as f64),
+            ),
+            ("messages_per_user", Value::Number(self.messages_per_user())),
+        ])
+    }
+
     /// Fig. 3 x-axis: news messages per cycle per node (measured items,
     /// measured cycle span).
     pub fn messages_per_cycle_per_node(&self) -> f64 {

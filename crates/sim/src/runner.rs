@@ -1,0 +1,358 @@
+//! The [`Runner`]: one typed entry point for every workload.
+//!
+//! Every way of executing a simulation — any protocol (node-based or
+//! global baseline), any [`Scenario`], any shard count, in-process or on
+//! `sim-shard-worker` child processes — is expressed as one builder chain:
+//!
+//! ```no_run
+//! use whatsup_sim::{Runner, Protocol, SimConfig};
+//! use whatsup_sim::scenario::{Scenario, Workload};
+//! # let dataset = whatsup_datasets::survey::generate(
+//! #     &whatsup_datasets::SurveyConfig::paper().scaled(0.1), 42);
+//!
+//! let report = Runner::new(&dataset, Protocol::WhatsUp { f_like: 10 })
+//!     .config(SimConfig { cycles: 65, ..Default::default() })
+//!     .scenario(Scenario::default().with_workload(
+//!         Workload::FlashCrowd { at: 30, fraction: 0.25 }))
+//!     .shards(4)
+//!     .run();
+//! ```
+//!
+//! `run_protocol`, the sweeps, the dynamics experiment and the `whatsup-sim`
+//! CLI all route through here. Reports are a pure function of
+//! `(dataset, protocol, config, scenario)` — bit-identical across shard
+//! counts and transports (see the engine module docs for the contract).
+
+use crate::config::{Protocol, SimConfig};
+use crate::engine::Simulation;
+use crate::engines::{cascade, centralized, pubsub};
+use crate::record::SimReport;
+use crate::scenario::Scenario;
+use std::io;
+use std::path::PathBuf;
+use whatsup_datasets::Dataset;
+
+/// Builder for one simulation run. See the module docs for the grammar.
+#[derive(Debug, Clone)]
+pub struct Runner<'a> {
+    dataset: &'a Dataset,
+    protocol: Protocol,
+    cfg: SimConfig,
+    scenario: Option<Scenario>,
+    worker: Option<PathBuf>,
+}
+
+impl<'a> Runner<'a> {
+    /// A runner with the default config and the scenario the config
+    /// describes (uniform workload, constant loss, uniform churn).
+    pub fn new(dataset: &'a Dataset, protocol: Protocol) -> Self {
+        Self {
+            dataset,
+            protocol,
+            cfg: SimConfig::default(),
+            scenario: None,
+            worker: None,
+        }
+    }
+
+    /// Replaces the whole run configuration — including the `shards` and
+    /// `seed` fields, so call it *before* the [`Runner::shards`] /
+    /// [`Runner::seed`] shorthands.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Runs an explicit scenario. Its environment *replaces* the config's
+    /// `loss`/`churn_per_cycle` knobs (without this call, those knobs
+    /// become the scenario via [`Scenario::from_config`]).
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Engine shard count (`0` = one per core). A pure execution knob:
+    /// reports are bit-identical for every value. Writes into the current
+    /// config — apply after [`Runner::config`], which replaces it.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// RNG seed override. Writes into the current config — apply after
+    /// [`Runner::config`], which replaces it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Runs the shards as `sim-shard-worker` child processes found at
+    /// `worker` (stdio-pipe transport) instead of in-process threads.
+    /// Only meaningful for node-based protocols.
+    pub fn multiprocess(mut self, worker: impl Into<PathBuf>) -> Self {
+        self.worker = Some(worker.into());
+        self
+    }
+
+    fn resolved_scenario(&self) -> Scenario {
+        self.scenario
+            .clone()
+            .unwrap_or_else(|| Scenario::from_config(&self.cfg))
+    }
+
+    /// Builds a steppable in-process [`Simulation`] (node-based protocols
+    /// only). Scenario events fire automatically as the cycles advance.
+    ///
+    /// # Panics
+    /// Panics for global protocols (cascade, pub/sub, centralized — they
+    /// have no per-cycle engine; use [`Runner::run`]), if a worker binary
+    /// was configured, or if the config/scenario is invalid.
+    pub fn build(self) -> Simulation {
+        assert!(
+            self.worker.is_none(),
+            "build() is in-process; multiprocess transports run to completion via run()"
+        );
+        let scenario = self.resolved_scenario();
+        Simulation::with_scenario(self.dataset, self.protocol, self.cfg, scenario)
+    }
+
+    /// Runs to completion and reports; `Err` only for multiprocess worker
+    /// I/O failures.
+    ///
+    /// # Panics
+    /// Panics if the config or scenario is invalid.
+    pub fn try_run(self) -> io::Result<SimReport> {
+        let scenario = self.resolved_scenario();
+        match self.protocol {
+            // Global baselines have no gossip layer: the workload schedule
+            // applies; the environment and events do not (the centralized
+            // server is assumed reliable — cf. the engines' module docs).
+            p if p.is_global() => {
+                self.cfg.validate().expect("invalid simulation config");
+                scenario.validate(&self.cfg).expect("invalid scenario");
+                scenario
+                    .validate_for_global(&self.protocol)
+                    .expect("scenario not expressible on a global engine");
+                scenario
+                    .validate_events(self.dataset.n_users())
+                    .expect("invalid scenario");
+                let topics: Vec<u32> = self.dataset.items.iter().map(|spec| spec.topic).collect();
+                let schedule = scenario.workload.schedule(&self.cfg, &topics);
+                Ok(match self.protocol {
+                    Protocol::Cascade => cascade::run_scheduled(self.dataset, &self.cfg, &schedule),
+                    Protocol::CPubSub => pubsub::run_scheduled(self.dataset, &self.cfg, &schedule),
+                    Protocol::CWhatsUp { f_like } => {
+                        centralized::run_scheduled(self.dataset, f_like, &self.cfg, &schedule)
+                    }
+                    _ => unreachable!("matched above"),
+                })
+            }
+            node_protocol => match self.worker {
+                Some(worker) => Simulation::run_multiprocess_scenario(
+                    self.dataset,
+                    node_protocol,
+                    self.cfg,
+                    scenario,
+                    &worker,
+                ),
+                None => {
+                    Ok(
+                        Simulation::with_scenario(self.dataset, node_protocol, self.cfg, scenario)
+                            .run(),
+                    )
+                }
+            },
+        }
+    }
+
+    /// Runs to completion and reports.
+    ///
+    /// # Panics
+    /// Panics if the config or scenario is invalid, or on worker I/O
+    /// failures (use [`Runner::try_run`] to handle those).
+    pub fn run(self) -> SimReport {
+        self.try_run().expect("shard worker processes failed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ChurnModel, Environment, Event, LossModel, TimedEvent, Workload};
+    use whatsup_datasets::{digg, survey, DiggConfig, SurveyConfig};
+
+    fn dataset() -> Dataset {
+        survey::generate(&SurveyConfig::paper().scaled(0.1), 21)
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            cycles: 16,
+            publish_from: 2,
+            measure_from: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn runner_matches_legacy_entry_points() {
+        let d = dataset();
+        let via_runner = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg())
+            .run();
+        let via_engine = Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, cfg()).run();
+        assert_eq!(via_runner, via_engine);
+    }
+
+    #[test]
+    fn runner_dispatches_global_protocols() {
+        let d = digg::generate(&DiggConfig::paper().scaled(0.06), 3);
+        for p in [
+            Protocol::Cascade,
+            Protocol::CPubSub,
+            Protocol::CWhatsUp { f_like: 3 },
+        ] {
+            let r = Runner::new(&d, p).config(cfg()).run();
+            assert_eq!(r.protocol, p.label());
+            assert!(r.measured_items() > 0);
+        }
+    }
+
+    #[test]
+    fn global_protocols_honor_the_workload_schedule() {
+        let d = digg::generate(&DiggConfig::paper().scaled(0.06), 3);
+        let burst = Runner::new(&d, Protocol::CPubSub)
+            .config(cfg())
+            .scenario(Scenario::default().with_workload(Workload::FlashCrowd {
+                at: 7,
+                fraction: 1.0,
+            }))
+            .run();
+        // fraction 1.0: every item publishes in the burst cycle.
+        assert!(burst.items.iter().all(|r| r.published_at == 7));
+    }
+
+    #[test]
+    fn shards_knob_is_invisible_in_the_report() {
+        let d = dataset();
+        let one = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg())
+            .run();
+        let four = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg())
+            .shards(4)
+            .run();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn scenario_runs_end_to_end() {
+        let d = dataset();
+        let scenario = Scenario {
+            workload: Workload::FlashCrowd {
+                at: 6,
+                fraction: 0.3,
+            },
+            environment: Environment {
+                loss: LossModel::GilbertElliott {
+                    p_good: 0.01,
+                    p_bad: 0.4,
+                    good_to_bad: 0.2,
+                    bad_to_good: 0.5,
+                },
+                churn: ChurnModel::CrashWave {
+                    at: 8,
+                    fraction: 0.1,
+                },
+            },
+            events: vec![
+                TimedEvent {
+                    at: 5,
+                    event: Event::JoinClone { reference: 0 },
+                },
+                TimedEvent {
+                    at: 7,
+                    event: Event::SwapInterests { a: 1, b: 2 },
+                },
+                TimedEvent {
+                    at: 9,
+                    event: Event::ResetNode { node: 3 },
+                },
+            ],
+        };
+        let report = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg())
+            .scenario(scenario)
+            .run();
+        // The joiner grew the population by one.
+        assert_eq!(report.n_nodes, d.n_users() + 1);
+        assert!(report.measured_items() > 0);
+        assert!(report.scores().recall > 0.0);
+    }
+
+    #[test]
+    fn mass_join_grows_the_population() {
+        let d = dataset();
+        let scenario = Scenario::default().with_environment(Environment {
+            loss: LossModel::Constant { p: 0.0 },
+            churn: ChurnModel::MassJoin { at: 4, count: 5 },
+        });
+        let report = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg())
+            .scenario(scenario)
+            .run();
+        assert_eq!(report.n_nodes, d.n_users() + 5);
+    }
+
+    #[test]
+    fn partition_window_hurts_recall() {
+        let d = dataset();
+        let clean = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg())
+            .run();
+        let split = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg())
+            .scenario(Scenario::default().with_environment(Environment {
+                loss: LossModel::Partition {
+                    from: 6,
+                    until: 16,
+                    frontier: 0.5,
+                },
+                churn: ChurnModel::None,
+            }))
+            .run();
+        assert!(
+            split.scores().recall < clean.scores().recall,
+            "a 10-cycle half-split must hurt recall: clean {:?} split {:?}",
+            clean.scores(),
+            split.scores()
+        );
+    }
+
+    #[test]
+    fn build_gives_a_steppable_simulation_with_events() {
+        let d = dataset();
+        let joiner_id = d.n_users() as u32;
+        let mut sim = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg())
+            .scenario(Scenario::default().with_events(vec![TimedEvent {
+                at: 5,
+                event: Event::JoinClone { reference: 0 },
+            }]))
+            .build();
+        while sim.current_cycle() < 5 {
+            sim.step();
+        }
+        assert_eq!(
+            sim.n_nodes(),
+            d.n_users(),
+            "join fires at the start of cycle 5"
+        );
+        sim.step();
+        assert_eq!(sim.n_nodes(), d.n_users() + 1);
+        while sim.current_cycle() < 16 {
+            sim.step();
+        }
+        assert!(!sim.node(joiner_id).wup_neighbor_ids().is_empty());
+    }
+}

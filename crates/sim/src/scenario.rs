@@ -1,0 +1,1415 @@
+//! The scenario layer: one typed, serializable description of a workload.
+//!
+//! The paper evaluates WHATSUP under fanout sweeps, message loss, churn and
+//! joining/switching nodes (§V-C–§V-E); real news systems add flash crowds,
+//! diurnal publication waves and correlated failures on top. A [`Scenario`]
+//! captures all of those as data:
+//!
+//! * [`Workload`] — when the dataset's items are published (uniform spread,
+//!   flash-crowd burst, diurnal wave, topic-skewed hotspot);
+//! * [`Environment`] — the network the run happens in: a [`LossModel`]
+//!   (constant, bursty Gilbert–Elliott, timed partition window) and a
+//!   [`ChurnModel`] (uniform per-cycle, correlated crash wave, mass join);
+//! * `events` — a cycle-stamped timeline of typed [`Event`]s (join a clone,
+//!   swap interests, reset a node) replacing hand-written choreography.
+//!
+//! Scenarios are applied at phase boundaries inside the sharded engine (see
+//! `crate::engine`), so the determinism contract — reports bit-identical
+//! across shard counts and exchange transports — holds for **every**
+//! scenario, not just the default one. [`crate::Runner`] is the entry point
+//! that takes one.
+//!
+//! # JSON schema
+//!
+//! Scenarios round-trip through JSON (`to_json` / `serde_json::from_str`).
+//! Every enum is a tagged object with a `"kind"` discriminator; all numbers
+//! are JSON numbers (f64-precision — seeds above 2^53 do not round-trip).
+//!
+//! ```json
+//! {
+//!   "workload":
+//!     {"kind": "uniform"}
+//!     | {"kind": "flash_crowd", "at": 6, "fraction": 0.3}
+//!     | {"kind": "diurnal", "period": 12, "amplitude": 0.8}
+//!     | {"kind": "topic_hotspot", "topic": 2, "at": 6, "span": 3},
+//!   "environment": {
+//!     "loss":
+//!       {"kind": "constant", "p": 0.1}
+//!       | {"kind": "gilbert_elliott", "p_good": 0.02, "p_bad": 0.4,
+//!          "good_to_bad": 0.15, "bad_to_good": 0.5}
+//!       | {"kind": "partition", "from": 5, "until": 9, "frontier": 0.5},
+//!     "churn":
+//!       {"kind": "none"}
+//!       | {"kind": "uniform", "per_cycle": 0.02}
+//!       | {"kind": "crash_wave", "at": 8, "fraction": 0.15}
+//!       | {"kind": "mass_join", "at": 8, "count": 5}
+//!   },
+//!   "events": [
+//!     {"at": 6, "kind": "join_clone", "reference": 0},
+//!     {"at": 7, "kind": "swap_interests", "a": 1, "b": 2},
+//!     {"at": 9, "kind": "reset_node", "node": 3}
+//!   ]
+//! }
+//! ```
+//!
+//! A [`ScenarioFile`] wraps a scenario with everything else a run needs —
+//! dataset recipe, protocol and [`SimConfig`] — and is what the
+//! `whatsup-sim` CLI executes:
+//!
+//! ```json
+//! {
+//!   "dataset": {"kind": "survey" | "digg" | "synthetic",
+//!               "scale": 0.08, "seed": 11},
+//!   "protocol": {"kind": "whatsup", "f_like": 4},
+//!   "config": {"cycles": 14, "publish_from": 2, "measure_from": 5},
+//!   "scenario": { ... }
+//! }
+//! ```
+//!
+//! `config` accepts any subset of [`SimConfig`]'s fields (missing fields
+//! take their defaults).
+
+use crate::config::{Protocol, SimConfig};
+use serde::json::{Error, Value};
+use serde::{Deserialize, Serialize};
+use whatsup_core::NodeId;
+use whatsup_datasets::{digg, survey, synthetic, Dataset};
+use whatsup_datasets::{DiggConfig, SurveyConfig, SyntheticConfig};
+
+/// When the dataset's items are published (the x-axis of every epidemic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Items spread evenly over `[publish_from, cycles)` (the paper's
+    /// methodology, and the legacy `SimConfig::schedule`).
+    Uniform,
+    /// A breaking-news spike: every `⌈1/fraction⌉`-th item publishes at
+    /// cycle `at`; the rest keep their uniform slot. The stride selection
+    /// approximates the fraction from below (e.g. `0.7` bursts every 2nd
+    /// item = 50%); `1.0` bursts everything.
+    FlashCrowd { at: u32, fraction: f64 },
+    /// A sinusoidal day/night wave: per-cycle publication density follows
+    /// `1 + amplitude · sin(2π · (cycle - publish_from) / period)`.
+    Diurnal { period: u32, amplitude: f64 },
+    /// One topic goes hot: its items publish inside `[at, at + span)`;
+    /// items of other topics keep their uniform slot.
+    TopicHotspot { topic: u32, at: u32, span: u32 },
+}
+
+impl Workload {
+    /// Publication cycle per item. `topics[i]` is item `i`'s topic (only
+    /// [`Workload::TopicHotspot`] reads it). Every returned cycle lies in
+    /// `[publish_from, cycles)`; the mapping is a pure function of its
+    /// inputs.
+    pub fn schedule(&self, cfg: &SimConfig, topics: &[u32]) -> Vec<u32> {
+        let n = topics.len();
+        let clamp = |c: u32| c.clamp(cfg.publish_from, cfg.cycles.saturating_sub(1));
+        let uniform = cfg.schedule(n);
+        match *self {
+            Workload::Uniform => uniform,
+            Workload::FlashCrowd { at, fraction } => {
+                let stride = (1.0 / fraction.max(f64::EPSILON)).ceil().max(1.0) as usize;
+                let burst = clamp(at);
+                uniform
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| if i % stride == 0 { burst } else { c })
+                    .collect()
+            }
+            Workload::Diurnal { period, amplitude } => {
+                let span = (cfg.cycles - cfg.publish_from).max(1);
+                let weight = |c: u32| {
+                    let t = (c - cfg.publish_from) as f64 / period.max(1) as f64;
+                    1.0 + amplitude * (std::f64::consts::TAU * t).sin()
+                };
+                let total: f64 = (0..span).map(|k| weight(cfg.publish_from + k)).sum();
+                let mut out = Vec::with_capacity(n);
+                let mut cum = 0.0;
+                let mut cycle = cfg.publish_from;
+                for i in 0..n {
+                    // Item i sits at quantile (i + ½)/n of the density.
+                    let target = (i as f64 + 0.5) / n as f64 * total;
+                    while cycle + 1 < cfg.publish_from + span && cum + weight(cycle) < target {
+                        cum += weight(cycle);
+                        cycle += 1;
+                    }
+                    out.push(cycle);
+                }
+                out
+            }
+            Workload::TopicHotspot { topic, at, span } => {
+                let n_hot = topics.iter().filter(|&&t| t == topic).count().max(1) as u64;
+                let mut rank = 0u64;
+                uniform
+                    .into_iter()
+                    .zip(topics)
+                    .map(|(c, &t)| {
+                        if t == topic {
+                            // u64 arithmetic: `at + rank·span/n_hot` cannot
+                            // overflow before the clamp into the run window.
+                            let slot = (at as u64 + rank * span.max(1) as u64 / n_hot)
+                                .min(u32::MAX as u64) as u32;
+                            rank += 1;
+                            clamp(slot)
+                        } else {
+                            c
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Per-message loss (paper §V-E generalized). Every model draws its coins
+/// from the *receiver's* phase stream (or none at all), so it cannot leak
+/// across shard boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Independent per-message loss with a fixed probability (the legacy
+    /// `SimConfig::loss`).
+    Constant { p: f64 },
+    /// Bursty loss: each node's inbound channel is a two-state Markov chain
+    /// (Good/Bad) advanced once per cycle; messages drop with `p_good` or
+    /// `p_bad` depending on the receiver's current state.
+    GilbertElliott {
+        p_good: f64,
+        p_bad: f64,
+        /// P(Good → Bad) per cycle.
+        good_to_bad: f64,
+        /// P(Bad → Good) per cycle.
+        bad_to_good: f64,
+    },
+    /// A timed network split: during `[from, until)` every message crossing
+    /// the id-space frontier (`frontier` = fraction of the population in
+    /// the lower half) is dropped deterministically.
+    Partition {
+        from: u32,
+        until: u32,
+        frontier: f64,
+    },
+}
+
+/// Node arrivals and departures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnModel {
+    /// A stable population.
+    None,
+    /// Every cycle each node crashes (and rejoins cold) with this
+    /// probability (the legacy `SimConfig::churn_per_cycle`).
+    Uniform { per_cycle: f64 },
+    /// A correlated failure: at cycle `at`, each node crashes with
+    /// probability `fraction` — one burst, then quiet.
+    CrashWave { at: u32, fraction: f64 },
+    /// `count` fresh nodes join at cycle `at`, each cloning the interests
+    /// of a uniformly drawn existing node.
+    MassJoin { at: u32, count: u32 },
+}
+
+impl ChurnModel {
+    /// The per-node crash probability at `cycle`.
+    pub fn crash_rate(&self, cycle: u32) -> f64 {
+        match *self {
+            ChurnModel::Uniform { per_cycle } => per_cycle,
+            ChurnModel::CrashWave { at, fraction } if cycle == at => fraction,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of nodes joining at the start of `cycle`.
+    pub fn joins_at(&self, cycle: u32) -> u32 {
+        match *self {
+            ChurnModel::MassJoin { at, count } if cycle == at => count,
+            _ => 0,
+        }
+    }
+}
+
+/// The network conditions of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    pub loss: LossModel,
+    pub churn: ChurnModel,
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Self {
+            loss: LossModel::Constant { p: 0.0 },
+            churn: ChurnModel::None,
+        }
+    }
+}
+
+/// One typed timeline event (paper §V-C's interactive experiments as data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A node joins with interests cloned from `reference` (cold start from
+    /// a random contact's views, §II-D). Joiners take the next free id.
+    JoinClone { reference: NodeId },
+    /// Nodes `a` and `b` swap their ground-truth interests.
+    SwapInterests { a: NodeId, b: NodeId },
+    /// `node` crashes and rejoins fresh from a random contact's views.
+    ResetNode { node: NodeId },
+}
+
+/// An [`Event`] stamped with the cycle it fires at (start of that cycle,
+/// before the collect phase; same-cycle events apply in list order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    pub at: u32,
+    pub event: Event,
+}
+
+/// Upper bound on one mass-join burst — a capacity guard, far above any
+/// plausible experiment, so a typo'd scenario file cannot ask the engine to
+/// allocate millions of nodes.
+pub const MAX_MASS_JOIN: usize = 100_000;
+
+/// A complete workload description: what publishes when, under which
+/// network conditions, with which choreographed population changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    pub workload: Workload,
+    pub environment: Environment,
+    pub events: Vec<TimedEvent>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self {
+            workload: Workload::Uniform,
+            environment: Environment::default(),
+            events: Vec::new(),
+        }
+    }
+}
+
+impl Scenario {
+    /// The legacy scenario a bare [`SimConfig`] describes: uniform
+    /// publications, constant loss, uniform churn, no events. Runs built
+    /// from it are bit-identical to the pre-scenario engine.
+    pub fn from_config(cfg: &SimConfig) -> Self {
+        Self {
+            workload: Workload::Uniform,
+            environment: Environment {
+                loss: LossModel::Constant { p: cfg.loss },
+                churn: if cfg.churn_per_cycle > 0.0 {
+                    ChurnModel::Uniform {
+                        per_cycle: cfg.churn_per_cycle,
+                    }
+                } else {
+                    ChurnModel::None
+                },
+            },
+            events: Vec::new(),
+        }
+    }
+
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    pub fn with_environment(mut self, environment: Environment) -> Self {
+        self.environment = environment;
+        self
+    }
+
+    pub fn with_events(mut self, events: Vec<TimedEvent>) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Checks every model parameter against `cfg`'s run shape.
+    pub fn validate(&self, cfg: &SimConfig) -> Result<(), String> {
+        let prob = |p: f64, what: &str| {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("{what} must be a probability, got {p}"))
+            }
+        };
+        let in_run = |at: u32, what: &str| {
+            if at < cfg.cycles {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{what} at cycle {at} falls outside the {}-cycle run",
+                    cfg.cycles
+                ))
+            }
+        };
+        match self.workload {
+            Workload::Uniform => {}
+            Workload::FlashCrowd { at, fraction } => {
+                in_run(at, "flash-crowd burst")?;
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Err(format!(
+                        "flash-crowd fraction must be in (0, 1], got {fraction}"
+                    ));
+                }
+            }
+            Workload::Diurnal { period, amplitude } => {
+                if period == 0 {
+                    return Err("diurnal period must be ≥ 1".into());
+                }
+                if !(0.0..=1.0).contains(&amplitude) {
+                    return Err(format!(
+                        "diurnal amplitude must be in [0, 1], got {amplitude}"
+                    ));
+                }
+            }
+            Workload::TopicHotspot { at, span, .. } => {
+                in_run(at, "topic hotspot")?;
+                if span == 0 {
+                    return Err("hotspot span must be ≥ 1".into());
+                }
+            }
+        }
+        match self.environment.loss {
+            LossModel::Constant { p } => prob(p, "loss")?,
+            LossModel::GilbertElliott {
+                p_good,
+                p_bad,
+                good_to_bad,
+                bad_to_good,
+            } => {
+                prob(p_good, "p_good")?;
+                prob(p_bad, "p_bad")?;
+                prob(good_to_bad, "good_to_bad")?;
+                prob(bad_to_good, "bad_to_good")?;
+            }
+            LossModel::Partition {
+                from,
+                until,
+                frontier,
+            } => {
+                if !(frontier > 0.0 && frontier < 1.0) {
+                    return Err(format!(
+                        "partition frontier must be in (0, 1), got {frontier}"
+                    ));
+                }
+                if from >= until {
+                    return Err(format!(
+                        "partition window [{from}, {until}) is empty — it would never open"
+                    ));
+                }
+                in_run(from, "partition window start")?;
+            }
+        }
+        match self.environment.churn {
+            ChurnModel::None => {}
+            ChurnModel::Uniform { per_cycle } => prob(per_cycle, "churn")?,
+            ChurnModel::CrashWave { at, fraction } => {
+                in_run(at, "crash wave")?;
+                prob(fraction, "crash-wave fraction")?;
+            }
+            ChurnModel::MassJoin { at, count } => {
+                in_run(at, "mass join")?;
+                if count as usize > MAX_MASS_JOIN {
+                    return Err(format!(
+                        "mass join of {count} nodes exceeds the engine limit ({MAX_MASS_JOIN})"
+                    ));
+                }
+            }
+        }
+        for e in &self.events {
+            if e.at >= cfg.cycles {
+                return Err(format!(
+                    "event at cycle {} falls outside the {}-cycle run",
+                    e.at, cfg.cycles
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that this scenario is expressible on the global baseline
+    /// engines (cascade, pub/sub, centralized). They have no per-cycle
+    /// gossip layer, so only the workload schedule applies there; timeline
+    /// events and the non-trivial environment models would be silently
+    /// ignored — reject them instead. (Constant loss and uniform churn pass
+    /// through for config-knob parity; the engines document ignoring them.)
+    pub fn validate_for_global(&self, protocol: &Protocol) -> Result<(), String> {
+        if !protocol.is_global() {
+            return Ok(());
+        }
+        let engine = protocol.label();
+        if !self.events.is_empty() {
+            return Err(format!(
+                "timeline events cannot fire on the global {engine} engine"
+            ));
+        }
+        if !matches!(self.environment.loss, LossModel::Constant { .. }) {
+            return Err(format!(
+                "only constant loss is expressible on the global {engine} engine"
+            ));
+        }
+        if !matches!(
+            self.environment.churn,
+            ChurnModel::None | ChurnModel::Uniform { .. }
+        ) {
+            return Err(format!(
+                "crash waves and mass joins cannot fire on the global {engine} engine"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks every event's node ids against the population the run will
+    /// actually have when the event fires: `initial_nodes`, plus the mass
+    /// join once its cycle has passed, plus every `JoinClone` that fired
+    /// earlier (events execute ordered by cycle, list order within one).
+    /// Call it once the dataset size is known — invalid ids would otherwise
+    /// surface as index panics deep inside the engine.
+    pub fn validate_events(&self, initial_nodes: usize) -> Result<(), String> {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| self.events[i].at);
+        let mass = |cycle: u32| match self.environment.churn {
+            ChurnModel::MassJoin { at, count } if at <= cycle => count as usize,
+            _ => 0,
+        };
+        let mut prior_joins = 0usize;
+        for &i in &order {
+            let e = &self.events[i];
+            let population = initial_nodes + mass(e.at) + prior_joins;
+            let check = |id: NodeId, what: &str| {
+                if (id as usize) < population {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{what} {id} is out of range at cycle {} (population {population})",
+                        e.at
+                    ))
+                }
+            };
+            match e.event {
+                Event::JoinClone { reference } => {
+                    check(reference, "join reference")?;
+                    prior_joins += 1;
+                }
+                Event::SwapInterests { a, b } => {
+                    check(a, "swap node")?;
+                    check(b, "swap node")?;
+                }
+                Event::ResetNode { node } => {
+                    check(node, "reset node")?;
+                    if population < 2 {
+                        return Err(format!(
+                            "reset at cycle {} needs a rejoin contact (population 1)",
+                            e.at
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding
+// ---------------------------------------------------------------------------
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::object(entries)
+}
+
+fn num(n: impl Into<f64>) -> Value {
+    Value::Number(n.into())
+}
+
+fn string(s: &str) -> Value {
+    Value::String(s.to_string())
+}
+
+impl Workload {
+    pub fn to_json(&self) -> Value {
+        match *self {
+            Workload::Uniform => obj(vec![("kind", string("uniform"))]),
+            Workload::FlashCrowd { at, fraction } => obj(vec![
+                ("kind", string("flash_crowd")),
+                ("at", num(at)),
+                ("fraction", num(fraction)),
+            ]),
+            Workload::Diurnal { period, amplitude } => obj(vec![
+                ("kind", string("diurnal")),
+                ("period", num(period)),
+                ("amplitude", num(amplitude)),
+            ]),
+            Workload::TopicHotspot { topic, at, span } => obj(vec![
+                ("kind", string("topic_hotspot")),
+                ("topic", num(topic)),
+                ("at", num(at)),
+                ("span", num(span)),
+            ]),
+        }
+    }
+}
+
+impl LossModel {
+    pub fn to_json(&self) -> Value {
+        match *self {
+            LossModel::Constant { p } => obj(vec![("kind", string("constant")), ("p", num(p))]),
+            LossModel::GilbertElliott {
+                p_good,
+                p_bad,
+                good_to_bad,
+                bad_to_good,
+            } => obj(vec![
+                ("kind", string("gilbert_elliott")),
+                ("p_good", num(p_good)),
+                ("p_bad", num(p_bad)),
+                ("good_to_bad", num(good_to_bad)),
+                ("bad_to_good", num(bad_to_good)),
+            ]),
+            LossModel::Partition {
+                from,
+                until,
+                frontier,
+            } => obj(vec![
+                ("kind", string("partition")),
+                ("from", num(from)),
+                ("until", num(until)),
+                ("frontier", num(frontier)),
+            ]),
+        }
+    }
+}
+
+impl ChurnModel {
+    pub fn to_json(&self) -> Value {
+        match *self {
+            ChurnModel::None => obj(vec![("kind", string("none"))]),
+            ChurnModel::Uniform { per_cycle } => obj(vec![
+                ("kind", string("uniform")),
+                ("per_cycle", num(per_cycle)),
+            ]),
+            ChurnModel::CrashWave { at, fraction } => obj(vec![
+                ("kind", string("crash_wave")),
+                ("at", num(at)),
+                ("fraction", num(fraction)),
+            ]),
+            ChurnModel::MassJoin { at, count } => obj(vec![
+                ("kind", string("mass_join")),
+                ("at", num(at)),
+                ("count", num(count)),
+            ]),
+        }
+    }
+}
+
+impl TimedEvent {
+    pub fn to_json(&self) -> Value {
+        let mut entries = vec![("at", num(self.at))];
+        match self.event {
+            Event::JoinClone { reference } => {
+                entries.push(("kind", string("join_clone")));
+                entries.push(("reference", num(reference)));
+            }
+            Event::SwapInterests { a, b } => {
+                entries.push(("kind", string("swap_interests")));
+                entries.push(("a", num(a)));
+                entries.push(("b", num(b)));
+            }
+            Event::ResetNode { node } => {
+                entries.push(("kind", string("reset_node")));
+                entries.push(("node", num(node)));
+            }
+        }
+        obj(entries)
+    }
+}
+
+impl Scenario {
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("workload", self.workload.to_json()),
+            (
+                "environment",
+                obj(vec![
+                    ("loss", self.environment.loss.to_json()),
+                    ("churn", self.environment.churn.to_json()),
+                ]),
+            ),
+            (
+                "events",
+                Value::Array(self.events.iter().map(TimedEvent::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON decoding
+// ---------------------------------------------------------------------------
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, Error> {
+    v.get(key)
+        .ok_or_else(|| Error::new(format!("missing field {key:?}")))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, Error> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| Error::new(format!("field {key:?} must be a number")))
+}
+
+fn u32_field(v: &Value, key: &str) -> Result<u32, Error> {
+    field(v, key)?
+        .as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| Error::new(format!("field {key:?} must be a u32")))
+}
+
+fn kind_of(v: &Value) -> Result<&str, Error> {
+    field(v, "kind")?
+        .as_str()
+        .ok_or_else(|| Error::new("field \"kind\" must be a string"))
+}
+
+impl Deserialize for Workload {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match kind_of(v)? {
+            "uniform" => Ok(Workload::Uniform),
+            "flash_crowd" => Ok(Workload::FlashCrowd {
+                at: u32_field(v, "at")?,
+                fraction: f64_field(v, "fraction")?,
+            }),
+            "diurnal" => Ok(Workload::Diurnal {
+                period: u32_field(v, "period")?,
+                amplitude: f64_field(v, "amplitude")?,
+            }),
+            "topic_hotspot" => Ok(Workload::TopicHotspot {
+                topic: u32_field(v, "topic")?,
+                at: u32_field(v, "at")?,
+                span: u32_field(v, "span")?,
+            }),
+            other => Err(Error::new(format!("unknown workload kind {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for LossModel {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match kind_of(v)? {
+            "constant" => Ok(LossModel::Constant {
+                p: f64_field(v, "p")?,
+            }),
+            "gilbert_elliott" => Ok(LossModel::GilbertElliott {
+                p_good: f64_field(v, "p_good")?,
+                p_bad: f64_field(v, "p_bad")?,
+                good_to_bad: f64_field(v, "good_to_bad")?,
+                bad_to_good: f64_field(v, "bad_to_good")?,
+            }),
+            "partition" => Ok(LossModel::Partition {
+                from: u32_field(v, "from")?,
+                until: u32_field(v, "until")?,
+                frontier: f64_field(v, "frontier")?,
+            }),
+            other => Err(Error::new(format!("unknown loss kind {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for ChurnModel {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match kind_of(v)? {
+            "none" => Ok(ChurnModel::None),
+            "uniform" => Ok(ChurnModel::Uniform {
+                per_cycle: f64_field(v, "per_cycle")?,
+            }),
+            "crash_wave" => Ok(ChurnModel::CrashWave {
+                at: u32_field(v, "at")?,
+                fraction: f64_field(v, "fraction")?,
+            }),
+            "mass_join" => Ok(ChurnModel::MassJoin {
+                at: u32_field(v, "at")?,
+                count: u32_field(v, "count")?,
+            }),
+            other => Err(Error::new(format!("unknown churn kind {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for TimedEvent {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let at = u32_field(v, "at")?;
+        let event = match kind_of(v)? {
+            "join_clone" => Event::JoinClone {
+                reference: u32_field(v, "reference")?,
+            },
+            "swap_interests" => Event::SwapInterests {
+                a: u32_field(v, "a")?,
+                b: u32_field(v, "b")?,
+            },
+            "reset_node" => Event::ResetNode {
+                node: u32_field(v, "node")?,
+            },
+            other => return Err(Error::new(format!("unknown event kind {other:?}"))),
+        };
+        Ok(TimedEvent { at, event })
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let environment = field(v, "environment")?;
+        Ok(Scenario {
+            workload: Workload::from_json_value(field(v, "workload")?)?,
+            environment: Environment {
+                loss: LossModel::from_json_value(field(environment, "loss")?)?,
+                churn: ChurnModel::from_json_value(field(environment, "churn")?)?,
+            },
+            events: match v.get("events") {
+                None => Vec::new(),
+                Some(events) => Vec::<TimedEvent>::from_json_value(events)?,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol / SimConfig / dataset recipe codecs (the scenario-file surface)
+// ---------------------------------------------------------------------------
+
+impl Protocol {
+    pub fn to_json(&self) -> Value {
+        match *self {
+            Protocol::WhatsUp { f_like } => obj(vec![
+                ("kind", string("whatsup")),
+                ("f_like", num(f_like as u32)),
+            ]),
+            Protocol::WhatsUpCos { f_like } => obj(vec![
+                ("kind", string("whatsup_cos")),
+                ("f_like", num(f_like as u32)),
+            ]),
+            Protocol::CfWup { k } => obj(vec![("kind", string("cf_wup")), ("k", num(k as u32))]),
+            Protocol::CfCos { k } => obj(vec![("kind", string("cf_cos")), ("k", num(k as u32))]),
+            Protocol::Gossip { fanout } => obj(vec![
+                ("kind", string("gossip")),
+                ("fanout", num(fanout as u32)),
+            ]),
+            Protocol::Cascade => obj(vec![("kind", string("cascade"))]),
+            Protocol::CPubSub => obj(vec![("kind", string("c_pub_sub"))]),
+            Protocol::CWhatsUp { f_like } => obj(vec![
+                ("kind", string("c_whatsup")),
+                ("f_like", num(f_like as u32)),
+            ]),
+            Protocol::NoAmplification { fanout } => obj(vec![
+                ("kind", string("no_amplification")),
+                ("fanout", num(fanout as u32)),
+            ]),
+            Protocol::NoOrientation { f_like } => obj(vec![
+                ("kind", string("no_orientation")),
+                ("f_like", num(f_like as u32)),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Protocol {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let usize_field = |key: &str| u32_field(v, key).map(|n| n as usize);
+        Ok(match kind_of(v)? {
+            "whatsup" => Protocol::WhatsUp {
+                f_like: usize_field("f_like")?,
+            },
+            "whatsup_cos" => Protocol::WhatsUpCos {
+                f_like: usize_field("f_like")?,
+            },
+            "cf_wup" => Protocol::CfWup {
+                k: usize_field("k")?,
+            },
+            "cf_cos" => Protocol::CfCos {
+                k: usize_field("k")?,
+            },
+            "gossip" => Protocol::Gossip {
+                fanout: usize_field("fanout")?,
+            },
+            "cascade" => Protocol::Cascade,
+            "c_pub_sub" => Protocol::CPubSub,
+            "c_whatsup" => Protocol::CWhatsUp {
+                f_like: usize_field("f_like")?,
+            },
+            "no_amplification" => Protocol::NoAmplification {
+                fanout: usize_field("fanout")?,
+            },
+            "no_orientation" => Protocol::NoOrientation {
+                f_like: usize_field("f_like")?,
+            },
+            other => return Err(Error::new(format!("unknown protocol kind {other:?}"))),
+        })
+    }
+}
+
+impl SimConfig {
+    pub fn to_json(&self) -> Value {
+        let opt_num = |o: Option<f64>| o.map(Value::Number).unwrap_or(Value::Null);
+        obj(vec![
+            ("cycles", num(self.cycles)),
+            ("publish_from", num(self.publish_from)),
+            ("measure_from", num(self.measure_from)),
+            ("loss", num(self.loss)),
+            ("seed", num(self.seed as f64)),
+            ("bootstrap_degree", num(self.bootstrap_degree as u32)),
+            (
+                "profile_window",
+                opt_num(self.profile_window.map(f64::from)),
+            ),
+            ("ttl_override", opt_num(self.ttl_override.map(f64::from))),
+            (
+                "wup_view_override",
+                opt_num(self.wup_view_override.map(|v| v as f64)),
+            ),
+            ("obfuscation", opt_num(self.obfuscation)),
+            ("churn_per_cycle", num(self.churn_per_cycle)),
+            ("shards", num(self.shards as u32)),
+        ])
+    }
+}
+
+/// Partial decode: any missing field keeps its [`SimConfig::default`].
+impl Deserialize for SimConfig {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let mut cfg = SimConfig::default();
+        let set_u32 = |slot: &mut u32, key: &str| -> Result<(), Error> {
+            if let Some(val) = v.get(key) {
+                *slot = val
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| Error::new(format!("field {key:?} must be a u32")))?;
+            }
+            Ok(())
+        };
+        set_u32(&mut cfg.cycles, "cycles")?;
+        set_u32(&mut cfg.publish_from, "publish_from")?;
+        set_u32(&mut cfg.measure_from, "measure_from")?;
+        if let Some(val) = v.get("loss") {
+            cfg.loss = val
+                .as_f64()
+                .ok_or_else(|| Error::new("field \"loss\" must be a number"))?;
+        }
+        if let Some(val) = v.get("seed") {
+            cfg.seed = val
+                .as_u64()
+                .ok_or_else(|| Error::new("field \"seed\" must be a non-negative integer"))?;
+        }
+        if let Some(val) = v.get("bootstrap_degree") {
+            cfg.bootstrap_degree = val
+                .as_u64()
+                .ok_or_else(|| Error::new("field \"bootstrap_degree\" must be an integer"))?
+                as usize;
+        }
+        // Optional overrides: absent or null = None; anything else must be
+        // an in-range number (a typo'd string or out-of-range value must
+        // not silently run with defaults).
+        let opt_int = |key: &str, max: u64| -> Result<Option<u64>, Error> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(val) => val.as_u64().filter(|&n| n <= max).map(Some).ok_or_else(|| {
+                    Error::new(format!("field {key:?} must be an integer ≤ {max} or null"))
+                }),
+            }
+        };
+        cfg.profile_window = opt_int("profile_window", u64::from(u32::MAX))?.map(|n| n as u32);
+        cfg.ttl_override = opt_int("ttl_override", u64::from(u8::MAX))?.map(|n| n as u8);
+        cfg.wup_view_override = opt_int("wup_view_override", u32::MAX as u64)?.map(|n| n as usize);
+        cfg.obfuscation = match v.get("obfuscation") {
+            None | Some(Value::Null) => None,
+            Some(val) => Some(
+                val.as_f64()
+                    .ok_or_else(|| Error::new("field \"obfuscation\" must be a number or null"))?,
+            ),
+        };
+        if let Some(val) = v.get("churn_per_cycle") {
+            cfg.churn_per_cycle = val
+                .as_f64()
+                .ok_or_else(|| Error::new("field \"churn_per_cycle\" must be a number"))?;
+        }
+        if let Some(val) = v.get("shards") {
+            cfg.shards = val
+                .as_u64()
+                .ok_or_else(|| Error::new("field \"shards\" must be an integer"))?
+                as usize;
+        }
+        Ok(cfg)
+    }
+}
+
+/// A reproducible dataset: generator kind + scale + seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetRecipe {
+    pub kind: DatasetKind,
+    pub scale: f64,
+    pub seed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    Survey,
+    Digg,
+    Synthetic,
+}
+
+impl DatasetRecipe {
+    /// Generates the dataset this recipe describes.
+    pub fn build(&self) -> Dataset {
+        match self.kind {
+            DatasetKind::Survey => {
+                survey::generate(&SurveyConfig::paper().scaled(self.scale), self.seed)
+            }
+            DatasetKind::Digg => digg::generate(&DiggConfig::paper().scaled(self.scale), self.seed),
+            DatasetKind::Synthetic => {
+                synthetic::generate(&SyntheticConfig::paper().scaled(self.scale), self.seed)
+            }
+        }
+    }
+
+    pub fn to_json(&self) -> Value {
+        let kind = match self.kind {
+            DatasetKind::Survey => "survey",
+            DatasetKind::Digg => "digg",
+            DatasetKind::Synthetic => "synthetic",
+        };
+        obj(vec![
+            ("kind", string(kind)),
+            ("scale", num(self.scale)),
+            ("seed", num(self.seed as f64)),
+        ])
+    }
+}
+
+impl Deserialize for DatasetRecipe {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let kind = match kind_of(v)? {
+            "survey" => DatasetKind::Survey,
+            "digg" => DatasetKind::Digg,
+            "synthetic" => DatasetKind::Synthetic,
+            other => return Err(Error::new(format!("unknown dataset kind {other:?}"))),
+        };
+        Ok(DatasetRecipe {
+            kind,
+            scale: f64_field(v, "scale")?,
+            seed: field(v, "seed")?
+                .as_u64()
+                .ok_or_else(|| Error::new("field \"seed\" must be a non-negative integer"))?,
+        })
+    }
+}
+
+/// Everything the `whatsup-sim` CLI needs to execute one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioFile {
+    pub dataset: DatasetRecipe,
+    pub protocol: Protocol,
+    pub config: SimConfig,
+    pub scenario: Scenario,
+}
+
+impl ScenarioFile {
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("dataset", self.dataset.to_json()),
+            ("protocol", self.protocol.to_json()),
+            ("config", self.config.to_json()),
+            ("scenario", self.scenario.to_json()),
+        ])
+    }
+
+    /// Parses a scenario file and validates it.
+    pub fn from_json_str(text: &str) -> Result<Self, Error> {
+        let file: ScenarioFile = serde_json::from_str(text)?;
+        file.scenario.validate(&file.config).map_err(Error::new)?;
+        file.config.validate().map_err(Error::new)?;
+        Ok(file)
+    }
+}
+
+impl Deserialize for ScenarioFile {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let config = match v.get("config") {
+            None => SimConfig::default(),
+            Some(cfg) => SimConfig::from_json_value(cfg)?,
+        };
+        // No explicit scenario block = the scenario the config describes
+        // (its loss/churn knobs must not be silently discarded — the
+        // library path without `.scenario()` resolves the same way).
+        let scenario = match v.get("scenario") {
+            None => Scenario::from_config(&config),
+            Some(s) => Scenario::from_json_value(s)?,
+        };
+        Ok(ScenarioFile {
+            dataset: DatasetRecipe::from_json_value(field(v, "dataset")?)?,
+            protocol: Protocol::from_json_value(field(v, "protocol")?)?,
+            config,
+            scenario,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            cycles: 20,
+            publish_from: 4,
+            measure_from: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn uniform_matches_legacy_schedule() {
+        let c = cfg();
+        let topics = vec![0u32; 50];
+        assert_eq!(Workload::Uniform.schedule(&c, &topics), c.schedule(50));
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_a_fraction() {
+        let c = cfg();
+        let topics = vec![0u32; 100];
+        let s = Workload::FlashCrowd {
+            at: 10,
+            fraction: 0.25,
+        }
+        .schedule(&c, &topics);
+        let burst = s.iter().filter(|&&x| x == 10).count();
+        assert!(
+            (20..=35).contains(&burst),
+            "≈25% of items must hit the burst cycle, got {burst}"
+        );
+        assert!(s.iter().all(|&x| (4..20).contains(&x)));
+    }
+
+    #[test]
+    fn diurnal_peaks_beat_troughs() {
+        let c = SimConfig {
+            cycles: 28,
+            publish_from: 4,
+            measure_from: 8,
+            ..Default::default()
+        };
+        let topics = vec![0u32; 600];
+        let s = Workload::Diurnal {
+            period: 24,
+            amplitude: 0.9,
+        }
+        .schedule(&c, &topics);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]), "monotone in item index");
+        assert!(s.iter().all(|&x| (4..28).contains(&x)));
+        // First half-period (rising sine) must out-publish the second.
+        let peak: usize = s.iter().filter(|&&x| x < 16).count();
+        assert!(peak > 350, "peak half got {peak}/600");
+    }
+
+    #[test]
+    fn topic_hotspot_clusters_its_topic() {
+        let c = cfg();
+        let topics: Vec<u32> = (0..90).map(|i| i % 3).collect();
+        let s = Workload::TopicHotspot {
+            topic: 1,
+            at: 12,
+            span: 2,
+        }
+        .schedule(&c, &topics);
+        for (i, &cycle) in s.iter().enumerate() {
+            if topics[i] == 1 {
+                assert!((12..14).contains(&cycle), "hot item at {cycle}");
+            }
+        }
+        // Other topics keep the uniform slots.
+        let uniform = c.schedule(90);
+        for (i, &cycle) in s.iter().enumerate() {
+            if topics[i] != 1 {
+                assert_eq!(cycle, uniform[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_rate_and_joins_fire_on_schedule() {
+        let wave = ChurnModel::CrashWave {
+            at: 7,
+            fraction: 0.3,
+        };
+        assert_eq!(wave.crash_rate(6), 0.0);
+        assert_eq!(wave.crash_rate(7), 0.3);
+        assert_eq!(wave.crash_rate(8), 0.0);
+        let join = ChurnModel::MassJoin { at: 5, count: 4 };
+        assert_eq!(join.joins_at(5), 4);
+        assert_eq!(join.joins_at(6), 0);
+        assert_eq!(ChurnModel::Uniform { per_cycle: 0.1 }.crash_rate(99), 0.1);
+    }
+
+    #[test]
+    fn from_config_mirrors_legacy_knobs() {
+        let c = SimConfig {
+            loss: 0.2,
+            churn_per_cycle: 0.05,
+            ..cfg()
+        };
+        let s = Scenario::from_config(&c);
+        assert_eq!(s.workload, Workload::Uniform);
+        assert_eq!(s.environment.loss, LossModel::Constant { p: 0.2 });
+        assert_eq!(s.environment.churn, ChurnModel::Uniform { per_cycle: 0.05 });
+        assert!(s.events.is_empty());
+        assert!(s.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_models() {
+        let c = cfg();
+        let bad_fraction = Scenario::default().with_workload(Workload::FlashCrowd {
+            at: 5,
+            fraction: 0.0,
+        });
+        assert!(bad_fraction.validate(&c).is_err());
+        let bad_loss = Scenario::default().with_environment(Environment {
+            loss: LossModel::Constant { p: 1.5 },
+            churn: ChurnModel::None,
+        });
+        assert!(bad_loss.validate(&c).is_err());
+        let late_event = Scenario::default().with_events(vec![TimedEvent {
+            at: 99,
+            event: Event::ResetNode { node: 0 },
+        }]);
+        assert!(late_event.validate(&c).is_err());
+        let bad_frontier = Scenario::default().with_environment(Environment {
+            loss: LossModel::Partition {
+                from: 2,
+                until: 6,
+                frontier: 1.0,
+            },
+            churn: ChurnModel::None,
+        });
+        assert!(bad_frontier.validate(&c).is_err());
+    }
+
+    #[test]
+    fn optional_config_fields_reject_garbage() {
+        let base = r#"{"dataset": {"kind": "survey", "scale": 0.1, "seed": 1},
+                       "protocol": {"kind": "whatsup", "f_like": 4},
+                       "config": {"cycles": 30, CONFIG}}"#;
+        let with = |extra: &str| ScenarioFile::from_json_str(&base.replace("CONFIG", extra));
+        assert!(with(r#""ttl_override": 4"#).is_ok());
+        assert!(with(r#""ttl_override": null"#).is_ok());
+        assert!(with(r#""ttl_override": 300"#).is_err(), "u8 overflow");
+        assert!(with(r#""ttl_override": "4""#).is_err(), "string typo");
+        assert!(with(r#""obfuscation": "0.5""#).is_err(), "string typo");
+        assert!(with(r#""profile_window": 13"#).is_ok());
+    }
+
+    #[test]
+    fn missing_scenario_block_inherits_the_config_knobs() {
+        // Without an explicit scenario, the config's loss/churn knobs must
+        // become the scenario — exactly like the library path without
+        // `.scenario()`.
+        let file = ScenarioFile::from_json_str(
+            r#"{"dataset": {"kind": "survey", "scale": 0.1, "seed": 1},
+                "protocol": {"kind": "whatsup", "f_like": 4},
+                "config": {"cycles": 30, "loss": 0.3, "churn_per_cycle": 0.05}}"#,
+        )
+        .unwrap();
+        assert_eq!(file.scenario, Scenario::from_config(&file.config));
+        assert_eq!(
+            file.scenario.environment.loss,
+            LossModel::Constant { p: 0.3 }
+        );
+        assert_eq!(
+            file.scenario.environment.churn,
+            ChurnModel::Uniform { per_cycle: 0.05 }
+        );
+    }
+
+    #[test]
+    fn global_engines_reject_inexpressible_scenarios() {
+        let global = Protocol::CPubSub;
+        let node = Protocol::WhatsUp { f_like: 4 };
+        let with_events = Scenario::default().with_events(vec![TimedEvent {
+            at: 2,
+            event: Event::ResetNode { node: 0 },
+        }]);
+        assert!(with_events.validate_for_global(&global).is_err());
+        assert!(with_events.validate_for_global(&node).is_ok());
+        let bursty = Scenario::default().with_environment(Environment {
+            loss: LossModel::GilbertElliott {
+                p_good: 0.0,
+                p_bad: 0.5,
+                good_to_bad: 0.1,
+                bad_to_good: 0.5,
+            },
+            churn: ChurnModel::None,
+        });
+        assert!(bursty.validate_for_global(&global).is_err());
+        // The legacy config knobs stay expressible (engines document
+        // ignoring them).
+        let legacy = Scenario::from_config(&SimConfig {
+            loss: 0.2,
+            churn_per_cycle: 0.05,
+            ..cfg()
+        });
+        assert!(legacy.validate_for_global(&global).is_ok());
+    }
+
+    #[test]
+    fn partition_windows_must_open_inside_the_run() {
+        let c = cfg();
+        let window = |from: u32, until: u32| {
+            Scenario::default()
+                .with_environment(Environment {
+                    loss: LossModel::Partition {
+                        from,
+                        until,
+                        frontier: 0.5,
+                    },
+                    churn: ChurnModel::None,
+                })
+                .validate(&c)
+        };
+        assert!(window(5, 10).is_ok());
+        assert!(window(10, 10).is_err(), "empty window");
+        assert!(window(12, 8).is_err(), "inverted window");
+        assert!(window(25, 30).is_err(), "opens after the run ends");
+    }
+
+    #[test]
+    fn event_ids_are_checked_against_the_running_population() {
+        // 10 initial nodes; node 10 only exists after a join.
+        let bad = Scenario::default().with_events(vec![TimedEvent {
+            at: 3,
+            event: Event::ResetNode { node: 10 },
+        }]);
+        assert!(bad.validate_events(10).is_err());
+        let grown = Scenario::default().with_events(vec![
+            TimedEvent {
+                at: 2,
+                event: Event::JoinClone { reference: 9 },
+            },
+            TimedEvent {
+                at: 3,
+                event: Event::SwapInterests { a: 10, b: 0 },
+            },
+        ]);
+        assert!(grown.validate_events(10).is_ok(), "joiner id usable later");
+        // A mass join at cycle 2 makes ids 10..15 valid from cycle 2 on.
+        let massed = Scenario::default()
+            .with_environment(Environment {
+                loss: LossModel::Constant { p: 0.0 },
+                churn: ChurnModel::MassJoin { at: 2, count: 5 },
+            })
+            .with_events(vec![TimedEvent {
+                at: 2,
+                event: Event::ResetNode { node: 14 },
+            }]);
+        assert!(massed.validate_events(10).is_ok());
+        let too_early = Scenario::default()
+            .with_environment(Environment {
+                loss: LossModel::Constant { p: 0.0 },
+                churn: ChurnModel::MassJoin { at: 5, count: 5 },
+            })
+            .with_events(vec![TimedEvent {
+                at: 2,
+                event: Event::ResetNode { node: 14 },
+            }]);
+        assert!(too_early.validate_events(10).is_err());
+    }
+
+    #[test]
+    fn scenario_json_round_trips() {
+        let scenario = Scenario {
+            workload: Workload::FlashCrowd {
+                at: 6,
+                fraction: 0.3,
+            },
+            environment: Environment {
+                loss: LossModel::GilbertElliott {
+                    p_good: 0.02,
+                    p_bad: 0.45,
+                    good_to_bad: 0.15,
+                    bad_to_good: 0.5,
+                },
+                churn: ChurnModel::CrashWave {
+                    at: 8,
+                    fraction: 0.12,
+                },
+            },
+            events: vec![
+                TimedEvent {
+                    at: 6,
+                    event: Event::JoinClone { reference: 0 },
+                },
+                TimedEvent {
+                    at: 7,
+                    event: Event::SwapInterests { a: 1, b: 2 },
+                },
+                TimedEvent {
+                    at: 9,
+                    event: Event::ResetNode { node: 3 },
+                },
+            ],
+        };
+        let text = scenario.to_json().pretty();
+        let back: Scenario = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, scenario);
+    }
+
+    #[test]
+    fn scenario_file_round_trips_and_validates() {
+        let file = ScenarioFile {
+            dataset: DatasetRecipe {
+                kind: DatasetKind::Survey,
+                scale: 0.08,
+                seed: 11,
+            },
+            protocol: Protocol::WhatsUp { f_like: 4 },
+            config: SimConfig {
+                cycles: 14,
+                publish_from: 2,
+                measure_from: 5,
+                ..Default::default()
+            },
+            scenario: Scenario::default().with_workload(Workload::FlashCrowd {
+                at: 6,
+                fraction: 0.3,
+            }),
+        };
+        let text = file.to_json().pretty();
+        let back = ScenarioFile::from_json_str(&text).unwrap();
+        assert_eq!(back, file);
+        // A partial config keeps defaults for the missing fields.
+        let partial: ScenarioFile = ScenarioFile::from_json_str(
+            r#"{"dataset": {"kind": "digg", "scale": 0.1, "seed": 3},
+                "protocol": {"kind": "gossip", "fanout": 5},
+                "config": {"cycles": 30}}"#,
+        )
+        .unwrap();
+        assert_eq!(partial.config.cycles, 30);
+        assert_eq!(
+            partial.config.measure_from,
+            SimConfig::default().measure_from
+        );
+        assert_eq!(partial.scenario, Scenario::default());
+    }
+
+    #[test]
+    fn malformed_scenarios_are_rejected() {
+        assert!(serde_json::from_str::<Scenario>("{}").is_err());
+        assert!(
+            serde_json::from_str::<Workload>(r#"{"kind": "surprise"}"#).is_err(),
+            "unknown kinds must fail"
+        );
+        assert!(
+            ScenarioFile::from_json_str(
+                r#"{"dataset": {"kind": "survey", "scale": 0.1, "seed": 1},
+                    "protocol": {"kind": "whatsup", "f_like": 4},
+                    "config": {"cycles": 10, "measure_from": 12}}"#
+            )
+            .is_err(),
+            "file-level validation must run"
+        );
+    }
+}

@@ -5,8 +5,9 @@
 //! nothing but wall-clock time.
 
 use crate::config::{Protocol, SimConfig};
-use crate::engines::run_protocol;
 use crate::record::SimReport;
+use crate::runner::Runner;
+use crate::scenario::Scenario;
 use rayon::prelude::*;
 use whatsup_datasets::Dataset;
 use whatsup_metrics::{Series, SeriesSet};
@@ -18,9 +19,26 @@ pub fn fanout_sweep(
     fanouts: &[usize],
     cfg: &SimConfig,
 ) -> Vec<SimReport> {
+    scenario_fanout_sweep(dataset, protocol, fanouts, cfg, &Scenario::from_config(cfg))
+}
+
+/// A fanout sweep under an explicit scenario (same workload, environment
+/// and event timeline at every point).
+pub fn scenario_fanout_sweep(
+    dataset: &Dataset,
+    protocol: Protocol,
+    fanouts: &[usize],
+    cfg: &SimConfig,
+    scenario: &Scenario,
+) -> Vec<SimReport> {
     fanouts
         .par_iter()
-        .map(|&f| run_protocol(dataset, protocol.with_fanout(f), cfg))
+        .map(|&f| {
+            Runner::new(dataset, protocol.with_fanout(f))
+                .config(cfg.clone())
+                .scenario(scenario.clone())
+                .run()
+        })
         .collect()
 }
 
@@ -36,7 +54,7 @@ pub fn grid_sweep(
         .flat_map(|p| fanouts.iter().map(move |&f| p.with_fanout(f)))
         .collect();
     jobs.par_iter()
-        .map(|&p| run_protocol(dataset, p, cfg))
+        .map(|&p| Runner::new(dataset, p).config(cfg.clone()).run())
         .collect()
 }
 
@@ -89,6 +107,7 @@ pub fn f1_vs_messages(reports: &[SimReport], title: impl Into<String>) -> Series
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engines::run_protocol;
     use whatsup_datasets::{survey, SurveyConfig};
 
     fn dataset() -> Dataset {

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use rand::RngCore;
 use whatsup_datasets::{survey, SurveyConfig};
 use whatsup_sim::engine::{node_stream, phase};
-use whatsup_sim::{Protocol, SimConfig, SimReport, Simulation};
+use whatsup_sim::{Protocol, Runner, SimConfig, SimReport};
 
 fn dataset() -> whatsup_datasets::Dataset {
     survey::generate(&SurveyConfig::paper().scaled(0.12), 42)
@@ -24,7 +24,9 @@ fn cfg() -> SimConfig {
 
 fn run_with_shards(shards: usize, base: SimConfig) -> SimReport {
     let cfg = SimConfig { shards, ..base };
-    Simulation::new(&dataset(), Protocol::WhatsUp { f_like: 5 }, cfg).run()
+    Runner::new(&dataset(), Protocol::WhatsUp { f_like: 5 })
+        .config(cfg)
+        .run()
 }
 
 #[test]
@@ -70,11 +72,15 @@ fn multiprocess_transport_matches_in_process() {
         shards: 2,
         ..Default::default()
     };
-    let in_process = Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, base.clone()).run();
+    let in_process = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+        .config(base.clone())
+        .run();
     let worker = std::path::Path::new(env!("CARGO_BIN_EXE_sim-shard-worker"));
-    let multi_process =
-        Simulation::run_multiprocess(&d, Protocol::WhatsUp { f_like: 4 }, base, worker)
-            .expect("worker processes run");
+    let multi_process = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+        .config(base)
+        .multiprocess(worker)
+        .try_run()
+        .expect("worker processes run");
     assert_eq!(
         in_process, multi_process,
         "stdio-pipe transport must match the channel transport bit for bit"
@@ -93,8 +99,12 @@ fn joining_node_does_not_shift_existing_streams() {
     let small = survey::generate(&SurveyConfig::paper().scaled(0.12), 42);
     let large = survey::generate(&SurveyConfig::paper().scaled(0.5), 42);
     assert_ne!(small.n_users(), large.n_users());
-    let mut a = Simulation::new(&small, Protocol::WhatsUp { f_like: 5 }, cfg());
-    let mut b = Simulation::new(&large, Protocol::WhatsUp { f_like: 5 }, cfg());
+    let mut a = Runner::new(&small, Protocol::WhatsUp { f_like: 5 })
+        .config(cfg())
+        .build();
+    let mut b = Runner::new(&large, Protocol::WhatsUp { f_like: 5 })
+        .config(cfg())
+        .build();
     for _ in 0..3 {
         a.step();
         b.step();
@@ -122,7 +132,9 @@ fn interactive_mutators_match_across_shard_counts() {
     let d = survey::generate(&SurveyConfig::paper().scaled(0.1), 55);
     let run = |shards: usize| {
         let cfg = SimConfig { shards, ..cfg() };
-        let mut sim = Simulation::new(&d, Protocol::WhatsUp { f_like: 4 }, cfg);
+        let mut sim = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg)
+            .build();
         let mut trace = Vec::new();
         let mut joiner = None;
         while sim.current_cycle() < 18 {
@@ -195,19 +207,15 @@ proptest! {
             churn_per_cycle: churn,
             ..Default::default()
         };
-        let reference = Simulation::new(
-            &d,
-            Protocol::WhatsUp { f_like: 4 },
-            SimConfig { shards: 1, ..base.clone() },
-        )
-        .run();
-        for shards in [2usize, 4] {
-            let sharded = Simulation::new(
-                &d,
-                Protocol::WhatsUp { f_like: 4 },
-                SimConfig { shards, ..base.clone() },
-            )
+        let reference = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(base.clone())
+            .shards(1)
             .run();
+        for shards in [2usize, 4] {
+            let sharded = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+                .config(base.clone())
+                .shards(shards)
+                .run();
             prop_assert_eq!(&reference, &sharded, "shards={} diverged", shards);
         }
     }

@@ -1,0 +1,336 @@
+//! The scenario layer's two contracts:
+//!
+//! 1. **Serialization** — every scenario the grammar can express round-trips
+//!    through JSON (property-tested over the full grammar).
+//! 2. **Determinism** — reports are bit-identical across shard counts and
+//!    exchange transports for *every* scenario (bursty loss, crash waves,
+//!    timeline events, mass joins), not just the default one. The committed
+//!    `scenarios/flash_crowd_crash_wave.json` is pinned both through the
+//!    library and through the `whatsup-sim` CLI.
+
+use proptest::prelude::*;
+use whatsup_sim::scenario::{
+    ChurnModel, Environment, Event, LossModel, Scenario, TimedEvent, Workload,
+};
+use whatsup_sim::{Protocol, Runner, ScenarioFile, SimConfig, SimReport};
+
+const COMMITTED: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../scenarios/flash_crowd_crash_wave.json"
+);
+
+fn committed_file() -> ScenarioFile {
+    let text = std::fs::read_to_string(COMMITTED).expect("committed scenario file");
+    ScenarioFile::from_json_str(&text).expect("committed scenario parses")
+}
+
+// ---------------------------------------------------------------------------
+// Serde round-trips over the whole grammar
+// ---------------------------------------------------------------------------
+
+fn workload_from(sel: u8, at: u32, frac: f64, span: u32) -> Workload {
+    match sel {
+        0 => Workload::Uniform,
+        1 => Workload::FlashCrowd {
+            at,
+            fraction: frac.clamp(0.05, 1.0),
+        },
+        2 => Workload::Diurnal {
+            period: span.max(1),
+            amplitude: frac.min(1.0),
+        },
+        _ => Workload::TopicHotspot {
+            topic: at % 7,
+            at,
+            span: span.max(1),
+        },
+    }
+}
+
+fn loss_from(sel: u8, p: f64, q: f64, cut: u32) -> LossModel {
+    match sel {
+        0 => LossModel::Constant { p },
+        1 => LossModel::GilbertElliott {
+            p_good: p * 0.1,
+            p_bad: q,
+            good_to_bad: p,
+            bad_to_good: q,
+        },
+        _ => LossModel::Partition {
+            from: cut,
+            until: cut + 5,
+            frontier: p.clamp(0.01, 0.99),
+        },
+    }
+}
+
+fn churn_from(sel: u8, p: f64, at: u32) -> ChurnModel {
+    match sel {
+        0 => ChurnModel::None,
+        1 => ChurnModel::Uniform { per_cycle: p },
+        2 => ChurnModel::CrashWave { at, fraction: p },
+        _ => ChurnModel::MassJoin { at, count: at % 9 },
+    }
+}
+
+fn event_from(sel: u8, at: u32, a: u32, b: u32) -> TimedEvent {
+    let event = match sel {
+        0 => Event::JoinClone { reference: a },
+        1 => Event::SwapInterests { a, b },
+        _ => Event::ResetNode { node: a },
+    };
+    TimedEvent { at, event }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any scenario the grammar can express survives JSON round-trips, in
+    /// both the pretty and the compact rendering.
+    #[test]
+    fn scenario_grammar_round_trips(
+        w in (0u8..4, 1u32..60, 0.05f64..1.0, 1u32..40),
+        l in (0u8..3, 0.0f64..1.0, 0.0f64..1.0, 1u32..50),
+        c in (0u8..4, 0.0f64..1.0, 1u32..60),
+        evs in prop::collection::vec((0u8..3, 0u32..64, 0u32..30), 0..6),
+    ) {
+        let scenario = Scenario {
+            workload: workload_from(w.0, w.1, w.2, w.3),
+            environment: Environment {
+                loss: loss_from(l.0, l.1, l.2, l.3),
+                churn: churn_from(c.0, c.1, c.2),
+            },
+            events: evs
+                .into_iter()
+                .map(|(sel, at, a)| event_from(sel, at, a, a + 1))
+                .collect(),
+        };
+        let pretty: Scenario =
+            serde_json::from_str(&scenario.to_json().pretty()).expect("pretty parses");
+        prop_assert_eq!(&pretty, &scenario);
+        let compact: Scenario =
+            serde_json::from_str(&scenario.to_json().to_string()).expect("compact parses");
+        prop_assert_eq!(&compact, &scenario);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across shard counts and transports, per scenario
+// ---------------------------------------------------------------------------
+
+/// The committed showcase scenario: flash-crowd burst + Gilbert–Elliott
+/// loss + correlated crash wave + join/swap/reset timeline — one report,
+/// every shard count, every transport.
+#[test]
+fn committed_scenario_is_bit_identical_across_shards_and_transports() {
+    let file = committed_file();
+    let dataset = file.dataset.build();
+    let run_with = |shards: usize| -> SimReport {
+        Runner::new(&dataset, file.protocol)
+            .config(file.config.clone())
+            .scenario(file.scenario.clone())
+            .shards(shards)
+            .run()
+    };
+    let reference = run_with(1);
+    assert_eq!(
+        reference.n_nodes,
+        dataset.n_users() + 1,
+        "the join_clone event must grow the population"
+    );
+    for shards in [2, 4] {
+        assert_eq!(reference, run_with(shards), "{shards} shards diverged");
+    }
+    let worker = std::path::Path::new(env!("CARGO_BIN_EXE_sim-shard-worker"));
+    let multiprocess = Runner::new(&dataset, file.protocol)
+        .config(file.config.clone())
+        .scenario(file.scenario.clone())
+        .shards(2)
+        .multiprocess(worker)
+        .try_run()
+        .expect("worker processes run");
+    assert_eq!(
+        reference, multiprocess,
+        "multiprocess transport diverged from in-process"
+    );
+}
+
+/// The same pin through the CLI: `whatsup-sim run` output is byte-identical
+/// across `--shards` values and transports, and `check` accepts it.
+#[test]
+fn cli_runs_the_committed_scenario_identically() {
+    let cli = env!("CARGO_BIN_EXE_whatsup-sim");
+    let worker = env!("CARGO_BIN_EXE_sim-shard-worker");
+    let run_cli = |extra: &[&str]| -> Vec<u8> {
+        let out = std::process::Command::new(cli)
+            .arg("run")
+            .arg(COMMITTED)
+            .args(extra)
+            .output()
+            .expect("spawn whatsup-sim");
+        assert!(
+            out.status.success(),
+            "whatsup-sim failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let reference = run_cli(&[]);
+    assert!(!reference.is_empty());
+    for shards in ["2", "4"] {
+        assert_eq!(
+            reference,
+            run_cli(&["--shards", shards]),
+            "--shards {shards} changed the report"
+        );
+    }
+    assert_eq!(
+        reference,
+        run_cli(&["--shards", "2", "--multiprocess", worker]),
+        "multiprocess CLI run changed the report"
+    );
+
+    // `check` accepts what `run --out` writes.
+    let dir = std::env::temp_dir().join("whatsup_sim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report_path = dir.join("report.json");
+    let out = std::process::Command::new(cli)
+        .args(["run", COMMITTED, "--out"])
+        .arg(&report_path)
+        .output()
+        .expect("spawn whatsup-sim");
+    assert!(out.status.success());
+    let out = std::process::Command::new(cli)
+        .arg("check")
+        .arg(&report_path)
+        .output()
+        .expect("spawn whatsup-sim check");
+    assert!(
+        out.status.success(),
+        "check rejected the report: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A denser composite than the committed file — diurnal workload, timed
+/// partition, mass join plus every event type — stays bit-identical across
+/// shard counts.
+#[test]
+fn composite_scenario_is_bit_identical_across_shard_counts() {
+    let dataset = whatsup_datasets::survey::generate(
+        &whatsup_datasets::SurveyConfig::paper().scaled(0.1),
+        23,
+    );
+    let cfg = SimConfig {
+        cycles: 16,
+        publish_from: 2,
+        measure_from: 6,
+        ..Default::default()
+    };
+    let scenario = Scenario {
+        workload: Workload::Diurnal {
+            period: 8,
+            amplitude: 0.8,
+        },
+        environment: Environment {
+            loss: LossModel::Partition {
+                from: 7,
+                until: 10,
+                frontier: 0.4,
+            },
+            churn: ChurnModel::MassJoin { at: 5, count: 3 },
+        },
+        events: vec![
+            TimedEvent {
+                at: 4,
+                event: Event::JoinClone { reference: 1 },
+            },
+            TimedEvent {
+                at: 6,
+                event: Event::SwapInterests { a: 0, b: 2 },
+            },
+            TimedEvent {
+                at: 9,
+                event: Event::ResetNode { node: 4 },
+            },
+        ],
+    };
+    let run_with = |shards: usize| {
+        Runner::new(&dataset, Protocol::WhatsUp { f_like: 4 })
+            .config(cfg.clone())
+            .scenario(scenario.clone())
+            .shards(shards)
+            .run()
+    };
+    let reference = run_with(1);
+    assert_eq!(
+        reference.n_nodes,
+        dataset.n_users() + 4,
+        "3 mass + 1 event join"
+    );
+    for shards in [2, 3] {
+        assert_eq!(reference, run_with(shards), "{shards} shards diverged");
+    }
+}
+
+/// Gilbert–Elliott loss with a harsh Bad state must hurt recall relative
+/// to a lossless run — the model has to actually drop messages.
+#[test]
+fn bursty_loss_degrades_recall() {
+    let dataset = whatsup_datasets::survey::generate(
+        &whatsup_datasets::SurveyConfig::paper().scaled(0.1),
+        31,
+    );
+    let cfg = SimConfig {
+        cycles: 16,
+        publish_from: 2,
+        measure_from: 6,
+        ..Default::default()
+    };
+    let clean = Runner::new(&dataset, Protocol::WhatsUp { f_like: 4 })
+        .config(cfg.clone())
+        .run();
+    let bursty = Runner::new(&dataset, Protocol::WhatsUp { f_like: 4 })
+        .config(cfg)
+        .scenario(Scenario::default().with_environment(Environment {
+            loss: LossModel::GilbertElliott {
+                p_good: 0.02,
+                p_bad: 0.8,
+                good_to_bad: 0.3,
+                bad_to_good: 0.3,
+            },
+            churn: ChurnModel::None,
+        }))
+        .run();
+    assert!(
+        bursty.scores().recall < clean.scores().recall,
+        "bursty loss must hurt recall: clean {:?} bursty {:?}",
+        clean.scores(),
+        bursty.scores()
+    );
+}
+
+/// The legacy knobs and the explicit legacy scenario are the same run.
+#[test]
+fn legacy_config_knobs_equal_explicit_scenario() {
+    let dataset = whatsup_datasets::survey::generate(
+        &whatsup_datasets::SurveyConfig::paper().scaled(0.08),
+        9,
+    );
+    let cfg = SimConfig {
+        cycles: 12,
+        publish_from: 2,
+        measure_from: 5,
+        loss: 0.15,
+        churn_per_cycle: 0.03,
+        ..Default::default()
+    };
+    let implicit = Runner::new(&dataset, Protocol::WhatsUp { f_like: 4 })
+        .config(cfg.clone())
+        .run();
+    let explicit = Runner::new(&dataset, Protocol::WhatsUp { f_like: 4 })
+        .config(cfg.clone())
+        .scenario(Scenario::from_config(&cfg))
+        .run();
+    assert_eq!(implicit, explicit);
+}

@@ -59,5 +59,10 @@ pub mod prelude {
     pub use whatsup_datasets::{Dataset, DiggConfig, LikeMatrix, SurveyConfig, SyntheticConfig};
     pub use whatsup_metrics::{IrAggregate, IrScores, ItemOutcome, Series, SeriesSet, TextTable};
     pub use whatsup_net::{EmulatorConfig, SwarmConfig, SwarmReport, UdpConfig};
-    pub use whatsup_sim::{run_protocol, Protocol, SimConfig, SimReport, Simulation};
+    pub use whatsup_sim::scenario::{
+        ChurnModel, Environment, Event, LossModel, TimedEvent, Workload,
+    };
+    pub use whatsup_sim::{
+        run_protocol, Protocol, Runner, Scenario, ScenarioFile, SimConfig, SimReport, Simulation,
+    };
 }
