@@ -21,9 +21,18 @@
 //!
 //! Mailbox bundles are the simulator's shard-exchange unit: a batch of
 //! addressed single-message frames, concatenated in `(sender, emission
-//! order)` order by the emitting shard. Bundles travel over pipes and
-//! channels — not UDP — so [`MAX_FRAME`] applies to single-message frames
-//! only, and bundles never nest.
+//! order)` order by the emitting shard. Bundles travel over pipes,
+//! channels and the shard-exchange TCP sockets — not UDP — so
+//! [`MAX_FRAME`] applies to single-message frames only, and bundles never
+//! nest.
+//!
+//! This codec is also the `whatsup-sim` distributed wire format: the
+//! sharded engine's socket transport (`sim-shard-worker --listen`, one
+//! shard per remote machine) moves these very bundle encodings inside its
+//! length-prefixed command frames, so anything the simulator exchanges
+//! across machines is by construction expressible on the deployment
+//! stack's network encoding. See the `whatsup_sim::engine` module docs,
+//! "distributed topology".
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use whatsup_core::message::wire;

@@ -3,6 +3,7 @@
 //! ```text
 //! whatsup-sim run <scenario.json> [--out <report.json>] [--shards N]
 //!                 [--multiprocess <sim-shard-worker path>]
+//!                 [--transport socket --workers host:port,…]
 //! whatsup-sim check <report.json>
 //! whatsup-sim echo <scenario.json>
 //! ```
@@ -11,20 +12,24 @@
 //!   scenario grammar — see the `whatsup_sim::scenario` module docs for the
 //!   JSON schema) and writes the report summary JSON to `--out` (stdout by
 //!   default). Reports are a pure function of the file: bit-identical
-//!   across `--shards` values and across the in-process and multiprocess
-//!   transports.
+//!   across `--shards` values and across the in-process, child-process and
+//!   socket transports. `--transport socket` dials already-running
+//!   `sim-shard-worker --listen` processes, one address per shard, in
+//!   shard order — start the workers first, then the driver (see the
+//!   engine module docs' "distributed topology" section).
 //! * `check` parses a report produced by `run` and verifies its shape —
 //!   the CI smoke test.
 //! * `echo` parses, validates and re-renders a scenario file in canonical
 //!   form (round-trip check / formatter).
 
 use std::process::ExitCode;
-use whatsup_sim::{Runner, ScenarioFile};
+use whatsup_sim::{Runner, ScenarioFile, Transport};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  whatsup-sim run <scenario.json> [--out <report.json>] [--shards N] \
-         [--multiprocess <worker>]\n  whatsup-sim check <report.json>\n  \
+         [--multiprocess <worker>] [--transport in-process|process|socket] \
+         [--workers host:port,...]\n  whatsup-sim check <report.json>\n  \
          whatsup-sim echo <scenario.json>"
     );
     ExitCode::from(2)
@@ -45,6 +50,58 @@ fn main() -> ExitCode {
     }
 }
 
+/// Folds the `--transport` / `--multiprocess` / `--workers` flags into one
+/// [`Transport`], rejecting contradictory combinations.
+fn resolve_transport(
+    kind: Option<String>,
+    worker: Option<String>,
+    workers: Option<String>,
+    shards: Option<usize>,
+) -> Result<Transport, String> {
+    // `--multiprocess <path>` keeps working as a shorthand for
+    // `--transport process` with the worker path attached.
+    let kind = match (kind.as_deref(), &worker) {
+        (None, Some(_)) => "process",
+        (Some(k), _) => k,
+        (None, None) => "in-process",
+    };
+    match kind {
+        "in-process" => {
+            if workers.is_some() {
+                return Err("--workers only applies to --transport socket".into());
+            }
+            if worker.is_some() {
+                return Err("--multiprocess conflicts with --transport in-process".into());
+            }
+            Ok(Transport::InProcess)
+        }
+        "process" => {
+            if workers.is_some() {
+                return Err("--workers only applies to --transport socket".into());
+            }
+            let worker = worker.ok_or("--transport process needs --multiprocess <worker path>")?;
+            Ok(Transport::Process(worker.into()))
+        }
+        "socket" => {
+            if worker.is_some() {
+                return Err("--multiprocess conflicts with --transport socket".into());
+            }
+            if shards.is_some() {
+                return Err(
+                    "--shards conflicts with --transport socket (the shard count is the \
+                     worker count)"
+                        .into(),
+                );
+            }
+            let list = workers.ok_or("--transport socket needs --workers host:port,...")?;
+            Ok(Transport::Socket(Transport::parse_workers(&list)?))
+        }
+        other => Err(format!(
+            "unknown transport '{other}' (expected in-process, process or socket)"
+        )),
+    }
+}
+
 fn load(path: &str) -> Result<ScenarioFile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     ScenarioFile::from_json_str(&text).map_err(|e| format!("{path}: {e}"))
@@ -55,6 +112,8 @@ fn run(args: &[String]) -> ExitCode {
     let mut out = None;
     let mut shards = None;
     let mut worker = None;
+    let mut transport_kind = None;
+    let mut workers = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -70,12 +129,24 @@ fn run(args: &[String]) -> ExitCode {
                 Some(v) if !v.starts_with("--") => worker = Some(v.clone()),
                 _ => return usage(),
             },
+            "--transport" => match it.next() {
+                Some(v) if !v.starts_with("--") => transport_kind = Some(v.clone()),
+                _ => return usage(),
+            },
+            "--workers" => match it.next() {
+                Some(v) if !v.starts_with("--") => workers = Some(v.clone()),
+                _ => return usage(),
+            },
             flag if flag.starts_with("--") => return usage(),
             _ if path.is_none() => path = Some(arg.clone()),
             _ => return usage(),
         }
     }
     let Some(path) = path else { return usage() };
+    let transport = match resolve_transport(transport_kind, worker, workers, shards) {
+        Ok(t) => t,
+        Err(e) => return fail("invalid transport", e),
+    };
     let file = match load(&path) {
         Ok(file) => file,
         Err(e) => return fail("invalid scenario", e),
@@ -91,12 +162,10 @@ fn run(args: &[String]) -> ExitCode {
     }
     let mut runner = Runner::new(&dataset, file.protocol)
         .config(file.config.clone())
-        .scenario(file.scenario.clone());
+        .scenario(file.scenario.clone())
+        .transport(transport);
     if let Some(n) = shards {
         runner = runner.shards(n);
-    }
-    if let Some(worker) = worker {
-        runner = runner.multiprocess(worker);
     }
     let report = match runner.try_run() {
         Ok(report) => report,

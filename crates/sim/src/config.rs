@@ -1,7 +1,50 @@
-//! Simulation configuration and the protocol selector.
+//! Simulation configuration, the protocol selector and the transport
+//! selector.
 
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use whatsup_core::{Metric, Params};
+
+/// Where the engine's shard workers execute. A pure execution knob, like
+/// [`SimConfig::shards`]: reports are bit-identical across all variants
+/// (see the `engine` module docs for the determinism contract and the
+/// distributed topology).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Shard worker threads inside this process (a single shard runs
+    /// inline without serialization).
+    #[default]
+    InProcess,
+    /// `sim-shard-worker` child processes at this binary path, frames
+    /// over stdio pipes.
+    Process(PathBuf),
+    /// Already-listening `sim-shard-worker --listen` processes, frames
+    /// over TCP. One `host:port` address per shard, in shard order — the
+    /// shard count *is* the worker count, overriding [`SimConfig::shards`].
+    /// Workers start first, the driver dials second.
+    Socket(Vec<String>),
+}
+
+impl Transport {
+    /// Parses the CLI's `--workers host:port,host:port,…` list.
+    pub fn parse_workers(list: &str) -> Result<Vec<String>, String> {
+        let workers: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        if workers.is_empty() {
+            return Err("worker list is empty".into());
+        }
+        for w in &workers {
+            if !w.contains(':') {
+                return Err(format!("worker address '{w}' is not host:port"));
+            }
+        }
+        Ok(workers)
+    }
+}
 
 /// One protocol under evaluation (§IV-B). Everything the paper's Figs. 3–11
 /// and Tables III–VI compare is expressible here.
@@ -152,7 +195,8 @@ pub struct SimConfig {
     /// Engine shards the node table is partitioned into (contiguous id
     /// ranges, each run by its own worker). `0` = one shard per available
     /// core; the count is clamped to the population size. Pure execution
-    /// knob: reports are bit-identical for every value.
+    /// knob: reports are bit-identical for every value. Ignored under
+    /// [`Transport::Socket`], where the shard count is the worker count.
     pub shards: usize,
 }
 
@@ -362,5 +406,20 @@ mod tests {
             ..Default::default()
         };
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn worker_lists_parse_and_reject_junk() {
+        assert_eq!(
+            Transport::parse_workers("10.0.0.1:7000, 10.0.0.2:7000 ,localhost:9"),
+            Ok(vec![
+                "10.0.0.1:7000".to_string(),
+                "10.0.0.2:7000".to_string(),
+                "localhost:9".to_string(),
+            ])
+        );
+        assert!(Transport::parse_workers("").is_err());
+        assert!(Transport::parse_workers(" , ,").is_err());
+        assert!(Transport::parse_workers("127.0.0.1:1,no-port").is_err());
     }
 }

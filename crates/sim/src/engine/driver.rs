@@ -6,12 +6,13 @@
 //! phase is a command to the shards and a fold of their replies, in shard
 //! order (= node-id order, since shard ranges are contiguous ascending).
 //! That is what lets the same `run_cycle` drive the inline single-shard
-//! path, the in-process channel workers and the `sim-shard-worker`
-//! processes to bit-identical reports.
+//! path, the in-process channel workers, the `sim-shard-worker` child
+//! processes and remote socket workers to bit-identical reports.
 
 use crate::config::{Protocol, SimConfig};
 use crate::engine::exchange::{
-    Command, NewsOutcome, Outbound, ProcessTransport, Reply, ShardTransport,
+    Command, NewsOutcome, Outbound, ProcessTransport, Reply, ShardTransport, SocketTransport,
+    TransportError,
 };
 use crate::engine::partition::Partition;
 use crate::engine::shard::{self, ShardInit, ShardState};
@@ -212,24 +213,32 @@ fn bundles_for(outs: &[Outbound], dest: usize) -> Vec<Bytes> {
 }
 
 /// Fetches one node's view snapshot from its owning shard.
-fn fetch_snapshot(core: &DriverCore, t: &mut impl ShardTransport, id: NodeId) -> Bytes {
+fn fetch_snapshot(
+    core: &DriverCore,
+    t: &mut impl ShardTransport,
+    id: NodeId,
+) -> Result<Bytes, TransportError> {
     let owner = core.partition.shard_of(id);
     let reply = t
-        .roundtrip(vec![(owner, Command::TakeSnapshots { ids: vec![id] })])
+        .roundtrip(vec![(owner, Command::TakeSnapshots { ids: vec![id] })])?
         .pop()
         .expect("one snapshot reply");
     let Reply::Snapshots(mut frames) = reply else {
         panic!("expected Snapshots");
     };
-    frames.pop().expect("one snapshot frame")
+    Ok(frames.pop().expect("one snapshot frame"))
 }
 
 /// Admits a node cloning `reference`'s interests: cold start from a random
 /// contact's views (drawn from the driver RNG), state built on the owning
 /// (last) shard. Returns the joiner's id.
-fn join_clone(core: &mut DriverCore, t: &mut impl ShardTransport, reference: NodeId) -> NodeId {
+fn join_clone(
+    core: &mut DriverCore,
+    t: &mut impl ShardTransport,
+    reference: NodeId,
+) -> Result<NodeId, TransportError> {
     let contact = core.rng.gen_range(0..core.partition.total()) as NodeId;
-    let snapshot = fetch_snapshot(core, t, contact);
+    let snapshot = fetch_snapshot(core, t, contact)?;
     let id = core.oracle.add_clone_of(reference);
     core.partition.push_node();
     let last = t.n_shards() - 1;
@@ -244,25 +253,29 @@ fn join_clone(core: &mut DriverCore, t: &mut impl ShardTransport, reference: Nod
             )
         })
         .collect();
-    t.roundtrip(batch);
+    t.roundtrip(batch)?;
     core.liked_this_cycle.push(0);
     core.per_node.push(NodeIr::default());
-    id
+    Ok(id)
 }
 
 /// Applies one timeline event through the transport (see the engine module
 /// docs for when events fire and which RNG they draw from).
-fn apply_event(core: &mut DriverCore, t: &mut impl ShardTransport, event: Event) {
+fn apply_event(
+    core: &mut DriverCore,
+    t: &mut impl ShardTransport,
+    event: Event,
+) -> Result<(), TransportError> {
     match event {
         Event::JoinClone { reference } => {
-            join_clone(core, t, reference);
+            join_clone(core, t, reference)?;
         }
         Event::SwapInterests { a, b } => {
             core.oracle.swap_interests(a, b);
             let batch = (0..t.n_shards())
                 .map(|s| (s, Command::SwapInterests { a, b }))
                 .collect();
-            t.roundtrip(batch);
+            t.roundtrip(batch)?;
         }
         Event::ResetNode { node } => {
             let n = core.partition.total();
@@ -273,25 +286,29 @@ fn apply_event(core: &mut DriverCore, t: &mut impl ShardTransport, event: Event)
                     break c;
                 }
             } as NodeId;
-            let snapshot = fetch_snapshot(core, t, contact);
+            let snapshot = fetch_snapshot(core, t, contact)?;
             let owner = core.partition.shard_of(node);
             t.roundtrip(vec![(
                 owner,
                 Command::ApplyChurn {
                     resets: vec![(node, snapshot)],
                 },
-            )]);
+            )])?;
         }
     }
+    Ok(())
 }
 
 /// Start-of-cycle scenario boundary: the churn model's mass-join arrivals,
 /// then the timeline events stamped for this cycle, in list order.
-fn apply_cycle_start(core: &mut DriverCore, t: &mut impl ShardTransport) {
+fn apply_cycle_start(
+    core: &mut DriverCore,
+    t: &mut impl ShardTransport,
+) -> Result<(), TransportError> {
     let cycle = core.cycle;
     for _ in 0..core.scenario.environment.churn.joins_at(cycle) {
         let reference = core.rng.gen_range(0..core.partition.total()) as NodeId;
-        join_clone(core, t, reference);
+        join_clone(core, t, reference)?;
     }
     let due: Vec<Event> = core
         .scenario
@@ -301,14 +318,15 @@ fn apply_cycle_start(core: &mut DriverCore, t: &mut impl ShardTransport) {
         .map(|e| e.event)
         .collect();
     for event in due {
-        apply_event(core, t, event);
+        apply_event(core, t, event)?;
     }
+    Ok(())
 }
 
 /// Advances the run by one cycle over `t`: scenario events, gossip, churn,
 /// publications.
-fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) {
-    apply_cycle_start(core, t);
+fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) -> Result<(), TransportError> {
+    apply_cycle_start(core, t)?;
     let cycle = core.cycle;
     let shards = t.n_shards();
     core.liked_this_cycle.iter_mut().for_each(|c| *c = 0);
@@ -319,7 +337,7 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) {
             (0..shards)
                 .map(|s| (s, Command::Collect { cycle }))
                 .collect(),
-        ),
+        )?,
     );
     loop {
         let sent: u64 = outs.iter().map(|o| o.sent).sum();
@@ -338,7 +356,7 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) {
                 )
             })
             .collect();
-        outs = expect_outbound(t.roundtrip(batch));
+        outs = expect_outbound(t.roundtrip(batch)?);
     }
 
     // --- Churn phase ------------------------------------------------------
@@ -350,7 +368,7 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) {
             (0..shards)
                 .map(|s| (s, Command::ChurnDecide { cycle }))
                 .collect(),
-        );
+        )?;
         let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
         for reply in decisions {
             let Reply::ChurnDecisions(p) = reply else {
@@ -374,7 +392,7 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) {
                 .map(|(s, w)| (s, Command::TakeSnapshots { ids: w.clone() }))
                 .collect();
             let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
-            let replies = t.roundtrip(batch);
+            let replies = t.roundtrip(batch)?;
             let mut snapshots: HashMap<NodeId, Bytes> = HashMap::new();
             for (s, reply) in targets.into_iter().zip(replies) {
                 let Reply::Snapshots(frames) = reply else {
@@ -394,25 +412,31 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) {
                 .filter(|(_, r)| !r.is_empty())
                 .map(|(s, r)| (s, Command::ApplyChurn { resets: r }))
                 .collect();
-            t.roundtrip(batch);
+            t.roundtrip(batch)?;
         }
     }
 
     // --- Publication phase ------------------------------------------------
     if !core.published_at_cycle[cycle as usize].is_empty() {
-        t.roundtrip((0..shards).map(|s| (s, Command::BeginNews)).collect());
+        t.roundtrip((0..shards).map(|s| (s, Command::BeginNews)).collect())?;
     }
     for k in 0..core.published_at_cycle[cycle as usize].len() {
         let index = core.published_at_cycle[cycle as usize][k];
-        disseminate(core, t, index, cycle);
+        disseminate(core, t, index, cycle)?;
     }
     core.cycle += 1;
+    Ok(())
 }
 
 /// Publishes one item and runs its epidemic to completion as a BFS: every
 /// copy at hop distance `h` is delivered before any copy at `h + 1`;
 /// outcome folds happen in receiver order.
-fn disseminate(core: &mut DriverCore, t: &mut impl ShardTransport, index: u32, cycle: u32) {
+fn disseminate(
+    core: &mut DriverCore,
+    t: &mut impl ShardTransport,
+    index: u32,
+    cycle: u32,
+) -> Result<(), TransportError> {
     let shards = t.n_shards();
     let source = core.sources[index as usize];
     let item = core.items[index as usize].clone();
@@ -435,7 +459,7 @@ fn disseminate(core: &mut DriverCore, t: &mut impl ShardTransport, index: u32, c
 
     let owner = core.partition.shard_of(source);
     let reply = t
-        .roundtrip(vec![(owner, Command::Publish { cycle, item })])
+        .roundtrip(vec![(owner, Command::Publish { cycle, item })])?
         .pop()
         .expect("one publish reply");
     let Reply::Published {
@@ -485,7 +509,7 @@ fn disseminate(core: &mut DriverCore, t: &mut impl ShardTransport, index: u32, c
                 )
             })
             .collect();
-        let replies = t.roundtrip(batch);
+        let replies = t.roundtrip(batch)?;
         let mut next_outs: Vec<Outbound> = (0..shards).map(|_| Outbound::empty(shards)).collect();
         for (&dest, reply) in active.iter().zip(replies) {
             let Reply::NewsDelivered { out, outcomes } = reply else {
@@ -496,6 +520,7 @@ fn disseminate(core: &mut DriverCore, t: &mut impl ShardTransport, index: u32, c
         }
         outs = next_outs;
     }
+    Ok(())
 }
 
 /// Folds one shard's per-receiver outcomes into the shared records
@@ -535,12 +560,20 @@ impl ShardTransport for InlineTransport<'_> {
         self.shards.len()
     }
 
-    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Vec<Reply> {
-        batch
+    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Result<Vec<Reply>, TransportError> {
+        Ok(batch
             .into_iter()
             .map(|(s, cmd)| self.shards[s].handle(cmd))
-            .collect()
+            .collect())
     }
+}
+
+/// Runs every remaining cycle of `core` over `t`.
+fn drive(core: &mut DriverCore, t: &mut impl ShardTransport) -> Result<(), TransportError> {
+    while core.cycle < core.cfg.cycles {
+        run_cycle(core, t)?;
+    }
+    Ok(())
 }
 
 /// A running simulation of one node-based protocol over one dataset.
@@ -601,10 +634,54 @@ impl Simulation {
         worker: &Path,
     ) -> io::Result<SimReport> {
         let (mut core, inits) = build(dataset, protocol, cfg, scenario);
+        // On any error, dropping the transport stops + reaps the children.
         let mut transport = ProcessTransport::spawn(worker, &inits)?;
-        while core.cycle < core.cfg.cycles {
-            run_cycle(&mut core, &mut transport);
+        drive(&mut core, &mut transport)?;
+        transport.shutdown()?;
+        Ok(core.into_report())
+    }
+
+    /// Builds and runs the whole simulation on already-listening
+    /// `sim-shard-worker --listen` processes, one per `workers` address
+    /// (shard `k` goes to `workers[k]`; the shard count *is* the worker
+    /// count, overriding `cfg.shards`). Bit-identical to the in-process
+    /// engine for the same config.
+    pub fn run_socket(
+        dataset: &Dataset,
+        protocol: Protocol,
+        cfg: SimConfig,
+        workers: &[String],
+    ) -> io::Result<SimReport> {
+        let scenario = Scenario::from_config(&cfg);
+        Self::run_socket_scenario(dataset, protocol, cfg, scenario, workers)
+    }
+
+    /// [`Simulation::run_socket`] under an explicit scenario.
+    pub(crate) fn run_socket_scenario(
+        dataset: &Dataset,
+        protocol: Protocol,
+        mut cfg: SimConfig,
+        scenario: Scenario,
+        workers: &[String],
+    ) -> io::Result<SimReport> {
+        if workers.is_empty() {
+            return Err(io::Error::other(
+                "socket transport needs at least one worker address",
+            ));
         }
+        if workers.len() > dataset.n_users() {
+            return Err(io::Error::other(format!(
+                "{} socket workers for {} nodes — shards cannot outnumber nodes",
+                workers.len(),
+                dataset.n_users()
+            )));
+        }
+        cfg.shards = workers.len();
+        let (mut core, inits) = build(dataset, protocol, cfg, scenario);
+        // On any error, dropping the transport sends Stop and closes the
+        // connections, so the remote workers exit instead of lingering.
+        let mut transport = SocketTransport::connect(workers, &inits)?;
+        drive(&mut core, &mut transport)?;
         transport.shutdown()?;
         Ok(core.into_report())
     }
@@ -665,7 +742,8 @@ impl Simulation {
         let core = &mut self.core;
         let states = &mut self.shards;
         if states.len() == 1 {
-            run_cycle(core, &mut InlineTransport { shards: states });
+            run_cycle(core, &mut InlineTransport { shards: states })
+                .expect("inline transport cannot fail");
         } else {
             std::thread::scope(|scope| {
                 let mut to = Vec::with_capacity(states.len());
@@ -686,7 +764,10 @@ impl Simulation {
                     from.push(rep_rx);
                 }
                 let mut transport = ChannelTransport::new(to, from);
-                run_cycle(core, &mut transport);
+                // A channel failure means a shard thread panicked; the
+                // scope re-raises that panic when it joins, so this
+                // expect only adds context.
+                run_cycle(core, &mut transport).expect("shard worker thread failed");
                 transport.stop();
             });
         }
@@ -702,7 +783,8 @@ impl Simulation {
                 shards: &mut self.shards,
             },
             Event::ResetNode { node: id },
-        );
+        )
+        .expect("inline transport cannot fail");
     }
 
     /// Registers a node joining mid-run (§V-C): interests mirror
@@ -718,6 +800,7 @@ impl Simulation {
             },
             reference,
         )
+        .expect("inline transport cannot fail")
     }
 
     /// Swaps the ground-truth interests of two nodes (§V-C). Equivalent to
@@ -729,7 +812,8 @@ impl Simulation {
                 shards: &mut self.shards,
             },
             Event::SwapInterests { a, b },
-        );
+        )
+        .expect("inline transport cannot fail");
     }
 
     /// Mean live similarity between `id`'s profile and the *current*

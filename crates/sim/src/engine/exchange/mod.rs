@@ -8,12 +8,31 @@
 //!   crossbeam channels (in-process);
 //! * [`ProcessTransport`] — shards as `sim-shard-worker` child processes,
 //!   length-prefixed frames over stdio pipes (multi-process);
+//! * [`SocketTransport`] — shards as `sim-shard-worker --listen` processes
+//!   anywhere on the network, the same frames over TCP (distributed);
 //! * the single-shard driver calls the shard inline without serializing.
+//!
+//! The [`stream`] submodule holds everything the byte-stream transports
+//! (pipes and sockets) share: length-prefixed framing over generic
+//! `Read`/`Write`, the versioned bootstrap handshake, and the worker serve
+//! loop — `sim-shard-worker` is a thin shell around it.
 //!
 //! Every frame is hand-encoded little-endian via the `bytes` buffers;
 //! mailbox traffic and view snapshots embed the `whatsup-net` wire codec's
-//! encodings, so the two stacks share one message format. Frames are
-//! engine-internal: malformed input is an engine bug and panics.
+//! encodings, so the two stacks share one message format. Command/reply
+//! payloads are engine-internal: both peers have already passed the
+//! versioned handshake, so a malformed *payload* is an engine bug and
+//! panics. Everything at the conversation boundary — connecting, the
+//! handshake, a peer vanishing, a frame truncated on the wire — surfaces
+//! as a typed [`TransportError`] naming the endpoint instead.
+
+pub mod process;
+pub mod socket;
+pub mod stream;
+
+pub use process::ProcessTransport;
+pub use socket::SocketTransport;
+pub use stream::{read_frame, write_frame};
 
 use crate::engine::partition::Partition;
 use crate::engine::shard::ShardInit;
@@ -21,13 +40,93 @@ use crate::oracle::Oracle;
 use crate::scenario::{ChurnModel, LossModel};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
-use std::io::{self, BufReader, Read, Write};
-use std::path::Path;
-use std::process::{Child, ChildStdin, ChildStdout, Stdio};
+use std::fmt;
+use std::io;
 use whatsup_core::beep::{DislikeRule, TargetPool};
 use whatsup_core::{ColdStart, ItemId, Metric, NewsItem, NodeId, Params};
 use whatsup_datasets::LikeMatrix;
 use whatsup_net::codec;
+
+/// A transport-level failure: the conversation with a shard worker could
+/// not start or could not continue. Carries the worker's endpoint (a
+/// `host:port` address, a child pid, a thread index) so a distributed
+/// failure names the machine that caused it.
+#[derive(Debug)]
+pub struct TransportError {
+    /// Human-readable worker endpoint, e.g. `10.0.0.2:7401` or
+    /// `sim-shard-worker pid 4242 (shard 1)`.
+    pub endpoint: String,
+    pub kind: TransportErrorKind,
+}
+
+/// What went wrong at the transport boundary.
+#[derive(Debug)]
+pub enum TransportErrorKind {
+    /// Connect, read or write failed — includes a peer closing the
+    /// connection mid-run and frames truncated on the wire.
+    Io(io::Error),
+    /// The peer's greeting was not a shard-worker hello frame.
+    HandshakeMagic,
+    /// The peer speaks a different protocol version.
+    HandshakeVersion { got: u16, want: u16 },
+    /// A worker process exited with a failure status.
+    WorkerExit(String),
+}
+
+impl TransportError {
+    pub fn io(endpoint: impl Into<String>, err: io::Error) -> Self {
+        Self {
+            endpoint: endpoint.into(),
+            kind: TransportErrorKind::Io(err),
+        }
+    }
+
+    /// An `Io` error for a peer that closed the connection at a frame
+    /// boundary where more frames were required.
+    pub fn closed(endpoint: impl Into<String>, what: &str) -> Self {
+        Self::io(
+            endpoint,
+            io::Error::new(io::ErrorKind::UnexpectedEof, what.to_string()),
+        )
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TransportErrorKind::Io(e) => write!(f, "shard worker {}: {e}", self.endpoint),
+            TransportErrorKind::HandshakeMagic => write!(
+                f,
+                "shard worker {}: handshake failed — peer is not a sim-shard-worker",
+                self.endpoint
+            ),
+            TransportErrorKind::HandshakeVersion { got, want } => write!(
+                f,
+                "shard worker {}: handshake failed — peer speaks exchange \
+                 protocol v{got}, this driver speaks v{want}",
+                self.endpoint
+            ),
+            TransportErrorKind::WorkerExit(status) => {
+                write!(f, "shard worker {}: exited with {status}", self.endpoint)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            TransportErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for io::Error {
+    fn from(err: TransportError) -> Self {
+        io::Error::other(err.to_string())
+    }
+}
 
 /// A driver → shard phase command.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,10 +233,12 @@ pub enum Reply {
 /// Moves command/reply frames between the driver and the shard workers.
 ///
 /// A batch sends at most one command per shard; replies come back in batch
-/// order. Implementations must preserve per-shard FIFO ordering.
+/// order. Implementations must preserve per-shard FIFO ordering. A failed
+/// round-trip leaves the transport in an unspecified state: the driver
+/// must abandon the run (dropping the transport tears the workers down).
 pub trait ShardTransport {
     fn n_shards(&self) -> usize;
-    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Vec<Reply>;
+    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Result<Vec<Reply>, TransportError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -761,40 +862,7 @@ pub fn decode_init(mut frame: &[u8]) -> ShardInit {
 }
 
 // ---------------------------------------------------------------------------
-// Stream framing (pipes)
-// ---------------------------------------------------------------------------
-
-/// Writes one `len:u32` + payload frame and flushes.
-pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
-    w.write_all(&(frame.len() as u32).to_le_bytes())?;
-    w.write_all(frame)?;
-    w.flush()
-}
-
-/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut header = [0u8; 4];
-    let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut header[filled..])? {
-            0 if filled == 0 => return Ok(None),
-            0 => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "eof inside frame header",
-                ))
-            }
-            n => filled += n,
-        }
-    }
-    let len = u32::from_le_bytes(header) as usize;
-    let mut frame = vec![0u8; len];
-    r.read_exact(&mut frame)?;
-    Ok(Some(frame))
-}
-
-// ---------------------------------------------------------------------------
-// Transports
+// In-process transport
 // ---------------------------------------------------------------------------
 
 /// In-process transport: one worker thread per shard, `Vec<u8>` frames over
@@ -826,94 +894,27 @@ impl ShardTransport for ChannelTransport {
         self.to.len()
     }
 
-    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Vec<Reply> {
+    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Result<Vec<Reply>, TransportError> {
         let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
         for (s, cmd) in &batch {
             self.to[*s]
                 .send(encode_command(cmd))
-                .expect("shard worker hung up");
-        }
-        targets
-            .into_iter()
-            .map(|s| decode_reply(&self.from[s].recv().expect("shard worker hung up")))
-            .collect()
-    }
-}
-
-/// Multi-process transport: one `sim-shard-worker` child per shard,
-/// length-prefixed frames over stdio pipes.
-pub struct ProcessTransport {
-    children: Vec<Child>,
-    stdins: Vec<ChildStdin>,
-    stdouts: Vec<BufReader<ChildStdout>>,
-}
-
-impl ProcessTransport {
-    /// Spawns one worker per init and sends each its init frame.
-    pub fn spawn(worker: &Path, inits: &[ShardInit]) -> io::Result<Self> {
-        let mut children = Vec::with_capacity(inits.len());
-        let mut stdins = Vec::with_capacity(inits.len());
-        let mut stdouts = Vec::with_capacity(inits.len());
-        for init in inits {
-            let mut child = std::process::Command::new(worker)
-                .stdin(Stdio::piped())
-                .stdout(Stdio::piped())
-                .stderr(Stdio::inherit())
-                .spawn()?;
-            let mut stdin = child.stdin.take().expect("piped stdin");
-            let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-            write_frame(&mut stdin, &encode_init(init))?;
-            children.push(child);
-            stdins.push(stdin);
-            stdouts.push(stdout);
-        }
-        Ok(Self {
-            children,
-            stdins,
-            stdouts,
-        })
-    }
-
-    /// Stops every worker and reaps the processes.
-    pub fn shutdown(mut self) -> io::Result<()> {
-        let stop = encode_command(&Command::Stop);
-        for stdin in &mut self.stdins {
-            write_frame(stdin, &stop)?;
-        }
-        drop(self.stdins);
-        for child in &mut self.children {
-            let status = child.wait()?;
-            if !status.success() {
-                return Err(io::Error::other(format!(
-                    "shard worker exited with {status}"
-                )));
-            }
-        }
-        Ok(())
-    }
-}
-
-impl ShardTransport for ProcessTransport {
-    fn n_shards(&self) -> usize {
-        self.children.len()
-    }
-
-    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Vec<Reply> {
-        let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
-        for (s, cmd) in &batch {
-            write_frame(&mut self.stdins[*s], &encode_command(cmd))
-                .expect("shard worker pipe closed");
+                .map_err(|_| TransportError::closed(thread_endpoint(*s), "shard thread hung up"))?;
         }
         targets
             .into_iter()
             .map(|s| {
-                let frame = read_frame(&mut self.stdouts[s])
-                    .expect("shard worker pipe error")
-                    .expect("shard worker exited mid-phase");
-                decode_reply(&frame)
+                let frame = self.from[s].recv().map_err(|_| {
+                    TransportError::closed(thread_endpoint(s), "shard thread hung up")
+                })?;
+                Ok(decode_reply(&frame))
             })
             .collect()
     }
+}
+
+fn thread_endpoint(shard: usize) -> String {
+    format!("in-process thread (shard {shard})")
 }
 
 #[cfg(test)]
@@ -1060,18 +1061,5 @@ mod tests {
             let mut slice: &[u8] = &buf;
             assert_eq!(get_churn_model(&mut slice), churn);
         }
-    }
-
-    #[test]
-    fn framing_roundtrip_and_clean_eof() {
-        let mut pipe = Vec::new();
-        write_frame(&mut pipe, b"hello").unwrap();
-        write_frame(&mut pipe, b"").unwrap();
-        let mut r: &[u8] = &pipe;
-        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
-        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
-        assert_eq!(read_frame(&mut r).unwrap(), None, "clean eof");
-        let mut torn: &[u8] = &pipe[..2];
-        assert!(read_frame(&mut torn).is_err(), "eof inside header");
     }
 }

@@ -1,0 +1,190 @@
+//! Multi-process transport: one `sim-shard-worker` child per shard,
+//! length-prefixed frames over stdio pipes.
+//!
+//! Children are never leaked: the graceful [`ProcessTransport::shutdown`]
+//! sends `Stop` and waits, and [`Drop`] covers every early-error path
+//! (spawn failures after the first child, a failed round-trip, a driver
+//! panic) with a best-effort `Stop`, then `kill` + `wait` so an aborted
+//! multiprocess run cannot leave zombie workers behind.
+
+use super::stream::{check_hello, encode_handshake, HANDSHAKE_TIMEOUT};
+use super::{
+    decode_reply, encode_command, read_frame, write_frame, Command, Reply, ShardTransport,
+    TransportError, TransportErrorKind,
+};
+use crate::engine::shard::ShardInit;
+use std::io::BufReader;
+use std::path::Path;
+use std::process::{Child, ChildStdin, ChildStdout, Stdio};
+use std::sync::mpsc;
+
+/// The human-readable name of one worker child, used in every error.
+fn worker_endpoint(pid: u32, shard: usize) -> String {
+    format!("sim-shard-worker pid {pid} (shard {shard})")
+}
+
+pub struct ProcessTransport {
+    children: Vec<Child>,
+    stdins: Vec<ChildStdin>,
+    stdouts: Vec<BufReader<ChildStdout>>,
+    /// Set by [`ProcessTransport::shutdown`] so [`Drop`] skips the
+    /// kill path after a graceful teardown.
+    stopped: bool,
+}
+
+impl ProcessTransport {
+    /// Spawns one worker per init and runs the bootstrap handshake with
+    /// each (see [`super::stream`]). On failure, the children spawned so
+    /// far are killed and reaped before returning.
+    pub fn spawn(worker: &Path, inits: &[ShardInit]) -> Result<Self, TransportError> {
+        let mut t = Self {
+            children: Vec::with_capacity(inits.len()),
+            stdins: Vec::with_capacity(inits.len()),
+            stdouts: Vec::with_capacity(inits.len()),
+            stopped: false,
+        };
+        for init in inits {
+            let mut child = std::process::Command::new(worker)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| TransportError::io(format!("spawn {}", worker.display()), e))?;
+            let endpoint = worker_endpoint(child.id(), init.index);
+            let mut stdin = child.stdin.take().expect("piped stdin");
+            let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+            // Register before handshaking: if the handshake fails, Drop
+            // still reaps this child along with the earlier ones.
+            t.children.push(child);
+            let stdout = t.read_hello_bounded(&endpoint, stdout)?;
+            write_frame(&mut stdin, &encode_handshake(init))
+                .map_err(|e| TransportError::io(&*endpoint, e))?;
+            t.stdins.push(stdin);
+            t.stdouts.push(stdout);
+        }
+        Ok(t)
+    }
+
+    /// Reads and validates the just-spawned child's hello (the child is
+    /// the last entry of `self.children`), bounded by
+    /// [`HANDSHAKE_TIMEOUT`]. Pipes cannot arm read timeouts, so the read
+    /// runs on a watchdog thread: on timeout the child is killed (not a
+    /// shard worker — e.g. a binary that never speaks), which unblocks
+    /// the reader thread with an EOF and lets it exit. Returns the stdout
+    /// reader for the command/reply phase.
+    fn read_hello_bounded(
+        &mut self,
+        endpoint: &str,
+        mut stdout: BufReader<ChildStdout>,
+    ) -> Result<BufReader<ChildStdout>, TransportError> {
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let hello = read_frame(&mut stdout);
+            let _ = tx.send((hello, stdout));
+        });
+        match rx.recv_timeout(HANDSHAKE_TIMEOUT) {
+            Ok((hello, stdout)) => {
+                check_hello(endpoint, hello)?;
+                Ok(stdout)
+            }
+            Err(_) => {
+                let child = self.children.last_mut().expect("child just pushed");
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(TransportError::io(
+                    endpoint,
+                    std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!(
+                            "no hello within {HANDSHAKE_TIMEOUT:?} — \
+                             is this a sim-shard-worker binary?"
+                        ),
+                    ),
+                ))
+            }
+        }
+    }
+
+    fn endpoint(&self, shard: usize) -> String {
+        worker_endpoint(self.children[shard].id(), shard)
+    }
+
+    /// Stops every worker and reaps the processes. Errors report the first
+    /// failure but still reap every child.
+    pub fn shutdown(mut self) -> Result<(), TransportError> {
+        self.stopped = true;
+        let stop = encode_command(&Command::Stop);
+        let mut first_err: Option<TransportError> = None;
+        for (s, stdin) in self.stdins.iter_mut().enumerate() {
+            if let Err(e) = write_frame(stdin, &stop) {
+                let endpoint = worker_endpoint(self.children[s].id(), s);
+                first_err.get_or_insert(TransportError::io(endpoint, e));
+            }
+        }
+        self.stdins.clear();
+        for (s, child) in self.children.iter_mut().enumerate() {
+            let endpoint = worker_endpoint(child.id(), s);
+            match child.wait() {
+                Ok(status) if !status.success() => {
+                    first_err.get_or_insert(TransportError {
+                        endpoint,
+                        kind: TransportErrorKind::WorkerExit(status.to_string()),
+                    });
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    first_err.get_or_insert(TransportError::io(endpoint, e));
+                }
+            }
+        }
+        self.children.clear();
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for ProcessTransport {
+    fn drop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        // Best-effort Stop so healthy workers exit cleanly, then close the
+        // pipes, then make sure: kill + wait reaps even a wedged child.
+        let stop = encode_command(&Command::Stop);
+        for stdin in &mut self.stdins {
+            let _ = write_frame(stdin, &stop);
+        }
+        self.stdins.clear();
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl ShardTransport for ProcessTransport {
+    fn n_shards(&self) -> usize {
+        self.children.len()
+    }
+
+    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Result<Vec<Reply>, TransportError> {
+        let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
+        for (s, cmd) in &batch {
+            write_frame(&mut self.stdins[*s], &encode_command(cmd))
+                .map_err(|e| TransportError::io(self.endpoint(*s), e))?;
+        }
+        targets
+            .into_iter()
+            .map(|s| {
+                let frame = read_frame(&mut self.stdouts[s])
+                    .map_err(|e| TransportError::io(self.endpoint(s), e))?
+                    .ok_or_else(|| {
+                        TransportError::closed(self.endpoint(s), "worker exited mid-phase")
+                    })?;
+                Ok(decode_reply(&frame))
+            })
+            .collect()
+    }
+}

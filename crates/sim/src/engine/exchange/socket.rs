@@ -1,0 +1,174 @@
+//! Distributed transport: shard workers as `sim-shard-worker --listen`
+//! processes reachable over TCP, exchanging exactly the frames the pipe
+//! transport uses. This is what lets shard workers live on other machines:
+//! the bundle payloads already are the `whatsup-net` wire codec.
+//!
+//! Launch order is *workers first, then driver*: each worker binds, prints
+//! its address, and blocks in accept; the driver dials every address,
+//! runs the versioned bootstrap handshake (see [`super::stream`]) and
+//! assigns shard `k` to the `k`-th worker address. Dialing and the
+//! handshake are guarded by [`CONNECT_TIMEOUT`]/[`HANDSHAKE_TIMEOUT`], so
+//! a worker that is down, unreachable, or speaks a different protocol
+//! version surfaces as a typed [`TransportError`] naming the address — a
+//! run never hangs on bootstrap and never panics on a foreign greeting.
+
+use super::stream::{drive_handshake, CONNECT_TIMEOUT, HANDSHAKE_TIMEOUT};
+use super::{
+    decode_reply, encode_command, read_frame, write_frame, Command, Reply, ShardTransport,
+    TransportError,
+};
+use crate::engine::shard::ShardInit;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+
+pub struct SocketTransport {
+    /// One worker address per shard, as given by the caller (named in
+    /// errors).
+    endpoints: Vec<String>,
+    readers: Vec<BufReader<TcpStream>>,
+    writers: Vec<BufWriter<TcpStream>>,
+    /// Set by [`SocketTransport::shutdown`] so [`Drop`] skips the
+    /// best-effort teardown after a graceful one.
+    stopped: bool,
+}
+
+/// Dials `addr` with [`CONNECT_TIMEOUT`], trying every resolved socket
+/// address in order (like `TcpStream::connect`, which has no timeout
+/// variant) — `localhost` may resolve to `::1` before `127.0.0.1`.
+fn dial(addr: &str) -> Result<TcpStream, TransportError> {
+    let resolved: Vec<SocketAddr> = addr
+        .to_socket_addrs()
+        .map_err(|e| TransportError::io(addr, e))?
+        .collect();
+    let mut last_err = std::io::Error::new(
+        std::io::ErrorKind::AddrNotAvailable,
+        "address resolved to nothing",
+    );
+    for sock_addr in resolved {
+        match TcpStream::connect_timeout(&sock_addr, CONNECT_TIMEOUT) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(TransportError::io(addr, last_err))
+}
+
+impl SocketTransport {
+    /// Dials one worker per init (`workers[k]` becomes shard `k`) and runs
+    /// the bootstrap handshake with each. Connect and handshake are
+    /// bounded by timeouts; after the handshake the streams block freely
+    /// (a lockstep round may legitimately take long on big shards).
+    pub fn connect(workers: &[String], inits: &[ShardInit]) -> Result<Self, TransportError> {
+        assert_eq!(workers.len(), inits.len(), "one worker address per shard");
+        let mut t = Self {
+            endpoints: workers.to_vec(),
+            readers: Vec::with_capacity(workers.len()),
+            writers: Vec::with_capacity(workers.len()),
+            stopped: false,
+        };
+        for (addr, init) in workers.iter().zip(inits) {
+            let stream = dial(addr)?;
+            let _ = stream.set_nodelay(true);
+            stream
+                .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+                .map_err(|e| TransportError::io(addr, e))?;
+            let mut reader = BufReader::new(
+                stream
+                    .try_clone()
+                    .map_err(|e| TransportError::io(addr, e))?,
+            );
+            let mut writer = BufWriter::new(stream);
+            drive_handshake(addr, &mut reader, &mut writer, init)?;
+            // Handshake done: let long lockstep rounds block freely.
+            writer
+                .get_ref()
+                .set_read_timeout(None)
+                .map_err(|e| TransportError::io(addr, e))?;
+            t.readers.push(reader);
+            t.writers.push(writer);
+        }
+        Ok(t)
+    }
+
+    /// Stops every worker and closes the connections; errors report the
+    /// first failure but still close every stream.
+    pub fn shutdown(mut self) -> Result<(), TransportError> {
+        self.stopped = true;
+        let stop = encode_command(&Command::Stop);
+        let mut first_err: Option<TransportError> = None;
+        for (s, writer) in self.writers.iter_mut().enumerate() {
+            if let Err(e) = write_frame(writer, &stop) {
+                first_err.get_or_insert(TransportError::io(&*self.endpoints[s], e));
+            }
+            let _ = writer.get_ref().shutdown(Shutdown::Write);
+        }
+        // Wait for each worker to acknowledge the Stop by closing its end:
+        // a clean EOF here proves the worker exited its serve loop rather
+        // than being left behind mid-conversation. Unlike mid-round reads
+        // (unbounded — shard compute takes as long as it takes), this is a
+        // bounded-time event, so re-arm the timeout: a wedged or
+        // partitioned worker must not hang a completed run.
+        for (s, reader) in self.readers.iter_mut().enumerate() {
+            let _ = reader.get_ref().set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+            match read_frame(reader) {
+                Ok(None) => {}
+                Ok(Some(_)) => {
+                    first_err.get_or_insert(TransportError::closed(
+                        &*self.endpoints[s],
+                        "worker sent a frame after Stop",
+                    ));
+                }
+                Err(e) => {
+                    first_err.get_or_insert(TransportError::io(&*self.endpoints[s], e));
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        // Early-error path: tell every worker to stop, then close both
+        // directions so a worker blocked in read sees EOF immediately.
+        let stop = encode_command(&Command::Stop);
+        for writer in &mut self.writers {
+            let _ = write_frame(writer, &stop);
+            let _ = writer.get_ref().shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl ShardTransport for SocketTransport {
+    fn n_shards(&self) -> usize {
+        self.writers.len()
+    }
+
+    fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Result<Vec<Reply>, TransportError> {
+        let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
+        for (s, cmd) in &batch {
+            write_frame(&mut self.writers[*s], &encode_command(cmd))
+                .map_err(|e| TransportError::io(&*self.endpoints[*s], e))?;
+        }
+        targets
+            .into_iter()
+            .map(|s| {
+                let frame = read_frame(&mut self.readers[s])
+                    .map_err(|e| TransportError::io(&*self.endpoints[s], e))?
+                    .ok_or_else(|| {
+                        TransportError::closed(
+                            &*self.endpoints[s],
+                            "worker closed the connection mid-phase",
+                        )
+                    })?;
+                Ok(decode_reply(&frame))
+            })
+            .collect()
+    }
+}

@@ -514,19 +514,32 @@ fn message_dropped(
     }
 }
 
-/// The worker serve loop: decode a command frame, execute, reply — until a
-/// `Stop` command or the input closes. Shared verbatim by the in-process
-/// channel workers and the `sim-shard-worker` binary.
+/// Executes one command frame against the shard: `None` when the frame is
+/// a `Stop`, otherwise the encoded reply frame. The single dispatch point
+/// every serve loop shares — the in-process channel workers ([`serve`])
+/// and the byte-stream transports
+/// ([`crate::engine::exchange::stream::serve_stream`], which the
+/// `sim-shard-worker` binary runs over pipes and sockets).
+pub fn handle_frame(state: &mut ShardState, frame: &[u8]) -> Option<Vec<u8>> {
+    let cmd = exchange::decode_command(frame);
+    if matches!(cmd, Command::Stop) {
+        return None;
+    }
+    Some(exchange::encode_reply(&state.handle(cmd)))
+}
+
+/// The channel-worker serve loop: pull frames, dispatch through
+/// [`handle_frame`], push replies — until a `Stop` command or the input
+/// closes.
 pub fn serve(
     state: &mut ShardState,
     mut next: impl FnMut() -> Option<Vec<u8>>,
     mut send: impl FnMut(Vec<u8>),
 ) {
     while let Some(frame) = next() {
-        let cmd = exchange::decode_command(&frame);
-        if matches!(cmd, Command::Stop) {
-            return;
+        match handle_frame(state, &frame) {
+            Some(reply) => send(reply),
+            None => return,
         }
-        send(exchange::encode_reply(&state.handle(cmd)));
     }
 }

@@ -35,7 +35,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sweep;
 
-pub use config::{Protocol, SimConfig};
+pub use config::{Protocol, SimConfig, Transport};
 pub use engine::Simulation;
 pub use engines::run_protocol;
 pub use oracle::Oracle;

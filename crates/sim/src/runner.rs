@@ -1,8 +1,10 @@
 //! The [`Runner`]: one typed entry point for every workload.
 //!
 //! Every way of executing a simulation — any protocol (node-based or
-//! global baseline), any [`Scenario`], any shard count, in-process or on
-//! `sim-shard-worker` child processes — is expressed as one builder chain:
+//! global baseline), any [`Scenario`], any shard count, any
+//! [`Transport`] (in-process threads, `sim-shard-worker` child
+//! processes, or remote socket workers) — is expressed as one builder
+//! chain:
 //!
 //! ```no_run
 //! use whatsup_sim::{Runner, Protocol, SimConfig};
@@ -23,7 +25,7 @@
 //! `(dataset, protocol, config, scenario)` — bit-identical across shard
 //! counts and transports (see the engine module docs for the contract).
 
-use crate::config::{Protocol, SimConfig};
+use crate::config::{Protocol, SimConfig, Transport};
 use crate::engine::Simulation;
 use crate::engines::{cascade, centralized, pubsub};
 use crate::record::SimReport;
@@ -39,7 +41,7 @@ pub struct Runner<'a> {
     protocol: Protocol,
     cfg: SimConfig,
     scenario: Option<Scenario>,
-    worker: Option<PathBuf>,
+    transport: Transport,
 }
 
 impl<'a> Runner<'a> {
@@ -51,7 +53,7 @@ impl<'a> Runner<'a> {
             protocol,
             cfg: SimConfig::default(),
             scenario: None,
-            worker: None,
+            transport: Transport::InProcess,
         }
     }
 
@@ -86,12 +88,32 @@ impl<'a> Runner<'a> {
         self
     }
 
-    /// Runs the shards as `sim-shard-worker` child processes found at
-    /// `worker` (stdio-pipe transport) instead of in-process threads.
-    /// Only meaningful for node-based protocols.
-    pub fn multiprocess(mut self, worker: impl Into<PathBuf>) -> Self {
-        self.worker = Some(worker.into());
+    /// Selects how the shard workers execute. Only meaningful for
+    /// node-based protocols (the global baselines have no shards).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
         self
+    }
+
+    /// Shorthand for [`Runner::transport`] with [`Transport::Process`]:
+    /// runs the shards as `sim-shard-worker` child processes found at
+    /// `worker` (stdio-pipe transport) instead of in-process threads.
+    pub fn multiprocess(self, worker: impl Into<PathBuf>) -> Self {
+        self.transport(Transport::Process(worker.into()))
+    }
+
+    /// Shorthand for [`Runner::transport`] with [`Transport::Socket`]:
+    /// runs the shards on already-listening `sim-shard-worker --listen`
+    /// processes, one `host:port` address per shard (the shard count is
+    /// the worker count; workers must be started before the run).
+    pub fn socket<I, S>(self, workers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.transport(Transport::Socket(
+            workers.into_iter().map(Into::into).collect(),
+        ))
     }
 
     fn resolved_scenario(&self) -> Scenario {
@@ -105,19 +127,20 @@ impl<'a> Runner<'a> {
     ///
     /// # Panics
     /// Panics for global protocols (cascade, pub/sub, centralized — they
-    /// have no per-cycle engine; use [`Runner::run`]), if a worker binary
-    /// was configured, or if the config/scenario is invalid.
+    /// have no per-cycle engine; use [`Runner::run`]), if a non-in-process
+    /// transport was configured, or if the config/scenario is invalid.
     pub fn build(self) -> Simulation {
         assert!(
-            self.worker.is_none(),
-            "build() is in-process; multiprocess transports run to completion via run()"
+            self.transport == Transport::InProcess,
+            "build() is in-process; external transports run to completion via run()"
         );
         let scenario = self.resolved_scenario();
         Simulation::with_scenario(self.dataset, self.protocol, self.cfg, scenario)
     }
 
-    /// Runs to completion and reports; `Err` only for multiprocess worker
-    /// I/O failures.
+    /// Runs to completion and reports; `Err` only for external-transport
+    /// failures (a worker that cannot be spawned, dialed or handshaken, or
+    /// that dies mid-run — the error names the failing endpoint).
     ///
     /// # Panics
     /// Panics if the config or scenario is invalid.
@@ -147,20 +170,27 @@ impl<'a> Runner<'a> {
                     _ => unreachable!("matched above"),
                 })
             }
-            node_protocol => match self.worker {
-                Some(worker) => Simulation::run_multiprocess_scenario(
+            node_protocol => match self.transport {
+                Transport::InProcess => {
+                    Ok(
+                        Simulation::with_scenario(self.dataset, node_protocol, self.cfg, scenario)
+                            .run(),
+                    )
+                }
+                Transport::Process(worker) => Simulation::run_multiprocess_scenario(
                     self.dataset,
                     node_protocol,
                     self.cfg,
                     scenario,
                     &worker,
                 ),
-                None => {
-                    Ok(
-                        Simulation::with_scenario(self.dataset, node_protocol, self.cfg, scenario)
-                            .run(),
-                    )
-                }
+                Transport::Socket(workers) => Simulation::run_socket_scenario(
+                    self.dataset,
+                    node_protocol,
+                    self.cfg,
+                    scenario,
+                    &workers,
+                ),
             },
         }
     }
@@ -171,7 +201,7 @@ impl<'a> Runner<'a> {
     /// Panics if the config or scenario is invalid, or on worker I/O
     /// failures (use [`Runner::try_run`] to handle those).
     pub fn run(self) -> SimReport {
-        self.try_run().expect("shard worker processes failed")
+        self.try_run().expect("shard worker transport failed")
     }
 }
 

@@ -3,6 +3,8 @@
 //! stable under node insertion (see the `engine` module docs for the full
 //! contract).
 
+mod common;
+
 use proptest::prelude::*;
 use rand::RngCore;
 use whatsup_datasets::{survey, SurveyConfig};
@@ -85,6 +87,84 @@ fn multiprocess_transport_matches_in_process() {
         in_process, multi_process,
         "stdio-pipe transport must match the channel transport bit for bit"
     );
+}
+
+#[test]
+fn socket_transport_matches_in_process() {
+    let d = survey::generate(&SurveyConfig::paper().scaled(0.08), 11);
+    let base = SimConfig {
+        cycles: 12,
+        publish_from: 2,
+        measure_from: 5,
+        loss: 0.1,
+        churn_per_cycle: 0.02,
+        shards: 2,
+        ..Default::default()
+    };
+    let in_process = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+        .config(base.clone())
+        .run();
+    // Workers first, then the driver dials them (shard k = k-th address).
+    let (w1, a1) = common::spawn_listen_worker();
+    let (w2, a2) = common::spawn_listen_worker();
+    let socket = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+        .config(base)
+        .socket([a1, a2])
+        .try_run()
+        .expect("socket workers run");
+    assert_eq!(
+        in_process, socket,
+        "loopback-socket transport must match the in-process engine bit for bit"
+    );
+    // Orderly teardown: both workers saw Stop and exited cleanly.
+    common::assert_clean_exit(w1, "worker 1");
+    common::assert_clean_exit(w2, "worker 2");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The three transports produce bit-identical reports for random seeds
+    /// and noise knobs. (Few cases: each spawns four worker processes and
+    /// runs three full simulations.)
+    #[test]
+    fn transports_are_bit_identical_under_random_noise(
+        seed in 1u64..1_000_000,
+        loss in 0.0f64..0.4,
+        churn in 0.0f64..0.08,
+    ) {
+        let d = survey::generate(&SurveyConfig::paper().scaled(0.08), 7);
+        let base = SimConfig {
+            cycles: 10,
+            publish_from: 2,
+            measure_from: 5,
+            seed,
+            loss,
+            churn_per_cycle: churn,
+            shards: 2,
+            ..Default::default()
+        };
+        let reference = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(base.clone())
+            .run();
+        let worker = std::path::Path::new(env!("CARGO_BIN_EXE_sim-shard-worker"));
+        let process = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(base.clone())
+            .multiprocess(worker)
+            .try_run()
+            .expect("worker processes run");
+        prop_assert_eq!(&reference, &process, "child-process transport diverged");
+        let (w1, a1) = common::spawn_listen_worker();
+        let (w2, a2) = common::spawn_listen_worker();
+        let socket = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(base)
+            .socket([a1, a2])
+            .try_run()
+            .expect("socket workers run");
+        prop_assert_eq!(&reference, &socket, "socket transport diverged");
+        common::assert_clean_exit(w1, "worker 1");
+        common::assert_clean_exit(w2, "worker 2");
+    }
 }
 
 #[test]

@@ -8,6 +8,8 @@
 //!    `scenarios/flash_crowd_crash_wave.json` is pinned both through the
 //!    library and through the `whatsup-sim` CLI.
 
+mod common;
+
 use proptest::prelude::*;
 use whatsup_sim::scenario::{
     ChurnModel, Environment, Event, LossModel, Scenario, TimedEvent, Workload,
@@ -153,6 +155,20 @@ fn committed_scenario_is_bit_identical_across_shards_and_transports() {
         reference, multiprocess,
         "multiprocess transport diverged from in-process"
     );
+    let (w1, a1) = common::spawn_listen_worker();
+    let (w2, a2) = common::spawn_listen_worker();
+    let socket = Runner::new(&dataset, file.protocol)
+        .config(file.config.clone())
+        .scenario(file.scenario.clone())
+        .socket([a1, a2])
+        .try_run()
+        .expect("socket workers run");
+    assert_eq!(
+        reference, socket,
+        "loopback-socket transport diverged from in-process"
+    );
+    common::assert_clean_exit(w1, "worker 1");
+    common::assert_clean_exit(w2, "worker 2");
 }
 
 /// The same pin through the CLI: `whatsup-sim run` output is byte-identical
@@ -189,6 +205,15 @@ fn cli_runs_the_committed_scenario_identically() {
         run_cli(&["--shards", "2", "--multiprocess", worker]),
         "multiprocess CLI run changed the report"
     );
+    let (w1, a1) = common::spawn_listen_worker();
+    let (w2, a2) = common::spawn_listen_worker();
+    assert_eq!(
+        reference,
+        run_cli(&["--transport", "socket", "--workers", &format!("{a1},{a2}")]),
+        "socket CLI run changed the report"
+    );
+    common::assert_clean_exit(w1, "worker 1");
+    common::assert_clean_exit(w2, "worker 2");
 
     // `check` accepts what `run --out` writes.
     let dir = std::env::temp_dir().join("whatsup_sim_cli_test");
