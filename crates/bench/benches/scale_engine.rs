@@ -1,6 +1,6 @@
 //! Engine scaling: single-run throughput (cycles/sec) across shard counts
 //! (1/2/4) at 1k/5k/20k nodes, under a uniform and a flash-crowd
-//! publication workload.
+//! publication workload, with per-cycle metrics collection on and off.
 //!
 //! The sharded engine is deterministic across shard counts, so the speedup
 //! columns are pure wall-clock: same seed, same report, more shard worker
@@ -8,12 +8,15 @@
 //! shard runs inline; more shards add exchange overhead without
 //! parallelism). The flash-crowd axis stresses the publication phase: a
 //! quarter of the items disseminate in one cycle, which is where the
-//! sparse-BFS-tail round-trip skipping pays.
+//! sparse-BFS-tail round-trip skipping pays. The metrics axis isolates the
+//! cost of the windowed measurement pipeline (shard counter accumulation +
+//! one extra round-trip per cycle): `metrics=off` sets
+//! `SimConfig::collect_series = false`, everything else identical.
 //!
 //! `WHATSUP_SCALE_MAX_NODES=<n>` caps the largest population (useful for
 //! quick local/CI runs); the default exercises all three sizes. Rows are
 //! saved as JSON: `[nodes, shards, workload (0 = uniform, 1 = flash),
-//! cycles_per_sec, messages]`.
+//! metrics (0 = off, 1 = on), cycles_per_sec, messages]`.
 
 use std::time::Instant;
 use whatsup_datasets::{survey, SurveyConfig};
@@ -47,12 +50,18 @@ fn workloads() -> [(&'static str, Workload); 2] {
     ]
 }
 
-fn run(dataset: &whatsup_datasets::Dataset, shards: usize, workload: Workload) -> (f64, u64) {
+fn run(
+    dataset: &whatsup_datasets::Dataset,
+    shards: usize,
+    workload: Workload,
+    collect_series: bool,
+) -> (f64, u64) {
     let cfg = SimConfig {
         cycles: CYCLES,
         publish_from: 2,
         measure_from: 4,
         shards,
+        collect_series,
         ..Default::default()
     };
     let started = Instant::now();
@@ -61,6 +70,11 @@ fn run(dataset: &whatsup_datasets::Dataset, shards: usize, workload: Workload) -
         .scenario(Scenario::default().with_workload(workload))
         .run();
     let secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        report.series.is_empty(),
+        !collect_series,
+        "collect_series knob must gate the time series"
+    );
     (
         CYCLES as f64 / secs,
         report.gossip_messages + report.news_messages_all,
@@ -70,7 +84,7 @@ fn run(dataset: &whatsup_datasets::Dataset, shards: usize, workload: Workload) -
 fn main() {
     let t = whatsup_bench::start(
         "scale_engine",
-        "single-run engine scaling across shard counts and workloads",
+        "single-run engine scaling across shard counts, workloads and metrics collection",
     );
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -81,43 +95,47 @@ fn main() {
         .unwrap_or(20_000);
     println!("host parallelism: {cores} core(s); {CYCLES} cycles per run\n");
     println!(
-        "{:>8} {:>8} {:>7} {:>12} {:>9} {:>12}",
-        "nodes", "workload", "shards", "cyc/s", "vs 1-sh", "messages"
+        "{:>8} {:>8} {:>7} {:>7} {:>12} {:>9} {:>12}",
+        "nodes", "workload", "shards", "metrics", "cyc/s", "vs 1-sh", "messages"
     );
     let mut rows = Vec::new();
     for &n in [1_000usize, 5_000, 20_000].iter().filter(|&&n| n <= cap) {
         let d = dataset(n);
         for (w_id, (w_name, workload)) in workloads().into_iter().enumerate() {
-            let mut baseline = 0.0f64;
-            let mut baseline_msgs = 0u64;
-            for &shards in &SHARD_COUNTS {
-                let (cps, msgs) = run(&d, shards, workload.clone());
-                if shards == 1 {
-                    baseline = cps;
-                    baseline_msgs = msgs;
-                } else {
-                    assert_eq!(
-                        msgs, baseline_msgs,
-                        "shard count changed the traffic — determinism broken"
+            for metrics_on in [false, true] {
+                let mut baseline = 0.0f64;
+                let mut baseline_msgs = 0u64;
+                for &shards in &SHARD_COUNTS {
+                    let (cps, msgs) = run(&d, shards, workload.clone(), metrics_on);
+                    if shards == 1 {
+                        baseline = cps;
+                        baseline_msgs = msgs;
+                    } else {
+                        assert_eq!(
+                            msgs, baseline_msgs,
+                            "shard count changed the traffic — determinism broken"
+                        );
+                    }
+                    let speedup = cps / baseline;
+                    println!(
+                        "{:>8} {:>8} {:>7} {:>7} {:>12.2} {:>8.2}x {:>12}",
+                        d.n_users(),
+                        w_name,
+                        shards,
+                        if metrics_on { "on" } else { "off" },
+                        cps,
+                        speedup,
+                        msgs
                     );
+                    rows.push(vec![
+                        d.n_users() as f64,
+                        shards as f64,
+                        w_id as f64,
+                        f64::from(u8::from(metrics_on)),
+                        cps,
+                        msgs as f64,
+                    ]);
                 }
-                let speedup = cps / baseline;
-                println!(
-                    "{:>8} {:>8} {:>7} {:>12.2} {:>8.2}x {:>12}",
-                    d.n_users(),
-                    w_name,
-                    shards,
-                    cps,
-                    speedup,
-                    msgs
-                );
-                rows.push(vec![
-                    d.n_users() as f64,
-                    shards as f64,
-                    w_id as f64,
-                    cps,
-                    msgs as f64,
-                ]);
             }
             println!();
         }

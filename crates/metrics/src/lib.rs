@@ -9,12 +9,14 @@
 //! Everything here is plain data with no protocol knowledge, so it is reused
 //! by the simulator, the network runtimes and the benchmark harnesses alike.
 
+pub mod cycles;
 pub mod hist;
 pub mod ir;
 pub mod series;
 pub mod stats;
 pub mod table;
 
+pub use cycles::{CycleSeries, CycleStats, RecoveryMetrics};
 pub use hist::Histogram;
 pub use ir::{IrAggregate, IrScores, ItemOutcome};
 pub use series::{Series, SeriesSet};

@@ -31,8 +31,12 @@
 //! shard per remote machine) moves these very bundle encodings inside its
 //! length-prefixed command frames, so anything the simulator exchanges
 //! across machines is by construction expressible on the deployment
-//! stack's network encoding. See the `whatsup_sim::engine` module docs,
-//! "distributed topology".
+//! stack's network encoding. The engine's measurement pipeline adds one
+//! engine-internal frame on top — the per-cycle counter block (seven
+//! `u64`s) a shard ships back at the end of each cycle — which carries
+//! plain counters and never embeds message encodings. See the
+//! `whatsup_sim::engine` module docs, "distributed topology" and
+//! "measurement pipeline".
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use whatsup_core::message::wire;

@@ -4,33 +4,47 @@
 //! whatsup-sim run <scenario.json> [--out <report.json>] [--shards N]
 //!                 [--multiprocess <sim-shard-worker path>]
 //!                 [--transport socket --workers host:port,…]
-//! whatsup-sim check <report.json>
+//! whatsup-sim sweep <scenario.json> [--shards N,N,…] [--fanouts F,F,…]
+//!                   [--out <rows.jsonl>]
+//! whatsup-sim check <report.json> [--require-recovery]
 //! whatsup-sim echo <scenario.json>
 //! ```
 //!
 //! * `run` executes the scenario (dataset recipe + protocol + config +
 //!   scenario grammar — see the `whatsup_sim::scenario` module docs for the
 //!   JSON schema) and writes the report summary JSON to `--out` (stdout by
-//!   default). Reports are a pure function of the file: bit-identical
-//!   across `--shards` values and across the in-process, child-process and
-//!   socket transports. `--transport socket` dials already-running
-//!   `sim-shard-worker --listen` processes, one address per shard, in
-//!   shard order — start the workers first, then the driver (see the
-//!   engine module docs' "distributed topology" section).
-//! * `check` parses a report produced by `run` and verifies its shape —
-//!   the CI smoke test.
+//!   default). The summary carries a `schema_version`, the per-cycle
+//!   series and the scenario's resolved measurement windows (recovery
+//!   table included). Reports are a pure function of the file:
+//!   bit-identical across `--shards` values and across the in-process,
+//!   child-process and socket transports. `--transport socket` dials
+//!   already-running `sim-shard-worker --listen` processes, one address
+//!   per shard, in shard order — start the workers first, then the driver
+//!   (see the engine module docs' "distributed topology" section).
+//! * `sweep` runs the scenario file across a `--shards` × `--fanouts`
+//!   grid through the same Runner path, emitting one JSON row per cell
+//!   (JSON Lines: `{"shards": …, "fanout": …, "report": …}`). Omitting
+//!   `--fanouts` keeps the file's own protocol knob; omitting `--shards`
+//!   sweeps only the file's shard count.
+//! * `check` parses a report produced by `run`, validates its
+//!   `schema_version` and verifies its shape (headline numbers, series
+//!   columns, windows table) — the CI smoke test. `--require-recovery`
+//!   additionally fails unless at least one window carries recovery
+//!   metrics.
 //! * `echo` parses, validates and re-renders a scenario file in canonical
 //!   form (round-trip check / formatter).
 
 use std::process::ExitCode;
-use whatsup_sim::{Runner, ScenarioFile, Transport};
+use whatsup_sim::sweep::scenario_grid_sweep;
+use whatsup_sim::{Runner, ScenarioFile, Transport, REPORT_SCHEMA_VERSION, SERIES_COLUMNS};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  whatsup-sim run <scenario.json> [--out <report.json>] [--shards N] \
          [--multiprocess <worker>] [--transport in-process|process|socket] \
-         [--workers host:port,...]\n  whatsup-sim check <report.json>\n  \
-         whatsup-sim echo <scenario.json>"
+         [--workers host:port,...]\n  whatsup-sim sweep <scenario.json> [--shards N,N,...] \
+         [--fanouts F,F,...] [--out <rows.jsonl>]\n  whatsup-sim check <report.json> \
+         [--require-recovery]\n  whatsup-sim echo <scenario.json>"
     );
     ExitCode::from(2)
 }
@@ -44,6 +58,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("echo") => echo(&args[1..]),
         _ => usage(),
@@ -107,6 +122,140 @@ fn load(path: &str) -> Result<ScenarioFile, String> {
     ScenarioFile::from_json_str(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Loads a scenario file and runs every validation that needs the dataset
+/// size — shared by `run` and `sweep`.
+fn load_for_run(path: &str) -> Result<(ScenarioFile, whatsup_datasets::Dataset), String> {
+    let file = load(path)?;
+    file.scenario
+        .validate_for_global(&file.protocol)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let dataset = file.dataset.build();
+    // Event node ids can only be range-checked once the dataset size is
+    // known — catch them here instead of panicking mid-run.
+    file.scenario
+        .validate_events(dataset.n_users())
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok((file, dataset))
+}
+
+/// Writes `text` to `out` (or stdout when `None`), treating a broken pipe
+/// as a normal end of consumption. `note` is logged to stderr on a
+/// successful file write.
+fn emit(text: &str, out: Option<&str>, note: &str) -> ExitCode {
+    match out {
+        None => {
+            use std::io::Write;
+            let mut stdout = std::io::stdout();
+            match stdout
+                .write_all(text.as_bytes())
+                .and_then(|()| stdout.flush())
+            {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => fail("cannot write to stdout", e),
+            }
+        }
+        Some(out) => match std::fs::write(out, text) {
+            Ok(()) => {
+                eprintln!("wrote {out}: {note}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail("cannot write output", format!("{out}: {e}")),
+        },
+    }
+}
+
+/// Parses a `--shards 1,2,4`-style comma list of non-negative integers.
+fn parse_usize_list(list: &str) -> Option<Vec<usize>> {
+    let parts: Vec<&str> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if parts.is_empty() {
+        return None;
+    }
+    parts.iter().map(|p| p.parse::<usize>().ok()).collect()
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut out = None;
+    let mut shard_counts: Option<Vec<usize>> = None;
+    let mut fanouts: Vec<usize> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) if !v.starts_with("--") => out = Some(v.clone()),
+                _ => return usage(),
+            },
+            "--shards" => match it.next().and_then(|v| parse_usize_list(v)) {
+                Some(list) => shard_counts = Some(list),
+                None => return usage(),
+            },
+            "--fanouts" => match it.next().and_then(|v| parse_usize_list(v)) {
+                Some(list) => fanouts = list,
+                None => return usage(),
+            },
+            flag if flag.starts_with("--") => return usage(),
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+    let (file, dataset) = match load_for_run(&path) {
+        Ok(loaded) => loaded,
+        Err(e) => return fail("invalid scenario", e),
+    };
+    // A fanout axis on a knob-less protocol would silently run identical
+    // cells — reject it instead.
+    if !fanouts.is_empty() && file.protocol.fanout().is_none() {
+        return fail(
+            "invalid sweep",
+            format!(
+                "{}: protocol {} has no fanout knob — drop --fanouts",
+                path,
+                file.protocol.label()
+            ),
+        );
+    }
+    // No --shards axis = the file's own shard count, a 1×F grid.
+    let shard_counts = shard_counts.unwrap_or_else(|| vec![file.config.shards]);
+    let cells = scenario_grid_sweep(
+        &dataset,
+        file.protocol,
+        &shard_counts,
+        &fanouts,
+        &file.config,
+        &file.scenario,
+    );
+    // JSON Lines: one compact row per grid cell, in grid order.
+    let mut rows = String::new();
+    for cell in &cells {
+        use serde::json::Value;
+        let row = Value::object(vec![
+            ("shards", Value::Number(cell.shards as f64)),
+            (
+                "fanout",
+                cell.fanout
+                    .map(|f| Value::Number(f as f64))
+                    .unwrap_or(Value::Null),
+            ),
+            ("report", cell.report.summary_json()),
+        ]);
+        rows.push_str(&row.to_string());
+        rows.push('\n');
+    }
+    let note = format!(
+        "{} rows ({} shard counts × {} fanouts)",
+        cells.len(),
+        shard_counts.len(),
+        fanouts.len().max(1)
+    );
+    emit(&rows, out.as_deref(), &note)
+}
+
 fn run(args: &[String]) -> ExitCode {
     let mut path = None;
     let mut out = None;
@@ -147,19 +296,10 @@ fn run(args: &[String]) -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail("invalid transport", e),
     };
-    let file = match load(&path) {
-        Ok(file) => file,
+    let (file, dataset) = match load_for_run(&path) {
+        Ok(loaded) => loaded,
         Err(e) => return fail("invalid scenario", e),
     };
-    if let Err(e) = file.scenario.validate_for_global(&file.protocol) {
-        return fail("invalid scenario", format!("{path}: {e}"));
-    }
-    let dataset = file.dataset.build();
-    // Event node ids can only be range-checked once the dataset size is
-    // known — catch them here instead of panicking mid-run.
-    if let Err(e) = file.scenario.validate_events(dataset.n_users()) {
-        return fail("invalid scenario", format!("{path}: {e}"));
-    }
     let mut runner = Runner::new(&dataset, file.protocol)
         .config(file.config.clone())
         .scenario(file.scenario.clone())
@@ -171,42 +311,31 @@ fn run(args: &[String]) -> ExitCode {
         Ok(report) => report,
         Err(e) => return fail("run failed", e),
     };
-    let json = report.summary_json().pretty();
-    match out {
-        None => {
-            // write_all instead of println!: a closed pipe (e.g. `| head`)
-            // is a normal way for the consumer to stop reading, not a
-            // crash — but any other write failure must flip the exit code.
-            use std::io::Write;
-            let mut stdout = std::io::stdout();
-            match stdout
-                .write_all(json.as_bytes())
-                .and_then(|()| stdout.write_all(b"\n"))
-                .and_then(|()| stdout.flush())
-            {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
-                Err(e) => fail("cannot write report to stdout", e),
-            }
-        }
-        Some(out) => match std::fs::write(&out, json + "\n") {
-            Ok(()) => {
-                eprintln!(
-                    "wrote {out}: {} on {} ({} nodes, F1 {:.3})",
-                    report.protocol,
-                    report.dataset,
-                    report.n_nodes,
-                    report.scores().f1
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => fail("cannot write report", format!("{out}: {e}")),
-        },
-    }
+    let json = report.summary_json().pretty() + "\n";
+    let note = format!(
+        "{} on {} ({} nodes, F1 {:.3}, {} windows)",
+        report.protocol,
+        report.dataset,
+        report.n_nodes,
+        report.scores().f1,
+        report.windows.len()
+    );
+    emit(&json, out.as_deref(), &note)
 }
 
 fn check(args: &[String]) -> ExitCode {
-    let [path] = args else { return usage() };
+    let mut path = None;
+    let mut require_recovery = false;
+    for arg in args {
+        match arg.as_str() {
+            "--require-recovery" => require_recovery = true,
+            flag if flag.starts_with("--") => return usage(),
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+    let path = path.as_str();
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => return fail("cannot read report", format!("{path}: {e}")),
@@ -215,6 +344,30 @@ fn check(args: &[String]) -> ExitCode {
         Ok(value) => value,
         Err(e) => return fail("report is not valid JSON", e),
     };
+    // Schema version gates everything else: an unknown version means the
+    // rest of the shape cannot be trusted, so reject it with a clean error
+    // instead of a cascade of shape violations.
+    match value.get("schema_version").and_then(|v| v.as_u64()) {
+        Some(v) if v == u64::from(REPORT_SCHEMA_VERSION) => {}
+        Some(v) => {
+            return fail(
+                "report schema",
+                format!(
+                    "{path}: schema_version {v} is not supported — this binary \
+                     reads v{REPORT_SCHEMA_VERSION}"
+                ),
+            )
+        }
+        None => {
+            return fail(
+                "report schema",
+                format!(
+                    "{path}: missing schema_version — not a whatsup-sim report, \
+                     or one predating the versioned schema"
+                ),
+            )
+        }
+    }
     // The summary shape `run` promises: every key a downstream consumer
     // (CI, dashboards) relies on, with sane ranges.
     let scores = value.get("scores");
@@ -263,7 +416,90 @@ fn check(args: &[String]) -> ExitCode {
             return fail("report shape", format!("{path}: {what} — violated"));
         }
     }
-    println!("{path}: ok");
+    // Per-cycle series: every column an equally long array of numbers (the
+    // derived recall/precision columns allow null on quiet cycles).
+    let Some(series) = value.get("series") else {
+        return fail("report shape", format!("{path}: series object missing"));
+    };
+    let mut column_len = None;
+    for key in SERIES_COLUMNS {
+        let Some(column) = series.get(key).and_then(|c| c.as_array()) else {
+            return fail(
+                "report shape",
+                format!("{path}: series.{key} is not an array"),
+            );
+        };
+        if *column_len.get_or_insert(column.len()) != column.len() {
+            return fail(
+                "report shape",
+                format!("{path}: series.{key} length differs from its siblings"),
+            );
+        }
+        if !column
+            .iter()
+            .all(|v| v.as_f64().is_some() || matches!(v, serde::json::Value::Null))
+        {
+            return fail(
+                "report shape",
+                format!("{path}: series.{key} holds a non-number"),
+            );
+        }
+    }
+    // Measurement windows: named, cycle-ranged, with probability scores;
+    // recovery is null or a metrics object.
+    let Some(windows) = value.get("windows").and_then(|w| w.as_array()) else {
+        return fail("report shape", format!("{path}: windows array missing"));
+    };
+    let mut recoveries = 0usize;
+    for w in windows {
+        let name = w.get("name").and_then(|n| n.as_str());
+        let Some(name) = name.filter(|n| !n.is_empty()) else {
+            return fail(
+                "report shape",
+                format!("{path}: window without a non-empty name"),
+            );
+        };
+        let shaped = w.get("from").and_then(|v| v.as_u64()).is_some()
+            && w.get("until").and_then(|v| v.as_u64()).is_some()
+            && w.get("scores").is_some_and(|s| {
+                ["precision", "recall", "f1"].iter().all(|k| {
+                    s.get(k)
+                        .and_then(|v| v.as_f64())
+                        .is_some_and(|x| (0.0..=1.0).contains(&x))
+                })
+            });
+        if !shaped {
+            return fail(
+                "report shape",
+                format!("{path}: window {name:?} is missing cycles or scores"),
+            );
+        }
+        match w.get("recovery") {
+            Some(serde::json::Value::Null) | None => {}
+            Some(r) => {
+                let shaped = ["anchor", "baseline_recall", "dip_depth", "messages_spent"]
+                    .iter()
+                    .all(|k| r.get(k).and_then(|v| v.as_f64()).is_some());
+                if !shaped {
+                    return fail(
+                        "report shape",
+                        format!("{path}: window {name:?} has a malformed recovery block"),
+                    );
+                }
+                recoveries += 1;
+            }
+        }
+    }
+    if require_recovery && recoveries == 0 {
+        return fail(
+            "report shape",
+            format!("{path}: no window carries recovery metrics (--require-recovery)"),
+        );
+    }
+    println!(
+        "{path}: ok ({} windows, {recoveries} with recovery)",
+        windows.len()
+    );
     ExitCode::SUCCESS
 }
 

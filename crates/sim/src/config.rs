@@ -192,6 +192,12 @@ pub struct SimConfig {
     /// Churn: expected fraction of nodes that crash and rejoin fresh per
     /// cycle (profile, views and seen-set lost; cold start on return).
     pub churn_per_cycle: f64,
+    /// Whether the engine folds the shards' per-cycle counters into the
+    /// report's time series (`SimReport::series`). On by default; turning
+    /// it off skips the end-of-cycle counter round-trip (the bench knob
+    /// for measuring the accounting overhead) and leaves the series — and
+    /// therefore every measurement window — empty.
+    pub collect_series: bool,
     /// Engine shards the node table is partitioned into (contiguous id
     /// ranges, each run by its own worker). `0` = one shard per available
     /// core; the count is clamped to the population size. Pure execution
@@ -214,6 +220,7 @@ impl Default for SimConfig {
             wup_view_override: None,
             obfuscation: None,
             churn_per_cycle: 0.0,
+            collect_series: true,
             shards: 1,
         }
     }

@@ -19,7 +19,7 @@ use crate::engine::shard::{self, ShardInit, ShardState};
 use crate::engine::{node_stream, ChannelTransport};
 use crate::oracle::Oracle;
 use crate::record::{ItemRecord, NodeIr, SimReport};
-use crate::scenario::{Event, Scenario};
+use crate::scenario::{Event, Scenario, WindowSpec};
 use bytes::Bytes;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -29,6 +29,7 @@ use std::path::Path;
 use whatsup_core::{NewsItem, NodeId, Opinions, Params, Profile, WhatsUpNode};
 use whatsup_datasets::Dataset;
 use whatsup_graph::Graph;
+use whatsup_metrics::{CycleSeries, CycleStats};
 
 /// Driver-side run state: everything that is not node state.
 pub(crate) struct DriverCore {
@@ -57,12 +58,16 @@ pub(crate) struct DriverCore {
     liked_this_cycle: Vec<u32>,
     /// Per-node delivery counters over measured items (Fig. 11).
     per_node: Vec<NodeIr>,
+    /// Per-cycle measurement series, folded from the shards' counter
+    /// frames in shard-index order at the end of every cycle (empty when
+    /// `cfg.collect_series` is off).
+    series: CycleSeries,
     partition: Partition,
 }
 
 impl DriverCore {
     fn into_report(self) -> SimReport {
-        SimReport {
+        let mut report = SimReport {
             protocol: self.protocol.label(),
             dataset: self.dataset_name,
             fanout: self.protocol.fanout(),
@@ -73,7 +78,37 @@ impl DriverCore {
             news_messages: self.news_messages_measured,
             news_messages_all: self.news_messages_all,
             gossip_messages: self.gossip_messages,
-        }
+            series: self.series,
+            windows: Vec::new(),
+        };
+        // Resolve the scenario's measurement windows against the finished
+        // series: anchors were validated at build time, so a recovery
+        // window that cannot resolve here is a bug, not bad input.
+        report.windows = self
+            .scenario
+            .measurements
+            .iter()
+            .map(|m| {
+                let (from, until, recovery) = match &m.window {
+                    WindowSpec::Cycles { from, until } => {
+                        (*from, (*until).min(report.cycles), None)
+                    }
+                    WindowSpec::Recovery { anchor, baseline } => {
+                        let at = anchor
+                            .resolve(&self.scenario)
+                            .expect("anchor validated against the scenario");
+                        let recovery = report.series.recovery(at, *baseline);
+                        let until = recovery
+                            .and_then(|r| r.recovered_at)
+                            .map(|c| c + 1)
+                            .unwrap_or(report.cycles);
+                        (at, until, recovery)
+                    }
+                };
+                report.window_report(&m.name, from, until, recovery)
+            })
+            .collect();
+        report
     }
 }
 
@@ -192,6 +227,7 @@ fn build(
         news_messages_measured: 0,
         liked_this_cycle: vec![0; n],
         per_node: vec![NodeIr::default(); n],
+        series: CycleSeries::new(),
         partition,
     };
     (core, inits)
@@ -423,6 +459,26 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) -> Result<(), T
     for k in 0..core.published_at_cycle[cycle as usize].len() {
         let index = core.published_at_cycle[cycle as usize][k];
         disseminate(core, t, index, cycle)?;
+    }
+
+    // --- Measurement fold --------------------------------------------------
+    // One counter frame per shard, folded in shard-index order: integer
+    // sums, so the series is bit-identical across shard counts and
+    // transports (see the engine module docs' "measurement pipeline").
+    if core.cfg.collect_series {
+        let replies = t.roundtrip(
+            (0..shards)
+                .map(|s| (s, Command::TakeCycleCounters))
+                .collect(),
+        )?;
+        let mut stats = CycleStats::default();
+        for reply in replies {
+            let Reply::CycleCounters(c) = reply else {
+                panic!("expected CycleCounters");
+            };
+            stats.merge(&c);
+        }
+        core.series.push(stats);
     }
     core.cycle += 1;
     Ok(())

@@ -45,6 +45,7 @@ use std::io;
 use whatsup_core::beep::{DislikeRule, TargetPool};
 use whatsup_core::{ColdStart, ItemId, Metric, NewsItem, NodeId, Params};
 use whatsup_datasets::LikeMatrix;
+use whatsup_metrics::CycleStats;
 use whatsup_net::codec;
 
 /// A transport-level failure: the conversation with a shard worker could
@@ -163,6 +164,9 @@ pub enum Command {
         item: ItemId,
         bundles: Vec<Bytes>,
     },
+    /// Drain-and-reset the shard's per-cycle measurement counters (end of
+    /// cycle; see the engine module docs' "measurement pipeline" section).
+    TakeCycleCounters,
     /// Exit the serve loop.
     Stop,
 }
@@ -228,6 +232,10 @@ pub enum Reply {
         out: Outbound,
         outcomes: Vec<NewsOutcome>,
     },
+    /// The shard's per-cycle counters, reset on read. `live_nodes` covers
+    /// only the shard's owned range; the driver's fold across shards (in
+    /// shard-index order) yields the population total.
+    CycleCounters(CycleStats),
 }
 
 /// Moves command/reply frames between the driver and the shard workers.
@@ -335,6 +343,7 @@ const CMD_DELIVER_NEWS: u8 = 8;
 const CMD_STOP: u8 = 9;
 const CMD_ADMIT: u8 = 10;
 const CMD_SWAP_INTERESTS: u8 = 11;
+const CMD_TAKE_CYCLE_COUNTERS: u8 = 12;
 
 pub fn encode_command(cmd: &Command) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(64);
@@ -399,6 +408,7 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             buf.put_u32_le(*a);
             buf.put_u32_le(*b);
         }
+        Command::TakeCycleCounters => buf.put_u8(CMD_TAKE_CYCLE_COUNTERS),
         Command::Stop => buf.put_u8(CMD_STOP),
     }
     Vec::from(buf)
@@ -457,6 +467,7 @@ pub fn decode_command(mut frame: &[u8]) -> Command {
             a: buf.get_u32_le(),
             b: buf.get_u32_le(),
         },
+        CMD_TAKE_CYCLE_COUNTERS => Command::TakeCycleCounters,
         CMD_STOP => Command::Stop,
         other => panic!("unknown command opcode {other}"),
     }
@@ -468,6 +479,7 @@ const REP_SNAPSHOTS: u8 = 3;
 const REP_ACK: u8 = 4;
 const REP_PUBLISHED: u8 = 5;
 const REP_NEWS: u8 = 6;
+const REP_CYCLE_COUNTERS: u8 = 7;
 
 fn put_outbound(buf: &mut BytesMut, out: &Outbound) {
     buf.put_u64_le(out.sent);
@@ -536,8 +548,36 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                 buf.put_u16_le(fwd_hop);
             }
         }
+        Reply::CycleCounters(stats) => {
+            buf.put_u8(REP_CYCLE_COUNTERS);
+            put_cycle_stats(&mut buf, stats);
+        }
     }
     Vec::from(buf)
+}
+
+/// Wire form of one shard's per-cycle counter frame: seven `u64`s in the
+/// field order of [`CycleStats`].
+fn put_cycle_stats(buf: &mut BytesMut, stats: &CycleStats) {
+    buf.put_u64_le(stats.first_receptions);
+    buf.put_u64_le(stats.hits);
+    buf.put_u64_le(stats.interested);
+    buf.put_u64_le(stats.news_sent);
+    buf.put_u64_le(stats.gossip_sent);
+    buf.put_u64_le(stats.live_nodes);
+    buf.put_u64_le(stats.crashed);
+}
+
+fn get_cycle_stats(buf: &mut &[u8]) -> CycleStats {
+    CycleStats {
+        first_receptions: buf.get_u64_le(),
+        hits: buf.get_u64_le(),
+        interested: buf.get_u64_le(),
+        news_sent: buf.get_u64_le(),
+        gossip_sent: buf.get_u64_le(),
+        live_nodes: buf.get_u64_le(),
+        crashed: buf.get_u64_le(),
+    }
 }
 
 pub fn decode_reply(mut frame: &[u8]) -> Reply {
@@ -590,6 +630,7 @@ pub fn decode_reply(mut frame: &[u8]) -> Reply {
                 .collect();
             Reply::NewsDelivered { out, outcomes }
         }
+        REP_CYCLE_COUNTERS => Reply::CycleCounters(get_cycle_stats(buf)),
         other => panic!("unknown reply opcode {other}"),
     }
 }
@@ -953,6 +994,7 @@ mod tests {
                 snapshot: None,
             },
             Command::SwapInterests { a: 3, b: 17 },
+            Command::TakeCycleCounters,
             Command::Stop,
         ];
         for cmd in cmds {
@@ -1003,6 +1045,15 @@ mod tests {
                     },
                 ],
             },
+            Reply::CycleCounters(CycleStats {
+                first_receptions: 9,
+                hits: 4,
+                interested: 11,
+                news_sent: 120,
+                gossip_sent: 240,
+                live_nodes: 50,
+                crashed: 3,
+            }),
         ];
         for reply in replies {
             assert_eq!(decode_reply(&encode_reply(&reply)), reply);

@@ -48,6 +48,10 @@
 //!    are delivered before any copy at `h + 1`. Shards report per-receiver
 //!    reception outcomes; the driver folds them into the records in
 //!    receiver order.
+//! 6. **Measurement fold** — the driver drains every shard's per-cycle
+//!    counters and appends the fold to the run's time series (see
+//!    "Measurement pipeline" below). Skipped when
+//!    `SimConfig::collect_series` is off.
 //!
 //! Three transports implement the exchange: an in-process one (shards as
 //! scoped worker threads trading `Vec<u8>` frames over channels), a
@@ -115,6 +119,46 @@
 //!   run produces;
 //! * outcome folds (news receptions, churn resets) happen in ascending
 //!   receiver order across shards.
+//!
+//! # Measurement pipeline
+//!
+//! Measurement is streaming and windowed, not a single end-of-run
+//! aggregate. Each shard accumulates a per-cycle counter block
+//! ([`whatsup_metrics::CycleStats`]) over its owned nodes as the phases
+//! execute:
+//!
+//! * *gossip_sent* at every gossip `route_out` (collect + delivery
+//!   rounds), *news_sent* at every news `route_out` (publish + BFS
+//!   rounds) — lost messages included, mirroring the paper's "number of
+//!   sent messages";
+//! * *first_receptions* / *hits* as news delivery outcomes are produced
+//!   (a hit is a liked first reception);
+//! * *interested* at publish time, by the item's owning shard alone
+//!   (every shard holds a full oracle copy, so the source shard can count
+//!   the ground-truth audience — each item is counted exactly once);
+//! * *crashed* as churn resets apply; *live_nodes* is stamped with the
+//!   owned population when the counters are drained.
+//!
+//! At the end of every cycle the driver issues a `TakeCycleCounters`
+//! round-trip; the counter block rides back as its own wire frame (seven
+//! little-endian `u64`s — [`exchange::Reply::CycleCounters`]) alongside
+//! the existing exchange, and the shard resets its accumulator. The
+//! driver folds the frames **in shard-index order** into one
+//! [`whatsup_metrics::CycleStats`] per cycle and appends it to the run's
+//! [`whatsup_metrics::CycleSeries`]. The fold is pure integer addition
+//! over a fixed order, so the series inherits the engine's determinism
+//! contract verbatim: **the full time series is bit-identical across
+//! shard counts and all three transports** (property-tested in
+//! `tests/determinism.rs` and `tests/scenario.rs`, CI-smoked by `cmp`ing
+//! report JSON across shard counts).
+//!
+//! Because every epidemic completes within its publication cycle, one
+//! cycle's pooled counters are exactly that cycle's micro-averaged IR
+//! numbers, and the scenario's measurement windows
+//! ([`crate::scenario::Measurement`]) are resolved against the finished
+//! series at `into_report` time — window-scoped aggregates plus recovery
+//! metrics (dip depth, time-to-recover, messages spent) for
+//! event-anchored windows.
 //!
 //! # Determinism contract
 //!

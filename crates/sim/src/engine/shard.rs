@@ -21,6 +21,7 @@ use whatsup_core::{
     ColdStart, ItemId, NewsItem, NodeId, Opinions, OutMessage, Params, Payload, Profile,
     WhatsUpNode,
 };
+use whatsup_metrics::CycleStats;
 
 /// Everything needed to build one shard's state — produced by the driver,
 /// consumed directly (in-process) or via `exchange::encode_init` (worker
@@ -66,6 +67,10 @@ pub struct ShardState {
     /// News content this shard can re-encode (learned from publishes and
     /// inbound news frames, like a real receiver).
     known_items: HashMap<ItemId, NewsItem>,
+    /// Per-cycle measurement counters over the owned nodes, accumulated
+    /// during the phases and drained (reset) by
+    /// [`Command::TakeCycleCounters`] at the end of every cycle.
+    counters: CycleStats,
 }
 
 impl ShardState {
@@ -101,6 +106,7 @@ impl ShardState {
             mailbox: Mailbox::new(range),
             pending_local: Vec::new(),
             known_items: HashMap::new(),
+            counters: CycleStats::default(),
         }
     }
 
@@ -197,6 +203,7 @@ impl ShardState {
                 item,
                 bundles,
             } => self.deliver_news(cycle, item, &bundles),
+            Command::TakeCycleCounters => Reply::CycleCounters(self.take_counters()),
             Command::Stop => Reply::Ack,
         }
     }
@@ -289,6 +296,14 @@ impl ShardState {
         }
     }
 
+    /// Drains the per-cycle counters: stamps the live population, returns
+    /// the accumulated values and resets them for the next cycle.
+    fn take_counters(&mut self) -> CycleStats {
+        let mut counters = std::mem::take(&mut self.counters);
+        counters.live_nodes = self.nodes.len() as u64;
+        counters
+    }
+
     /// Collect phase: every owned node's cycle tick, in id order.
     fn collect(&mut self, cycle: u32) -> Outbound {
         // Fresh gossip-phase streams for the delivery rounds that follow,
@@ -305,7 +320,9 @@ impl ShardState {
                 emissions.push((id, m));
             }
         }
-        self.route_out(emissions)
+        let out = self.route_out(emissions);
+        self.counters.gossip_sent += out.sent;
+        out
     }
 
     /// The active partition frontier at `cycle`, if the loss model opens a
@@ -360,7 +377,9 @@ impl ShardState {
                 }
             }
         }
-        self.route_out(emissions)
+        let out = self.route_out(emissions);
+        self.counters.gossip_sent += out.sent;
+        out
     }
 
     /// Churn coins for the owned nodes: each node crashes with probability
@@ -392,6 +411,7 @@ impl ShardState {
     /// cold-started from its contact's (pre-churn) view snapshot. Snapshot
     /// state makes the application order irrelevant.
     fn apply_churn(&mut self, resets: &[(NodeId, Bytes)]) {
+        self.counters.crashed += resets.len() as u64;
         for (id, frame) in resets {
             let snapshot = exchange::decode_cold_start(frame);
             let mut fresh = WhatsUpNode::new(*id, self.params.clone());
@@ -408,6 +428,12 @@ impl ShardState {
         let item_id = item.id();
         self.known_items.insert(item_id, item.clone());
         let source = item.source;
+        // Ground truth at publication for the per-cycle series: exactly one
+        // shard (the source's owner) publishes each item, so the fold
+        // across shards counts every item once.
+        if let Some(index) = self.oracle.index_of(item_id) {
+            self.counters.interested += self.oracle.interested_count(index, source) as u64;
+        }
         let local = self.local(source);
         let seed = self.seed;
         let out = {
@@ -420,9 +446,11 @@ impl ShardState {
             _ => None,
         };
         let emissions = out.into_iter().map(|m| (source, m)).collect();
+        let out = self.route_out(emissions);
+        self.counters.news_sent += out.sent;
         Reply::Published {
             first_forward_hop,
-            out: self.route_out(emissions),
+            out,
         }
     }
 
@@ -480,10 +508,17 @@ impl ShardState {
             }
             outcomes.push(outcome);
         }
-        Reply::NewsDelivered {
-            out: self.route_out(emissions),
-            outcomes,
+        for o in &outcomes {
+            if let Some(first) = o.first {
+                self.counters.first_receptions += 1;
+                if first.receiver_likes {
+                    self.counters.hits += 1;
+                }
+            }
         }
+        let out = self.route_out(emissions);
+        self.counters.news_sent += out.sent;
+        Reply::NewsDelivered { out, outcomes }
     }
 }
 

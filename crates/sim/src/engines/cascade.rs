@@ -105,6 +105,8 @@ pub fn run_scheduled(dataset: &Dataset, cfg: &SimConfig, schedule: &[u32]) -> Si
         news_messages: news_measured,
         news_messages_all: news_all,
         gossip_messages: 0,
+        series: Default::default(),
+        windows: Vec::new(),
     }
 }
 

@@ -224,6 +224,8 @@ pub fn run_scheduled(
         news_messages: news_measured,
         news_messages_all: news_all,
         gossip_messages: 0,
+        series: Default::default(),
+        windows: Vec::new(),
     }
 }
 

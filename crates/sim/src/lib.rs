@@ -39,6 +39,6 @@ pub use config::{Protocol, SimConfig, Transport};
 pub use engine::Simulation;
 pub use engines::run_protocol;
 pub use oracle::Oracle;
-pub use record::{ItemRecord, SimReport};
+pub use record::{ItemRecord, SimReport, WindowReport, REPORT_SCHEMA_VERSION, SERIES_COLUMNS};
 pub use runner::Runner;
 pub use scenario::{Scenario, ScenarioFile};

@@ -94,6 +94,15 @@ impl Oracle {
             .collect()
     }
 
+    /// Number of nodes interested in item `index`, excluding `excluding`
+    /// (the publishing source) — [`Oracle::interested`] without the
+    /// allocation, for counters on the publish path.
+    pub fn interested_count(&self, index: u32, excluding: NodeId) -> usize {
+        (0..self.alias.len() as u32)
+            .filter(|&n| n != excluding && self.likes_index(n, index))
+            .count()
+    }
+
     /// Registers a joining node whose interests mirror `reference`'s current
     /// row. Returns the new node id.
     pub fn add_clone_of(&mut self, reference: NodeId) -> NodeId {
@@ -146,6 +155,8 @@ mod tests {
         let o = oracle();
         assert_eq!(o.interested(0), vec![0, 2]);
         assert_eq!(o.interested(1), vec![1, 2]);
+        assert_eq!(o.interested_count(0, 0), 1, "source excluded");
+        assert_eq!(o.interested_count(0, 1), 2, "non-liker exclusion is free");
     }
 
     #[test]

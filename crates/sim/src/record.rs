@@ -1,7 +1,28 @@
-//! Per-item dissemination records and the aggregated simulation report.
+//! Per-item dissemination records and the aggregated simulation report,
+//! including the per-cycle time series and its measurement windows.
 
 use serde::{Deserialize, Serialize};
-use whatsup_metrics::{IrAggregate, IrScores, ItemOutcome};
+use whatsup_metrics::{CycleSeries, IrAggregate, IrScores, ItemOutcome, RecoveryMetrics};
+
+/// Version stamp of the report summary JSON (`SimReport::summary_json`).
+/// Bump on any breaking change to the summary's shape; `whatsup-sim check`
+/// rejects reports carrying any other version.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Column names of the summary JSON's `series` object, in rendering
+/// order — the single source of truth shared by the renderer
+/// (`SimReport::summary_json`) and the `whatsup-sim check` validator.
+pub const SERIES_COLUMNS: [&str; 9] = [
+    "first_receptions",
+    "hits",
+    "interested",
+    "news_sent",
+    "gossip_sent",
+    "live_nodes",
+    "crashed",
+    "recall",
+    "precision",
+];
 
 /// Everything the evaluation needs to know about one item's dissemination.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -92,6 +113,37 @@ pub struct SimReport {
     pub news_messages_all: u64,
     /// Gossip-layer messages (RPS + WUP) over the whole run.
     pub gossip_messages: u64,
+    /// Per-cycle measurement series, folded from the shards' counter
+    /// frames in shard-index order — bit-identical across shard counts
+    /// and transports. Empty for the global engines and for runs with
+    /// `SimConfig::collect_series` off.
+    pub series: CycleSeries,
+    /// The scenario's named measurement windows, resolved against the
+    /// finished series (empty when the scenario declares none).
+    pub windows: Vec<WindowReport>,
+}
+
+/// One resolved measurement window of the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// The scenario's window name.
+    pub name: String,
+    /// Resolved half-open cycle range `[from, until)`. For recovery
+    /// windows, `until` is the cycle after recovery (or the end of the
+    /// run when recall never recovered).
+    pub from: u32,
+    pub until: u32,
+    /// Items published inside the window (warmup items included — the
+    /// window is the measurement boundary here, not `measured`).
+    pub items: u32,
+    /// Micro-averaged precision/recall/F1 over those items.
+    pub scores: IrScores,
+    /// News messages sent during the window's cycles.
+    pub news_sent: u64,
+    /// Gossip messages sent during the window's cycles.
+    pub gossip_sent: u64,
+    /// Recovery metrics, present for event-anchored recovery windows.
+    pub recovery: Option<RecoveryMetrics>,
 }
 
 impl SimReport {
@@ -115,17 +167,143 @@ impl SimReport {
         self.aggregate().macro_avg()
     }
 
+    /// IR aggregate over the items published in the cycle window
+    /// `[from, until)` — warmup items included (the window *is* the
+    /// measurement boundary). Because every epidemic completes within its
+    /// publication cycle, this item-based pool equals the series' pooled
+    /// reception counters over the same window.
+    pub fn aggregate_window(&self, from: u32, until: u32) -> IrAggregate {
+        let mut agg = IrAggregate::new();
+        for r in self
+            .items
+            .iter()
+            .filter(|r| r.published_at >= from && r.published_at < until)
+        {
+            agg.push(r.outcome());
+        }
+        agg
+    }
+
+    /// Builds one resolved measurement window over this report: the
+    /// window-scoped item aggregate plus the series' pooled traffic, with
+    /// `recovery` attached for event-anchored windows.
+    pub fn window_report(
+        &self,
+        name: &str,
+        from: u32,
+        until: u32,
+        recovery: Option<RecoveryMetrics>,
+    ) -> WindowReport {
+        let agg = self.aggregate_window(from, until);
+        let pooled = self.series.pooled(from, until);
+        WindowReport {
+            name: name.to_string(),
+            from,
+            until,
+            items: agg.len() as u32,
+            scores: agg.micro(),
+            news_sent: pooled.news_sent,
+            gossip_sent: pooled.gossip_sent,
+            recovery,
+        }
+    }
+
     /// Number of measured items.
     pub fn measured_items(&self) -> usize {
         self.items.iter().filter(|r| r.measured).count()
     }
 
+    /// The per-cycle series as parallel JSON arrays (index = cycle; the
+    /// derived `recall`/`precision` columns are `null` on cycles without
+    /// publications/receptions). Renders exactly the [`SERIES_COLUMNS`],
+    /// in that order — `whatsup-sim check` validates against the same
+    /// list.
+    fn series_json(&self) -> serde::json::Value {
+        use serde::json::Value;
+        use whatsup_metrics::CycleStats;
+        let cycles = self.series.cycles();
+        let ints = |f: fn(&CycleStats) -> u64| {
+            Value::Array(cycles.iter().map(|c| Value::Number(f(c) as f64)).collect())
+        };
+        let ratios = |f: fn(&CycleStats) -> Option<f64>| {
+            Value::Array(
+                cycles
+                    .iter()
+                    .map(|c| f(c).map(Value::Number).unwrap_or(Value::Null))
+                    .collect(),
+            )
+        };
+        let column = |key: &'static str| match key {
+            "first_receptions" => ints(|c| c.first_receptions),
+            "hits" => ints(|c| c.hits),
+            "interested" => ints(|c| c.interested),
+            "news_sent" => ints(|c| c.news_sent),
+            "gossip_sent" => ints(|c| c.gossip_sent),
+            "live_nodes" => ints(|c| c.live_nodes),
+            "crashed" => ints(|c| c.crashed),
+            "recall" => ratios(CycleStats::recall),
+            "precision" => ratios(CycleStats::precision),
+            other => unreachable!("SERIES_COLUMNS names an unrendered column {other:?}"),
+        };
+        Value::object(SERIES_COLUMNS.map(|key| (key, column(key))))
+    }
+
+    /// The measurement windows (and their recovery metrics) as JSON.
+    fn windows_json(&self) -> serde::json::Value {
+        use serde::json::Value;
+        let opt_u32 = |o: Option<u32>| {
+            o.map(|n| Value::Number(f64::from(n)))
+                .unwrap_or(Value::Null)
+        };
+        Value::Array(
+            self.windows
+                .iter()
+                .map(|w| {
+                    let recovery = match &w.recovery {
+                        None => Value::Null,
+                        Some(r) => Value::object(vec![
+                            ("anchor", Value::Number(f64::from(r.anchor))),
+                            ("baseline_recall", Value::Number(r.baseline_recall)),
+                            ("dip_depth", Value::Number(r.dip_depth)),
+                            ("dip_cycle", Value::Number(f64::from(r.dip_cycle))),
+                            ("recovered_at", opt_u32(r.recovered_at)),
+                            ("time_to_recover", opt_u32(r.time_to_recover())),
+                            ("messages_spent", Value::Number(r.messages_spent as f64)),
+                        ]),
+                    };
+                    Value::object(vec![
+                        ("name", Value::String(w.name.clone())),
+                        ("from", Value::Number(f64::from(w.from))),
+                        ("until", Value::Number(f64::from(w.until))),
+                        ("items", Value::Number(f64::from(w.items))),
+                        (
+                            "scores",
+                            Value::object(vec![
+                                ("precision", Value::Number(w.scores.precision)),
+                                ("recall", Value::Number(w.scores.recall)),
+                                ("f1", Value::Number(w.scores.f1)),
+                            ]),
+                        ),
+                        ("news_sent", Value::Number(w.news_sent as f64)),
+                        ("gossip_sent", Value::Number(w.gossip_sent as f64)),
+                        ("recovery", recovery),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
     /// The run's headline numbers as a strict-JSON value tree (what the
-    /// `whatsup-sim` CLI writes; stable keys, machine-parseable).
+    /// `whatsup-sim` CLI writes; stable keys, machine-parseable), plus the
+    /// per-cycle series and the resolved measurement windows.
     pub fn summary_json(&self) -> serde::json::Value {
         use serde::json::Value;
         let s = self.scores();
         Value::object(vec![
+            (
+                "schema_version",
+                Value::Number(f64::from(REPORT_SCHEMA_VERSION)),
+            ),
             ("protocol", Value::String(self.protocol.clone())),
             ("dataset", Value::String(self.dataset.clone())),
             (
@@ -158,6 +336,8 @@ impl SimReport {
                 Value::Number(self.gossip_messages as f64),
             ),
             ("messages_per_user", Value::Number(self.messages_per_user())),
+            ("series", self.series_json()),
+            ("windows", self.windows_json()),
         ])
     }
 
@@ -319,6 +499,8 @@ mod tests {
             news_messages: 100,
             news_messages_all: 200,
             gossip_messages: 40,
+            series: CycleSeries::default(),
+            windows: Vec::new(),
         }
     }
 
@@ -381,5 +563,78 @@ mod tests {
         assert_eq!(r.scores(), IrScores::default());
         assert_eq!(r.dislike_distribution(4), vec![0.0; 5]);
         assert_eq!(r.hop_profile(5).mean_infection_hop(), 0.0);
+        assert!(r.series.is_empty());
+        assert!(r.windows.is_empty());
+    }
+
+    #[test]
+    fn window_aggregate_filters_by_publication_cycle() {
+        let mut r = report();
+        r.items[1].published_at = 20; // the warmup record, moved out of range
+        let agg = r.aggregate_window(10, 11);
+        assert_eq!(agg.len(), 1, "only the cycle-10 item");
+        let s = agg.micro();
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 1.0).abs() < 1e-12);
+        assert_eq!(r.aggregate_window(0, 10).len(), 0);
+        // The warmup flag is irrelevant here: windows measure by cycle.
+        assert_eq!(r.aggregate_window(0, 30).len(), 2);
+    }
+
+    #[test]
+    fn window_report_pools_series_traffic() {
+        let mut r = report();
+        r.series = (0..12)
+            .map(|_| whatsup_metrics::CycleStats {
+                news_sent: 3,
+                gossip_sent: 7,
+                live_nodes: 100,
+                ..Default::default()
+            })
+            .collect();
+        let w = r.window_report("probe", 10, 12, None);
+        assert_eq!(w.name, "probe");
+        assert_eq!(w.items, 2, "both fixture items publish at cycle 10");
+        assert_eq!(w.news_sent, 6);
+        assert_eq!(w.gossip_sent, 14);
+        assert!(w.recovery.is_none());
+    }
+
+    #[test]
+    fn summary_json_carries_schema_series_and_windows() {
+        let mut r = report();
+        r.series = vec![whatsup_metrics::CycleStats {
+            first_receptions: 4,
+            hits: 2,
+            interested: 8,
+            news_sent: 10,
+            gossip_sent: 20,
+            live_nodes: 100,
+            crashed: 1,
+        }]
+        .into_iter()
+        .collect();
+        r.windows = vec![r.window_report("w", 0, 1, None)];
+        let v = r.summary_json();
+        assert_eq!(
+            v.get("schema_version").and_then(|x| x.as_u64()),
+            Some(u64::from(REPORT_SCHEMA_VERSION))
+        );
+        let series = v.get("series").expect("series object");
+        for key in SERIES_COLUMNS {
+            let col = series.get(key).and_then(|c| c.as_array());
+            assert_eq!(col.map(<[_]>::len), Some(1), "column {key}");
+        }
+        assert_eq!(
+            series
+                .get("recall")
+                .and_then(|c| c.as_array())
+                .and_then(|a| a[0].as_f64()),
+            Some(0.25)
+        );
+        let windows = v.get("windows").and_then(|w| w.as_array()).unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].get("name").and_then(|n| n.as_str()), Some("w"));
+        assert!(windows[0].get("recovery").is_some());
     }
 }

@@ -208,7 +208,10 @@ impl<'a> Runner<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{ChurnModel, Environment, Event, LossModel, TimedEvent, Workload};
+    use crate::scenario::{
+        Anchor, ChurnModel, Environment, Event, LossModel, Measurement, TimedEvent, WindowSpec,
+        Workload,
+    };
     use whatsup_datasets::{digg, survey, DiggConfig, SurveyConfig};
 
     fn dataset() -> Dataset {
@@ -309,6 +312,19 @@ mod tests {
                     event: Event::ResetNode { node: 3 },
                 },
             ],
+            measurements: vec![
+                Measurement {
+                    name: "warmup".into(),
+                    window: WindowSpec::Cycles { from: 2, until: 8 },
+                },
+                Measurement {
+                    name: "crash_recovery".into(),
+                    window: WindowSpec::Recovery {
+                        anchor: Anchor::CrashWave,
+                        baseline: 3,
+                    },
+                },
+            ],
         };
         let report = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
             .config(cfg())
@@ -318,6 +334,29 @@ mod tests {
         assert_eq!(report.n_nodes, d.n_users() + 1);
         assert!(report.measured_items() > 0);
         assert!(report.scores().recall > 0.0);
+        // The series covers every cycle and its totals reconcile with the
+        // whole-run counters.
+        assert_eq!(report.series.len(), report.cycles as usize);
+        let all = report.series.pooled(0, report.cycles);
+        assert_eq!(all.news_sent, report.news_messages_all);
+        assert_eq!(all.gossip_sent, report.gossip_messages);
+        assert_eq!(
+            report.series.cycles().last().unwrap().live_nodes,
+            report.n_nodes as u64
+        );
+        // Both windows resolved; the recovery one is anchored to cycle 8.
+        assert_eq!(report.windows.len(), 2);
+        assert_eq!(report.windows[0].name, "warmup");
+        assert!(report.windows[0].items > 0);
+        assert!(report.windows[0].recovery.is_none());
+        let crash = &report.windows[1];
+        assert_eq!(crash.from, 8);
+        let recovery = crash.recovery.expect("publications precede the wave");
+        assert_eq!(recovery.anchor, 8);
+        assert!(recovery.baseline_recall > 0.0);
+        // Item-based window scores equal the series' pooled counters.
+        let pooled = report.series.pooled(crash.from, crash.until);
+        assert_eq!(crash.scores, pooled.scores());
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //!   (constant, bursty Gilbert–Elliott, timed partition window) and a
 //!   [`ChurnModel`] (uniform per-cycle, correlated crash wave, mass join);
 //! * `events` — a cycle-stamped timeline of typed [`Event`]s (join a clone,
-//!   swap interests, reset a node) replacing hand-written choreography.
+//!   swap interests, reset a node) replacing hand-written choreography;
+//! * `measurements` — named measurement windows ([`Measurement`]) over the
+//!   run's per-cycle series: explicit cycle ranges, or recovery windows
+//!   anchored to the scenario's own events ("from the crash wave firing
+//!   until recall recovers to the pre-event baseline"), rendered into the
+//!   report as window-scoped aggregates plus dip-depth/time-to-recover/
+//!   messages-spent recovery metrics.
 //!
 //! Scenarios are applied at phase boundaries inside the sharded engine (see
 //! `crate::engine`), so the determinism contract — reports bit-identical
@@ -48,9 +54,27 @@
 //!     {"at": 6, "kind": "join_clone", "reference": 0},
 //!     {"at": 7, "kind": "swap_interests", "a": 1, "b": 2},
 //!     {"at": 9, "kind": "reset_node", "node": 3}
+//!   ],
+//!   "measurements": [
+//!     {"name": "steady_state", "kind": "cycles", "from": 5, "until": 8},
+//!     {"name": "crash_recovery", "kind": "recovery",
+//!      "anchor": {"kind": "crash_wave"}, "baseline": 3}
 //!   ]
 //! }
 //! ```
+//!
+//! A measurement is either `"kind": "cycles"` (explicit half-open range
+//! `[from, until)`) or `"kind": "recovery"` (from the anchor's cycle until
+//! recall recovers to the pooled recall of the `baseline` cycles before
+//! it). Anchors name a cycle directly (`{"kind": "cycle", "at": 8}`) or
+//! point at the scenario's own events — `"crash_wave"`, `"mass_join"`,
+//! `"flash_crowd"`, `"partition_start"`, `"partition_end"`, or
+//! `{"kind": "event", "index": k}` for the `k`-th timeline event.
+//! Validation rejects anchors the scenario cannot resolve (e.g. a
+//! `crash_wave` anchor without a crash-wave churn model), empty or
+//! duplicate window names, and measurements on runs that disable
+//! `collect_series`. Window names are free-form; each becomes one entry of
+//! the report's `windows` table.
 //!
 //! A [`ScenarioFile`] wraps a scenario with everything else a run needs —
 //! dataset recipe, protocol and [`SimConfig`] — and is what the
@@ -260,6 +284,92 @@ pub struct TimedEvent {
     pub event: Event,
 }
 
+/// Where a recovery measurement window is anchored: either an explicit
+/// cycle, or one of the scenario's own events — so the window follows the
+/// event when the scenario is tuned, instead of drifting out of sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Anchor {
+    /// An explicit cycle.
+    Cycle { at: u32 },
+    /// The environment's [`ChurnModel::CrashWave`] firing cycle.
+    CrashWave,
+    /// The environment's [`ChurnModel::MassJoin`] arrival cycle.
+    MassJoin,
+    /// The workload's [`Workload::FlashCrowd`] burst cycle.
+    FlashCrowd,
+    /// The cycle the [`LossModel::Partition`] window opens.
+    PartitionStart,
+    /// The cycle the [`LossModel::Partition`] window closes (heals).
+    PartitionEnd,
+    /// The `index`-th timeline event's cycle (list order).
+    Event { index: usize },
+}
+
+impl Anchor {
+    /// The cycle this anchor names in `scenario`, or `None` when the
+    /// scenario has no such event (validation rejects those).
+    pub fn resolve(&self, scenario: &Scenario) -> Option<u32> {
+        match *self {
+            Anchor::Cycle { at } => Some(at),
+            Anchor::CrashWave => match scenario.environment.churn {
+                ChurnModel::CrashWave { at, .. } => Some(at),
+                _ => None,
+            },
+            Anchor::MassJoin => match scenario.environment.churn {
+                ChurnModel::MassJoin { at, .. } => Some(at),
+                _ => None,
+            },
+            Anchor::FlashCrowd => match scenario.workload {
+                Workload::FlashCrowd { at, .. } => Some(at),
+                _ => None,
+            },
+            Anchor::PartitionStart => match scenario.environment.loss {
+                LossModel::Partition { from, .. } => Some(from),
+                _ => None,
+            },
+            Anchor::PartitionEnd => match scenario.environment.loss {
+                LossModel::Partition { until, .. } => Some(until),
+                _ => None,
+            },
+            Anchor::Event { index } => scenario.events.get(index).map(|e| e.at),
+        }
+    }
+
+    fn describe(&self) -> &'static str {
+        match self {
+            Anchor::Cycle { .. } => "cycle",
+            Anchor::CrashWave => "crash_wave (scenario has no crash wave)",
+            Anchor::MassJoin => "mass_join (scenario has no mass join)",
+            Anchor::FlashCrowd => "flash_crowd (workload has no flash crowd)",
+            Anchor::PartitionStart | Anchor::PartitionEnd => {
+                "partition (loss model has no partition window)"
+            }
+            Anchor::Event { .. } => "event (index out of range)",
+        }
+    }
+}
+
+/// The cycle span one measurement covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// An explicit half-open cycle range `[from, until)`.
+    Cycles { from: u32, until: u32 },
+    /// From the anchor's cycle until recall recovers to the pre-event
+    /// baseline (the pooled recall of the `baseline` cycles before the
+    /// anchor), or the end of the run if it never does. Yields the derived
+    /// recovery metrics (dip depth, time-to-recover, messages spent).
+    Recovery { anchor: Anchor, baseline: u32 },
+}
+
+/// One named measurement window, rendered into the report as a
+/// `crate::record::WindowReport` (window-scoped IR aggregate + traffic,
+/// plus recovery metrics for [`WindowSpec::Recovery`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Measurement {
+    pub name: String,
+    pub window: WindowSpec,
+}
+
 /// Upper bound on one mass-join burst — a capacity guard, far above any
 /// plausible experiment, so a typo'd scenario file cannot ask the engine to
 /// allocate millions of nodes.
@@ -272,6 +382,9 @@ pub struct Scenario {
     pub workload: Workload,
     pub environment: Environment,
     pub events: Vec<TimedEvent>,
+    /// Named measurement windows rendered into the report (empty = only
+    /// the whole-run aggregates).
+    pub measurements: Vec<Measurement>,
 }
 
 impl Default for Scenario {
@@ -280,6 +393,7 @@ impl Default for Scenario {
             workload: Workload::Uniform,
             environment: Environment::default(),
             events: Vec::new(),
+            measurements: Vec::new(),
         }
     }
 }
@@ -302,6 +416,7 @@ impl Scenario {
                 },
             },
             events: Vec::new(),
+            measurements: Vec::new(),
         }
     }
 
@@ -317,6 +432,11 @@ impl Scenario {
 
     pub fn with_events(mut self, events: Vec<TimedEvent>) -> Self {
         self.events = events;
+        self
+    }
+
+    pub fn with_measurements(mut self, measurements: Vec<Measurement>) -> Self {
+        self.measurements = measurements;
         self
     }
 
@@ -421,6 +541,47 @@ impl Scenario {
                 ));
             }
         }
+        if !self.measurements.is_empty() && !cfg.collect_series {
+            return Err(
+                "measurement windows need the per-cycle series — enable collect_series".into(),
+            );
+        }
+        let mut names = std::collections::HashSet::new();
+        for m in &self.measurements {
+            if m.name.is_empty() {
+                return Err("measurement window name must not be empty".into());
+            }
+            if !names.insert(m.name.as_str()) {
+                return Err(format!("duplicate measurement window name {:?}", m.name));
+            }
+            match m.window {
+                WindowSpec::Cycles { from, until } => {
+                    if from >= until {
+                        return Err(format!(
+                            "measurement {:?}: window [{from}, {until}) is empty",
+                            m.name
+                        ));
+                    }
+                    in_run(from, "measurement window start")?;
+                }
+                WindowSpec::Recovery { anchor, baseline } => {
+                    if baseline == 0 {
+                        return Err(format!(
+                            "measurement {:?}: recovery baseline must span ≥ 1 cycle",
+                            m.name
+                        ));
+                    }
+                    let Some(at) = anchor.resolve(self) else {
+                        return Err(format!(
+                            "measurement {:?}: anchor does not resolve — {}",
+                            m.name,
+                            anchor.describe()
+                        ));
+                    };
+                    in_run(at, "measurement anchor")?;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -451,6 +612,12 @@ impl Scenario {
         ) {
             return Err(format!(
                 "crash waves and mass joins cannot fire on the global {engine} engine"
+            ));
+        }
+        if !self.measurements.is_empty() {
+            return Err(format!(
+                "measurement windows need the per-cycle engine — the global {engine} \
+                 engine produces no time series"
             ));
         }
         Ok(())
@@ -621,6 +788,42 @@ impl TimedEvent {
     }
 }
 
+impl Anchor {
+    pub fn to_json(&self) -> Value {
+        match *self {
+            Anchor::Cycle { at } => obj(vec![("kind", string("cycle")), ("at", num(at))]),
+            Anchor::CrashWave => obj(vec![("kind", string("crash_wave"))]),
+            Anchor::MassJoin => obj(vec![("kind", string("mass_join"))]),
+            Anchor::FlashCrowd => obj(vec![("kind", string("flash_crowd"))]),
+            Anchor::PartitionStart => obj(vec![("kind", string("partition_start"))]),
+            Anchor::PartitionEnd => obj(vec![("kind", string("partition_end"))]),
+            Anchor::Event { index } => obj(vec![
+                ("kind", string("event")),
+                ("index", num(index as u32)),
+            ]),
+        }
+    }
+}
+
+impl Measurement {
+    pub fn to_json(&self) -> Value {
+        let mut entries = vec![("name", string(&self.name))];
+        match self.window {
+            WindowSpec::Cycles { from, until } => {
+                entries.push(("kind", string("cycles")));
+                entries.push(("from", num(from)));
+                entries.push(("until", num(until)));
+            }
+            WindowSpec::Recovery { anchor, baseline } => {
+                entries.push(("kind", string("recovery")));
+                entries.push(("anchor", anchor.to_json()));
+                entries.push(("baseline", num(baseline)));
+            }
+        }
+        obj(entries)
+    }
+}
+
 impl Scenario {
     pub fn to_json(&self) -> Value {
         obj(vec![
@@ -635,6 +838,10 @@ impl Scenario {
             (
                 "events",
                 Value::Array(self.events.iter().map(TimedEvent::to_json).collect()),
+            ),
+            (
+                "measurements",
+                Value::Array(self.measurements.iter().map(Measurement::to_json).collect()),
             ),
         ])
     }
@@ -752,6 +959,46 @@ impl Deserialize for TimedEvent {
     }
 }
 
+impl Deserialize for Anchor {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(match kind_of(v)? {
+            "cycle" => Anchor::Cycle {
+                at: u32_field(v, "at")?,
+            },
+            "crash_wave" => Anchor::CrashWave,
+            "mass_join" => Anchor::MassJoin,
+            "flash_crowd" => Anchor::FlashCrowd,
+            "partition_start" => Anchor::PartitionStart,
+            "partition_end" => Anchor::PartitionEnd,
+            "event" => Anchor::Event {
+                index: u32_field(v, "index")? as usize,
+            },
+            other => return Err(Error::new(format!("unknown anchor kind {other:?}"))),
+        })
+    }
+}
+
+impl Deserialize for Measurement {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let name = field(v, "name")?
+            .as_str()
+            .ok_or_else(|| Error::new("field \"name\" must be a string"))?
+            .to_string();
+        let window = match kind_of(v)? {
+            "cycles" => WindowSpec::Cycles {
+                from: u32_field(v, "from")?,
+                until: u32_field(v, "until")?,
+            },
+            "recovery" => WindowSpec::Recovery {
+                anchor: Anchor::from_json_value(field(v, "anchor")?)?,
+                baseline: u32_field(v, "baseline")?,
+            },
+            other => return Err(Error::new(format!("unknown measurement kind {other:?}"))),
+        };
+        Ok(Measurement { name, window })
+    }
+}
+
 impl Deserialize for Scenario {
     fn from_json_value(v: &Value) -> Result<Self, Error> {
         let environment = field(v, "environment")?;
@@ -764,6 +1011,10 @@ impl Deserialize for Scenario {
             events: match v.get("events") {
                 None => Vec::new(),
                 Some(events) => Vec::<TimedEvent>::from_json_value(events)?,
+            },
+            measurements: match v.get("measurements") {
+                None => Vec::new(),
+                Some(ms) => Vec::<Measurement>::from_json_value(ms)?,
             },
         })
     }
@@ -864,6 +1115,7 @@ impl SimConfig {
             ),
             ("obfuscation", opt_num(self.obfuscation)),
             ("churn_per_cycle", num(self.churn_per_cycle)),
+            ("collect_series", Value::Bool(self.collect_series)),
             ("shards", num(self.shards as u32)),
         ])
     }
@@ -926,6 +1178,11 @@ impl Deserialize for SimConfig {
             cfg.churn_per_cycle = val
                 .as_f64()
                 .ok_or_else(|| Error::new("field \"churn_per_cycle\" must be a number"))?;
+        }
+        if let Some(val) = v.get("collect_series") {
+            cfg.collect_series = val
+                .as_bool()
+                .ok_or_else(|| Error::new("field \"collect_series\" must be a boolean"))?;
         }
         if let Some(val) = v.get("shards") {
             cfg.shards = val
@@ -1351,10 +1608,141 @@ mod tests {
                     event: Event::ResetNode { node: 3 },
                 },
             ],
+            measurements: vec![
+                Measurement {
+                    name: "steady".into(),
+                    window: WindowSpec::Cycles { from: 3, until: 8 },
+                },
+                Measurement {
+                    name: "crash".into(),
+                    window: WindowSpec::Recovery {
+                        anchor: Anchor::CrashWave,
+                        baseline: 3,
+                    },
+                },
+                Measurement {
+                    name: "second_event".into(),
+                    window: WindowSpec::Recovery {
+                        anchor: Anchor::Event { index: 1 },
+                        baseline: 2,
+                    },
+                },
+            ],
         };
         let text = scenario.to_json().pretty();
         let back: Scenario = serde_json::from_str(&text).unwrap();
         assert_eq!(back, scenario);
+    }
+
+    #[test]
+    fn anchors_resolve_against_the_scenario() {
+        let scenario = Scenario {
+            workload: Workload::FlashCrowd {
+                at: 6,
+                fraction: 0.5,
+            },
+            environment: Environment {
+                loss: LossModel::Partition {
+                    from: 4,
+                    until: 9,
+                    frontier: 0.5,
+                },
+                churn: ChurnModel::CrashWave {
+                    at: 8,
+                    fraction: 0.2,
+                },
+            },
+            events: vec![TimedEvent {
+                at: 11,
+                event: Event::ResetNode { node: 0 },
+            }],
+            measurements: Vec::new(),
+        };
+        assert_eq!(Anchor::Cycle { at: 3 }.resolve(&scenario), Some(3));
+        assert_eq!(Anchor::CrashWave.resolve(&scenario), Some(8));
+        assert_eq!(Anchor::FlashCrowd.resolve(&scenario), Some(6));
+        assert_eq!(Anchor::PartitionStart.resolve(&scenario), Some(4));
+        assert_eq!(Anchor::PartitionEnd.resolve(&scenario), Some(9));
+        assert_eq!(Anchor::Event { index: 0 }.resolve(&scenario), Some(11));
+        assert_eq!(Anchor::Event { index: 1 }.resolve(&scenario), None);
+        assert_eq!(Anchor::MassJoin.resolve(&scenario), None);
+    }
+
+    #[test]
+    fn measurement_validation_rejects_bad_windows() {
+        let c = cfg();
+        let with = |m: Measurement| Scenario::default().with_measurements(vec![m]);
+        // Empty range.
+        assert!(with(Measurement {
+            name: "w".into(),
+            window: WindowSpec::Cycles { from: 5, until: 5 },
+        })
+        .validate(&c)
+        .is_err());
+        // Out of the run.
+        assert!(with(Measurement {
+            name: "w".into(),
+            window: WindowSpec::Cycles {
+                from: 25,
+                until: 30
+            },
+        })
+        .validate(&c)
+        .is_err());
+        // Unresolvable anchor (no crash wave in the default environment).
+        assert!(with(Measurement {
+            name: "w".into(),
+            window: WindowSpec::Recovery {
+                anchor: Anchor::CrashWave,
+                baseline: 2,
+            },
+        })
+        .validate(&c)
+        .is_err());
+        // Zero-cycle baseline.
+        assert!(with(Measurement {
+            name: "w".into(),
+            window: WindowSpec::Recovery {
+                anchor: Anchor::Cycle { at: 5 },
+                baseline: 0,
+            },
+        })
+        .validate(&c)
+        .is_err());
+        // Empty and duplicate names.
+        assert!(with(Measurement {
+            name: String::new(),
+            window: WindowSpec::Cycles { from: 0, until: 5 },
+        })
+        .validate(&c)
+        .is_err());
+        let dup = Scenario::default().with_measurements(vec![
+            Measurement {
+                name: "w".into(),
+                window: WindowSpec::Cycles { from: 0, until: 5 },
+            },
+            Measurement {
+                name: "w".into(),
+                window: WindowSpec::Cycles { from: 5, until: 9 },
+            },
+        ]);
+        assert!(dup.validate(&c).is_err());
+        // Measurements without the series to measure on.
+        let off = SimConfig {
+            collect_series: false,
+            ..c.clone()
+        };
+        let good = with(Measurement {
+            name: "w".into(),
+            window: WindowSpec::Cycles { from: 0, until: 5 },
+        });
+        assert!(good.validate(&c).is_ok());
+        assert!(good.validate(&off).is_err());
+        // And not on the global engines.
+        assert!(good.validate_for_global(&Protocol::CPubSub).is_err());
+        assert!(good
+            .validate_for_global(&Protocol::WhatsUp { f_like: 4 })
+            .is_ok());
     }
 
     #[test]

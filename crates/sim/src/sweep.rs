@@ -42,6 +42,60 @@ pub fn scenario_fanout_sweep(
         .collect()
 }
 
+/// One cell of a shards × fanout grid sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Engine shard count the cell ran on (a pure execution knob — cells
+    /// that differ only in `shards` carry identical reports).
+    pub shards: usize,
+    /// Fanout knob of the cell's protocol, when it has one.
+    pub fanout: Option<usize>,
+    pub report: SimReport,
+}
+
+/// Runs one scenario across a shards × fanout grid — the `whatsup-sim
+/// sweep` subcommand's engine. Every cell routes through the same
+/// [`Runner`] path as a single run; cells execute in parallel (each is
+/// deterministic, so parallelism changes nothing but wall-clock time).
+///
+/// A protocol without a fanout knob ignores the fanout axis
+/// ([`Protocol::with_fanout`] is the identity there), so every cell of a
+/// row would be identical — callers should reject that combination up
+/// front, as the CLI does.
+pub fn scenario_grid_sweep(
+    dataset: &Dataset,
+    protocol: Protocol,
+    shard_counts: &[usize],
+    fanouts: &[usize],
+    cfg: &SimConfig,
+    scenario: &Scenario,
+) -> Vec<SweepCell> {
+    // An empty fanout axis means "the protocol's own knob, untouched".
+    let protocols: Vec<Protocol> = if fanouts.is_empty() {
+        vec![protocol]
+    } else {
+        fanouts.iter().map(|&f| protocol.with_fanout(f)).collect()
+    };
+    let jobs: Vec<(usize, Protocol)> = shard_counts
+        .iter()
+        .flat_map(|&s| protocols.iter().map(move |&p| (s, p)))
+        .collect();
+    jobs.par_iter()
+        .map(|&(shards, p)| {
+            let report = Runner::new(dataset, p)
+                .config(cfg.clone())
+                .scenario(scenario.clone())
+                .shards(shards)
+                .run();
+            SweepCell {
+                shards,
+                fanout: report.fanout,
+                report,
+            }
+        })
+        .collect()
+}
+
 /// Runs several protocols at every fanout, in parallel over the full grid.
 pub fn grid_sweep(
     dataset: &Dataset,
@@ -143,6 +197,38 @@ mod tests {
         for (a, b) in par.iter().zip(&seq) {
             assert_eq!(a.scores(), b.scores());
         }
+    }
+
+    #[test]
+    fn grid_sweep_covers_every_cell_and_shards_stay_invisible() {
+        let d = dataset();
+        let cells = scenario_grid_sweep(
+            &d,
+            Protocol::WhatsUp { f_like: 0 },
+            &[1, 2],
+            &[3, 5],
+            &cfg(),
+            &crate::scenario::Scenario::default(),
+        );
+        assert_eq!(cells.len(), 4);
+        for (f, cell) in [3usize, 5, 3, 5].iter().zip(&cells) {
+            assert_eq!(cell.fanout, Some(*f));
+        }
+        // Same fanout, different shard count → bit-identical report.
+        assert_eq!(cells[0].report, cells[2].report);
+        assert_eq!(cells[1].report, cells[3].report);
+        assert_ne!(cells[0].report.scores(), cells[1].report.scores());
+        // An empty fanout axis keeps the protocol's own knob.
+        let own = scenario_grid_sweep(
+            &d,
+            Protocol::WhatsUp { f_like: 4 },
+            &[1],
+            &[],
+            &cfg(),
+            &crate::scenario::Scenario::default(),
+        );
+        assert_eq!(own.len(), 1);
+        assert_eq!(own[0].fanout, Some(4));
     }
 
     #[test]

@@ -34,6 +34,33 @@ fn run_with_shards(shards: usize, base: SimConfig) -> SimReport {
 #[test]
 fn report_is_bit_identical_across_shard_counts() {
     let single = run_with_shards(1, cfg());
+    // The per-cycle series is part of the report, so the equality below
+    // pins it too — but assert it is actually there and reconciles with
+    // the whole-run counters, or the pin would be vacuous.
+    assert_eq!(single.series.len(), single.cycles as usize);
+    let all = single.series.pooled(0, single.cycles);
+    assert_eq!(all.news_sent, single.news_messages_all);
+    assert_eq!(all.gossip_sent, single.gossip_messages);
+    assert_eq!(
+        all.first_receptions,
+        single
+            .items
+            .iter()
+            .map(|r| u64::from(r.reached))
+            .sum::<u64>()
+    );
+    assert_eq!(
+        all.hits,
+        single.items.iter().map(|r| u64::from(r.hits)).sum::<u64>()
+    );
+    assert_eq!(
+        all.interested,
+        single
+            .items
+            .iter()
+            .map(|r| u64::from(r.interested))
+            .sum::<u64>()
+    );
     for shards in [2, 4] {
         let sharded = run_with_shards(shards, cfg());
         assert_eq!(
@@ -148,11 +175,15 @@ proptest! {
             .config(base.clone())
             .run();
         let worker = std::path::Path::new(env!("CARGO_BIN_EXE_sim-shard-worker"));
+        prop_assert_eq!(reference.series.len(), reference.cycles as usize,
+            "the per-cycle series must cover the run");
         let process = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
             .config(base.clone())
             .multiprocess(worker)
             .try_run()
             .expect("worker processes run");
+        prop_assert_eq!(&reference.series, &process.series,
+            "child-process transport diverged on the time series");
         prop_assert_eq!(&reference, &process, "child-process transport diverged");
         let (w1, a1) = common::spawn_listen_worker();
         let (w2, a2) = common::spawn_listen_worker();
@@ -161,10 +192,32 @@ proptest! {
             .socket([a1, a2])
             .try_run()
             .expect("socket workers run");
+        prop_assert_eq!(&reference.series, &socket.series,
+            "socket transport diverged on the time series");
         prop_assert_eq!(&reference, &socket, "socket transport diverged");
         common::assert_clean_exit(w1, "worker 1");
         common::assert_clean_exit(w2, "worker 2");
     }
+}
+
+#[test]
+fn disabling_series_collection_changes_nothing_else() {
+    // `collect_series` must be a pure measurement knob: same records, same
+    // counters, just no time series (and therefore no extra round-trips).
+    let on = run_with_shards(2, cfg());
+    let off = run_with_shards(
+        2,
+        SimConfig {
+            collect_series: false,
+            ..cfg()
+        },
+    );
+    assert!(!on.series.is_empty());
+    assert!(off.series.is_empty());
+    assert_eq!(on.items, off.items);
+    assert_eq!(on.per_node, off.per_node);
+    assert_eq!(on.news_messages_all, off.news_messages_all);
+    assert_eq!(on.gossip_messages, off.gossip_messages);
 }
 
 #[test]
@@ -291,6 +344,7 @@ proptest! {
             .config(base.clone())
             .shards(1)
             .run();
+        prop_assert_eq!(reference.series.len(), reference.cycles as usize);
         for shards in [2usize, 4] {
             let sharded = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
                 .config(base.clone())

@@ -12,7 +12,8 @@ mod common;
 
 use proptest::prelude::*;
 use whatsup_sim::scenario::{
-    ChurnModel, Environment, Event, LossModel, Scenario, TimedEvent, Workload,
+    Anchor, ChurnModel, Environment, Event, LossModel, Measurement, Scenario, TimedEvent,
+    WindowSpec, Workload,
 };
 use whatsup_sim::{Protocol, Runner, ScenarioFile, SimConfig, SimReport};
 
@@ -84,6 +85,35 @@ fn event_from(sel: u8, at: u32, a: u32, b: u32) -> TimedEvent {
     TimedEvent { at, event }
 }
 
+fn measurement_from(i: usize, sel: u8, a: u32, b: u32) -> Measurement {
+    let anchor = match sel {
+        0 => Anchor::Cycle { at: a },
+        1 => Anchor::CrashWave,
+        2 => Anchor::MassJoin,
+        3 => Anchor::FlashCrowd,
+        4 => Anchor::PartitionStart,
+        5 => Anchor::PartitionEnd,
+        _ => Anchor::Event {
+            index: a as usize % 7,
+        },
+    };
+    let window = if sel.is_multiple_of(2) {
+        WindowSpec::Cycles {
+            from: a,
+            until: a + b.max(1),
+        }
+    } else {
+        WindowSpec::Recovery {
+            anchor,
+            baseline: b.max(1),
+        }
+    };
+    Measurement {
+        name: format!("window_{i}"),
+        window,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -95,6 +125,7 @@ proptest! {
         l in (0u8..3, 0.0f64..1.0, 0.0f64..1.0, 1u32..50),
         c in (0u8..4, 0.0f64..1.0, 1u32..60),
         evs in prop::collection::vec((0u8..3, 0u32..64, 0u32..30), 0..6),
+        ms in prop::collection::vec((0u8..7, 0u32..60, 1u32..20), 0..4),
     ) {
         let scenario = Scenario {
             workload: workload_from(w.0, w.1, w.2, w.3),
@@ -105,6 +136,11 @@ proptest! {
             events: evs
                 .into_iter()
                 .map(|(sel, at, a)| event_from(sel, at, a, a + 1))
+                .collect(),
+            measurements: ms
+                .into_iter()
+                .enumerate()
+                .map(|(i, (sel, a, b))| measurement_from(i, sel, a, b))
                 .collect(),
         };
         let pretty: Scenario =
@@ -140,8 +176,28 @@ fn committed_scenario_is_bit_identical_across_shards_and_transports() {
         dataset.n_users() + 1,
         "the join_clone event must grow the population"
     );
+    // The committed file declares measurement windows: the report must
+    // carry the full per-cycle series and a non-empty recovery table.
+    assert_eq!(reference.series.len(), reference.cycles as usize);
+    assert_eq!(reference.windows.len(), 2);
+    let recovery = reference
+        .windows
+        .iter()
+        .find_map(|w| w.recovery)
+        .expect("the crash-wave window must carry recovery metrics");
+    assert_eq!(recovery.anchor, 8, "anchored to the crash wave");
+    assert!(recovery.baseline_recall > 0.0);
     for shards in [2, 4] {
-        assert_eq!(reference, run_with(shards), "{shards} shards diverged");
+        let sharded = run_with(shards);
+        assert_eq!(
+            reference.series, sharded.series,
+            "{shards} shards diverged on the time series"
+        );
+        assert_eq!(
+            reference.windows, sharded.windows,
+            "{shards} shards diverged on the windowed aggregates"
+        );
+        assert_eq!(reference, sharded, "{shards} shards diverged");
     }
     let worker = std::path::Path::new(env!("CARGO_BIN_EXE_sim-shard-worker"));
     let multiprocess = Runner::new(&dataset, file.protocol)
@@ -226,7 +282,7 @@ fn cli_runs_the_committed_scenario_identically() {
         .expect("spawn whatsup-sim");
     assert!(out.status.success());
     let out = std::process::Command::new(cli)
-        .arg("check")
+        .args(["check", "--require-recovery"])
         .arg(&report_path)
         .output()
         .expect("spawn whatsup-sim check");
@@ -234,6 +290,49 @@ fn cli_runs_the_committed_scenario_identically() {
         out.status.success(),
         "check rejected the report: {}",
         String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A tampered schema version is rejected with a clean error.
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let skewed = dir.join("skewed.json");
+    std::fs::write(
+        &skewed,
+        text.replace("\"schema_version\": 1", "\"schema_version\": 99"),
+    )
+    .unwrap();
+    let out = std::process::Command::new(cli)
+        .arg("check")
+        .arg(&skewed)
+        .output()
+        .expect("spawn whatsup-sim check");
+    assert!(!out.status.success(), "unknown schema version must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("schema_version 99"),
+        "error must name the version: {stderr}"
+    );
+
+    // The sweep subcommand emits one row per grid cell through the same
+    // Runner path; cells differing only in shard count are identical.
+    let out = std::process::Command::new(cli)
+        .args(["sweep", COMMITTED, "--shards", "1,4", "--fanouts", "4"])
+        .output()
+        .expect("spawn whatsup-sim sweep");
+    assert!(
+        out.status.success(),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let rows: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(rows.len(), 2, "one row per (shards, fanout) cell");
+    let strip = |row: &str| {
+        row.replacen("\"shards\": 1", "", 1)
+            .replacen("\"shards\": 4", "", 1)
+    };
+    assert_eq!(
+        strip(rows[0]),
+        strip(rows[1]),
+        "shard count leaked into a sweep report"
     );
 }
 
@@ -279,6 +378,19 @@ fn composite_scenario_is_bit_identical_across_shard_counts() {
                 event: Event::ResetNode { node: 4 },
             },
         ],
+        measurements: vec![
+            Measurement {
+                name: "partition_heal".into(),
+                window: WindowSpec::Recovery {
+                    anchor: Anchor::PartitionEnd,
+                    baseline: 4,
+                },
+            },
+            Measurement {
+                name: "mass_join_window".into(),
+                window: WindowSpec::Cycles { from: 5, until: 9 },
+            },
+        ],
     };
     let run_with = |shards: usize| {
         Runner::new(&dataset, Protocol::WhatsUp { f_like: 4 })
@@ -293,6 +405,14 @@ fn composite_scenario_is_bit_identical_across_shard_counts() {
         dataset.n_users() + 4,
         "3 mass + 1 event join"
     );
+    assert_eq!(reference.windows.len(), 2);
+    assert_eq!(
+        reference.windows[0].from, 10,
+        "recovery window anchored to the partition healing"
+    );
+    // The mass join at cycle 5 is visible in the series' population track.
+    let live = |c: u32| reference.series.get(c).unwrap().live_nodes;
+    assert_eq!(live(5), live(4) + 3);
     for shards in [2, 3] {
         assert_eq!(reference, run_with(shards), "{shards} shards diverged");
     }
