@@ -62,7 +62,7 @@ pub mod prelude {
     pub use crate::hash::fnv1a64;
     pub use crate::item::{ItemHeader, ItemId, NewsItem, Timestamp};
     pub use crate::message::{NewsMessage, OutMessage, Payload};
-    pub use crate::node::{NodeStats, Opinions, WhatsUpNode};
+    pub use crate::node::{NodeState, NodeStats, Opinions, WhatsUpNode};
     pub use crate::obfuscation::Obfuscation;
     pub use crate::params::Params;
     pub use crate::profile::{Profile, ProfileEntry, Score, SharedProfile};

@@ -20,7 +20,7 @@ use crate::item::{ItemId, NewsItem, Timestamp};
 use crate::message::{NewsMessage, OutMessage, Payload};
 use crate::obfuscation::Obfuscation;
 use crate::params::Params;
-use crate::profile::{Profile, SharedProfile};
+use crate::profile::{Profile, ProfileEntry, SharedProfile};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -62,6 +62,25 @@ impl NodeStats {
     pub fn total_sent(&self) -> u64 {
         self.rps_sent + self.wup_sent + self.news_sent
     }
+}
+
+/// Everything a [`WhatsUpNode`] remembers, in a canonical serializable
+/// shape: checkpoint support for the simulator's worker supervision (and
+/// any future migration of live nodes). Produced by
+/// [`WhatsUpNode::export_state`], consumed by [`WhatsUpNode::from_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeState {
+    /// True profile entries, ascending item-id order (the [`Profile`]
+    /// invariant).
+    pub profile: Vec<ProfileEntry>,
+    /// RPS view entries in live iteration order, ages preserved.
+    pub rps_view: Vec<Descriptor<SharedProfile>>,
+    /// WUP view entries in live iteration order, ages preserved.
+    pub wup_view: Vec<Descriptor<SharedProfile>>,
+    /// Item ids already received, ascending (canonicalized from the live
+    /// hash set so identical nodes export identical states).
+    pub seen: Vec<ItemId>,
+    pub stats: NodeStats,
 }
 
 /// The per-user WhatsUp protocol stack.
@@ -218,6 +237,41 @@ impl WhatsUpNode {
             rps_view: self.rps.view().entries().to_vec(),
             wup_view: self.wup.view().entries().to_vec(),
         }
+    }
+
+    /// Full behavioral state of this node, for checkpointing. Everything
+    /// *not* captured here — the obfuscation secret, the memoized
+    /// disclosed-profile snapshot — is a pure function of `(id, params,
+    /// profile)` and is rebuilt by [`WhatsUpNode::from_state`].
+    pub fn export_state(&self) -> NodeState {
+        let mut seen: Vec<ItemId> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        NodeState {
+            profile: self.profile.entries().to_vec(),
+            rps_view: self.rps.view().entries().to_vec(),
+            wup_view: self.wup.view().entries().to_vec(),
+            seen,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a node from an exported state, bit-exactly: the view entry
+    /// *order* is preserved (views append while under capacity, and a
+    /// checkpointed view never exceeds its capacity or contains the owner),
+    /// descriptor ages are kept as captured, and the profile norm is
+    /// recomputed from the exact same entries. A restored node is
+    /// behaviorally indistinguishable from the one that was exported.
+    ///
+    /// # Panics
+    /// Panics if `params` violates the Table II invariants.
+    pub fn from_state(id: NodeId, params: Params, state: NodeState) -> Self {
+        let mut node = Self::new(id, params);
+        node.profile = Profile::from_entries(state.profile);
+        node.rps.seed(state.rps_view);
+        node.wup.seed(state.wup_view);
+        node.seen = state.seen.into_iter().collect();
+        node.stats = state.stats;
+        node
     }
 
     /// One gossip cycle (§II): purge the profile window, then initiate one

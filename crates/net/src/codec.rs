@@ -264,7 +264,11 @@ pub fn get_descriptors(buf: &mut &[u8]) -> Result<Vec<Descriptor<SharedProfile>>
     Ok(descriptors)
 }
 
-fn put_profile(buf: &mut BytesMut, p: &Profile) {
+/// Serializes one profile (`len:u16 (item:u64 timestamp:u32 score:f32)*`).
+/// Exposed alongside [`put_descriptors`] so the simulator's shard
+/// checkpoints reuse the gossip wire encoding (f32 scores round-trip
+/// bit-exactly).
+pub fn put_profile(buf: &mut BytesMut, p: &Profile) {
     buf.put_u16_le(p.len() as u16);
     for e in p.entries() {
         buf.put_u64_le(e.item);
@@ -363,7 +367,8 @@ pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
     }
 }
 
-fn get_profile(buf: &mut &[u8]) -> Result<Profile, DecodeError> {
+/// Inverse of [`put_profile`].
+pub fn get_profile(buf: &mut &[u8]) -> Result<Profile, DecodeError> {
     if buf.remaining() < 2 {
         return Err(DecodeError::Truncated);
     }

@@ -4,6 +4,7 @@
 //! whatsup-sim run <scenario.json> [--out <report.json>] [--shards N]
 //!                 [--multiprocess <sim-shard-worker path>]
 //!                 [--transport socket --workers host:port,…]
+//!                 [--supervise [--max-restarts N] [--checkpoint-every C]]
 //! whatsup-sim sweep <scenario.json> [--shards N,N,…] [--fanouts F,F,…]
 //!                   [--out <rows.jsonl>]
 //! whatsup-sim check <report.json> [--require-recovery]
@@ -20,7 +21,16 @@
 //!   child-process and socket transports. `--transport socket` dials
 //!   already-running `sim-shard-worker --listen` processes, one address
 //!   per shard, in shard order — start the workers first, then the driver
-//!   (see the engine module docs' "distributed topology" section).
+//!   (see the engine module docs' "distributed topology" section). With an
+//!   explicit `--shards N`, N must equal the worker count — a mismatch is
+//!   a usage error caught before any dialing. `--supervise` (external
+//!   transports only) turns worker crashes and hangs into checkpoint/replay
+//!   recoveries: every `--checkpoint-every` cycles (default 5) each shard's
+//!   state is snapshotted, and a failed worker is restarted — respawned
+//!   child, or redialed address once a replacement listener takes it over —
+//!   up to `--max-restarts` times per shard (default 3), with the run's
+//!   report staying bit-identical to an undisturbed one (see the engine
+//!   module docs' "supervision & recovery" section).
 //! * `sweep` runs the scenario file across a `--shards` × `--fanouts`
 //!   grid through the same Runner path, emitting one JSON row per cell
 //!   (JSON Lines: `{"shards": …, "fanout": …, "report": …}`). Omitting
@@ -36,13 +46,16 @@
 
 use std::process::ExitCode;
 use whatsup_sim::sweep::scenario_grid_sweep;
-use whatsup_sim::{Runner, ScenarioFile, Transport, REPORT_SCHEMA_VERSION, SERIES_COLUMNS};
+use whatsup_sim::{
+    Runner, ScenarioFile, Supervision, Transport, REPORT_SCHEMA_VERSION, SERIES_COLUMNS,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  whatsup-sim run <scenario.json> [--out <report.json>] [--shards N] \
          [--multiprocess <worker>] [--transport in-process|process|socket] \
-         [--workers host:port,...]\n  whatsup-sim sweep <scenario.json> [--shards N,N,...] \
+         [--workers host:port,...] [--supervise [--max-restarts N] [--checkpoint-every C]]\n  \
+         whatsup-sim sweep <scenario.json> [--shards N,N,...] \
          [--fanouts F,F,...] [--out <rows.jsonl>]\n  whatsup-sim check <report.json> \
          [--require-recovery]\n  whatsup-sim echo <scenario.json>"
     );
@@ -101,15 +114,22 @@ fn resolve_transport(
             if worker.is_some() {
                 return Err("--multiprocess conflicts with --transport socket".into());
             }
-            if shards.is_some() {
-                return Err(
-                    "--shards conflicts with --transport socket (the shard count is the \
-                     worker count)"
-                        .into(),
-                );
-            }
             let list = workers.ok_or("--transport socket needs --workers host:port,...")?;
-            Ok(Transport::Socket(Transport::parse_workers(&list)?))
+            let list = Transport::parse_workers(&list)?;
+            // The shard count *is* the worker count on the socket
+            // transport; an explicit --shards must agree. Caught here, so
+            // a mismatched invocation fails before any worker is dialed.
+            if let Some(n) = shards {
+                if n != list.len() {
+                    return Err(format!(
+                        "--shards {n} does not match the {} --workers address(es) — on \
+                         --transport socket the shard count is the worker count (drop \
+                         --shards or pass one address per shard)",
+                        list.len()
+                    ));
+                }
+            }
+            Ok(Transport::Socket(list))
         }
         other => Err(format!(
             "unknown transport '{other}' (expected in-process, process or socket)"
@@ -263,6 +283,9 @@ fn run(args: &[String]) -> ExitCode {
     let mut worker = None;
     let mut transport_kind = None;
     let mut workers = None;
+    let mut supervise = false;
+    let mut max_restarts = None;
+    let mut checkpoint_every = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -286,6 +309,15 @@ fn run(args: &[String]) -> ExitCode {
                 Some(v) if !v.starts_with("--") => workers = Some(v.clone()),
                 _ => return usage(),
             },
+            "--supervise" => supervise = true,
+            "--max-restarts" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => max_restarts = Some(n),
+                None => return usage(),
+            },
+            "--checkpoint-every" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n > 0 => checkpoint_every = Some(n),
+                _ => return usage(),
+            },
             flag if flag.starts_with("--") => return usage(),
             _ if path.is_none() => path = Some(arg.clone()),
             _ => return usage(),
@@ -296,6 +328,19 @@ fn run(args: &[String]) -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail("invalid transport", e),
     };
+    if (max_restarts.is_some() || checkpoint_every.is_some()) && !supervise {
+        return fail(
+            "invalid transport",
+            "--max-restarts/--checkpoint-every need --supervise",
+        );
+    }
+    if supervise && transport == Transport::InProcess {
+        return fail(
+            "invalid transport",
+            "--supervise needs an external transport (--multiprocess or --transport socket) — \
+             in-process shards have no workers to restart",
+        );
+    }
     let (file, dataset) = match load_for_run(&path) {
         Ok(loaded) => loaded,
         Err(e) => return fail("invalid scenario", e),
@@ -304,6 +349,13 @@ fn run(args: &[String]) -> ExitCode {
         .config(file.config.clone())
         .scenario(file.scenario.clone())
         .transport(transport);
+    if supervise {
+        let defaults = Supervision::default();
+        runner = runner.supervised(
+            max_restarts.unwrap_or(defaults.max_restarts),
+            checkpoint_every.unwrap_or(defaults.checkpoint_every),
+        );
+    }
     if let Some(n) = shards {
         runner = runner.shards(n);
     }

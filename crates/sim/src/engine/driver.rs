@@ -12,7 +12,7 @@
 use crate::config::{Protocol, SimConfig};
 use crate::engine::exchange::{
     Command, NewsOutcome, Outbound, ProcessTransport, Reply, ShardTransport, SocketTransport,
-    TransportError,
+    SupervisedTransport, Supervision, TransportError,
 };
 use crate::engine::partition::Partition;
 use crate::engine::shard::{self, ShardInit, ShardState};
@@ -480,6 +480,10 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) -> Result<(), T
         }
         core.series.push(stats);
     }
+    // Cycle boundary: mailboxes are provably drained here, which is what
+    // lets the supervised transports checkpoint shard state without any
+    // in-flight mail (plain transports no-op).
+    t.cycle_boundary(cycle)?;
     core.cycle += 1;
     Ok(())
 }
@@ -676,24 +680,41 @@ impl Simulation {
         worker: &Path,
     ) -> io::Result<SimReport> {
         let scenario = Scenario::from_config(&cfg);
-        Self::run_multiprocess_scenario(dataset, protocol, cfg, scenario, worker)
+        Self::run_multiprocess_scenario(dataset, protocol, cfg, scenario, worker, None)
     }
 
     /// [`Simulation::run_multiprocess`] under an explicit scenario. Events
     /// flow to the workers as phase commands, so the full scenario grammar
-    /// works across process boundaries.
+    /// works across process boundaries. With `supervision`, crashed
+    /// children are respawned and recovered by checkpoint/replay instead
+    /// of failing the run (see [`SupervisedTransport`]).
     pub(crate) fn run_multiprocess_scenario(
         dataset: &Dataset,
         protocol: Protocol,
         cfg: SimConfig,
         scenario: Scenario,
         worker: &Path,
+        supervision: Option<Supervision>,
     ) -> io::Result<SimReport> {
         let (mut core, inits) = build(dataset, protocol, cfg, scenario);
         // On any error, dropping the transport stops + reaps the children.
-        let mut transport = ProcessTransport::spawn(worker, &inits)?;
-        drive(&mut core, &mut transport)?;
-        transport.shutdown()?;
+        let transport = ProcessTransport::spawn(worker, &inits)?;
+        match supervision {
+            None => {
+                let mut t = transport;
+                drive(&mut core, &mut t)?;
+                t.shutdown()?;
+            }
+            Some(sup) => {
+                let mut t = SupervisedTransport::new(transport, sup);
+                drive(&mut core, &mut t)?;
+                let restarts = t.restarts_used();
+                t.shutdown()?;
+                if restarts > 0 {
+                    eprintln!("supervisor: recovered {restarts} worker restart(s)");
+                }
+            }
+        }
         Ok(core.into_report())
     }
 
@@ -709,16 +730,20 @@ impl Simulation {
         workers: &[String],
     ) -> io::Result<SimReport> {
         let scenario = Scenario::from_config(&cfg);
-        Self::run_socket_scenario(dataset, protocol, cfg, scenario, workers)
+        Self::run_socket_scenario(dataset, protocol, cfg, scenario, workers, None)
     }
 
-    /// [`Simulation::run_socket`] under an explicit scenario.
+    /// [`Simulation::run_socket`] under an explicit scenario. With
+    /// `supervision`, crashed or hung workers are redialed (a replacement
+    /// listener must take over the address) and recovered by
+    /// checkpoint/replay instead of failing the run.
     pub(crate) fn run_socket_scenario(
         dataset: &Dataset,
         protocol: Protocol,
         mut cfg: SimConfig,
         scenario: Scenario,
         workers: &[String],
+        supervision: Option<Supervision>,
     ) -> io::Result<SimReport> {
         if workers.is_empty() {
             return Err(io::Error::other(
@@ -736,9 +761,23 @@ impl Simulation {
         let (mut core, inits) = build(dataset, protocol, cfg, scenario);
         // On any error, dropping the transport sends Stop and closes the
         // connections, so the remote workers exit instead of lingering.
-        let mut transport = SocketTransport::connect(workers, &inits)?;
-        drive(&mut core, &mut transport)?;
-        transport.shutdown()?;
+        match supervision {
+            None => {
+                let mut t = SocketTransport::connect(workers, &inits)?;
+                drive(&mut core, &mut t)?;
+                t.shutdown()?;
+            }
+            Some(sup) => {
+                let socket = SocketTransport::connect_with(workers, &inits, sup.dial_window)?;
+                let mut t = SupervisedTransport::new(socket, sup);
+                drive(&mut core, &mut t)?;
+                let restarts = t.restarts_used();
+                t.shutdown()?;
+                if restarts > 0 {
+                    eprintln!("supervisor: recovered {restarts} worker restart(s)");
+                }
+            }
+        }
         Ok(core.into_report())
     }
 

@@ -29,10 +29,12 @@
 pub mod process;
 pub mod socket;
 pub mod stream;
+pub mod supervisor;
 
 pub use process::ProcessTransport;
 pub use socket::SocketTransport;
 pub use stream::{read_frame, write_frame};
+pub use supervisor::{SupervisedTransport, Supervision};
 
 use crate::engine::partition::Partition;
 use crate::engine::shard::ShardInit;
@@ -72,6 +74,24 @@ pub enum TransportErrorKind {
     HandshakeVersion { got: u16, want: u16 },
     /// A worker process exited with a failure status.
     WorkerExit(String),
+}
+
+impl TransportErrorKind {
+    /// Whether a supervisor may retry the conversation with a fresh
+    /// worker. I/O failures (crashes, timeouts, torn frames) and worker
+    /// exits are environmental — a respawned or redialed worker can
+    /// succeed. Handshake failures are *configuration* errors: the peer is
+    /// not a shard worker, or speaks a different protocol version, and a
+    /// restarted peer would fail identically — restart-looping it would
+    /// mask a version-skewed deployment instead of reporting it.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            TransportErrorKind::Io(_) | TransportErrorKind::WorkerExit(_) => true,
+            TransportErrorKind::HandshakeMagic | TransportErrorKind::HandshakeVersion { .. } => {
+                false
+            }
+        }
+    }
 }
 
 impl TransportError {
@@ -167,6 +187,14 @@ pub enum Command {
     /// Drain-and-reset the shard's per-cycle measurement counters (end of
     /// cycle; see the engine module docs' "measurement pipeline" section).
     TakeCycleCounters,
+    /// Serialize the shard's full state (issued at a cycle boundary, where
+    /// the mailboxes are provably empty). Answered with
+    /// [`Reply::Checkpoint`].
+    TakeCheckpoint,
+    /// Replace the shard's state with a previously taken checkpoint frame
+    /// (recovery path; the worker was freshly handshaken with its original
+    /// init before this arrives). Answered with [`Reply::Ack`].
+    Restore { frame: Bytes },
     /// Exit the serve loop.
     Stop,
 }
@@ -236,6 +264,10 @@ pub enum Reply {
     /// only the shard's owned range; the driver's fold across shards (in
     /// shard-index order) yields the population total.
     CycleCounters(CycleStats),
+    /// The shard's serialized state (see
+    /// [`crate::engine::shard::ShardState::encode_checkpoint`] for the
+    /// frame layout).
+    Checkpoint(Bytes),
 }
 
 /// Moves command/reply frames between the driver and the shard workers.
@@ -243,10 +275,22 @@ pub enum Reply {
 /// A batch sends at most one command per shard; replies come back in batch
 /// order. Implementations must preserve per-shard FIFO ordering. A failed
 /// round-trip leaves the transport in an unspecified state: the driver
-/// must abandon the run (dropping the transport tears the workers down).
+/// must abandon the run (dropping the transport tears the workers down) —
+/// unless the transport is a [`SupervisedTransport`], which recovers the
+/// failed shard internally and only fails after exhausting its restart
+/// budget.
 pub trait ShardTransport {
     fn n_shards(&self) -> usize;
     fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Result<Vec<Reply>, TransportError>;
+
+    /// Hook the driver calls once per completed cycle, after the cycle's
+    /// last round-trip. Plain transports ignore it; the supervised wrapper
+    /// uses it to checkpoint shards on its configured cadence (a cycle
+    /// boundary is the one point where every mailbox is provably empty).
+    fn cycle_boundary(&mut self, completed_cycle: u32) -> Result<(), TransportError> {
+        let _ = completed_cycle;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -290,7 +334,7 @@ fn get_bundle_list(buf: &mut &[u8]) -> Vec<Bytes> {
     (0..n).map(|_| get_bytes(buf)).collect()
 }
 
-fn put_news_item(buf: &mut BytesMut, item: &NewsItem) {
+pub(crate) fn put_news_item(buf: &mut BytesMut, item: &NewsItem) {
     put_str(buf, &item.title);
     put_str(buf, &item.description);
     put_str(buf, &item.link);
@@ -298,7 +342,7 @@ fn put_news_item(buf: &mut BytesMut, item: &NewsItem) {
     buf.put_u32_le(item.created_at);
 }
 
-fn get_news_item(buf: &mut &[u8]) -> NewsItem {
+pub(crate) fn get_news_item(buf: &mut &[u8]) -> NewsItem {
     let title = get_str(buf);
     let description = get_str(buf);
     let link = get_str(buf);
@@ -344,6 +388,8 @@ const CMD_STOP: u8 = 9;
 const CMD_ADMIT: u8 = 10;
 const CMD_SWAP_INTERESTS: u8 = 11;
 const CMD_TAKE_CYCLE_COUNTERS: u8 = 12;
+const CMD_TAKE_CHECKPOINT: u8 = 13;
+const CMD_RESTORE: u8 = 14;
 
 pub fn encode_command(cmd: &Command) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(64);
@@ -409,6 +455,11 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             buf.put_u32_le(*b);
         }
         Command::TakeCycleCounters => buf.put_u8(CMD_TAKE_CYCLE_COUNTERS),
+        Command::TakeCheckpoint => buf.put_u8(CMD_TAKE_CHECKPOINT),
+        Command::Restore { frame } => {
+            buf.put_u8(CMD_RESTORE);
+            put_bytes(&mut buf, frame);
+        }
         Command::Stop => buf.put_u8(CMD_STOP),
     }
     Vec::from(buf)
@@ -468,6 +519,10 @@ pub fn decode_command(mut frame: &[u8]) -> Command {
             b: buf.get_u32_le(),
         },
         CMD_TAKE_CYCLE_COUNTERS => Command::TakeCycleCounters,
+        CMD_TAKE_CHECKPOINT => Command::TakeCheckpoint,
+        CMD_RESTORE => Command::Restore {
+            frame: get_bytes(buf),
+        },
         CMD_STOP => Command::Stop,
         other => panic!("unknown command opcode {other}"),
     }
@@ -480,6 +535,7 @@ const REP_ACK: u8 = 4;
 const REP_PUBLISHED: u8 = 5;
 const REP_NEWS: u8 = 6;
 const REP_CYCLE_COUNTERS: u8 = 7;
+const REP_CHECKPOINT: u8 = 8;
 
 fn put_outbound(buf: &mut BytesMut, out: &Outbound) {
     buf.put_u64_le(out.sent);
@@ -552,13 +608,17 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             buf.put_u8(REP_CYCLE_COUNTERS);
             put_cycle_stats(&mut buf, stats);
         }
+        Reply::Checkpoint(frame) => {
+            buf.put_u8(REP_CHECKPOINT);
+            put_bytes(&mut buf, frame);
+        }
     }
     Vec::from(buf)
 }
 
 /// Wire form of one shard's per-cycle counter frame: seven `u64`s in the
 /// field order of [`CycleStats`].
-fn put_cycle_stats(buf: &mut BytesMut, stats: &CycleStats) {
+pub(crate) fn put_cycle_stats(buf: &mut BytesMut, stats: &CycleStats) {
     buf.put_u64_le(stats.first_receptions);
     buf.put_u64_le(stats.hits);
     buf.put_u64_le(stats.interested);
@@ -568,7 +628,7 @@ fn put_cycle_stats(buf: &mut BytesMut, stats: &CycleStats) {
     buf.put_u64_le(stats.crashed);
 }
 
-fn get_cycle_stats(buf: &mut &[u8]) -> CycleStats {
+pub(crate) fn get_cycle_stats(buf: &mut &[u8]) -> CycleStats {
     CycleStats {
         first_receptions: buf.get_u64_le(),
         hits: buf.get_u64_le(),
@@ -631,6 +691,7 @@ pub fn decode_reply(mut frame: &[u8]) -> Reply {
             Reply::NewsDelivered { out, outcomes }
         }
         REP_CYCLE_COUNTERS => Reply::CycleCounters(get_cycle_stats(buf)),
+        REP_CHECKPOINT => Reply::Checkpoint(get_bytes(buf)),
         other => panic!("unknown reply opcode {other}"),
     }
 }
@@ -805,7 +866,7 @@ fn get_churn_model(buf: &mut &[u8]) -> ChurnModel {
     }
 }
 
-fn put_oracle(buf: &mut BytesMut, oracle: &Oracle) {
+pub(crate) fn put_oracle(buf: &mut BytesMut, oracle: &Oracle) {
     let m = oracle.matrix();
     buf.put_u32_le(m.n_users() as u32);
     buf.put_u32_le(m.n_items() as u32);
@@ -827,7 +888,7 @@ fn put_oracle(buf: &mut BytesMut, oracle: &Oracle) {
     }
 }
 
-fn get_oracle(buf: &mut &[u8]) -> Oracle {
+pub(crate) fn get_oracle(buf: &mut &[u8]) -> Oracle {
     let n_users = buf.get_u32_le() as usize;
     let n_items = buf.get_u32_le() as usize;
     let n_words = buf.get_u32_le() as usize;
@@ -995,6 +1056,10 @@ mod tests {
             },
             Command::SwapInterests { a: 3, b: 17 },
             Command::TakeCycleCounters,
+            Command::TakeCheckpoint,
+            Command::Restore {
+                frame: Bytes::copy_from_slice(b"checkpointed state"),
+            },
             Command::Stop,
         ];
         for cmd in cmds {
@@ -1054,6 +1119,7 @@ mod tests {
                 live_nodes: 50,
                 crashed: 3,
             }),
+            Reply::Checkpoint(Bytes::copy_from_slice(b"shard state frame")),
         ];
         for reply in replies {
             assert_eq!(decode_reply(&encode_reply(&reply)), reply);

@@ -6,17 +6,26 @@
 //! (spawn failures after the first child, a failed round-trip, a driver
 //! panic) with a best-effort `Stop`, then `kill` + `wait` so an aborted
 //! multiprocess run cannot leave zombie workers behind.
+//!
+//! The transport keeps the worker binary path and every shard's original
+//! init, so the supervision layer ([`super::SupervisedTransport`]) can
+//! respawn a crashed child through [`ShardLink::restart`]: kill + reap the
+//! old process, spawn a replacement, re-run the bootstrap handshake.
+//! Pipes cannot arm read deadlines, so `set_deadline` is a no-op here — a
+//! crashed child surfaces promptly as EOF instead.
 
 use super::stream::{check_hello, encode_handshake, HANDSHAKE_TIMEOUT};
+use super::supervisor::ShardLink;
 use super::{
     decode_reply, encode_command, read_frame, write_frame, Command, Reply, ShardTransport,
     TransportError, TransportErrorKind,
 };
 use crate::engine::shard::ShardInit;
 use std::io::BufReader;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, ChildStdout, Stdio};
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// The human-readable name of one worker child, used in every error.
 fn worker_endpoint(pid: u32, shard: usize) -> String {
@@ -24,6 +33,10 @@ fn worker_endpoint(pid: u32, shard: usize) -> String {
 }
 
 pub struct ProcessTransport {
+    /// The worker binary, kept for supervised respawns.
+    worker: PathBuf,
+    /// Every shard's original init, re-sent in the handshake on respawn.
+    inits: Vec<ShardInit>,
     children: Vec<Child>,
     stdins: Vec<ChildStdin>,
     stdouts: Vec<BufReader<ChildStdout>>,
@@ -32,80 +45,94 @@ pub struct ProcessTransport {
     stopped: bool,
 }
 
+/// Reads and validates a just-spawned child's hello, bounded by
+/// [`HANDSHAKE_TIMEOUT`]. Pipes cannot arm read timeouts, so the read runs
+/// on a watchdog thread: on timeout the child is killed (not a shard
+/// worker — e.g. a binary that never speaks), which unblocks the reader
+/// thread with an EOF and lets it exit. Returns the stdout reader for the
+/// command/reply phase.
+fn read_hello_bounded(
+    endpoint: &str,
+    child: &mut Child,
+    mut stdout: BufReader<ChildStdout>,
+) -> Result<BufReader<ChildStdout>, TransportError> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let hello = read_frame(&mut stdout);
+        let _ = tx.send((hello, stdout));
+    });
+    match rx.recv_timeout(HANDSHAKE_TIMEOUT) {
+        Ok((hello, stdout)) => {
+            check_hello(endpoint, hello)?;
+            Ok(stdout)
+        }
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(TransportError::io(
+                endpoint,
+                std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "no hello within {HANDSHAKE_TIMEOUT:?} — \
+                         is this a sim-shard-worker binary?"
+                    ),
+                ),
+            ))
+        }
+    }
+}
+
+/// Spawns one worker child and runs the bootstrap handshake with it. The
+/// child is killed and reaped on any failure, so the caller never inherits
+/// a half-handshaken process.
+fn spawn_worker(
+    worker: &Path,
+    init: &ShardInit,
+) -> Result<(Child, ChildStdin, BufReader<ChildStdout>), TransportError> {
+    let mut child = std::process::Command::new(worker)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| TransportError::io(format!("spawn {}", worker.display()), e))?;
+    let endpoint = worker_endpoint(child.id(), init.index);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let stdout = read_hello_bounded(&endpoint, &mut child, stdout)?;
+    if let Err(e) = write_frame(&mut stdin, &encode_handshake(init)) {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(TransportError::io(&*endpoint, e));
+    }
+    Ok((child, stdin, stdout))
+}
+
 impl ProcessTransport {
     /// Spawns one worker per init and runs the bootstrap handshake with
     /// each (see [`super::stream`]). On failure, the children spawned so
     /// far are killed and reaped before returning.
     pub fn spawn(worker: &Path, inits: &[ShardInit]) -> Result<Self, TransportError> {
         let mut t = Self {
+            worker: worker.to_path_buf(),
+            inits: inits.to_vec(),
             children: Vec::with_capacity(inits.len()),
             stdins: Vec::with_capacity(inits.len()),
             stdouts: Vec::with_capacity(inits.len()),
             stopped: false,
         };
         for init in inits {
-            let mut child = std::process::Command::new(worker)
-                .stdin(Stdio::piped())
-                .stdout(Stdio::piped())
-                .stderr(Stdio::inherit())
-                .spawn()
-                .map_err(|e| TransportError::io(format!("spawn {}", worker.display()), e))?;
-            let endpoint = worker_endpoint(child.id(), init.index);
-            let mut stdin = child.stdin.take().expect("piped stdin");
-            let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-            // Register before handshaking: if the handshake fails, Drop
-            // still reaps this child along with the earlier ones.
+            // Failures propagate after the partial registration below, so
+            // Drop reaps the children spawned so far.
+            let (child, stdin, stdout) = spawn_worker(worker, init)?;
             t.children.push(child);
-            let stdout = t.read_hello_bounded(&endpoint, stdout)?;
-            write_frame(&mut stdin, &encode_handshake(init))
-                .map_err(|e| TransportError::io(&*endpoint, e))?;
             t.stdins.push(stdin);
             t.stdouts.push(stdout);
         }
         Ok(t)
     }
 
-    /// Reads and validates the just-spawned child's hello (the child is
-    /// the last entry of `self.children`), bounded by
-    /// [`HANDSHAKE_TIMEOUT`]. Pipes cannot arm read timeouts, so the read
-    /// runs on a watchdog thread: on timeout the child is killed (not a
-    /// shard worker — e.g. a binary that never speaks), which unblocks
-    /// the reader thread with an EOF and lets it exit. Returns the stdout
-    /// reader for the command/reply phase.
-    fn read_hello_bounded(
-        &mut self,
-        endpoint: &str,
-        mut stdout: BufReader<ChildStdout>,
-    ) -> Result<BufReader<ChildStdout>, TransportError> {
-        let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
-            let hello = read_frame(&mut stdout);
-            let _ = tx.send((hello, stdout));
-        });
-        match rx.recv_timeout(HANDSHAKE_TIMEOUT) {
-            Ok((hello, stdout)) => {
-                check_hello(endpoint, hello)?;
-                Ok(stdout)
-            }
-            Err(_) => {
-                let child = self.children.last_mut().expect("child just pushed");
-                let _ = child.kill();
-                let _ = child.wait();
-                Err(TransportError::io(
-                    endpoint,
-                    std::io::Error::new(
-                        std::io::ErrorKind::TimedOut,
-                        format!(
-                            "no hello within {HANDSHAKE_TIMEOUT:?} — \
-                             is this a sim-shard-worker binary?"
-                        ),
-                    ),
-                ))
-            }
-        }
-    }
-
-    fn endpoint(&self, shard: usize) -> String {
+    fn endpoint_of(&self, shard: usize) -> String {
         worker_endpoint(self.children[shard].id(), shard)
     }
 
@@ -164,6 +191,49 @@ impl Drop for ProcessTransport {
     }
 }
 
+impl ShardLink for ProcessTransport {
+    fn n_shards(&self) -> usize {
+        self.children.len()
+    }
+
+    fn endpoint(&self, shard: usize) -> String {
+        self.endpoint_of(shard)
+    }
+
+    fn send(&mut self, shard: usize, frame: &[u8]) -> Result<(), TransportError> {
+        write_frame(&mut self.stdins[shard], frame)
+            .map_err(|e| TransportError::io(self.endpoint_of(shard), e))
+    }
+
+    fn recv(&mut self, shard: usize) -> Result<Vec<u8>, TransportError> {
+        read_frame(&mut self.stdouts[shard])
+            .map_err(|e| TransportError::io(self.endpoint_of(shard), e))?
+            .ok_or_else(|| {
+                TransportError::closed(self.endpoint_of(shard), "worker exited mid-phase")
+            })
+    }
+
+    fn restart(&mut self, shard: usize) -> Result<(), TransportError> {
+        // Reap the old child first (it may already be gone — ignore
+        // errors) so a respawn loop cannot accumulate zombies.
+        let _ = self.children[shard].kill();
+        let _ = self.children[shard].wait();
+        let (child, stdin, stdout) = spawn_worker(&self.worker, &self.inits[shard])?;
+        self.children[shard] = child;
+        self.stdins[shard] = stdin;
+        self.stdouts[shard] = stdout;
+        Ok(())
+    }
+
+    /// Pipes cannot arm read/write deadlines; hang detection is
+    /// socket-only. A dead child still unblocks reads with EOF.
+    fn set_deadline(&mut self, _deadline: Option<Duration>) {}
+
+    fn shutdown(self) -> Result<(), TransportError> {
+        ProcessTransport::shutdown(self)
+    }
+}
+
 impl ShardTransport for ProcessTransport {
     fn n_shards(&self) -> usize {
         self.children.len()
@@ -172,19 +242,11 @@ impl ShardTransport for ProcessTransport {
     fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Result<Vec<Reply>, TransportError> {
         let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
         for (s, cmd) in &batch {
-            write_frame(&mut self.stdins[*s], &encode_command(cmd))
-                .map_err(|e| TransportError::io(self.endpoint(*s), e))?;
+            ShardLink::send(self, *s, &encode_command(cmd))?;
         }
         targets
             .into_iter()
-            .map(|s| {
-                let frame = read_frame(&mut self.stdouts[s])
-                    .map_err(|e| TransportError::io(self.endpoint(s), e))?
-                    .ok_or_else(|| {
-                        TransportError::closed(self.endpoint(s), "worker exited mid-phase")
-                    })?;
-                Ok(decode_reply(&frame))
-            })
+            .map(|s| Ok(decode_reply(&ShardLink::recv(self, s)?)))
             .collect()
     }
 }

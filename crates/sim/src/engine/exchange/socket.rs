@@ -3,16 +3,27 @@
 //! transport uses. This is what lets shard workers live on other machines:
 //! the bundle payloads already are the `whatsup-net` wire codec.
 //!
-//! Launch order is *workers first, then driver*: each worker binds, prints
-//! its address, and blocks in accept; the driver dials every address,
-//! runs the versioned bootstrap handshake (see [`super::stream`]) and
-//! assigns shard `k` to the `k`-th worker address. Dialing and the
-//! handshake are guarded by [`CONNECT_TIMEOUT`]/[`HANDSHAKE_TIMEOUT`], so
-//! a worker that is down, unreachable, or speaks a different protocol
-//! version surfaces as a typed [`TransportError`] naming the address — a
-//! run never hangs on bootstrap and never panics on a foreign greeting.
+//! Launch order is *workers first, then driver* — but only loosely: each
+//! worker binds, prints its address, and blocks in accept, while the
+//! driver retries refused/unreachable dials over [`DIAL_RETRY_WINDOW`]
+//! (configurable via [`SocketTransport::connect_with`]), so a worker that
+//! comes up a moment after the driver still gets its shard. Dialing and
+//! the handshake are guarded by [`CONNECT_TIMEOUT`]/[`HANDSHAKE_TIMEOUT`],
+//! so a worker that stays down, is unreachable, or speaks a different
+//! protocol version surfaces as a typed [`TransportError`] naming the
+//! address — a run never hangs on bootstrap and never panics on a foreign
+//! greeting.
+//!
+//! The transport keeps every shard's original init and the dial window, so
+//! the supervision layer ([`super::SupervisedTransport`]) can redial a
+//! crashed worker's address through [`ShardLink::restart`] and re-run the
+//! handshake with a replacement listener. Hang detection is armed through
+//! [`ShardLink::set_deadline`]: a per-read/write deadline on every
+//! conversation, so a wedged worker surfaces as a timed-out (retryable)
+//! I/O error instead of blocking the driver forever.
 
 use super::stream::{drive_handshake, CONNECT_TIMEOUT, HANDSHAKE_TIMEOUT};
+use super::supervisor::ShardLink;
 use super::{
     decode_reply, encode_command, read_frame, write_frame, Command, Reply, ShardTransport,
     TransportError,
@@ -20,13 +31,25 @@ use super::{
 use crate::engine::shard::ShardInit;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Default window over which an initial dial (or a supervised redial) is
+/// retried before failing. Covers the workers-come-up-late race without
+/// making a genuinely-down worker slow to diagnose.
+pub const DIAL_RETRY_WINDOW: Duration = Duration::from_secs(3);
 
 pub struct SocketTransport {
     /// One worker address per shard, as given by the caller (named in
     /// errors).
     endpoints: Vec<String>,
+    /// Every shard's original init, re-sent in the handshake on redial.
+    inits: Vec<ShardInit>,
     readers: Vec<BufReader<TcpStream>>,
     writers: Vec<BufWriter<TcpStream>>,
+    /// Per-read/write hang deadline; `None` (unsupervised) blocks freely.
+    deadline: Option<Duration>,
+    /// Retry window for dials, shared by bootstrap and redials.
+    dial_window: Duration,
     /// Set by [`SocketTransport::shutdown`] so [`Drop`] skips the
     /// best-effort teardown after a graceful one.
     stopped: bool,
@@ -35,7 +58,7 @@ pub struct SocketTransport {
 /// Dials `addr` with [`CONNECT_TIMEOUT`], trying every resolved socket
 /// address in order (like `TcpStream::connect`, which has no timeout
 /// variant) — `localhost` may resolve to `::1` before `127.0.0.1`.
-fn dial(addr: &str) -> Result<TcpStream, TransportError> {
+fn dial_once(addr: &str) -> Result<TcpStream, TransportError> {
     let resolved: Vec<SocketAddr> = addr
         .to_socket_addrs()
         .map_err(|e| TransportError::io(addr, e))?
@@ -53,37 +76,98 @@ fn dial(addr: &str) -> Result<TcpStream, TransportError> {
     Err(TransportError::io(addr, last_err))
 }
 
+/// Dials `addr`, retrying failures over `window` with a short exponential
+/// backoff (25 ms doubling to 400 ms). Tolerates workers that bind a
+/// moment late — and, under supervision, replacement listeners that take a
+/// moment to come up on a crashed worker's address. The last error
+/// surfaces once the window closes.
+fn dial_retry(addr: &str, window: Duration) -> Result<TcpStream, TransportError> {
+    let start = Instant::now();
+    let mut pause = Duration::from_millis(25);
+    loop {
+        match dial_once(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if start.elapsed() >= window {
+                    return Err(e);
+                }
+                std::thread::sleep(pause.min(window.saturating_sub(start.elapsed())));
+                pause = (pause * 2).min(Duration::from_millis(400));
+            }
+        }
+    }
+}
+
+/// Dials one worker and runs the bootstrap handshake, returning the framed
+/// conversation with `deadline` armed (or unbounded reads if `None`).
+fn connect_worker(
+    addr: &str,
+    init: &ShardInit,
+    window: Duration,
+    deadline: Option<Duration>,
+) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), TransportError> {
+    let stream = dial_retry(addr, window)?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+        .map_err(|e| TransportError::io(addr, e))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| TransportError::io(addr, e))?,
+    );
+    let mut writer = BufWriter::new(stream);
+    drive_handshake(addr, &mut reader, &mut writer, init)?;
+    // Handshake done: arm the steady-state deadline. `None` lets long
+    // lockstep rounds block freely; supervised runs bound every read and
+    // write so a hung worker is detected and treated as dead.
+    arm_deadline(addr, writer.get_ref(), deadline)?;
+    Ok((reader, writer))
+}
+
+/// Applies `deadline` as both the read and write timeout of `stream`.
+fn arm_deadline(
+    addr: &str,
+    stream: &TcpStream,
+    deadline: Option<Duration>,
+) -> Result<(), TransportError> {
+    stream
+        .set_read_timeout(deadline)
+        .and_then(|()| stream.set_write_timeout(deadline))
+        .map_err(|e| TransportError::io(addr, e))
+}
+
 impl SocketTransport {
-    /// Dials one worker per init (`workers[k]` becomes shard `k`) and runs
-    /// the bootstrap handshake with each. Connect and handshake are
-    /// bounded by timeouts; after the handshake the streams block freely
-    /// (a lockstep round may legitimately take long on big shards).
+    /// Dials one worker per init (`workers[k]` becomes shard `k`) with the
+    /// default [`DIAL_RETRY_WINDOW`] and runs the bootstrap handshake with
+    /// each. Connect and handshake are bounded by timeouts; after the
+    /// handshake the streams block freely (a lockstep round may
+    /// legitimately take long on big shards) until a supervisor arms a
+    /// deadline.
     pub fn connect(workers: &[String], inits: &[ShardInit]) -> Result<Self, TransportError> {
+        Self::connect_with(workers, inits, DIAL_RETRY_WINDOW)
+    }
+
+    /// [`SocketTransport::connect`] with an explicit dial-retry window
+    /// (tests shrink it; deployments with slow worker rollout raise it).
+    /// The window is kept for supervised redials.
+    pub fn connect_with(
+        workers: &[String],
+        inits: &[ShardInit],
+        dial_window: Duration,
+    ) -> Result<Self, TransportError> {
         assert_eq!(workers.len(), inits.len(), "one worker address per shard");
         let mut t = Self {
             endpoints: workers.to_vec(),
+            inits: inits.to_vec(),
             readers: Vec::with_capacity(workers.len()),
             writers: Vec::with_capacity(workers.len()),
+            deadline: None,
+            dial_window,
             stopped: false,
         };
         for (addr, init) in workers.iter().zip(inits) {
-            let stream = dial(addr)?;
-            let _ = stream.set_nodelay(true);
-            stream
-                .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
-                .map_err(|e| TransportError::io(addr, e))?;
-            let mut reader = BufReader::new(
-                stream
-                    .try_clone()
-                    .map_err(|e| TransportError::io(addr, e))?,
-            );
-            let mut writer = BufWriter::new(stream);
-            drive_handshake(addr, &mut reader, &mut writer, init)?;
-            // Handshake done: let long lockstep rounds block freely.
-            writer
-                .get_ref()
-                .set_read_timeout(None)
-                .map_err(|e| TransportError::io(addr, e))?;
+            let (reader, writer) = connect_worker(addr, init, dial_window, None)?;
             t.readers.push(reader);
             t.writers.push(writer);
         }
@@ -145,6 +229,60 @@ impl Drop for SocketTransport {
     }
 }
 
+impl ShardLink for SocketTransport {
+    fn n_shards(&self) -> usize {
+        self.writers.len()
+    }
+
+    fn endpoint(&self, shard: usize) -> String {
+        self.endpoints[shard].clone()
+    }
+
+    fn send(&mut self, shard: usize, frame: &[u8]) -> Result<(), TransportError> {
+        write_frame(&mut self.writers[shard], frame)
+            .map_err(|e| TransportError::io(&*self.endpoints[shard], e))
+    }
+
+    fn recv(&mut self, shard: usize) -> Result<Vec<u8>, TransportError> {
+        read_frame(&mut self.readers[shard])
+            .map_err(|e| TransportError::io(&*self.endpoints[shard], e))?
+            .ok_or_else(|| {
+                TransportError::closed(
+                    &*self.endpoints[shard],
+                    "worker closed the connection mid-phase",
+                )
+            })
+    }
+
+    fn restart(&mut self, shard: usize) -> Result<(), TransportError> {
+        // Close the wedged/dead connection first (a listen worker serves
+        // one connection, so its replacement needs the address free), then
+        // redial within the dial window. Replacing the reader/writer drops
+        // any half-read frame with the old connection.
+        let _ = self.writers[shard].get_ref().shutdown(Shutdown::Both);
+        let (reader, writer) = connect_worker(
+            &self.endpoints[shard],
+            &self.inits[shard],
+            self.dial_window,
+            self.deadline,
+        )?;
+        self.readers[shard] = reader;
+        self.writers[shard] = writer;
+        Ok(())
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+        for (s, writer) in self.writers.iter().enumerate() {
+            let _ = arm_deadline(&self.endpoints[s], writer.get_ref(), deadline);
+        }
+    }
+
+    fn shutdown(self) -> Result<(), TransportError> {
+        SocketTransport::shutdown(self)
+    }
+}
+
 impl ShardTransport for SocketTransport {
     fn n_shards(&self) -> usize {
         self.writers.len()
@@ -153,22 +291,11 @@ impl ShardTransport for SocketTransport {
     fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Result<Vec<Reply>, TransportError> {
         let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
         for (s, cmd) in &batch {
-            write_frame(&mut self.writers[*s], &encode_command(cmd))
-                .map_err(|e| TransportError::io(&*self.endpoints[*s], e))?;
+            ShardLink::send(self, *s, &encode_command(cmd))?;
         }
         targets
             .into_iter()
-            .map(|s| {
-                let frame = read_frame(&mut self.readers[s])
-                    .map_err(|e| TransportError::io(&*self.endpoints[s], e))?
-                    .ok_or_else(|| {
-                        TransportError::closed(
-                            &*self.endpoints[s],
-                            "worker closed the connection mid-phase",
-                        )
-                    })?;
-                Ok(decode_reply(&frame))
-            })
+            .map(|s| Ok(decode_reply(&ShardLink::recv(self, s)?)))
             .collect()
     }
 }

@@ -30,8 +30,9 @@ use std::time::Duration;
 pub const HANDSHAKE_MAGIC: u32 = 0x5755_5053;
 
 /// Version of the whole exchange protocol (frames, commands, replies).
-/// Peers refuse to talk across versions.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Peers refuse to talk across versions. v2 added the checkpoint/restore
+/// command pair (worker supervision).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// How long the driver waits for a TCP connect to a worker.
 pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);

@@ -74,6 +74,13 @@ impl Mailbox {
     pub fn grow(&mut self) {
         self.slots.push(Vec::new());
     }
+
+    /// Whether no slot holds mail — true at every cycle boundary (each
+    /// delivery round drains what the previous route step filled), which is
+    /// what lets checkpoints skip in-flight mail entirely.
+    pub fn is_empty(&self) -> bool {
+        self.receivers.is_empty() && self.slots.iter().all(Vec::is_empty)
+    }
 }
 
 /// Encodes one shard's outbound mail for another shard as a wire bundle.

@@ -68,11 +68,15 @@
 //! one driver, `S` workers, one TCP connection per worker, each worker
 //! owning one shard. The moving parts:
 //!
-//! * **Launch order** — *workers first, then driver*. Each worker binds
-//!   its `--listen` address, prints `LISTEN <addr>` on stdout, and blocks
-//!   in accept. The driver then dials every address
-//!   (`--transport socket --workers host:port,…`); the `k`-th address
-//!   becomes shard `k`, and the shard count *is* the worker count.
+//! * **Launch order** — *workers first, then driver*, but only loosely:
+//!   each worker binds its `--listen` address, prints `LISTEN <addr>` on
+//!   stdout, and blocks in accept; the driver dials every address
+//!   (`--transport socket --workers host:port,…`), retrying refused or
+//!   unreachable dials over a bounded window (default 3 s —
+//!   [`exchange::SocketTransport::connect_with`] widens it), so workers
+//!   that come up moments after the driver still get their shard. The
+//!   `k`-th address becomes shard `k`, and the shard count *is* the
+//!   worker count.
 //! * **Handshake frame layout** (all frames `len:u32` little-endian
 //!   length-prefixed; see [`exchange::stream`]): on accept the worker
 //!   sends a *hello* `magic:u32 = "WUPS", version:u16`; the driver
@@ -97,6 +101,51 @@
 //!   because every ordering and every RNG draw is fixed by the command
 //!   protocol itself, not by who executes it (property-tested across all
 //!   three transports, CI-smoked over loopback sockets).
+//!
+//! # Supervision & recovery
+//!
+//! The external transports can be wrapped in
+//! [`exchange::SupervisedTransport`] ([`crate::Runner::supervised`],
+//! `whatsup-sim run --supervise`), which turns a crashed or hung worker
+//! from a fatal [`exchange::TransportError`] into a recoverable event —
+//! without changing a single byte of the final report. Three pieces:
+//!
+//! * **Checkpoints** — every `checkpoint_every` completed cycles the
+//!   supervisor sends each shard a `TakeCheckpoint` command at the cycle
+//!   boundary (mailboxes are provably drained there, so no in-flight mail
+//!   is ever serialized). The `Checkpoint` reply is one wire frame
+//!   holding the shard's full state via the standard codec: the partition
+//!   node range, engine params, environment models, per-node channel
+//!   states, the counter accumulator, known items sorted by id, the
+//!   oracle copy, then per-node profile / RPS view / WUP view / seen-set
+//!   / stats blocks. A `Restore` command feeds the same frame back into a
+//!   fresh worker and is acknowledged with `Ack`.
+//! * **Command log + replay** — every command frame sent since the last
+//!   checkpoint is logged (after its reply arrives) and cleared when a
+//!   checkpoint succeeds. On a retryable failure the supervisor restarts
+//!   the worker (respawn for child processes, redial for sockets),
+//!   re-runs the versioned handshake with the original `ShardInit`,
+//!   restores the last checkpoint, replays the logged frames discarding
+//!   their replies, then re-issues the in-flight command. Replay is exact
+//!   because a shard is a deterministic function of
+//!   `(init, command sequence)` — the determinism contract below means
+//!   the replayed replies are byte-identical to the originals, so
+//!   discarding them loses nothing and the driver above the
+//!   [`exchange::ShardTransport`] trait never notices. The restart budget
+//!   (`max_restarts` per shard) bounds the loop; when it is exhausted the
+//!   *original* error surfaces, not the last recovery attempt's. Fatal
+//!   errors (handshake magic/version skew —
+//!   [`exchange::TransportErrorKind::is_retryable`]) are never retried.
+//! * **Hang detection** — the socket transport arms read/write deadlines
+//!   on every stream, so a frozen worker trips a timeout (a retryable
+//!   I/O error) instead of hanging the run; pipes surface EOF when the
+//!   child dies. Initial dials retry over a bounded window, and
+//!   supervised redials reuse it.
+//!
+//! The fault-injection suite (`tests/transport_faults.rs`) kills and
+//! freezes workers mid-run on both external transports and asserts the
+//! recovered report is bit-identical to a fault-free run; CI repeats the
+//! kill over loopback sockets and `cmp`s the report JSON.
 //!
 //! # Shard-exchange protocol
 //!
@@ -230,7 +279,7 @@ pub mod shard;
 pub use driver::Simulation;
 pub use exchange::{
     ChannelTransport, Command, ProcessTransport, Reply, ShardTransport, SocketTransport,
-    TransportError,
+    SupervisedTransport, Supervision, TransportError,
 };
 pub use partition::Partition;
 pub use shard::{ShardInit, ShardState};

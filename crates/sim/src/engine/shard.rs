@@ -13,15 +13,16 @@ use crate::engine::partition::Partition;
 use crate::engine::{node_stream, phase};
 use crate::oracle::Oracle;
 use crate::scenario::{ChurnModel, LossModel};
-use bytes::Bytes;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use whatsup_core::{
-    ColdStart, ItemId, NewsItem, NodeId, Opinions, OutMessage, Params, Payload, Profile,
-    WhatsUpNode,
+    ColdStart, ItemId, NewsItem, NodeId, NodeState, NodeStats, Opinions, OutMessage, Params,
+    Payload, Profile, WhatsUpNode,
 };
 use whatsup_metrics::CycleStats;
+use whatsup_net::codec;
 
 /// Everything needed to build one shard's state — produced by the driver,
 /// consumed directly (in-process) or via `exchange::encode_init` (worker
@@ -204,8 +205,124 @@ impl ShardState {
                 bundles,
             } => self.deliver_news(cycle, item, &bundles),
             Command::TakeCycleCounters => Reply::CycleCounters(self.take_counters()),
+            Command::TakeCheckpoint => Reply::Checkpoint(self.encode_checkpoint()),
+            Command::Restore { frame } => {
+                self.restore_checkpoint(&frame);
+                Reply::Ack
+            }
             Command::Stop => Reply::Ack,
         }
+    }
+
+    /// Serializes this shard's full dynamic state as one checkpoint frame.
+    ///
+    /// Layout (all little-endian, wire-codec encodings for the node data):
+    /// partition starts, per-node channel states, the per-cycle counter
+    /// residue, the known news items (ascending item id, canonical), the
+    /// oracle copy, then one [`NodeState`] per owned node in id order
+    /// (profile entries, RPS view, WUP view, seen ids ascending, stats).
+    ///
+    /// Static state (`index`, `seed`, loss/churn models, params) is *not*
+    /// serialized: a restoring worker already received it via the bootstrap
+    /// handshake's [`ShardInit`]. Phase RNGs are derived per
+    /// `(cycle, phase)` and the restart replays from a cycle boundary, so
+    /// no RNG state needs capturing either.
+    ///
+    /// # Panics
+    /// Panics if any mail is in flight — checkpoints are only meaningful at
+    /// cycle boundaries, where every mailbox is provably drained.
+    pub fn encode_checkpoint(&self) -> Bytes {
+        assert!(
+            self.mailbox.is_empty() && self.pending_local.is_empty(),
+            "checkpoint requires an empty mailbox (cycle boundary)"
+        );
+        let mut buf = BytesMut::with_capacity(4096);
+        let starts = self.partition.starts();
+        buf.put_u32_le(starts.len() as u32);
+        for &s in starts {
+            buf.put_u32_le(s);
+        }
+        buf.put_u32_le(self.channel_bad.len() as u32);
+        for &bad in &self.channel_bad {
+            buf.put_u8(u8::from(bad));
+        }
+        exchange::put_cycle_stats(&mut buf, &self.counters);
+        // HashMap iteration order is unspecified; sort for a canonical
+        // frame (identical shards must checkpoint to identical bytes).
+        let mut items: Vec<&NewsItem> = self.known_items.values().collect();
+        items.sort_unstable_by_key(|item| item.id());
+        buf.put_u32_le(items.len() as u32);
+        for item in items {
+            exchange::put_news_item(&mut buf, item);
+        }
+        exchange::put_oracle(&mut buf, &self.oracle);
+        buf.put_u32_le(self.nodes.len() as u32);
+        for node in &self.nodes {
+            let st = node.export_state();
+            codec::put_profile(&mut buf, &Profile::from_entries(st.profile));
+            codec::put_descriptors(&mut buf, &st.rps_view);
+            codec::put_descriptors(&mut buf, &st.wup_view);
+            buf.put_u32_le(st.seen.len() as u32);
+            for item in &st.seen {
+                buf.put_u64_le(*item);
+            }
+            put_node_stats(&mut buf, &st.stats);
+        }
+        buf.freeze()
+    }
+
+    /// Replaces this shard's dynamic state with a checkpoint frame
+    /// (recovery path — the shard was just rebuilt from its original init).
+    /// Transient state is reset: mailboxes empty (guaranteed at the
+    /// checkpointed boundary), phase RNGs re-derived on first use.
+    pub fn restore_checkpoint(&mut self, mut frame: &[u8]) {
+        let buf = &mut frame;
+        let n_starts = buf.get_u32_le() as usize;
+        let starts = (0..n_starts).map(|_| buf.get_u32_le()).collect();
+        self.partition = Partition::from_starts(starts);
+        let n_channels = buf.get_u32_le() as usize;
+        self.channel_bad = (0..n_channels).map(|_| buf.get_u8() != 0).collect();
+        self.counters = exchange::get_cycle_stats(buf);
+        let n_items = buf.get_u32_le() as usize;
+        self.known_items = (0..n_items)
+            .map(|_| {
+                let item = exchange::get_news_item(buf);
+                (item.id(), item)
+            })
+            .collect();
+        self.oracle = exchange::get_oracle(buf);
+        let range = self.partition.range(self.index);
+        let n_nodes = buf.get_u32_le() as usize;
+        assert_eq!(range.len(), n_nodes, "checkpoint/partition node mismatch");
+        assert_eq!(n_channels, n_nodes, "checkpoint channel-state mismatch");
+        self.nodes = range
+            .zip(0..n_nodes)
+            .map(|(id, _)| {
+                let profile = codec::get_profile(buf)
+                    .expect("malformed checkpoint profile")
+                    .entries()
+                    .to_vec();
+                let rps_view = codec::get_descriptors(buf).expect("malformed checkpoint view");
+                let wup_view = codec::get_descriptors(buf).expect("malformed checkpoint view");
+                let n_seen = buf.get_u32_le() as usize;
+                let seen = (0..n_seen).map(|_| buf.get_u64_le()).collect();
+                let stats = get_node_stats(buf);
+                WhatsUpNode::from_state(
+                    id,
+                    self.params.clone(),
+                    NodeState {
+                        profile,
+                        rps_view,
+                        wup_view,
+                        seen,
+                        stats,
+                    },
+                )
+            })
+            .collect();
+        self.phase_rngs = vec![None; n_nodes];
+        self.mailbox = Mailbox::new(self.partition.range(self.index));
+        self.pending_local = Vec::new();
     }
 
     /// Groups emissions by destination shard: local mail queues without
@@ -519,6 +636,30 @@ impl ShardState {
         let out = self.route_out(emissions);
         self.counters.news_sent += out.sent;
         Reply::NewsDelivered { out, outcomes }
+    }
+}
+
+/// Wire form of one node's counters: seven `u64`s in [`NodeStats`] field
+/// order.
+fn put_node_stats(buf: &mut BytesMut, stats: &NodeStats) {
+    buf.put_u64_le(stats.rps_sent);
+    buf.put_u64_le(stats.wup_sent);
+    buf.put_u64_le(stats.news_sent);
+    buf.put_u64_le(stats.news_received);
+    buf.put_u64_le(stats.news_duplicates);
+    buf.put_u64_le(stats.news_liked);
+    buf.put_u64_le(stats.published);
+}
+
+fn get_node_stats(buf: &mut &[u8]) -> NodeStats {
+    NodeStats {
+        rps_sent: buf.get_u64_le(),
+        wup_sent: buf.get_u64_le(),
+        news_sent: buf.get_u64_le(),
+        news_received: buf.get_u64_le(),
+        news_duplicates: buf.get_u64_le(),
+        news_liked: buf.get_u64_le(),
+        published: buf.get_u64_le(),
     }
 }
 

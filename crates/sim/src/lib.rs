@@ -36,6 +36,7 @@ pub mod scenario;
 pub mod sweep;
 
 pub use config::{Protocol, SimConfig, Transport};
+pub use engine::exchange::Supervision;
 pub use engine::Simulation;
 pub use engines::run_protocol;
 pub use oracle::Oracle;

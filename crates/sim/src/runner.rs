@@ -26,6 +26,7 @@
 //! counts and transports (see the engine module docs for the contract).
 
 use crate::config::{Protocol, SimConfig, Transport};
+use crate::engine::exchange::Supervision;
 use crate::engine::Simulation;
 use crate::engines::{cascade, centralized, pubsub};
 use crate::record::SimReport;
@@ -42,6 +43,7 @@ pub struct Runner<'a> {
     cfg: SimConfig,
     scenario: Option<Scenario>,
     transport: Transport,
+    supervision: Option<Supervision>,
 }
 
 impl<'a> Runner<'a> {
@@ -54,6 +56,7 @@ impl<'a> Runner<'a> {
             cfg: SimConfig::default(),
             scenario: None,
             transport: Transport::InProcess,
+            supervision: None,
         }
     }
 
@@ -114,6 +117,24 @@ impl<'a> Runner<'a> {
         self.transport(Transport::Socket(
             workers.into_iter().map(Into::into).collect(),
         ))
+    }
+
+    /// Supervises the external transports: crashed or hung shard workers
+    /// are restarted (respawned children / redialed addresses) and
+    /// recovered by checkpoint/replay, up to `max_restarts` restarts per
+    /// shard, with a checkpoint every `checkpoint_every` cycles.
+    /// Determinism makes recovery exact — a supervised run that survives
+    /// faults reports bit-identically to an undisturbed one. Ignored by
+    /// the in-process transport (nothing external can crash).
+    pub fn supervised(self, max_restarts: u32, checkpoint_every: u32) -> Self {
+        self.supervision(Supervision::new(max_restarts, checkpoint_every))
+    }
+
+    /// [`Runner::supervised`] with full control over the supervision knobs
+    /// (hang deadline, restart backoff, dial window).
+    pub fn supervision(mut self, supervision: Supervision) -> Self {
+        self.supervision = Some(supervision);
+        self
     }
 
     fn resolved_scenario(&self) -> Scenario {
@@ -183,6 +204,7 @@ impl<'a> Runner<'a> {
                     self.cfg,
                     scenario,
                     &worker,
+                    self.supervision,
                 ),
                 Transport::Socket(workers) => Simulation::run_socket_scenario(
                     self.dataset,
@@ -190,6 +212,7 @@ impl<'a> Runner<'a> {
                     self.cfg,
                     scenario,
                     &workers,
+                    self.supervision,
                 ),
             },
         }

@@ -9,9 +9,16 @@ use std::process::{Child, Command, Stdio};
 /// exit, or kill it on the test's failure path.
 #[allow(dead_code)]
 pub fn spawn_listen_worker() -> (Child, String) {
+    spawn_listen_worker_at("127.0.0.1:0")
+}
+
+/// [`spawn_listen_worker`] at an explicit address — how the supervisor
+/// tests stand up a replacement listener on a crashed worker's port.
+#[allow(dead_code)]
+pub fn spawn_listen_worker_at(addr: &str) -> (Child, String) {
     let worker = env!("CARGO_BIN_EXE_sim-shard-worker");
     let mut child = Command::new(worker)
-        .args(["--listen", "127.0.0.1:0"])
+        .args(["--listen", addr])
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()

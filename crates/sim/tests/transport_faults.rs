@@ -10,10 +10,11 @@ mod common;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 use whatsup_sim::engine::exchange::stream::{
     encode_hello, read_frame, write_frame, PROTOCOL_VERSION,
 };
-use whatsup_sim::{Protocol, Runner, SimConfig};
+use whatsup_sim::{Protocol, Runner, SimConfig, Supervision};
 
 fn dataset() -> whatsup_datasets::Dataset {
     whatsup_datasets::survey::generate(&whatsup_datasets::SurveyConfig::paper().scaled(0.08), 5)
@@ -231,6 +232,250 @@ fn worker_process_that_truncates_a_frame_fails_cleanly() {
     assert!(
         msg.contains("sim-shard-worker"),
         "error must name the worker: {msg}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Supervised recovery: kills and hangs become checkpoint/replay restarts,
+// and the surviving run reports bit-identically to a fault-free one.
+// ---------------------------------------------------------------------------
+
+/// Long enough (~seconds over an external transport in a debug build) that
+/// a kill 500 ms in reliably lands mid-run.
+fn recovery_cfg() -> SimConfig {
+    SimConfig {
+        cycles: 40,
+        publish_from: 2,
+        measure_from: 4,
+        ..Default::default()
+    }
+}
+
+/// Production-shaped supervision with test-sized waits: instant backoff, a
+/// deadline short enough that the hung-worker test trips it in seconds.
+fn test_supervision() -> Supervision {
+    Supervision {
+        max_restarts: 3,
+        checkpoint_every: 3,
+        deadline: Duration::from_secs(2),
+        backoff: Duration::from_millis(1),
+        dial_window: Duration::from_secs(5),
+    }
+}
+
+/// The fault-free reference report (transport-invariant by the engine's
+/// determinism contract, so the in-process engine provides it).
+fn fault_free_report() -> whatsup_sim::SimReport {
+    let d = dataset();
+    Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+        .config(recovery_cfg())
+        .run()
+}
+
+/// Asserts a supervised run's report is byte-identical to the fault-free
+/// reference — the recovery proof the supervision layer promises.
+fn assert_bit_identical(survived: &whatsup_sim::SimReport, reference: &whatsup_sim::SimReport) {
+    assert_eq!(survived, reference);
+    assert_eq!(
+        survived.summary_json().pretty(),
+        reference.summary_json().pretty(),
+        "the report JSON must be byte-identical to a fault-free run"
+    );
+}
+
+/// Waits up to `secs` for a worker to exit cleanly; reaps it if it never
+/// does (e.g. a replacement that was spawned but never dialed because the
+/// fault raced the end of the run on a slow machine).
+fn reap_within(mut child: std::process::Child, secs: u64, who: &str) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        match child.try_wait().expect("poll worker") {
+            Some(status) => {
+                assert!(status.success(), "{who} must exit cleanly, got {status}");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                child.kill().expect("reap worker");
+                let _ = child.wait();
+                return;
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[test]
+fn supervised_process_run_survives_a_worker_killed_mid_run() {
+    let reference = fault_free_report();
+    let worker = env!("CARGO_BIN_EXE_sim-shard-worker");
+    // The wrapper plays a real worker whose first spawn (whichever shard
+    // wins the mkdir) schedules its own SIGKILL 500 ms in — a crash at an
+    // arbitrary mid-run cycle. Respawns take the else branch and serve
+    // normally.
+    let lock = std::env::temp_dir().join(format!("whatsup-kill-once-{}", std::process::id()));
+    let _ = std::fs::remove_dir(&lock);
+    let script = impostor_script(
+        "kill-once",
+        &format!(
+            "if mkdir '{lock}' 2>/dev/null; then\n  ( sleep 0.5; kill -9 $$ ) 2>/dev/null &\nfi\nexec '{worker}'",
+            lock = lock.display()
+        ),
+    );
+    let d = dataset();
+    let survived = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+        .config(recovery_cfg())
+        .shards(2)
+        .multiprocess(&script)
+        .supervision(test_supervision())
+        .try_run();
+    let _ = std::fs::remove_file(&script);
+    let _ = std::fs::remove_dir(&lock);
+    let survived = survived.expect("the supervised run must survive the kill");
+    assert_bit_identical(&survived, &reference);
+}
+
+#[test]
+fn supervised_process_run_survives_a_crash_during_recovery() {
+    let reference = fault_free_report();
+    let worker = env!("CARGO_BIN_EXE_sim-shard-worker");
+    // Single shard, two staged crashes: the original worker dies 500 ms
+    // into the run, and its first replacement dies 50 ms after spawning —
+    // during the restore/replay conversation or just after it. The second
+    // replacement (third spawn) must complete the recovery within the
+    // 3-restart budget.
+    let locks = std::env::temp_dir().join(format!("whatsup-kill-twice-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&locks);
+    std::fs::create_dir(&locks).expect("lock dir");
+    let script = impostor_script(
+        "kill-twice",
+        &format!(
+            "if mkdir '{locks}/first' 2>/dev/null; then\n  \
+               ( sleep 0.5; kill -9 $$ ) 2>/dev/null &\n\
+             elif mkdir '{locks}/second' 2>/dev/null; then\n  \
+               ( sleep 0.05; kill -9 $$ ) 2>/dev/null &\nfi\nexec '{worker}'",
+            locks = locks.display()
+        ),
+    );
+    let d = dataset();
+    let survived = Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+        .config(recovery_cfg())
+        .shards(1)
+        .multiprocess(&script)
+        .supervision(test_supervision())
+        .try_run();
+    let _ = std::fs::remove_file(&script);
+    let _ = std::fs::remove_dir_all(&locks);
+    let survived = survived.expect("recovery must survive a crash during recovery");
+    assert_bit_identical(&survived, &reference);
+}
+
+/// Runs a supervised socket driver against `addrs` on a background thread.
+fn spawn_supervised_socket_driver(
+    addrs: Vec<String>,
+    supervision: Supervision,
+) -> std::thread::JoinHandle<std::io::Result<whatsup_sim::SimReport>> {
+    std::thread::spawn(move || {
+        let d = dataset();
+        Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+            .config(recovery_cfg())
+            .socket(addrs)
+            .supervision(supervision)
+            .try_run()
+    })
+}
+
+#[test]
+fn supervised_socket_run_survives_a_worker_killed_mid_run() {
+    let reference = fault_free_report();
+    let (w0, a0) = common::spawn_listen_worker();
+    let (mut w1, a1) = common::spawn_listen_worker();
+    let driver = spawn_supervised_socket_driver(vec![a0, a1.clone()], test_supervision());
+    std::thread::sleep(Duration::from_millis(500));
+    // A listen worker drops its listener once the driver connects, so the
+    // replacement can take over the address before the victim even dies —
+    // the redial then finds it listening immediately.
+    let (w1b, _) = common::spawn_listen_worker_at(&a1);
+    w1.kill().expect("kill worker 1 mid-run");
+    let _ = w1.wait();
+    let survived = driver
+        .join()
+        .expect("driver thread")
+        .expect("the supervised run must survive the kill");
+    common::assert_clean_exit(w0, "undisturbed worker");
+    reap_within(w1b, 20, "replacement worker");
+    assert_bit_identical(&survived, &reference);
+}
+
+#[test]
+fn supervised_socket_run_recovers_a_hung_worker() {
+    let reference = fault_free_report();
+    let (w0, a0) = common::spawn_listen_worker();
+    let (mut w1, a1) = common::spawn_listen_worker();
+    let driver = spawn_supervised_socket_driver(vec![a0, a1.clone()], test_supervision());
+    std::thread::sleep(Duration::from_millis(500));
+    // SIGSTOP, not SIGKILL: the connection stays open but goes silent —
+    // the failure mode only the read/write deadline can detect.
+    let stopped = std::process::Command::new("kill")
+        .args(["-STOP", &w1.id().to_string()])
+        .status()
+        .expect("send SIGSTOP");
+    assert!(stopped.success(), "SIGSTOP must land");
+    let (w1b, _) = common::spawn_listen_worker_at(&a1);
+    let survived = driver
+        .join()
+        .expect("driver thread")
+        .expect("the supervised run must recover the hung worker");
+    // Thaw-free teardown: the frozen worker is dead weight — reap it.
+    let _ = std::process::Command::new("kill")
+        .args(["-KILL", &w1.id().to_string()])
+        .status();
+    let _ = w1.wait();
+    common::assert_clean_exit(w0, "undisturbed worker");
+    reap_within(w1b, 20, "replacement worker");
+    assert_bit_identical(&survived, &reference);
+}
+
+#[test]
+fn supervised_exhaustion_surfaces_the_original_error() {
+    let (mut w0, a0) = common::spawn_listen_worker();
+    // No replacement ever takes over the address: every redial is refused,
+    // the 2-restart budget burns out, and the error that surfaces must be
+    // the ORIGINAL mid-run failure naming the worker — not the last
+    // connection-refused dial of the recovery loop. The cycle count is
+    // effectively unbounded so the kill lands mid-run in any build
+    // profile; the run only ever ends through the expected error.
+    let driver = std::thread::spawn({
+        let addr = a0.clone();
+        move || {
+            let d = dataset();
+            Runner::new(&d, Protocol::WhatsUp { f_like: 4 })
+                .config(SimConfig {
+                    cycles: 1_000_000,
+                    ..recovery_cfg()
+                })
+                .socket(vec![addr])
+                .supervision(Supervision {
+                    max_restarts: 2,
+                    checkpoint_every: 3,
+                    deadline: Duration::from_secs(2),
+                    backoff: Duration::from_millis(1),
+                    dial_window: Duration::from_millis(300),
+                })
+                .try_run()
+        }
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    w0.kill().expect("kill the only worker");
+    let _ = w0.wait();
+    let err = driver
+        .join()
+        .expect("driver thread")
+        .expect_err("no replacement ever comes up — the run must fail");
+    let msg = err.to_string();
+    assert!(msg.contains(&a0), "error must name the worker: {msg}");
+    assert!(
+        !msg.to_lowercase().contains("refused"),
+        "the original failure must surface, not the recovery loop's dial error: {msg}"
     );
 }
 
