@@ -99,7 +99,7 @@ fn bench_node_paths(c: &mut Criterion) {
             |(mut node, mut rng)| {
                 let msg = Payload::News(NewsMessage {
                     header: item.header(),
-                    profile: profile_with(64, 9),
+                    profile: SharedProfile::new(profile_with(64, 9)),
                     dislikes: 0,
                     hops: 2,
                 });

@@ -1,6 +1,7 @@
 //! Engine scaling: single-run throughput (cycles/sec) across shard counts
-//! (1/2/4) at 1k/5k/20k nodes, under a uniform and a flash-crowd
-//! publication workload, with per-cycle metrics collection on and off.
+//! (1/2/4) at 1k/5k/20k nodes — plus a 100k-node axis — under a uniform
+//! and a flash-crowd publication workload, with per-cycle metrics
+//! collection on and off.
 //!
 //! The sharded engine is deterministic across shard counts, so the speedup
 //! columns are pure wall-clock: same seed, same report, more shard worker
@@ -13,10 +14,24 @@
 //! one extra round-trip per cycle): `metrics=off` sets
 //! `SimConfig::collect_series = false`, everything else identical.
 //!
+//! The 100k-node axis runs a reduced subgrid (1 shard, uniform workload,
+//! metrics on/off): on a single host the multi-shard rows at that scale
+//! only measure exchange overhead again, several minutes per row — the
+//! full grid at 100k is a multi-machine job (socket transport), not a
+//! bench row.
+//!
 //! `WHATSUP_SCALE_MAX_NODES=<n>` caps the largest population (useful for
-//! quick local/CI runs); the default exercises all three sizes. Rows are
-//! saved as JSON: `[nodes, shards, workload (0 = uniform, 1 = flash),
-//! metrics (0 = off, 1 = on), cycles_per_sec, messages]`.
+//! quick local/CI runs); the default exercises every axis including 100k.
+//! Rows are saved as JSON: `[nodes, shards, workload (0 = uniform,
+//! 1 = flash), metrics (0 = off, 1 = on), cycles_per_sec, messages,
+//! peak_rss_mb]`. The committed `BENCH_scale.json` at the repo root is a
+//! snapshot of those rows — the perf trajectory baseline CI prints deltas
+//! against (and fails on `messages` divergence, which would mean a
+//! determinism break, not noise).
+//!
+//! Peak RSS is the process high-water mark (`VmHWM`), which is monotone
+//! across rows — sizes run ascending, so each size's first row reflects
+//! the largest population seen so far.
 
 use std::time::Instant;
 use whatsup_datasets::{survey, SurveyConfig};
@@ -25,6 +40,9 @@ use whatsup_sim::{Protocol, Runner, SimConfig};
 
 const CYCLES: u32 = 10;
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Populations above this run the reduced subgrid (1 shard, uniform).
+const FULL_GRID_MAX_NODES: usize = 20_000;
 
 fn dataset(n_users: usize) -> whatsup_datasets::Dataset {
     // Fixed item load across scales so the cycles/sec column isolates the
@@ -48,6 +66,19 @@ fn workloads() -> [(&'static str, Workload); 2] {
             },
         ),
     ]
+}
+
+/// The process's peak resident set in MiB (`VmHWM`, Linux); 0 elsewhere.
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
 }
 
 fn run(
@@ -92,20 +123,26 @@ fn main() {
     let cap: usize = std::env::var("WHATSUP_SCALE_MAX_NODES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(20_000);
+        .unwrap_or(100_000);
     println!("host parallelism: {cores} core(s); {CYCLES} cycles per run\n");
     println!(
-        "{:>8} {:>8} {:>7} {:>7} {:>12} {:>9} {:>12}",
-        "nodes", "workload", "shards", "metrics", "cyc/s", "vs 1-sh", "messages"
+        "{:>8} {:>8} {:>7} {:>7} {:>12} {:>9} {:>12} {:>9}",
+        "nodes", "workload", "shards", "metrics", "cyc/s", "vs 1-sh", "messages", "rss MiB"
     );
     let mut rows = Vec::new();
-    for &n in [1_000usize, 5_000, 20_000].iter().filter(|&&n| n <= cap) {
+    for &n in [1_000usize, 5_000, 20_000, 100_000]
+        .iter()
+        .filter(|&&n| n <= cap)
+    {
         let d = dataset(n);
-        for (w_id, (w_name, workload)) in workloads().into_iter().enumerate() {
+        let full_grid = n <= FULL_GRID_MAX_NODES;
+        let shard_counts: &[usize] = if full_grid { &SHARD_COUNTS } else { &[1] };
+        let n_workloads = if full_grid { 2 } else { 1 };
+        for (w_id, (w_name, workload)) in workloads().into_iter().take(n_workloads).enumerate() {
             for metrics_on in [false, true] {
                 let mut baseline = 0.0f64;
                 let mut baseline_msgs = 0u64;
-                for &shards in &SHARD_COUNTS {
+                for &shards in shard_counts {
                     let (cps, msgs) = run(&d, shards, workload.clone(), metrics_on);
                     if shards == 1 {
                         baseline = cps;
@@ -117,15 +154,17 @@ fn main() {
                         );
                     }
                     let speedup = cps / baseline;
+                    let rss = peak_rss_mb();
                     println!(
-                        "{:>8} {:>8} {:>7} {:>7} {:>12.2} {:>8.2}x {:>12}",
+                        "{:>8} {:>8} {:>7} {:>7} {:>12.2} {:>8.2}x {:>12} {:>9.1}",
                         d.n_users(),
                         w_name,
                         shards,
                         if metrics_on { "on" } else { "off" },
                         cps,
                         speedup,
-                        msgs
+                        msgs,
+                        rss
                     );
                     rows.push(vec![
                         d.n_users() as f64,
@@ -134,6 +173,7 @@ fn main() {
                         f64::from(u8::from(metrics_on)),
                         cps,
                         msgs as f64,
+                        rss,
                     ]);
                 }
             }

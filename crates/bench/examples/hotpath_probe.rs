@@ -1,0 +1,43 @@
+//! Quick single-row probe of the scale_engine configuration space:
+//! `cargo run --release -p whatsup_bench --example hotpath_probe -- <nodes> <shards> <metrics 0|1> [cycles]`
+
+use std::time::Instant;
+use whatsup_datasets::{survey, SurveyConfig};
+use whatsup_sim::{Protocol, Runner, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(20_000);
+    let shards: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(1);
+    let metrics: bool = args.get(3).map(|v| v == "1").unwrap_or(true);
+    let cycles: u32 = args.get(4).and_then(|v| v.parse().ok()).unwrap_or(10);
+    let cfg = SurveyConfig {
+        base_users: (nodes / 4).max(15),
+        base_items: 100,
+        ..SurveyConfig::paper()
+    };
+    let d = survey::generate(&cfg, 7);
+    let sim_cfg = SimConfig {
+        cycles,
+        publish_from: 2,
+        measure_from: 4,
+        shards,
+        collect_series: metrics,
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let report = Runner::new(&d, Protocol::WhatsUp { f_like: 5 })
+        .config(sim_cfg)
+        .run();
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "nodes={} shards={} metrics={} cycles={} -> {:.3}s ({:.2} cyc/s) messages={}",
+        d.n_users(),
+        shards,
+        metrics,
+        cycles,
+        secs,
+        cycles as f64 / secs,
+        report.gossip_messages + report.news_messages_all
+    );
+}

@@ -153,18 +153,51 @@ pub fn select_most_similar_k(
     k: usize,
     salt: u64,
 ) -> Vec<NodeId> {
-    let mut scored: Vec<(f64, NodeId)> = rps_view
+    if k == 0 || rps_view.is_empty() {
+        return Vec::new();
+    }
+    // BEEP proper always asks for a single target (dislike fanout 1), and
+    // that call sits on the news hot path: a running max under the same
+    // (score desc, tie-mix) order replaces the sort — and the allocation —
+    // entirely. The mix is precomputed per candidate in both paths; the
+    // sort comparator would otherwise re-derive it O(n log n) times.
+    if k == 1 {
+        let best = rps_view
+            .entries()
+            .iter()
+            .map(|d| {
+                (
+                    metric.score(item_profile, &d.payload),
+                    tie_mix(salt, d.node),
+                    d.node,
+                )
+            })
+            .max_by(|(sa, ma, _), (sb, mb, _)| {
+                sa.partial_cmp(sb)
+                    .expect("similarity is never NaN")
+                    .then(mb.cmp(ma))
+            })
+            .map(|(_, _, n)| n);
+        return best.into_iter().collect();
+    }
+    let mut scored: Vec<(f64, u64, NodeId)> = rps_view
         .entries()
         .iter()
-        .map(|d| (metric.score(item_profile, &d.payload), d.node))
+        .map(|d| {
+            (
+                metric.score(item_profile, &d.payload),
+                tie_mix(salt, d.node),
+                d.node,
+            )
+        })
         .collect();
-    scored.sort_by(|(sa, na), (sb, nb)| {
+    scored.sort_by(|(sa, ma, _), (sb, mb, _)| {
         sb.partial_cmp(sa)
             .expect("similarity is never NaN")
-            .then(tie_mix(salt, *na).cmp(&tie_mix(salt, *nb)))
+            .then(ma.cmp(mb))
     });
     scored.truncate(k);
-    scored.into_iter().map(|(_, n)| n).collect()
+    scored.into_iter().map(|(_, _, n)| n).collect()
 }
 
 /// SplitMix64-style avalanche for salt-keyed tie-breaking.

@@ -4,7 +4,7 @@
 //! network runtime) is responsible for delivery, loss and latency.
 
 use crate::item::ItemHeader;
-use crate::profile::{Profile, SharedProfile};
+use crate::profile::SharedProfile;
 use serde::{Deserialize, Serialize};
 use whatsup_gossip::{Descriptor, NodeId};
 
@@ -16,8 +16,11 @@ use whatsup_gossip::{Descriptor, NodeId};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NewsMessage {
     pub header: ItemHeader,
-    /// The per-copy aggregated item profile.
-    pub profile: Profile,
+    /// The aggregated item profile, shared copy-on-write: fanning one
+    /// reception out to `fLIKE` targets clones the `Arc`, not the entries;
+    /// the next hop that actually aggregates copies once via
+    /// [`Profile::aggregated_with`].
+    pub profile: SharedProfile,
     /// Dislike counter `dI`.
     pub dislikes: u8,
     /// Hop distance from the source (0 at publication).
@@ -110,6 +113,7 @@ impl OutMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::Profile;
 
     #[test]
     fn kinds_classify() {
@@ -118,7 +122,7 @@ mod tests {
                 id: 1,
                 created_at: 0,
             },
-            profile: Profile::new(),
+            profile: SharedProfile::new(Profile::new()),
             dislikes: 0,
             hops: 0,
         });
@@ -136,7 +140,7 @@ mod tests {
                 id: 1,
                 created_at: 0,
             },
-            profile: Profile::new(),
+            profile: SharedProfile::new(Profile::new()),
             dislikes: 0,
             hops: 0,
         });

@@ -16,6 +16,7 @@
 
 use crate::beep::{self, ForwardDecision};
 use crate::bootstrap::{most_popular_items, ColdStart};
+use crate::hash::BuildIdHasher;
 use crate::item::{ItemId, NewsItem, Timestamp};
 use crate::message::{NewsMessage, OutMessage, Payload};
 use crate::obfuscation::Obfuscation;
@@ -96,7 +97,15 @@ pub struct WhatsUpNode {
     /// `profile` mutates. Gossip descriptors and item-profile folds all
     /// share this one allocation.
     shared_cache: Option<SharedProfile>,
-    seen: HashSet<ItemId>,
+    /// Memoized view-merge similarity scores, keyed by candidate-snapshot
+    /// identity (`Arc` address) and invalidated with [`Self::shared_cache`].
+    /// The two WUP merges of one gossip phase rank mostly the same
+    /// candidates (own view + the full RPS view) against an unchanged
+    /// profile; a hit returns the identical `f64` the metric would
+    /// recompute. Each entry pins its snapshot alive, so an address can
+    /// never be reused by a different profile while it is a key here.
+    score_cache: std::collections::HashMap<usize, (SharedProfile, f64), crate::hash::BuildIdHasher>,
+    seen: HashSet<ItemId, BuildIdHasher>,
     stats: NodeStats,
 }
 
@@ -129,7 +138,8 @@ impl WhatsUpNode {
             profile: Profile::new(),
             obfuscation,
             shared_cache: None,
-            seen: HashSet::new(),
+            score_cache: std::collections::HashMap::default(),
+            seen: HashSet::default(),
             stats: NodeStats::default(),
         }
     }
@@ -152,9 +162,11 @@ impl WhatsUpNode {
         shared
     }
 
-    /// Marks the disclosed-profile snapshot stale after a profile mutation.
+    /// Marks the disclosed-profile snapshot and the merge-score memo stale
+    /// after a profile mutation.
     fn invalidate_shared(&mut self) {
         self.shared_cache = None;
+        self.score_cache.clear();
     }
 
     pub fn id(&self) -> NodeId {
@@ -334,9 +346,16 @@ impl WhatsUpNode {
                 // no clone); the payload that travels is the (possibly
                 // obfuscated) shared one.
                 let Self {
-                    wup, rps, profile, ..
+                    wup,
+                    rps,
+                    profile,
+                    score_cache,
+                    ..
                 } = self;
-                let sim = |_own: &SharedProfile, cand: &SharedProfile| metric.score(profile, cand);
+                let cache = std::cell::RefCell::new(score_cache);
+                let sim = |_own: &SharedProfile, cand: &SharedProfile| {
+                    memoized_score(&cache, metric, profile, cand)
+                };
                 let resp = wup.on_request(descs, rps.view().entries(), shared, &sim);
                 self.stats.wup_sent += 1;
                 vec![OutMessage::new(from, Payload::WupResponse(resp))]
@@ -345,9 +364,16 @@ impl WhatsUpNode {
                 let metric = self.params.metric;
                 let shared = self.shared_profile();
                 let Self {
-                    wup, rps, profile, ..
+                    wup,
+                    rps,
+                    profile,
+                    score_cache,
+                    ..
                 } = self;
-                let sim = |_own: &SharedProfile, cand: &SharedProfile| metric.score(profile, cand);
+                let cache = std::cell::RefCell::new(score_cache);
+                let sim = |_own: &SharedProfile, cand: &SharedProfile| {
+                    memoized_score(&cache, metric, profile, cand)
+                };
                 wup.on_response(descs, rps.view().entries(), &shared, &sim);
                 Vec::new()
             }
@@ -383,7 +409,7 @@ impl WhatsUpNode {
             rng,
         );
         self.emit_news(
-            header.into_message(item_profile, decision.dislikes, 0),
+            header.into_message(SharedProfile::new(item_profile), decision.dislikes, 0),
             decision,
         )
     }
@@ -410,17 +436,33 @@ impl WhatsUpNode {
             // 3–4), then record the own rating (line 5) — the paper's
             // order. What is folded is the *shared* profile: item profiles
             // travel the network, so they disclose whatever gossip does.
-            let shared = self.shared_profile();
-            msg.profile.aggregate_user_profile(&shared);
+            // Copy-on-write: build the merged profile straight from the
+            // shared predecessor, never cloning it first. With obfuscation
+            // off the disclosed profile *is* the true profile — fold it
+            // directly instead of materializing the snapshot.
+            if self.obfuscation.is_off() {
+                if !self.profile.is_empty() {
+                    msg.profile = SharedProfile::new(msg.profile.aggregated_with(&self.profile));
+                }
+            } else {
+                let shared = self.shared_profile();
+                if !shared.is_empty() {
+                    msg.profile = SharedProfile::new(msg.profile.aggregated_with(&shared));
+                }
+            }
             self.profile.rate(id, msg.header.created_at, true);
         } else {
             self.profile.rate(id, msg.header.created_at, false);
         }
         self.invalidate_shared();
         // Purge non-recent entries from the item profile before forwarding
-        // (lines 8–10).
-        msg.profile
-            .purge_older_than(now.saturating_sub(self.params.profile_window));
+        // (lines 8–10). Copy the shared profile only when the purge would
+        // actually remove something — the read-only scan is cheap and the
+        // common case (all entries inside the window) stays zero-copy.
+        let cutoff = now.saturating_sub(self.params.profile_window);
+        if msg.profile.entries().iter().any(|e| e.timestamp < cutoff) {
+            SharedProfile::make_mut(&mut msg.profile).purge_older_than(cutoff);
+        }
         let decision = beep::decide(
             &self.params.beep,
             liked,
@@ -443,21 +485,56 @@ impl WhatsUpNode {
         )
     }
 
+    /// Fans the message out to the decided targets. The template is *moved*
+    /// into the last copy — only the first `n − 1` copies deep-clone the
+    /// item profile, which on the dislike path (single target) means no
+    /// clone at all.
     fn emit_news(&mut self, template: NewsMessage, decision: ForwardDecision) -> Vec<OutMessage> {
-        if decision.targets.is_empty() {
+        let n = decision.targets.len();
+        if n == 0 {
             return Vec::new();
         }
-        self.stats.news_sent += decision.targets.len() as u64;
-        decision
-            .targets
-            .into_iter()
-            .map(|t| OutMessage::new(t, Payload::News(template.clone())))
-            .collect()
+        self.stats.news_sent += n as u64;
+        let mut out = Vec::with_capacity(n);
+        let mut template = Some(template);
+        for (i, t) in decision.targets.into_iter().enumerate() {
+            let msg = if i + 1 == n {
+                template.take().expect("template consumed only once")
+            } else {
+                template.as_ref().expect("template live until last").clone()
+            };
+            out.push(OutMessage::new(t, Payload::News(msg)));
+        }
+        out
     }
 }
 
+/// Looks up or computes one view-merge similarity score (see
+/// [`WhatsUpNode`]'s `score_cache`). A hit returns the exact `f64` the
+/// metric would recompute: keys are snapshot addresses, each entry pins its
+/// snapshot's `Arc` alive, and the cache is cleared whenever the ranking
+/// profile mutates.
+fn memoized_score(
+    cache: &std::cell::RefCell<
+        &mut std::collections::HashMap<usize, (SharedProfile, f64), crate::hash::BuildIdHasher>,
+    >,
+    metric: crate::similarity::Metric,
+    own: &Profile,
+    cand: &SharedProfile,
+) -> f64 {
+    let key = SharedProfile::as_ptr(cand) as usize;
+    if let Some((_, s)) = cache.borrow().get(&key) {
+        return *s;
+    }
+    let s = metric.score(own, cand);
+    cache
+        .borrow_mut()
+        .insert(key, (SharedProfile::clone(cand), s));
+    s
+}
+
 impl crate::item::ItemHeader {
-    fn into_message(self, profile: Profile, dislikes: u8, hops: u16) -> NewsMessage {
+    fn into_message(self, profile: SharedProfile, dislikes: u8, hops: u16) -> NewsMessage {
         NewsMessage {
             header: self,
             profile,
@@ -497,7 +574,7 @@ mod tests {
     fn news(id: ItemId, dislikes: u8) -> NewsMessage {
         NewsMessage {
             header: crate::item::ItemHeader { id, created_at: 0 },
-            profile: Profile::new(),
+            profile: SharedProfile::new(Profile::new()),
             dislikes,
             hops: 0,
         }
@@ -565,7 +642,7 @@ mod tests {
             [(1, Profile::new())],
         );
         let mut msg = news(5, 0);
-        msg.profile = liked_profile(&[100]);
+        msg.profile = SharedProfile::new(liked_profile(&[100]));
         let out = n.on_message(7, Payload::News(msg), 0, &Parity, &mut rng());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].to, 8, "oriented to most-similar RPS node");

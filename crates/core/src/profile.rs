@@ -53,6 +53,17 @@ pub struct Profile {
     /// than trust external data for an internal invariant.
     #[serde(skip)]
     norm: f64,
+    /// Memoized 128-bit Bloom fingerprint of the *rated* item-id set (one
+    /// hashed bit per entry). Similarity scoring uses it to reject
+    /// no-overlap pairs in two instructions: if two fingerprints share no
+    /// bit, the profiles share no rated item, and every metric is exactly
+    /// `0.0` (see `crate::similarity`). False positives merely fall through
+    /// to the exact merge-join; false negatives are impossible. Maintained
+    /// by the same mutation-time recompute as the norm, and like the norm
+    /// it is derived state: never serialized, always rebuilt from
+    /// `entries`.
+    #[serde(skip)]
+    fingerprint: u128,
 }
 
 /// Entries fully determine a profile; the memoized norm is derived state
@@ -80,6 +91,28 @@ fn norm_of(entries: &[ProfileEntry]) -> f64 {
     } else {
         n
     }
+}
+
+/// One Bloom bit per item id. The SplitMix64 finalizer spreads consecutive
+/// ids (datasets hand them out densely from 0) across the 128-bit word; the
+/// exact mix constant set does not matter for correctness — only that the
+/// mapping id → bit is a pure function, so equal entry sets always produce
+/// equal fingerprints.
+#[inline]
+fn fingerprint_bit(item: ItemId) -> u128 {
+    let mut z = item.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    1u128 << (z & 127)
+}
+
+/// Fingerprint of an entry slice — the single definition shared by the
+/// mutation-time recompute and the [`Profile::fingerprint`] debug assertion.
+fn fingerprint_of(entries: &[ProfileEntry]) -> u128 {
+    entries
+        .iter()
+        .fold(0u128, |fp, e| fp | fingerprint_bit(e.item))
 }
 
 /// Hand-written deserialization (`[item, timestamp, score]` triple). The
@@ -129,13 +162,47 @@ impl Profile {
         p
     }
 
-    /// Recomputes the memoized norm with a full scan (deterministic order).
-    fn recompute_norm(&mut self) {
-        self.norm = norm_of(&self.entries);
+    /// Builds from an owned entry vector, reusing the allocation when the
+    /// vector is already sorted by strictly ascending item id — the form
+    /// every serialized profile arrives in, since profiles are encoded from
+    /// sorted storage. Decoding hot paths call this to skip the per-entry
+    /// binary-search rebuild of [`Self::from_entries`]; unsorted input
+    /// (possible only from an untrusted wire peer) falls back to the full
+    /// rebuild, so the sortedness invariant cannot be violated from
+    /// outside.
+    pub fn from_vec(entries: Vec<ProfileEntry>) -> Self {
+        if entries.windows(2).any(|w| w[0].item >= w[1].item) {
+            return Self::from_entries(entries);
+        }
+        let mut p = Self {
+            entries,
+            norm: 0.0,
+            fingerprint: 0,
+        };
+        p.recompute_norm();
+        p
     }
 
-    /// Insert/replace without touching the norm cache; callers must
-    /// [`Self::recompute_norm`] before the profile is observable again.
+    /// Recomputes the memoized derived state (norm + fingerprint) in one
+    /// fused scan. The norm accumulator runs the exact op sequence of
+    /// [`norm_of`] (ascending entry order, `sum += s·s`, then `sqrt`), so
+    /// the cache stays bit-identical to the reference recompute; the
+    /// fingerprint is an OR-fold and is order-independent by construction.
+    fn recompute_norm(&mut self) {
+        let mut sum = 0.0f64;
+        let mut fp = 0u128;
+        for e in &self.entries {
+            let s = e.score as f64;
+            sum += s * s;
+            fp |= fingerprint_bit(e.item);
+        }
+        let n = sum.sqrt();
+        self.norm = if n == 0.0 { 0.0 } else { n };
+        self.fingerprint = fp;
+    }
+
+    /// Insert/replace without touching the derived-state caches; callers
+    /// must [`Self::recompute_norm`] before the profile is observable again.
     fn upsert_unnormed(&mut self, e: ProfileEntry) {
         match self.entries.binary_search_by_key(&e.item, |x| x.item) {
             Ok(i) => self.entries[i] = e,
@@ -171,9 +238,22 @@ impl Profile {
 
     /// Inserts or replaces the entry for `e.item` (§II-B: "each profile
     /// contains only a single entry for a given identifier").
+    ///
+    /// The norm is recomputed with the full reference scan (f64 summation
+    /// is order-sensitive, so only the canonical scan is bit-exact); the
+    /// fingerprint is updated incrementally — an OR-fold over the item set
+    /// is order-independent, a replace keeps the item set unchanged, and an
+    /// insert adds exactly one bit.
     pub fn upsert(&mut self, e: ProfileEntry) {
-        self.upsert_unnormed(e);
-        self.recompute_norm();
+        let bit = fingerprint_bit(e.item);
+        match self.entries.binary_search_by_key(&e.item, |x| x.item) {
+            Ok(i) => self.entries[i] = e,
+            Err(i) => {
+                self.entries.insert(i, e);
+                self.fingerprint |= bit;
+            }
+        }
+        self.norm = norm_of(&self.entries);
     }
 
     /// Records the user's opinion on an item (Algorithm 1, lines 5/7/14).
@@ -207,17 +287,74 @@ impl Profile {
 
     /// Folds an entire user profile into this item profile (Algorithm 1,
     /// lines 3–4 and 15–16).
+    ///
+    /// Runs as one linear merge of the two sorted entry vectors rather than
+    /// per-entry binary-search inserts: the fold is the hottest profile
+    /// mutation (every liked reception executes it), and repeated
+    /// mid-vector inserts are O(n·m) in memmoves. The merge applies the
+    /// exact per-item rule of [`Self::add_to_news_profile`] (average the
+    /// score, keep the freshest timestamp), so the resulting entries — and
+    /// the recomputed derived state — are identical to the sequential fold.
     pub fn aggregate_user_profile(&mut self, user: &Profile) {
-        for &e in user.entries() {
-            self.add_to_news_profile_unnormed(e);
+        if user.is_empty() {
+            return;
         }
-        self.recompute_norm();
+        *self = self.aggregated_with(user);
+    }
+
+    /// [`Self::aggregate_user_profile`] as a pure function: returns the
+    /// merged profile, leaving `self` untouched. The copy-on-write news path
+    /// builds the next hop's item profile directly from a shared (`Arc`ed)
+    /// predecessor with this, instead of deep-cloning the predecessor only
+    /// to overwrite the clone's entries.
+    pub fn aggregated_with(&self, user: &Profile) -> Profile {
+        let a = &self.entries;
+        let b = user.entries();
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].item.cmp(&b[j].item) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let (cur, e) = (a[i], b[j]);
+                    merged.push(ProfileEntry {
+                        item: cur.item,
+                        timestamp: cur.timestamp.max(e.timestamp),
+                        score: (cur.score + e.score) / 2.0,
+                    });
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        let mut out = Profile {
+            entries: merged,
+            norm: 0.0,
+            fingerprint: 0,
+        };
+        out.recompute_norm();
+        out
     }
 
     /// Removes entries strictly older than `cutoff` (profile window, §II-E).
     /// `cutoff = now - window`; an entry stamped exactly at the cutoff
     /// survives.
     pub fn purge_older_than(&mut self, cutoff: Timestamp) {
+        // Unsigned timestamps are never below zero, so a zero cutoff (every
+        // run whose clock has not yet passed the window length) retains
+        // everything — skip the scan.
+        if cutoff == 0 {
+            return;
+        }
         let before = self.entries.len();
         self.entries.retain(|e| e.timestamp >= cutoff);
         if self.entries.len() != before {
@@ -246,6 +383,18 @@ impl Profile {
             "stale norm cache: a construction path skipped recompute_norm"
         );
         self.norm
+    }
+
+    /// Bloom fingerprint of the rated item-id set (memoized; O(1)).
+    ///
+    /// `a.fingerprint() & b.fingerprint() == 0` proves `a` and `b` share no
+    /// rated item — the zero-rejection fast path in `crate::similarity`.
+    pub fn fingerprint(&self) -> u128 {
+        debug_assert!(
+            self.fingerprint == fingerprint_of(&self.entries),
+            "stale fingerprint cache: a construction path skipped recompute_norm"
+        );
+        self.fingerprint
     }
 
     /// The most recent timestamp in the profile, if any.

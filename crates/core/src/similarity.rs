@@ -18,8 +18,34 @@
 //! (CF-Cos, WhatsUp-Cos), plus Jaccard — mentioned in §VI among the classic
 //! choices — are implemented on the same merge-join skeleton.
 //!
-//! All functions run a single linear scan over the two sorted entry vectors:
-//! no allocation, `O(|Pn| + |Pc|)`.
+//! All functions are allocation-free scans over the two sorted entry
+//! vectors. Jaccard needs the full union and always runs the linear
+//! merge-join (`O(|Pn| + |Pc|)`); WUP and cosine only need sums over the
+//! *common* items (their union terms are the memoized norms), so they use a
+//! size-adaptive join — linear merge for comparable sizes, iterate-small /
+//! binary-search-big (`O(min·log max)`) when the sizes are skewed, which
+//! they chronically are on the news hot path (aggregated item profiles vs
+//! slim view snapshots). Both strategies visit common items in ascending id
+//! order, so the f64 accumulation — and every output bit — is identical.
+//!
+//! ## Fingerprint fast path
+//!
+//! Before the scan, every metric consults the profiles' memoized 128-bit
+//! Bloom fingerprints ([`Profile::fingerprint`]): if the two fingerprints
+//! share no bit, the profiles share no *rated* item, and each metric is
+//! exactly `0.0` without touching an entry —
+//!
+//! * **wup**: no common item ⇒ `‖sub(Pn,Pc)‖² = 0` ⇒ zero denominator ⇒ 0;
+//! * **cosine**: no common item ⇒ `dot = 0` ⇒ `0/denom = +0.0` (or the
+//!   zero-denominator guard) — bit-identical to the scan's result;
+//! * **jaccard**: no common item ⇒ `common_likes = 0` ⇒ `0/union = +0.0`
+//!   (or the empty-union guard).
+//!
+//! False positives (fingerprints collide but item sets are disjoint) fall
+//! through to the exact merge-join; false negatives are impossible, so the
+//! fast path never changes a single result bit. The scalar merge-join
+//! below stays the exact reference — a property test asserts bit-identical
+//! f64 output across random profile pairs.
 
 use crate::profile::Profile;
 use serde::{Deserialize, Serialize};
@@ -124,36 +150,152 @@ fn merge_join(pn: &Profile, pc: &Profile) -> JoinSums {
     sums
 }
 
+/// Fingerprint zero-rejection: `true` proves the two profiles share no
+/// rated item (see the module docs for why every metric is then exactly 0).
+#[inline]
+fn provably_disjoint(pn: &Profile, pc: &Profile) -> bool {
+    pn.fingerprint() & pc.fingerprint() == 0
+}
+
+/// Common-item sums (`dot`, `sub_norm2`) for the metrics that never look at
+/// non-shared items — WUP (its union terms are the memoized norms) and
+/// cosine. Size-adaptive: profile sizes in a live overlay are wildly skewed
+/// (item profiles aggregate hundreds of entries, view snapshots often hold
+/// a handful), and the full merge scan pays for the big side even when the
+/// intersection is tiny. When one side is much smaller, iterate it and
+/// binary-search the other; both strategies visit the common items in
+/// ascending id order, so the f64 accumulation sequence — and therefore
+/// every result bit — matches the reference merge-join exactly.
+#[inline]
+fn common_sums(pn: &Profile, pc: &Profile) -> (f64, f64) {
+    let (a, b) = (pn.entries(), pc.entries());
+    let (mut dot, mut sub_norm2) = (0.0f64, 0.0f64);
+    // `own_is_small` tracks which side of the asymmetric sums the probe
+    // entry belongs to: `sub_norm2` is always Σ pn² over common items.
+    let (small, big, own_is_small) = if a.len() * 8 <= b.len() {
+        (a, b, true)
+    } else if b.len() * 8 <= a.len() {
+        (b, a, false)
+    } else {
+        // Comparable sizes: the linear merge is cheaper than n·log m.
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let (ea, eb) = (&a[i], &b[j]);
+            match ea.item.cmp(&eb.item) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let (sa, sb) = (ea.score as f64, eb.score as f64);
+                    dot += sa * sb;
+                    sub_norm2 += sa * sa;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        return (dot, sub_norm2);
+    };
+    // `from` narrows the search window: the small side ascends, so matches
+    // can only lie to the right of the previous one.
+    let mut from = 0;
+    for e in small {
+        match big[from..].binary_search_by_key(&e.item, |x| x.item) {
+            Ok(k) => {
+                let other = &big[from + k];
+                let (sa, sb) = if own_is_small {
+                    (e.score as f64, other.score as f64)
+                } else {
+                    (other.score as f64, e.score as f64)
+                };
+                dot += sa * sb;
+                sub_norm2 += sa * sa;
+                from += k + 1;
+            }
+            Err(k) => from += k,
+        }
+        if from >= big.len() {
+            break;
+        }
+    }
+    (dot, sub_norm2)
+}
+
 /// The asymmetric WUP metric (§II). Returns 0 when either norm vanishes
 /// (no overlap, or candidate with no likes).
 pub fn wup_similarity(pn: &Profile, pc: &Profile) -> f64 {
-    let sums = merge_join(pn, pc);
-    let denom = sums.sub_norm2.sqrt() * pc.norm();
+    if provably_disjoint(pn, pc) {
+        return 0.0;
+    }
+    let (dot, sub_norm2) = common_sums(pn, pc);
+    let denom = sub_norm2.sqrt() * pc.norm();
     if denom <= 0.0 {
         0.0
     } else {
-        sums.dot / denom
+        dot / denom
     }
 }
 
 /// Classic cosine similarity over the full score vectors.
 pub fn cosine_similarity(pn: &Profile, pc: &Profile) -> f64 {
-    let sums = merge_join(pn, pc);
+    if provably_disjoint(pn, pc) {
+        return 0.0;
+    }
+    let (dot, _) = common_sums(pn, pc);
     let denom = pn.norm() * pc.norm();
     if denom <= 0.0 {
         0.0
     } else {
-        sums.dot / denom
+        dot / denom
     }
 }
 
 /// Jaccard index over the *liked* item sets.
 pub fn jaccard_similarity(pn: &Profile, pc: &Profile) -> f64 {
+    if provably_disjoint(pn, pc) {
+        return 0.0;
+    }
     let sums = merge_join(pn, pc);
     if sums.union_likes == 0 {
         0.0
     } else {
         sums.common_likes as f64 / sums.union_likes as f64
+    }
+}
+
+/// The scan-only reference implementations, bypassing the fingerprint fast
+/// path. Exposed (hidden) so property tests can assert the fast path is
+/// bit-identical to the scalar merge-join over arbitrary profiles.
+#[doc(hidden)]
+pub mod reference {
+    use super::{merge_join, Profile};
+
+    pub fn wup_similarity(pn: &Profile, pc: &Profile) -> f64 {
+        let sums = merge_join(pn, pc);
+        let denom = sums.sub_norm2.sqrt() * pc.norm();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            sums.dot / denom
+        }
+    }
+
+    pub fn cosine_similarity(pn: &Profile, pc: &Profile) -> f64 {
+        let sums = merge_join(pn, pc);
+        let denom = pn.norm() * pc.norm();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            sums.dot / denom
+        }
+    }
+
+    pub fn jaccard_similarity(pn: &Profile, pc: &Profile) -> f64 {
+        let sums = merge_join(pn, pc);
+        if sums.union_likes == 0 {
+            0.0
+        } else {
+            sums.common_likes as f64 / sums.union_likes as f64
+        }
     }
 }
 
@@ -318,6 +460,44 @@ mod tests {
             for m in [Metric::Wup, Metric::Cosine, Metric::Jaccard] {
                 let s = m.score(&a, &b);
                 prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{} out of range: {s}", m.label());
+            }
+        }
+
+        /// The fast paths must be invisible in the output: every metric
+        /// returns the *bit-identical* f64 the scan-only reference
+        /// produces, over random pairs of mixed binary/real-valued profiles
+        /// (narrow id range ⇒ plenty of overlapping pairs; disjoint ranges
+        /// covered by the offset). The size ranges are deliberately skewed
+        /// (`a` small, `b` up to ~150 entries) so the size-adaptive
+        /// binary-search join — both orientations — is exercised alongside
+        /// the balanced merge and the fingerprint rejection.
+        #[test]
+        fn fast_path_is_bit_identical_to_scalar_merge_join(
+            ea in prop::collection::vec((0u64..60, prop::bool::ANY), 0..40),
+            eb in prop::collection::vec((0u64..200, 0u32..5), 0..150),
+            offset_class in 0u64..3,
+        ) {
+            // 0 = full overlap range, 30 = partial, 1000 = disjoint ids.
+            let offset = [0u64, 30, 1_000][offset_class as usize];
+            let a = Profile::from_entries(ea.iter().map(|&(i, liked)| ProfileEntry {
+                item: i,
+                timestamp: 0,
+                score: if liked { 1.0 } else { 0.0 },
+            }));
+            // Real-valued scores (item-profile style) on the candidate side.
+            let b = Profile::from_entries(eb.iter().map(|&(i, q)| ProfileEntry {
+                item: i + offset,
+                timestamp: 0,
+                score: q as f32 / 4.0,
+            }));
+            for (fast, slow) in [
+                (wup_similarity(&a, &b), reference::wup_similarity(&a, &b)),
+                (cosine_similarity(&a, &b), reference::cosine_similarity(&a, &b)),
+                (jaccard_similarity(&a, &b), reference::jaccard_similarity(&a, &b)),
+                (wup_similarity(&b, &a), reference::wup_similarity(&b, &a)),
+            ] {
+                prop_assert_eq!(fast.to_bits(), slow.to_bits(),
+                    "fast {fast} != reference {slow}");
             }
         }
 

@@ -39,7 +39,7 @@ fn payload_from(kind: u8, descs: Vec<(u32, u64, bool)>, item: u64, dislikes: u8)
                 id: item,
                 created_at: 0,
             },
-            profile: profile_of(&[(item.wrapping_add(1), true)]),
+            profile: SharedProfile::new(profile_of(&[(item.wrapping_add(1), true)])),
             dislikes,
             hops: 0,
         }),
@@ -126,7 +126,7 @@ proptest! {
                 9,
                 Payload::News(NewsMessage {
                     header: ItemHeader { id: item, created_at: 0 },
-                    profile: Profile::new(),
+                    profile: SharedProfile::new(Profile::new()),
                     dislikes: 0,
                     hops: c as u16,
                 }),
@@ -162,7 +162,7 @@ fn window_purge_enables_reintegration() {
                 id: 10,
                 created_at: 0,
             },
-            profile: Profile::new(),
+            profile: SharedProfile::new(Profile::new()),
             dislikes: 0,
             hops: 0,
         }),
@@ -187,7 +187,7 @@ fn window_purge_enables_reintegration() {
                 id: 20,
                 created_at: 20,
             },
-            profile: Profile::new(),
+            profile: SharedProfile::new(Profile::new()),
             dislikes: 0,
             hops: 0,
         }),
@@ -227,7 +227,7 @@ fn item_profile_windowing_applies_in_flight() {
                 id: 4,
                 created_at: 40,
             }, // node 0 likes 4
-            profile: stale_profile,
+            profile: SharedProfile::new(stale_profile),
             dislikes: 0,
             hops: 0,
         }),

@@ -160,20 +160,24 @@ impl<P: Clone> Clustering<P> {
         // first) would collapse every node's view onto the same few peers,
         // wrecking the overlay. Mixing with the local id keeps tie-breaking
         // deterministic per node but decorrelated across nodes.
-        let mut scored: Vec<(f64, Descriptor<P>)> = deduped
-            .drain(..)
-            .map(|d| (sim.score(own_payload, &d.payload), d))
-            .collect();
+        // The id mix is precomputed per candidate: the sort comparator
+        // would otherwise re-derive both sides' mixes on every comparison
+        // (O(n log n) avalanche evaluations per merge, on the per-cycle
+        // gossip path).
         let self_id = self.id;
-        scored.sort_by(|(sa, da), (sb, db)| {
+        let mut scored: Vec<(f64, u64, Descriptor<P>)> = deduped
+            .drain(..)
+            .map(|d| (sim.score(own_payload, &d.payload), mix(self_id, d.node), d))
+            .collect();
+        scored.sort_by(|(sa, ma, da), (sb, mb, db)| {
             sb.partial_cmp(sa)
                 .expect("similarity scores must not be NaN")
                 .then(da.age.cmp(&db.age))
-                .then(mix(self_id, da.node).cmp(&mix(self_id, db.node)))
+                .then(ma.cmp(mb))
         });
         scored.truncate(self.config.view_size);
         self.view
-            .replace_with(scored.into_iter().map(|(_, d)| d).collect());
+            .replace_with(scored.into_iter().map(|(_, _, d)| d).collect());
     }
 }
 

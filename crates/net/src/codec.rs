@@ -31,10 +31,9 @@
 //! shard per remote machine) moves these very bundle encodings inside its
 //! length-prefixed command frames, so anything the simulator exchanges
 //! across machines is by construction expressible on the deployment
-//! stack's network encoding. The engine's measurement pipeline adds one
-//! engine-internal frame on top — the per-cycle counter block (seven
-//! `u64`s) a shard ships back at the end of each cycle — which carries
-//! plain counters and never embeds message encodings. See the
+//! stack's network encoding. The engine's per-cycle measurement counters
+//! are folded driver-side from the phase replies, so no engine-internal
+//! counter frame rides on top of this codec. See the
 //! `whatsup_sim::engine` module docs, "distributed topology" and
 //! "measurement pipeline".
 
@@ -72,7 +71,7 @@ pub enum WireMessage {
     },
     News {
         item: NewsItem,
-        profile: Profile,
+        profile: SharedProfile,
         dislikes: u8,
         hops: u16,
     },
@@ -219,18 +218,112 @@ pub fn encode_bundle(
     resolve: impl Fn(u64) -> Option<NewsItem>,
 ) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + entries.len() * 128);
+    encode_bundle_into(&mut buf, from_shard, entries, resolve);
+    buf.freeze()
+}
+
+/// Appends a mailbox bundle to `buf` (same frame as [`encode_bundle`]).
+/// Each inner message is encoded directly into `buf` after a 4-byte length
+/// placeholder that is patched once the message's true size is known — one
+/// pass, no staging buffer, no second copy. Callers that reuse `buf` across
+/// rounds amortize the allocation to zero in steady state.
+pub fn encode_bundle_into(
+    buf: &mut BytesMut,
+    from_shard: u32,
+    entries: &[(NodeId, NodeId, Payload)],
+    resolve: impl Fn(u64) -> Option<NewsItem>,
+) {
     buf.put_u8(wire::MAILBOX_BUNDLE);
     buf.put_u32_le(from_shard);
     buf.put_u32_le(entries.len() as u32);
-    let mut inner = BytesMut::with_capacity(256);
     for (to, from, payload) in entries {
-        inner.clear();
-        encode_into(&mut inner, *from, payload, &resolve);
         buf.put_u32_le(*to);
-        buf.put_u32_le(inner.len() as u32);
-        buf.put_slice(&inner);
+        let at = buf.len();
+        buf.put_u32_le(0); // length placeholder
+        encode_into(buf, *from, payload, &resolve);
+        let len = (buf.len() - at - 4) as u32;
+        buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
     }
-    buf.freeze()
+}
+
+/// A borrowed view over an encoded mailbox bundle: iterates `(to, inner
+/// frame)` pairs straight out of the frame buffer without materializing a
+/// `Vec<BundleEntry>`. Each inner frame slice decodes with [`decode`] (which
+/// rejects nested bundles); consumers that only route by destination never
+/// pay for decoding the message bodies at all.
+#[derive(Debug, Clone)]
+pub struct BundleView<'a> {
+    from_shard: u32,
+    remaining_entries: u32,
+    rest: &'a [u8],
+}
+
+/// Opens a borrowed iterator over a bundle frame. Errors if the frame is
+/// not a bundle header; per-entry truncation surfaces lazily from the
+/// iterator.
+pub fn bundle_view(frame: &[u8]) -> Result<BundleView<'_>, DecodeError> {
+    let mut buf = frame;
+    if buf.remaining() < 9 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != wire::MAILBOX_BUNDLE {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let from_shard = buf.get_u32_le();
+    let remaining_entries = buf.get_u32_le();
+    Ok(BundleView {
+        from_shard,
+        remaining_entries,
+        rest: buf,
+    })
+}
+
+impl<'a> BundleView<'a> {
+    /// The emitting shard's index (the frame-level `from`).
+    pub fn from_shard(&self) -> u32 {
+        self.from_shard
+    }
+
+    /// Entries not yet yielded.
+    pub fn len(&self) -> usize {
+        self.remaining_entries as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining_entries == 0
+    }
+}
+
+impl<'a> Iterator for BundleView<'a> {
+    /// `(destination node, borrowed inner single-message frame)`.
+    type Item = Result<(NodeId, &'a [u8]), DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining_entries == 0 {
+            return None;
+        }
+        self.remaining_entries -= 1;
+        if self.rest.remaining() < 8 {
+            self.remaining_entries = 0;
+            return Some(Err(DecodeError::Truncated));
+        }
+        let to = self.rest.get_u32_le();
+        let len = self.rest.get_u32_le() as usize;
+        if self.rest.remaining() < len {
+            self.remaining_entries = 0;
+            return Some(Err(DecodeError::Truncated));
+        }
+        let inner = &self.rest[..len];
+        self.rest.advance(len);
+        // Nested bundles are forbidden on the wire; reject before a caller
+        // recurses into `decode`.
+        if inner.first() == Some(&wire::MAILBOX_BUNDLE) {
+            self.remaining_entries = 0;
+            return Some(Err(DecodeError::BadTag(wire::MAILBOX_BUNDLE)));
+        }
+        Some(Ok((to, inner)))
+    }
 }
 
 /// Serializes a descriptor list (`count:u16 descriptor*`). Exposed so the
@@ -345,7 +438,7 @@ pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
             }
             let dislikes = buf.get_u8();
             let hops = buf.get_u16_le();
-            let profile = get_profile(&mut buf)?;
+            let profile = SharedProfile::new(get_profile(&mut buf)?);
             let item = NewsItem {
                 title,
                 description,
@@ -361,6 +454,133 @@ pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
                     dislikes,
                     hops,
                 },
+            ))
+        }
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+/// Per-bundle news-decode memo. A delivery round fans one item out to many
+/// receivers, so a bundle's news entries repeat the same item-content
+/// bytes, and sibling fan-out copies repeat identical profile bytes. Byte
+/// equality against the last-decoded span is exact — the decoders are pure
+/// functions of the bytes — so a hit reuses the previous result: the item
+/// header (skipping three string allocations and the content hash) and the
+/// shared profile (skipping the entry parse, the allocation and the norm
+/// recompute). Profile reuse also restores the sender-side `Arc` sharing
+/// that encoding flattened; receivers treat it copy-on-write either way.
+#[derive(Debug, Default)]
+pub struct NewsDecodeCache {
+    item_bytes: Vec<u8>,
+    item_header: Option<ItemHeader>,
+    profile_bytes: Vec<u8>,
+    profile: Option<SharedProfile>,
+}
+
+/// Decodes one bundle inner frame straight to its protocol payload, using
+/// `cache` to short-circuit repeated news content within the bundle. The
+/// third return is the news item's content when it was decoded fresh (the
+/// caller must register it with its item store); `None` for gossip frames
+/// and for cache hits — a hit means an entry with identical content bytes
+/// was already yielded through this cache.
+pub fn decode_bundle_entry(
+    mut buf: &[u8],
+    cache: &mut NewsDecodeCache,
+) -> Result<(NodeId, Payload, Option<NewsItem>), DecodeError> {
+    if buf.remaining() < 5 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let from = buf.get_u32_le();
+    match tag {
+        wire::RPS_REQUEST | wire::RPS_RESPONSE | wire::WUP_REQUEST | wire::WUP_RESPONSE => {
+            let d = get_descriptors(&mut buf)?;
+            let payload = match tag {
+                wire::RPS_REQUEST => Payload::RpsRequest(d),
+                wire::RPS_RESPONSE => Payload::RpsResponse(d),
+                wire::WUP_REQUEST => Payload::WupRequest(d),
+                _ => Payload::WupResponse(d),
+            };
+            Ok((from, payload, None))
+        }
+        wire::NEWS => {
+            // Delimit the content span (source, created_at, three
+            // length-prefixed strings) without parsing it yet.
+            let start = buf;
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            buf.advance(8);
+            for _ in 0..3 {
+                if buf.remaining() < 2 {
+                    return Err(DecodeError::Truncated);
+                }
+                let len = buf.get_u16_le() as usize;
+                if buf.remaining() < len {
+                    return Err(DecodeError::Truncated);
+                }
+                buf.advance(len);
+            }
+            let content = &start[..start.len() - buf.len()];
+            if buf.remaining() < 3 {
+                return Err(DecodeError::Truncated);
+            }
+            let dislikes = buf.get_u8();
+            let hops = buf.get_u16_le();
+            // Delimit the profile span (`len:u16` + 16 bytes per entry).
+            if buf.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let n_entries = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+            let profile_len = 2 + n_entries * 16;
+            if buf.remaining() < profile_len {
+                return Err(DecodeError::Truncated);
+            }
+            let profile_span = &buf[..profile_len];
+
+            let (header, fresh_item) = match cache.item_header {
+                Some(h) if cache.item_bytes == content => (h, None),
+                _ => {
+                    let mut cbuf = content;
+                    let source = cbuf.get_u32_le();
+                    let created_at = cbuf.get_u32_le();
+                    let title = get_str(&mut cbuf)?;
+                    let description = get_str(&mut cbuf)?;
+                    let link = get_str(&mut cbuf)?;
+                    let item = NewsItem {
+                        title,
+                        description,
+                        link,
+                        source,
+                        created_at,
+                    };
+                    let header = item.header();
+                    cache.item_bytes.clear();
+                    cache.item_bytes.extend_from_slice(content);
+                    cache.item_header = Some(header);
+                    (header, Some(item))
+                }
+            };
+            let profile = match &cache.profile {
+                Some(p) if cache.profile_bytes == profile_span => SharedProfile::clone(p),
+                _ => {
+                    let mut pbuf = profile_span;
+                    let p = SharedProfile::new(get_profile(&mut pbuf)?);
+                    cache.profile_bytes.clear();
+                    cache.profile_bytes.extend_from_slice(profile_span);
+                    cache.profile = Some(SharedProfile::clone(&p));
+                    p
+                }
+            };
+            Ok((
+                from,
+                Payload::News(NewsMessage {
+                    header,
+                    profile,
+                    dislikes,
+                    hops,
+                }),
+                fresh_item,
             ))
         }
         other => Err(DecodeError::BadTag(other)),
@@ -387,7 +607,9 @@ pub fn get_profile(buf: &mut &[u8]) -> Result<Profile, DecodeError> {
             score,
         });
     }
-    Ok(Profile::from_entries(entries))
+    // Wire profiles are serialized from sorted storage, so this takes the
+    // allocation-reusing sorted path on every well-formed frame.
+    Ok(Profile::from_vec(entries))
 }
 
 fn get_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
@@ -449,7 +671,7 @@ mod tests {
         let item = NewsItem::new("Breaking", "short desc", "https://x/y", 7, 123);
         let payload = Payload::News(NewsMessage {
             header: item.header(),
-            profile: profile(&[(5, 0.75)]),
+            profile: SharedProfile::new(profile(&[(5, 0.75)])),
             dislikes: 2,
             hops: 4,
         });
@@ -516,7 +738,7 @@ mod tests {
         let item = NewsItem::new("hello", "world", "https://n/1", 3, 9);
         let news = Payload::News(NewsMessage {
             header: item.header(),
-            profile: profile(&[(4, 1.0)]),
+            profile: SharedProfile::new(profile(&[(4, 1.0)])),
             dislikes: 1,
             hops: 2,
         });

@@ -12,7 +12,9 @@ use whatsup_core::message::wire;
 use whatsup_core::{
     Descriptor, NewsItem, NewsMessage, NodeId, Payload, Profile, ProfileEntry, SharedProfile,
 };
-use whatsup_net::codec::{decode, encode, encode_bundle, WireMessage};
+use whatsup_net::codec::{
+    bundle_view, decode, decode_bundle_entry, encode, encode_bundle, NewsDecodeCache, WireMessage,
+};
 
 /// Builds a profile from generated `(item, timestamp, liked)` triples.
 /// `from_entries` dedupes by item id, so the roundtrip comparison runs on
@@ -65,7 +67,7 @@ fn gossip_payload(kind: u8, descs: Vec<Descriptor<SharedProfile>>) -> Payload {
 fn news_payload(item: &NewsItem, entries: &[(u64, u32, bool)], dislikes: u8, hops: u16) -> Payload {
     Payload::News(NewsMessage {
         header: item.header(),
-        profile: profile(entries),
+        profile: SharedProfile::new(profile(entries)),
         dislikes,
         hops,
     })
@@ -170,6 +172,100 @@ proptest! {
             prop_assert_eq!(got.from, from);
             prop_assert_eq!(got.message.into_payload(), payload);
         }
+    }
+
+    /// The zero-copy bundle path (`bundle_view` + `decode_bundle_entry`
+    /// with its per-bundle news cache) must be invisible: over bundles
+    /// mixing every wire variant — drawn from small item/profile pools so
+    /// fan-out-style repetition drives the cache hit paths — it yields
+    /// exactly the entries the plain `decode` path yields, registers every
+    /// distinct news content (and nothing else), and the decoded entries
+    /// re-encode to the original frame byte-for-byte.
+    #[test]
+    fn zero_copy_bundle_decode_is_byte_exact(
+        shard in 0u32..64,
+        item_pool in prop::collection::vec((0u64..1_000, 0u32..1_000, 0u32..500), 1..3),
+        profile_pool in prop::collection::vec(profile_strategy(), 1..3),
+        picks in prop::collection::vec(
+            (
+                (0u8..6, 0usize..8, 0usize..8),
+                (0u32..100_000, 0u32..100_000),
+                (0u8..255, 0u16..100),
+            ),
+            0..16,
+        ),
+    ) {
+        let item_vec: Vec<NewsItem> = item_pool
+            .iter()
+            .enumerate()
+            .map(|(i, &(title, source, created))| news_item(title, i as u64, source, created))
+            .collect();
+        let items: std::collections::HashMap<u64, NewsItem> =
+            item_vec.iter().map(|i| (i.id(), i.clone())).collect();
+        let mut entries: Vec<(NodeId, NodeId, Payload)> = Vec::new();
+        for ((kind, item_ix, prof_ix), (to, from), (dislikes, hops)) in &picks {
+            let prof = &profile_pool[prof_ix % profile_pool.len()];
+            // Tags 1–4 are the gossip kinds; 0 and 5 both map to news so
+            // consecutive news entries (the cache's hit case) are common.
+            let payload = if *kind == 0 || *kind == wire::NEWS {
+                let item = &item_vec[item_ix % item_vec.len()];
+                news_payload(item, prof, *dislikes, *hops)
+            } else {
+                gossip_payload(*kind, descriptors(&[(*from, 3, prof.clone())]))
+            };
+            entries.push((*to, *from, payload));
+        }
+        let frame = encode_bundle(shard, &entries, |id| items.get(&id).cloned());
+
+        // Reference: the materializing decode path.
+        let (decoded_shard, wire_msg) = decode(&frame).unwrap();
+        prop_assert_eq!(decoded_shard, shard);
+        let WireMessage::Bundle(plain) = wire_msg else {
+            panic!("expected a bundle frame");
+        };
+        let plain: Vec<(NodeId, NodeId, Payload)> = plain
+            .into_iter()
+            .map(|e| (e.to, e.from, e.message.into_payload()))
+            .collect();
+
+        // Zero-copy path, through the shared per-bundle news cache.
+        let view = bundle_view(&frame).unwrap();
+        prop_assert_eq!(view.from_shard(), shard);
+        let mut cache = NewsDecodeCache::default();
+        let mut streamed: Vec<(NodeId, NodeId, Payload)> = Vec::new();
+        let mut registered: Vec<NewsItem> = Vec::new();
+        for entry in view {
+            let (to, inner) = entry.unwrap();
+            let (from, payload, fresh) = decode_bundle_entry(inner, &mut cache).unwrap();
+            if let Some(item) = fresh {
+                registered.push(item);
+            }
+            streamed.push((to, from, payload));
+        }
+        prop_assert_eq!(&streamed, &plain, "zero-copy path must match plain decode");
+        prop_assert_eq!(&streamed, &entries, "decode must invert encode");
+
+        // Every distinct news content surfaced as fresh at least once (so
+        // the receiving shard can register it), every fresh item is a real
+        // bundle item, and a cache hit never yields a stale header.
+        let registered_ids: std::collections::BTreeSet<u64> =
+            registered.iter().map(|i| i.id()).collect();
+        let expected_ids: std::collections::BTreeSet<u64> = entries
+            .iter()
+            .filter_map(|(_, _, p)| match p {
+                Payload::News(m) => Some(m.header.id),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(registered_ids, expected_ids);
+        for item in &registered {
+            prop_assert_eq!(Some(item), items.get(&item.id()).as_ref().copied());
+        }
+
+        // Byte-for-byte: re-encoding what the zero-copy path decoded
+        // reproduces the original frame exactly.
+        let reencoded = encode_bundle(shard, &streamed, |id| items.get(&id).cloned());
+        prop_assert_eq!(&reencoded[..], &frame[..], "re-encode must be byte-identical");
     }
 
     /// Truncating any frame at any point is a decode error, never a panic

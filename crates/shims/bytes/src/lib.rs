@@ -106,6 +106,14 @@ impl Deref for BytesMut {
     }
 }
 
+/// Mutable access to the written bytes (mirrors upstream `BytesMut`);
+/// encoders use it to patch length placeholders in place.
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.data

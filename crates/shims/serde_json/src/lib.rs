@@ -1,10 +1,12 @@
 //! Minimal `serde_json` shim.
 //!
-//! * [`to_string_pretty`] renders through pretty `Debug`. For the shapes
-//!   the workspace round-trips (numeric vectors, primitives) this is valid
-//!   JSON modulo trailing commas, which [`from_str`]'s lenient parser
-//!   accepts. Struct artifacts render as Debug trees — readable, stable,
-//!   but not strict JSON; nothing in-tree parses those back.
+//! * [`to_string_pretty`] renders through pretty `Debug`, then strips the
+//!   trailing commas Debug emits so the output is strict JSON for the
+//!   shapes the workspace round-trips (numeric vectors, primitives) —
+//!   external tooling (python, jq, the CI baseline check) can consume the
+//!   artifacts directly. Struct artifacts still render as Debug trees —
+//!   readable, stable, but not strict JSON; nothing in-tree parses those
+//!   back.
 //! * [`from_str`] parses via the shared lenient parser in `serde::json`.
 //! * [`json!`] builds a [`Value`] for ad-hoc artifacts.
 
@@ -12,12 +14,48 @@ pub use serde::json::{Error, Value};
 
 /// Serializes `value` through pretty `Debug`.
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    Ok(format!("{value:#?}"))
+    Ok(strip_trailing_commas(&format!("{value:#?}")))
 }
 
 /// Serializes `value` through compact `Debug`.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    Ok(format!("{value:?}"))
+    Ok(strip_trailing_commas(&format!("{value:?}")))
+}
+
+/// Removes commas that directly precede a closing `]`/`}` (ignoring
+/// whitespace), skipping string literals — Debug's multi-line layout writes
+/// one, strict JSON forbids it.
+fn strip_trailing_commas(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push('"');
+            }
+            ',' => {
+                let next = text[i + 1..].chars().find(|c| !c.is_whitespace());
+                if !matches!(next, Some(']') | Some('}')) {
+                    out.push(',');
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parses lenient JSON into any hand-implemented [`serde::Deserialize`].
@@ -103,6 +141,29 @@ mod tests {
         };
         assert_eq!(map["ok"], Value::Bool(true));
         assert_eq!(map["n"], Value::Number(3.0));
+    }
+
+    #[test]
+    fn pretty_output_is_strict_json() {
+        let rows = vec![vec![1000.0f64, 1.0, 4.43], vec![20000.0, 4.0, 0.07]];
+        let text = to_string_pretty(&rows).unwrap();
+        assert!(
+            !text.contains(",\n]") && !text.contains(",\n    ]"),
+            "{text}"
+        );
+        for line in text.lines() {
+            let t = line.trim_end();
+            assert!(!t.ends_with(",]") && !t.ends_with(", ]"), "{t}");
+        }
+        let back: Vec<Vec<f64>> = from_str(&text).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn strip_keeps_commas_inside_strings() {
+        let v = json!({"s": "a,]", "xs": [1, 2]});
+        let text = to_string(&v);
+        assert!(text.unwrap().contains("a,]"));
     }
 
     #[test]

@@ -58,9 +58,14 @@ pub(crate) struct DriverCore {
     liked_this_cycle: Vec<u32>,
     /// Per-node delivery counters over measured items (Fig. 11).
     per_node: Vec<NodeIr>,
-    /// Per-cycle measurement series, folded from the shards' counter
-    /// frames in shard-index order at the end of every cycle (empty when
-    /// `cfg.collect_series` is off).
+    /// The current cycle's counters, accumulated from the phase replies
+    /// the driver already folds (route totals, churn resets, reception
+    /// outcomes) and flushed into `series` at the end of every cycle — no
+    /// dedicated counter round-trip. Lives on the core (not `run_cycle`)
+    /// so interactive mutators between cycles land in the next flush.
+    cycle_stats: CycleStats,
+    /// Per-cycle measurement series (empty when `cfg.collect_series` is
+    /// off).
     series: CycleSeries,
     partition: Partition,
 }
@@ -144,7 +149,10 @@ fn build(
     let mut schedule = vec![Vec::new(); cfg.cycles as usize];
     let mut items = Vec::with_capacity(dataset.n_items());
     let mut sources = Vec::with_capacity(dataset.n_items());
-    let mut id_to_index = HashMap::with_capacity(dataset.n_items());
+    let mut id_to_index = crate::oracle::ItemIndexMap::with_capacity_and_hasher(
+        dataset.n_items(),
+        Default::default(),
+    );
     for spec in &dataset.items {
         let cycle = item_cycles[spec.index as usize];
         let item = NewsItem::new(
@@ -227,6 +235,7 @@ fn build(
         news_messages_measured: 0,
         liked_this_cycle: vec![0; n],
         per_node: vec![NodeIr::default(); n],
+        cycle_stats: CycleStats::default(),
         series: CycleSeries::new(),
         partition,
     };
@@ -330,6 +339,7 @@ fn apply_event(
                     resets: vec![(node, snapshot)],
                 },
             )])?;
+            core.cycle_stats.crashed += 1;
         }
     }
     Ok(())
@@ -381,6 +391,7 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) -> Result<(), T
             break;
         }
         core.gossip_messages += sent;
+        core.cycle_stats.gossip_sent += sent;
         let batch = (0..shards)
             .map(|dest| {
                 (
@@ -412,6 +423,7 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) -> Result<(), T
             };
             pairs.extend(p);
         }
+        core.cycle_stats.crashed += pairs.len() as u64;
         if !pairs.is_empty() {
             let mut wanted: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
             for &(_, contact) in &pairs {
@@ -461,23 +473,15 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) -> Result<(), T
         disseminate(core, t, index, cycle)?;
     }
 
-    // --- Measurement fold --------------------------------------------------
-    // One counter frame per shard, folded in shard-index order: integer
-    // sums, so the series is bit-identical across shard counts and
-    // transports (see the engine module docs' "measurement pipeline").
+    // --- Measurement flush -------------------------------------------------
+    // The counters were accumulated from the phase replies this cycle
+    // already produced (integer sums in a fixed fold order), so the series
+    // stays bit-identical across shard counts and transports without a
+    // dedicated end-of-cycle counter round-trip (see the engine module
+    // docs' "measurement pipeline").
+    let mut stats = std::mem::take(&mut core.cycle_stats);
+    stats.live_nodes = core.partition.total() as u64;
     if core.cfg.collect_series {
-        let replies = t.roundtrip(
-            (0..shards)
-                .map(|s| (s, Command::TakeCycleCounters))
-                .collect(),
-        )?;
-        let mut stats = CycleStats::default();
-        for reply in replies {
-            let Reply::CycleCounters(c) = reply else {
-                panic!("expected CycleCounters");
-            };
-            stats.merge(&c);
-        }
         core.series.push(stats);
     }
     // Cycle boundary: mailboxes are provably drained here, which is what
@@ -511,6 +515,7 @@ fn disseminate(
         .filter(|&u| u != source)
         .collect();
     core.records[index as usize].interested = interested.len() as u32;
+    core.cycle_stats.interested += interested.len() as u64;
     if measured {
         for &u in &interested {
             core.per_node[u as usize].interested += 1;
@@ -544,6 +549,7 @@ fn disseminate(
         }
         core.records[index as usize].news_sent += sent;
         core.news_messages_all += sent;
+        core.cycle_stats.news_sent += sent;
         if measured {
             core.news_messages_measured += sent;
         }
@@ -592,11 +598,13 @@ fn fold_outcomes(core: &mut DriverCore, index: u32, measured: bool, outcomes: &[
             let rec = &mut core.records[index as usize];
             rec.reached += 1;
             rec.infection_hops.push((first.hop, first.sender_liked));
+            core.cycle_stats.first_receptions += 1;
             if measured {
                 core.per_node[to].received += 1;
             }
             if first.receiver_likes {
                 rec.hits += 1;
+                core.cycle_stats.hits += 1;
                 rec.dislikes_at_liked_reception.push(first.dislikes);
                 core.liked_this_cycle[to] += 1;
                 if measured {

@@ -41,13 +41,11 @@ use crate::engine::shard::ShardInit;
 use crate::oracle::Oracle;
 use crate::scenario::{ChurnModel, LossModel};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use whatsup_core::beep::{DislikeRule, TargetPool};
 use whatsup_core::{ColdStart, ItemId, Metric, NewsItem, NodeId, Params};
 use whatsup_datasets::LikeMatrix;
-use whatsup_metrics::CycleStats;
 use whatsup_net::codec;
 
 /// A transport-level failure: the conversation with a shard worker could
@@ -184,9 +182,6 @@ pub enum Command {
         item: ItemId,
         bundles: Vec<Bytes>,
     },
-    /// Drain-and-reset the shard's per-cycle measurement counters (end of
-    /// cycle; see the engine module docs' "measurement pipeline" section).
-    TakeCycleCounters,
     /// Serialize the shard's full state (issued at a cycle boundary, where
     /// the mailboxes are provably empty). Answered with
     /// [`Reply::Checkpoint`].
@@ -260,10 +255,6 @@ pub enum Reply {
         out: Outbound,
         outcomes: Vec<NewsOutcome>,
     },
-    /// The shard's per-cycle counters, reset on read. `live_nodes` covers
-    /// only the shard's owned range; the driver's fold across shards (in
-    /// shard-index order) yields the population total.
-    CycleCounters(CycleStats),
     /// The shard's serialized state (see
     /// [`crate::engine::shard::ShardState::encode_checkpoint`] for the
     /// frame layout).
@@ -387,7 +378,9 @@ const CMD_DELIVER_NEWS: u8 = 8;
 const CMD_STOP: u8 = 9;
 const CMD_ADMIT: u8 = 10;
 const CMD_SWAP_INTERESTS: u8 = 11;
-const CMD_TAKE_CYCLE_COUNTERS: u8 = 12;
+// Opcode 12 was `TakeCycleCounters` in protocol v2; the driver now folds
+// cycle counters from the phase replies it already receives, so the
+// end-of-cycle counter round-trip no longer exists.
 const CMD_TAKE_CHECKPOINT: u8 = 13;
 const CMD_RESTORE: u8 = 14;
 
@@ -454,7 +447,6 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             buf.put_u32_le(*a);
             buf.put_u32_le(*b);
         }
-        Command::TakeCycleCounters => buf.put_u8(CMD_TAKE_CYCLE_COUNTERS),
         Command::TakeCheckpoint => buf.put_u8(CMD_TAKE_CHECKPOINT),
         Command::Restore { frame } => {
             buf.put_u8(CMD_RESTORE);
@@ -518,7 +510,6 @@ pub fn decode_command(mut frame: &[u8]) -> Command {
             a: buf.get_u32_le(),
             b: buf.get_u32_le(),
         },
-        CMD_TAKE_CYCLE_COUNTERS => Command::TakeCycleCounters,
         CMD_TAKE_CHECKPOINT => Command::TakeCheckpoint,
         CMD_RESTORE => Command::Restore {
             frame: get_bytes(buf),
@@ -534,7 +525,7 @@ const REP_SNAPSHOTS: u8 = 3;
 const REP_ACK: u8 = 4;
 const REP_PUBLISHED: u8 = 5;
 const REP_NEWS: u8 = 6;
-const REP_CYCLE_COUNTERS: u8 = 7;
+// Opcode 7 was `CycleCounters` in protocol v2 (see the command-side note).
 const REP_CHECKPOINT: u8 = 8;
 
 fn put_outbound(buf: &mut BytesMut, out: &Outbound) {
@@ -604,40 +595,12 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                 buf.put_u16_le(fwd_hop);
             }
         }
-        Reply::CycleCounters(stats) => {
-            buf.put_u8(REP_CYCLE_COUNTERS);
-            put_cycle_stats(&mut buf, stats);
-        }
         Reply::Checkpoint(frame) => {
             buf.put_u8(REP_CHECKPOINT);
             put_bytes(&mut buf, frame);
         }
     }
     Vec::from(buf)
-}
-
-/// Wire form of one shard's per-cycle counter frame: seven `u64`s in the
-/// field order of [`CycleStats`].
-pub(crate) fn put_cycle_stats(buf: &mut BytesMut, stats: &CycleStats) {
-    buf.put_u64_le(stats.first_receptions);
-    buf.put_u64_le(stats.hits);
-    buf.put_u64_le(stats.interested);
-    buf.put_u64_le(stats.news_sent);
-    buf.put_u64_le(stats.gossip_sent);
-    buf.put_u64_le(stats.live_nodes);
-    buf.put_u64_le(stats.crashed);
-}
-
-pub(crate) fn get_cycle_stats(buf: &mut &[u8]) -> CycleStats {
-    CycleStats {
-        first_receptions: buf.get_u64_le(),
-        hits: buf.get_u64_le(),
-        interested: buf.get_u64_le(),
-        news_sent: buf.get_u64_le(),
-        gossip_sent: buf.get_u64_le(),
-        live_nodes: buf.get_u64_le(),
-        crashed: buf.get_u64_le(),
-    }
 }
 
 pub fn decode_reply(mut frame: &[u8]) -> Reply {
@@ -690,7 +653,6 @@ pub fn decode_reply(mut frame: &[u8]) -> Reply {
                 .collect();
             Reply::NewsDelivered { out, outcomes }
         }
-        REP_CYCLE_COUNTERS => Reply::CycleCounters(get_cycle_stats(buf)),
         REP_CHECKPOINT => Reply::Checkpoint(get_bytes(buf)),
         other => panic!("unknown reply opcode {other}"),
     }
@@ -895,7 +857,7 @@ pub(crate) fn get_oracle(buf: &mut &[u8]) -> Oracle {
     let words = (0..n_words).map(|_| buf.get_u64_le()).collect();
     let matrix = LikeMatrix::from_words(n_users, n_items, words);
     let n_pairs = buf.get_u32_le() as usize;
-    let id_to_index: HashMap<ItemId, u32> = (0..n_pairs)
+    let id_to_index: crate::oracle::ItemIndexMap = (0..n_pairs)
         .map(|_| {
             let id = buf.get_u64_le();
             let index = buf.get_u32_le();
@@ -1055,7 +1017,6 @@ mod tests {
                 snapshot: None,
             },
             Command::SwapInterests { a: 3, b: 17 },
-            Command::TakeCycleCounters,
             Command::TakeCheckpoint,
             Command::Restore {
                 frame: Bytes::copy_from_slice(b"checkpointed state"),
@@ -1110,15 +1071,6 @@ mod tests {
                     },
                 ],
             },
-            Reply::CycleCounters(CycleStats {
-                first_receptions: 9,
-                hits: 4,
-                interested: 11,
-                news_sent: 120,
-                gossip_sent: 240,
-                live_nodes: 50,
-                crashed: 3,
-            }),
             Reply::Checkpoint(Bytes::copy_from_slice(b"shard state frame")),
         ];
         for reply in replies {

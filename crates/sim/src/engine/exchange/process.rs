@@ -35,8 +35,10 @@ fn worker_endpoint(pid: u32, shard: usize) -> String {
 pub struct ProcessTransport {
     /// The worker binary, kept for supervised respawns.
     worker: PathBuf,
-    /// Every shard's original init, re-sent in the handshake on respawn.
-    inits: Vec<ShardInit>,
+    /// Every shard's handshake frame (magic + version + encoded init),
+    /// encoded once at bootstrap and replayed verbatim on respawn — the
+    /// init never changes, so a recovery never re-serializes it.
+    handshakes: Vec<Vec<u8>>,
     children: Vec<Child>,
     stdins: Vec<ChildStdin>,
     stdouts: Vec<BufReader<ChildStdout>>,
@@ -88,7 +90,8 @@ fn read_hello_bounded(
 /// a half-handshaken process.
 fn spawn_worker(
     worker: &Path,
-    init: &ShardInit,
+    shard: usize,
+    handshake: &[u8],
 ) -> Result<(Child, ChildStdin, BufReader<ChildStdout>), TransportError> {
     let mut child = std::process::Command::new(worker)
         .stdin(Stdio::piped())
@@ -96,11 +99,11 @@ fn spawn_worker(
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| TransportError::io(format!("spawn {}", worker.display()), e))?;
-    let endpoint = worker_endpoint(child.id(), init.index);
+    let endpoint = worker_endpoint(child.id(), shard);
     let mut stdin = child.stdin.take().expect("piped stdin");
     let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
     let stdout = read_hello_bounded(&endpoint, &mut child, stdout)?;
-    if let Err(e) = write_frame(&mut stdin, &encode_handshake(init)) {
+    if let Err(e) = write_frame(&mut stdin, handshake) {
         let _ = child.kill();
         let _ = child.wait();
         return Err(TransportError::io(&*endpoint, e));
@@ -115,16 +118,17 @@ impl ProcessTransport {
     pub fn spawn(worker: &Path, inits: &[ShardInit]) -> Result<Self, TransportError> {
         let mut t = Self {
             worker: worker.to_path_buf(),
-            inits: inits.to_vec(),
+            handshakes: inits.iter().map(encode_handshake).collect(),
             children: Vec::with_capacity(inits.len()),
             stdins: Vec::with_capacity(inits.len()),
             stdouts: Vec::with_capacity(inits.len()),
             stopped: false,
         };
-        for init in inits {
+        for (shard, init) in inits.iter().enumerate() {
+            debug_assert_eq!(init.index, shard, "inits must be in shard order");
             // Failures propagate after the partial registration below, so
             // Drop reaps the children spawned so far.
-            let (child, stdin, stdout) = spawn_worker(worker, init)?;
+            let (child, stdin, stdout) = spawn_worker(worker, shard, &t.handshakes[shard])?;
             t.children.push(child);
             t.stdins.push(stdin);
             t.stdouts.push(stdout);
@@ -218,7 +222,7 @@ impl ShardLink for ProcessTransport {
         // errors) so a respawn loop cannot accumulate zombies.
         let _ = self.children[shard].kill();
         let _ = self.children[shard].wait();
-        let (child, stdin, stdout) = spawn_worker(&self.worker, &self.inits[shard])?;
+        let (child, stdin, stdout) = spawn_worker(&self.worker, shard, &self.handshakes[shard])?;
         self.children[shard] = child;
         self.stdins[shard] = stdin;
         self.stdouts[shard] = stdout;

@@ -22,7 +22,9 @@
 //! conversation, so a wedged worker surfaces as a timed-out (retryable)
 //! I/O error instead of blocking the driver forever.
 
-use super::stream::{drive_handshake, CONNECT_TIMEOUT, HANDSHAKE_TIMEOUT};
+use super::stream::{
+    drive_handshake_encoded, encode_handshake, CONNECT_TIMEOUT, HANDSHAKE_TIMEOUT,
+};
 use super::supervisor::ShardLink;
 use super::{
     decode_reply, encode_command, read_frame, write_frame, Command, Reply, ShardTransport,
@@ -42,8 +44,10 @@ pub struct SocketTransport {
     /// One worker address per shard, as given by the caller (named in
     /// errors).
     endpoints: Vec<String>,
-    /// Every shard's original init, re-sent in the handshake on redial.
-    inits: Vec<ShardInit>,
+    /// Every shard's handshake frame (magic + version + encoded init),
+    /// encoded once at bootstrap and replayed verbatim on redial — the
+    /// init never changes, so a recovery never re-serializes it.
+    handshakes: Vec<Vec<u8>>,
     readers: Vec<BufReader<TcpStream>>,
     writers: Vec<BufWriter<TcpStream>>,
     /// Per-read/write hang deadline; `None` (unsupervised) blocks freely.
@@ -102,7 +106,7 @@ fn dial_retry(addr: &str, window: Duration) -> Result<TcpStream, TransportError>
 /// conversation with `deadline` armed (or unbounded reads if `None`).
 fn connect_worker(
     addr: &str,
-    init: &ShardInit,
+    handshake: &[u8],
     window: Duration,
     deadline: Option<Duration>,
 ) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), TransportError> {
@@ -117,7 +121,7 @@ fn connect_worker(
             .map_err(|e| TransportError::io(addr, e))?,
     );
     let mut writer = BufWriter::new(stream);
-    drive_handshake(addr, &mut reader, &mut writer, init)?;
+    drive_handshake_encoded(addr, &mut reader, &mut writer, handshake)?;
     // Handshake done: arm the steady-state deadline. `None` lets long
     // lockstep rounds block freely; supervised runs bound every read and
     // write so a hung worker is detected and treated as dead.
@@ -159,15 +163,15 @@ impl SocketTransport {
         assert_eq!(workers.len(), inits.len(), "one worker address per shard");
         let mut t = Self {
             endpoints: workers.to_vec(),
-            inits: inits.to_vec(),
+            handshakes: inits.iter().map(encode_handshake).collect(),
             readers: Vec::with_capacity(workers.len()),
             writers: Vec::with_capacity(workers.len()),
             deadline: None,
             dial_window,
             stopped: false,
         };
-        for (addr, init) in workers.iter().zip(inits) {
-            let (reader, writer) = connect_worker(addr, init, dial_window, None)?;
+        for (shard, addr) in workers.iter().enumerate() {
+            let (reader, writer) = connect_worker(addr, &t.handshakes[shard], dial_window, None)?;
             t.readers.push(reader);
             t.writers.push(writer);
         }
@@ -262,7 +266,7 @@ impl ShardLink for SocketTransport {
         let _ = self.writers[shard].get_ref().shutdown(Shutdown::Both);
         let (reader, writer) = connect_worker(
             &self.endpoints[shard],
-            &self.inits[shard],
+            &self.handshakes[shard],
             self.dial_window,
             self.deadline,
         )?;

@@ -31,8 +31,11 @@ pub const HANDSHAKE_MAGIC: u32 = 0x5755_5053;
 
 /// Version of the whole exchange protocol (frames, commands, replies).
 /// Peers refuse to talk across versions. v2 added the checkpoint/restore
-/// command pair (worker supervision).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// command pair (worker supervision); v3 removed the end-of-cycle
+/// `TakeCycleCounters`/`CycleCounters` frames (counters are now folded
+/// driver-side from the phase replies) and the counter residue from
+/// checkpoint frames.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// How long the driver waits for a TCP connect to a worker.
 pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
@@ -185,8 +188,22 @@ pub fn drive_handshake(
     output: &mut impl Write,
     init: &ShardInit,
 ) -> Result<(), TransportError> {
+    drive_handshake_encoded(endpoint, input, output, &encode_handshake(init))
+}
+
+/// [`drive_handshake`] with the handshake frame already encoded. The init
+/// never changes over a transport's lifetime, so supervised transports
+/// encode it once at bootstrap and replay the same bytes on every
+/// respawn/redial instead of re-serializing the full shard init (which for
+/// large shards dominates recovery time).
+pub fn drive_handshake_encoded(
+    endpoint: &str,
+    input: &mut impl Read,
+    output: &mut impl Write,
+    handshake: &[u8],
+) -> Result<(), TransportError> {
     check_hello(endpoint, read_frame(input))?;
-    write_frame(output, &encode_handshake(init)).map_err(|e| TransportError::io(endpoint, e))
+    write_frame(output, handshake).map_err(|e| TransportError::io(endpoint, e))
 }
 
 // ---------------------------------------------------------------------------

@@ -304,16 +304,15 @@ impl<L: ShardLink> ShardTransport for SupervisedTransport<L> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::exchange::{decode_command, encode_reply, TransportErrorKind};
+    use crate::engine::exchange::{decode_command, encode_reply, Outbound, TransportErrorKind};
     use std::collections::VecDeque;
-    use whatsup_metrics::CycleStats;
 
     /// A scripted in-memory worker pool: each "worker" is a counter that
     /// `BeginNews` increments — a stand-in for deterministic shard state.
-    /// `TakeCycleCounters` exposes the counter, `TakeCheckpoint`/`Restore`
-    /// snapshot and reinstate it, and `restart` resets it to 0 (a fresh
-    /// `from_init` worker). Failures are injected per shard as a queue of
-    /// [`Fault`]s consumed by `recv`/`restart`.
+    /// `Collect` exposes the counter (as the outbound `sent` total),
+    /// `TakeCheckpoint`/`Restore` snapshot and reinstate it, and `restart`
+    /// resets it to 0 (a fresh `from_init` worker). Failures are injected
+    /// per shard as a queue of [`Fault`]s consumed by `recv`/`restart`.
     #[derive(Clone, Copy)]
     enum Fault {
         /// The next `recv` fails retryably (the worker "died").
@@ -368,9 +367,10 @@ mod tests {
                     self.counters[shard] += 1;
                     Reply::Ack
                 }
-                Command::TakeCycleCounters => Reply::CycleCounters(CycleStats {
-                    news_sent: self.counters[shard],
-                    ..CycleStats::default()
+                Command::Collect { .. } => Reply::Outbound(Outbound {
+                    sent: self.counters[shard],
+                    local: 0,
+                    bundles: Vec::new(),
                 }),
                 Command::TakeCheckpoint => {
                     Reply::Checkpoint(Bytes::copy_from_slice(&self.counters[shard].to_le_bytes()))
@@ -442,12 +442,12 @@ mod tests {
 
     fn counter(t: &mut SupervisedTransport<MockLink>, shard: usize) -> u64 {
         let replies = t
-            .roundtrip(vec![(shard, Command::TakeCycleCounters)])
-            .expect("counters");
-        let Reply::CycleCounters(c) = &replies[0] else {
-            panic!("expected counters");
+            .roundtrip(vec![(shard, Command::Collect { cycle: 0 })])
+            .expect("counter probe");
+        let Reply::Outbound(o) = &replies[0] else {
+            panic!("expected outbound");
         };
-        c.news_sent
+        o.sent
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Per-node mailboxes and the serialized mailbox-bundle exchange.
 //!
-//! A [`Mailbox`] owns the slots for one shard's node range. The route step
-//! fills slots in arrival order; the deliver step drains receivers in
-//! ascending id order. Bundles are encoded with the `whatsup-net` wire
-//! codec (`MAILBOX_BUNDLE` frames), so cross-shard traffic uses exactly the
-//! deployment stack's message encoding.
+//! A [`Mailbox`] owns the mail for one shard's node range, stored in a
+//! per-shard **arena**: one contiguous entry vector plus per-node chain
+//! heads/tails, instead of one heap `Vec` per node. The route step appends
+//! to the arena in arrival order (`O(1)`, no per-node allocation); the
+//! deliver step drains receivers in ascending id order by walking their
+//! chains; [`Mailbox::recycle`] then resets the arena *keeping its
+//! capacity*, so steady-state rounds allocate nothing. Bundles are encoded
+//! with the `whatsup-net` wire codec (`MAILBOX_BUNDLE` frames), so
+//! cross-shard traffic uses exactly the deployment stack's message
+//! encoding.
 
 use std::collections::HashMap;
 use whatsup_core::{ItemId, NewsItem, NodeId, Payload};
@@ -18,23 +23,53 @@ pub struct MailEntry {
     pub payload: Payload,
 }
 
-/// The per-node mailboxes of one shard's id range.
+/// Chain terminator / empty-slot marker in the arena index arrays.
+const NONE: u32 = u32::MAX;
+
+/// One arena cell: a received message plus the index of the next message
+/// for the same receiver.
+#[derive(Debug)]
+struct ArenaEntry {
+    from: NodeId,
+    payload: Payload,
+    next: u32,
+}
+
+/// A payload that owns no heap memory — what a drained arena cell is left
+/// holding (an empty descriptor list never allocates).
+fn empty_payload() -> Payload {
+    Payload::RpsRequest(Vec::new())
+}
+
+/// The per-node mailboxes of one shard's id range, arena-backed.
 #[derive(Debug)]
 pub struct Mailbox {
     /// First owned node id.
     base: NodeId,
-    /// One slot per owned node, reused across rounds and cycles.
-    slots: Vec<Vec<(NodeId, Payload)>>,
+    /// This round's messages, in push order, chained per receiver. Cleared
+    /// (capacity kept) by [`Self::recycle`] after every delivery round.
+    arena: Vec<ArenaEntry>,
+    /// Per owned node: arena index of its first/last pending message.
+    heads: Vec<u32>,
+    tails: Vec<u32>,
     /// Owned ids with mail, in first-touch order (sorted on drain).
     receivers: Vec<NodeId>,
+    /// Spare buffer the sorted receiver list is built in, cycled back via
+    /// [`Self::restore_receiver_buf`] so neither list reallocates in steady
+    /// state.
+    receivers_spare: Vec<NodeId>,
 }
 
 impl Mailbox {
     pub fn new(range: std::ops::Range<NodeId>) -> Self {
+        let n = (range.end - range.start) as usize;
         Self {
             base: range.start,
-            slots: (range.start..range.end).map(|_| Vec::new()).collect(),
+            arena: Vec::new(),
+            heads: vec![NONE; n],
+            tails: vec![NONE; n],
             receivers: Vec::new(),
+            receivers_spare: Vec::new(),
         }
     }
 
@@ -42,44 +77,93 @@ impl Mailbox {
         let local = id
             .checked_sub(self.base)
             .expect("message routed to the wrong shard") as usize;
-        assert!(local < self.slots.len(), "message routed to unknown node");
+        assert!(local < self.heads.len(), "message routed to unknown node");
         local
     }
 
-    /// Appends one message to its receiver's slot (mailbox order is push
+    /// Appends one message to its receiver's chain (mailbox order is push
     /// order — callers must push in the global total order).
     pub fn push(&mut self, entry: MailEntry) {
-        let local = self.slot_index(entry.to);
-        if self.slots[local].is_empty() {
-            self.receivers.push(entry.to);
+        self.push_parts(entry.to, entry.from, entry.payload);
+    }
+
+    /// [`Self::push`] without requiring a materialized [`MailEntry`].
+    pub fn push_parts(&mut self, to: NodeId, from: NodeId, payload: Payload) {
+        let local = self.slot_index(to);
+        let idx = self.arena.len() as u32;
+        match self.tails[local] {
+            NONE => {
+                self.receivers.push(to);
+                self.heads[local] = idx;
+            }
+            tail => self.arena[tail as usize].next = idx,
         }
-        self.slots[local].push((entry.from, entry.payload));
+        self.tails[local] = idx;
+        self.arena.push(ArenaEntry {
+            from,
+            payload,
+            next: NONE,
+        });
     }
 
     /// The receivers with mail, ascending, clearing the bookkeeping for the
-    /// next round.
+    /// next round. The returned vector is the mailbox's own spare buffer —
+    /// hand it back via [`Self::restore_receiver_buf`] after the drain loop
+    /// so its capacity survives the round.
     pub fn take_receivers(&mut self) -> Vec<NodeId> {
-        let mut out = std::mem::take(&mut self.receivers);
+        let mut out = std::mem::take(&mut self.receivers_spare);
+        out.clear();
+        out.append(&mut self.receivers);
         out.sort_unstable();
         out
     }
 
-    /// Drains one receiver's mail.
-    pub fn take_mail(&mut self, id: NodeId) -> Vec<(NodeId, Payload)> {
+    /// Returns the buffer from [`Self::take_receivers`] for reuse.
+    pub fn restore_receiver_buf(&mut self, buf: Vec<NodeId>) {
+        self.receivers_spare = buf;
+    }
+
+    /// Drains one receiver's mail in push order, passing each `(from,
+    /// payload)` to `visit`. The drained cells stay in the arena (their
+    /// payloads replaced by an allocation-free empty) until
+    /// [`Self::recycle`] reclaims the round's memory in one sweep.
+    pub fn drain_mail(&mut self, id: NodeId, mut visit: impl FnMut(NodeId, Payload)) {
         let local = self.slot_index(id);
-        std::mem::take(&mut self.slots[local])
+        let mut cur = self.heads[local];
+        self.heads[local] = NONE;
+        self.tails[local] = NONE;
+        while cur != NONE {
+            let cell = &mut self.arena[cur as usize];
+            let from = cell.from;
+            let payload = std::mem::replace(&mut cell.payload, empty_payload());
+            cur = cell.next;
+            visit(from, payload);
+        }
+    }
+
+    /// Resets the arena after a delivery round, keeping its capacity —
+    /// steady-state rounds reuse the same backing memory. Every receiver
+    /// must have been drained first.
+    pub fn recycle(&mut self) {
+        debug_assert!(
+            self.receivers.is_empty() && self.heads.iter().all(|&h| h == NONE),
+            "recycle with undelivered mail"
+        );
+        self.arena.clear();
     }
 
     /// Adds a slot for a node appended to this shard's range.
     pub fn grow(&mut self) {
-        self.slots.push(Vec::new());
+        self.heads.push(NONE);
+        self.tails.push(NONE);
     }
 
-    /// Whether no slot holds mail — true at every cycle boundary (each
-    /// delivery round drains what the previous route step filled), which is
-    /// what lets checkpoints skip in-flight mail entirely.
+    /// Whether no mail is pending — true at every cycle boundary (each
+    /// delivery round drains what the previous route step filled and
+    /// recycles the arena), which is what lets checkpoints skip in-flight
+    /// mail entirely.
     pub fn is_empty(&self) -> bool {
-        self.receivers.is_empty() && self.slots.iter().all(Vec::is_empty)
+        self.receivers.is_empty() && self.arena.is_empty()
     }
 }
 
@@ -94,37 +178,50 @@ pub fn encode_shard_bundle(
     codec::encode_bundle(from_shard, entries, |id| items.get(&id).cloned())
 }
 
-/// Decodes a wire bundle back into mail entries, registering every news
-/// item's content with `register` (the receiving shard caches it so its
-/// nodes can re-forward the item later).
+/// Streams a wire bundle's mail entries to `sink` without materializing an
+/// intermediate vector: each inner frame is decoded as a borrowed view over
+/// `frame` and converted straight into its payload. Each *distinct* news
+/// content is passed to `register` once per repetition run (the receiving
+/// shard caches it so its nodes can re-forward the item later); consecutive
+/// entries with identical content or profile bytes decode through a
+/// [`codec::NewsDecodeCache`], which turns a fan-out's repeated copies into
+/// `Arc` clones of one parse.
 ///
 /// # Panics
 /// Panics on malformed frames: bundles only travel the engine's own
 /// transports, so corruption is an engine bug.
+pub fn decode_shard_bundle_each(
+    frame: &[u8],
+    register: &mut impl FnMut(NewsItem),
+    mut sink: impl FnMut(NodeId, NodeId, Payload),
+) {
+    let view = codec::bundle_view(frame).expect("malformed shard bundle");
+    let mut cache = codec::NewsDecodeCache::default();
+    for entry in view {
+        let (to, inner) = entry.expect("malformed shard bundle entry");
+        let (from, payload, fresh_item) =
+            codec::decode_bundle_entry(inner, &mut cache).expect("malformed bundled message");
+        if let Some(item) = fresh_item {
+            register(item);
+        }
+        sink(to, from, payload);
+    }
+}
+
+/// Decodes a wire bundle into owned mail entries (see
+/// [`decode_shard_bundle_each`] for the streaming form the engine uses).
 pub fn decode_shard_bundle(frame: &[u8], register: &mut impl FnMut(NewsItem)) -> Vec<MailEntry> {
-    let (_shard, message) = codec::decode(frame).expect("malformed shard bundle");
-    let codec::WireMessage::Bundle(entries) = message else {
-        panic!("expected a mailbox bundle frame");
-    };
+    let mut entries = Vec::new();
+    decode_shard_bundle_each(frame, register, |to, from, payload| {
+        entries.push(MailEntry { to, from, payload });
+    });
     entries
-        .into_iter()
-        .map(|e| {
-            if let codec::WireMessage::News { item, .. } = &e.message {
-                register(item.clone());
-            }
-            MailEntry {
-                to: e.to,
-                from: e.from,
-                payload: e.message.into_payload(),
-            }
-        })
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whatsup_core::{NewsMessage, Profile};
+    use whatsup_core::{NewsMessage, Profile, SharedProfile};
 
     fn entry(to: NodeId, from: NodeId) -> MailEntry {
         MailEntry {
@@ -140,11 +237,35 @@ mod tests {
         m.push(entry(15, 1));
         m.push(entry(12, 2));
         m.push(entry(15, 3));
-        assert_eq!(m.take_receivers(), vec![12, 15]);
-        let mail = m.take_mail(15);
-        assert_eq!(mail.len(), 2);
-        assert_eq!((mail[0].0, mail[1].0), (1, 3), "push order kept");
+        let receivers = m.take_receivers();
+        assert_eq!(receivers, vec![12, 15]);
+        let mut senders = Vec::new();
+        m.drain_mail(15, |from, _| senders.push(from));
+        assert_eq!(senders, vec![1, 3], "push order kept");
+        m.drain_mail(12, |from, _| senders.push(from));
+        assert_eq!(senders, vec![1, 3, 2]);
+        m.restore_receiver_buf(receivers);
+        m.recycle();
+        assert!(m.is_empty());
         assert!(m.take_receivers().is_empty(), "bookkeeping cleared");
+    }
+
+    #[test]
+    fn arena_capacity_survives_recycle() {
+        let mut m = Mailbox::new(0..4);
+        for round in 0..3 {
+            for i in 0..50u32 {
+                m.push(entry(i % 4, i));
+            }
+            let receivers = m.take_receivers();
+            for &id in &receivers {
+                m.drain_mail(id, |_, _| {});
+            }
+            m.restore_receiver_buf(receivers);
+            m.recycle();
+            assert!(m.is_empty(), "round {round} left mail behind");
+            assert!(m.arena.capacity() >= 50, "arena capacity must be kept");
+        }
     }
 
     #[test]
@@ -164,7 +285,7 @@ mod tests {
                 4u32,
                 Payload::News(NewsMessage {
                     header: item.header(),
-                    profile: Profile::new(),
+                    profile: SharedProfile::new(Profile::new()),
                     dislikes: 0,
                     hops: 1,
                 }),

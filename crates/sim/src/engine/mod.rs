@@ -48,9 +48,9 @@
 //!    are delivered before any copy at `h + 1`. Shards report per-receiver
 //!    reception outcomes; the driver folds them into the records in
 //!    receiver order.
-//! 6. **Measurement fold** — the driver drains every shard's per-cycle
-//!    counters and appends the fold to the run's time series (see
-//!    "Measurement pipeline" below). Skipped when
+//! 6. **Measurement flush** — the driver flushes the cycle's counters
+//!    (accumulated from the phase replies above) into the run's time
+//!    series (see "Measurement pipeline" below). Skipped when
 //!    `SimConfig::collect_series` is off.
 //!
 //! Three transports implement the exchange: an in-process one (shards as
@@ -116,9 +116,10 @@
 //!   is ever serialized). The `Checkpoint` reply is one wire frame
 //!   holding the shard's full state via the standard codec: the partition
 //!   node range, engine params, environment models, per-node channel
-//!   states, the counter accumulator, known items sorted by id, the
-//!   oracle copy, then per-node profile / RPS view / WUP view / seen-set
-//!   / stats blocks. A `Restore` command feeds the same frame back into a
+//!   states, known items sorted by id, the oracle copy, then per-node
+//!   profile / RPS view / WUP view / seen-set / stats blocks (per-cycle
+//!   counters live in the driver, so there is no counter residue to
+//!   capture). A `Restore` command feeds the same frame back into a
 //!   fresh worker and is acknowledged with `Ack`.
 //! * **Command log + replay** — every command frame sent since the last
 //!   checkpoint is logged (after its reply arrives) and cleared when a
@@ -172,34 +173,30 @@
 //! # Measurement pipeline
 //!
 //! Measurement is streaming and windowed, not a single end-of-run
-//! aggregate. Each shard accumulates a per-cycle counter block
-//! ([`whatsup_metrics::CycleStats`]) over its owned nodes as the phases
-//! execute:
+//! aggregate. The driver accumulates a per-cycle counter block
+//! ([`whatsup_metrics::CycleStats`]) from the phase replies every cycle
+//! already produces — the counters ride the existing round-trips, so
+//! there is no dedicated end-of-cycle counter exchange:
 //!
-//! * *gossip_sent* at every gossip `route_out` (collect + delivery
-//!   rounds), *news_sent* at every news `route_out` (publish + BFS
-//!   rounds) — lost messages included, mirroring the paper's "number of
-//!   sent messages";
-//! * *first_receptions* / *hits* as news delivery outcomes are produced
-//!   (a hit is a liked first reception);
-//! * *interested* at publish time, by the item's owning shard alone
-//!   (every shard holds a full oracle copy, so the source shard can count
-//!   the ground-truth audience — each item is counted exactly once);
-//! * *crashed* as churn resets apply; *live_nodes* is stamped with the
-//!   owned population when the counters are drained.
+//! * *gossip_sent* from the `Outbound` totals of the collect + gossip
+//!   delivery rounds, *news_sent* from the publish + BFS rounds — lost
+//!   messages included, mirroring the paper's "number of sent messages";
+//! * *first_receptions* / *hits* as the per-receiver news outcomes are
+//!   folded (a hit is a liked first reception);
+//! * *interested* at publish time from the driver's own oracle (each item
+//!   counted exactly once);
+//! * *crashed* from the churn decisions and explicit node resets;
+//!   *live_nodes* is stamped with the population total at the flush.
 //!
-//! At the end of every cycle the driver issues a `TakeCycleCounters`
-//! round-trip; the counter block rides back as its own wire frame (seven
-//! little-endian `u64`s — [`exchange::Reply::CycleCounters`]) alongside
-//! the existing exchange, and the shard resets its accumulator. The
-//! driver folds the frames **in shard-index order** into one
-//! [`whatsup_metrics::CycleStats`] per cycle and appends it to the run's
-//! [`whatsup_metrics::CycleSeries`]. The fold is pure integer addition
-//! over a fixed order, so the series inherits the engine's determinism
-//! contract verbatim: **the full time series is bit-identical across
-//! shard counts and all three transports** (property-tested in
-//! `tests/determinism.rs` and `tests/scenario.rs`, CI-smoked by `cmp`ing
-//! report JSON across shard counts).
+//! At the end of every cycle the driver flushes the accumulator into the
+//! run's [`whatsup_metrics::CycleSeries`]. Every input arrives through
+//! reply folds that happen **in shard-index (or ascending receiver)
+//! order**, and the fold is pure integer addition over that fixed order,
+//! so the series inherits the engine's determinism contract verbatim:
+//! **the full time series is bit-identical across shard counts and all
+//! three transports** (property-tested in `tests/determinism.rs` and
+//! `tests/scenario.rs`, CI-smoked by `cmp`ing report JSON across shard
+//! counts).
 //!
 //! Because every epidemic completes within its publication cycle, one
 //! cycle's pooled counters are exactly that cycle's micro-averaged IR
@@ -208,6 +205,60 @@
 //! series at `into_report` time — window-scoped aggregates plus recovery
 //! metrics (dip depth, time-to-recover, messages spent) for
 //! event-anchored windows.
+//!
+//! # Hot path & allocation discipline
+//!
+//! The route → deliver loop runs millions of times per simulated cycle,
+//! so its steady state is built to allocate nothing and copy bytes once:
+//!
+//! * **Arena mailboxes** — a shard's mailboxes are one contiguous arena
+//!   (`Vec` of `(from, payload, next)` cells) plus per-node chain
+//!   heads/tails, not one heap `Vec` per node. A route push is `O(1)` into
+//!   the arena; a deliver drain walks the receiver's chain, moving each
+//!   payload out and leaving an allocation-free empty behind; `recycle()`
+//!   then clears the arena *keeping its capacity*, so after warm-up no
+//!   delivery round allocates. Receiver lists cycle through a spare
+//!   buffer (`take_receivers`/`restore_receiver_buf`) for the same
+//!   reason.
+//! * **Zero-copy bundle decode** — inbound bundles are walked with
+//!   `codec::bundle_view`, an iterator of borrowed `(to, frame)` slices
+//!   over the received buffer; each inner frame decodes straight into its
+//!   payload and lands in the arena. No intermediate `Vec<MailEntry>`, no
+//!   per-entry frame copies. The borrow ends before the next round's
+//!   buffers are touched, so the scratch frames can be reused.
+//! * **Encode scratch reuse** — outbound routing drains into per-shard
+//!   staging vectors (`emit_scratch`/`route_scratch`) and encodes through
+//!   one per-shard `encode_buf`, all drained or cleared rather than
+//!   dropped, so their capacity carries cycle-over-cycle.
+//! * **Copy-on-write item profiles** — a news message carries its
+//!   aggregated profile as an `Arc` ([`whatsup_core::SharedProfile`]):
+//!   fanning one reception out to `fLIKE` targets clones the pointer, not
+//!   the entries, and the next hop that actually aggregates builds its
+//!   merged profile straight from the shared predecessor. Cross-shard,
+//!   the per-bundle `codec::NewsDecodeCache` restores that sharing on the
+//!   receiving side: consecutive bundle entries with byte-identical item
+//!   content or profile spans reuse one parse (byte equality is exact —
+//!   the decoders are pure functions of the bytes).
+//! * **Profile fingerprints** — every [`whatsup_core::Profile`] maintains
+//!   a 128-bit Bloom fingerprint of its rated items at mutation time; the
+//!   similarity metrics reject provably disjoint pairs before the scalar
+//!   merge-join scan. The rejection is exact for the metrics' semantics
+//!   (no shared rated item ⇒ the score is `+0.0` bit-for-bit), so the
+//!   fast path cannot perturb determinism — property-tested against the
+//!   scan-only reference implementations in `whatsup_core::similarity`.
+//! * **Memoized view-merge scores** — each node caches WUP merge
+//!   similarity scores keyed by candidate-snapshot identity (`Arc`
+//!   address, entry pinning its snapshot alive so the address cannot be
+//!   reused) and clears the cache whenever its own profile mutates; a hit
+//!   returns the exact `f64` the metric would recompute on the same
+//!   operands, so ranking order — and every downstream bit — is
+//!   unchanged.
+//!
+//! None of this changes observable ordering: the arena preserves push
+//! order per receiver, routing preserves `(sender id, emission order)`,
+//! and the borrowed decode yields entries in exactly the order the
+//! encoder wrote. The determinism suites (shard counts × transports) are
+//! the regression net for that claim.
 //!
 //! # Determinism contract
 //!

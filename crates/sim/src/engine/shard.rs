@@ -8,7 +8,7 @@
 //! and transports (see the module docs of [`crate::engine`]).
 
 use crate::engine::exchange::{self, Command, FirstReception, NewsOutcome, Outbound, Reply};
-use crate::engine::mailbox::{decode_shard_bundle, encode_shard_bundle, MailEntry, Mailbox};
+use crate::engine::mailbox::{decode_shard_bundle_each, MailEntry, Mailbox};
 use crate::engine::partition::Partition;
 use crate::engine::{node_stream, phase};
 use crate::oracle::Oracle;
@@ -21,8 +21,27 @@ use whatsup_core::{
     ColdStart, ItemId, NewsItem, NodeId, NodeState, NodeStats, Opinions, OutMessage, Params,
     Payload, Profile, WhatsUpNode,
 };
-use whatsup_metrics::CycleStats;
 use whatsup_net::codec;
+
+/// Fixed-item opinion view for the news phase: one publication round
+/// delivers exactly one item, so the oracle's id→index map is probed once
+/// per round here instead of once per reception (millions of map lookups
+/// per cycle at scale).
+struct ItemOpinions<'a> {
+    oracle: &'a Oracle,
+    /// Dataset index of the round's item; `None` for an unknown item
+    /// (outside the workload — nobody likes it).
+    idx: Option<u32>,
+}
+
+impl Opinions for ItemOpinions<'_> {
+    fn likes(&self, node: NodeId, _item: ItemId) -> bool {
+        match self.idx {
+            Some(ix) => self.oracle.likes_index(node, ix),
+            None => false,
+        }
+    }
+}
 
 /// Everything needed to build one shard's state — produced by the driver,
 /// consumed directly (in-process) or via `exchange::encode_init` (worker
@@ -67,11 +86,15 @@ pub struct ShardState {
     pending_local: Vec<MailEntry>,
     /// News content this shard can re-encode (learned from publishes and
     /// inbound news frames, like a real receiver).
-    known_items: HashMap<ItemId, NewsItem>,
-    /// Per-cycle measurement counters over the owned nodes, accumulated
-    /// during the phases and drained (reset) by
-    /// [`Command::TakeCycleCounters`] at the end of every cycle.
-    counters: CycleStats,
+    known_items: HashMap<ItemId, NewsItem, whatsup_core::hash::BuildIdHasher>,
+    /// Route-phase staging, reused round-over-round (capacity kept): the
+    /// emissions of the current phase loop, and the per-destination-shard
+    /// buckets [`Self::route_out`] groups them into.
+    emit_scratch: Vec<(NodeId, OutMessage)>,
+    route_scratch: Vec<Vec<(NodeId, NodeId, Payload)>>,
+    /// Bundle encode buffer, reused round-over-round so steady-state
+    /// encoding never grows a fresh allocation.
+    encode_buf: BytesMut,
 }
 
 impl ShardState {
@@ -106,8 +129,10 @@ impl ShardState {
             phase_rngs: vec![None; n_local],
             mailbox: Mailbox::new(range),
             pending_local: Vec::new(),
-            known_items: HashMap::new(),
-            counters: CycleStats::default(),
+            known_items: HashMap::default(),
+            emit_scratch: Vec::new(),
+            route_scratch: Vec::new(),
+            encode_buf: BytesMut::new(),
         }
     }
 
@@ -204,7 +229,6 @@ impl ShardState {
                 item,
                 bundles,
             } => self.deliver_news(cycle, item, &bundles),
-            Command::TakeCycleCounters => Reply::CycleCounters(self.take_counters()),
             Command::TakeCheckpoint => Reply::Checkpoint(self.encode_checkpoint()),
             Command::Restore { frame } => {
                 self.restore_checkpoint(&frame);
@@ -217,10 +241,12 @@ impl ShardState {
     /// Serializes this shard's full dynamic state as one checkpoint frame.
     ///
     /// Layout (all little-endian, wire-codec encodings for the node data):
-    /// partition starts, per-node channel states, the per-cycle counter
-    /// residue, the known news items (ascending item id, canonical), the
-    /// oracle copy, then one [`NodeState`] per owned node in id order
-    /// (profile entries, RPS view, WUP view, seen ids ascending, stats).
+    /// partition starts, per-node channel states, the known news items
+    /// (ascending item id, canonical), the oracle copy, then one
+    /// [`NodeState`] per owned node in id order (profile entries, RPS view,
+    /// WUP view, seen ids ascending, stats). Per-cycle measurement counters
+    /// live in the driver (folded from the phase replies), so checkpoints
+    /// carry no counter residue.
     ///
     /// Static state (`index`, `seed`, loss/churn models, params) is *not*
     /// serialized: a restoring worker already received it via the bootstrap
@@ -246,7 +272,6 @@ impl ShardState {
         for &bad in &self.channel_bad {
             buf.put_u8(u8::from(bad));
         }
-        exchange::put_cycle_stats(&mut buf, &self.counters);
         // HashMap iteration order is unspecified; sort for a canonical
         // frame (identical shards must checkpoint to identical bytes).
         let mut items: Vec<&NewsItem> = self.known_items.values().collect();
@@ -259,7 +284,7 @@ impl ShardState {
         buf.put_u32_le(self.nodes.len() as u32);
         for node in &self.nodes {
             let st = node.export_state();
-            codec::put_profile(&mut buf, &Profile::from_entries(st.profile));
+            codec::put_profile(&mut buf, &Profile::from_vec(st.profile));
             codec::put_descriptors(&mut buf, &st.rps_view);
             codec::put_descriptors(&mut buf, &st.wup_view);
             buf.put_u32_le(st.seen.len() as u32);
@@ -282,7 +307,6 @@ impl ShardState {
         self.partition = Partition::from_starts(starts);
         let n_channels = buf.get_u32_le() as usize;
         self.channel_bad = (0..n_channels).map(|_| buf.get_u8() != 0).collect();
-        self.counters = exchange::get_cycle_stats(buf);
         let n_items = buf.get_u32_le() as usize;
         self.known_items = (0..n_items)
             .map(|_| {
@@ -325,16 +349,20 @@ impl ShardState {
         self.pending_local = Vec::new();
     }
 
-    /// Groups emissions by destination shard: local mail queues without
-    /// serialization, remote mail becomes one wire bundle per destination
-    /// (in emission order, which the emitting loops keep in `(sender id,
-    /// emission order)` order).
-    fn route_out(&mut self, emissions: Vec<(NodeId, OutMessage)>) -> Outbound {
+    /// Groups the staged emissions ([`Self::emit_scratch`]) by destination
+    /// shard: local mail queues without serialization, remote mail becomes
+    /// one wire bundle per destination (in emission order, which the
+    /// emitting loops keep in `(sender id, emission order)` order). All
+    /// staging buffers are drained, not dropped — their capacity carries to
+    /// the next round.
+    fn route_out(&mut self) -> Outbound {
         let shards = self.partition.n_shards();
-        let sent = emissions.len() as u64;
+        if self.route_scratch.len() != shards {
+            self.route_scratch.resize_with(shards, Vec::new);
+        }
+        let sent = self.emit_scratch.len() as u64;
         let mut local = 0u64;
-        let mut per_dest: Vec<Vec<(NodeId, NodeId, Payload)>> = vec![Vec::new(); shards];
-        for (from, m) in emissions {
+        for (from, m) in self.emit_scratch.drain(..) {
             let dest = self.partition.shard_of(m.to);
             if dest == self.index {
                 local += 1;
@@ -344,17 +372,22 @@ impl ShardState {
                     payload: m.payload,
                 });
             } else {
-                per_dest[dest].push((m.to, from, m.payload));
+                self.route_scratch[dest].push((m.to, from, m.payload));
             }
         }
-        let bundles = per_dest
-            .iter()
+        let bundles = self
+            .route_scratch
+            .iter_mut()
             .map(|entries| {
                 if entries.is_empty() {
-                    Bytes::new()
-                } else {
-                    encode_shard_bundle(self.index as u32, entries, &self.known_items)
+                    return Bytes::new();
                 }
+                self.encode_buf.clear();
+                codec::encode_bundle_into(&mut self.encode_buf, self.index as u32, entries, |id| {
+                    self.known_items.get(&id).cloned()
+                });
+                entries.clear();
+                Bytes::copy_from_slice(&self.encode_buf)
             })
             .collect();
         Outbound {
@@ -371,19 +404,25 @@ impl ShardState {
     /// single-shard run.
     fn merge_inbound(&mut self, bundles: &[Bytes]) {
         debug_assert_eq!(bundles.len(), self.partition.n_shards());
+        let Self {
+            pending_local,
+            mailbox,
+            known_items,
+            ..
+        } = self;
         for (src, bundle) in bundles.iter().enumerate() {
             if src == self.index {
-                for entry in std::mem::take(&mut self.pending_local) {
-                    self.mailbox.push(entry);
+                for entry in pending_local.drain(..) {
+                    mailbox.push(entry);
                 }
             } else if !bundle.is_empty() {
-                let known = &mut self.known_items;
-                let entries = decode_shard_bundle(bundle, &mut |item| {
-                    known.insert(item.id(), item);
-                });
-                for entry in entries {
-                    self.mailbox.push(entry);
-                }
+                decode_shard_bundle_each(
+                    bundle,
+                    &mut |item| {
+                        known_items.insert(item.id(), item);
+                    },
+                    |to, from, payload| mailbox.push_parts(to, from, payload),
+                );
             }
         }
     }
@@ -413,14 +452,6 @@ impl ShardState {
         }
     }
 
-    /// Drains the per-cycle counters: stamps the live population, returns
-    /// the accumulated values and resets them for the next cycle.
-    fn take_counters(&mut self) -> CycleStats {
-        let mut counters = std::mem::take(&mut self.counters);
-        counters.live_nodes = self.nodes.len() as u64;
-        counters
-    }
-
     /// Collect phase: every owned node's cycle tick, in id order.
     fn collect(&mut self, cycle: u32) -> Outbound {
         // Fresh gossip-phase streams for the delivery rounds that follow,
@@ -429,17 +460,21 @@ impl ShardState {
         self.advance_channels(cycle);
         let base = self.base();
         let seed = self.seed;
-        let mut emissions: Vec<(NodeId, OutMessage)> = Vec::new();
-        for (local, node) in self.nodes.iter_mut().enumerate() {
-            let id = base + local as NodeId;
-            let mut rng = node_stream(seed, id, cycle, phase::CYCLE);
-            for m in node.on_cycle(cycle, &mut rng) {
-                emissions.push((id, m));
+        let Self {
+            nodes,
+            emit_scratch,
+            ..
+        } = self;
+        {
+            for (local, node) in nodes.iter_mut().enumerate() {
+                let id = base + local as NodeId;
+                let mut rng = node_stream(seed, id, cycle, phase::CYCLE);
+                for m in node.on_cycle(cycle, &mut rng) {
+                    emit_scratch.push((id, m));
+                }
             }
         }
-        let out = self.route_out(emissions);
-        self.counters.gossip_sent += out.sent;
-        out
+        self.route_out()
     }
 
     /// The active partition frontier at `cycle`, if the loss model opens a
@@ -466,37 +501,36 @@ impl ShardState {
         let seed = self.seed;
         let loss = self.loss;
         let cut = self.partition_cut(cycle);
-        let mut emissions: Vec<(NodeId, OutMessage)> = Vec::new();
         let Self {
             nodes,
             phase_rngs,
             mailbox,
             oracle,
             channel_bad,
+            emit_scratch,
             ..
         } = self;
-        for id in receivers {
+        for &id in &receivers {
             let local = (id - base) as usize;
-            let mail = mailbox.take_mail(id);
             let rng = phase_rngs[local]
                 .get_or_insert_with(|| node_stream(seed, id, cycle, phase::GOSSIP));
             let node = &mut nodes[local];
-            for (from, payload) in mail {
+            mailbox.drain_mail(id, |from, payload| {
                 if message_dropped(loss, channel_bad[local], cut, from, id, rng) {
-                    continue;
+                    return;
                 }
                 for reply in node.on_message(from, payload, cycle, oracle, rng) {
                     debug_assert!(
                         !matches!(reply.payload, Payload::News(_)),
                         "news cannot appear in the gossip phase"
                     );
-                    emissions.push((id, reply));
+                    emit_scratch.push((id, reply));
                 }
-            }
+            });
         }
-        let out = self.route_out(emissions);
-        self.counters.gossip_sent += out.sent;
-        out
+        mailbox.restore_receiver_buf(receivers);
+        mailbox.recycle();
+        self.route_out()
     }
 
     /// Churn coins for the owned nodes: each node crashes with probability
@@ -528,7 +562,6 @@ impl ShardState {
     /// cold-started from its contact's (pre-churn) view snapshot. Snapshot
     /// state makes the application order irrelevant.
     fn apply_churn(&mut self, resets: &[(NodeId, Bytes)]) {
-        self.counters.crashed += resets.len() as u64;
         for (id, frame) in resets {
             let snapshot = exchange::decode_cold_start(frame);
             let mut fresh = WhatsUpNode::new(*id, self.params.clone());
@@ -545,12 +578,6 @@ impl ShardState {
         let item_id = item.id();
         self.known_items.insert(item_id, item.clone());
         let source = item.source;
-        // Ground truth at publication for the per-cycle series: exactly one
-        // shard (the source's owner) publishes each item, so the fold
-        // across shards counts every item once.
-        if let Some(index) = self.oracle.index_of(item_id) {
-            self.counters.interested += self.oracle.interested_count(index, source) as u64;
-        }
         let local = self.local(source);
         let seed = self.seed;
         let out = {
@@ -562,9 +589,9 @@ impl ShardState {
             Some(Payload::News(first)) => Some(first.hops),
             _ => None,
         };
-        let emissions = out.into_iter().map(|m| (source, m)).collect();
-        let out = self.route_out(emissions);
-        self.counters.news_sent += out.sent;
+        self.emit_scratch
+            .extend(out.into_iter().map(|m| (source, m)));
+        let out = self.route_out();
         Reply::Published {
             first_forward_hop,
             out,
@@ -580,7 +607,6 @@ impl ShardState {
         let seed = self.seed;
         let loss = self.loss;
         let cut = self.partition_cut(cycle);
-        let mut emissions: Vec<(NodeId, OutMessage)> = Vec::new();
         let mut outcomes = Vec::with_capacity(receivers.len());
         let Self {
             nodes,
@@ -588,22 +614,30 @@ impl ShardState {
             mailbox,
             oracle,
             channel_bad,
+            emit_scratch,
             ..
         } = self;
-        for id in receivers {
+        let oracle: &Oracle = oracle;
+        let opinions = ItemOpinions {
+            oracle,
+            idx: oracle.index_of(item_id),
+        };
+        for &id in &receivers {
             let local = (id - base) as usize;
-            let mail = mailbox.take_mail(id);
             let rng =
                 phase_rngs[local].get_or_insert_with(|| node_stream(seed, id, cycle, phase::NEWS));
             let node = &mut nodes[local];
+            // Fixed per (receiver, round): hoisted out of the per-message
+            // closure instead of re-resolving on every copy.
+            let receiver_likes = opinions.likes(id, item_id);
             let mut outcome = NewsOutcome {
                 receiver: id,
                 first: None,
                 forward: None,
             };
-            for (from, payload) in mail {
+            mailbox.drain_mail(id, |from, payload| {
                 if message_dropped(loss, channel_bad[local], cut, from, id, rng) {
-                    continue;
+                    return;
                 }
                 let Payload::News(news) = &payload else {
                     unreachable!("only news flows in the publication phase")
@@ -612,29 +646,22 @@ impl ShardState {
                 if !node.has_seen(item_id) {
                     outcome.first = Some(FirstReception {
                         hop: news.hops + 1,
-                        sender_liked: oracle.likes(from, item_id),
-                        receiver_likes: oracle.likes(id, item_id),
+                        sender_liked: opinions.likes(from, item_id),
+                        receiver_likes,
                         dislikes: news.dislikes,
                     });
                 }
-                let replies = node.on_message(from, payload, cycle, oracle, rng);
+                let replies = node.on_message(from, payload, cycle, &opinions, rng);
                 if let Some(Payload::News(first_out)) = replies.first().map(|m| &m.payload) {
-                    outcome.forward = Some((first_out.hops, oracle.likes(id, item_id)));
+                    outcome.forward = Some((first_out.hops, receiver_likes));
                 }
-                emissions.extend(replies.into_iter().map(|m| (id, m)));
-            }
+                emit_scratch.extend(replies.into_iter().map(|m| (id, m)));
+            });
             outcomes.push(outcome);
         }
-        for o in &outcomes {
-            if let Some(first) = o.first {
-                self.counters.first_receptions += 1;
-                if first.receiver_likes {
-                    self.counters.hits += 1;
-                }
-            }
-        }
-        let out = self.route_out(emissions);
-        self.counters.news_sent += out.sent;
+        mailbox.restore_receiver_buf(receivers);
+        mailbox.recycle();
+        let out = self.route_out();
         Reply::NewsDelivered { out, outcomes }
     }
 }

@@ -12,8 +12,14 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use whatsup_core::hash::BuildIdHasher;
 use whatsup_core::{ItemId, NodeId, Opinions};
 use whatsup_datasets::LikeMatrix;
+
+/// The item content-hash → dataset-index map, keyed with the deterministic
+/// integer hasher: it is probed on every news reception, and its iteration
+/// order never escapes (serialization sorts the pairs first).
+pub type ItemIndexMap = HashMap<ItemId, u32, BuildIdHasher>;
 
 /// Ground-truth oracle mapping protocol-level ids to dataset rows/columns.
 ///
@@ -25,13 +31,13 @@ use whatsup_datasets::LikeMatrix;
 pub struct Oracle {
     matrix: Arc<LikeMatrix>,
     /// Item content-hash → dataset item index.
-    id_to_index: Arc<HashMap<ItemId, u32>>,
+    id_to_index: Arc<ItemIndexMap>,
     /// Node → matrix row (identity for the initial population).
     alias: Vec<u32>,
 }
 
 impl Oracle {
-    pub fn new(matrix: LikeMatrix, id_to_index: HashMap<ItemId, u32>) -> Self {
+    pub fn new(matrix: LikeMatrix, id_to_index: ItemIndexMap) -> Self {
         let alias = (0..matrix.n_users() as u32).collect();
         Self {
             matrix: Arc::new(matrix),
@@ -45,7 +51,7 @@ impl Oracle {
     ///
     /// # Panics
     /// Panics if an alias entry names a row outside the matrix.
-    pub fn restore(matrix: LikeMatrix, id_to_index: HashMap<ItemId, u32>, alias: Vec<u32>) -> Self {
+    pub fn restore(matrix: LikeMatrix, id_to_index: ItemIndexMap, alias: Vec<u32>) -> Self {
         assert!(
             alias.iter().all(|&r| (r as usize) < matrix.n_users()),
             "alias row out of range"
@@ -63,7 +69,7 @@ impl Oracle {
     }
 
     /// The item content-hash → dataset index map.
-    pub fn id_map(&self) -> &HashMap<ItemId, u32> {
+    pub fn id_map(&self) -> &ItemIndexMap {
         &self.id_to_index
     }
 
@@ -137,7 +143,7 @@ mod tests {
         m.set(1, 1, true);
         m.set(2, 0, true);
         m.set(2, 1, true);
-        let map = HashMap::from([(100u64, 0u32), (200u64, 1u32)]);
+        let map = ItemIndexMap::from_iter([(100u64, 0u32), (200u64, 1u32)]);
         Oracle::new(m, map)
     }
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare a fresh scale_engine run against the committed BENCH_scale.json.
+
+Usage: compare_scale_baseline.py <baseline.json> <fresh.json>
+
+Both files hold the rows scale_engine saves: [nodes, shards, workload,
+metrics, cycles_per_sec, messages, peak_rss_mb] (the committed baseline may
+predate the peak-RSS column; short rows are padded). Rows are keyed by
+(nodes, shards, workload, metrics).
+
+For every fresh row with a committed counterpart the script prints the
+cycles/sec delta — wall-clock, informational. It FAILS (exit 1) when the
+`messages` column diverges: the message count is a pure function of the
+simulation (same seed, same protocol), so a mismatch is a determinism or
+behavior break, never noise. A fresh row missing from the baseline also
+fails, so the committed trajectory stays in lockstep with the bench grid.
+"""
+
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    keyed = {}
+    for row in rows:
+        row = list(row) + [0.0] * (7 - len(row))
+        key = tuple(int(v) for v in row[:4])
+        keyed[key] = {"cps": float(row[4]), "messages": int(row[5]), "rss": float(row[6])}
+    return keyed
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline = load_rows(sys.argv[1])
+    fresh = load_rows(sys.argv[2])
+    failures = []
+    print(f"{'nodes':>8} {'shards':>6} {'wload':>5} {'metrics':>7} "
+          f"{'base cyc/s':>11} {'new cyc/s':>10} {'delta':>8}  messages")
+    for key in sorted(fresh):
+        nodes, shards, wload, metrics = key
+        new = fresh[key]
+        base = baseline.get(key)
+        if base is None:
+            failures.append(f"row {key} missing from the committed baseline")
+            continue
+        delta = (new["cps"] - base["cps"]) / base["cps"] * 100.0 if base["cps"] else 0.0
+        verdict = "ok"
+        if new["messages"] != base["messages"]:
+            verdict = f"DIVERGED ({base['messages']} -> {new['messages']})"
+            failures.append(
+                f"row {key}: messages diverged from the baseline "
+                f"({base['messages']} -> {new['messages']}) — determinism break"
+            )
+        print(f"{nodes:>8} {shards:>6} {wload:>5} {metrics:>7} "
+              f"{base['cps']:>11.2f} {new['cps']:>10.2f} {delta:>+7.1f}%  {verdict}")
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        sys.exit(1)
+    print("\nall rows match the committed baseline (cycles/sec deltas are informational)")
+
+
+if __name__ == "__main__":
+    main()

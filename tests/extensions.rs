@@ -74,7 +74,7 @@ fn shared_profiles_differ_from_true_under_obfuscation() {
                     id: i,
                     created_at: 0,
                 },
-                profile: Profile::new(),
+                profile: SharedProfile::new(Profile::new()),
                 dislikes: 0,
                 hops: 0,
             }),
