@@ -22,17 +22,19 @@
 //!
 //! `WHATSUP_SCALE_MAX_NODES=<n>` caps the largest population (useful for
 //! quick local/CI runs); the default exercises every axis including 100k.
-//! Rows are saved as JSON: `[nodes, shards, workload (0 = uniform,
-//! 1 = flash), metrics (0 = off, 1 = on), cycles_per_sec, messages,
-//! peak_rss_mb]`. The committed `BENCH_scale.json` at the repo root is a
-//! snapshot of those rows — the perf trajectory baseline CI prints deltas
-//! against (and fails on `messages` divergence, which would mean a
-//! determinism break, not noise).
+//! Rows are saved as JSON objects with named columns: `{"nodes", "shards",
+//! "workload" ("uniform"/"flash"), "metrics" ("on"/"off"), "secs" (wall
+//! clock for the 10 cycles), "messages", "peak_rss_mb"}`. The committed
+//! `BENCH_scale.json` at the repo root is a snapshot of those rows — the
+//! perf trajectory baseline CI prints deltas against (and fails on
+//! `messages` divergence, which would mean a determinism break, not
+//! noise).
 //!
 //! Peak RSS is the process high-water mark (`VmHWM`), which is monotone
 //! across rows — sizes run ascending, so each size's first row reflects
 //! the largest population seen so far.
 
+use serde::json::Value;
 use std::time::Instant;
 use whatsup_datasets::{survey, SurveyConfig};
 use whatsup_sim::scenario::{Scenario, Workload};
@@ -138,7 +140,7 @@ fn main() {
         let full_grid = n <= FULL_GRID_MAX_NODES;
         let shard_counts: &[usize] = if full_grid { &SHARD_COUNTS } else { &[1] };
         let n_workloads = if full_grid { 2 } else { 1 };
-        for (w_id, (w_name, workload)) in workloads().into_iter().take(n_workloads).enumerate() {
+        for (w_name, workload) in workloads().into_iter().take(n_workloads) {
             for metrics_on in [false, true] {
                 let mut baseline = 0.0f64;
                 let mut baseline_msgs = 0u64;
@@ -155,31 +157,32 @@ fn main() {
                     }
                     let speedup = cps / baseline;
                     let rss = peak_rss_mb();
+                    let metrics = if metrics_on { "on" } else { "off" };
                     println!(
                         "{:>8} {:>8} {:>7} {:>7} {:>12.2} {:>8.2}x {:>12} {:>9.1}",
                         d.n_users(),
                         w_name,
                         shards,
-                        if metrics_on { "on" } else { "off" },
+                        metrics,
                         cps,
                         speedup,
                         msgs,
                         rss
                     );
-                    rows.push(vec![
-                        d.n_users() as f64,
-                        shards as f64,
-                        w_id as f64,
-                        f64::from(u8::from(metrics_on)),
-                        cps,
-                        msgs as f64,
-                        rss,
-                    ]);
+                    rows.push(Value::object(vec![
+                        ("nodes", Value::Number(d.n_users() as f64)),
+                        ("shards", Value::Number(shards as f64)),
+                        ("workload", Value::String(w_name.into())),
+                        ("metrics", Value::String(metrics.into())),
+                        ("secs", Value::Number(f64::from(CYCLES) / cps)),
+                        ("messages", Value::Number(msgs as f64)),
+                        ("peak_rss_mb", Value::Number(rss)),
+                    ]));
                 }
             }
             println!();
         }
     }
-    whatsup_bench::experiments::save_json("scale_engine", &rows);
+    whatsup_bench::experiments::save_json_value("scale_engine", &Value::Array(rows));
     whatsup_bench::finish("scale_engine", t);
 }

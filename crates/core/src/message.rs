@@ -81,6 +81,12 @@ pub mod wire {
     /// engine shards. Not a protocol-level payload — bundles never nest and
     /// never reach a node.
     pub const MAILBOX_BUNDLE: u8 = 6;
+    /// Anti-entropy digest: per-node `(incarnation, max version)` summary
+    /// opening a scuttlebutt reconciliation round.
+    pub const DIGEST: u8 = 7;
+    /// Anti-entropy delta: versioned entries newer than the peer's digest,
+    /// greedily packed to a datagram budget.
+    pub const DELTA: u8 = 8;
 }
 
 impl Payload {
@@ -154,5 +160,7 @@ mod tests {
         // Pinned values: renumbering is a wire-format break.
         assert_eq!(ids, [1, 2, 3, 4, 5]);
         assert_eq!(wire::MAILBOX_BUNDLE, 6);
+        assert_eq!(wire::DIGEST, 7);
+        assert_eq!(wire::DELTA, 8);
     }
 }

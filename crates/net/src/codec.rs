@@ -625,6 +625,205 @@ fn get_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
     String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)
 }
 
+// ---------------------------------------------------------------------------
+// Anti-entropy frames (scuttlebutt digest/delta reconciliation)
+// ---------------------------------------------------------------------------
+//
+// ```text
+// digest       := DIGEST:u8 from:u32 count:u32 (node:u32 incarnation:u32 max_version:u64)*
+// delta        := DELTA:u8 from:u32 count:u32 delta_entry*
+// delta_entry  := node:u32 incarnation:u32 version:u64 kind:u8 payload
+// payload      := heartbeat:u32            (kind 0)
+//               | profile_digest:u64       (kind 1)
+//               | item:u32 published_at:u32 (kind 2)
+// ```
+//
+// Entries for one node are emitted in ascending version order so that a
+// budget-truncated delta always leaves the receiver's per-node max version
+// at a resumable point: the next digest advertises exactly the cut, and the
+// following delta resumes from there. Out-of-order emission would let the
+// digest max leapfrog unsent versions and stall convergence forever.
+
+/// One line of an anti-entropy digest: the highest `(incarnation, version)`
+/// the sender holds for `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestLine {
+    pub node: NodeId,
+    pub incarnation: u32,
+    pub max_version: u64,
+}
+
+/// Bytes each digest line occupies on the wire.
+pub const DIGEST_LINE_BYTES: usize = 16;
+
+/// The versioned value carried by one delta entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaValue {
+    /// Liveness counter: the cycle stamp of the owner's latest heartbeat.
+    Heartbeat(u32),
+    /// Opaque 64-bit digest of the owner's interest profile.
+    ProfileDigest(u64),
+    /// A news key the owner published: `(item index, publication cycle)`.
+    NewsKey { item: u32, published_at: u32 },
+}
+
+/// One versioned entry of an anti-entropy delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaEntry {
+    pub node: NodeId,
+    pub incarnation: u32,
+    pub version: u64,
+    pub value: DeltaValue,
+}
+
+/// Frame header bytes shared by digest and delta frames
+/// (`tag:u8 from:u32 count:u32`).
+pub const ANTI_ENTROPY_HEADER_BYTES: usize = 9;
+
+impl DeltaEntry {
+    /// Bytes this entry occupies on the wire (header fields + payload).
+    pub fn wire_bytes(&self) -> usize {
+        17 + match self.value {
+            DeltaValue::Heartbeat(_) => 4,
+            DeltaValue::ProfileDigest(_) => 8,
+            DeltaValue::NewsKey { .. } => 8,
+        }
+    }
+}
+
+/// Encodes an anti-entropy digest frame. Digests summarize whole states and
+/// are not budget-packed, so [`MAX_FRAME`] is the only cap.
+pub fn encode_digest(from: NodeId, lines: &[DigestLine]) -> Result<Bytes, FrameTooLarge> {
+    let mut buf =
+        BytesMut::with_capacity(ANTI_ENTROPY_HEADER_BYTES + lines.len() * DIGEST_LINE_BYTES);
+    buf.put_u8(wire::DIGEST);
+    buf.put_u32_le(from);
+    buf.put_u32_le(lines.len() as u32);
+    for line in lines {
+        buf.put_u32_le(line.node);
+        buf.put_u32_le(line.incarnation);
+        buf.put_u64_le(line.max_version);
+    }
+    if buf.len() > MAX_FRAME {
+        return Err(FrameTooLarge(buf.len()));
+    }
+    Ok(buf.freeze())
+}
+
+/// Inverse of [`encode_digest`].
+pub fn decode_digest(mut buf: &[u8]) -> Result<(NodeId, Vec<DigestLine>), DecodeError> {
+    if buf.remaining() < ANTI_ENTROPY_HEADER_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != wire::DIGEST {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let from = buf.get_u32_le();
+    let count = buf.get_u32_le() as usize;
+    let mut lines = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        if buf.remaining() < DIGEST_LINE_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        lines.push(DigestLine {
+            node: buf.get_u32_le(),
+            incarnation: buf.get_u32_le(),
+            max_version: buf.get_u64_le(),
+        });
+    }
+    Ok((from, lines))
+}
+
+/// Encodes an anti-entropy delta frame. The caller is responsible for
+/// budget-packing the entry list ([`DeltaEntry::wire_bytes`] +
+/// [`ANTI_ENTROPY_HEADER_BYTES`] give exact sizes); [`MAX_FRAME`] still
+/// applies as the transport's hard cap.
+pub fn encode_delta(from: NodeId, entries: &[DeltaEntry]) -> Result<Bytes, FrameTooLarge> {
+    let mut buf = BytesMut::with_capacity(ANTI_ENTROPY_HEADER_BYTES + entries.len() * 25);
+    buf.put_u8(wire::DELTA);
+    buf.put_u32_le(from);
+    buf.put_u32_le(entries.len() as u32);
+    for entry in entries {
+        buf.put_u32_le(entry.node);
+        buf.put_u32_le(entry.incarnation);
+        buf.put_u64_le(entry.version);
+        match entry.value {
+            DeltaValue::Heartbeat(cycle) => {
+                buf.put_u8(0);
+                buf.put_u32_le(cycle);
+            }
+            DeltaValue::ProfileDigest(digest) => {
+                buf.put_u8(1);
+                buf.put_u64_le(digest);
+            }
+            DeltaValue::NewsKey { item, published_at } => {
+                buf.put_u8(2);
+                buf.put_u32_le(item);
+                buf.put_u32_le(published_at);
+            }
+        }
+    }
+    if buf.len() > MAX_FRAME {
+        return Err(FrameTooLarge(buf.len()));
+    }
+    Ok(buf.freeze())
+}
+
+/// Inverse of [`encode_delta`].
+pub fn decode_delta(mut buf: &[u8]) -> Result<(NodeId, Vec<DeltaEntry>), DecodeError> {
+    if buf.remaining() < ANTI_ENTROPY_HEADER_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != wire::DELTA {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let from = buf.get_u32_le();
+    let count = buf.get_u32_le() as usize;
+    let mut entries = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        if buf.remaining() < 17 {
+            return Err(DecodeError::Truncated);
+        }
+        let node = buf.get_u32_le();
+        let incarnation = buf.get_u32_le();
+        let version = buf.get_u64_le();
+        let kind = buf.get_u8();
+        let value = match kind {
+            0 => {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                DeltaValue::Heartbeat(buf.get_u32_le())
+            }
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                DeltaValue::ProfileDigest(buf.get_u64_le())
+            }
+            2 => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                DeltaValue::NewsKey {
+                    item: buf.get_u32_le(),
+                    published_at: buf.get_u32_le(),
+                }
+            }
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        entries.push(DeltaEntry {
+            node,
+            incarnation,
+            version,
+            value,
+        });
+    }
+    Ok((from, entries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

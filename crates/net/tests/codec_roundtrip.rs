@@ -13,7 +13,9 @@ use whatsup_core::{
     Descriptor, NewsItem, NewsMessage, NodeId, Payload, Profile, ProfileEntry, SharedProfile,
 };
 use whatsup_net::codec::{
-    bundle_view, decode, decode_bundle_entry, encode, encode_bundle, NewsDecodeCache, WireMessage,
+    bundle_view, decode, decode_bundle_entry, decode_delta, decode_digest, encode, encode_bundle,
+    encode_delta, encode_digest, DeltaEntry, DeltaValue, DigestLine, NewsDecodeCache, WireMessage,
+    ANTI_ENTROPY_HEADER_BYTES,
 };
 
 /// Builds a profile from generated `(item, timestamp, liked)` triples.
@@ -288,6 +290,120 @@ proptest! {
             if cut < frame.len() {
                 prop_assert!(decode(&frame[..cut]).is_err(), "cut at {} must fail", cut);
             }
+        }
+    }
+}
+
+/// Derives a [`DeltaValue`] from two generated numbers: `pick` chooses the
+/// variant, `raw` the payload (tuples cap at four elements in the
+/// strategy set, so the variant is folded into the scalars).
+fn delta_value(pick: u8, raw: u64) -> DeltaValue {
+    match pick % 3 {
+        0 => DeltaValue::Heartbeat(raw as u32),
+        1 => DeltaValue::ProfileDigest(raw),
+        _ => DeltaValue::NewsKey {
+            item: raw as u32,
+            published_at: (raw >> 32) as u32,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Anti-entropy digests roundtrip line-for-line in order.
+    #[test]
+    fn digest_frames_roundtrip(
+        from in 0u32..1_000_000,
+        lines in prop::collection::vec(
+            (0u32..100_000, 0u32..1_000, 0u64..1_000_000),
+            0..32,
+        ),
+    ) {
+        let lines: Vec<DigestLine> = lines
+            .iter()
+            .map(|&(node, incarnation, max_version)| DigestLine {
+                node,
+                incarnation,
+                max_version,
+            })
+            .collect();
+        let frame = encode_digest(from, &lines).unwrap();
+        prop_assert_eq!(frame[0], wire::DIGEST);
+        let (decoded_from, decoded) = decode_digest(&frame).unwrap();
+        prop_assert_eq!(decoded_from, from);
+        prop_assert_eq!(decoded, lines);
+    }
+
+    /// Anti-entropy deltas roundtrip for every value kind, and the
+    /// per-entry `wire_bytes` sizing adds up to the exact frame length —
+    /// the invariant budget packing depends on.
+    #[test]
+    fn delta_frames_roundtrip_and_size_exactly(
+        from in 0u32..1_000_000,
+        raw_entries in prop::collection::vec(
+            (0u32..100_000, 0u64..1_000_000, (0u8..6, 0u64..u64::MAX)),
+            0..32,
+        ),
+    ) {
+        let entries: Vec<DeltaEntry> = raw_entries
+            .iter()
+            .map(|&(node, version, (pick, raw))| DeltaEntry {
+                node,
+                incarnation: u32::from(pick),
+                version,
+                value: delta_value(pick, raw),
+            })
+            .collect();
+        let frame = encode_delta(from, &entries).unwrap();
+        prop_assert_eq!(frame[0], wire::DELTA);
+        let sized: usize = ANTI_ENTROPY_HEADER_BYTES
+            + entries.iter().map(DeltaEntry::wire_bytes).sum::<usize>();
+        prop_assert_eq!(frame.len(), sized, "wire_bytes must sum to the frame length");
+        let (decoded_from, decoded) = decode_delta(&frame).unwrap();
+        prop_assert_eq!(decoded_from, from);
+        prop_assert_eq!(decoded, entries);
+    }
+
+    /// Truncated anti-entropy frames are decode errors, never panics.
+    #[test]
+    fn truncated_anti_entropy_frames_never_decode(
+        from in 0u32..1_000,
+        lines in prop::collection::vec(
+            (0u32..1_000, 0u32..100, 0u64..1_000),
+            1..8,
+        ),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let digest_lines: Vec<DigestLine> = lines
+            .iter()
+            .map(|&(node, incarnation, max_version)| DigestLine {
+                node,
+                incarnation,
+                max_version,
+            })
+            .collect();
+        let entries: Vec<DeltaEntry> = lines
+            .iter()
+            .map(|&(node, incarnation, version)| DeltaEntry {
+                node,
+                incarnation,
+                version,
+                value: DeltaValue::NewsKey {
+                    item: node,
+                    published_at: incarnation,
+                },
+            })
+            .collect();
+        let digest_frame = encode_digest(from, &digest_lines).unwrap();
+        let delta_frame = encode_delta(from, &entries).unwrap();
+        let digest_cut = ((digest_frame.len() as f64) * cut_fraction) as usize;
+        if digest_cut < digest_frame.len() {
+            prop_assert!(decode_digest(&digest_frame[..digest_cut]).is_err());
+        }
+        let delta_cut = ((delta_frame.len() as f64) * cut_fraction) as usize;
+        if delta_cut < delta_frame.len() {
+            prop_assert!(decode_delta(&delta_frame[..delta_cut]).is_err());
         }
     }
 }

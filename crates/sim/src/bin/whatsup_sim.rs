@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! whatsup-sim run <scenario.json> [--out <report.json>] [--shards N]
+//!                 [--protocol anti-entropy]
 //!                 [--multiprocess <sim-shard-worker path>]
 //!                 [--transport socket --workers host:port,…]
 //!                 [--supervise [--max-restarts N] [--checkpoint-every C]]
+//! whatsup-sim compare <scenario.json> [--fanout F] [--out <table.txt>]
+//! whatsup-sim render <report.json> [--out <table.txt>]
 //! whatsup-sim sweep <scenario.json> [--shards N,N,…] [--fanouts F,F,…]
 //!                   [--out <rows.jsonl>]
 //! whatsup-sim check <report.json> [--require-recovery]
@@ -30,7 +33,21 @@
 //!   child, or redialed address once a replacement listener takes it over —
 //!   up to `--max-restarts` times per shard (default 3), with the run's
 //!   report staying bit-identical to an undisturbed one (see the engine
-//!   module docs' "supervision & recovery" section).
+//!   module docs' "supervision & recovery" section). `--protocol
+//!   anti-entropy` overrides the file's protocol with the scuttlebutt
+//!   anti-entropy engine (fanout taken from the file's protocol knob when
+//!   it has one) — the quick way to replay a committed BEEP scenario under
+//!   the alternative engine without editing the file.
+//! * `compare` runs the scenario file twice — once under the file's own
+//!   protocol and once under anti-entropy at the same fanout (or
+//!   `--fanout`) — and renders one side-by-side text-table row per
+//!   protocol: messages sent, recall/precision/F1 and time-to-recover
+//!   (from the first recovery window). This is the head-to-head the
+//!   anti-entropy engine exists for.
+//! * `render` re-reads a report JSON written by `run` and renders its
+//!   per-cycle `series` and resolved measurement `windows` as aligned
+//!   text tables (the `whatsup-metrics` table format) — the human view of
+//!   a report that was archived as JSON.
 //! * `sweep` runs the scenario file across a `--shards` × `--fanouts`
 //!   grid through the same Runner path, emitting one JSON row per cell
 //!   (JSON Lines: `{"shards": …, "fanout": …, "report": …}`). Omitting
@@ -45,16 +62,21 @@
 //!   form (round-trip check / formatter).
 
 use std::process::ExitCode;
+use whatsup_metrics::table::{f2, human_count};
+use whatsup_metrics::TextTable;
 use whatsup_sim::sweep::scenario_grid_sweep;
 use whatsup_sim::{
-    Runner, ScenarioFile, Supervision, Transport, REPORT_SCHEMA_VERSION, SERIES_COLUMNS,
+    Protocol, Runner, ScenarioFile, Supervision, Transport, REPORT_SCHEMA_VERSION, SERIES_COLUMNS,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  whatsup-sim run <scenario.json> [--out <report.json>] [--shards N] \
-         [--multiprocess <worker>] [--transport in-process|process|socket] \
+         [--protocol anti-entropy] [--multiprocess <worker>] \
+         [--transport in-process|process|socket] \
          [--workers host:port,...] [--supervise [--max-restarts N] [--checkpoint-every C]]\n  \
+         whatsup-sim compare <scenario.json> [--fanout F] [--out <table.txt>]\n  \
+         whatsup-sim render <report.json> [--out <table.txt>]\n  \
          whatsup-sim sweep <scenario.json> [--shards N,N,...] \
          [--fanouts F,F,...] [--out <rows.jsonl>]\n  whatsup-sim check <report.json> \
          [--require-recovery]\n  whatsup-sim echo <scenario.json>"
@@ -71,6 +93,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        Some("render") => render(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("echo") => echo(&args[1..]),
@@ -156,6 +180,19 @@ fn load_for_run(path: &str) -> Result<(ScenarioFile, whatsup_datasets::Dataset),
         .validate_events(dataset.n_users())
         .map_err(|e| format!("{path}: {e}"))?;
     Ok((file, dataset))
+}
+
+/// Maps a `--protocol` override name onto a [`Protocol`], inheriting the
+/// scenario file's fanout knob where the override needs one.
+fn parse_protocol_override(name: &str, file_protocol: Protocol) -> Result<Protocol, String> {
+    match name {
+        "anti-entropy" | "anti_entropy" => Ok(Protocol::AntiEntropy {
+            fanout: file_protocol.fanout().unwrap_or(3),
+        }),
+        other => Err(format!(
+            "unknown protocol override '{other}' (supported: anti-entropy)"
+        )),
+    }
 }
 
 /// Writes `text` to `out` (or stdout when `None`), treating a broken pipe
@@ -286,6 +323,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut supervise = false;
     let mut max_restarts = None;
     let mut checkpoint_every = None;
+    let mut protocol_override = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -296,6 +334,10 @@ fn run(args: &[String]) -> ExitCode {
             "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => shards = Some(n),
                 None => return usage(),
+            },
+            "--protocol" => match it.next() {
+                Some(v) if !v.starts_with("--") => protocol_override = Some(v.clone()),
+                _ => return usage(),
             },
             "--multiprocess" => match it.next() {
                 Some(v) if !v.starts_with("--") => worker = Some(v.clone()),
@@ -345,7 +387,14 @@ fn run(args: &[String]) -> ExitCode {
         Ok(loaded) => loaded,
         Err(e) => return fail("invalid scenario", e),
     };
-    let mut runner = Runner::new(&dataset, file.protocol)
+    let protocol = match protocol_override.as_deref() {
+        None => file.protocol,
+        Some(name) => match parse_protocol_override(name, file.protocol) {
+            Ok(p) => p,
+            Err(e) => return fail("invalid protocol override", e),
+        },
+    };
+    let mut runner = Runner::new(&dataset, protocol)
         .config(file.config.clone())
         .scenario(file.scenario.clone())
         .transport(transport);
@@ -373,6 +422,257 @@ fn run(args: &[String]) -> ExitCode {
         report.windows.len()
     );
     emit(&json, out.as_deref(), &note)
+}
+
+/// One `compare` table row: traffic, scores and recovery speed of a
+/// finished report. Time-to-recover comes from the first window carrying
+/// recovery metrics — `-` when the scenario declares none, `never` when
+/// recall did not climb back within the run.
+fn comparison_row(report: &whatsup_sim::SimReport) -> Vec<String> {
+    let s = report.scores();
+    let messages = report.news_messages_all + report.gossip_messages;
+    let ttr = report
+        .windows
+        .iter()
+        .find_map(|w| w.recovery.as_ref())
+        .map_or_else(
+            || "-".to_string(),
+            |r| {
+                r.time_to_recover()
+                    .map_or_else(|| "never".to_string(), |t| t.to_string())
+            },
+        );
+    vec![
+        report.protocol.clone(),
+        human_count(messages as f64),
+        human_count(report.news_messages_all as f64),
+        human_count(report.gossip_messages as f64),
+        f2(s.recall),
+        f2(s.precision),
+        f2(s.f1),
+        ttr,
+    ]
+}
+
+fn compare(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut out = None;
+    let mut fanout = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) if !v.starts_with("--") => out = Some(v.clone()),
+                _ => return usage(),
+            },
+            "--fanout" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(f) if f > 0 => fanout = Some(f),
+                _ => return usage(),
+            },
+            flag if flag.starts_with("--") => return usage(),
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+    let (file, dataset) = match load_for_run(&path) {
+        Ok(loaded) => loaded,
+        Err(e) => return fail("invalid scenario", e),
+    };
+    if matches!(file.protocol, Protocol::AntiEntropy { .. }) {
+        return fail(
+            "invalid comparison",
+            format!(
+                "{path}: the file's protocol already is anti-entropy — point compare at the \
+                 scenario's BEEP/gossip form"
+            ),
+        );
+    }
+    // The anti-entropy side runs at the file protocol's fanout unless
+    // --fanout overrides it, so the head-to-head is knob-for-knob fair.
+    let anti = Protocol::AntiEntropy {
+        fanout: fanout.or(file.protocol.fanout()).unwrap_or(3),
+    };
+    let run_one = |protocol: Protocol| {
+        Runner::new(&dataset, protocol)
+            .config(file.config.clone())
+            .scenario(file.scenario.clone())
+            .try_run()
+    };
+    let baseline = match run_one(file.protocol) {
+        Ok(report) => report,
+        Err(e) => return fail("baseline run failed", e),
+    };
+    let anti_report = match run_one(anti) {
+        Ok(report) => report,
+        Err(e) => return fail("anti-entropy run failed", e),
+    };
+    let mut table = TextTable::new(
+        format!(
+            "{} vs {} on {} ({} nodes, {} cycles)",
+            baseline.protocol,
+            anti_report.protocol,
+            baseline.dataset,
+            baseline.n_nodes,
+            baseline.cycles
+        ),
+        &[
+            "Protocol",
+            "Messages",
+            "News",
+            "Gossip",
+            "Recall",
+            "Precision",
+            "F1",
+            "TimeToRecover",
+        ],
+    );
+    table.row(&comparison_row(&baseline));
+    table.row(&comparison_row(&anti_report));
+    emit(&table.render(), out.as_deref(), "comparison table (2 rows)")
+}
+
+fn render(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) if !v.starts_with("--") => out = Some(v.clone()),
+                _ => return usage(),
+            },
+            flag if flag.starts_with("--") => return usage(),
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+    let path = path.as_str();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return fail("cannot read report", format!("{path}: {e}")),
+    };
+    let value = match serde::json::parse(&text) {
+        Ok(value) => value,
+        Err(e) => return fail("report is not valid JSON", e),
+    };
+    match value.get("schema_version").and_then(|v| v.as_u64()) {
+        Some(v) if v == u64::from(REPORT_SCHEMA_VERSION) => {}
+        _ => {
+            return fail(
+                "report schema",
+                format!(
+                    "{path}: missing or unsupported schema_version — this binary renders \
+                     v{REPORT_SCHEMA_VERSION} reports (produce one with whatsup-sim run)"
+                ),
+            )
+        }
+    }
+    let str_of = |key: &str| {
+        value
+            .get(key)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let heading = format!("{} on {}", str_of("protocol"), str_of("dataset"));
+
+    // Per-cycle series: one row per cycle, the columns exactly as `run`
+    // wrote them (and `check` validates them).
+    let mut header = vec!["cycle"];
+    header.extend(SERIES_COLUMNS);
+    let mut series_table = TextTable::new(format!("{heading} — per-cycle series"), &header);
+    let series = value.get("series");
+    let column = |key: &str| {
+        series
+            .and_then(|s| s.get(key))
+            .and_then(|c| c.as_array())
+            .map(<[serde::json::Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let columns: Vec<(&str, Vec<serde::json::Value>)> = SERIES_COLUMNS
+        .iter()
+        .map(|key| (*key, column(key)))
+        .collect();
+    let n_cycles = columns.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+    for cycle in 0..n_cycles {
+        let mut row = vec![cycle.to_string()];
+        for (key, cells) in &columns {
+            row.push(match cells.get(cycle).and_then(|v| v.as_f64()) {
+                // The derived ratio columns are null on quiet cycles.
+                None => "-".to_string(),
+                Some(x) if matches!(*key, "recall" | "precision") => f2(x),
+                Some(x) => format!("{x:.0}"),
+            });
+        }
+        series_table.row(&row);
+    }
+
+    // Measurement windows, recovery metrics inline.
+    let mut windows_table = TextTable::new(
+        format!("{heading} — measurement windows"),
+        &[
+            "Window",
+            "Cycles",
+            "Items",
+            "Recall",
+            "Precision",
+            "F1",
+            "News",
+            "Gossip",
+            "DipDepth",
+            "TimeToRecover",
+            "MessagesSpent",
+        ],
+    );
+    let windows = value
+        .get("windows")
+        .and_then(|w| w.as_array())
+        .map(<[serde::json::Value]>::to_vec)
+        .unwrap_or_default();
+    for w in &windows {
+        let num = |key: &str| w.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+        let score = |key: &str| {
+            w.get("scores")
+                .and_then(|s| s.get(key))
+                .and_then(|v| v.as_f64())
+                .map_or_else(|| "-".to_string(), f2)
+        };
+        let recovery = w
+            .get("recovery")
+            .filter(|r| !matches!(r, serde::json::Value::Null));
+        let rec_num = |key: &str| {
+            recovery
+                .and_then(|r| r.get(key))
+                .and_then(|v| v.as_f64())
+                .map_or_else(|| "-".to_string(), |x| format!("{x:.0}"))
+        };
+        let dip = recovery
+            .and_then(|r| r.get("dip_depth"))
+            .and_then(|v| v.as_f64())
+            .map_or_else(|| "-".to_string(), f2);
+        windows_table.row(&[
+            w.get("name")
+                .and_then(|n| n.as_str())
+                .unwrap_or("?")
+                .to_string(),
+            format!("[{:.0}, {:.0})", num("from"), num("until")),
+            format!("{:.0}", num("items")),
+            score("recall"),
+            score("precision"),
+            score("f1"),
+            human_count(num("news_sent")),
+            human_count(num("gossip_sent")),
+            dip,
+            rec_num("time_to_recover"),
+            rec_num("messages_spent"),
+        ]);
+    }
+
+    let text = format!("{}\n{}", series_table.render(), windows_table.render());
+    let note = format!("{n_cycles} cycles, {} windows", windows.len());
+    emit(&text, out.as_deref(), &note)
 }
 
 fn check(args: &[String]) -> ExitCode {

@@ -70,6 +70,10 @@ pub enum Protocol {
     NoAmplification { fanout: usize },
     /// Ablation: BEEP with un-oriented (uniform random) dislike forwarding.
     NoOrientation { f_like: usize },
+    /// Scuttlebutt anti-entropy: versioned per-node state reconciled by
+    /// pairwise digest/delta exchange, phi-accrual failure detection. The
+    /// modern point of comparison BEEP is measured against (ROADMAP).
+    AntiEntropy { fanout: usize },
 }
 
 impl Protocol {
@@ -86,6 +90,7 @@ impl Protocol {
             Protocol::CWhatsUp { .. } => "C-WhatsUp".into(),
             Protocol::NoAmplification { .. } => "NoAmplification".into(),
             Protocol::NoOrientation { .. } => "NoOrientation".into(),
+            Protocol::AntiEntropy { .. } => "Anti-Entropy".into(),
         }
     }
 
@@ -108,7 +113,9 @@ impl Protocol {
             | Protocol::CWhatsUp { f_like }
             | Protocol::NoOrientation { f_like } => Some(f_like),
             Protocol::CfWup { k } | Protocol::CfCos { k } => Some(k),
-            Protocol::Gossip { fanout } | Protocol::NoAmplification { fanout } => Some(fanout),
+            Protocol::Gossip { fanout }
+            | Protocol::NoAmplification { fanout }
+            | Protocol::AntiEntropy { fanout } => Some(fanout),
             Protocol::Cascade | Protocol::CPubSub => None,
         }
     }
@@ -124,6 +131,7 @@ impl Protocol {
             Protocol::CWhatsUp { .. } => Protocol::CWhatsUp { f_like: f },
             Protocol::NoAmplification { .. } => Protocol::NoAmplification { fanout: f },
             Protocol::NoOrientation { .. } => Protocol::NoOrientation { f_like: f },
+            Protocol::AntiEntropy { .. } => Protocol::AntiEntropy { fanout: f },
             p => *p,
         }
     }
@@ -157,7 +165,12 @@ impl Protocol {
                 };
                 Some(p)
             }
-            Protocol::Cascade | Protocol::CPubSub | Protocol::CWhatsUp { .. } => None,
+            // Anti-entropy runs its own engine, not the whatsup-core node
+            // stack (it reconciles versioned state, it does not push news).
+            Protocol::Cascade
+            | Protocol::CPubSub
+            | Protocol::CWhatsUp { .. }
+            | Protocol::AntiEntropy { .. } => None,
         }
     }
 }
@@ -204,6 +217,22 @@ pub struct SimConfig {
     /// knob: reports are bit-identical for every value. Ignored under
     /// [`Transport::Socket`], where the shard count is the worker count.
     pub shards: usize,
+    /// Anti-entropy only: datagram byte budget deltas are greedily packed
+    /// to (chitchat-style UDP sizing). Partial deltas are first-class; a
+    /// truncated exchange resumes from the advertised digest next round.
+    pub datagram_budget: usize,
+    /// Anti-entropy only: φ above which a peer counts as failed. φ grows
+    /// with heartbeat staleness relative to the observed inter-arrival
+    /// history, so the threshold is in "suspicion" units, not cycles.
+    /// Cycle-granular heartbeats keep φ far smaller than wall-clock
+    /// deployments' 8–16: at a steady 1-cycle cadence, φ ≈ 0.43 per stale
+    /// cycle, so the 1.0 default fires after ~3 missed cycles.
+    pub phi_threshold: f64,
+    /// Anti-entropy only: cycles a crashed node stays dark before it
+    /// rejoins with a bumped incarnation. The BEEP engine resets crashed
+    /// nodes instantly; anti-entropy needs real downtime for heartbeats to
+    /// go stale, or φ would have nothing to detect.
+    pub down_cycles: u32,
 }
 
 impl Default for SimConfig {
@@ -222,6 +251,9 @@ impl Default for SimConfig {
             churn_per_cycle: 0.0,
             collect_series: true,
             shards: 1,
+            datagram_budget: 1400,
+            phi_threshold: 1.0,
+            down_cycles: 5,
         }
     }
 }
@@ -292,6 +324,17 @@ impl SimConfig {
         if !(0.0..=1.0).contains(&self.churn_per_cycle) {
             return Err("churn must be a probability".into());
         }
+        // Smallest useful datagram: the frame header plus one maximal delta
+        // entry, or no entry could ever be packed.
+        if self.datagram_budget < 64 {
+            return Err("datagram_budget must be ≥ 64 bytes".into());
+        }
+        if !self.phi_threshold.is_finite() || self.phi_threshold <= 0.0 {
+            return Err("phi_threshold must be a positive finite number".into());
+        }
+        if self.down_cycles == 0 {
+            return Err("down_cycles must be ≥ 1 (crashes need real downtime)".into());
+        }
         Ok(())
     }
 }
@@ -329,6 +372,10 @@ mod tests {
         assert_eq!(Protocol::Cascade.fanout(), None);
         assert_eq!(Protocol::CfCos { k: 29 }.with_fanout(5).fanout(), Some(5));
         assert_eq!(Protocol::Cascade.with_fanout(5), Protocol::Cascade);
+        let ae = Protocol::AntiEntropy { fanout: 2 };
+        assert_eq!(ae.label(), "Anti-Entropy");
+        assert!(!ae.is_global());
+        assert_eq!(ae.with_fanout(3).fanout(), Some(3));
     }
 
     #[test]
@@ -338,6 +385,7 @@ mod tests {
         assert!(Protocol::Cascade.node_params().is_none());
         assert!(Protocol::CPubSub.node_params().is_none());
         assert!(Protocol::CWhatsUp { f_like: 10 }.node_params().is_none());
+        assert!(Protocol::AntiEntropy { fanout: 2 }.node_params().is_none());
     }
 
     #[test]
@@ -376,6 +424,21 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = SimConfig {
             loss: 1.5,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimConfig {
+            datagram_budget: 10,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimConfig {
+            phi_threshold: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimConfig {
+            down_cycles: 0,
             ..Default::default()
         };
         assert!(bad.validate().is_err());

@@ -1,0 +1,94 @@
+//! Delta packing: greedy fill of one datagram's byte budget with the
+//! entries a digest proved the peer is missing (chitchat's UDP sizing).
+
+use super::digest::DigestIndex;
+use super::state::Replica;
+use whatsup_core::NodeId;
+use whatsup_net::codec::{DeltaEntry, ANTI_ENTROPY_HEADER_BYTES};
+
+/// Builds the delta a replica owes a peer, given the peer's digest:
+/// owners ascending, each owner's missing entries in ascending version
+/// order, greedily packed until `budget` bytes (frame header included).
+/// Packing stops at the first entry that does not fit — the cut is safe
+/// because ascending version order makes every prefix resumable.
+///
+/// The returned byte size is the exact encoded frame size; it never
+/// exceeds `budget` (property-tested).
+pub fn pack_delta(
+    replica: &Replica,
+    digest: &DigestIndex<'_>,
+    budget: usize,
+) -> (Vec<DeltaEntry>, usize) {
+    let mut entries = Vec::new();
+    let mut bytes = ANTI_ENTROPY_HEADER_BYTES;
+    'owners: for (id, rec) in replica.records.iter().enumerate() {
+        let node = id as NodeId;
+        let Some(after) = digest.version_floor(node, rec) else {
+            continue;
+        };
+        for entry in rec.entries_after(node, after) {
+            let cost = entry.wire_bytes();
+            if bytes + cost > budget {
+                break 'owners;
+            }
+            bytes += cost;
+            entries.push(entry);
+        }
+    }
+    (entries, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatsup_net::codec::{encode_delta, DigestLine};
+
+    fn populated() -> Replica {
+        let mut r = Replica::new(3);
+        r.set_heartbeat(0, 0);
+        r.set_profile(0, 0xfeed);
+        for item in 0..10 {
+            r.insert_news(0, item, 1);
+        }
+        r
+    }
+
+    #[test]
+    fn packing_respects_the_budget_exactly() {
+        let r = populated();
+        let empty: Vec<DigestLine> = Vec::new();
+        let digest = DigestIndex::new(&empty);
+        for budget in [64, 80, 120, 200, 4096] {
+            let (entries, bytes) = pack_delta(&r, &digest, budget);
+            assert!(bytes <= budget, "{bytes} > {budget}");
+            let frame = encode_delta(9, &entries).unwrap();
+            assert_eq!(frame.len(), bytes, "declared size must match the encoding");
+        }
+    }
+
+    #[test]
+    fn tight_budget_truncates_then_resumes() {
+        let r = populated();
+        let empty: Vec<DigestLine> = Vec::new();
+        let (first, _) = pack_delta(&r, &DigestIndex::new(&empty), 80);
+        assert!(!first.is_empty());
+        assert!(first.len() < 12, "80 bytes cannot hold all 12 entries");
+        // Apply the partial delta, re-digest, and the next delta resumes.
+        let mut peer = Replica::new(3);
+        for e in &first {
+            assert!(peer.apply(2, e));
+        }
+        let lines = peer.digest(3);
+        let (second, _) = pack_delta(&r, &DigestIndex::new(&lines), 4096);
+        assert_eq!(first.len() + second.len(), 12, "no entry lost at the cut");
+    }
+
+    #[test]
+    fn fresh_peer_gets_nothing() {
+        let r = populated();
+        let lines = r.digest(3);
+        let (entries, bytes) = pack_delta(&r, &DigestIndex::new(&lines), 4096);
+        assert!(entries.is_empty());
+        assert_eq!(bytes, ANTI_ENTROPY_HEADER_BYTES);
+    }
+}

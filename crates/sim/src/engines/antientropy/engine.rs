@@ -1,0 +1,717 @@
+//! The anti-entropy cycle loop: heartbeats, scuttlebutt exchanges, churn
+//! with real downtime, publications as news keys, and phi evaluation.
+//!
+//! Determinism contract (same as the sharded engine): every random draw
+//! comes from a counter-based ChaCha8 stream keyed by `(seed, node,
+//! cycle, phase)` or from the single driver RNG seeded with `cfg.seed`,
+//! and every loop runs in ascending id order — repeated runs at the same
+//! seed are bit-identical.
+//!
+//! Phase streams: partner selection draws from each initiator's GOSSIP
+//! stream; per-delivery loss coins draw from the *receiver's* NEWS stream
+//! (lazily created per cycle, sequential draws — mirroring the sharded
+//! engine's receiver-side coins); Gilbert–Elliott channel flips from the
+//! CHANNEL stream and crash coins from the CHURN stream use exactly the
+//! sharded engine's draw rules, so the environment models mean the same
+//! thing under both engines.
+
+use super::delta::pack_delta;
+use super::digest::DigestIndex;
+use super::phi::PhiDetector;
+use super::state::Replica;
+use crate::config::SimConfig;
+use crate::engine::{node_stream, phase};
+use crate::oracle::{ItemIndexMap, Oracle};
+use crate::record::{ItemRecord, NodeIr, SimReport};
+use crate::scenario::{Event, LossModel, Scenario, WindowSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use whatsup_core::{NewsItem, NodeId};
+use whatsup_datasets::Dataset;
+use whatsup_metrics::{CycleSeries, CycleStats};
+use whatsup_net::codec::{DeltaEntry, DeltaValue};
+
+/// What the phi-accrual layer concluded over the run: every crash victim,
+/// when it was first suspected by any live observer *while actually
+/// down*, and every suspicion raised against a node that was up.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DetectionReport {
+    /// The φ threshold the run used.
+    pub threshold: f64,
+    /// `(node, crash cycle)` for every churn-phase crash.
+    pub victims: Vec<(NodeId, u32)>,
+    /// `(victim, cycle)` of the first suspicion raised against each victim
+    /// during one of its down windows.
+    pub detections: Vec<(NodeId, u32)>,
+    /// `(cycle, observer, peer)` suspicion transitions against up peers.
+    pub false_positives: Vec<(u32, NodeId, NodeId)>,
+}
+
+impl DetectionReport {
+    /// Victims no observer ever suspected while they were down.
+    pub fn undetected(&self) -> Vec<NodeId> {
+        self.victims
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|v| !self.detections.iter().any(|&(d, _)| d == *v))
+            .collect()
+    }
+}
+
+/// Runs anti-entropy under the default scenario derived from `cfg`.
+pub fn run(dataset: &Dataset, cfg: &SimConfig, fanout: usize) -> SimReport {
+    run_scenario(dataset, cfg, &Scenario::from_config(cfg), fanout)
+}
+
+/// Runs anti-entropy under an explicit scenario.
+///
+/// # Panics
+/// Panics if the config or scenario is invalid.
+pub fn run_scenario(
+    dataset: &Dataset,
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    fanout: usize,
+) -> SimReport {
+    run_with_detection(dataset, cfg, scenario, fanout).0
+}
+
+/// [`run_scenario`] plus the phi-accrual [`DetectionReport`].
+pub fn run_with_detection(
+    dataset: &Dataset,
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    fanout: usize,
+) -> (SimReport, DetectionReport) {
+    cfg.validate().expect("invalid simulation config");
+    scenario.validate(cfg).expect("invalid scenario");
+    let n = dataset.n_users();
+    assert!(n > 0, "dataset has no users");
+    assert!(fanout > 0, "anti-entropy needs a fanout ≥ 1");
+    scenario.validate_events(n).expect("invalid scenario");
+
+    let mut engine = Engine::new(dataset, cfg, scenario, fanout);
+    for cycle in 0..cfg.cycles {
+        engine.run_cycle(cycle);
+    }
+    engine.into_reports()
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    scenario: &'a Scenario,
+    fanout: usize,
+    dataset_name: String,
+    oracle: Oracle,
+    /// Item index → publishing node.
+    sources: Vec<NodeId>,
+    /// Current population (grows on joins; includes down nodes).
+    n: usize,
+    replicas: Vec<Replica>,
+    detectors: Vec<PhiDetector>,
+    /// End-of-previous-cycle suspicion matrix, observer-major. Feeds
+    /// partner selection and the transition bookkeeping.
+    suspected: Vec<Vec<bool>>,
+    up: Vec<bool>,
+    rejoin_at: Vec<Option<u32>>,
+    incarnation: Vec<u32>,
+    /// Bumped on interest swaps so the profile digest re-propagates.
+    profile_epoch: Vec<u32>,
+    /// Items each source has durably published (re-inserted on rejoin).
+    owned_items: Vec<Vec<u32>>,
+    /// Items scheduled while their source was down, inserted at rejoin.
+    pending_publish: Vec<Vec<u32>>,
+    /// Gilbert–Elliott channel state; belongs to the network, survives
+    /// crashes (same rule as the sharded engine).
+    channel_bad: Vec<bool>,
+    /// Per-receiver loss-coin streams for the current cycle.
+    phase_rngs: Vec<Option<ChaCha8Rng>>,
+    /// item → node → already counted as a first reception. Global and
+    /// crash-proof, so re-learning state after a rejoin never recounts.
+    seen: Vec<Vec<bool>>,
+    /// item → node → liked, frozen at publication (source excluded).
+    /// Dissemination spans cycles here, so the ground truth must be
+    /// pinned: a clone joining (or an interest swap) after publication
+    /// must not shift an already-published item's interested set.
+    liked_at_publish: Vec<Vec<bool>>,
+    records: Vec<ItemRecord>,
+    per_node: Vec<NodeIr>,
+    series: CycleSeries,
+    cycle_stats: CycleStats,
+    gossip_messages: u64,
+    news_all: u64,
+    news_measured: u64,
+    /// Driving RNG for join references (mirrors the sharded driver).
+    driver_rng: ChaCha8Rng,
+    published_at_cycle: Vec<Vec<u32>>,
+    detection: DetectionReport,
+    cycles_run: u32,
+}
+
+impl<'a> Engine<'a> {
+    fn new(dataset: &Dataset, cfg: &'a SimConfig, scenario: &'a Scenario, fanout: usize) -> Self {
+        let n = dataset.n_users();
+        let topics: Vec<u32> = dataset.items.iter().map(|spec| spec.topic).collect();
+        let item_cycles = scenario.workload.schedule(cfg, &topics);
+        let mut published_at_cycle = vec![Vec::new(); cfg.cycles as usize];
+        let mut id_to_index =
+            ItemIndexMap::with_capacity_and_hasher(dataset.n_items(), Default::default());
+        for spec in &dataset.items {
+            published_at_cycle[item_cycles[spec.index as usize] as usize].push(spec.index);
+            // The id map is only needed so the oracle can be constructed;
+            // anti-entropy addresses items by dataset index throughout.
+            let item = NewsItem::new(
+                format!("{}-news-{}", dataset.name, spec.index),
+                format!("topic-{}", spec.topic),
+                format!("https://news.example/{}/{}", dataset.name, spec.index),
+                spec.source,
+                item_cycles[spec.index as usize],
+            );
+            id_to_index.insert(item.id(), spec.index);
+        }
+        let records: Vec<ItemRecord> = dataset
+            .items
+            .iter()
+            .map(|spec| ItemRecord {
+                index: spec.index,
+                published_at: item_cycles[spec.index as usize],
+                measured: item_cycles[spec.index as usize] >= cfg.measure_from,
+                ..ItemRecord::default()
+            })
+            .collect();
+        let mut engine = Engine {
+            cfg,
+            scenario,
+            fanout,
+            dataset_name: dataset.name.clone(),
+            oracle: Oracle::new(dataset.likes.clone(), id_to_index),
+            sources: dataset.items.iter().map(|spec| spec.source).collect(),
+            n,
+            replicas: (0..n).map(|_| Replica::new(n)).collect(),
+            detectors: (0..n).map(|_| PhiDetector::new(n)).collect(),
+            suspected: vec![vec![false; n]; n],
+            up: vec![true; n],
+            rejoin_at: vec![None; n],
+            incarnation: vec![0; n],
+            profile_epoch: vec![0; n],
+            owned_items: vec![Vec::new(); n],
+            pending_publish: vec![Vec::new(); n],
+            channel_bad: vec![false; n],
+            phase_rngs: vec![None; n],
+            seen: vec![vec![false; n]; dataset.n_items()],
+            liked_at_publish: vec![Vec::new(); dataset.n_items()],
+            records,
+            per_node: vec![NodeIr::default(); n],
+            series: CycleSeries::default(),
+            cycle_stats: CycleStats::default(),
+            gossip_messages: 0,
+            news_all: 0,
+            news_measured: 0,
+            driver_rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            published_at_cycle,
+            detection: DetectionReport {
+                threshold: cfg.phi_threshold,
+                ..DetectionReport::default()
+            },
+            cycles_run: 0,
+        };
+        for id in 0..n as NodeId {
+            let digest = engine.profile_digest(id);
+            engine.replicas[id as usize].set_profile(id, digest);
+        }
+        engine
+    }
+
+    /// Opaque-on-the-wire profile digest: a hash of the node's identity
+    /// and interest epoch (the wire never carries profile content).
+    fn profile_digest(&self, id: NodeId) -> u64 {
+        let mut h = self.cfg.seed
+            ^ (u64::from(id) << 32)
+            ^ (u64::from(self.profile_epoch[id as usize]) << 8)
+            ^ u64::from(self.incarnation[id as usize]);
+        // SplitMix64 finalizer.
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    fn run_cycle(&mut self, cycle: u32) {
+        // --- Cycle start: rejoins, mass joins, timeline events -----------
+        for id in 0..self.n {
+            if self.rejoin_at[id] == Some(cycle) {
+                self.rejoin(id as NodeId);
+            }
+        }
+        for _ in 0..self.scenario.environment.churn.joins_at(cycle) {
+            let reference = self.driver_rng.gen_range(0..self.n) as NodeId;
+            self.join_clone(reference);
+        }
+        let due: Vec<Event> = self
+            .scenario
+            .events
+            .iter()
+            .filter(|e| e.at == cycle)
+            .map(|e| e.event)
+            .collect();
+        for event in due {
+            self.apply_event(event);
+        }
+
+        // --- Heartbeats: every up node stamps the cycle ------------------
+        for id in 0..self.n {
+            if self.up[id] {
+                self.replicas[id].set_heartbeat(id as NodeId, cycle);
+            }
+        }
+
+        // --- Environment for this cycle ----------------------------------
+        self.advance_channels(cycle);
+        self.phase_rngs.iter_mut().for_each(|r| *r = None);
+        let cut = self.partition_cut(cycle);
+
+        // --- Gossip: every up node initiates `fanout` exchanges ----------
+        for u in 0..self.n {
+            if !self.up[u] {
+                continue;
+            }
+            for v in self.select_partners(u as NodeId, cycle) {
+                self.exchange(u as NodeId, v, cycle, cut);
+            }
+        }
+
+        // --- Churn: crash coins from each node's CHURN stream ------------
+        let rate = self.scenario.environment.churn.crash_rate(cycle);
+        if rate > 0.0 && self.n > 1 {
+            for id in 0..self.n {
+                if !self.up[id] {
+                    continue;
+                }
+                let mut rng = node_stream(self.cfg.seed, id as NodeId, cycle, phase::CHURN);
+                if rng.gen_bool(rate) {
+                    self.crash(id as NodeId, cycle);
+                }
+            }
+        }
+
+        // --- Publications ------------------------------------------------
+        let indices = std::mem::take(&mut self.published_at_cycle[cycle as usize]);
+        for index in indices {
+            self.publish(index, cycle);
+        }
+
+        // --- Phi evaluation + suspicion transitions ----------------------
+        self.evaluate_suspicion(cycle);
+
+        // --- Measurement flush -------------------------------------------
+        let mut stats = std::mem::take(&mut self.cycle_stats);
+        stats.live_nodes = self.n as u64;
+        if self.cfg.collect_series {
+            self.series.push(stats);
+        }
+        self.cycles_run = cycle + 1;
+    }
+
+    // --- Membership ------------------------------------------------------
+
+    fn join_clone(&mut self, reference: NodeId) {
+        let id = self.oracle.add_clone_of(reference);
+        debug_assert_eq!(id as usize, self.n);
+        self.n += 1;
+        self.replicas.push(Replica::new(self.n));
+        self.detectors.push(PhiDetector::new(self.n));
+        self.suspected.push(vec![false; self.n]);
+        self.up.push(true);
+        self.rejoin_at.push(None);
+        self.incarnation.push(0);
+        self.profile_epoch.push(0);
+        self.owned_items.push(Vec::new());
+        self.pending_publish.push(Vec::new());
+        self.channel_bad.push(false);
+        self.phase_rngs.push(None);
+        self.per_node.push(NodeIr::default());
+        let digest = self.profile_digest(id);
+        self.replicas[id as usize].set_profile(id, digest);
+    }
+
+    fn crash(&mut self, id: NodeId, cycle: u32) {
+        self.up[id as usize] = false;
+        self.rejoin_at[id as usize] = Some(cycle + self.cfg.down_cycles);
+        self.cycle_stats.crashed += 1;
+        self.detection.victims.push((id, cycle));
+    }
+
+    /// Rejoin after downtime: bumped incarnation, cold replica, durable
+    /// state (profile, published news keys) re-inserted under fresh
+    /// versions. The phi history and suspicion row restart from scratch.
+    fn rejoin(&mut self, id: NodeId) {
+        let idx = id as usize;
+        self.up[idx] = true;
+        self.rejoin_at[idx] = None;
+        self.incarnation[idx] += 1;
+        self.cold_restart(id);
+    }
+
+    fn apply_event(&mut self, event: Event) {
+        match event {
+            Event::JoinClone { reference } => self.join_clone(reference),
+            Event::SwapInterests { a, b } => {
+                self.oracle.swap_interests(a, b);
+                for id in [a, b] {
+                    self.profile_epoch[id as usize] += 1;
+                    if self.up[id as usize] {
+                        let digest = self.profile_digest(id);
+                        self.replicas[id as usize].set_profile(id, digest);
+                    }
+                }
+            }
+            Event::ResetNode { node } => {
+                // Instant cold restart (the node engine's reset semantics):
+                // no downtime, but a bumped incarnation and a fresh replica.
+                self.incarnation[node as usize] += 1;
+                self.rejoin_at[node as usize] = None;
+                self.up[node as usize] = true;
+                self.cold_restart(node);
+                self.cycle_stats.crashed += 1;
+            }
+        }
+    }
+
+    /// Fresh-replica cold start for `id` at its current incarnation:
+    /// everything learned is dropped; the profile digest and every durably
+    /// published news key are re-inserted under fresh versions so the
+    /// bumped incarnation re-propagates them.
+    fn cold_restart(&mut self, id: NodeId) {
+        let idx = id as usize;
+        self.replicas[idx] = Replica::new(self.n);
+        self.detectors[idx] = PhiDetector::new(self.n);
+        self.suspected[idx] = vec![false; self.n];
+        let digest = self.profile_digest(id);
+        self.replicas[idx].set_profile(id, digest);
+        let deferred = std::mem::take(&mut self.pending_publish[idx]);
+        self.owned_items[idx].extend(deferred);
+        let owned = self.owned_items[idx].clone();
+        for item in owned {
+            let published_at = self.records[item as usize].published_at;
+            self.replicas[idx].insert_news(id, item, published_at);
+        }
+        // Carry the bumped incarnation into the owner's own record so its
+        // digest and outgoing entries advertise the new epoch.
+        self.replicas[idx].records[idx].incarnation = self.incarnation[idx];
+    }
+
+    // --- Environment ------------------------------------------------------
+
+    /// Mirrors the sharded engine's per-cycle Gilbert–Elliott chain
+    /// advance: one flip coin per node from its CHANNEL stream, drawn only
+    /// when the flip probability is nonzero.
+    fn advance_channels(&mut self, cycle: u32) {
+        let LossModel::GilbertElliott {
+            good_to_bad,
+            bad_to_good,
+            ..
+        } = self.scenario.environment.loss
+        else {
+            return;
+        };
+        for id in 0..self.n {
+            let bad = &mut self.channel_bad[id];
+            let flip = if *bad { bad_to_good } else { good_to_bad };
+            if flip > 0.0 {
+                let mut rng = node_stream(self.cfg.seed, id as NodeId, cycle, phase::CHANNEL);
+                if rng.gen_bool(flip) {
+                    *bad = !*bad;
+                }
+            }
+        }
+    }
+
+    fn partition_cut(&self, cycle: u32) -> Option<NodeId> {
+        if let LossModel::Partition {
+            from,
+            until,
+            frontier,
+        } = self.scenario.environment.loss
+        {
+            if cycle >= from && cycle < until {
+                return Some((frontier * self.n as f64).floor() as NodeId);
+            }
+        }
+        None
+    }
+
+    /// Whether one `from → to` datagram is dropped at delivery time. Same
+    /// rules as the sharded engine: constant/Gilbert–Elliott draw one coin
+    /// from the receiver's per-cycle stream (never when the effective
+    /// probability is zero); partition drops are deterministic.
+    fn dropped(&mut self, from: NodeId, to: NodeId, cycle: u32, cut: Option<NodeId>) -> bool {
+        match self.scenario.environment.loss {
+            LossModel::Constant { p } => p > 0.0 && self.coin(to, cycle, p),
+            LossModel::GilbertElliott { p_good, p_bad, .. } => {
+                let p = if self.channel_bad[to as usize] {
+                    p_bad
+                } else {
+                    p_good
+                };
+                p > 0.0 && self.coin(to, cycle, p)
+            }
+            LossModel::Partition { .. } => match cut {
+                Some(cut) => (from < cut) != (to < cut),
+                None => false,
+            },
+        }
+    }
+
+    fn coin(&mut self, receiver: NodeId, cycle: u32, p: f64) -> bool {
+        let seed = self.cfg.seed;
+        let rng = self.phase_rngs[receiver as usize]
+            .get_or_insert_with(|| node_stream(seed, receiver, cycle, phase::NEWS));
+        rng.gen_bool(p)
+    }
+
+    // --- Gossip ------------------------------------------------------------
+
+    /// The initiator's partners this cycle: `fanout` distinct peers drawn
+    /// from its GOSSIP stream over the nodes it does not suspect.
+    fn select_partners(&self, u: NodeId, cycle: u32) -> Vec<NodeId> {
+        // A node that joined this cycle is absent from older suspicion
+        // rows (they are resized at the end-of-cycle evaluation) — absent
+        // means not suspected.
+        let row = &self.suspected[u as usize];
+        let candidates: Vec<NodeId> = (0..self.n as NodeId)
+            .filter(|&v| v != u && !row.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let take = self.fanout.min(candidates.len());
+        let mut rng = node_stream(self.cfg.seed, u, cycle, phase::GOSSIP);
+        rand::seq::index::sample(&mut rng, candidates.len(), take)
+            .into_iter()
+            .map(|i| candidates[i])
+            .collect()
+    }
+
+    /// One three-way scuttlebutt exchange `u → v`: Syn (digest), SynAck
+    /// (delta + digest), Ack (delta). Every datagram counts as one gossip
+    /// message even when it is lost; a drop or a down responder truncates
+    /// the rest of the handshake.
+    fn exchange(&mut self, u: NodeId, v: NodeId, cycle: u32, cut: Option<NodeId>) {
+        // Syn: u → v carries u's digest.
+        self.count_datagram();
+        if !self.up[v as usize] || self.dropped(u, v, cycle, cut) {
+            return;
+        }
+        // SynAck: v → u carries Δ(v | u's digest) and v's digest.
+        let u_digest = self.replicas[u as usize].digest(self.n);
+        let (delta_vu, _) = pack_delta(
+            &self.replicas[v as usize],
+            &DigestIndex::new(&u_digest),
+            self.cfg.datagram_budget,
+        );
+        self.count_news_entries(&delta_vu);
+        self.count_datagram();
+        if self.dropped(v, u, cycle, cut) {
+            return;
+        }
+        self.apply_delta(u, &delta_vu, cycle);
+        // Ack: u → v carries Δ(u | v's digest).
+        let v_digest = self.replicas[v as usize].digest(self.n);
+        let (delta_uv, _) = pack_delta(
+            &self.replicas[u as usize],
+            &DigestIndex::new(&v_digest),
+            self.cfg.datagram_budget,
+        );
+        self.count_news_entries(&delta_uv);
+        self.count_datagram();
+        if self.dropped(u, v, cycle, cut) {
+            return;
+        }
+        self.apply_delta(v, &delta_uv, cycle);
+    }
+
+    fn count_datagram(&mut self) {
+        self.gossip_messages += 1;
+        self.cycle_stats.gossip_sent += 1;
+    }
+
+    /// News-key entries packed into an emitted delta count as news copies
+    /// sent (lost ones included — the paper's "number of sent messages").
+    fn count_news_entries(&mut self, delta: &[DeltaEntry]) {
+        for e in delta {
+            if let DeltaValue::NewsKey { item, .. } = e.value {
+                let rec = &mut self.records[item as usize];
+                rec.news_sent += 1;
+                self.news_all += 1;
+                self.cycle_stats.news_sent += 1;
+                if rec.measured {
+                    self.news_measured += 1;
+                }
+            }
+        }
+    }
+
+    fn apply_delta(&mut self, receiver: NodeId, delta: &[DeltaEntry], cycle: u32) {
+        for e in delta {
+            if let DeltaValue::Heartbeat(_) = e.value {
+                self.detectors[receiver as usize].observe(e.node, e.incarnation, e.version, cycle);
+            }
+            let applied = self.replicas[receiver as usize].apply(receiver, e);
+            if applied {
+                if let DeltaValue::NewsKey { item, .. } = e.value {
+                    self.reception(receiver, item);
+                }
+            }
+        }
+    }
+
+    /// First reception of `item` by `receiver` (globally deduplicated, so
+    /// state re-learned after a crash never recounts).
+    fn reception(&mut self, receiver: NodeId, item: u32) {
+        let row = &mut self.seen[item as usize];
+        let idx = receiver as usize;
+        if idx >= row.len() {
+            row.resize(idx + 1, false);
+        }
+        if row[idx] {
+            return;
+        }
+        row[idx] = true;
+        let likes = self.liked_at_publish[item as usize]
+            .get(idx)
+            .copied()
+            .unwrap_or(false);
+        let rec = &mut self.records[item as usize];
+        rec.reached += 1;
+        self.cycle_stats.first_receptions += 1;
+        if likes {
+            rec.hits += 1;
+            rec.dislikes_at_liked_reception.push(0);
+            self.cycle_stats.hits += 1;
+        }
+        if rec.measured {
+            self.per_node[idx].received += 1;
+            if likes {
+                self.per_node[idx].hits += 1;
+            }
+        }
+    }
+
+    // --- Publications ------------------------------------------------------
+
+    fn publish(&mut self, index: u32, cycle: u32) {
+        let source = self.sources[index as usize];
+        // Freeze the ground truth: the interested set at publication is
+        // what the item is scored against for the rest of the run.
+        let mut liked = vec![false; self.n];
+        let mut interested = 0u32;
+        for u in self.oracle.interested(index) {
+            if u != source {
+                liked[u as usize] = true;
+                interested += 1;
+            }
+        }
+        let rec = &mut self.records[index as usize];
+        rec.interested = interested;
+        self.cycle_stats.interested += u64::from(interested);
+        if rec.measured {
+            for (u, _) in liked.iter().enumerate().filter(|(_, l)| **l) {
+                self.per_node[u].interested += 1;
+            }
+        }
+        self.liked_at_publish[index as usize] = liked;
+        if self.up[source as usize] {
+            self.owned_items[source as usize].push(index);
+            self.replicas[source as usize].insert_news(source, index, cycle);
+        } else {
+            // The source is dark: the key enters the network at rejoin.
+            self.pending_publish[source as usize].push(index);
+        }
+    }
+
+    // --- Phi bookkeeping ---------------------------------------------------
+
+    /// End-of-cycle suspicion sweep: every up observer re-evaluates φ for
+    /// every peer; transitions into suspicion are classified as a
+    /// detection (peer actually down) or a false positive (peer up). Down
+    /// observers keep their frozen matrix rows until they rejoin.
+    fn evaluate_suspicion(&mut self, cycle: u32) {
+        let threshold = self.cfg.phi_threshold;
+        for observer in 0..self.n {
+            if !self.up[observer] {
+                continue;
+            }
+            if self.suspected[observer].len() < self.n {
+                self.suspected[observer].resize(self.n, false);
+            }
+            for peer in 0..self.n {
+                if peer == observer {
+                    continue;
+                }
+                let now_suspect =
+                    self.detectors[observer].suspects(peer as NodeId, cycle, threshold);
+                let was = self.suspected[observer][peer];
+                if now_suspect && !was {
+                    if self.up[peer] {
+                        self.detection.false_positives.push((
+                            cycle,
+                            observer as NodeId,
+                            peer as NodeId,
+                        ));
+                    } else if !self
+                        .detection
+                        .detections
+                        .iter()
+                        .any(|&(v, _)| v == peer as NodeId)
+                    {
+                        self.detection.detections.push((peer as NodeId, cycle));
+                    }
+                }
+                self.suspected[observer][peer] = now_suspect;
+            }
+        }
+    }
+
+    // --- Report ------------------------------------------------------------
+
+    fn into_reports(self) -> (SimReport, DetectionReport) {
+        let mut report = SimReport {
+            protocol: "Anti-Entropy".into(),
+            dataset: self.dataset_name,
+            fanout: Some(self.fanout),
+            n_nodes: self.n,
+            cycles: self.cycles_run,
+            items: self.records,
+            per_node: self.per_node,
+            news_messages: self.news_measured,
+            news_messages_all: self.news_all,
+            gossip_messages: self.gossip_messages,
+            series: self.series,
+            windows: Vec::new(),
+        };
+        report.windows = self
+            .scenario
+            .measurements
+            .iter()
+            .map(|m| {
+                let (from, until, recovery) = match &m.window {
+                    WindowSpec::Cycles { from, until } => {
+                        (*from, (*until).min(report.cycles), None)
+                    }
+                    WindowSpec::Recovery { anchor, baseline } => {
+                        let at = anchor
+                            .resolve(self.scenario)
+                            .expect("anchor validated against the scenario");
+                        let recovery = report.series.recovery(at, *baseline);
+                        let until = recovery
+                            .and_then(|r| r.recovered_at)
+                            .map(|c| c + 1)
+                            .unwrap_or(report.cycles);
+                        (at, until, recovery)
+                    }
+                };
+                report.window_report(&m.name, from, until, recovery)
+            })
+            .collect();
+        (report, self.detection)
+    }
+}

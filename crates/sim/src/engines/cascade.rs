@@ -94,6 +94,7 @@ pub fn run_scheduled(dataset: &Dataset, cfg: &SimConfig, schedule: &[u32]) -> Si
         items.push(rec);
     }
 
+    let series = super::series_from_items(&items, cfg, n);
     SimReport {
         protocol: "Cascade".into(),
         dataset: dataset.name.clone(),
@@ -105,7 +106,7 @@ pub fn run_scheduled(dataset: &Dataset, cfg: &SimConfig, schedule: &[u32]) -> Si
         news_messages: news_measured,
         news_messages_all: news_all,
         gossip_messages: 0,
-        series: Default::default(),
+        series,
         windows: Vec::new(),
     }
 }
@@ -158,6 +159,24 @@ mod tests {
         let mut d = dataset();
         d.social = None;
         let _ = run(&d, &SimConfig::default());
+    }
+
+    #[test]
+    fn series_reconciles_with_item_records() {
+        let d = dataset();
+        let r = run(&d, &SimConfig::default());
+        assert_eq!(r.series.len(), r.cycles as usize);
+        let all = r.series.pooled(0, r.cycles);
+        assert_eq!(all.news_sent, r.news_messages_all);
+        assert_eq!(all.gossip_sent, 0, "cascade has no gossip layer");
+        assert_eq!(
+            all.first_receptions,
+            r.items.iter().map(|i| u64::from(i.reached)).sum::<u64>()
+        );
+        assert_eq!(
+            all.hits,
+            r.items.iter().map(|i| u64::from(i.hits)).sum::<u64>()
+        );
     }
 
     #[test]

@@ -213,6 +213,7 @@ pub fn run_scheduled(
     }
     items_out.sort_by_key(|r| r.index);
 
+    let series = super::series_from_items(&items_out, cfg, n);
     SimReport {
         protocol: "C-WhatsUp".into(),
         dataset: dataset.name.clone(),
@@ -224,7 +225,7 @@ pub fn run_scheduled(
         news_messages: news_measured,
         news_messages_all: news_all,
         gossip_messages: 0,
-        series: Default::default(),
+        series,
         windows: Vec::new(),
     }
 }

@@ -1,23 +1,69 @@
-//! Alternative dissemination engines: the paper's non-gossip baselines.
+//! Alternative dissemination engines beyond the per-node gossip stack.
 //!
-//! These do not run on the per-node `whatsup-core` stack: cascade walks the
-//! explicit social graph, and the two centralized engines (`C-Pub/Sub`,
-//! `C-WhatsUp`) assume a server with global knowledge. [`run_protocol`]
-//! dispatches uniformly so sweeps and harnesses treat all protocols alike.
+//! # Four-way engine comparison
+//!
+//! | Engine | Assumptions | Message complexity | Failure model |
+//! |---|---|---|---|
+//! | **BEEP gossip** (`crate::engine`, protocols `whatsup`/`gossip`/`cf_*`) | Per-node state only; partial views via RPS/WUP sampling; no global knowledge | Per item: `O(reached · fanout)` push copies, plus a steady `O(n · view)` gossip layer per cycle | Crash-stop with instant cold rejoin from a contact's view; hard timeouts implicit in view aging; loses profile/view/seen state |
+//! | **Cascade** ([`cascade`]) | Explicit social graph, global knowledge of edges; forwards only on likes | Per item: `O(Σ likers' degrees)` — bounded by the likers' neighborhoods, which caps recall | None: the walk is a one-shot BFS, nodes never fail |
+//! | **Centralized pub/sub & C-WhatsUp** ([`pubsub`], [`centralized`]) | Omniscient reliable server; complete subscription/interest knowledge | Per item: exactly one message per subscriber (pub/sub) or per selected receiver (C-WhatsUp) | None: the server is assumed reliable (scenario validation rejects churn/loss for these) |
+//! | **Anti-entropy** ([`antientropy`]) | Full membership list known; only *state* is reconciled; versioned single-writer records | Per cycle: `O(n · fanout)` datagrams of ≤ `datagram_budget` bytes each, independent of item count (keys batch into deltas); eventual delivery | Phi-accrual suspicion from heartbeat inter-arrival history — a continuous scale, no hard timeout; crashes have real downtime and rejoin with a bumped incarnation |
+//!
+//! Cascade and the centralized engines do not run per-cycle: they walk a
+//! server-side model once per item ([`Runner`] validates that scenarios
+//! with environments/events are not asked of them). The anti-entropy
+//! engine *is* per-cycle and supports the full scenario grid, which is
+//! what makes its recovery metrics comparable against BEEP's.
+//!
+//! [`run_protocol`] dispatches uniformly so sweeps and harnesses treat all
+//! protocols alike.
 
+pub mod antientropy;
 pub mod cascade;
 pub mod centralized;
 pub mod pubsub;
 
 use crate::config::{Protocol, SimConfig};
-use crate::record::SimReport;
+use crate::record::{ItemRecord, SimReport};
 use crate::runner::Runner;
 use whatsup_datasets::Dataset;
+use whatsup_metrics::{CycleSeries, CycleStats};
 
 /// Runs any protocol over a dataset and returns its report (the classic
 /// entry point, kept as a thin [`Runner`] shorthand).
 pub fn run_protocol(dataset: &Dataset, protocol: Protocol, cfg: &SimConfig) -> SimReport {
     Runner::new(dataset, protocol).config(cfg.clone()).run()
+}
+
+/// Folds per-item records into a per-cycle series for the one-shot
+/// engines (cascade, pub/sub, centralized): each item's walk completes
+/// within its publication cycle, so everything it caused lands there.
+/// `live_nodes` stays the full population — these engines have no churn —
+/// and `gossip_sent` stays zero — they have no gossip layer.
+pub(crate) fn series_from_items(
+    items: &[ItemRecord],
+    cfg: &SimConfig,
+    n_nodes: usize,
+) -> CycleSeries {
+    if !cfg.collect_series {
+        return CycleSeries::default();
+    }
+    let mut stats = vec![CycleStats::default(); cfg.cycles as usize];
+    for rec in items {
+        let Some(s) = stats.get_mut(rec.published_at as usize) else {
+            continue;
+        };
+        s.first_receptions += u64::from(rec.reached);
+        s.hits += u64::from(rec.hits);
+        s.interested += u64::from(rec.interested);
+        s.news_sent += rec.news_sent;
+    }
+    let mut series = CycleSeries::new();
+    for mut s in stats {
+        s.live_nodes = n_nodes as u64;
+        series.push(s);
+    }
+    series
 }
 
 #[cfg(test)]
@@ -39,6 +85,7 @@ mod tests {
             Protocol::Cascade,
             Protocol::CPubSub,
             Protocol::CWhatsUp { f_like: 3 },
+            Protocol::AntiEntropy { fanout: 3 },
         ] {
             let r = run_protocol(&d, p, &cfg);
             assert_eq!(r.protocol, p.label());

@@ -88,6 +88,7 @@ pub fn run_scheduled(dataset: &Dataset, cfg: &SimConfig, schedule: &[u32]) -> Si
         items.push(rec);
     }
 
+    let series = super::series_from_items(&items, cfg, dataset.n_users());
     SimReport {
         protocol: "C-Pub/Sub".into(),
         dataset: dataset.name.clone(),
@@ -99,7 +100,7 @@ pub fn run_scheduled(dataset: &Dataset, cfg: &SimConfig, schedule: &[u32]) -> Si
         news_messages: news_measured,
         news_messages_all: news_all,
         gossip_messages: 0,
-        series: Default::default(),
+        series,
         windows: Vec::new(),
     }
 }
@@ -162,6 +163,24 @@ mod tests {
             "pub/sub cannot be worse than flooding: {p} vs {rate}"
         );
         assert!(p < 0.6, "feed granularity should cap precision: {p}");
+    }
+
+    #[test]
+    fn series_reconciles_with_item_records() {
+        let d = dataset();
+        let r = run(&d, &SimConfig::default());
+        assert_eq!(r.series.len(), r.cycles as usize);
+        let all = r.series.pooled(0, r.cycles);
+        assert_eq!(all.news_sent, r.news_messages_all);
+        assert_eq!(
+            all.hits,
+            r.items.iter().map(|i| u64::from(i.hits)).sum::<u64>()
+        );
+        assert_eq!(
+            r.series.get(0).unwrap().live_nodes,
+            d.n_users() as u64,
+            "no churn: the full population is live every cycle"
+        );
     }
 
     #[test]

@@ -81,6 +81,23 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Persists an already-built JSON [`serde::json::Value`] under
+/// [`output_dir`]. Harnesses whose artifacts need named columns (arrays of
+/// objects) go through this path: the Debug-based [`save_json`] only
+/// renders strict JSON for primitive collections, while a `Value` always
+/// pretty-prints as strict JSON.
+pub fn save_json_value(name: &str, value: &serde::json::Value) {
+    let dir = output_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Err(e) = std::fs::write(&path, value.pretty() + "\n") {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,10 @@
 //!   publish/subscribe.
 //! * [`engines::centralized`] — C-WhatsUp, the centralized variant with
 //!   global knowledge (§IV-B, Fig. 9).
+//! * [`engines::antientropy`] — scuttlebutt anti-entropy: versioned
+//!   per-node state reconciled through digest/delta exchanges packed to a
+//!   datagram budget, with phi-accrual failure detection (an eventual-
+//!   delivery contrast to WhatsUp's within-cycle epidemics).
 //!
 //! Everything is deterministic given a seed, and every experiment driver in
 //! [`experiments`] is exercised by both the benchmark harnesses and the

@@ -28,7 +28,7 @@
 use crate::config::{Protocol, SimConfig, Transport};
 use crate::engine::exchange::Supervision;
 use crate::engine::Simulation;
-use crate::engines::{cascade, centralized, pubsub};
+use crate::engines::{antientropy, cascade, centralized, pubsub};
 use crate::record::SimReport;
 use crate::scenario::Scenario;
 use std::io;
@@ -147,9 +147,10 @@ impl<'a> Runner<'a> {
     /// only). Scenario events fire automatically as the cycles advance.
     ///
     /// # Panics
-    /// Panics for global protocols (cascade, pub/sub, centralized — they
-    /// have no per-cycle engine; use [`Runner::run`]), if a non-in-process
-    /// transport was configured, or if the config/scenario is invalid.
+    /// Panics for protocols without a steppable node engine (cascade,
+    /// pub/sub, centralized, anti-entropy — use [`Runner::run`]), if a
+    /// non-in-process transport was configured, or if the config/scenario
+    /// is invalid.
     pub fn build(self) -> Simulation {
         assert!(
             self.transport == Transport::InProcess,
@@ -190,6 +191,29 @@ impl<'a> Runner<'a> {
                     }
                     _ => unreachable!("matched above"),
                 })
+            }
+            // Anti-entropy runs its own single-process engine: the full
+            // scenario grid applies, but there is no sharded transport
+            // (reports are bit-identical across repeated runs, which is
+            // the determinism contract the compare path needs).
+            Protocol::AntiEntropy { fanout } => {
+                if self.transport != Transport::InProcess {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "the anti-entropy engine is in-process only; drop --worker/--workers",
+                    ));
+                }
+                self.cfg.validate().expect("invalid simulation config");
+                scenario.validate(&self.cfg).expect("invalid scenario");
+                scenario
+                    .validate_events(self.dataset.n_users())
+                    .expect("invalid scenario");
+                Ok(antientropy::run_scenario(
+                    self.dataset,
+                    &self.cfg,
+                    &scenario,
+                    fanout,
+                ))
             }
             node_protocol => match self.transport {
                 Transport::InProcess => {

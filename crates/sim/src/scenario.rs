@@ -92,6 +92,21 @@
 //!
 //! `config` accepts any subset of [`SimConfig`]'s fields (missing fields
 //! take their defaults).
+//!
+//! ## Protocol selection
+//!
+//! `protocol` picks the engine the scenario runs on. The `"kind"` values
+//! are: the per-node gossip stack — `"whatsup"`, `"whatsup_cos"`,
+//! `"no_amplification"`, `"no_orientation"` (knob `f_like`/`fanout`),
+//! `"cf_wup"`, `"cf_cos"` (knob `k`), `"gossip"` (knob `fanout`); the
+//! global-knowledge baselines — `"cascade"`, `"c_pub_sub"`, `"c_whatsup"`
+//! (no per-cycle events or environment models; scenario validation rejects
+//! those combinations); and `"anti_entropy"` (knob `fanout`) — the
+//! scuttlebutt digest/delta engine (`crate::engines::antientropy`), which
+//! runs under the full scenario grid like the gossip stack and additionally
+//! reads the `datagram_budget`, `phi_threshold` and `down_cycles` config
+//! fields. The `whatsup-sim run --protocol anti-entropy` flag overrides the
+//! file's protocol from the CLI, and `whatsup-sim compare` runs both.
 
 use crate::config::{Protocol, SimConfig};
 use serde::json::{Error, Value};
@@ -1055,6 +1070,10 @@ impl Protocol {
                 ("kind", string("no_orientation")),
                 ("f_like", num(f_like as u32)),
             ]),
+            Protocol::AntiEntropy { fanout } => obj(vec![
+                ("kind", string("anti_entropy")),
+                ("fanout", num(fanout as u32)),
+            ]),
         }
     }
 }
@@ -1089,6 +1108,9 @@ impl Deserialize for Protocol {
             "no_orientation" => Protocol::NoOrientation {
                 f_like: usize_field("f_like")?,
             },
+            "anti_entropy" => Protocol::AntiEntropy {
+                fanout: usize_field("fanout")?,
+            },
             other => return Err(Error::new(format!("unknown protocol kind {other:?}"))),
         })
     }
@@ -1117,6 +1139,9 @@ impl SimConfig {
             ("churn_per_cycle", num(self.churn_per_cycle)),
             ("collect_series", Value::Bool(self.collect_series)),
             ("shards", num(self.shards as u32)),
+            ("datagram_budget", num(self.datagram_budget as u32)),
+            ("phi_threshold", num(self.phi_threshold)),
+            ("down_cycles", num(self.down_cycles)),
         ])
     }
 }
@@ -1190,6 +1215,18 @@ impl Deserialize for SimConfig {
                 .ok_or_else(|| Error::new("field \"shards\" must be an integer"))?
                 as usize;
         }
+        if let Some(val) = v.get("datagram_budget") {
+            cfg.datagram_budget = val
+                .as_u64()
+                .ok_or_else(|| Error::new("field \"datagram_budget\" must be an integer"))?
+                as usize;
+        }
+        if let Some(val) = v.get("phi_threshold") {
+            cfg.phi_threshold = val
+                .as_f64()
+                .ok_or_else(|| Error::new("field \"phi_threshold\" must be a number"))?;
+        }
+        set_u32(&mut cfg.down_cycles, "down_cycles")?;
         Ok(cfg)
     }
 }

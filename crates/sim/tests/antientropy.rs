@@ -1,0 +1,161 @@
+//! Anti-entropy engine contracts: deterministic reports, budget-bounded
+//! delta packing that still converges, and phi-accrual detection that
+//! catches every crash-wave victim without steady-state false positives —
+//! all exercised on the committed crash-wave scenario CI smoke-runs.
+
+use proptest::prelude::*;
+use whatsup_sim::engines::antientropy::{
+    self, delta::pack_delta, digest::DigestIndex, state::Replica,
+};
+use whatsup_sim::{Protocol, Runner, ScenarioFile, Transport};
+
+const SCENARIO: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../scenarios/flash_crowd_crash_wave.json"
+);
+
+fn load_scenario() -> (ScenarioFile, whatsup_datasets::Dataset) {
+    let text = std::fs::read_to_string(SCENARIO).expect("committed scenario readable");
+    let file = ScenarioFile::from_json_str(&text).expect("committed scenario parses");
+    let dataset = file.dataset.build();
+    (file, dataset)
+}
+
+#[test]
+fn committed_scenario_is_bit_identical_across_runs() {
+    let (file, dataset) = load_scenario();
+    let run = || {
+        Runner::new(&dataset, Protocol::AntiEntropy { fanout: 4 })
+            .config(file.config.clone())
+            .scenario(file.scenario.clone())
+            .transport(Transport::InProcess)
+            .run()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed must give a bit-identical report");
+    // The pin must not be vacuous: the run disseminated, counted traffic,
+    // and resolved both measurement windows.
+    assert!(first.measured_items() > 0);
+    assert!(first.news_messages_all > 0);
+    assert!(first.gossip_messages > 0);
+    assert_eq!(first.series.len(), first.cycles as usize);
+    assert_eq!(first.windows.len(), 2);
+    assert!(
+        first.windows.iter().any(|w| w.recovery.is_some()),
+        "the recovery window must resolve (CI runs --require-recovery)"
+    );
+}
+
+#[test]
+fn phi_detects_every_crash_wave_victim_with_no_steady_state_false_positives() {
+    let (file, dataset) = load_scenario();
+    let (report, detection) =
+        antientropy::run_with_detection(&dataset, &file.config, &file.scenario, 4);
+    assert!(
+        !detection.victims.is_empty(),
+        "the crash wave at cycle 8 must claim victims"
+    );
+    assert!(
+        detection.undetected().is_empty(),
+        "every victim must be suspected while down: {:?} escaped (φ > {} never reached)",
+        detection.undetected(),
+        detection.threshold
+    );
+    // Detections land inside the victim's downtime, i.e. within the
+    // crash-anchored measurement window.
+    for &(victim, at) in &detection.detections {
+        let (_, crashed_at) = *detection
+            .victims
+            .iter()
+            .find(|(v, _)| *v == victim)
+            .expect("detections only name victims");
+        assert!(
+            at > crashed_at && at < crashed_at + file.config.down_cycles,
+            "victim {victim} detected at {at}, outside its downtime \
+             [{crashed_at}, {})",
+            crashed_at + file.config.down_cycles
+        );
+    }
+    // Steady state (before the crash wave) must be clean: suspecting an
+    // up node there is a false positive by construction.
+    let crash_at = 8;
+    let early: Vec<_> = detection
+        .false_positives
+        .iter()
+        .filter(|(cycle, _, _)| *cycle < crash_at)
+        .collect();
+    assert!(
+        early.is_empty(),
+        "steady-state false positives before the crash wave: {early:?}"
+    );
+    assert!(report.measured_items() > 0);
+}
+
+/// Builds a replica whose owner `0` wrote `items` news keys plus a
+/// heartbeat and profile digest — the worst packing case is many small
+/// entries.
+fn populated(n: usize, items: u32) -> Replica {
+    let mut r = Replica::new(n);
+    r.set_heartbeat(0, 0);
+    r.set_profile(0, 0xdead_beef);
+    for item in 0..items {
+        r.insert_news(0, item, item / 4);
+    }
+    r
+}
+
+proptest! {
+    /// The packing invariant the wire sizing leans on: for any budget and
+    /// state size, the declared byte size never exceeds the budget and
+    /// matches the actual encoding exactly.
+    #[test]
+    fn packed_deltas_never_exceed_the_budget(
+        budget in 64usize..2048,
+        items in 0u32..64,
+        n in 1usize..12,
+    ) {
+        let r = populated(n, items);
+        let empty: Vec<whatsup_net::codec::DigestLine> = Vec::new();
+        let digest = DigestIndex::new(&empty);
+        let (entries, bytes) = pack_delta(&r, &digest, budget);
+        prop_assert!(bytes <= budget, "{bytes} bytes packed into a {budget} budget");
+        let frame = whatsup_net::codec::encode_delta(0, &entries).unwrap();
+        prop_assert_eq!(frame.len(), bytes);
+    }
+
+    /// Budget truncation loses nothing: repeatedly applying
+    /// budget-limited deltas against a refreshed digest converges the
+    /// peer onto the full state, in at most `ceil(state/budget) + 1`
+    /// rounds.
+    #[test]
+    fn truncated_exchanges_converge(
+        budget in 64usize..512,
+        items in 1u32..64,
+    ) {
+        let n = 4usize;
+        let source = populated(n, items);
+        let mut peer = Replica::new(n);
+        let total_entries = 2 + items as usize; // heartbeat + profile + keys
+        let mut rounds = 0usize;
+        loop {
+            let lines = peer.digest(n);
+            let (entries, _) = pack_delta(&source, &DigestIndex::new(&lines), budget);
+            if entries.is_empty() {
+                break;
+            }
+            for e in &entries {
+                peer.apply(1, e);
+            }
+            rounds += 1;
+            prop_assert!(
+                rounds <= total_entries + 1,
+                "no forward progress: {rounds} rounds for {total_entries} entries"
+            );
+        }
+        // Converged: the peer's digest now advertises everything the
+        // source has, so the next delta is empty (checked by the loop
+        // exit) and the records agree.
+        prop_assert_eq!(&peer.records[0], &source.records[0]);
+    }
+}

@@ -3,13 +3,13 @@
 
 Usage: compare_scale_baseline.py <baseline.json> <fresh.json>
 
-Both files hold the rows scale_engine saves: [nodes, shards, workload,
-metrics, cycles_per_sec, messages, peak_rss_mb] (the committed baseline may
-predate the peak-RSS column; short rows are padded). Rows are keyed by
-(nodes, shards, workload, metrics).
+Both files hold the rows scale_engine saves: objects with named columns
+{nodes, shards, workload ("uniform"/"flash"), metrics ("on"/"off"), secs,
+messages, peak_rss_mb}. Rows are keyed by (nodes, shards, workload,
+metrics).
 
 For every fresh row with a committed counterpart the script prints the
-cycles/sec delta — wall-clock, informational. It FAILS (exit 1) when the
+wall-clock (secs) delta — informational. It FAILS (exit 1) when the
 `messages` column diverges: the message count is a pure function of the
 simulation (same seed, same protocol), so a mismatch is a determinism or
 behavior break, never noise. A fresh row missing from the baseline also
@@ -25,9 +25,13 @@ def load_rows(path):
         rows = json.load(f)
     keyed = {}
     for row in rows:
-        row = list(row) + [0.0] * (7 - len(row))
-        key = tuple(int(v) for v in row[:4])
-        keyed[key] = {"cps": float(row[4]), "messages": int(row[5]), "rss": float(row[6])}
+        key = (int(row["nodes"]), int(row["shards"]),
+               str(row["workload"]), str(row["metrics"]))
+        keyed[key] = {
+            "secs": float(row["secs"]),
+            "messages": int(row["messages"]),
+            "rss": float(row.get("peak_rss_mb", 0.0)),
+        }
     return keyed
 
 
@@ -37,8 +41,8 @@ def main():
     baseline = load_rows(sys.argv[1])
     fresh = load_rows(sys.argv[2])
     failures = []
-    print(f"{'nodes':>8} {'shards':>6} {'wload':>5} {'metrics':>7} "
-          f"{'base cyc/s':>11} {'new cyc/s':>10} {'delta':>8}  messages")
+    print(f"{'nodes':>8} {'shards':>6} {'wload':>8} {'metrics':>7} "
+          f"{'base secs':>10} {'new secs':>9} {'delta':>8}  messages")
     for key in sorted(fresh):
         nodes, shards, wload, metrics = key
         new = fresh[key]
@@ -46,7 +50,7 @@ def main():
         if base is None:
             failures.append(f"row {key} missing from the committed baseline")
             continue
-        delta = (new["cps"] - base["cps"]) / base["cps"] * 100.0 if base["cps"] else 0.0
+        delta = (new["secs"] - base["secs"]) / base["secs"] * 100.0 if base["secs"] else 0.0
         verdict = "ok"
         if new["messages"] != base["messages"]:
             verdict = f"DIVERGED ({base['messages']} -> {new['messages']})"
@@ -54,12 +58,12 @@ def main():
                 f"row {key}: messages diverged from the baseline "
                 f"({base['messages']} -> {new['messages']}) — determinism break"
             )
-        print(f"{nodes:>8} {shards:>6} {wload:>5} {metrics:>7} "
-              f"{base['cps']:>11.2f} {new['cps']:>10.2f} {delta:>+7.1f}%  {verdict}")
+        print(f"{nodes:>8} {shards:>6} {wload:>8} {metrics:>7} "
+              f"{base['secs']:>10.3f} {new['secs']:>9.3f} {delta:>+7.1f}%  {verdict}")
     if failures:
         print("\n" + "\n".join(failures), file=sys.stderr)
         sys.exit(1)
-    print("\nall rows match the committed baseline (cycles/sec deltas are informational)")
+    print("\nall rows match the committed baseline (secs deltas are informational)")
 
 
 if __name__ == "__main__":
