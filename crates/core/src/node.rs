@@ -24,6 +24,7 @@ use crate::params::Params;
 use crate::profile::{Profile, ProfileEntry, SharedProfile};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+// lint:allow(det-map) import for the probe-only seen-set annotated below
 use std::collections::HashSet;
 use whatsup_gossip::{Clustering, ClusteringConfig, Descriptor, NodeId, Rps};
 
@@ -104,7 +105,9 @@ pub struct WhatsUpNode {
     /// profile; a hit returns the identical `f64` the metric would
     /// recompute. Each entry pins its snapshot alive, so an address can
     /// never be reused by a different profile while it is a key here.
+    // lint:allow(det-map) BuildIdHasher keys, probe-only memo; never iterated
     score_cache: std::collections::HashMap<usize, (SharedProfile, f64), crate::hash::BuildIdHasher>,
+    // lint:allow(det-map) BuildIdHasher keys, probed by id; export_state sorts before serializing
     seen: HashSet<ItemId, BuildIdHasher>,
     stats: NodeStats,
 }
@@ -138,8 +141,8 @@ impl WhatsUpNode {
             profile: Profile::new(),
             obfuscation,
             shared_cache: None,
-            score_cache: std::collections::HashMap::default(),
-            seen: HashSet::default(),
+            score_cache: std::collections::HashMap::default(), // lint:allow(det-map) see field
+            seen: HashSet::default(),                          // lint:allow(det-map) see field
             stats: NodeStats::default(),
         }
     }
@@ -516,6 +519,7 @@ impl WhatsUpNode {
 /// profile mutates.
 fn memoized_score(
     cache: &std::cell::RefCell<
+        // lint:allow(det-map) same probe-only memo as the score_cache field
         &mut std::collections::HashMap<usize, (SharedProfile, f64), crate::hash::BuildIdHasher>,
     >,
     metric: crate::similarity::Metric,

@@ -1,0 +1,90 @@
+//! CLI for `whatsup-lint`. See the library docs for the rule set.
+//!
+//! ```text
+//! cargo run -p whatsup-lint                  # full report, exit 0
+//! cargo run -p whatsup-lint -- --check      # CI gate: exit 1 on violations
+//! cargo run -p whatsup-lint -- --format json
+//! cargo run -p whatsup-lint -- --root /path/to/workspace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use whatsup_lint::{lint_workspace, Config};
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "whatsup-lint: --format expects `json` or `text`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("whatsup-lint: --root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "whatsup-lint — determinism & wire-safety static checks\n\n\
+                     USAGE: whatsup-lint [--check] [--format json|text] [--root PATH]\n\n\
+                     --check   exit non-zero when any unannotated violation exists\n\
+                     --format  output format (default: text)\n\
+                     --root    workspace root (default: this crate's workspace)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("whatsup-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p whatsup-lint` works from any CWD.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let config = Config::workspace_default();
+    let report = match lint_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("whatsup-lint: {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if check && !report.violations.is_empty() {
+        eprintln!(
+            "whatsup-lint: {} unannotated violation(s); fix or annotate with \
+             `// lint:allow(<rule>) <reason>`",
+            report.violations.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,17 @@
+use std::collections::HashMap; // lint:allow(det-map) probe-only map, never iterated
+
+// lint:allow(det-map) standalone: governs the next code line
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}
+
+// lint:allow(det-map)
+pub fn size(m: &HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+pub fn string_allow_is_inert(k: u32) -> u32 {
+    let _claim = "// lint:allow(det-map) strings are not comments";
+    let m: HashMap<u32, u32> = HashMap::default();
+    m.get(&k).copied().unwrap_or(k)
+}

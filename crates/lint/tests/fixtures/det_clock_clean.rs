@@ -1,0 +1,3 @@
+pub fn elapsed(now: u32, started: u32) -> u32 {
+    now.saturating_sub(started)
+}

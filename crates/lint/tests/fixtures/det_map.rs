@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen = HashMap::new();
+    for &x in xs {
+        seen.insert(x, ());
+    }
+    seen.len()
+}

@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x, ());
+    }
+    seen.len()
+}

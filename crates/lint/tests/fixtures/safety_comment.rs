@@ -1,0 +1,3 @@
+pub fn read_first(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,4 @@
+pub fn read_first(v: &[u32]) -> u32 {
+    // SAFETY: the caller guarantees `v` is non-empty.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,26 @@
+//! Strings, comments, and test-only code mentioning rule triggers are
+//! inert: this file must produce zero findings under every rule.
+
+pub fn commentary() -> String {
+    // A HashMap mention in a comment is fine; so is .unwrap() or panic!().
+    /* Block comments too: SystemTime, Instant::now(), buf[0]. */
+    let s = "HashMap::new().unwrap() as u16 panic! unsafe";
+    let r = r#"raw string: HashSet and Instant::now() and len as u32"#;
+    let lifetime_not_char: &'static str = "ok";
+    let range = (0..s.len()).count() + r.len() + lifetime_not_char.len();
+    format!("{s}{range}")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_helpers_may_do_anything() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        let buf = [1u8, 2];
+        let _ = buf[0];
+    }
+}

@@ -1,0 +1,4 @@
+pub fn header(entries: &[u8]) -> u16 {
+    let count = entries.len() as u16;
+    count
+}

@@ -1,0 +1,3 @@
+pub fn header(entries: &[u8]) -> Option<u16> {
+    u16::try_from(entries.len()).ok()
+}

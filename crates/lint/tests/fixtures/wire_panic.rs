@@ -1,0 +1,8 @@
+pub fn decode(buf: &[u8]) -> (u8, u8) {
+    let first = buf.first().unwrap();
+    let second = buf.get(1).expect("short frame");
+    if buf.is_empty() {
+        panic!("oversized");
+    }
+    (*first, second + buf[2])
+}

@@ -1,0 +1,5 @@
+pub fn decode(buf: &[u8]) -> Option<(u8, u8)> {
+    let first = *buf.first()?;
+    let second = *buf.get(1)?;
+    Some((first, second))
+}

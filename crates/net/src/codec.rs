@@ -62,7 +62,7 @@ pub struct BundleEntry {
 
 /// A decoded frame: the sender and what it sent. News carries the full item
 /// content; the protocol-level [`Payload`] is derived via
-/// [`WireMessage::into_payload`].
+/// [`WireMessage::try_into_payload`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireMessage {
     Gossip {
@@ -84,17 +84,20 @@ impl WireMessage {
     /// Converts to the sans-io node's payload. News ids are recomputed from
     /// content here — the wire never carried them.
     ///
-    /// # Panics
-    /// Panics on [`WireMessage::Bundle`]: bundles are transport batches,
-    /// not protocol payloads — unpack the entries instead.
-    pub fn into_payload(self) -> Payload {
+    /// Fallible because a [`WireMessage`] can be built by hand with a
+    /// gossip kind [`decode`] would never produce, and because a
+    /// [`WireMessage::Bundle`] is a transport batch, not a protocol
+    /// payload — unpack the entries instead. Both cases surface typed
+    /// errors so no frame handler on an untrusted input path has a panic
+    /// to reach.
+    pub fn try_into_payload(self) -> Result<Payload, DecodeError> {
         match self {
             WireMessage::Gossip { kind, descriptors } => match kind {
-                wire::RPS_REQUEST => Payload::RpsRequest(descriptors),
-                wire::RPS_RESPONSE => Payload::RpsResponse(descriptors),
-                wire::WUP_REQUEST => Payload::WupRequest(descriptors),
-                wire::WUP_RESPONSE => Payload::WupResponse(descriptors),
-                other => unreachable!("invalid gossip kind {other}"),
+                wire::RPS_REQUEST => Ok(Payload::RpsRequest(descriptors)),
+                wire::RPS_RESPONSE => Ok(Payload::RpsResponse(descriptors)),
+                wire::WUP_REQUEST => Ok(Payload::WupRequest(descriptors)),
+                wire::WUP_RESPONSE => Ok(Payload::WupResponse(descriptors)),
+                other => Err(DecodeError::BadTag(other)),
             },
             WireMessage::News {
                 item,
@@ -106,16 +109,14 @@ impl WireMessage {
                     id: item.id(),
                     created_at: item.created_at,
                 };
-                Payload::News(NewsMessage {
+                Ok(Payload::News(NewsMessage {
                     header,
                     profile,
                     dislikes,
                     hops,
-                })
+                }))
             }
-            WireMessage::Bundle(_) => {
-                panic!("mailbox bundles are not protocol payloads; unpack the entries")
-            }
+            WireMessage::Bundle(_) => Err(DecodeError::BundlePayload),
         }
     }
 }
@@ -142,6 +143,9 @@ pub enum DecodeError {
     Truncated,
     BadTag(u8),
     BadUtf8,
+    /// A mailbox bundle where a protocol payload was required: bundles are
+    /// transport batches and never convert to a [`Payload`].
+    BundlePayload,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -150,6 +154,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "frame truncated"),
             DecodeError::BadTag(t) => write!(f, "unknown frame tag {t}"),
             DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            DecodeError::BundlePayload => {
+                write!(f, "mailbox bundle is not a protocol payload")
+            }
         }
     }
 }
@@ -192,7 +199,7 @@ pub fn encode_into(
         }
         Payload::News(msg) => {
             let item =
-                resolve(msg.header.id).expect("news content must be resolvable for encoding");
+                resolve(msg.header.id).expect("news content must be resolvable for encoding"); // lint:allow(wire-panic) encode path: the emitting node holds the content it forwards
             buf.put_u8(wire::NEWS);
             buf.put_u32_le(from);
             buf.put_u32_le(item.source);
@@ -235,15 +242,33 @@ pub fn encode_bundle_into(
 ) {
     buf.put_u8(wire::MAILBOX_BUNDLE);
     buf.put_u32_le(from_shard);
-    buf.put_u32_le(entries.len() as u32);
+    buf.put_u32_le(wire_count_u32(entries.len(), "bundle entry count"));
     for (to, from, payload) in entries {
         buf.put_u32_le(*to);
         let at = buf.len();
         buf.put_u32_le(0); // length placeholder
         encode_into(buf, *from, payload, &resolve);
-        let len = (buf.len() - at - 4) as u32;
+        let len = wire_count_u32(buf.len() - at - 4, "bundle inner frame length");
+        // lint:allow(wire-panic) encode path: patching the 4-byte placeholder written just above
         buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
     }
+}
+
+/// Narrows an encode-side length/count to its wire field width, loudly.
+/// Encode inputs are protocol-bounded (view sizes, profile windows,
+/// per-shard mail volumes), so overflow here is a caller bug — but a
+/// *silent* `as` truncation would corrupt the frame for every later field,
+/// so the narrowing is checked and panics with the field name instead.
+/// Decode paths never use these: untrusted input gets typed errors.
+fn wire_count_u32(n: usize, what: &str) -> u32 {
+    // lint:allow(wire-panic) encode path: loud failure beats silent wire truncation
+    u32::try_from(n).unwrap_or_else(|_| panic!("{what} {n} exceeds u32 wire bound"))
+}
+
+/// As [`wire_count_u32`], for `u16` wire fields.
+fn wire_count_u16(n: usize, what: &str) -> u16 {
+    // lint:allow(wire-panic) encode path: loud failure beats silent wire truncation
+    u16::try_from(n).unwrap_or_else(|_| panic!("{what} {n} exceeds u16 wire bound"))
 }
 
 /// A borrowed view over an encoded mailbox bundle: iterates `(to, inner
@@ -314,6 +339,7 @@ impl<'a> Iterator for BundleView<'a> {
             self.remaining_entries = 0;
             return Some(Err(DecodeError::Truncated));
         }
+        // lint:allow(wire-panic) bounds checked: remaining >= len two lines above
         let inner = &self.rest[..len];
         self.rest.advance(len);
         // Nested bundles are forbidden on the wire; reject before a caller
@@ -330,7 +356,7 @@ impl<'a> Iterator for BundleView<'a> {
 /// simulator's shard exchange can serialize view snapshots with the same
 /// encoding gossip frames use.
 pub fn put_descriptors(buf: &mut BytesMut, descs: &[Descriptor<SharedProfile>]) {
-    buf.put_u16_le(descs.len() as u16);
+    buf.put_u16_le(wire_count_u16(descs.len(), "descriptor count"));
     for d in descs {
         buf.put_u32_le(d.node);
         buf.put_u32_le(d.age);
@@ -362,7 +388,7 @@ pub fn get_descriptors(buf: &mut &[u8]) -> Result<Vec<Descriptor<SharedProfile>>
 /// checkpoints reuse the gossip wire encoding (f32 scores round-trip
 /// bit-exactly).
 pub fn put_profile(buf: &mut BytesMut, p: &Profile) {
-    buf.put_u16_le(p.len() as u16);
+    buf.put_u16_le(wire_count_u16(p.len(), "profile entry count"));
     for e in p.entries() {
         buf.put_u64_le(e.item);
         buf.put_u32_le(e.timestamp);
@@ -371,8 +397,7 @@ pub fn put_profile(buf: &mut BytesMut, p: &Profile) {
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize, "string field too long");
-    buf.put_u16_le(s.len() as u16);
+    buf.put_u16_le(wire_count_u16(s.len(), "string field length"));
     buf.put_slice(s.as_bytes());
 }
 
@@ -410,6 +435,7 @@ pub fn decode(mut buf: &[u8]) -> Result<(NodeId, WireMessage), DecodeError> {
                 if buf.remaining() < len {
                     return Err(DecodeError::Truncated);
                 }
+                // lint:allow(wire-panic) bounds checked: remaining >= len just above
                 let (inner_from, message) = decode(&buf[..len])?;
                 if matches!(message, WireMessage::Bundle(_)) {
                     // Bundles never nest.
@@ -521,6 +547,7 @@ pub fn decode_bundle_entry(
                 }
                 buf.advance(len);
             }
+            // lint:allow(wire-panic) in bounds: buf is a strict suffix of start after the advances above
             let content = &start[..start.len() - buf.len()];
             if buf.remaining() < 3 {
                 return Err(DecodeError::Truncated);
@@ -531,11 +558,13 @@ pub fn decode_bundle_entry(
             if buf.remaining() < 2 {
                 return Err(DecodeError::Truncated);
             }
+            // lint:allow(wire-panic) bounds checked: remaining >= 2 just above
             let n_entries = u16::from_le_bytes([buf[0], buf[1]]) as usize;
             let profile_len = 2 + n_entries * 16;
             if buf.remaining() < profile_len {
                 return Err(DecodeError::Truncated);
             }
+            // lint:allow(wire-panic) bounds checked: remaining >= profile_len just above
             let profile_span = &buf[..profile_len];
 
             let (header, fresh_item) = match cache.item_header {
@@ -620,6 +649,7 @@ fn get_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
     if buf.remaining() < len {
         return Err(DecodeError::Truncated);
     }
+    // lint:allow(wire-panic) bounds checked: remaining >= len just above
     let bytes = buf[..len].to_vec();
     buf.advance(len);
     String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)
@@ -698,7 +728,7 @@ pub fn encode_digest(from: NodeId, lines: &[DigestLine]) -> Result<Bytes, FrameT
         BytesMut::with_capacity(ANTI_ENTROPY_HEADER_BYTES + lines.len() * DIGEST_LINE_BYTES);
     buf.put_u8(wire::DIGEST);
     buf.put_u32_le(from);
-    buf.put_u32_le(lines.len() as u32);
+    buf.put_u32_le(wire_count_u32(lines.len(), "digest line count"));
     for line in lines {
         buf.put_u32_le(line.node);
         buf.put_u32_le(line.incarnation);
@@ -743,7 +773,7 @@ pub fn encode_delta(from: NodeId, entries: &[DeltaEntry]) -> Result<Bytes, Frame
     let mut buf = BytesMut::with_capacity(ANTI_ENTROPY_HEADER_BYTES + entries.len() * 25);
     buf.put_u8(wire::DELTA);
     buf.put_u32_le(from);
-    buf.put_u32_le(entries.len() as u32);
+    buf.put_u32_le(wire_count_u32(entries.len(), "delta entry count"));
     for entry in entries {
         buf.put_u32_le(entry.node);
         buf.put_u32_le(entry.incarnation);
@@ -861,7 +891,7 @@ mod tests {
             let frame = encode(42, &payload, |_| None).unwrap();
             let (from, wire) = decode(&frame).unwrap();
             assert_eq!(from, 42);
-            assert_eq!(wire.into_payload(), payload);
+            assert_eq!(wire.try_into_payload().unwrap(), payload);
         }
     }
 
@@ -882,7 +912,7 @@ mod tests {
         .unwrap();
         let (from, wire) = decode(&frame).unwrap();
         assert_eq!(from, 1);
-        let decoded = wire.into_payload();
+        let decoded = wire.try_into_payload().unwrap();
         assert_eq!(decoded, payload, "id recomputed from content must match");
     }
 
@@ -903,6 +933,24 @@ mod tests {
     fn bad_tag_rejected() {
         let buf = [99u8, 0, 0, 0, 0, 0, 0];
         assert_eq!(decode(&buf), Err(DecodeError::BadTag(99)));
+    }
+
+    #[test]
+    fn bundle_is_not_a_payload() {
+        let frame = encode_bundle(0, &[], |_| None);
+        let (_, wire) = decode(&frame).unwrap();
+        assert_eq!(wire.try_into_payload(), Err(DecodeError::BundlePayload));
+    }
+
+    #[test]
+    fn hand_built_gossip_kind_is_a_typed_error() {
+        // `decode` never produces this, but a hand-assembled WireMessage
+        // can — the conversion must not be a panic site.
+        let wire = WireMessage::Gossip {
+            kind: 0xEE,
+            descriptors: vec![],
+        };
+        assert_eq!(wire.try_into_payload(), Err(DecodeError::BadTag(0xEE)));
     }
 
     #[test]
@@ -960,8 +1008,11 @@ mod tests {
         assert_eq!(decoded.len(), 2);
         assert_eq!((decoded[0].to, decoded[0].from), (5, 1));
         assert_eq!((decoded[1].to, decoded[1].from), (6, 2));
-        assert_eq!(decoded[0].message.clone().into_payload(), news);
-        assert_eq!(decoded[1].message.clone().into_payload(), gossip);
+        assert_eq!(decoded[0].message.clone().try_into_payload().unwrap(), news);
+        assert_eq!(
+            decoded[1].message.clone().try_into_payload().unwrap(),
+            gossip
+        );
     }
 
     #[test]

@@ -125,14 +125,15 @@ impl Peer {
             // Corrupt frames are dropped: robustness over crash.
             return Vec::new();
         };
-        if matches!(wire, codec::WireMessage::Bundle(_)) {
-            // Mailbox bundles are the simulator's shard-exchange batches,
-            // never a peer-level datagram; drop rather than unpack so a
-            // confused or malicious sender cannot smuggle a batch past the
-            // per-message path (and `into_payload` would panic on it).
+        // Mailbox bundles are the simulator's shard-exchange batches, never
+        // a peer-level datagram: `try_into_payload` rejects them with a
+        // typed error (as it does hand-built frames with a bad gossip
+        // kind), so a confused or malicious sender cannot smuggle a batch
+        // past the per-message path — the frame is dropped like any other
+        // corrupt input.
+        let Ok(payload) = wire.try_into_payload() else {
             return Vec::new();
-        }
-        let payload = wire.into_payload();
+        };
         if let Payload::News(msg) = &payload {
             let id = msg.header.id;
             if !self.node.has_seen(id) {

@@ -98,7 +98,7 @@ proptest! {
         prop_assert_eq!(frame[0], payload.wire_id(), "tag is the stable wire id");
         let (decoded_from, wire) = decode(&frame).unwrap();
         prop_assert_eq!(decoded_from, from);
-        prop_assert_eq!(wire.into_payload(), payload);
+        prop_assert_eq!(wire.try_into_payload().unwrap(), payload);
     }
 
     /// News frames roundtrip with the id recomputed from content.
@@ -131,7 +131,7 @@ proptest! {
         } else {
             prop_assert!(false, "expected a news frame");
         }
-        prop_assert_eq!(wire.into_payload(), payload);
+        prop_assert_eq!(wire.try_into_payload().unwrap(), payload);
     }
 
     /// Mailbox bundles roundtrip entry-exact: addressing, order, and every
@@ -172,7 +172,7 @@ proptest! {
         for (got, (to, from, payload)) in decoded.into_iter().zip(entries) {
             prop_assert_eq!(got.to, to);
             prop_assert_eq!(got.from, from);
-            prop_assert_eq!(got.message.into_payload(), payload);
+            prop_assert_eq!(got.message.try_into_payload().unwrap(), payload);
         }
     }
 
@@ -227,7 +227,7 @@ proptest! {
         };
         let plain: Vec<(NodeId, NodeId, Payload)> = plain
             .into_iter()
-            .map(|e| (e.to, e.from, e.message.into_payload()))
+            .map(|e| (e.to, e.from, e.message.try_into_payload().unwrap()))
             .collect();
 
         // Zero-copy path, through the shared per-bundle news cache.

@@ -23,7 +23,7 @@ use crate::scenario::{Event, Scenario, WindowSpec};
 use bytes::Bytes;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use whatsup_core::{NewsItem, NodeId, Opinions, Params, Profile, WhatsUpNode};
@@ -441,7 +441,7 @@ fn run_cycle(core: &mut DriverCore, t: &mut impl ShardTransport) -> Result<(), T
                 .collect();
             let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
             let replies = t.roundtrip(batch)?;
-            let mut snapshots: HashMap<NodeId, Bytes> = HashMap::new();
+            let mut snapshots: BTreeMap<NodeId, Bytes> = BTreeMap::new();
             for (s, reply) in targets.into_iter().zip(replies) {
                 let Reply::Snapshots(frames) = reply else {
                     panic!("expected Snapshots");

@@ -11,7 +11,7 @@
 //! cross-shard traffic uses exactly the deployment stack's message
 //! encoding.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use whatsup_core::{ItemId, NewsItem, NodeId, Payload};
 use whatsup_net::codec;
 
@@ -173,7 +173,7 @@ impl Mailbox {
 pub fn encode_shard_bundle(
     from_shard: u32,
     entries: &[(NodeId, NodeId, Payload)],
-    items: &HashMap<ItemId, NewsItem>,
+    items: &BTreeMap<ItemId, NewsItem>,
 ) -> bytes::Bytes {
     codec::encode_bundle(from_shard, entries, |id| items.get(&id).cloned())
 }
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn bundle_roundtrip_restores_mail_and_registers_items() {
         let item = NewsItem::new("t", "d", "l", 4, 2);
-        let mut items = HashMap::new();
+        let mut items = BTreeMap::new();
         items.insert(item.id(), item.clone());
         let entries = vec![
             (

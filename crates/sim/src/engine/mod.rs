@@ -260,7 +260,7 @@
 //! encoder wrote. The determinism suites (shard counts × transports) are
 //! the regression net for that claim.
 //!
-//! # Determinism contract
+//! # Determinism contract & static checks
 //!
 //! Reports are **bit-identical across shard counts and transports**
 //! (including the single-shard inline case) for a fixed seed, because no
@@ -286,6 +286,19 @@
 //! `reset_node`) draw from a dedicated engine RNG on the driving thread and
 //! are deterministic in call order. They run through the same shard
 //! commands as the scenario events below, so they work on every transport.
+//!
+//! The contract is *enforced statically* by the in-tree `whatsup-lint`
+//! pass (`cargo run -p whatsup-lint -- --check`, a blocking CI gate):
+//! `det-map` forbids `HashMap`/`HashSet` in the crates that feed a
+//! `SimReport` — unspecified iteration order is exactly the kind of
+//! nondeterminism the property tests can miss — and `det-clock` forbids
+//! `Instant::now`/`SystemTime` outside the real-network runtime, so
+//! simulated time stays the only clock the engines can observe. Sites
+//! that are individually safe (probe-only maps keyed by the deterministic
+//! `BuildIdHasher`, maps whose iteration is sorted before it escapes)
+//! carry a `// lint:allow(<rule>) <reason>` annotation, which the lint
+//! records in its report instead of suppressing silently — the audit
+//! trail for every exception lives next to the code it excuses.
 //!
 //! # Scenario application points
 //!

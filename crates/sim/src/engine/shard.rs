@@ -16,6 +16,7 @@ use crate::scenario::{ChurnModel, LossModel};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+// lint:allow(det-map) import for the probe-only item store annotated below
 use std::collections::HashMap;
 use whatsup_core::{
     ColdStart, ItemId, NewsItem, NodeId, NodeState, NodeStats, Opinions, OutMessage, Params,
@@ -86,6 +87,7 @@ pub struct ShardState {
     pending_local: Vec<MailEntry>,
     /// News content this shard can re-encode (learned from publishes and
     /// inbound news frames, like a real receiver).
+    // lint:allow(det-map) BuildIdHasher keys, probed by id only; checkpoint encode sorts entries
     known_items: HashMap<ItemId, NewsItem, whatsup_core::hash::BuildIdHasher>,
     /// Route-phase staging, reused round-over-round (capacity kept): the
     /// emissions of the current phase loop, and the per-destination-shard
@@ -129,7 +131,7 @@ impl ShardState {
             phase_rngs: vec![None; n_local],
             mailbox: Mailbox::new(range),
             pending_local: Vec::new(),
-            known_items: HashMap::default(),
+            known_items: HashMap::default(), // lint:allow(det-map) see field declaration
             emit_scratch: Vec::new(),
             route_scratch: Vec::new(),
             encode_buf: BytesMut::new(),

@@ -10,6 +10,7 @@
 //! Both are row *aliases*: `alias[node]` names the matrix row holding the
 //! node's current interests. The matrix itself never changes.
 
+// lint:allow(det-map) import for the probe-only id map annotated below
 use std::collections::HashMap;
 use std::sync::Arc;
 use whatsup_core::hash::BuildIdHasher;
@@ -19,6 +20,7 @@ use whatsup_datasets::LikeMatrix;
 /// The item content-hash → dataset-index map, keyed with the deterministic
 /// integer hasher: it is probed on every news reception, and its iteration
 /// order never escapes (serialization sorts the pairs first).
+// lint:allow(det-map) BuildIdHasher keys, probe-only; serialization sorts the pairs first
 pub type ItemIndexMap = HashMap<ItemId, u32, BuildIdHasher>;
 
 /// Ground-truth oracle mapping protocol-level ids to dataset rows/columns.

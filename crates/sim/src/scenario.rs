@@ -561,7 +561,7 @@ impl Scenario {
                 "measurement windows need the per-cycle series — enable collect_series".into(),
             );
         }
-        let mut names = std::collections::HashSet::new();
+        let mut names = std::collections::BTreeSet::new();
         for m in &self.measurements {
             if m.name.is_empty() {
                 return Err("measurement window name must not be empty".into());

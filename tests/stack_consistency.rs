@@ -87,6 +87,6 @@ fn wire_codec_carries_simulated_dissemination() {
         let bytes = whatsup::net::codec::encode(0, &m.payload, resolver).unwrap();
         let (from, wire) = whatsup::net::codec::decode(&bytes).unwrap();
         assert_eq!(from, 0);
-        assert_eq!(wire.into_payload(), m.payload);
+        assert_eq!(wire.try_into_payload().unwrap(), m.payload);
     }
 }
