@@ -88,7 +88,7 @@ fn bench_node_paths(c: &mut Criterion) {
     group.bench_function("on_cycle", |bench| {
         bench.iter_batched(
             || (make_node(), ChaCha8Rng::seed_from_u64(1)),
-            |(mut node, mut rng)| node.on_cycle(10, &mut rng),
+            |(mut node, mut rng)| node.on_cycle(10, &mut NodeStats::default(), &mut rng),
             BatchSize::SmallInput,
         )
     });
@@ -103,7 +103,14 @@ fn bench_node_paths(c: &mut Criterion) {
                     dislikes: 0,
                     hops: 2,
                 });
-                node.on_message(3, msg, 5, &|_: NodeId, _: ItemId| true, &mut rng)
+                node.on_message(
+                    3,
+                    msg,
+                    5,
+                    &|_: NodeId, _: ItemId| true,
+                    &mut NodeStats::default(),
+                    &mut rng,
+                )
             },
             BatchSize::SmallInput,
         )

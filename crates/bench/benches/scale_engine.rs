@@ -14,25 +14,36 @@
 //! one extra round-trip per cycle): `metrics=off` sets
 //! `SimConfig::collect_series = false`, everything else identical.
 //!
-//! The 100k-node axis runs a reduced subgrid (1 shard, uniform workload,
-//! metrics on/off): on a single host the multi-shard rows at that scale
-//! only measure exchange overhead again, several minutes per row — the
-//! full grid at 100k is a multi-machine job (socket transport), not a
-//! bench row.
+//! The 100k- and 1M-node axes run a reduced subgrid (1 shard, uniform
+//! workload; 1M additionally drops the metrics-on row): on a single host
+//! the multi-shard rows at that scale only measure exchange overhead
+//! again, several minutes per row — the full grid there is a
+//! multi-machine job (socket transport), not a bench row.
 //!
 //! `WHATSUP_SCALE_MAX_NODES=<n>` caps the largest population (useful for
-//! quick local/CI runs); the default exercises every axis including 100k.
+//! quick local/CI runs); the default exercises every axis including 1M.
+//! `WHATSUP_SCALE_QUICK=1` instead runs exactly one row — 100k nodes, 1
+//! shard, uniform, metrics off — and asserts its peak RSS stays under
+//! [`QUICK_RSS_CEILING_MB`]; CI uses it as the memory-regression smoke.
 //! Rows are saved as JSON objects with named columns: `{"nodes", "shards",
 //! "workload" ("uniform"/"flash"), "metrics" ("on"/"off"), "secs" (wall
 //! clock for the 10 cycles), "messages", "peak_rss_mb"}`. The committed
 //! `BENCH_scale.json` at the repo root is a snapshot of those rows — the
 //! perf trajectory baseline CI prints deltas against (and fails on
-//! `messages` divergence, which would mean a determinism break, not
-//! noise).
+//! `messages` divergence, which would mean a determinism break, and on
+//! `peak_rss_mb` regressions past the comparison script's tolerance).
 //!
-//! Peak RSS is the process high-water mark (`VmHWM`), which is monotone
-//! across rows — sizes run ascending, so each size's first row reflects
-//! the largest population seen so far.
+//! Peak RSS is the process high-water mark (`VmHWM`). **Every grid row
+//! runs in its own child process** (the bench re-executes itself with
+//! `WHATSUP_SCALE_ONE_ROW` set): `VmHWM` is monotone per process and the
+//! allocator retains freed heap across runs, so rows sharing a process
+//! inherit the largest previous row's footprint — at 20k nodes a
+//! same-process single-shard row read ~440 MiB against ~300 MiB clean.
+//! Process isolation makes each `peak_rss_mb` that row's own footprint,
+//! which is what the regression gate compares. Within a row the child
+//! still trims the allocator and resets `VmHWM` (Linux: writing `5` to
+//! `/proc/self/clear_refs`) so dataset generation is excluded from the
+//! row's peak.
 
 use serde::json::Value;
 use std::time::Instant;
@@ -70,6 +81,11 @@ fn workloads() -> [(&'static str, Workload); 2] {
     ]
 }
 
+/// Ceiling for the `WHATSUP_SCALE_QUICK` smoke row (100k nodes, 1 shard,
+/// uniform, metrics off): the committed row's peak RSS plus headroom for
+/// allocator and host noise. A run past this is a memory regression.
+const QUICK_RSS_CEILING_MB: f64 = 1550.0;
+
 /// The process's peak resident set in MiB (`VmHWM`, Linux); 0 elsewhere.
 fn peak_rss_mb() -> f64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
@@ -81,6 +97,31 @@ fn peak_rss_mb() -> f64 {
         .and_then(|v| v.trim().strip_suffix("kB"))
         .and_then(|v| v.trim().parse::<f64>().ok())
         .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Resets `VmHWM` to the current RSS (Linux: `echo 5 > clear_refs`), so
+/// the next [`peak_rss_mb`] read is the peak *since this call*. Best
+/// effort — on failure the column keeps the monotone high-water semantic.
+fn reset_peak_rss() {
+    // The previous row's simulation is dropped by now, but glibc retains
+    // the freed heap, so without a trim the current RSS — and therefore
+    // the reset high-water floor — carries the *largest previous row*
+    // instead of this row's own footprint. Returning the freed pages to
+    // the OS first makes every row's peak its own (within ~the residue a
+    // fragmented arena can't release).
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        unsafe extern "C" {
+            fn malloc_trim(pad: usize) -> i32;
+        }
+        // SAFETY: malloc_trim is async-signal-unsafe but thread-safe; it
+        // only releases free memory back to the OS and is called between
+        // rows with no allocator activity in flight on other threads.
+        unsafe {
+            malloc_trim(0);
+        }
+    }
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
 
 fn run(
@@ -114,38 +155,180 @@ fn run(
     )
 }
 
+fn row_value(
+    n_users: usize,
+    shards: usize,
+    w: &str,
+    m: &str,
+    cps: f64,
+    msgs: u64,
+    rss: f64,
+) -> Value {
+    Value::object(vec![
+        ("nodes", Value::Number(n_users as f64)),
+        ("shards", Value::Number(shards as f64)),
+        ("workload", Value::String(w.into())),
+        ("metrics", Value::String(m.into())),
+        ("secs", Value::Number(f64::from(CYCLES) / cps)),
+        ("messages", Value::Number(msgs as f64)),
+        ("peak_rss_mb", Value::Number(rss)),
+    ])
+}
+
+/// Child mode: `WHATSUP_SCALE_ONE_ROW="nodes,shards,workload,metrics"`.
+/// Runs exactly that row in this (fresh) process and prints one
+/// machine-readable line; the parent grid loop parses it. Keeping rows in
+/// separate processes is what makes the `peak_rss_mb` column honest —
+/// see the module docs.
+fn run_one_row(spec: &str) -> Result<(), String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [nodes, shards, w_name, metrics] = parts[..] else {
+        return Err(format!("bad WHATSUP_SCALE_ONE_ROW spec: {spec:?}"));
+    };
+    let nodes: usize = nodes.parse().map_err(|e| format!("nodes: {e}"))?;
+    let shards: usize = shards.parse().map_err(|e| format!("shards: {e}"))?;
+    let workload = workloads()
+        .into_iter()
+        .find(|(n, _)| *n == w_name)
+        .ok_or_else(|| format!("unknown workload {w_name:?}"))?
+        .1;
+    let metrics_on = match metrics {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("metrics must be on/off, got {other:?}")),
+    };
+    let d = dataset(nodes);
+    reset_peak_rss();
+    let (cps, msgs) = run(&d, shards, workload, metrics_on);
+    println!(
+        "ROW {} {} {} {:.6}",
+        d.n_users(),
+        f64::from(CYCLES) / cps,
+        msgs,
+        peak_rss_mb()
+    );
+    Ok(())
+}
+
+/// Spawns [`run_one_row`] for `spec` in a fresh copy of this executable
+/// and returns `(n_users, secs, messages, peak_rss_mb)` from its `ROW`
+/// line.
+fn spawn_row(spec: &str) -> (usize, f64, u64, f64) {
+    let exe = std::env::current_exe().expect("bench executable path");
+    let out = std::process::Command::new(exe)
+        .env("WHATSUP_SCALE_ONE_ROW", spec)
+        .stderr(std::process::Stdio::inherit())
+        .output()
+        .expect("spawn row child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "row child {spec:?} failed ({}): {stdout}",
+        out.status
+    );
+    let fields: Vec<&str> = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("ROW "))
+        .unwrap_or_else(|| panic!("row child {spec:?} printed no ROW line: {stdout}"))
+        .split_whitespace()
+        .collect();
+    let [n_users, secs, msgs, rss] = fields[..] else {
+        panic!("malformed ROW line from {spec:?}: {stdout}");
+    };
+    (
+        n_users.parse().expect("n_users"),
+        secs.parse().expect("secs"),
+        msgs.parse().expect("messages"),
+        rss.parse().expect("rss"),
+    )
+}
+
+/// The `WHATSUP_SCALE_QUICK` path: the single 100k / 1 shard / uniform /
+/// metrics-off row, asserted under [`QUICK_RSS_CEILING_MB`]. CI's
+/// memory-regression smoke.
+fn run_quick() {
+    let d = dataset(100_000);
+    reset_peak_rss();
+    let (cps, msgs) = run(&d, 1, Workload::Uniform, false);
+    let rss = peak_rss_mb();
+    println!(
+        "quick: nodes={} shards=1 uniform metrics=off -> {:.2} cyc/s, messages={}, peak rss {:.1} MiB (ceiling {QUICK_RSS_CEILING_MB})",
+        d.n_users(),
+        cps,
+        msgs,
+        rss
+    );
+    whatsup_bench::experiments::save_json_value(
+        "scale_engine",
+        &Value::Array(vec![row_value(
+            d.n_users(),
+            1,
+            "uniform",
+            "off",
+            cps,
+            msgs,
+            rss,
+        )]),
+    );
+    assert!(
+        rss < QUICK_RSS_CEILING_MB,
+        "peak RSS {rss:.1} MiB exceeds the {QUICK_RSS_CEILING_MB} MiB ceiling — memory regression"
+    );
+}
+
 fn main() {
+    if let Ok(spec) = std::env::var("WHATSUP_SCALE_ONE_ROW") {
+        if let Err(e) = run_one_row(&spec) {
+            eprintln!("scale_engine row child: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let t = whatsup_bench::start(
         "scale_engine",
         "single-run engine scaling across shard counts, workloads and metrics collection",
     );
+    if std::env::var("WHATSUP_SCALE_QUICK").is_ok() {
+        run_quick();
+        whatsup_bench::finish("scale_engine", t);
+        return;
+    }
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let cap: usize = std::env::var("WHATSUP_SCALE_MAX_NODES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(100_000);
+        .unwrap_or(1_000_000);
     println!("host parallelism: {cores} core(s); {CYCLES} cycles per run\n");
     println!(
         "{:>8} {:>8} {:>7} {:>7} {:>12} {:>9} {:>12} {:>9}",
         "nodes", "workload", "shards", "metrics", "cyc/s", "vs 1-sh", "messages", "rss MiB"
     );
     let mut rows = Vec::new();
-    for &n in [1_000usize, 5_000, 20_000, 100_000]
+    for &n in [1_000usize, 5_000, 20_000, 100_000, 1_000_000]
         .iter()
         .filter(|&&n| n <= cap)
     {
-        let d = dataset(n);
         let full_grid = n <= FULL_GRID_MAX_NODES;
         let shard_counts: &[usize] = if full_grid { &SHARD_COUNTS } else { &[1] };
         let n_workloads = if full_grid { 2 } else { 1 };
-        for (w_name, workload) in workloads().into_iter().take(n_workloads) {
-            for metrics_on in [false, true] {
+        // The 1M row is memory-bound: keep the one column that matters
+        // (metrics off) and skip the metrics-on duplicate.
+        let metrics_axes: &[bool] = if n >= 1_000_000 {
+            &[false]
+        } else {
+            &[false, true]
+        };
+        for (w_name, _) in workloads().into_iter().take(n_workloads) {
+            for &metrics_on in metrics_axes {
                 let mut baseline = 0.0f64;
                 let mut baseline_msgs = 0u64;
                 for &shards in shard_counts {
-                    let (cps, msgs) = run(&d, shards, workload.clone(), metrics_on);
+                    let metrics = if metrics_on { "on" } else { "off" };
+                    let spec = format!("{n},{shards},{w_name},{metrics}");
+                    let (n_users, secs, msgs, rss) = spawn_row(&spec);
+                    let cps = f64::from(CYCLES) / secs;
                     if shards == 1 {
                         baseline = cps;
                         baseline_msgs = msgs;
@@ -156,28 +339,11 @@ fn main() {
                         );
                     }
                     let speedup = cps / baseline;
-                    let rss = peak_rss_mb();
-                    let metrics = if metrics_on { "on" } else { "off" };
                     println!(
                         "{:>8} {:>8} {:>7} {:>7} {:>12.2} {:>8.2}x {:>12} {:>9.1}",
-                        d.n_users(),
-                        w_name,
-                        shards,
-                        metrics,
-                        cps,
-                        speedup,
-                        msgs,
-                        rss
+                        n_users, w_name, shards, metrics, cps, speedup, msgs, rss
                     );
-                    rows.push(Value::object(vec![
-                        ("nodes", Value::Number(d.n_users() as f64)),
-                        ("shards", Value::Number(shards as f64)),
-                        ("workload", Value::String(w_name.into())),
-                        ("metrics", Value::String(metrics.into())),
-                        ("secs", Value::Number(f64::from(CYCLES) / cps)),
-                        ("messages", Value::Number(msgs as f64)),
-                        ("peak_rss_mb", Value::Number(rss)),
-                    ]));
+                    rows.push(row_value(n_users, shards, w_name, metrics, cps, msgs, rss));
                 }
             }
             println!();

@@ -34,12 +34,13 @@
 //! bob.seed_views([(0, Profile::new())], [(0, Profile::new())]);
 //!
 //! let item = NewsItem::new("hello", "a first item", "https://example.org", 0, 0);
-//! let out = alice.publish(&item, 0, &mut rng);
+//! let mut stats = NodeStats::default(); // counters live with the caller
+//! let out = alice.publish(&item, 0, &mut stats, &mut rng);
 //! assert!(!out.is_empty()); // the item leaves Alice immediately
 //!
 //! // Bob receives it and reacts according to his opinions (here: likes all).
 //! let everyone_likes = |_node: NodeId, _item: ItemId| true;
-//! let forwards = bob.on_message(0, out[0].payload.clone(), 0, &everyone_likes, &mut rng);
+//! let forwards = bob.on_message(0, out[0].payload.clone(), 0, &everyone_likes, &mut stats, &mut rng);
 //! assert!(bob.profile().contains(item.id()));
 //! # let _ = forwards;
 //! ```
@@ -53,6 +54,7 @@ pub mod node;
 pub mod obfuscation;
 pub mod params;
 pub mod profile;
+pub mod seen;
 pub mod similarity;
 
 /// Convenient re-exports of the whole public surface.
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use crate::obfuscation::Obfuscation;
     pub use crate::params::Params;
     pub use crate::profile::{Profile, ProfileEntry, Score, SharedProfile};
+    pub use crate::seen::SeenSet;
     pub use crate::similarity::{cosine_similarity, wup_similarity, Metric};
     pub use whatsup_gossip::{Descriptor, NodeId, View};
 }

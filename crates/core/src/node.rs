@@ -16,16 +16,14 @@
 
 use crate::beep::{self, ForwardDecision};
 use crate::bootstrap::{most_popular_items, ColdStart};
-use crate::hash::BuildIdHasher;
 use crate::item::{ItemId, NewsItem, Timestamp};
 use crate::message::{NewsMessage, OutMessage, Payload};
 use crate::obfuscation::Obfuscation;
 use crate::params::Params;
 use crate::profile::{Profile, ProfileEntry, SharedProfile};
+use crate::seen::SeenSet;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-// lint:allow(det-map) import for the probe-only seen-set annotated below
-use std::collections::HashSet;
 use whatsup_gossip::{Clustering, ClusteringConfig, Descriptor, NodeId, Rps};
 
 /// Oracle answering "would this user like this item?" (the `iLike` predicate
@@ -80,23 +78,31 @@ pub struct NodeState {
     /// WUP view entries in live iteration order, ages preserved.
     pub wup_view: Vec<Descriptor<SharedProfile>>,
     /// Item ids already received, ascending (canonicalized from the live
-    /// hash set so identical nodes export identical states).
+    /// [`SeenSet`] so identical nodes export identical states).
     pub seen: Vec<ItemId>,
-    pub stats: NodeStats,
 }
 
 /// The per-user WhatsUp protocol stack.
+///
+/// Per-node counters ([`NodeStats`]) are *not* stored here: the node is
+/// the hot-loop unit and the counters are cold, so callers own them in
+/// SoA arrays (one `Vec<NodeStats>` per shard in the simulator) and pass
+/// `&mut NodeStats` into each entry point.
 #[derive(Debug, Clone)]
 pub struct WhatsUpNode {
     id: NodeId,
     params: Params,
     rps: Rps<SharedProfile>,
     wup: Clustering<SharedProfile>,
-    profile: Profile,
+    /// The true profile, copy-on-write. With obfuscation off the disclosed
+    /// profile *is* this allocation — descriptors hand out `Arc` clones,
+    /// and the next mutation clones via `Arc::make_mut` only while a
+    /// recipient still holds the snapshot.
+    profile: SharedProfile,
     obfuscation: Obfuscation,
-    /// Memoized disclosed-profile snapshot; invalidated whenever
-    /// `profile` mutates. Gossip descriptors and item-profile folds all
-    /// share this one allocation.
+    /// Memoized disclosed-profile snapshot under obfuscation (the
+    /// obfuscation-off path shares [`Self::profile`] directly and never
+    /// uses this); invalidated whenever `profile` mutates.
     shared_cache: Option<SharedProfile>,
     /// Memoized view-merge similarity scores, keyed by candidate-snapshot
     /// identity (`Arc` address) and invalidated with [`Self::shared_cache`].
@@ -107,9 +113,7 @@ pub struct WhatsUpNode {
     /// never be reused by a different profile while it is a key here.
     // lint:allow(det-map) BuildIdHasher keys, probe-only memo; never iterated
     score_cache: std::collections::HashMap<usize, (SharedProfile, f64), crate::hash::BuildIdHasher>,
-    // lint:allow(det-map) BuildIdHasher keys, probed by id; export_state sorts before serializing
-    seen: HashSet<ItemId, BuildIdHasher>,
-    stats: NodeStats,
+    seen: SeenSet,
 }
 
 impl WhatsUpNode {
@@ -138,12 +142,11 @@ impl WhatsUpNode {
             params,
             rps,
             wup,
-            profile: Profile::new(),
+            profile: SharedProfile::new(Profile::new()),
             obfuscation,
             shared_cache: None,
             score_cache: std::collections::HashMap::default(), // lint:allow(det-map) see field
-            seen: HashSet::default(),                          // lint:allow(det-map) see field
-            stats: NodeStats::default(),
+            seen: SeenSet::new(),
         }
     }
 
@@ -157,6 +160,11 @@ impl WhatsUpNode {
     /// is a pure function of `(secret, node, profile)`, so the cache is
     /// exact.
     fn shared_profile(&mut self) -> SharedProfile {
+        if self.obfuscation.is_off() {
+            // The disclosed profile *is* the true profile: share the
+            // allocation instead of copying it (see the `profile` field).
+            return SharedProfile::clone(&self.profile);
+        }
         if let Some(cached) = &self.shared_cache {
             return SharedProfile::clone(cached);
         }
@@ -166,10 +174,47 @@ impl WhatsUpNode {
     }
 
     /// Marks the disclosed-profile snapshot and the merge-score memo stale
-    /// after a profile mutation.
+    /// after a profile mutation. Dropping the memo's table (rather than
+    /// `clear`, which keeps it) releases both the high-water bucket array
+    /// and the pinned candidate snapshots; the next gossip phase rebuilds
+    /// a table sized to the live candidate set.
     fn invalidate_shared(&mut self) {
         self.shared_cache = None;
-        self.score_cache.clear();
+        self.score_cache = std::collections::HashMap::default(); // lint:allow(det-map) see field
+    }
+
+    /// Releases memory that stopped paying its way at the last cycle
+    /// boundary. Called by the engine at each cycle start; reports are
+    /// byte-identical with or without it.
+    ///
+    /// * Capacity slack: profile entry slots doubled by sorted inserts and
+    ///   seen-set run slack from merges are trimmed to fit. The profile is
+    ///   only trimmed while uniquely owned — the within-cycle phase order
+    ///   guarantees that here (gossip discloses *before* news mutates, and
+    ///   the first mutation un-shares via `Arc::make_mut`); trimming a
+    ///   shared allocation would copy it instead.
+    /// * The merge-score memo is dropped outright. Its hits are the two
+    ///   WUP merges of a gossip phase ranking the same candidates — a
+    ///   within-cycle pattern — while across cycles every retained entry
+    ///   pins a candidate snapshot whose view slot may long since have
+    ///   been replaced. The memo is probe-only (recomputing a miss yields
+    ///   the identical `f64`), so eviction can never change results.
+    pub fn compact(&mut self) {
+        if let Some(p) = SharedProfile::get_mut(&mut self.profile) {
+            p.trim_capacity();
+        }
+        self.seen.trim_capacity();
+        self.drop_score_memo();
+    }
+
+    /// Drops the merge-score memo. Safe at any point — the memo is
+    /// probe-only (recomputing a miss yields the identical `f64`), so
+    /// eviction can never change results. The engine calls this when the
+    /// gossip phase ends (the memo's hits all happen within one gossip
+    /// phase), so the news phase's growth reuses the freed memory instead
+    /// of stacking on top of a dead table and its pinned snapshots.
+    pub fn drop_score_memo(&mut self) {
+        self.score_cache = std::collections::HashMap::default(); // lint:allow(det-map) see field
     }
 
     pub fn id(&self) -> NodeId {
@@ -184,10 +229,6 @@ impl WhatsUpNode {
         &self.profile
     }
 
-    pub fn stats(&self) -> &NodeStats {
-        &self.stats
-    }
-
     /// Current WUP (implicit social network) neighbors.
     pub fn wup_neighbor_ids(&self) -> Vec<NodeId> {
         self.wup.view().node_ids().collect()
@@ -200,7 +241,7 @@ impl WhatsUpNode {
 
     /// Whether this node already received (or published) `item`.
     pub fn has_seen(&self, item: ItemId) -> bool {
-        self.seen.contains(&item)
+        self.seen.contains(item)
     }
 
     /// Mean similarity between the node's profile and its WUP view's
@@ -217,28 +258,42 @@ impl WhatsUpNode {
         sum / entries.len() as f64
     }
 
-    /// Seeds both views directly — test/bootstrap helper.
+    /// Seeds both views directly — test/bootstrap helper. Each profile is
+    /// wrapped in its own allocation; bulk seeding with a shared payload
+    /// (e.g. one empty profile for a whole shard's bootstrap) goes through
+    /// [`Self::seed_views_arcs`].
     pub fn seed_views(
         &mut self,
         rps: impl IntoIterator<Item = (NodeId, Profile)>,
         wup: impl IntoIterator<Item = (NodeId, Profile)>,
     ) {
-        self.rps.seed(
-            rps.into_iter()
-                .map(|(n, p)| Descriptor::fresh(n, SharedProfile::new(p))),
+        self.seed_views_arcs(
+            rps.into_iter().map(|(n, p)| (n, SharedProfile::new(p))),
+            wup.into_iter().map(|(n, p)| (n, SharedProfile::new(p))),
         );
-        self.wup.seed(
-            wup.into_iter()
-                .map(|(n, p)| Descriptor::fresh(n, SharedProfile::new(p))),
-        );
+    }
+
+    /// Seeds both views from already-shared profile snapshots, so callers
+    /// seeding many nodes with the same payload share one allocation.
+    pub fn seed_views_arcs(
+        &mut self,
+        rps: impl IntoIterator<Item = (NodeId, SharedProfile)>,
+        wup: impl IntoIterator<Item = (NodeId, SharedProfile)>,
+    ) {
+        self.rps
+            .seed(rps.into_iter().map(|(n, p)| Descriptor::fresh(n, p)));
+        self.wup
+            .seed(wup.into_iter().map(|(n, p)| Descriptor::fresh(n, p)));
     }
 
     /// Cold start (§II-D): inherit the contact's views and rate the most
     /// popular items found in the inherited RPS view.
     pub fn cold_start(&mut self, inherited: ColdStart, opinions: &impl Opinions) {
-        for (item, ts) in most_popular_items(&inherited.rps_view, self.params.cold_start_items) {
+        let popular = most_popular_items(&inherited.rps_view, self.params.cold_start_items);
+        let profile = SharedProfile::make_mut(&mut self.profile);
+        for (item, ts) in popular {
             let liked = opinions.likes(self.id, item);
-            self.profile.rate(item, ts, liked);
+            profile.rate(item, ts, liked);
             self.seen.insert(item);
         }
         self.invalidate_shared();
@@ -254,19 +309,46 @@ impl WhatsUpNode {
         }
     }
 
+    /// Memory accounting (diagnostics): own-profile heap bytes, seen-set
+    /// heap bytes, per-node cache/bookkeeping bytes (score memo + view
+    /// vectors), and a visit of every profile snapshot this node pins —
+    /// view descriptors, the score-memo keys, the disclosed-snapshot memo.
+    /// Visited `Arc`s may repeat; callers dedup by address.
+    #[doc(hidden)]
+    pub fn debug_heap_stats(&self, visit: &mut dyn FnMut(&SharedProfile)) -> (usize, usize, usize) {
+        for d in self.rps.view().entries() {
+            visit(&d.payload);
+        }
+        for d in self.wup.view().entries() {
+            visit(&d.payload);
+        }
+        for (snapshot, _) in self.score_cache.values() {
+            visit(snapshot);
+        }
+        if let Some(c) = &self.shared_cache {
+            visit(c);
+        }
+        let descriptor = std::mem::size_of::<whatsup_gossip::Descriptor<SharedProfile>>();
+        let caches = self.score_cache.capacity()
+            * (std::mem::size_of::<(usize, (SharedProfile, f64))>() + 1)
+            + (self.rps.view().entries().len() + self.wup.view().entries().len()) * descriptor;
+        (
+            self.profile.entries_capacity() * std::mem::size_of::<crate::profile::ProfileEntry>(),
+            self.seen.capacity_bytes(),
+            caches,
+        )
+    }
+
     /// Full behavioral state of this node, for checkpointing. Everything
     /// *not* captured here — the obfuscation secret, the memoized
     /// disclosed-profile snapshot — is a pure function of `(id, params,
     /// profile)` and is rebuilt by [`WhatsUpNode::from_state`].
     pub fn export_state(&self) -> NodeState {
-        let mut seen: Vec<ItemId> = self.seen.iter().copied().collect();
-        seen.sort_unstable();
         NodeState {
             profile: self.profile.entries().to_vec(),
             rps_view: self.rps.view().entries().to_vec(),
             wup_view: self.wup.view().entries().to_vec(),
-            seen,
-            stats: self.stats,
+            seen: self.seen.to_sorted_vec(),
         }
     }
 
@@ -281,21 +363,26 @@ impl WhatsUpNode {
     /// Panics if `params` violates the Table II invariants.
     pub fn from_state(id: NodeId, params: Params, state: NodeState) -> Self {
         let mut node = Self::new(id, params);
-        node.profile = Profile::from_entries(state.profile);
+        node.profile = SharedProfile::new(Profile::from_entries(state.profile));
         node.rps.seed(state.rps_view);
         node.wup.seed(state.wup_view);
-        node.seen = state.seen.into_iter().collect();
-        node.stats = state.stats;
+        node.seen = SeenSet::from_sorted(state.seen);
         node
     }
 
     /// One gossip cycle (§II): purge the profile window, then initiate one
     /// RPS and one WUP exchange towards the oldest view entries.
-    pub fn on_cycle(&mut self, now: Timestamp, rng: &mut impl Rng) -> Vec<OutMessage> {
-        let before = self.profile.len();
-        self.profile
-            .purge_older_than(now.saturating_sub(self.params.profile_window));
-        if self.profile.len() != before {
+    pub fn on_cycle(
+        &mut self,
+        now: Timestamp,
+        stats: &mut NodeStats,
+        rng: &mut impl Rng,
+    ) -> Vec<OutMessage> {
+        // Copy-on-write: touch the profile allocation only when the purge
+        // would actually remove an entry.
+        let cutoff = now.saturating_sub(self.params.profile_window);
+        if self.profile.entries().iter().any(|e| e.timestamp < cutoff) {
+            SharedProfile::make_mut(&mut self.profile).purge_older_than(cutoff);
             self.invalidate_shared();
         }
         let mut out = Vec::with_capacity(2);
@@ -304,12 +391,12 @@ impl WhatsUpNode {
         if now.is_multiple_of(self.params.rps_period) {
             if let Some((partner, payload)) = self.rps.initiate(SharedProfile::clone(&shared), rng)
             {
-                self.stats.rps_sent += 1;
+                stats.rps_sent += 1;
                 out.push(OutMessage::new(partner, Payload::RpsRequest(payload)));
             }
         }
         if let Some((partner, payload)) = self.wup.initiate(shared) {
-            self.stats.wup_sent += 1;
+            stats.wup_sent += 1;
             out.push(OutMessage::new(partner, Payload::WupRequest(payload)));
         }
         out
@@ -326,6 +413,7 @@ impl WhatsUpNode {
         payload: Payload,
         now: Timestamp,
         opinions: &impl Opinions,
+        stats: &mut NodeStats,
         rng: &mut impl Rng,
     ) -> Vec<OutMessage> {
         if from == self.id {
@@ -335,7 +423,7 @@ impl WhatsUpNode {
             Payload::RpsRequest(descs) => {
                 let shared = self.shared_profile();
                 let resp = self.rps.on_request(descs, shared, rng);
-                self.stats.rps_sent += 1;
+                stats.rps_sent += 1;
                 vec![OutMessage::new(from, Payload::RpsResponse(resp))]
             }
             Payload::RpsResponse(descs) => {
@@ -355,12 +443,13 @@ impl WhatsUpNode {
                     score_cache,
                     ..
                 } = self;
+                let profile: &Profile = profile;
                 let cache = std::cell::RefCell::new(score_cache);
                 let sim = |_own: &SharedProfile, cand: &SharedProfile| {
                     memoized_score(&cache, metric, profile, cand)
                 };
                 let resp = wup.on_request(descs, rps.view().entries(), shared, &sim);
-                self.stats.wup_sent += 1;
+                stats.wup_sent += 1;
                 vec![OutMessage::new(from, Payload::WupResponse(resp))]
             }
             Payload::WupResponse(descs) => {
@@ -373,6 +462,7 @@ impl WhatsUpNode {
                     score_cache,
                     ..
                 } = self;
+                let profile: &Profile = profile;
                 let cache = std::cell::RefCell::new(score_cache);
                 let sim = |_own: &SharedProfile, cand: &SharedProfile| {
                     memoized_score(&cache, metric, profile, cand)
@@ -380,7 +470,7 @@ impl WhatsUpNode {
                 wup.on_response(descs, rps.view().entries(), &shared, &sim);
                 Vec::new()
             }
-            Payload::News(msg) => self.handle_news(msg, now, opinions, rng),
+            Payload::News(msg) => self.handle_news(msg, now, opinions, stats, rng),
         }
     }
 
@@ -391,12 +481,13 @@ impl WhatsUpNode {
         &mut self,
         item: &NewsItem,
         now: Timestamp,
+        stats: &mut NodeStats,
         rng: &mut impl Rng,
     ) -> Vec<OutMessage> {
         let header = item.header();
         self.seen.insert(header.id);
-        self.stats.published += 1;
-        self.profile.rate(header.id, header.created_at, true);
+        stats.published += 1;
+        SharedProfile::make_mut(&mut self.profile).rate(header.id, header.created_at, true);
         self.invalidate_shared();
         let mut item_profile = Profile::new();
         item_profile.aggregate_user_profile(&self.shared_profile());
@@ -414,6 +505,7 @@ impl WhatsUpNode {
         self.emit_news(
             header.into_message(SharedProfile::new(item_profile), decision.dislikes, 0),
             decision,
+            stats,
         )
     }
 
@@ -423,18 +515,19 @@ impl WhatsUpNode {
         mut msg: NewsMessage,
         now: Timestamp,
         opinions: &impl Opinions,
+        stats: &mut NodeStats,
         rng: &mut impl Rng,
     ) -> Vec<OutMessage> {
         let id = msg.header.id;
         // SIR: a node receiving an item it has already received drops it.
         if !self.seen.insert(id) {
-            self.stats.news_duplicates += 1;
+            stats.news_duplicates += 1;
             return Vec::new();
         }
-        self.stats.news_received += 1;
+        stats.news_received += 1;
         let liked = opinions.likes(self.id, id);
         if liked {
-            self.stats.news_liked += 1;
+            stats.news_liked += 1;
             // Fold the *pre-rating* profile into the item profile (lines
             // 3–4), then record the own rating (line 5) — the paper's
             // order. What is folded is the *shared* profile: item profiles
@@ -453,9 +546,9 @@ impl WhatsUpNode {
                     msg.profile = SharedProfile::new(msg.profile.aggregated_with(&shared));
                 }
             }
-            self.profile.rate(id, msg.header.created_at, true);
+            SharedProfile::make_mut(&mut self.profile).rate(id, msg.header.created_at, true);
         } else {
-            self.profile.rate(id, msg.header.created_at, false);
+            SharedProfile::make_mut(&mut self.profile).rate(id, msg.header.created_at, false);
         }
         self.invalidate_shared();
         // Purge non-recent entries from the item profile before forwarding
@@ -485,6 +578,7 @@ impl WhatsUpNode {
                 hops,
             },
             decision,
+            stats,
         )
     }
 
@@ -492,12 +586,17 @@ impl WhatsUpNode {
     /// into the last copy — only the first `n − 1` copies deep-clone the
     /// item profile, which on the dislike path (single target) means no
     /// clone at all.
-    fn emit_news(&mut self, template: NewsMessage, decision: ForwardDecision) -> Vec<OutMessage> {
+    fn emit_news(
+        &mut self,
+        template: NewsMessage,
+        decision: ForwardDecision,
+        stats: &mut NodeStats,
+    ) -> Vec<OutMessage> {
         let n = decision.targets.len();
         if n == 0 {
             return Vec::new();
         }
-        self.stats.news_sent += n as u64;
+        stats.news_sent += n as u64;
         let mut out = Vec::with_capacity(n);
         let mut template = Some(template);
         for (i, t) in decision.targets.into_iter().enumerate() {
@@ -596,11 +695,12 @@ mod tests {
             ],
         );
         let item = NewsItem::new("t", "d", "l", 0, 0);
-        let out = n.publish(&item, 0, &mut rng());
+        let mut st = NodeStats::default();
+        let out = n.publish(&item, 0, &mut st, &mut rng());
         assert_eq!(out.len(), 2);
         assert!(n.has_seen(item.id()));
-        assert_eq!(n.stats().published, 1);
-        assert_eq!(n.stats().news_sent, 2);
+        assert_eq!(st.published, 1);
+        assert_eq!(st.news_sent, 2);
         // The source's own fresh rating is inside the item profile (§II-C).
         for m in &out {
             match &m.payload {
@@ -625,7 +725,15 @@ mod tests {
                 (3, Profile::new()),
             ],
         );
-        let out = n.on_message(7, Payload::News(news(4, 1)), 0, &Parity, &mut rng());
+        let mut st = NodeStats::default();
+        let out = n.on_message(
+            7,
+            Payload::News(news(4, 1)),
+            0,
+            &Parity,
+            &mut st,
+            &mut rng(),
+        );
         assert_eq!(out.len(), 2, "fLIKE copies");
         assert_eq!(n.profile().get(4).unwrap().score, 1.0);
         for m in &out {
@@ -647,7 +755,8 @@ mod tests {
         );
         let mut msg = news(5, 0);
         msg.profile = SharedProfile::new(liked_profile(&[100]));
-        let out = n.on_message(7, Payload::News(msg), 0, &Parity, &mut rng());
+        let mut st = NodeStats::default();
+        let out = n.on_message(7, Payload::News(msg), 0, &Parity, &mut st, &mut rng());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].to, 8, "oriented to most-similar RPS node");
         if let Payload::News(nm) = &out[0].payload {
@@ -660,7 +769,15 @@ mod tests {
     fn ttl_exhausted_dislike_is_dropped() {
         let mut n = WhatsUpNode::new(0, Params::whatsup(2));
         n.seed_views([(8, liked_profile(&[1]))], [(1, Profile::new())]);
-        let out = n.on_message(7, Payload::News(news(5, 4)), 0, &Parity, &mut rng());
+        let mut st = NodeStats::default();
+        let out = n.on_message(
+            7,
+            Payload::News(news(5, 4)),
+            0,
+            &Parity,
+            &mut st,
+            &mut rng(),
+        );
         assert!(out.is_empty());
         // Profile still records the dislike.
         assert_eq!(n.profile().get(5).unwrap().score, 0.0);
@@ -670,12 +787,27 @@ mod tests {
     fn duplicates_are_dropped_silently() {
         let mut n = WhatsUpNode::new(0, Params::whatsup(2));
         n.seed_views([], [(1, Profile::new()), (2, Profile::new())]);
-        let first = n.on_message(7, Payload::News(news(4, 0)), 0, &Parity, &mut rng());
+        let mut st = NodeStats::default();
+        let first = n.on_message(
+            7,
+            Payload::News(news(4, 0)),
+            0,
+            &Parity,
+            &mut st,
+            &mut rng(),
+        );
         assert!(!first.is_empty());
-        let second = n.on_message(3, Payload::News(news(4, 0)), 0, &Parity, &mut rng());
+        let second = n.on_message(
+            3,
+            Payload::News(news(4, 0)),
+            0,
+            &Parity,
+            &mut st,
+            &mut rng(),
+        );
         assert!(second.is_empty());
-        assert_eq!(n.stats().news_duplicates, 1);
-        assert_eq!(n.stats().news_received, 1);
+        assert_eq!(st.news_duplicates, 1);
+        assert_eq!(st.news_received, 1);
     }
 
     #[test]
@@ -684,8 +816,23 @@ mod tests {
         // 4, the outgoing item profile must contain item 2 as well.
         let mut n = WhatsUpNode::new(0, Params::whatsup(1));
         n.seed_views([], [(1, Profile::new())]);
-        n.on_message(7, Payload::News(news(2, 0)), 0, &Parity, &mut rng());
-        let out = n.on_message(7, Payload::News(news(4, 0)), 0, &Parity, &mut rng());
+        let mut st = NodeStats::default();
+        n.on_message(
+            7,
+            Payload::News(news(2, 0)),
+            0,
+            &Parity,
+            &mut st,
+            &mut rng(),
+        );
+        let out = n.on_message(
+            7,
+            Payload::News(news(4, 0)),
+            0,
+            &Parity,
+            &mut st,
+            &mut rng(),
+        );
         let Payload::News(nm) = &out[0].payload else {
             panic!("expected news")
         };
@@ -703,8 +850,9 @@ mod tests {
         let mut n = WhatsUpNode::new(0, Params::whatsup(2));
         n.seed_views([(5, Profile::new())], [(6, Profile::new())]);
         // An old rating that must fall out of the 13-cycle window.
-        n.profile.rate(99, 0, true);
-        let out = n.on_cycle(50, &mut rng());
+        SharedProfile::make_mut(&mut n.profile).rate(99, 0, true);
+        let mut st = NodeStats::default();
+        let out = n.on_cycle(50, &mut st, &mut rng());
         assert_eq!(out.len(), 2);
         assert!(matches!(out[0].payload, Payload::RpsRequest(_)));
         assert!(matches!(out[1].payload, Payload::WupRequest(_)));
@@ -718,16 +866,24 @@ mod tests {
         a.seed_views([(1, Profile::new())], []);
         b.seed_views([(0, Profile::new())], []);
         let mut r = rng();
-        let reqs = a.on_cycle(1, &mut r);
+        let mut st = NodeStats::default();
+        let reqs = a.on_cycle(1, &mut st, &mut r);
         let req = &reqs[0];
         assert_eq!(req.to, 1);
         let Payload::RpsRequest(descs) = &req.payload else {
             panic!()
         };
-        let resp = b.on_message(0, Payload::RpsRequest(descs.clone()), 1, &Parity, &mut r);
+        let resp = b.on_message(
+            0,
+            Payload::RpsRequest(descs.clone()),
+            1,
+            &Parity,
+            &mut st,
+            &mut r,
+        );
         assert_eq!(resp.len(), 1);
         assert!(matches!(resp[0].payload, Payload::RpsResponse(_)));
-        let out = a.on_message(1, resp[0].payload.clone(), 1, &Parity, &mut r);
+        let out = a.on_message(1, resp[0].payload.clone(), 1, &Parity, &mut st, &mut r);
         assert!(out.is_empty());
     }
 
@@ -737,14 +893,25 @@ mod tests {
         // likes disjoint items. After a WUP exchange offering both, node 0's
         // view (size 2 here) must retain candidate 1.
         let mut n = WhatsUpNode::new(0, Params::whatsup(1));
-        n.profile.rate(2, 10, true);
-        n.profile.rate(4, 10, true);
+        {
+            let p = SharedProfile::make_mut(&mut n.profile);
+            p.rate(2, 10, true);
+            p.rate(4, 10, true);
+        }
         n.seed_views([], [(9, Profile::new())]);
         let offered = vec![
             Descriptor::fresh(1, SharedProfile::new(liked_profile(&[2, 4]))),
             Descriptor::fresh(3, SharedProfile::new(liked_profile(&[101, 103]))),
         ];
-        let out = n.on_message(5, Payload::WupRequest(offered), 10, &Parity, &mut rng());
+        let mut st = NodeStats::default();
+        let out = n.on_message(
+            5,
+            Payload::WupRequest(offered),
+            10,
+            &Parity,
+            &mut st,
+            &mut rng(),
+        );
         assert!(matches!(out[0].payload, Payload::WupResponse(_)));
         let ids = n.wup_neighbor_ids();
         assert!(ids.contains(&1), "similar candidate retained: {ids:?}");
@@ -781,14 +948,16 @@ mod tests {
                 (1..8).map(|i| (i, liked_profile(&[i as u64]))),
             );
             let mut r = ChaCha8Rng::seed_from_u64(77);
+            let mut st = NodeStats::default();
             let mut log = Vec::new();
             for cycle in 0..5 {
-                log.extend(n.on_cycle(cycle, &mut r));
+                log.extend(n.on_cycle(cycle, &mut st, &mut r));
                 log.extend(n.on_message(
                     1,
                     Payload::News(news(cycle as u64 * 2, 0)),
                     cycle,
                     &Parity,
+                    &mut st,
                     &mut r,
                 ));
             }
@@ -803,7 +972,15 @@ mod tests {
         let mut n = WhatsUpNode::new(0, Params::gossip(3));
         n.seed_views((1..10).map(|i| (i, Profile::new())), []);
         // Node 0 dislikes odd items but homogeneous gossip forwards anyway.
-        let out = n.on_message(5, Payload::News(news(5, 200)), 0, &Parity, &mut rng());
+        let mut st = NodeStats::default();
+        let out = n.on_message(
+            5,
+            Payload::News(news(5, 200)),
+            0,
+            &Parity,
+            &mut st,
+            &mut rng(),
+        );
         assert_eq!(out.len(), 3);
     }
 
@@ -812,10 +989,10 @@ mod tests {
         let mut n = WhatsUpNode::new(0, Params::whatsup(2));
         n.seed_views([(1, Profile::new())], [(2, Profile::new())]);
         let mut r = rng();
-        n.on_cycle(0, &mut r);
-        n.on_message(1, Payload::News(news(2, 0)), 0, &Parity, &mut r);
-        let s = n.stats();
-        assert_eq!(s.total_sent(), s.rps_sent + s.wup_sent + s.news_sent);
-        assert!(s.total_sent() >= 3);
+        let mut st = NodeStats::default();
+        n.on_cycle(0, &mut st, &mut r);
+        n.on_message(1, Payload::News(news(2, 0)), 0, &Parity, &mut st, &mut r);
+        assert_eq!(st.total_sent(), st.rps_sent + st.wup_sent + st.news_sent);
+        assert!(st.total_sent() >= 3);
     }
 }

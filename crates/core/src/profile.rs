@@ -223,6 +223,19 @@ impl Profile {
         &self.entries
     }
 
+    /// Allocated (not occupied) entry slots — memory diagnostics only.
+    #[doc(hidden)]
+    pub fn entries_capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
+    /// Releases entry-slot slack left by amortized growth. Capacity never
+    /// influences behavior — memory hygiene only (see
+    /// `WhatsUpNode::compact`).
+    pub fn trim_capacity(&mut self) {
+        self.entries.shrink_to_fit();
+    }
+
     /// Looks up an entry by item id.
     pub fn get(&self, item: ItemId) -> Option<&ProfileEntry> {
         self.entries

@@ -66,17 +66,19 @@ proptest! {
             (0..3).map(|i| (i, Profile::new())),
         );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut stats = NodeStats::default();
         let mut now: Timestamp = 0;
         for (i, (kind, descs, item, dislikes)) in msgs.into_iter().enumerate() {
             if i % 7 == 0 {
                 now += 1;
-                let _ = node.on_cycle(now, &mut rng);
+                let _ = node.on_cycle(now, &mut stats, &mut rng);
             }
             let out = node.on_message(
                 (i % 19) as NodeId,
                 payload_from(kind, descs, item, dislikes),
                 now,
                 &Mix,
+                &mut stats,
                 &mut rng,
             );
             // No message is ever addressed to the node itself.
@@ -120,6 +122,7 @@ proptest! {
             (2..6).map(|i| (i, Profile::new())),
         );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut stats = NodeStats::default();
         let mut forwarded = 0usize;
         for c in 0..copies {
             let out = node.on_message(
@@ -132,6 +135,7 @@ proptest! {
                 }),
                 0,
                 &Mix,
+                &mut stats,
                 &mut rng,
             );
             if !out.is_empty() {
@@ -139,8 +143,8 @@ proptest! {
             }
         }
         prop_assert!(forwarded <= 1, "SIR: only the first copy may forward");
-        prop_assert_eq!(node.stats().news_received, 1);
-        prop_assert_eq!(node.stats().news_duplicates as usize, copies - 1);
+        prop_assert_eq!(stats.news_received, 1);
+        prop_assert_eq!(stats.news_duplicates as usize, copies - 1);
     }
 }
 
@@ -154,6 +158,7 @@ fn window_purge_enables_reintegration() {
         (1..4).map(|i| (i, Profile::new())),
     );
     let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut stats = NodeStats::default();
     // Rate something at t=0.
     let _ = node.on_message(
         1,
@@ -168,12 +173,13 @@ fn window_purge_enables_reintegration() {
         }),
         0,
         &Mix,
+        &mut stats,
         &mut rng,
     );
     assert!(!node.profile().is_empty());
     // A long quiet period: the window purges everything.
     for t in 1..20 {
-        let _ = node.on_cycle(t, &mut rng);
+        let _ = node.on_cycle(t, &mut stats, &mut rng);
     }
     assert!(
         node.profile().is_empty(),
@@ -193,6 +199,7 @@ fn window_purge_enables_reintegration() {
         }),
         20,
         &Mix,
+        &mut stats,
         &mut rng,
     );
     assert!(node.profile().contains(20));
@@ -209,6 +216,7 @@ fn item_profile_windowing_applies_in_flight() {
     let mut node = WhatsUpNode::new(0, Params::whatsup(1));
     node.seed_views([], [(1, Profile::new())]);
     let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut stats = NodeStats::default();
     let mut stale_profile = Profile::new();
     stale_profile.upsert(ProfileEntry {
         item: 99,
@@ -233,6 +241,7 @@ fn item_profile_windowing_applies_in_flight() {
         }),
         40,
         &Mix,
+        &mut stats,
         &mut rng,
     );
     let Payload::News(nm) = &out[0].payload else {

@@ -1,0 +1,70 @@
+//! Property tests pinning [`SeenSet`] to the plain `Vec` dedup it
+//! replaced: for every receive order — duplicates, merges across the
+//! recent-window boundary, interleaved probes — `insert`/`contains`/`len`
+//! must answer exactly like a linear-scan `Vec<ItemId>`, and the sorted
+//! export must be the sorted dedup of the input. The engine's SIR dedup
+//! (and therefore every report) rides on this equivalence.
+
+use proptest::prelude::*;
+use whatsup_core::seen::SeenSet;
+use whatsup_core::ItemId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random receive orders over a small id universe (high duplicate
+    /// rate, many merges): every answer matches the Vec dedup.
+    #[test]
+    fn matches_vec_dedup_across_receive_orders(
+        ids in prop::collection::vec(0u64..200, 0..400),
+    ) {
+        let mut reference: Vec<ItemId> = Vec::new();
+        let mut seen = SeenSet::new();
+        for &id in &ids {
+            let fresh_ref = !reference.contains(&id);
+            if fresh_ref {
+                reference.push(id);
+            }
+            prop_assert_eq!(seen.insert(id), fresh_ref);
+            prop_assert!(seen.contains(id));
+        }
+        prop_assert_eq!(seen.len(), reference.len());
+        prop_assert_eq!(seen.is_empty(), reference.is_empty());
+        for probe in 0..200u64 {
+            prop_assert_eq!(seen.contains(probe), reference.contains(&probe));
+        }
+        let mut sorted = reference;
+        sorted.sort_unstable();
+        prop_assert_eq!(seen.to_sorted_vec(), sorted);
+    }
+
+    /// Sparse ids (few duplicates, sorted-run dominated) and a checkpoint
+    /// round-trip mid-stream: the rebuilt set continues identically.
+    #[test]
+    fn checkpoint_roundtrip_preserves_equivalence(
+        before in prop::collection::vec(0u64..100_000, 0..120),
+        after in prop::collection::vec(0u64..100_000, 0..120),
+    ) {
+        let mut reference: Vec<ItemId> = Vec::new();
+        let mut seen = SeenSet::new();
+        for &id in &before {
+            if !reference.contains(&id) {
+                reference.push(id);
+            }
+            seen.insert(id);
+        }
+        // The NodeState checkpoint form: sorted export, rebuild.
+        let mut seen = SeenSet::from_sorted(seen.to_sorted_vec());
+        for &id in &after {
+            let fresh_ref = !reference.contains(&id);
+            if fresh_ref {
+                reference.push(id);
+            }
+            prop_assert_eq!(seen.insert(id), fresh_ref);
+        }
+        prop_assert_eq!(seen.len(), reference.len());
+        let mut sorted = reference;
+        sorted.sort_unstable();
+        prop_assert_eq!(seen.to_sorted_vec(), sorted);
+    }
+}

@@ -17,7 +17,9 @@ use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
-use whatsup_core::{ItemId, NodeId, Opinions, OutMessage, Payload, Profile, WhatsUpNode};
+use whatsup_core::{
+    ItemId, NodeId, NodeStats, Opinions, OutMessage, Payload, Profile, WhatsUpNode,
+};
 use whatsup_datasets::LikeMatrix;
 
 /// Ground-truth opinions backed by the dataset (shared, read-only).
@@ -49,6 +51,9 @@ impl Opinions for NetOracle {
 /// One peer: protocol node + codec + recording.
 pub struct Peer {
     node: WhatsUpNode,
+    /// Protocol counters (the node itself stores none — see
+    /// [`WhatsUpNode`]'s SoA contract).
+    node_stats: NodeStats,
     rng: ChaCha8Rng,
     oracle: NetOracle,
     stats: Arc<TrafficStats>,
@@ -68,6 +73,7 @@ impl Peer {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (id as u64).wrapping_mul(0x9e37_79b9));
         Self {
             node,
+            node_stats: NodeStats::default(),
             rng,
             oracle,
             stats,
@@ -104,14 +110,16 @@ impl Peer {
 
     /// One gossip cycle at logical time `now`.
     pub fn tick(&mut self, now: u32) -> Vec<(NodeId, Bytes)> {
-        let out = self.node.on_cycle(now, &mut self.rng);
+        let out = self.node.on_cycle(now, &mut self.node_stats, &mut self.rng);
         self.encode_all(out)
     }
 
     /// Publishes the dataset item with the given index.
     pub fn publish(&mut self, index: u32, now: u32) -> Vec<(NodeId, Bytes)> {
         let item = self.oracle.table.items[index as usize].clone();
-        let out = self.node.publish(&item, now, &mut self.rng);
+        let out = self
+            .node
+            .publish(&item, now, &mut self.node_stats, &mut self.rng);
         self.encode_all(out)
     }
 
@@ -147,9 +155,14 @@ impl Peer {
                 }
             }
         }
-        let out = self
-            .node
-            .on_message(from, payload, now, &self.oracle.clone(), &mut self.rng);
+        let out = self.node.on_message(
+            from,
+            payload,
+            now,
+            &self.oracle.clone(),
+            &mut self.node_stats,
+            &mut self.rng,
+        );
         self.encode_all(out)
     }
 

@@ -412,6 +412,22 @@ fn run(args: &[String]) -> ExitCode {
         Ok(report) => report,
         Err(e) => return fail("run failed", e),
     };
+    // One-line run summary (stderr, never part of the report): peak RSS
+    // and where the nodes ended up. Shard counts live here and not in the
+    // report because the report is byte-identical across shard counts.
+    let shard_counts = whatsup_sim::engine::planned_shard_node_counts(
+        dataset.n_users(),
+        shards.unwrap_or(file.config.shards),
+        &file.scenario,
+    );
+    eprintln!(
+        "run: {} cycles, {} messages, peak rss {:.1} MiB, {} shard(s) with {:?} nodes",
+        report.cycles,
+        report.news_messages_all + report.gossip_messages,
+        peak_rss_mb(),
+        shard_counts.len(),
+        shard_counts
+    );
     let json = report.summary_json().pretty() + "\n";
     let note = format!(
         "{} on {} ({} nodes, F1 {:.3}, {} windows)",
@@ -853,6 +869,21 @@ fn check(args: &[String]) -> ExitCode {
         windows.len()
     );
     ExitCode::SUCCESS
+}
+
+/// The process's peak resident set in MiB (`VmHWM`, Linux); 0 elsewhere.
+/// On the external transports this covers the driver process only — the
+/// shard workers account for their own memory.
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
 }
 
 fn echo(args: &[String]) -> ExitCode {

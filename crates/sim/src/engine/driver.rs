@@ -117,6 +117,22 @@ impl DriverCore {
     }
 }
 
+/// The per-shard node counts a run over `n` nodes with `requested` shards
+/// (0 = auto) and `scenario` will *end* with: the load-aware initial
+/// split, plus every scheduled join on the last shard. Run-summary
+/// instrumentation for the CLI — the engine computes the same partition
+/// in `build`, and the counts never appear in [`SimReport`] (which must
+/// stay byte-identical across shard counts).
+pub fn planned_shard_node_counts(n: usize, requested: usize, scenario: &Scenario) -> Vec<usize> {
+    let joins = scenario.expected_joins();
+    let partition = Partition::plan(n, resolve_shards(requested, n), joins);
+    let mut counts: Vec<usize> = (0..partition.n_shards())
+        .map(|s| partition.range(s).len())
+        .collect();
+    *counts.last_mut().expect("at least one shard") += joins;
+    counts
+}
+
 /// Resolves the configured shard count: `0` = one per available core,
 /// always clamped to the population size.
 fn resolve_shards(requested: usize, n: usize) -> usize {
@@ -129,12 +145,16 @@ fn resolve_shards(requested: usize, n: usize) -> usize {
 
 /// Builds the driver core and one init per shard from `(dataset, protocol,
 /// config, scenario)` — shared by the in-process constructor and the
-/// multi-process runner so both start from identical state.
+/// multi-process runner so both start from identical state. `force_store`
+/// overrides the oracle's dense/sparse byte-cost choice (`Some(true)` =
+/// CSR, `Some(false)` = bit-plane); the equivalence property tests use it
+/// to pin both representations to the same reports.
 fn build(
     dataset: &Dataset,
     protocol: Protocol,
     cfg: SimConfig,
     scenario: Scenario,
+    force_store: Option<bool>,
 ) -> (DriverCore, Vec<ShardInit>) {
     cfg.validate().expect("invalid simulation config");
     scenario.validate(&cfg).expect("invalid scenario");
@@ -169,7 +189,10 @@ fn build(
     }
     assert_eq!(id_to_index.len(), items.len(), "item id (hash) collision");
     let item_ids: Vec<whatsup_core::ItemId> = items.iter().map(|i| i.id()).collect();
-    let oracle = Oracle::new(dataset.likes.clone(), id_to_index);
+    let oracle = match force_store {
+        None => Oracle::new(dataset.likes.clone(), id_to_index),
+        Some(sparse) => Oracle::new_forced(dataset.likes.clone(), id_to_index, sparse),
+    };
 
     // Bootstrap: every node learns `bootstrap_degree` distinct random
     // contacts (empty profiles), split across both layers, as a stand-in
@@ -199,7 +222,10 @@ fn build(
         })
         .collect();
 
-    let partition = Partition::new(n, resolve_shards(cfg.shards, n));
+    // Load-aware split: the last shard absorbs every scheduled join, so
+    // plan its initial range against the final population. Boundaries
+    // never affect results — any contiguous split is bit-identical.
+    let partition = Partition::plan(n, resolve_shards(cfg.shards, n), scenario.expected_joins());
     let inits = (0..partition.n_shards())
         .map(|s| ShardInit {
             index: s,
@@ -673,7 +699,24 @@ impl Simulation {
         cfg: SimConfig,
         scenario: Scenario,
     ) -> Self {
-        let (core, inits) = build(dataset, protocol, cfg, scenario);
+        let (core, inits) = build(dataset, protocol, cfg, scenario, None);
+        let shards = inits.into_iter().map(ShardState::from_init).collect();
+        Self { core, shards }
+    }
+
+    /// [`Simulation::new`] with the oracle's dense/sparse representation
+    /// forced (`true` = CSR, `false` = bit-plane) instead of chosen by
+    /// byte cost. Test hook for the representation-equivalence properties;
+    /// reports must be byte-identical either way.
+    #[doc(hidden)]
+    pub fn new_with_forced_store(
+        dataset: &Dataset,
+        protocol: Protocol,
+        cfg: SimConfig,
+        sparse: bool,
+    ) -> Self {
+        let scenario = Scenario::from_config(&cfg);
+        let (core, inits) = build(dataset, protocol, cfg, scenario, Some(sparse));
         let shards = inits.into_iter().map(ShardState::from_init).collect();
         Self { core, shards }
     }
@@ -704,7 +747,7 @@ impl Simulation {
         worker: &Path,
         supervision: Option<Supervision>,
     ) -> io::Result<SimReport> {
-        let (mut core, inits) = build(dataset, protocol, cfg, scenario);
+        let (mut core, inits) = build(dataset, protocol, cfg, scenario, None);
         // On any error, dropping the transport stops + reaps the children.
         let transport = ProcessTransport::spawn(worker, &inits)?;
         match supervision {
@@ -766,7 +809,7 @@ impl Simulation {
             )));
         }
         cfg.shards = workers.len();
-        let (mut core, inits) = build(dataset, protocol, cfg, scenario);
+        let (mut core, inits) = build(dataset, protocol, cfg, scenario, None);
         // On any error, dropping the transport sends Stop and closes the
         // connections, so the remote workers exit instead of lingering.
         match supervision {
@@ -804,6 +847,49 @@ impl Simulation {
     /// Number of engine shards this simulation runs on.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Nodes currently owned by each shard, in shard order. Run-summary
+    /// instrumentation (the CLI prints it next to peak RSS) — deliberately
+    /// *not* part of [`SimReport`], which must stay byte-identical across
+    /// shard counts.
+    pub fn shard_node_counts(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .map(|s| self.core.partition.range(s).len())
+            .collect()
+    }
+
+    /// Aggregated per-component heap accounting across shards
+    /// (diagnostics; see `ShardState::memory_breakdown`).
+    #[doc(hidden)]
+    pub fn memory_breakdown(&self) -> Vec<(&'static str, usize)> {
+        let mut totals: Vec<(&'static str, usize)> = Vec::new();
+        for shard in &self.shards {
+            for (name, bytes) in shard.memory_breakdown() {
+                match totals.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, t)) => *t += bytes,
+                    None => totals.push((name, bytes)),
+                }
+            }
+        }
+        let core = &self.core;
+        let records: usize = core
+            .records
+            .iter()
+            .map(|r| {
+                std::mem::size_of::<ItemRecord>()
+                    + r.dislikes_at_liked_reception.capacity()
+                    + (r.forward_hops.capacity() + r.infection_hops.capacity())
+                        * std::mem::size_of::<(u16, bool)>()
+            })
+            .sum();
+        totals.push(("item records", records));
+        totals.push((
+            "driver per-node",
+            core.per_node.capacity() * std::mem::size_of::<NodeIr>()
+                + core.liked_this_cycle.capacity() * 4,
+        ));
+        totals
     }
 
     pub fn oracle(&self) -> &Oracle {
@@ -852,14 +938,14 @@ impl Simulation {
                 let mut to = Vec::with_capacity(states.len());
                 let mut from = Vec::with_capacity(states.len());
                 for state in states.iter_mut() {
-                    let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded::<Vec<u8>>();
-                    let (rep_tx, rep_rx) = crossbeam::channel::unbounded::<Vec<u8>>();
+                    let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded::<Command>();
+                    let (rep_tx, rep_rx) = crossbeam::channel::unbounded::<Reply>();
                     scope.spawn(move || {
                         shard::serve(
                             state,
                             || cmd_rx.recv().ok(),
-                            |frame| {
-                                let _ = rep_tx.send(frame);
+                            |reply| {
+                                let _ = rep_tx.send(reply);
                             },
                         )
                     });

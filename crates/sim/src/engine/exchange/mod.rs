@@ -45,7 +45,7 @@ use std::fmt;
 use std::io;
 use whatsup_core::beep::{DislikeRule, TargetPool};
 use whatsup_core::{ColdStart, ItemId, Metric, NewsItem, NodeId, Params};
-use whatsup_datasets::LikeMatrix;
+use whatsup_datasets::{CsrLikes, LikeMatrix, LikeStore};
 use whatsup_net::codec;
 
 /// A transport-level failure: the conversation with a shard worker could
@@ -828,13 +828,37 @@ fn get_churn_model(buf: &mut &[u8]) -> ChurnModel {
     }
 }
 
+/// Like-store wire tags (see [`put_oracle`]).
+const ORACLE_STORE_DENSE: u8 = 0;
+const ORACLE_STORE_SPARSE: u8 = 1;
+
 pub(crate) fn put_oracle(buf: &mut BytesMut, oracle: &Oracle) {
-    let m = oracle.matrix();
-    buf.put_u32_le(m.n_users() as u32);
-    buf.put_u32_le(m.n_items() as u32);
-    buf.put_u32_le(m.words().len() as u32);
-    for &w in m.words() {
-        buf.put_u64_le(w);
+    // One tag byte selects the like-store representation; the chosen form
+    // travels as-is, so a worker reconstructs the exact store the driver
+    // measured cheaper (never re-deciding, which keeps every copy equal).
+    match oracle.store() {
+        LikeStore::Dense(m) => {
+            buf.put_u8(ORACLE_STORE_DENSE);
+            buf.put_u32_le(m.n_users() as u32);
+            buf.put_u32_le(m.n_items() as u32);
+            buf.put_u32_le(m.words().len() as u32);
+            for &w in m.words() {
+                buf.put_u64_le(w);
+            }
+        }
+        LikeStore::Sparse(c) => {
+            buf.put_u8(ORACLE_STORE_SPARSE);
+            buf.put_u32_le(c.n_users() as u32);
+            buf.put_u32_le(c.n_items() as u32);
+            buf.put_u32_le(c.items().len() as u32);
+            // offsets[0] is always 0: ship the n_users tail offsets.
+            for &o in &c.offsets()[1..] {
+                buf.put_u32_le(o);
+            }
+            for &i in c.items() {
+                buf.put_u32_le(i);
+            }
+        }
     }
     // HashMap iteration order is unspecified; sort for a canonical frame.
     let mut pairs: Vec<(ItemId, u32)> = oracle.id_map().iter().map(|(&k, &v)| (k, v)).collect();
@@ -851,11 +875,26 @@ pub(crate) fn put_oracle(buf: &mut BytesMut, oracle: &Oracle) {
 }
 
 pub(crate) fn get_oracle(buf: &mut &[u8]) -> Oracle {
-    let n_users = buf.get_u32_le() as usize;
-    let n_items = buf.get_u32_le() as usize;
-    let n_words = buf.get_u32_le() as usize;
-    let words = (0..n_words).map(|_| buf.get_u64_le()).collect();
-    let matrix = LikeMatrix::from_words(n_users, n_items, words);
+    let store = match buf.get_u8() {
+        ORACLE_STORE_DENSE => {
+            let n_users = buf.get_u32_le() as usize;
+            let n_items = buf.get_u32_le() as usize;
+            let n_words = buf.get_u32_le() as usize;
+            let words = (0..n_words).map(|_| buf.get_u64_le()).collect();
+            LikeStore::Dense(LikeMatrix::from_words(n_users, n_items, words))
+        }
+        ORACLE_STORE_SPARSE => {
+            let n_users = buf.get_u32_le() as usize;
+            let n_items = buf.get_u32_le() as usize;
+            let nnz = buf.get_u32_le() as usize;
+            let mut offsets = Vec::with_capacity(n_users + 1);
+            offsets.push(0u32);
+            offsets.extend((0..n_users).map(|_| buf.get_u32_le()));
+            let items = (0..nnz).map(|_| buf.get_u32_le()).collect();
+            LikeStore::Sparse(CsrLikes::from_parts(n_items, offsets, items))
+        }
+        other => panic!("unknown like-store tag {other}"),
+    };
     let n_pairs = buf.get_u32_le() as usize;
     let id_to_index: crate::oracle::ItemIndexMap = (0..n_pairs)
         .map(|_| {
@@ -866,7 +905,7 @@ pub(crate) fn get_oracle(buf: &mut &[u8]) -> Oracle {
         .collect();
     let n_alias = buf.get_u32_le() as usize;
     let alias = (0..n_alias).map(|_| buf.get_u32_le()).collect();
-    Oracle::restore(matrix, id_to_index, alias)
+    Oracle::restore(store, id_to_index, alias)
 }
 
 /// Serializes everything a worker process needs to build its
@@ -929,17 +968,27 @@ pub fn decode_init(mut frame: &[u8]) -> ShardInit {
 // In-process transport
 // ---------------------------------------------------------------------------
 
-/// In-process transport: one worker thread per shard, `Vec<u8>` frames over
-/// channels. The worker threads run [`crate::engine::shard::serve`].
+/// In-process transport: one worker thread per shard, [`Command`] and
+/// [`Reply`] *values* over channels. The worker threads run
+/// [`crate::engine::shard::serve`].
+///
+/// No command/reply codec runs on this path: the workers share the
+/// driver's address space, so the `Bytes` bundles inside commands and
+/// replies travel as refcounted clones. Encoding frames here would
+/// deep-copy every gossip bundle once per shard per phase — the dominant
+/// term in the multi-shard in-process memory footprint. The byte-stream
+/// transports ([`ProcessTransport`], [`SocketTransport`]) still exercise
+/// the full codec, and bundles themselves are wire-encoded on every
+/// transport, so cross-transport byte parity is unaffected.
 pub struct ChannelTransport {
-    to: Vec<crossbeam::channel::Sender<Vec<u8>>>,
-    from: Vec<crossbeam::channel::Receiver<Vec<u8>>>,
+    to: Vec<crossbeam::channel::Sender<Command>>,
+    from: Vec<crossbeam::channel::Receiver<Reply>>,
 }
 
 impl ChannelTransport {
     pub fn new(
-        to: Vec<crossbeam::channel::Sender<Vec<u8>>>,
-        from: Vec<crossbeam::channel::Receiver<Vec<u8>>>,
+        to: Vec<crossbeam::channel::Sender<Command>>,
+        from: Vec<crossbeam::channel::Receiver<Reply>>,
     ) -> Self {
         assert_eq!(to.len(), from.len());
         Self { to, from }
@@ -948,7 +997,7 @@ impl ChannelTransport {
     /// Tells every worker to exit its serve loop.
     pub fn stop(&mut self) {
         for tx in &self.to {
-            let _ = tx.send(encode_command(&Command::Stop));
+            let _ = tx.send(Command::Stop);
         }
     }
 }
@@ -960,18 +1009,17 @@ impl ShardTransport for ChannelTransport {
 
     fn roundtrip(&mut self, batch: Vec<(usize, Command)>) -> Result<Vec<Reply>, TransportError> {
         let targets: Vec<usize> = batch.iter().map(|(s, _)| *s).collect();
-        for (s, cmd) in &batch {
-            self.to[*s]
-                .send(encode_command(cmd))
-                .map_err(|_| TransportError::closed(thread_endpoint(*s), "shard thread hung up"))?;
+        for (s, cmd) in batch {
+            self.to[s]
+                .send(cmd)
+                .map_err(|_| TransportError::closed(thread_endpoint(s), "shard thread hung up"))?;
         }
         targets
             .into_iter()
             .map(|s| {
-                let frame = self.from[s].recv().map_err(|_| {
-                    TransportError::closed(thread_endpoint(s), "shard thread hung up")
-                })?;
-                Ok(decode_reply(&frame))
+                self.from[s]
+                    .recv()
+                    .map_err(|_| TransportError::closed(thread_endpoint(s), "shard thread hung up"))
             })
             .collect()
     }

@@ -34,8 +34,9 @@ pub const HANDSHAKE_MAGIC: u32 = 0x5755_5053;
 /// command pair (worker supervision); v3 removed the end-of-cycle
 /// `TakeCycleCounters`/`CycleCounters` frames (counters are now folded
 /// driver-side from the phase replies) and the counter residue from
-/// checkpoint frames.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// checkpoint frames; v4 added the like-store tag to oracle frames
+/// (dense bit-plane or compressed sparse rows).
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// How long the driver waits for a TCP connect to a worker.
 pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);

@@ -152,6 +152,19 @@ impl Mailbox {
         self.arena.clear();
     }
 
+    /// Standing capacity of the arena and its index arrays, in bytes
+    /// (diagnostics: the steady-state memory the mailbox holds between
+    /// rounds).
+    #[doc(hidden)]
+    pub fn capacity_bytes(&self) -> usize {
+        self.arena.capacity() * std::mem::size_of::<ArenaEntry>()
+            + (self.heads.capacity()
+                + self.tails.capacity()
+                + self.receivers.capacity()
+                + self.receivers_spare.capacity())
+                * std::mem::size_of::<u32>()
+    }
+
     /// Adds a slot for a node appended to this shard's range.
     pub fn grow(&mut self) {
         self.heads.push(NONE);

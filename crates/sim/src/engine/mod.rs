@@ -260,6 +260,68 @@
 //! encoder wrote. The determinism suites (shard counts × transports) are
 //! the regression net for that claim.
 //!
+//! # Memory model
+//!
+//! At scale the footprint is **standing live state, not transient
+//! spikes**: peak RSS equals the standing RSS at every cycle boundary
+//! (measured by the counting-allocator probe in
+//! `bench/examples/hotpath_probe.rs`), and allocator overhead is ~10% of
+//! RSS — so the only levers that matter are the bytes the protocol
+//! actually keeps alive. The budget below is the measured breakdown of a
+//! 100 k-node, 10-cycle uniform run (1 shard, metrics off,
+//! `Simulation::memory_breakdown`); absolute numbers scale with nodes ×
+//! cycles × publication rate, the *shape* is what to remember:
+//!
+//! | standing state                | 100 k example | grows with                  |
+//! |-------------------------------|--------------:|-----------------------------|
+//! | own profiles                  |      ~210 MiB | rated items per node        |
+//! | pinned view snapshots         |      ~260 MiB | view size × profile size    |
+//! | seen sets                     |       ~95 MiB | receptions per node (8 B/id)|
+//! | view descriptors + score memo |       ~60 MiB | view size (memo dropped)    |
+//! | item records (driver)         |      ~120 MiB | receptions per item         |
+//! | mailbox arena + scratch       |       ~40 MiB | peak per-round traffic      |
+//! | oracle (CSR)                  |   likes-sized | non-zero likes (4 B each)   |
+//!
+//! What keeps each row tight:
+//!
+//! * **Exact-fit compaction** — at every cycle start
+//!   ([`shard::ShardState`]'s collect) each node runs
+//!   [`whatsup_core::WhatsUpNode::compact`]: profile and seen-set
+//!   capacity slack from amortized growth is trimmed to fit (capacities
+//!   never influence behavior, so this is invisible to reports), and the
+//!   merge-score memo is dropped. The memo is *also* dropped at
+//!   `BeginNews` — its hits all happen within a gossip phase, so holding
+//!   it (and the candidate snapshots it pins) across the news phase
+//!   would stack dead weight under live growth.
+//! * **Snapshot sharing** — a disclosed profile is one `Arc` allocation
+//!   shared by every view slot and in-flight message that references it;
+//!   "pinned view snapshots" counts each allocation once. Cross-shard
+//!   the decode cache restores the sharing on the receiving side.
+//! * **Sparse oracle** — [`crate::Oracle`] holds likes as CSR or dense
+//!   bit-plane, chosen by measured byte cost
+//!   (`whatsup_datasets::LikeStore`), and is **process-`Arc`-shared**:
+//!   in-process transports hand every shard one pointer. Only the
+//!   external transports (child process / socket) pay one copy per
+//!   worker, which is the price of actually being distributed.
+//! * **Report data is sacred** — item records (per-reception hop and
+//!   opinion vectors) feed `SimReport` and cannot be thinned without
+//!   changing results; they are driver-owned and exist once regardless
+//!   of shard count.
+//!
+//! Ownership is strictly two-tier. **Shard-owned** (per shard, moves
+//! with its partition): node protocol stacks, mailbox arena and scratch,
+//! phase RNGs, per-node stats. **Process-shared** (one per process,
+//! `Arc`): the oracle and the dataset's item table. Nothing is globally
+//! mutable — a shard can be checkpointed, moved, or restored from its
+//! own frame alone ([`exchange::SupervisedTransport`]).
+//!
+//! [`partition::Partition`] is load-aware: `Partition::plan` consumes
+//! the scenario's scheduled joins so shards are balanced by their
+//! *eventual* node counts, not the bootstrap counts — the contract is
+//! that contiguous ascending id ranges cover the final population
+//! exactly, and the determinism section below makes the boundary
+//! placement invisible to results (only to per-shard RSS).
+//!
 //! # Determinism contract & static checks
 //!
 //! Reports are **bit-identical across shard counts and transports**
@@ -340,7 +402,7 @@ pub mod mailbox;
 pub mod partition;
 pub mod shard;
 
-pub use driver::Simulation;
+pub use driver::{planned_shard_node_counts, Simulation};
 pub use exchange::{
     ChannelTransport, Command, ProcessTransport, Reply, ShardTransport, SocketTransport,
     SupervisedTransport, Supervision, TransportError,

@@ -35,6 +35,49 @@ impl Partition {
         Self { starts }
     }
 
+    /// Load-aware split: sizes the initial ranges against the population
+    /// the run will *end* with. Every join — mass-join bursts, flash-crowd
+    /// clones — lands on the last shard ([`Partition::push_node`]), so a
+    /// balanced initial split leaves the last shard carrying all
+    /// `expected_joins` extra nodes for the rest of the run. This planner
+    /// instead balances `n + expected_joins` across the shards and assigns
+    /// the last shard its final-size share minus the joins it will absorb
+    /// (clamped so every shard starts with at least one node).
+    ///
+    /// Any contiguous split preserves bit-identity — shard-order
+    /// concatenation equals node-id order regardless of where the
+    /// boundaries sit — so this only moves load, never results. With
+    /// `expected_joins == 0` it reduces exactly to [`Partition::new`].
+    ///
+    /// # Panics
+    /// Panics unless `1 <= shards <= n`.
+    pub fn plan(n: usize, shards: usize, expected_joins: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        assert!(shards <= n, "more shards ({shards}) than nodes ({n})");
+        if shards == 1 {
+            return Self::new(n, 1);
+        }
+        let fin = n + expected_joins;
+        let (base, extra) = (fin / shards, fin % shards);
+        // Final-size target of the last shard, minus the joins it absorbs.
+        let last_target = base + usize::from(shards - 1 < extra);
+        let last = last_target
+            .saturating_sub(expected_joins)
+            .clamp(1, n - (shards - 1));
+        // The first `shards - 1` ranges split the rest evenly.
+        let head = n - last;
+        let (h_base, h_extra) = (head / (shards - 1), head % (shards - 1));
+        let mut starts = Vec::with_capacity(shards + 1);
+        let mut at = 0usize;
+        starts.push(0);
+        for s in 0..shards - 1 {
+            at += h_base + usize::from(s < h_extra);
+            starts.push(at as NodeId);
+        }
+        starts.push(n as NodeId);
+        Self { starts }
+    }
+
     pub fn n_shards(&self) -> usize {
         self.starts.len() - 1
     }
@@ -132,6 +175,52 @@ mod tests {
         assert_eq!(p.total(), 7);
         assert_eq!(p.shard_of(6), 1);
         assert_eq!(p.range(0), 0..3, "earlier shards untouched");
+    }
+
+    #[test]
+    fn plan_without_joins_is_the_balanced_split() {
+        for n in [1usize, 2, 7, 100, 101, 1000] {
+            for s in 1..=n.min(8) {
+                assert_eq!(Partition::plan(n, s, 0), Partition::new(n, s), "{n}/{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_balances_the_final_population() {
+        // 100 nodes + 20 joins over 4 shards: final target 30 per shard,
+        // so the last shard starts with 10 and ends at 30.
+        let p = Partition::plan(100, 4, 20);
+        assert_eq!(p.total(), 100);
+        assert_eq!(p.range(3).len(), 10);
+        let head: Vec<usize> = (0..3).map(|s| p.range(s).len()).collect();
+        assert_eq!(head, vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn plan_clamps_to_one_node_per_shard() {
+        // Joins dwarf the population: every shard still starts non-empty.
+        let p = Partition::plan(4, 4, 1_000);
+        assert_eq!(p.total(), 4);
+        for s in 0..4 {
+            assert_eq!(p.range(s).len(), 1);
+        }
+    }
+
+    #[test]
+    fn plan_ranges_stay_contiguous_ascending() {
+        for joins in [0usize, 1, 7, 50, 500] {
+            let p = Partition::plan(97, 5, joins);
+            assert_eq!(p.total(), 97);
+            let mut seen = 0usize;
+            for s in 0..5 {
+                let r = p.range(s);
+                assert!(!r.is_empty(), "shard {s} empty at joins={joins}");
+                assert_eq!(r.start as usize, seen);
+                seen = r.end as usize;
+            }
+            assert_eq!(seen, 97);
+        }
     }
 
     #[test]

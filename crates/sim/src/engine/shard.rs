@@ -20,7 +20,7 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use whatsup_core::{
     ColdStart, ItemId, NewsItem, NodeId, NodeState, NodeStats, Opinions, OutMessage, Params,
-    Payload, Profile, WhatsUpNode,
+    Payload, Profile, SharedProfile, WhatsUpNode,
 };
 use whatsup_net::codec;
 
@@ -79,6 +79,10 @@ pub struct ShardState {
     /// when interests are re-mapped.
     oracle: Oracle,
     nodes: Vec<WhatsUpNode>,
+    /// Per-node counters, SoA: parallel to [`Self::nodes`]. Cold data the
+    /// hot loops only append to — keeping it out of [`WhatsUpNode`] keeps
+    /// node iteration from dragging the counter bytes through cache.
+    node_stats: Vec<NodeStats>,
     /// Per-node phase RNGs, lazily derived per `(cycle, phase)`.
     phase_rngs: Vec<Option<ChaCha8Rng>>,
     mailbox: Mailbox,
@@ -107,13 +111,19 @@ impl ShardState {
         let range = init.partition.range(init.index);
         assert_eq!(range.len(), init.bootstrap.len(), "bootstrap list mismatch");
         let mut nodes = Vec::with_capacity(range.len());
+        // Every bootstrap descriptor carries the same empty profile: one
+        // allocation for the whole shard instead of one per view slot.
+        let empty = SharedProfile::new(Profile::new());
         for (local, id) in range.clone().enumerate() {
             let mut node = WhatsUpNode::new(id, init.params.clone());
             let contacts = &init.bootstrap[local];
             let wup_take = (contacts.len() / 2).max(1);
-            node.seed_views(
-                contacts.iter().map(|&c| (c, Profile::new())),
-                contacts.iter().take(wup_take).map(|&c| (c, Profile::new())),
+            node.seed_views_arcs(
+                contacts.iter().map(|&c| (c, SharedProfile::clone(&empty))),
+                contacts
+                    .iter()
+                    .take(wup_take)
+                    .map(|&c| (c, SharedProfile::clone(&empty))),
             );
             nodes.push(node);
         }
@@ -128,6 +138,7 @@ impl ShardState {
             params: init.params,
             oracle: init.oracle,
             nodes,
+            node_stats: vec![NodeStats::default(); n_local],
             phase_rngs: vec![None; n_local],
             mailbox: Mailbox::new(range),
             pending_local: Vec::new(),
@@ -169,6 +180,62 @@ impl ShardState {
         self.node(id).views_snapshot()
     }
 
+    /// Heap accounting by component (diagnostics; backs the byte-budget
+    /// table in the engine module docs). Returns `(component, bytes)`
+    /// rows. Snapshot bytes count each distinct pinned profile `Arc` once,
+    /// excluding the nodes' own live profiles.
+    #[doc(hidden)]
+    pub fn memory_breakdown(&self) -> Vec<(&'static str, usize)> {
+        use std::collections::HashSet; // lint:allow(det-map) diagnostics only, result order is fixed below
+        let mut profiles = 0usize;
+        let mut seen = 0usize;
+        let mut caches = 0usize;
+        // lint:allow(det-map) dedup probe for byte totals; never iterated
+        let mut pinned: HashSet<usize> = HashSet::new();
+        // lint:allow(det-map) membership probe only; never iterated
+        let own: HashSet<usize> = self
+            .nodes
+            .iter()
+            .map(|n| n.profile().entries().as_ptr() as usize)
+            .collect();
+        let mut snapshot_bytes = 0usize;
+        for node in &self.nodes {
+            let (p, s, c) = node.debug_heap_stats(&mut |shared| {
+                let key = shared.entries().as_ptr() as usize;
+                if !own.contains(&key) && pinned.insert(key) {
+                    // Two allocations per snapshot: the Arc block (counts +
+                    // Profile struct) and the entries buffer (capacity).
+                    snapshot_bytes += shared.entries_capacity()
+                        * std::mem::size_of::<whatsup_core::profile::ProfileEntry>()
+                        + std::mem::size_of::<whatsup_core::profile::Profile>()
+                        + 16;
+                }
+            });
+            profiles += p;
+            seen += s;
+            caches += c;
+        }
+        vec![
+            ("own profiles", profiles),
+            ("pinned snapshots", snapshot_bytes),
+            ("seen sets", seen),
+            ("node caches", caches),
+            ("mailbox arena", self.mailbox.capacity_bytes()),
+            (
+                "emit scratch",
+                self.emit_scratch.capacity() * std::mem::size_of::<(NodeId, OutMessage)>(),
+            ),
+            (
+                "pending local",
+                self.pending_local.capacity() * std::mem::size_of::<MailEntry>(),
+            ),
+            (
+                "phase rngs",
+                self.phase_rngs.capacity() * std::mem::size_of::<Option<ChaCha8Rng>>(),
+            ),
+        ]
+    }
+
     /// Registers a node joining at the end of the id space with interests
     /// cloned from `reference`. Every shard updates its partition and
     /// oracle copies; the owning (last) shard additionally receives the
@@ -186,6 +253,7 @@ impl ShardState {
             let mut node = WhatsUpNode::new(id, self.params.clone());
             node.cold_start(exchange::decode_cold_start(frame), &self.oracle);
             self.nodes.push(node);
+            self.node_stats.push(NodeStats::default());
             self.phase_rngs.push(None);
             self.channel_bad.push(false);
             self.mailbox.grow();
@@ -223,6 +291,12 @@ impl ShardState {
             }
             Command::BeginNews => {
                 self.phase_rngs.iter_mut().for_each(|r| *r = None);
+                // Gossip is over for this cycle: the merge-score memo's
+                // hits all happen within a gossip phase, so drop it (and
+                // the candidate snapshots it pins) before the news phase
+                // grows into the freed memory. Probe-only — see
+                // `WhatsUpNode::drop_score_memo`.
+                self.nodes.iter_mut().for_each(WhatsUpNode::drop_score_memo);
                 Reply::Ack
             }
             Command::Publish { cycle, item } => self.publish(cycle, item),
@@ -284,7 +358,7 @@ impl ShardState {
         }
         exchange::put_oracle(&mut buf, &self.oracle);
         buf.put_u32_le(self.nodes.len() as u32);
-        for node in &self.nodes {
+        for (node, stats) in self.nodes.iter().zip(&self.node_stats) {
             let st = node.export_state();
             codec::put_profile(&mut buf, &Profile::from_vec(st.profile));
             codec::put_descriptors(&mut buf, &st.rps_view);
@@ -293,7 +367,7 @@ impl ShardState {
             for item in &st.seen {
                 buf.put_u64_le(*item);
             }
-            put_node_stats(&mut buf, &st.stats);
+            put_node_stats(&mut buf, stats);
         }
         buf.freeze()
     }
@@ -321,6 +395,7 @@ impl ShardState {
         let n_nodes = buf.get_u32_le() as usize;
         assert_eq!(range.len(), n_nodes, "checkpoint/partition node mismatch");
         assert_eq!(n_channels, n_nodes, "checkpoint channel-state mismatch");
+        let mut node_stats = Vec::with_capacity(n_nodes);
         self.nodes = range
             .zip(0..n_nodes)
             .map(|(id, _)| {
@@ -332,8 +407,7 @@ impl ShardState {
                 let wup_view = codec::get_descriptors(buf).expect("malformed checkpoint view");
                 let n_seen = buf.get_u32_le() as usize;
                 let seen = (0..n_seen).map(|_| buf.get_u64_le()).collect();
-                let stats = get_node_stats(buf);
-                WhatsUpNode::from_state(
+                let node = WhatsUpNode::from_state(
                     id,
                     self.params.clone(),
                     NodeState {
@@ -341,11 +415,13 @@ impl ShardState {
                         rps_view,
                         wup_view,
                         seen,
-                        stats,
                     },
-                )
+                );
+                node_stats.push(get_node_stats(buf));
+                node
             })
             .collect();
+        self.node_stats = node_stats;
         self.phase_rngs = vec![None; n_nodes];
         self.mailbox = Mailbox::new(self.partition.range(self.index));
         self.pending_local = Vec::new();
@@ -456,6 +532,11 @@ impl ShardState {
 
     /// Collect phase: every owned node's cycle tick, in id order.
     fn collect(&mut self, cycle: u32) -> Outbound {
+        // Cycle start: trim last cycle's allocation slack before growing
+        // again (capacities never influence behavior — see
+        // `WhatsUpNode::compact`). This keeps standing memory proportional
+        // to live state instead of ratcheting to every Vec's high-water.
+        self.nodes.iter_mut().for_each(WhatsUpNode::compact);
         // Fresh gossip-phase streams for the delivery rounds that follow,
         // and this cycle's channel states for the loss coins.
         self.phase_rngs.iter_mut().for_each(|r| *r = None);
@@ -464,6 +545,7 @@ impl ShardState {
         let seed = self.seed;
         let Self {
             nodes,
+            node_stats,
             emit_scratch,
             ..
         } = self;
@@ -471,7 +553,7 @@ impl ShardState {
             for (local, node) in nodes.iter_mut().enumerate() {
                 let id = base + local as NodeId;
                 let mut rng = node_stream(seed, id, cycle, phase::CYCLE);
-                for m in node.on_cycle(cycle, &mut rng) {
+                for m in node.on_cycle(cycle, &mut node_stats[local], &mut rng) {
                     emit_scratch.push((id, m));
                 }
             }
@@ -505,6 +587,7 @@ impl ShardState {
         let cut = self.partition_cut(cycle);
         let Self {
             nodes,
+            node_stats,
             phase_rngs,
             mailbox,
             oracle,
@@ -517,11 +600,12 @@ impl ShardState {
             let rng = phase_rngs[local]
                 .get_or_insert_with(|| node_stream(seed, id, cycle, phase::GOSSIP));
             let node = &mut nodes[local];
+            let stats = &mut node_stats[local];
             mailbox.drain_mail(id, |from, payload| {
                 if message_dropped(loss, channel_bad[local], cut, from, id, rng) {
                     return;
                 }
-                for reply in node.on_message(from, payload, cycle, oracle, rng) {
+                for reply in node.on_message(from, payload, cycle, oracle, stats, rng) {
                     debug_assert!(
                         !matches!(reply.payload, Payload::News(_)),
                         "news cannot appear in the gossip phase"
@@ -570,6 +654,9 @@ impl ShardState {
             fresh.cold_start(snapshot, &self.oracle);
             let local = self.local(*id);
             self.nodes[local] = fresh;
+            // A rejoining node is a fresh instance: its counters restart
+            // with it, exactly as when they lived inside the node.
+            self.node_stats[local] = NodeStats::default();
         }
     }
 
@@ -585,7 +672,7 @@ impl ShardState {
         let out = {
             let rng = self.phase_rngs[local]
                 .get_or_insert_with(|| node_stream(seed, source, cycle, phase::NEWS));
-            self.nodes[local].publish(&item, cycle, rng)
+            self.nodes[local].publish(&item, cycle, &mut self.node_stats[local], rng)
         };
         let first_forward_hop = match out.first().map(|m| &m.payload) {
             Some(Payload::News(first)) => Some(first.hops),
@@ -612,6 +699,7 @@ impl ShardState {
         let mut outcomes = Vec::with_capacity(receivers.len());
         let Self {
             nodes,
+            node_stats,
             phase_rngs,
             mailbox,
             oracle,
@@ -629,6 +717,7 @@ impl ShardState {
             let rng =
                 phase_rngs[local].get_or_insert_with(|| node_stream(seed, id, cycle, phase::NEWS));
             let node = &mut nodes[local];
+            let stats = &mut node_stats[local];
             // Fixed per (receiver, round): hoisted out of the per-message
             // closure instead of re-resolving on every copy.
             let receiver_likes = opinions.likes(id, item_id);
@@ -653,7 +742,7 @@ impl ShardState {
                         dislikes: news.dislikes,
                     });
                 }
-                let replies = node.on_message(from, payload, cycle, &opinions, rng);
+                let replies = node.on_message(from, payload, cycle, &opinions, stats, rng);
                 if let Some(Payload::News(first_out)) = replies.first().map(|m| &m.payload) {
                     outcome.forward = Some((first_out.hops, receiver_likes));
                 }
@@ -733,18 +822,27 @@ pub fn handle_frame(state: &mut ShardState, frame: &[u8]) -> Option<Vec<u8>> {
     Some(exchange::encode_reply(&state.handle(cmd)))
 }
 
-/// The channel-worker serve loop: pull frames, dispatch through
-/// [`handle_frame`], push replies — until a `Stop` command or the input
-/// closes.
+/// The channel-worker serve loop: pull [`Command`] *values*, dispatch
+/// through [`ShardState::handle`], push [`Reply`] values — until a `Stop`
+/// command or the input closes.
+///
+/// Unlike the byte-stream loop ([`handle_frame`] via
+/// [`crate::engine::exchange::stream::serve_stream`]), no command/reply
+/// codec runs here: in-process workers share the driver's address space,
+/// so bundle `Bytes` inside commands and replies move as refcounted
+/// clones instead of being re-encoded into per-shard frame copies. The
+/// bundles themselves stay wire-encoded (shards produce and consume them
+/// through the same codec on every transport), so byte-level parity with
+/// the process and socket transports is untouched.
 pub fn serve(
     state: &mut ShardState,
-    mut next: impl FnMut() -> Option<Vec<u8>>,
-    mut send: impl FnMut(Vec<u8>),
+    mut next: impl FnMut() -> Option<Command>,
+    mut send: impl FnMut(Reply),
 ) {
-    while let Some(frame) = next() {
-        match handle_frame(state, &frame) {
-            Some(reply) => send(reply),
-            None => return,
+    while let Some(cmd) = next() {
+        if matches!(cmd, Command::Stop) {
+            return;
         }
+        send(state.handle(cmd));
     }
 }

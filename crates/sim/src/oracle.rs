@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use whatsup_core::hash::BuildIdHasher;
 use whatsup_core::{ItemId, NodeId, Opinions};
-use whatsup_datasets::LikeMatrix;
+use whatsup_datasets::{LikeMatrix, LikeStore};
 
 /// The item content-hash → dataset-index map, keyed with the deterministic
 /// integer hasher: it is probed on every news reception, and its iteration
@@ -25,26 +25,49 @@ pub type ItemIndexMap = HashMap<ItemId, u32, BuildIdHasher>;
 
 /// Ground-truth oracle mapping protocol-level ids to dataset rows/columns.
 ///
-/// The matrix and the id map are immutable and shared (`Arc`), so the
-/// sharded engine can hand every shard its own oracle for the price of the
-/// alias vector; only `alias` is per-clone state, and the engine keeps all
-/// copies in lockstep when interests are re-mapped.
+/// Everything immutable is shared (`Arc`): the like store — dense
+/// bit-plane or compressed sparse rows, whichever [`LikeStore`] measured
+/// smaller — and the id map, so the sharded engine hands every shard in
+/// the process the *same* copy. The alias vector is logically per-clone
+/// but copy-on-write: lockstep runs without joins or interest swaps never
+/// materialize a second copy.
 #[derive(Debug, Clone)]
 pub struct Oracle {
-    matrix: Arc<LikeMatrix>,
+    store: Arc<LikeStore>,
     /// Item content-hash → dataset item index.
     id_to_index: Arc<ItemIndexMap>,
-    /// Node → matrix row (identity for the initial population).
-    alias: Vec<u32>,
+    /// Node → like-store row (identity for the initial population).
+    alias: Arc<Vec<u32>>,
 }
 
 impl Oracle {
+    /// Builds from a dense matrix, choosing the cheaper representation
+    /// internally.
     pub fn new(matrix: LikeMatrix, id_to_index: ItemIndexMap) -> Self {
-        let alias = (0..matrix.n_users() as u32).collect();
+        Self::from_store(LikeStore::from_matrix(&matrix), id_to_index)
+    }
+
+    /// Builds with the representation forced (`true` = CSR, `false` =
+    /// dense bit-plane) instead of chosen by byte cost. Test hook for the
+    /// dense ≡ sparse equivalence properties — both must answer (and
+    /// report) identically.
+    #[doc(hidden)]
+    pub fn new_forced(matrix: LikeMatrix, id_to_index: ItemIndexMap, sparse: bool) -> Self {
+        let store = if sparse {
+            LikeStore::Sparse(whatsup_datasets::CsrLikes::from_matrix(&matrix))
+        } else {
+            LikeStore::Dense(matrix)
+        };
+        Self::from_store(store, id_to_index)
+    }
+
+    /// Builds from an already-chosen like store.
+    pub fn from_store(store: LikeStore, id_to_index: ItemIndexMap) -> Self {
+        let alias = (0..store.n_users() as u32).collect();
         Self {
-            matrix: Arc::new(matrix),
+            store: Arc::new(store),
             id_to_index: Arc::new(id_to_index),
-            alias,
+            alias: Arc::new(alias),
         }
     }
 
@@ -52,16 +75,16 @@ impl Oracle {
     /// alias (shard-worker init path).
     ///
     /// # Panics
-    /// Panics if an alias entry names a row outside the matrix.
-    pub fn restore(matrix: LikeMatrix, id_to_index: ItemIndexMap, alias: Vec<u32>) -> Self {
+    /// Panics if an alias entry names a row outside the store.
+    pub fn restore(store: LikeStore, id_to_index: ItemIndexMap, alias: Vec<u32>) -> Self {
         assert!(
-            alias.iter().all(|&r| (r as usize) < matrix.n_users()),
+            alias.iter().all(|&r| (r as usize) < store.n_users()),
             "alias row out of range"
         );
         Self {
-            matrix: Arc::new(matrix),
+            store: Arc::new(store),
             id_to_index: Arc::new(id_to_index),
-            alias,
+            alias: Arc::new(alias),
         }
     }
 
@@ -80,8 +103,9 @@ impl Oracle {
         self.alias.len()
     }
 
-    pub fn matrix(&self) -> &LikeMatrix {
-        &self.matrix
+    /// The shared like store.
+    pub fn store(&self) -> &LikeStore {
+        &self.store
     }
 
     /// Dataset index of an item id, if known.
@@ -92,7 +116,7 @@ impl Oracle {
     /// Ground-truth opinion by dataset item *index*.
     pub fn likes_index(&self, node: NodeId, index: u32) -> bool {
         let row = self.alias[node as usize] as usize;
-        self.matrix.likes(row, index as usize)
+        self.store.likes(row, index as usize)
     }
 
     /// Nodes interested in item `index` under the current aliasing.
@@ -115,13 +139,14 @@ impl Oracle {
     /// row. Returns the new node id.
     pub fn add_clone_of(&mut self, reference: NodeId) -> NodeId {
         let row = self.alias[reference as usize];
-        self.alias.push(row);
-        (self.alias.len() - 1) as NodeId
+        let alias = Arc::make_mut(&mut self.alias);
+        alias.push(row);
+        (alias.len() - 1) as NodeId
     }
 
     /// Swaps the interests of two nodes (§V-C's "changing node" experiment).
     pub fn swap_interests(&mut self, a: NodeId, b: NodeId) {
-        self.alias.swap(a as usize, b as usize);
+        Arc::make_mut(&mut self.alias).swap(a as usize, b as usize);
     }
 }
 

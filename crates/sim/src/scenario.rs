@@ -638,6 +638,25 @@ impl Scenario {
         Ok(())
     }
 
+    /// Total nodes the schedule will add over the run: the mass-join
+    /// burst (if any) plus every choreographed `JoinClone` event. The
+    /// load-aware partition planner
+    /// ([`crate::engine::partition::Partition::plan`]) uses this to size
+    /// the last shard — the one all joiners land on — for its *final*
+    /// population instead of its initial one.
+    pub fn expected_joins(&self) -> usize {
+        let mass = match self.environment.churn {
+            ChurnModel::MassJoin { count, .. } => count as usize,
+            _ => 0,
+        };
+        let clones = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, Event::JoinClone { .. }))
+            .count();
+        mass + clones
+    }
+
     /// Checks every event's node ids against the population the run will
     /// actually have when the event fires: `initial_nodes`, plus the mass
     /// join once its cycle has passed, plus every `JoinClone` that fired

@@ -9,15 +9,24 @@ messages, peak_rss_mb}. Rows are keyed by (nodes, shards, workload,
 metrics).
 
 For every fresh row with a committed counterpart the script prints the
-wall-clock (secs) delta — informational. It FAILS (exit 1) when the
-`messages` column diverges: the message count is a pure function of the
-simulation (same seed, same protocol), so a mismatch is a determinism or
-behavior break, never noise. A fresh row missing from the baseline also
-fails, so the committed trajectory stays in lockstep with the bench grid.
+wall-clock (secs) delta — informational. It FAILS (exit 1) when:
+
+* the `messages` column diverges: the message count is a pure function of
+  the simulation (same seed, same protocol), so a mismatch is a
+  determinism or behavior break, never noise;
+* `peak_rss_mb` regresses more than RSS_TOLERANCE (15%) over the
+  committed row: peak memory is reset per row by the bench, so a jump
+  that size is a real memory regression, not allocator noise;
+* a fresh row is missing from the baseline, so the committed trajectory
+  stays in lockstep with the bench grid.
+
+RSS improvements (fresh below baseline) never fail — they are the point.
 """
 
 import json
 import sys
+
+RSS_TOLERANCE = 0.15
 
 
 def load_rows(path):
@@ -42,7 +51,7 @@ def main():
     fresh = load_rows(sys.argv[2])
     failures = []
     print(f"{'nodes':>8} {'shards':>6} {'wload':>8} {'metrics':>7} "
-          f"{'base secs':>10} {'new secs':>9} {'delta':>8}  messages")
+          f"{'base secs':>10} {'new secs':>9} {'delta':>8} {'rss delta':>9}  messages")
     for key in sorted(fresh):
         nodes, shards, wload, metrics = key
         new = fresh[key]
@@ -51,6 +60,7 @@ def main():
             failures.append(f"row {key} missing from the committed baseline")
             continue
         delta = (new["secs"] - base["secs"]) / base["secs"] * 100.0 if base["secs"] else 0.0
+        rss_delta = (new["rss"] - base["rss"]) / base["rss"] if base["rss"] else 0.0
         verdict = "ok"
         if new["messages"] != base["messages"]:
             verdict = f"DIVERGED ({base['messages']} -> {new['messages']})"
@@ -58,12 +68,23 @@ def main():
                 f"row {key}: messages diverged from the baseline "
                 f"({base['messages']} -> {new['messages']}) — determinism break"
             )
+        if base["rss"] and rss_delta > RSS_TOLERANCE:
+            verdict = f"RSS REGRESSED ({base['rss']:.1f} -> {new['rss']:.1f} MiB)"
+            failures.append(
+                f"row {key}: peak RSS regressed "
+                f"{rss_delta * 100.0:+.1f}% over the baseline "
+                f"({base['rss']:.1f} -> {new['rss']:.1f} MiB, "
+                f"tolerance {RSS_TOLERANCE * 100.0:.0f}%)"
+            )
         print(f"{nodes:>8} {shards:>6} {wload:>8} {metrics:>7} "
-              f"{base['secs']:>10.3f} {new['secs']:>9.3f} {delta:>+7.1f}%  {verdict}")
+              f"{base['secs']:>10.3f} {new['secs']:>9.3f} {delta:>+7.1f}% "
+              f"{rss_delta * 100.0:>+8.1f}%  {verdict}")
     if failures:
         print("\n" + "\n".join(failures), file=sys.stderr)
         sys.exit(1)
-    print("\nall rows match the committed baseline (secs deltas are informational)")
+    print("\nall rows match the committed baseline "
+          "(secs deltas informational; rss gated at "
+          f"{RSS_TOLERANCE * 100.0:.0f}%)")
 
 
 if __name__ == "__main__":

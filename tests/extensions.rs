@@ -64,6 +64,7 @@ fn shared_profiles_differ_from_true_under_obfuscation() {
     let mut node = WhatsUpNode::new(3, params);
     node.seed_views([(1, Profile::new())], [(1, Profile::new())]);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    let mut stats = NodeStats::default();
     // Rate many items, then inspect what the node gossips.
     let everyone_likes = |_: NodeId, _: ItemId| true;
     for i in 0..200u64 {
@@ -80,10 +81,11 @@ fn shared_profiles_differ_from_true_under_obfuscation() {
             }),
             0,
             &everyone_likes,
+            &mut stats,
             &mut rng,
         );
     }
-    let out = node.on_cycle(1, &mut rng);
+    let out = node.on_cycle(1, &mut stats, &mut rng);
     let mut flips = 0usize;
     let mut total = 0usize;
     for m in &out {

@@ -80,7 +80,8 @@ fn wire_codec_carries_simulated_dissemination() {
         [(1, Profile::new()), (2, Profile::new())],
     );
     let item = NewsItem::new("t", "d", "https://l", 0, 0);
-    let out = node.publish(&item, 0, &mut rng);
+    let mut stats = NodeStats::default();
+    let out = node.publish(&item, 0, &mut stats, &mut rng);
     assert!(!out.is_empty());
     let resolver = |id: ItemId| (id == item.id()).then(|| item.clone());
     for m in &out {
